@@ -1,0 +1,77 @@
+"""Ablation — external hints warm-start (§VII).
+
+"The scheduler should also offer the possibility to receive external
+hints for tasks versions: for example, read an XML file ... written by
+OmpSs runtime from a previous application's execution."  We measure the
+cold run, snapshot its profile table to XML, and rerun warm: the warm
+run skips the learning phase entirely and never executes the slow
+hand-coded CUDA or SMP versions beyond what the earliest-executor rule
+chooses on merit.
+"""
+
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.apps.matmul import MatmulApp
+from repro.core.hints import load_hints, save_hints
+from repro.core.versioning import VersioningScheduler
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.topology import minotauro_node
+
+from figutils import RESULTS_DIR, emit, run_once
+
+
+def run_matmul(sched):
+    app = MatmulApp(n_tiles=12, variant="hyb")
+    machine = minotauro_node(8, 2, noise_cv=0.02, seed=4)
+    app.register_cost_models(machine)
+    rt = OmpSsRuntime(machine, sched)
+    with rt:
+        app.master(rt)
+    res = rt.result()
+    return res.gflops(app.total_flops()), res
+
+
+def sweep():
+    cold_sched = VersioningScheduler()
+    cold_gflops, cold_res = run_matmul(cold_sched)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    hints_path = RESULTS_DIR / "matmul_profile_hints.xml"
+    save_hints(cold_sched.table, hints_path)
+
+    warm_sched = VersioningScheduler(hints=load_hints(hints_path))
+    warm_gflops, warm_res = run_matmul(warm_sched)
+
+    return {
+        "cold": {
+            "gflops": cold_gflops,
+            "learning": cold_sched.learning_dispatches,
+            "cuda_runs": cold_res.version_counts["matmul_tile_cublas"].get(
+                "matmul_tile_cuda", 0
+            ),
+        },
+        "warm": {
+            "gflops": warm_gflops,
+            "learning": warm_sched.learning_dispatches,
+            "cuda_runs": warm_res.version_counts["matmul_tile_cublas"].get(
+                "matmul_tile_cuda", 0
+            ),
+        },
+    }
+
+
+def test_ablation_hints(benchmark):
+    out = run_once(benchmark, sweep)
+    table = format_table(
+        ["run", "GFLOP/s", "learning dispatches", "hand-CUDA runs"],
+        [[k, v["gflops"], v["learning"], v["cuda_runs"]] for k, v in out.items()],
+        title="Ablation — XML hints warm-start (matmul-hyb, 8 SMP + 2 GPU)",
+    )
+    emit("ablation_hints", table)
+
+    assert out["warm"]["learning"] == 0
+    assert out["cold"]["learning"] > 0
+    # warm run never wastes a dispatch on the slower hand-coded kernel
+    assert out["warm"]["cuda_runs"] == 0
+    assert out["warm"]["gflops"] >= out["cold"]["gflops"] * 0.98

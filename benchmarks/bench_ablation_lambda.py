@@ -1,0 +1,54 @@
+"""Ablation — the learning threshold λ (§IV-B footnote 4).
+
+"We force the scheduler to run each task version at least λ times ...
+This threshold can be configured by the user."  Sweeps λ on the hybrid
+matmul: a tiny λ risks unreliable means, a huge λ forces many slow-
+version runs; the sweep shows the flat-then-degrading curve and that the
+learning share of dispatches scales with λ.
+"""
+
+from repro.apps.matmul import MatmulApp
+from repro.core.versioning import VersioningScheduler
+from repro.analysis.report import format_table
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.topology import minotauro_node
+
+from figutils import emit, run_once
+
+LAMBDAS = (1, 3, 5, 10, 25)
+
+
+def sweep():
+    rows = []
+    for lam in LAMBDAS:
+        app = MatmulApp(n_tiles=12, variant="hyb")
+        machine = minotauro_node(8, 2, noise_cv=0.02, seed=1)
+        app.register_cost_models(machine)
+        sched = VersioningScheduler(lam=lam)
+        rt = OmpSsRuntime(machine, sched)
+        with rt:
+            app.master(rt)
+        res = rt.result()
+        rows.append(
+            {
+                "lambda": lam,
+                "gflops": res.gflops(app.total_flops()),
+                "learning_dispatches": sched.learning_dispatches,
+            }
+        )
+    return rows
+
+
+def test_ablation_lambda(benchmark):
+    rows = run_once(benchmark, sweep)
+    table = format_table(
+        ["lambda", "GFLOP/s", "learning dispatches"],
+        [[r["lambda"], r["gflops"], r["learning_dispatches"]] for r in rows],
+        title="Ablation — learning threshold λ (matmul-hyb, 8 SMP + 2 GPU)",
+    )
+    emit("ablation_lambda", table)
+
+    by = {r["lambda"]: r for r in rows}
+    assert by[25]["learning_dispatches"] > by[1]["learning_dispatches"]
+    # a huge λ wastes work on the 60x-slower SMP version
+    assert by[25]["gflops"] < by[3]["gflops"]

@@ -1,0 +1,44 @@
+"""Extension — OmpSs@cluster scaling.
+
+The paper's introduction claims OmpSs runs applications on "clusters of
+SMPs and/or GPUs transparently"; its evaluation stays on one node.  This
+bench takes the hybrid matmul across 1/2/4 simulated nodes: aggregate
+throughput must grow with nodes (the versioning scheduler discovers the
+remote devices) while staying sub-linear (every off-node tile crosses
+the interconnect, staged through both hosts — multi-hop transfers).
+"""
+
+from repro.analysis.report import format_table
+from repro.apps.matmul import MatmulApp
+from repro.sim.topology import cluster_machine
+
+from figutils import emit, run_once
+
+
+def sweep():
+    rows = []
+    for nodes in (1, 2, 4):
+        machine = cluster_machine(
+            n_nodes=nodes, smp_per_node=4, gpus_per_node=2, noise_cv=0.02, seed=1
+        )
+        app = MatmulApp(n_tiles=12, variant="hyb")
+        res = app.run(machine, "versioning")
+        tx = res.run.transfer_stats
+        rows.append([nodes, res.gflops, tx.total_bytes / 1024**3])
+    return rows
+
+
+def test_extension_cluster(benchmark):
+    rows = run_once(benchmark, sweep)
+    table = format_table(
+        ["nodes", "GFLOP/s", "data moved (GB)"],
+        rows,
+        title="Extension — hybrid matmul on 1/2/4 cluster nodes (versioning)",
+    )
+    emit("extension_cluster", table)
+
+    by = {r[0]: r for r in rows}
+    assert by[2][1] > by[1][1]            # more nodes -> more throughput
+    assert by[4][1] > by[2][1]
+    assert by[4][1] < 4 * by[1][1]        # ... but sub-linear (network)
+    assert by[4][2] > by[1][2]            # and more data on the wire

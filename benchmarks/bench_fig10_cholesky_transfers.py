@@ -1,0 +1,35 @@
+"""Figure 10 — data transferred for Cholesky.
+
+Shape: the SMP-potrf configuration moves the diagonal blocks back and
+forth every iteration (more Input Tx and more total traffic than the
+GPU-only runs); the dependency-aware GPU run pays peer-GPU traffic that
+the affinity scheduler partly avoids.
+"""
+
+from repro.analysis.experiments import fig10_cholesky_transfers
+from repro.analysis.report import format_table
+
+from figutils import emit, run_once
+
+
+def test_fig10_cholesky_transfers(benchmark):
+    rows = run_once(
+        benchmark, fig10_cholesky_transfers, (2, 8), (2,), n_blocks=16
+    )
+    table = format_table(
+        ["smp", "gpus", "config", "Input Tx", "Output Tx", "Device Tx", "total"],
+        [[r["smp"], r["gpus"], r["config"], r["input_tx"], r["output_tx"],
+          r["device_tx"], r["total"]] for r in rows],
+        title="Figure 10 — Cholesky data transferred (GB)",
+        floatfmt="{:.2f}",
+    )
+    emit("fig10_cholesky_transfers", table)
+
+    for smp in (2, 8):
+        smp_row = next(r for r in rows if r["config"] == "SMP-dep" and r["smp"] == smp)
+        gpu_row = next(r for r in rows if r["config"] == "GPU-dep" and r["smp"] == smp)
+        aff_row = next(r for r in rows if r["config"] == "GPU-aff" and r["smp"] == smp)
+        assert smp_row["input_tx"] > gpu_row["input_tx"]
+        assert smp_row["total"] > gpu_row["total"]
+        # affinity exploits locality at least as well as dependency-aware
+        assert aff_row["device_tx"] <= gpu_row["device_tx"] * 1.05

@@ -1,0 +1,33 @@
+"""Figure 11 — Cholesky task statistics for the versioning scheduler.
+
+Percentage of potrf executions per version under potrf-hyb-ver.  Shape:
+"the scheduler decides to assign all the work to the GPUs because they
+become the earliest executors" — the SMP share is only the λ learning
+runs (3 of 16 potrf instances ~ 19%).
+"""
+
+from repro.analysis.experiments import fig11_cholesky_task_stats
+from repro.analysis.report import stacked_percentages
+
+from figutils import emit, run_once
+
+
+def test_fig11_cholesky_taskstats(benchmark):
+    rows = run_once(
+        benchmark, fig11_cholesky_task_stats, (2, 4, 8, 12), (2,), n_blocks=16
+    )
+    series = {
+        f"{r['smp']}smp+{r['gpus']}gpu": {k: r[k] for k in ("GPU", "SMP")}
+        for r in rows
+    }
+    chart = stacked_percentages(
+        series,
+        title="Figure 11 — Cholesky potrf versions run (versioning scheduler)",
+        order=("GPU", "SMP"),
+    )
+    emit("fig11_cholesky_taskstats", chart)
+
+    for r in rows:
+        assert r["GPU"] > r["SMP"]
+        # SMP share = λ learning runs out of 16 potrf instances
+        assert r["SMP"] <= 100.0 * 4 / 16

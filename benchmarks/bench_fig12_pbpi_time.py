@@ -1,0 +1,45 @@
+"""Figure 12 — PBPI execution time (lower is better).
+
+pbpi-smp, pbpi-gpu and pbpi-hyb(-ver) on the 500 MB synthetic dataset.
+Shape: "pbpi-smp versions run faster than the pbpi-gpu versions" (the
+SMP-only loop 3 forces data back each generation), and the versioning
+scheduler "is able to find the appropriate balance between SMP and GPU
+execution" — pbpi-hyb is the fastest.
+"""
+
+from repro.analysis.experiments import fig12_pbpi_time
+from repro.analysis.report import bar_chart, format_table
+
+from figutils import emit, run_once
+
+GENERATIONS = 40
+
+
+def test_fig12_pbpi_time(benchmark):
+    rows = run_once(
+        benchmark, fig12_pbpi_time, (2, 4, 8, 12), (2,), generations=GENERATIONS
+    )
+    table = format_table(
+        ["smp", "gpus", "pbpi-smp (s)", "pbpi-gpu (s)", "pbpi-hyb (s)"],
+        [[r["smp"], r["gpus"], r["pbpi-smp"], r["pbpi-gpu"], r["pbpi-hyb"]]
+         for r in rows],
+        title="Figure 12 — PBPI execution time (s, lower is better)",
+        floatfmt="{:.2f}",
+    )
+    chart = bar_chart(
+        {f"{r['smp']}smp {k}": r[k] for r in rows
+         for k in ("pbpi-smp", "pbpi-gpu", "pbpi-hyb")},
+        unit="s",
+    )
+    emit("fig12_pbpi_time", table + "\n\n" + chart)
+
+    for r in rows:
+        if r["smp"] >= 8:
+            assert r["pbpi-smp"] < r["pbpi-gpu"]
+        assert r["pbpi-hyb"] < r["pbpi-gpu"]
+        assert r["pbpi-hyb"] < r["pbpi-smp"]
+    # pbpi-smp scales with SMP workers; pbpi-gpu does not
+    smp_times = [r["pbpi-smp"] for r in rows]
+    assert smp_times[0] > smp_times[-1]
+    gpu_times = [r["pbpi-gpu"] for r in rows]
+    assert max(gpu_times) / min(gpu_times) < 1.05

@@ -1,0 +1,32 @@
+"""Figure 13 — data transferred for PBPI.
+
+Shape: pbpi-smp transfers nothing ("data always stay in the host
+memory"); pbpi-gpu pays the full likelihood traffic every generation;
+pbpi-hyb transfers slightly less than pbpi-gpu overall but converts
+serialised end-of-phase copies into overlapped mid-phase ones.
+"""
+
+from repro.analysis.experiments import fig13_pbpi_transfers
+from repro.analysis.report import format_table
+
+from figutils import emit, run_once
+
+
+def test_fig13_pbpi_transfers(benchmark):
+    rows = run_once(benchmark, fig13_pbpi_transfers, (4, 8), (2,), generations=40)
+    table = format_table(
+        ["smp", "gpus", "config", "Input Tx", "Output Tx", "Device Tx", "total"],
+        [[r["smp"], r["gpus"], r["config"], r["input_tx"], r["output_tx"],
+          r["device_tx"], r["total"]] for r in rows],
+        title="Figure 13 — PBPI data transferred (GB)",
+        floatfmt="{:.2f}",
+    )
+    emit("fig13_pbpi_transfers", table)
+
+    for smp in (4, 8):
+        s = next(r for r in rows if r["config"] == "SMP-dep" and r["smp"] == smp)
+        g = next(r for r in rows if r["config"] == "GPU-dep" and r["smp"] == smp)
+        h = next(r for r in rows if r["config"] == "HYB-ver" and r["smp"] == smp)
+        assert s["total"] == 0.0
+        assert g["output_tx"] > 0
+        assert 0 < h["total"] <= g["total"] * 1.2

@@ -1,0 +1,31 @@
+"""Figure 14 — PBPI loop-1 task statistics (versioning scheduler).
+
+Shape: "For the first loop, the versioning scheduler decides to send it
+most of the times to the GPU" — the GPU version dominates, the SMP share
+is the λ learning runs plus occasional load-spill.
+"""
+
+from repro.analysis.experiments import fig14_pbpi_loop1_stats
+from repro.analysis.report import stacked_percentages
+
+from figutils import emit, run_once
+
+
+def test_fig14_pbpi_loop1_stats(benchmark):
+    rows = run_once(
+        benchmark, fig14_pbpi_loop1_stats, (2, 4, 8, 12), (2,), generations=40
+    )
+    series = {
+        f"{r['smp']}smp+{r['gpus']}gpu": {k: r[k] for k in ("GPU", "SMP")}
+        for r in rows
+    }
+    chart = stacked_percentages(
+        series,
+        title="Figure 14 — PBPI loop-1 versions run (versioning scheduler)",
+        order=("GPU", "SMP"),
+    )
+    emit("fig14_pbpi_loop1_stats", chart)
+
+    for r in rows:
+        assert r["GPU"] > 85.0
+        assert r["SMP"] > 0.0  # learning runs are visible

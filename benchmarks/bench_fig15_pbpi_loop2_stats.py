@@ -1,0 +1,33 @@
+"""Figure 15 — PBPI loop-2 task statistics (versioning scheduler).
+
+Shape: "the execution of tasks of the second loop is shared between GPU
+and SMP ... the SMP version is run many times and this helps balancing
+the trade-off between sending data back and forth and running the tasks
+on SMP workers" (the SMP version is 3-4x slower, but transfer pressure
+makes host execution worthwhile).
+"""
+
+from repro.analysis.experiments import fig15_pbpi_loop2_stats
+from repro.analysis.report import stacked_percentages
+
+from figutils import emit, run_once
+
+
+def test_fig15_pbpi_loop2_stats(benchmark):
+    rows = run_once(
+        benchmark, fig15_pbpi_loop2_stats, (2, 4, 8, 12), (2,), generations=40
+    )
+    series = {
+        f"{r['smp']}smp+{r['gpus']}gpu": {k: r[k] for k in ("GPU", "SMP")}
+        for r in rows
+    }
+    chart = stacked_percentages(
+        series,
+        title="Figure 15 — PBPI loop-2 versions run (versioning scheduler)",
+        order=("GPU", "SMP"),
+    )
+    emit("fig15_pbpi_loop2_stats", chart)
+
+    for r in rows:
+        assert r["GPU"] > 5.0
+        assert r["SMP"] > 20.0  # the split the paper describes

@@ -1,0 +1,48 @@
+"""Figure 6 — matrix multiplication performance.
+
+Sweeps SMP worker counts and GPU counts at the paper's problem size
+(16x16 grid of 1024^2 double tiles, 4096 gemm tasks) for:
+
+* mm-gpu under the affinity scheduler (mm-gpu-aff),
+* mm-gpu under the dependency-aware scheduler (mm-gpu-dep),
+* mm-hyb under the versioning scheduler (mm-hyb-ver).
+
+Shape targets (§V-B1): mm-gpu scales linearly 1->2 GPUs and is flat in
+SMP threads; mm-hyb-ver gains with SMP workers and overtakes mm-gpu.
+"""
+
+from repro.analysis.experiments import fig6_matmul_performance
+from repro.analysis.report import format_table
+
+from figutils import emit, run_once
+
+SMP_COUNTS = (1, 2, 4, 8, 12)
+GPU_COUNTS = (1, 2)
+
+
+def test_fig6_matmul_performance(benchmark):
+    rows = run_once(
+        benchmark, fig6_matmul_performance, SMP_COUNTS, GPU_COUNTS, n_tiles=16
+    )
+    table = format_table(
+        ["smp", "gpus", "mm-gpu-aff", "mm-gpu-dep", "mm-hyb-ver"],
+        [[r["smp"], r["gpus"], r["mm-gpu-aff"], r["mm-gpu-dep"], r["mm-hyb-ver"]]
+         for r in rows],
+        title="Figure 6 — matmul performance (GFLOP/s, higher is better)",
+    )
+    emit("fig6_matmul_perf", table)
+
+    # --- shape checks -------------------------------------------------
+    one_gpu = [r for r in rows if r["gpus"] == 1]
+    two_gpu = [r for r in rows if r["gpus"] == 2]
+    # linear GPU scaling of mm-gpu
+    assert two_gpu[0]["mm-gpu-dep"] / one_gpu[0]["mm-gpu-dep"] > 1.8
+    # mm-gpu flat in SMP threads
+    vals = [r["mm-gpu-dep"] for r in one_gpu]
+    assert max(vals) / min(vals) < 1.02
+    # hybrid overtakes with many SMP workers
+    many = next(r for r in two_gpu if r["smp"] == SMP_COUNTS[-1])
+    assert many["mm-hyb-ver"] > many["mm-gpu-dep"]
+    # hybrid improves monotonically-ish from 1 to 12 workers
+    few = next(r for r in two_gpu if r["smp"] == 1)
+    assert many["mm-hyb-ver"] > few["mm-hyb-ver"]

@@ -1,0 +1,36 @@
+"""Figure 7 — data transferred for matrix multiplication.
+
+GA = mm-gpu + affinity, GD = mm-gpu + dependency-aware, HV = mm-hyb +
+versioning, classified into Input/Output/Device Tx.  Shape: HV moves
+more data than GA/GD (SMP workers share partial results) and is the
+only configuration with device-to-device traffic.
+"""
+
+from repro.analysis.experiments import fig7_matmul_transfers
+from repro.analysis.report import format_table
+
+from figutils import emit, run_once
+
+
+def test_fig7_matmul_transfers(benchmark):
+    rows = run_once(
+        benchmark, fig7_matmul_transfers, (1, 4, 8, 12), (1, 2), n_tiles=16
+    )
+    table = format_table(
+        ["smp", "gpus", "config", "Input Tx", "Output Tx", "Device Tx", "total"],
+        [[r["smp"], r["gpus"], r["config"], r["input_tx"], r["output_tx"],
+          r["device_tx"], r["total"]] for r in rows],
+        title="Figure 7 — matmul data transferred (GB)",
+        floatfmt="{:.2f}",
+    )
+    emit("fig7_matmul_transfers", table)
+
+    for smp in (4, 8, 12):
+        hv = next(r for r in rows if r["config"] == "HV" and r["smp"] == smp
+                  and r["gpus"] == 2)
+        gd = next(r for r in rows if r["config"] == "GD" and r["smp"] == smp
+                  and r["gpus"] == 2)
+        assert hv["total"] > gd["total"]
+    two_gpu_hv = [r for r in rows if r["config"] == "HV" and r["gpus"] == 2]
+    assert any(r["device_tx"] > 0 for r in two_gpu_hv)
+    assert all(r["device_tx"] == 0 for r in rows if r["config"] in ("GA", "GD"))

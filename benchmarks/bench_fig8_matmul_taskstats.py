@@ -1,0 +1,36 @@
+"""Figure 8 — matmul task statistics for the versioning scheduler.
+
+Percentage of task executions per version (CUBLAS / hand-coded CUDA /
+SMP-CBLAS) for mm-hyb-ver across worker configurations.  Shape: CUBLAS
+dominates; the CUDA version runs only during learning ("its portion ...
+is almost invisible"); the SMP share grows with worker count and is
+larger with one GPU than with two.
+"""
+
+from repro.analysis.experiments import fig8_matmul_task_stats
+from repro.analysis.report import stacked_percentages
+
+from figutils import emit, run_once
+
+
+def test_fig8_matmul_taskstats(benchmark):
+    rows = run_once(
+        benchmark, fig8_matmul_task_stats, (1, 2, 4, 8, 12), (1, 2), n_tiles=16
+    )
+    series = {
+        f"{r['smp']}smp+{r['gpus']}gpu": {k: r[k] for k in ("CUBLAS", "CUDA", "SMP")}
+        for r in rows
+    }
+    chart = stacked_percentages(
+        series,
+        title="Figure 8 — matmul task versions run (versioning scheduler)",
+        order=("CUBLAS", "CUDA", "SMP"),
+    )
+    emit("fig8_matmul_taskstats", chart)
+
+    for r in rows:
+        assert r["CUBLAS"] > 75.0
+        assert r["CUDA"] < 5.0
+    by = {(r["smp"], r["gpus"]): r for r in rows}
+    assert by[(12, 2)]["SMP"] > by[(1, 2)]["SMP"]       # grows with workers
+    assert by[(8, 1)]["SMP"] > by[(8, 2)]["SMP"]        # larger with one GPU

@@ -1,0 +1,33 @@
+"""Figure 9 — Cholesky factorization performance.
+
+potrf-smp (CPU-only potrf), potrf-gpu under affinity and dependency-
+aware, and potrf-hyb under versioning, at the paper's scale (16x16 grid
+of 2048^2 single-precision blocks, 816 tasks).  Shape: potrf-smp is the
+slowest in all cases; potrf-hyb-ver pays a visible learning cost (few
+potrf instances) but stays within a modest factor of potrf-gpu.
+"""
+
+from repro.analysis.experiments import fig9_cholesky_performance
+from repro.analysis.report import format_table
+
+from figutils import emit, run_once
+
+
+def test_fig9_cholesky_performance(benchmark):
+    rows = run_once(
+        benchmark, fig9_cholesky_performance, (2, 4, 8, 12), (2,), n_blocks=16
+    )
+    table = format_table(
+        ["smp", "gpus", "potrf-smp-dep", "potrf-gpu-aff", "potrf-gpu-dep",
+         "potrf-hyb-ver"],
+        [[r["smp"], r["gpus"], r["potrf-smp-dep"], r["potrf-gpu-aff"],
+          r["potrf-gpu-dep"], r["potrf-hyb-ver"]] for r in rows],
+        title="Figure 9 — Cholesky performance (GFLOP/s, higher is better)",
+    )
+    emit("fig9_cholesky_perf", table)
+
+    for r in rows:
+        assert r["potrf-smp-dep"] < r["potrf-gpu-aff"]
+        assert r["potrf-smp-dep"] < r["potrf-gpu-dep"]
+        assert r["potrf-smp-dep"] < r["potrf-hyb-ver"]
+        assert r["potrf-hyb-ver"] > 0.6 * r["potrf-gpu-dep"]

@@ -1,0 +1,50 @@
+"""Scale stress — paper-sized task counts.
+
+§V-B3: PBPI runs "hundreds of thousands of tasks ... for the second
+loop".  This bench drives the runtime through ~100k tasks (3000 MCMC
+generations over 16 blocks) under the versioning scheduler and checks
+that the simulation sustains a healthy task throughput and that the
+learned placement stays consistent with the small-scale runs (loop 1
+GPU-dominant, loop 2 shared).
+"""
+
+from repro.analysis.metrics import version_percentages
+from repro.analysis.report import format_table
+from repro.apps.pbpi import PBPI_LOOP_LEGENDS, PBPIApp
+from repro.sim.topology import minotauro_node
+
+from figutils import emit, run_once
+
+GENERATIONS = 3000
+BLOCKS = 16
+
+
+def run():
+    app = PBPIApp(generations=GENERATIONS, n_blocks=BLOCKS, variant="hyb")
+    machine = minotauro_node(8, 2, noise_cv=0.02, seed=1)
+    res = app.run(machine, "versioning")
+    loop1 = version_percentages(res.run, "pbpi_loop1_gpu", PBPI_LOOP_LEGENDS["loop1"])
+    loop2 = version_percentages(res.run, "pbpi_loop2_gpu", PBPI_LOOP_LEGENDS["loop2"])
+    return {
+        "tasks": res.run.tasks_completed,
+        "simulated_s": res.makespan,
+        "loop1_gpu_pct": loop1.get("GPU", 0.0),
+        "loop2_gpu_pct": loop2.get("GPU", 0.0),
+        "loop2_smp_pct": loop2.get("SMP", 0.0),
+    }
+
+
+def test_scale_stress(benchmark):
+    out = run_once(benchmark, run)
+    table = format_table(
+        ["tasks", "simulated (s)", "loop1 GPU %", "loop2 GPU %", "loop2 SMP %"],
+        [[out["tasks"], out["simulated_s"], out["loop1_gpu_pct"],
+          out["loop2_gpu_pct"], out["loop2_smp_pct"]]],
+        title=f"Scale stress — PBPI, {GENERATIONS} generations x {BLOCKS} blocks",
+    )
+    emit("scale_stress", table)
+
+    assert out["tasks"] == GENERATIONS * (2 * BLOCKS + 1)
+    # placement learned at scale matches the small-scale figures
+    assert out["loop1_gpu_pct"] > 90.0
+    assert out["loop2_smp_pct"] > 20.0

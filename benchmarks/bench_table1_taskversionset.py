@@ -1,0 +1,23 @@
+"""Table I — the TaskVersionSet data structure.
+
+Runs a hybrid matmul with two different tile sizes under the versioning
+scheduler and renders the scheduler's live profile table in the layout
+of the paper's Table I: one TaskVersionSet, two DataSetSize groups, a
+<VersionId, ExecTime, #Exec> row per implementation.
+"""
+
+from repro.analysis.experiments import table1_taskversionset
+
+from figutils import emit, run_once
+
+
+def test_table1_taskversionset(benchmark):
+    table, rendered = run_once(benchmark, table1_taskversionset)
+    emit("table1_taskversionset", "Table I — TaskVersionSet structure\n" + rendered)
+
+    vset = table.version_set("matmul_tile_cublas")
+    assert len(vset) == 2  # two data-set-size groups, like task1 in Table I
+    for grp in vset.groups():
+        executed = [p for p in grp.versions() if p.executions > 0]
+        assert len(executed) == 3  # three implementations profiled per group
+        assert all(p.mean_time is not None for p in executed)

@@ -1,0 +1,26 @@
+"""Shared helpers for the figure benchmarks.
+
+Each bench regenerates one table/figure of the paper: it runs the
+corresponding experiment driver under ``pytest-benchmark`` (one round —
+these are full simulations, not microbenchmarks), renders the result in
+the paper's layout, writes it to ``benchmarks/results/<name>.txt`` and
+echoes it to stdout (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Persist a rendered figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[written to benchmarks/results/{name}.txt]")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""OmpSs@cluster: the same application across multiple nodes.
+
+The paper's introduction notes that OmpSs can run applications on
+"clusters of SMPs and/or GPUs transparently from the application point
+of view".  This example scales the hybrid matmul — unchanged — from one
+simulated MinoTauro node to four, with all inter-node data movement
+routed through the host memories over a 3 GB/s interconnect.
+
+Watch two things: aggregate GFLOP/s grows sub-linearly (the network
+throttles the far nodes), and the transfer mix shifts — cross-node hops
+show up as extra Input/Device Tx that a single node never pays.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro import cluster_machine
+from repro.analysis.metrics import transfer_breakdown_gb
+from repro.analysis.report import format_table
+from repro.apps.matmul import MatmulApp
+
+
+def main() -> None:
+    rows = []
+    for nodes in (1, 2, 4):
+        machine = cluster_machine(
+            n_nodes=nodes, smp_per_node=4, gpus_per_node=2, noise_cv=0.02, seed=1
+        )
+        app = MatmulApp(n_tiles=10, variant="hyb")
+        res = app.run(machine, "versioning")
+        tx = transfer_breakdown_gb(res.run)
+        rows.append([
+            machine.name,
+            res.gflops,
+            tx["input_tx"],
+            tx["output_tx"],
+            tx["device_tx"],
+        ])
+
+    print(format_table(
+        ["machine", "GFLOP/s", "Input Tx GB", "Output Tx GB", "Device Tx GB"],
+        rows,
+        title="Hybrid matmul under the versioning scheduler, 1 -> 4 nodes",
+    ))
+    print()
+    print("Scaling is sub-linear: every tile consumed off-node crosses the")
+    print("3 GB/s interconnect (and is staged through both host memories),")
+    print("so the scheduler keeps most of the work near the data while the")
+    print("extra nodes contribute what the network can feed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""PBPI: when the GPU is *not* the answer (§V-B3).
+
+PBPI's third computational loop only has an SMP implementation, so any
+likelihood data computed on a GPU must cross PCIe back to the host every
+MCMC generation.  Sending loops 1 and 2 wholesale to the GPUs (pbpi-gpu)
+therefore loses to staying on the host (pbpi-smp); the versioning
+scheduler finds the balance — GPU-heavy loop 1, a GPU/SMP split for
+loop 2 — and beats both (Figure 12).
+
+Run:  python examples/pbpi_mcmc.py [--generations 30]
+"""
+
+import argparse
+
+from repro import minotauro_node
+from repro.analysis.metrics import transfer_breakdown_gb, version_percentages
+from repro.analysis.report import bar_chart, format_table, stacked_percentages
+from repro.apps.pbpi import PBPI_LOOP_LEGENDS, PBPIApp
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--generations", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    times = {}
+    tx_rows = []
+    loop1_split = {}
+    loop2_split = {}
+    for smp in (4, 8, 12):
+        for label, variant, sched in (
+            ("pbpi-smp", "smp", "dep"),
+            ("pbpi-gpu", "gpu", "dep"),
+            ("pbpi-hyb", "hyb", "versioning"),
+        ):
+            app = PBPIApp(generations=args.generations, variant=variant)
+            machine = minotauro_node(smp, 2, noise_cv=0.02, seed=args.seed)
+            res = app.run(machine, sched)
+            times[f"{label} ({smp} smp)"] = res.makespan
+            tx = transfer_breakdown_gb(res.run)
+            tx_rows.append([f"{smp}smp", label, tx["input_tx"], tx["output_tx"],
+                            tx["device_tx"]])
+            if variant == "hyb":
+                loop1_split[f"{smp} SMP"] = version_percentages(
+                    res.run, "pbpi_loop1_gpu", PBPI_LOOP_LEGENDS["loop1"]
+                )
+                loop2_split[f"{smp} SMP"] = version_percentages(
+                    res.run, "pbpi_loop2_gpu", PBPI_LOOP_LEGENDS["loop2"]
+                )
+
+    print(bar_chart(times, title="Figure 12 — PBPI execution time (s, lower is better)",
+                    unit="s"))
+    print()
+    print(format_table(
+        ["config", "run", "Input Tx", "Output Tx", "Device Tx"],
+        tx_rows,
+        title="Figure 13 — data transferred (GB)",
+        floatfmt="{:.2f}",
+    ))
+    print()
+    print(stacked_percentages(loop1_split, title="Figure 14 — loop 1 version split",
+                              order=("GPU", "SMP")))
+    print()
+    print(stacked_percentages(loop2_split, title="Figure 15 — loop 2 version split",
+                              order=("GPU", "SMP")))
+
+
+if __name__ == "__main__":
+    main()

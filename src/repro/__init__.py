@@ -1,0 +1,73 @@
+"""repro — Self-Adaptive OmpSs Tasks in Heterogeneous Environments.
+
+A from-scratch Python reproduction of Planas, Badia, Ayguadé & Labarta,
+*Self-Adaptive OmpSs Tasks in Heterogeneous Environments* (IPDPS 2013):
+an OmpSs-like task runtime whose **versioning scheduler** learns, at run
+time, which of several task implementations (SMP / GPU / ...) to run for
+each data-set size, executing on a deterministic discrete-event
+simulation of a heterogeneous node (SMP cores + GPUs + PCIe links).
+
+See ``examples/quickstart.py`` for a minimal runnable program, and
+``repro.apps`` for the paper's three evaluation applications (tiled
+matrix multiplication, Cholesky factorization, PBPI).
+"""
+
+from repro.runtime import (
+    AccessKind,
+    DataRegion,
+    OmpSsRuntime,
+    RunResult,
+    RuntimeConfig,
+    TaskDefinition,
+    TaskInstance,
+    TaskVersion,
+    clear_task_registry,
+    registered_tasks,
+    target,
+    task,
+)
+from repro.core import (
+    LocalityVersioningScheduler,
+    VersioningScheduler,
+    VersionProfileTable,
+    load_hints,
+    save_hints,
+)
+from repro.schedulers import (
+    AffinityScheduler,
+    DependencyAwareScheduler,
+    available_schedulers,
+    create_scheduler,
+)
+from repro.sim import Machine, MachineSpec, cluster_machine, minotauro_node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "DataRegion",
+    "OmpSsRuntime",
+    "RunResult",
+    "RuntimeConfig",
+    "TaskDefinition",
+    "TaskInstance",
+    "TaskVersion",
+    "task",
+    "target",
+    "clear_task_registry",
+    "registered_tasks",
+    "VersioningScheduler",
+    "LocalityVersioningScheduler",
+    "VersionProfileTable",
+    "load_hints",
+    "save_hints",
+    "AffinityScheduler",
+    "DependencyAwareScheduler",
+    "available_schedulers",
+    "create_scheduler",
+    "Machine",
+    "MachineSpec",
+    "cluster_machine",
+    "minotauro_node",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Analysis & reporting: metrics, experiment drivers, table rendering.
+
+* :mod:`repro.analysis.metrics` — derived metrics from
+  :class:`~repro.runtime.runtime.RunResult` (version splits, transfer
+  breakdowns, utilisation),
+* :mod:`repro.analysis.experiments` — one driver per paper table/figure;
+  each returns structured rows that the benches print and the tests
+  assert shape properties on,
+* :mod:`repro.analysis.report` — plain-text tables and bar charts, so
+  the benches' output visually parallels the paper's figures.
+"""
+
+from repro.analysis.metrics import (
+    transfer_breakdown_gb,
+    version_percentages,
+    worker_utilisation,
+)
+from repro.analysis.report import bar_chart, format_table
+from repro.analysis.traceexport import (
+    critical_worker,
+    overlap_fraction,
+    trace_from_csv,
+    trace_from_json,
+    trace_to_csv,
+    trace_to_json,
+    utilisation_timeline,
+)
+from repro.analysis import experiments
+
+__all__ = [
+    "transfer_breakdown_gb",
+    "version_percentages",
+    "worker_utilisation",
+    "bar_chart",
+    "format_table",
+    "trace_to_csv",
+    "trace_from_csv",
+    "trace_to_json",
+    "trace_from_json",
+    "utilisation_timeline",
+    "overlap_fraction",
+    "critical_worker",
+    "experiments",
+]

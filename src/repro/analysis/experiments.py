@@ -1,0 +1,344 @@
+"""One driver per paper table/figure.
+
+Each ``figN_*`` function runs the corresponding experiment on simulated
+MinoTauro nodes and returns structured rows; the benches in
+``benchmarks/`` print them, the integration tests assert the paper's
+qualitative *shape* claims on them, and ``EXPERIMENTS.md`` records them.
+
+All drivers take the sweep parameters explicitly so tests can shrink
+them; defaults are sized to finish in seconds while keeping the paper's
+problem structure (matmul keeps the full 16x16 tile grid = 4096 tasks;
+Cholesky keeps the full 16x16 block grid = 816 tasks; PBPI keeps the
+500 MB data set with a reduced generation count).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.analysis.metrics import transfer_breakdown_gb, version_percentages
+from repro.apps.cholesky import CholeskyApp
+from repro.apps.cholesky import VERSION_LEGEND as CHOL_LEGEND
+from repro.apps.matmul import MatmulApp
+from repro.apps.matmul import VERSION_LEGEND as MM_LEGEND
+from repro.apps.pbpi import PBPIApp
+from repro.core.profile import VersionProfileTable
+from repro.core.versioning import VersioningScheduler
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.topology import minotauro_node
+
+Row = dict[str, Any]
+
+DEFAULT_SMP_COUNTS = (1, 2, 4, 8, 12)
+DEFAULT_GPU_COUNTS = (1, 2)
+DEFAULT_SEED = 1
+DEFAULT_NOISE = 0.02
+
+PBPI_LOOP1_LEGEND = {"pbpi_loop1_gpu": "GPU", "pbpi_loop1_smp": "SMP"}
+PBPI_LOOP2_LEGEND = {"pbpi_loop2_gpu": "GPU", "pbpi_loop2_smp": "SMP"}
+
+
+def _machine(smp: int, gpus: int, seed: int, noise: float):
+    return minotauro_node(smp, gpus, noise_cv=noise, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Matrix multiplication (Figures 6, 7, 8)
+# ----------------------------------------------------------------------
+def fig6_matmul_performance(
+    smp_counts: Sequence[int] = DEFAULT_SMP_COUNTS,
+    gpu_counts: Sequence[int] = DEFAULT_GPU_COUNTS,
+    *,
+    n_tiles: int = 16,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """GFLOP/s of mm-gpu-aff / mm-gpu-dep / mm-hyb-ver (Figure 6)."""
+    rows: list[Row] = []
+    series = [("mm-gpu-aff", "gpu", "affinity"), ("mm-gpu-dep", "gpu", "dep"),
+              ("mm-hyb-ver", "hyb", "versioning")]
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            row: Row = {"smp": smp, "gpus": gpus}
+            for label, variant, sched in series:
+                app = MatmulApp(n_tiles=n_tiles, variant=variant)
+                res = app.run(_machine(smp, gpus, seed, noise), sched)
+                row[label] = res.gflops
+            rows.append(row)
+    return rows
+
+
+def fig7_matmul_transfers(
+    smp_counts: Sequence[int] = (1, 4, 8, 12),
+    gpu_counts: Sequence[int] = DEFAULT_GPU_COUNTS,
+    *,
+    n_tiles: int = 16,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """Data transferred (GB) for GA / GD / HV configurations (Figure 7)."""
+    rows: list[Row] = []
+    series = [("GA", "gpu", "affinity"), ("GD", "gpu", "dep"), ("HV", "hyb", "versioning")]
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            for label, variant, sched in series:
+                app = MatmulApp(n_tiles=n_tiles, variant=variant)
+                res = app.run(_machine(smp, gpus, seed, noise), sched)
+                rows.append(
+                    {"smp": smp, "gpus": gpus, "config": label,
+                     **transfer_breakdown_gb(res.run)}
+                )
+    return rows
+
+
+def fig8_matmul_task_stats(
+    smp_counts: Sequence[int] = (1, 2, 4, 8, 12),
+    gpu_counts: Sequence[int] = DEFAULT_GPU_COUNTS,
+    *,
+    n_tiles: int = 16,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """% of matmul task executions per version under versioning (Figure 8)."""
+    rows: list[Row] = []
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            app = MatmulApp(n_tiles=n_tiles, variant="hyb")
+            res = app.run(_machine(smp, gpus, seed, noise), "versioning")
+            shares = version_percentages(res.run, "matmul_tile_cublas", MM_LEGEND)
+            rows.append({"smp": smp, "gpus": gpus,
+                         **{k: shares.get(k, 0.0) for k in ("CUBLAS", "CUDA", "SMP")}})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Cholesky factorization (Figures 9, 10, 11)
+# ----------------------------------------------------------------------
+def fig9_cholesky_performance(
+    smp_counts: Sequence[int] = (2, 4, 8, 12),
+    gpu_counts: Sequence[int] = (2,),
+    *,
+    n_blocks: int = 16,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """GFLOP/s of potrf-smp / potrf-gpu (aff, dep) / potrf-hyb-ver (Figure 9)."""
+    rows: list[Row] = []
+    series = [
+        ("potrf-smp-dep", "smp", "dep"),
+        ("potrf-gpu-aff", "gpu", "affinity"),
+        ("potrf-gpu-dep", "gpu", "dep"),
+        ("potrf-hyb-ver", "hyb", "versioning"),
+    ]
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            row: Row = {"smp": smp, "gpus": gpus}
+            for label, variant, sched in series:
+                app = CholeskyApp(n_blocks=n_blocks, variant=variant)
+                res = app.run(_machine(smp, gpus, seed, noise), sched)
+                row[label] = res.gflops
+            rows.append(row)
+    return rows
+
+
+def fig10_cholesky_transfers(
+    smp_counts: Sequence[int] = (2, 8),
+    gpu_counts: Sequence[int] = (2,),
+    *,
+    n_blocks: int = 16,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """Data transferred (GB) per Cholesky configuration (Figure 10)."""
+    rows: list[Row] = []
+    series = [
+        ("SMP-dep", "smp", "dep"),
+        ("GPU-aff", "gpu", "affinity"),
+        ("GPU-dep", "gpu", "dep"),
+        ("HYB-ver", "hyb", "versioning"),
+    ]
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            for label, variant, sched in series:
+                app = CholeskyApp(n_blocks=n_blocks, variant=variant)
+                res = app.run(_machine(smp, gpus, seed, noise), sched)
+                rows.append(
+                    {"smp": smp, "gpus": gpus, "config": label,
+                     **transfer_breakdown_gb(res.run)}
+                )
+    return rows
+
+
+def fig11_cholesky_task_stats(
+    smp_counts: Sequence[int] = (2, 4, 8, 12),
+    gpu_counts: Sequence[int] = (2,),
+    *,
+    n_blocks: int = 16,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """% of potrf executions per version under versioning (Figure 11)."""
+    rows: list[Row] = []
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            app = CholeskyApp(n_blocks=n_blocks, variant="hyb")
+            res = app.run(_machine(smp, gpus, seed, noise), "versioning")
+            shares = version_percentages(res.run, "potrf_magma", CHOL_LEGEND)
+            rows.append({"smp": smp, "gpus": gpus,
+                         **{k: shares.get(k, 0.0) for k in ("GPU", "SMP")}})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# PBPI (Figures 12, 13, 14, 15)
+# ----------------------------------------------------------------------
+def fig12_pbpi_time(
+    smp_counts: Sequence[int] = (2, 4, 8, 12),
+    gpu_counts: Sequence[int] = (2,),
+    *,
+    generations: int = 30,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """PBPI execution time (s, lower is better) per variant (Figure 12)."""
+    rows: list[Row] = []
+    series = [("pbpi-smp", "smp", "dep"), ("pbpi-gpu", "gpu", "dep"),
+              ("pbpi-hyb", "hyb", "versioning")]
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            row: Row = {"smp": smp, "gpus": gpus}
+            for label, variant, sched in series:
+                app = PBPIApp(generations=generations, variant=variant)
+                res = app.run(_machine(smp, gpus, seed, noise), sched)
+                row[label] = res.makespan
+            rows.append(row)
+    return rows
+
+
+def fig13_pbpi_transfers(
+    smp_counts: Sequence[int] = (4, 8),
+    gpu_counts: Sequence[int] = (2,),
+    *,
+    generations: int = 30,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """PBPI data transferred (GB) per variant (Figure 13)."""
+    rows: list[Row] = []
+    series = [("SMP-dep", "smp", "dep"), ("GPU-dep", "gpu", "dep"),
+              ("HYB-ver", "hyb", "versioning")]
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            for label, variant, sched in series:
+                app = PBPIApp(generations=generations, variant=variant)
+                res = app.run(_machine(smp, gpus, seed, noise), sched)
+                rows.append(
+                    {"smp": smp, "gpus": gpus, "config": label,
+                     **transfer_breakdown_gb(res.run)}
+                )
+    return rows
+
+
+def _pbpi_loop_stats(
+    loop_task: str,
+    legend: dict[str, str],
+    smp_counts: Sequence[int],
+    gpu_counts: Sequence[int],
+    generations: int,
+    seed: int,
+    noise: float,
+) -> list[Row]:
+    rows: list[Row] = []
+    for gpus in gpu_counts:
+        for smp in smp_counts:
+            app = PBPIApp(generations=generations, variant="hyb")
+            res = app.run(_machine(smp, gpus, seed, noise), "versioning")
+            shares = version_percentages(res.run, loop_task, legend)
+            rows.append({"smp": smp, "gpus": gpus,
+                         **{k: shares.get(k, 0.0) for k in ("GPU", "SMP")}})
+    return rows
+
+
+def fig14_pbpi_loop1_stats(
+    smp_counts: Sequence[int] = (2, 4, 8, 12),
+    gpu_counts: Sequence[int] = (2,),
+    *,
+    generations: int = 30,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """% of loop-1 executions per version under versioning (Figure 14)."""
+    return _pbpi_loop_stats(
+        "pbpi_loop1_gpu", PBPI_LOOP1_LEGEND, smp_counts, gpu_counts,
+        generations, seed, noise,
+    )
+
+
+def fig15_pbpi_loop2_stats(
+    smp_counts: Sequence[int] = (2, 4, 8, 12),
+    gpu_counts: Sequence[int] = (2,),
+    *,
+    generations: int = 30,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """% of loop-2 executions per version under versioning (Figure 15)."""
+    return _pbpi_loop_stats(
+        "pbpi_loop2_gpu", PBPI_LOOP2_LEGEND, smp_counts, gpu_counts,
+        generations, seed, noise,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table I and Figure 5
+# ----------------------------------------------------------------------
+def table1_taskversionset(
+    *,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> tuple[VersionProfileTable, str]:
+    """Populate and render a TaskVersionSet table shaped like Table I.
+
+    Runs a small hybrid matmul with two different tile sizes (two
+    data-set-size groups for ``task1``) plus a single-size Cholesky
+    (``task2``-style single group) under the versioning scheduler, then
+    renders the scheduler's live table.
+    """
+    machine = _machine(4, 2, seed, noise)
+    sched = VersioningScheduler()
+    app = MatmulApp(n_tiles=4, tile_size=512, variant="hyb")
+    app.register_cost_models(machine)
+    app2 = MatmulApp(n_tiles=2, tile_size=1024, variant="hyb")
+    app2.register_cost_models(machine)
+    rt = OmpSsRuntime(machine, sched)
+    with rt:
+        app.master(rt)
+        rt.taskwait()
+        app2.master(rt)
+    rt.result()
+    return sched.table, sched.table.render()
+
+
+def fig5_earliest_executor_decision(
+    *,
+    seed: int = DEFAULT_SEED,
+) -> Row:
+    """Reproduce the Figure 5 scenario as a concrete scheduling decision.
+
+    A two-version task (fast GPU / slow SMP) runs long enough to fill
+    the GPU queues; the row reports how many tasks the (slower but idle)
+    SMP workers picked up — non-zero means the earliest-executor rule
+    preferred an idle slow worker over the busy fastest executor.
+    """
+    machine = _machine(2, 1, seed, 0.0)
+    app = MatmulApp(n_tiles=8, variant="hyb")
+    res = app.run(machine, "versioning")
+    counts = res.run.version_counts["matmul_tile_cublas"]
+    smp_runs = counts.get("matmul_tile_cblas", 0)
+    gpu_runs = counts.get("matmul_tile_cublas", 0) + counts.get("matmul_tile_cuda", 0)
+    return {
+        "smp_runs": smp_runs,
+        "gpu_runs": gpu_runs,
+        "makespan": res.makespan,
+        "gflops": res.gflops,
+    }

@@ -1,0 +1,59 @@
+"""Derived metrics over finished runs."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.runtime.runtime import RunResult
+
+GB = 1024**3
+
+
+def version_percentages(
+    result: RunResult, task_name: str, legend: Optional[Mapping[str, str]] = None
+) -> dict[str, float]:
+    """Share (%) of executions per version of ``task_name``.
+
+    ``legend`` optionally maps version names to display labels (e.g.
+    ``{"matmul_tile_cublas": "CUBLAS"}``); shares of versions mapping to
+    the same label are summed.  This is the quantity plotted in the
+    paper's Figures 8, 11, 14 and 15.
+    """
+    fractions = result.version_fractions(task_name)
+    out: dict[str, float] = {}
+    for version, frac in fractions.items():
+        label = legend.get(version, version) if legend else version
+        out[label] = out.get(label, 0.0) + frac * 100.0
+    return out
+
+
+def transfer_breakdown_gb(result: RunResult) -> dict[str, float]:
+    """Input/Output/Device Tx in GB — the paper's Figures 7, 10, 13."""
+    tx = result.transfer_stats
+    return {
+        "input_tx": tx.input_tx / GB,
+        "output_tx": tx.output_tx / GB,
+        "device_tx": tx.device_tx / GB,
+        "total": tx.total_bytes / GB,
+    }
+
+
+def worker_utilisation(result: RunResult) -> dict[str, float]:
+    """Busy fraction per worker over the makespan."""
+    return {
+        name: stats["utilisation"] for name, stats in sorted(result.worker_stats.items())
+    }
+
+
+def tasks_per_device_kind(result: RunResult) -> dict[str, int]:
+    """Executed-task counts aggregated by device kind prefix.
+
+    Worker names are ``w:<device>``; device names are ``smp<i>`` /
+    ``gpu<i>``, so the kind is the alphabetic prefix.
+    """
+    out: dict[str, int] = {}
+    for name, stats in result.worker_stats.items():
+        device = name.split(":", 1)[1]
+        kind = device.rstrip("0123456789")
+        out[kind] = out.get(kind, 0) + int(stats["tasks_run"])
+    return out

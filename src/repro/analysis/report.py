@@ -1,0 +1,101 @@
+"""Plain-text rendering of experiment results.
+
+The benches print their figures as aligned tables and ASCII bar charts
+so a terminal run visually parallels the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+    floatfmt: str = "{:.1f}",
+) -> str:
+    """Render an aligned monospace table."""
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal ASCII bar chart, one bar per key."""
+    if not data:
+        return "(no data)"
+    peak = max_value if max_value is not None else max(data.values())
+    peak = max(peak, 1e-12)
+    label_w = max(len(k) for k in data)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in data.items():
+        n = int(round(value / peak * width))
+        n = min(max(n, 0), width)
+        lines.append(f"{key:<{label_w}} |{'█' * n}{' ' * (width - n)}| {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_percentages(
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    title: str = "",
+    width: int = 50,
+    order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render per-row 100%-stacked bars (the Figure 8/11/14/15 style).
+
+    ``series`` maps a row label (e.g. "4smp+2gpu") to {category: %}.
+    Each category gets a distinct fill character.
+    """
+    fills = "█▓▒░▞▚"
+    cats: list[str] = list(order) if order else []
+    for shares in series.values():
+        for c in shares:
+            if c not in cats:
+                cats.append(c)
+    legend = "  ".join(f"{fills[i % len(fills)]}={c}" for i, c in enumerate(cats))
+    label_w = max((len(k) for k in series), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'':<{label_w}}  {legend}")
+    for key, shares in series.items():
+        bar = ""
+        for i, c in enumerate(cats):
+            n = int(round(shares.get(c, 0.0) / 100.0 * width))
+            bar += fills[i % len(fills)] * n
+        bar = (bar + " " * width)[:width]
+        pct = " ".join(f"{c}:{shares.get(c, 0.0):.1f}%" for c in cats if shares.get(c))
+        lines.append(f"{key:<{label_w}} |{bar}| {pct}")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Trace export and post-mortem analysis.
+
+Nanos++ instruments runs for Paraver; the equivalent here: export a
+:class:`~repro.sim.trace.Trace` to CSV or JSON for external tooling, and
+compute the summary statistics people open Paraver for — per-worker
+utilisation timelines, transfer/compute overlap and critical-worker
+identification.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.sim.trace import Trace
+
+PathLike = Union[str, Path]
+
+_FIELDS = ("start", "end", "worker", "category", "label")
+
+
+def trace_to_csv(trace: Trace, path: PathLike) -> None:
+    """Write one row per trace record (start, end, worker, category, label)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_FIELDS)
+        for rec in trace:
+            writer.writerow([repr(rec.start), repr(rec.end), rec.worker,
+                             rec.category, rec.label])
+
+
+def trace_from_csv(path: PathLike) -> Trace:
+    """Load a trace written by :func:`trace_to_csv` (meta is not kept)."""
+    trace = Trace()
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or tuple(reader.fieldnames) != _FIELDS:
+            raise ValueError(f"not a trace CSV: header {reader.fieldnames}")
+        for row in reader:
+            trace.add(float(row["start"]), float(row["end"]), row["worker"],
+                      row["category"], row["label"])
+    return trace
+
+
+def trace_to_json(trace: Trace, path: PathLike) -> None:
+    payload = [
+        {"start": r.start, "end": r.end, "worker": r.worker,
+         "category": r.category, "label": r.label}
+        for r in trace
+    ]
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def trace_from_json(path: PathLike) -> Trace:
+    trace = Trace()
+    for row in json.loads(Path(path).read_text()):
+        trace.add(row["start"], row["end"], row["worker"], row["category"],
+                  row["label"])
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Post-mortem statistics
+# ----------------------------------------------------------------------
+def utilisation_timeline(
+    trace: Trace, bins: int = 100, category: str = "task"
+) -> dict[str, np.ndarray]:
+    """Per-worker busy fraction over ``bins`` equal time slices.
+
+    Returns ``{worker: array of length bins}`` with values in [0, 1].
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    span = trace.makespan()
+    out: dict[str, np.ndarray] = {}
+    if span <= 0:
+        return out
+    edges = np.linspace(0.0, span, bins + 1)
+    width = span / bins
+    for rec in trace:
+        if rec.category != category:
+            continue
+        row = out.setdefault(rec.worker, np.zeros(bins))
+        lo = np.searchsorted(edges, rec.start, side="right") - 1
+        hi = np.searchsorted(edges, rec.end, side="left")
+        for b in range(max(lo, 0), min(hi, bins)):
+            overlap = min(rec.end, edges[b + 1]) - max(rec.start, edges[b])
+            if overlap > 0:
+                row[b] += overlap / width
+    for row in out.values():
+        np.clip(row, 0.0, 1.0, out=row)
+    return out
+
+
+def overlap_fraction(trace: Trace) -> float:
+    """Fraction of total transfer time hidden under task execution.
+
+    1.0 means every transferred second coincided with some task running
+    somewhere; 0.0 means all transfers happened while all workers idled.
+    """
+    tasks = sorted(
+        ((r.start, r.end) for r in trace.by_category("task")), key=lambda iv: iv[0]
+    )
+    merged: list[list[float]] = []
+    for s, e in tasks:
+        if merged and s <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], e)
+        else:
+            merged.append([s, e])
+    total = 0.0
+    hidden = 0.0
+    for rec in trace.by_category("transfer"):
+        total += rec.duration
+        for s, e in merged:
+            lo, hi = max(s, rec.start), min(e, rec.end)
+            if hi > lo:
+                hidden += hi - lo
+    if total == 0.0:
+        return 1.0
+    return hidden / total
+
+
+def critical_worker(trace: Trace) -> str:
+    """The worker with the largest busy time — the throughput bottleneck."""
+    workers = trace.workers()
+    if not workers:
+        raise ValueError("empty trace")
+    return max(workers, key=lambda w: (trace.busy_time(w, category=None), w))

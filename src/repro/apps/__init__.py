@@ -1,0 +1,24 @@
+"""The paper's three evaluation applications, plus shared helpers.
+
+* :mod:`repro.apps.matmul` — tiled dense matrix multiplication with up
+  to three task versions (CUBLAS-like, hand-coded CUDA-like, CBLAS-like
+  SMP), §V-B1,
+* :mod:`repro.apps.cholesky` — tiled Cholesky factorization over
+  potrf/trsm/syrk/gemm tasks, §V-B2,
+* :mod:`repro.apps.pbpi` — Bayesian phylogenetic inference (MCMC over
+  per-generation likelihood loops), §V-B3,
+* :mod:`repro.apps.kernels` — NumPy reference kernels used in
+  real-execution mode so results are numerically verifiable,
+* :mod:`repro.apps.base` — the common application driver.
+
+Every application runs in two modes: *simulated data* (regions carry
+sizes only; the default, matching the paper's problem sizes) and *real
+data* (small NumPy arrays actually computed on, for correctness tests).
+"""
+
+from repro.apps.base import AppResult, Application
+from repro.apps.matmul import MatmulApp
+from repro.apps.cholesky import CholeskyApp
+from repro.apps.pbpi import PBPIApp
+
+__all__ = ["AppResult", "Application", "MatmulApp", "CholeskyApp", "PBPIApp"]

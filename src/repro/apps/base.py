@@ -1,0 +1,98 @@
+"""Common application driver.
+
+Each application owns a private task registry (its task set is rebuilt
+per instance, so repeated runs in one process never collide), knows how
+to register its kernels' cost models on a machine, and submits its task
+graph through a master-thread body.  :meth:`Application.run` wires those
+pieces to an :class:`~repro.runtime.runtime.OmpSsRuntime` and returns an
+:class:`AppResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro.runtime.runtime import OmpSsRuntime, RunResult, RuntimeConfig
+from repro.sim.topology import Machine
+
+
+@dataclass
+class AppResult:
+    """A finished application run plus app-level derived metrics."""
+
+    app: str
+    variant: str
+    run: RunResult
+    total_flops: Optional[float] = None
+
+    @property
+    def makespan(self) -> float:
+        return self.run.makespan
+
+    @property
+    def gflops(self) -> Optional[float]:
+        """Aggregate GFLOP/s (None for apps reported by time, like PBPI)."""
+        if self.total_flops is None:
+            return None
+        return self.run.gflops(self.total_flops)
+
+    def summary(self) -> str:
+        perf = (
+            f"{self.gflops:8.1f} GFLOP/s"
+            if self.gflops is not None
+            else f"{self.makespan:8.3f} s"
+        )
+        tx = self.run.transfer_stats
+        gb = 1024**3
+        return (
+            f"{self.app}-{self.variant:<4} [{self.run.scheduler:<20}] {perf}  "
+            f"in={tx.input_tx / gb:6.2f}GB out={tx.output_tx / gb:6.2f}GB "
+            f"dev={tx.device_tx / gb:6.2f}GB  tasks={self.run.tasks_completed}"
+        )
+
+
+class Application:
+    """Base class for the paper's applications."""
+
+    name: str = "app"
+
+    def __init__(self, variant: str) -> None:
+        self.variant = variant
+        self.registry: dict = {}
+
+    # -- subclass interface -------------------------------------------
+    def register_cost_models(self, machine: Machine) -> None:
+        """Teach the machine what this app's kernels cost per device."""
+        raise NotImplementedError
+
+    def master(self, rt: OmpSsRuntime) -> None:
+        """The master-thread body: create and submit all tasks."""
+        raise NotImplementedError
+
+    def total_flops(self) -> Optional[float]:
+        """Total useful flops, for GFLOP/s reporting (None = report time)."""
+        return None
+
+    # -- driver ---------------------------------------------------------
+    def run(
+        self,
+        machine: Machine,
+        scheduler: Union[str, Any] = "versioning",
+        *,
+        scheduler_options: Optional[Mapping[str, Any]] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> AppResult:
+        """Execute the application on ``machine`` under ``scheduler``."""
+        self.register_cost_models(machine)
+        rt = OmpSsRuntime(
+            machine, scheduler, config=config, scheduler_options=scheduler_options
+        )
+        with rt:
+            self.master(rt)
+        return AppResult(
+            app=self.name,
+            variant=self.variant,
+            run=rt.result(),
+            total_flops=self.total_flops(),
+        )

@@ -1,0 +1,238 @@
+"""Tiled Cholesky factorization (§V-B2).
+
+"The matrix A is organized in blocks of 2048 x 2048 single-precision
+floating point elements, with a total of 32768 x 32768 elements.  There
+are four annotated tasks: potrf, syrk, gemm and trsm.  For the last
+three tasks we give a single GPU-targeted implementation that calls
+MAGMA or CUBLAS libraries.  For the potrf, we give two different
+implementations: one calls CBLAS and runs on the CPU and the other one
+calls MAGMA and runs on the GPU."
+
+potrf sits on the critical path ("it acts like a bottleneck"), which is
+what makes this application interesting for the versioning scheduler:
+with the paper's small task count, the learning phase is visible in the
+results, and in the reliable phase the scheduler routes (nearly) all
+potrf work to the GPUs because the graph offers too little look-ahead
+to hide a slow SMP potrf (Figure 11).
+
+Variants:
+
+* ``smp`` (*potrf-smp*): potrf has only the CBLAS/CPU version,
+* ``gpu`` (*potrf-gpu*): potrf has only the MAGMA/GPU version,
+* ``hyb`` (*potrf-hyb*): potrf has both; trsm/syrk/gemm are GPU-only in
+  every variant ("running them on the CPU would take too much time").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import kernels
+from repro.apps.base import Application
+from repro.runtime.dataregion import DataRegion
+from repro.runtime.directives import task, target
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.perfmodel import FlopsCostModel
+from repro.sim.topology import Machine
+
+#: Calibrated sustained single-precision rates (GFLOP/s) on the M2090
+#: generation for the MAGMA/CUBLAS kernels, and CBLAS on one Xeon core.
+GPU_SGEMM_GFLOPS = 600.0
+GPU_STRSM_GFLOPS = 350.0
+GPU_SSYRK_GFLOPS = 420.0
+GPU_SPOTRF_GFLOPS = 180.0
+SMP_SPOTRF_GFLOPS = 1.2
+GPU_LAUNCH_OVERHEAD = 25e-6
+
+VERSION_LEGEND = {
+    "potrf_magma": "GPU",
+    "potrf_cblas": "SMP",
+}
+
+
+class CholeskyApp(Application):
+    """Right-looking tiled Cholesky: A = L @ L^T, lower triangular."""
+
+    name = "cholesky"
+    VARIANTS = ("smp", "gpu", "hyb")
+
+    def __init__(
+        self,
+        n_blocks: int = 16,
+        block_size: int = 2048,
+        *,
+        variant: str = "hyb",
+        dtype: type = np.float32,
+        real: bool = False,
+        seed: int = 0,
+        potrf_priority: int = 0,
+    ) -> None:
+        if variant not in self.VARIANTS:
+            raise ValueError(f"variant must be one of {self.VARIANTS}, got {variant!r}")
+        if n_blocks < 1 or block_size < 1:
+            raise ValueError("n_blocks and block_size must be positive")
+        super().__init__(variant)
+        self.n_blocks = n_blocks
+        self.block_size = block_size
+        self.dtype = np.dtype(dtype)
+        self.real = real
+        self.seed = seed
+        #: OmpSs ``priority`` clause on potrf: the task "acts like a
+        #: bottleneck ... if it is not run as soon as its data
+        #: dependencies are satisfied, there is less parallelism to
+        #: exploit" (§V-B2) — raising its priority lets it jump queues.
+        self.potrf_priority = potrf_priority
+        self._build_data()
+        self._build_tasks()
+
+    # ------------------------------------------------------------------
+    def _build_data(self) -> None:
+        nb, bs = self.n_blocks, self.block_size
+        nbytes = bs * bs * self.dtype.itemsize
+        if self.real:
+            rng = np.random.default_rng(self.seed)
+            n = nb * bs
+            # symmetric positive definite: M @ M^T + n*I
+            m = rng.standard_normal((n, n)).astype(self.dtype)
+            full = (m @ m.T + n * np.eye(n, dtype=self.dtype)).astype(self.dtype)
+            self._full_input = full.copy()
+            self.A = [
+                [
+                    np.ascontiguousarray(full[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs])
+                    for j in range(nb)
+                ]
+                for i in range(nb)
+            ]
+        else:
+            self.A = [
+                [DataRegion(("A", i, j), nbytes, label=f"A[{i},{j}]") for j in range(nb)]
+                for i in range(nb)
+            ]
+
+    def _build_tasks(self) -> None:
+        bs = self.block_size
+
+        # -- potrf: the multi-version task -----------------------------
+        potrf_work = lambda A: {"flops": kernels.potrf_flops(bs), "n": bs}  # noqa: E731
+        if self.variant == "smp":
+            self.potrf = task(
+                kernels.potrf_block,
+                inouts=["A"],
+                work=potrf_work,
+                device="smp",
+                priority=self.potrf_priority,
+                name="potrf_cblas",
+                registry=self.registry,
+            )
+        else:
+            self.potrf = task(
+                kernels.potrf_block,
+                inouts=["A"],
+                work=potrf_work,
+                device="cuda",
+                priority=self.potrf_priority,
+                name="potrf_magma",
+                registry=self.registry,
+            )
+            if self.variant == "hyb":
+                target(device="smp", implements=self.potrf)(
+                    task(
+                        kernels.potrf_block,
+                        inouts=["A"],
+                        work=potrf_work,
+                        priority=self.potrf_priority,
+                        name="potrf_cblas",
+                        registry=self.registry,
+                    )
+                )
+
+        # -- trsm / syrk / gemm: single GPU version each ----------------
+        self.trsm = task(
+            kernels.trsm_block,
+            inputs=["L"],
+            inouts=["A"],
+            work=lambda L, A: {"flops": kernels.trsm_flops(bs), "n": bs},
+            device="cuda",
+            name="trsm_cublas",
+            registry=self.registry,
+        )
+        self.syrk = task(
+            kernels.syrk_block,
+            inputs=["A"],
+            inouts=["C"],
+            work=lambda A, C: {"flops": kernels.syrk_flops(bs), "n": bs},
+            device="cuda",
+            name="syrk_cublas",
+            registry=self.registry,
+        )
+        self.gemm = task(
+            kernels.gemm_update_block,
+            inputs=["A", "B"],
+            inouts=["C"],
+            work=lambda A, B, C: {"flops": kernels.gemm_flops(bs), "n": bs},
+            device="cuda",
+            name="gemm_magma",
+            registry=self.registry,
+        )
+
+    # ------------------------------------------------------------------
+    def register_cost_models(self, machine: Machine) -> None:
+        has_smp = bool(machine.devices_of_kind("smp"))
+        has_gpu = bool(machine.devices_of_kind("cuda"))
+        if self.variant != "smp" and has_gpu:
+            machine.register_kernel_for_kind(
+                "cuda", "potrf_magma", FlopsCostModel(GPU_SPOTRF_GFLOPS, GPU_LAUNCH_OVERHEAD)
+            )
+        if self.variant != "gpu" and has_smp:
+            machine.register_kernel_for_kind(
+                "smp", "potrf_cblas", FlopsCostModel(SMP_SPOTRF_GFLOPS)
+            )
+        machine.register_kernel_for_kind(
+            "cuda", "trsm_cublas", FlopsCostModel(GPU_STRSM_GFLOPS, GPU_LAUNCH_OVERHEAD)
+        )
+        machine.register_kernel_for_kind(
+            "cuda", "syrk_cublas", FlopsCostModel(GPU_SSYRK_GFLOPS, GPU_LAUNCH_OVERHEAD)
+        )
+        machine.register_kernel_for_kind(
+            "cuda", "gemm_magma", FlopsCostModel(GPU_SGEMM_GFLOPS, GPU_LAUNCH_OVERHEAD)
+        )
+
+    def master(self, rt: OmpSsRuntime) -> None:
+        nb = self.n_blocks
+        A = self.A
+        for k in range(nb):
+            self.potrf(A[k][k])
+            for i in range(k + 1, nb):
+                self.trsm(A[k][k], A[i][k])
+            for i in range(k + 1, nb):
+                self.syrk(A[i][k], A[i][i])
+                for j in range(k + 1, i):
+                    self.gemm(A[i][k], A[j][k], A[i][j])
+
+    def total_flops(self) -> float:
+        return kernels.cholesky_total_flops(self.n_blocks, self.block_size)
+
+    def task_count(self) -> int:
+        nb = self.n_blocks
+        return nb + 2 * (nb * (nb - 1) // 2) + sum(
+            (nb - k - 1) * (nb - k - 2) // 2 for k in range(nb)
+        )
+
+    # ------------------------------------------------------------------
+    def assembled_L(self) -> np.ndarray:
+        """Lower-triangular result assembled from blocks (real mode)."""
+        if not self.real:
+            raise RuntimeError("assembled_L requires real=True")
+        nb, bs = self.n_blocks, self.block_size
+        n = nb * bs
+        L = np.zeros((n, n), dtype=self.dtype)
+        for i in range(nb):
+            for j in range(nb):
+                if j <= i:
+                    L[i * bs : (i + 1) * bs, j * bs : (j + 1) * bs] = self.A[i][j]
+        return np.tril(L)
+
+    def reference_L(self) -> np.ndarray:
+        if not self.real:
+            raise RuntimeError("reference_L requires real=True")
+        return np.linalg.cholesky(self._full_input.astype(np.float64)).astype(self.dtype)

@@ -1,0 +1,123 @@
+"""NumPy reference kernels.
+
+In real-execution mode the task bodies call these, so application
+results can be checked against ``numpy``/direct computation.  In
+simulated-data mode task arguments are bare :class:`DataRegion` handles
+and every kernel is a no-op (guarded by :func:`is_real`).
+
+The kernels deliberately mirror the BLAS/LAPACK operations the paper's
+applications call (gemm, potrf, trsm, syrk) — all versions of a task
+perform the *same* computation, only their simulated cost differs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def is_real(*objs: Any) -> bool:
+    """True when the task arguments are actual arrays (real mode)."""
+    return all(isinstance(o, np.ndarray) for o in objs)
+
+
+# ----------------------------------------------------------------------
+# Matrix multiplication
+# ----------------------------------------------------------------------
+def gemm_tile(A: Any, B: Any, C: Any) -> None:
+    """C += A @ B on one tile (the body of every matmul task version)."""
+    if is_real(A, B, C):
+        C += A @ B
+
+
+# ----------------------------------------------------------------------
+# Cholesky factorization (lower-triangular, in place, tiled)
+# ----------------------------------------------------------------------
+def potrf_block(A: Any) -> None:
+    """A <- cholesky(A), lower triangular."""
+    if is_real(A):
+        A[:] = np.linalg.cholesky(A)
+
+
+def trsm_block(L: Any, A: Any) -> None:
+    """A <- A @ inv(L)^T for the panel update (right solve, lower L).
+
+    Solves X @ L^T = A, i.e. X = A @ inv(L^T); implemented via
+    ``np.linalg.solve`` on the transposed system L @ X^T = A^T.
+    """
+    if is_real(L, A):
+        A[:] = np.linalg.solve(L, A.T).T
+
+
+def syrk_block(A: Any, C: Any) -> None:
+    """C <- C - A @ A^T (symmetric rank-k update of a diagonal block)."""
+    if is_real(A, C):
+        C -= A @ A.T
+
+
+def gemm_update_block(A: Any, B: Any, C: Any) -> None:
+    """C <- C - A @ B^T (trailing update)."""
+    if is_real(A, B, C):
+        C -= A @ B.T
+
+
+# ----------------------------------------------------------------------
+# PBPI (synthetic phylogenetic-likelihood loops)
+# ----------------------------------------------------------------------
+def pbpi_loop1(seq: Any, tree: Any, lik: Any) -> None:
+    """Conditional-likelihood evaluation for one partition block.
+
+    The synthetic stand-in mixes the sequence block with the current
+    tree-state vector — enough real arithmetic that correctness tests
+    can verify dataflow through generations.
+    """
+    if is_real(seq, tree, lik):
+        lik[:] = np.tanh(seq * tree[: len(seq)] + 0.5)
+
+
+def pbpi_loop2(lik: Any, acc: Any) -> None:
+    """Accumulate partial likelihoods for one block."""
+    if is_real(lik, acc):
+        acc += np.log1p(np.abs(lik))
+
+
+def pbpi_loop3(acc: Any, tree: Any) -> None:
+    """MCMC proposal/acceptance: fold accumulators back into tree state."""
+    if is_real(acc, tree):
+        tree *= 0.99
+        tree[: len(acc)] += 1e-3 * np.sign(acc.mean())
+
+
+# ----------------------------------------------------------------------
+# Flop counts (single source of truth for GFLOP/s reporting and the
+# FlopsCostModel parameters)
+# ----------------------------------------------------------------------
+def gemm_flops(n: int, m: int | None = None, k: int | None = None) -> float:
+    m = n if m is None else m
+    k = n if k is None else k
+    return 2.0 * n * m * k
+
+
+def potrf_flops(n: int) -> float:
+    return n**3 / 3.0
+
+
+def trsm_flops(n: int) -> float:
+    return float(n**3)
+
+
+def syrk_flops(n: int) -> float:
+    return float(n**3)
+
+
+def cholesky_total_flops(nb: int, bs: int) -> float:
+    """Total flops of a tiled Cholesky on an ``nb x nb`` grid of ``bs``
+    blocks: (n^3)/3 + lower-order, computed exactly from the task mix."""
+    total = 0.0
+    for k in range(nb):
+        total += potrf_flops(bs)
+        total += (nb - k - 1) * trsm_flops(bs)
+        total += (nb - k - 1) * syrk_flops(bs)
+        total += ((nb - k - 1) * (nb - k - 2) // 2) * gemm_flops(bs)
+    return total

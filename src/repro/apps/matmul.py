@@ -1,0 +1,182 @@
+"""Tiled dense matrix multiplication (§V-B1).
+
+"The application performs a dense matrix multiplication of two square
+matrices.  Each matrix is divided in tiles; each created task performs a
+matrix multiplication operation on a given block of the destination
+matrix ...  We used three different kernels to do this computation: the
+CUBLAS kernel and a hand-coded CUDA implementation (both for a GPU
+architecture) and an SMP-targeted kernel calling the CBLAS library."
+
+Paper configuration: 16384 x 16384 double-precision elements (2 GB per
+matrix), 1024 x 1024 tiles (8 MB), i.e. a 16 x 16 tile grid and 16^3 =
+4096 gemm tasks chained (inout on each C tile) in k.
+
+Variants:
+
+* ``gpu`` (*mm-gpu*): only the CUBLAS-like GPU version exists,
+* ``hyb`` (*mm-hyb*): main CUBLAS-like version plus a hand-coded-CUDA
+  version (slower GPU kernel) and a CBLAS SMP version (~60x slower than
+  CUBLAS on a tile, matching §V-B1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import kernels
+from repro.apps.base import Application
+from repro.runtime.dataregion import DataRegion
+from repro.runtime.directives import task, target
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.perfmodel import GemmCostModel
+from repro.sim.topology import (
+    GPU_CUBLAS_DGEMM_GFLOPS,
+    GPU_HANDCODED_DGEMM_GFLOPS,
+    Machine,
+    SMP_DGEMM_GFLOPS,
+)
+
+#: Kernel launch / BLAS call overhead applied to the GPU versions.
+GPU_LAUNCH_OVERHEAD = 20e-6
+
+#: Human-readable names used in the paper's Figure 8 legend.
+VERSION_LEGEND = {
+    "matmul_tile_cublas": "CUBLAS",
+    "matmul_tile_cuda": "CUDA",
+    "matmul_tile_cblas": "SMP",
+}
+
+
+class MatmulApp(Application):
+    """Tiled matmul: C[i,j] += A[i,k] @ B[k,j] over an NTxNT tile grid."""
+
+    name = "matmul"
+    VARIANTS = ("gpu", "hyb")
+
+    def __init__(
+        self,
+        n_tiles: int = 16,
+        tile_size: int = 1024,
+        *,
+        variant: str = "hyb",
+        dtype: type = np.float64,
+        real: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if variant not in self.VARIANTS:
+            raise ValueError(f"variant must be one of {self.VARIANTS}, got {variant!r}")
+        if n_tiles < 1 or tile_size < 1:
+            raise ValueError("n_tiles and tile_size must be positive")
+        super().__init__(variant)
+        self.n_tiles = n_tiles
+        self.tile_size = tile_size
+        self.dtype = np.dtype(dtype)
+        self.real = real
+        self.seed = seed
+        self._build_data()
+        self._build_tasks()
+
+    # ------------------------------------------------------------------
+    def _build_data(self) -> None:
+        nt, bs = self.n_tiles, self.tile_size
+        nbytes = bs * bs * self.dtype.itemsize
+        if self.real:
+            rng = np.random.default_rng(self.seed)
+            self.A = [[rng.standard_normal((bs, bs)).astype(self.dtype) for _ in range(nt)]
+                      for _ in range(nt)]
+            self.B = [[rng.standard_normal((bs, bs)).astype(self.dtype) for _ in range(nt)]
+                      for _ in range(nt)]
+            self.C = [[np.zeros((bs, bs), dtype=self.dtype) for _ in range(nt)]
+                      for _ in range(nt)]
+        else:
+            self.A = [[DataRegion(("A", i, j), nbytes, label=f"A[{i},{j}]")
+                       for j in range(nt)] for i in range(nt)]
+            self.B = [[DataRegion(("B", i, j), nbytes, label=f"B[{i},{j}]")
+                       for j in range(nt)] for i in range(nt)]
+            self.C = [[DataRegion(("C", i, j), nbytes, label=f"C[{i},{j}]")
+                       for j in range(nt)] for i in range(nt)]
+
+    def _build_tasks(self) -> None:
+        bs = self.tile_size
+        work = lambda A, B, C: {"n": bs}  # noqa: E731 - tiny clause helper
+
+        # Main version: CUBLAS on the GPU (Figure 2 of the paper).
+        self.matmul_tile = task(
+            kernels.gemm_tile,
+            inputs=["A", "B"],
+            inouts=["C"],
+            work=work,
+            device="cuda",
+            name="matmul_tile_cublas",
+            registry=self.registry,
+        )
+        if self.variant == "hyb":
+            # Hand-coded CUDA kernel (Figure 3).
+            target(device="cuda", implements=self.matmul_tile)(
+                task(
+                    kernels.gemm_tile,
+                    inputs=["A", "B"],
+                    inouts=["C"],
+                    work=work,
+                    name="matmul_tile_cuda",
+                    registry=self.registry,
+                )
+            )
+            # CBLAS on one SMP core (Figure 1).
+            target(device="smp", implements=self.matmul_tile)(
+                task(
+                    kernels.gemm_tile,
+                    inputs=["A", "B"],
+                    inouts=["C"],
+                    work=work,
+                    name="matmul_tile_cblas",
+                    registry=self.registry,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def register_cost_models(self, machine: Machine) -> None:
+        # Register each kernel only where the machine has matching
+        # devices — a hybrid application must stay runnable on (say) a
+        # CPU-only node through its SMP version alone.
+        if machine.devices_of_kind("cuda"):
+            machine.register_kernel_for_kind(
+                "cuda",
+                "matmul_tile_cublas",
+                GemmCostModel(GPU_CUBLAS_DGEMM_GFLOPS, GPU_LAUNCH_OVERHEAD),
+            )
+            if self.variant == "hyb":
+                machine.register_kernel_for_kind(
+                    "cuda",
+                    "matmul_tile_cuda",
+                    GemmCostModel(GPU_HANDCODED_DGEMM_GFLOPS, GPU_LAUNCH_OVERHEAD),
+                )
+        if self.variant == "hyb" and machine.devices_of_kind("smp"):
+            machine.register_kernel_for_kind(
+                "smp", "matmul_tile_cblas", GemmCostModel(SMP_DGEMM_GFLOPS)
+            )
+
+    def master(self, rt: OmpSsRuntime) -> None:
+        nt = self.n_tiles
+        for i in range(nt):
+            for j in range(nt):
+                for k in range(nt):
+                    self.matmul_tile(self.A[i][k], self.B[k][j], self.C[i][j])
+
+    def total_flops(self) -> float:
+        n = self.n_tiles * self.tile_size
+        return 2.0 * float(n) ** 3
+
+    # ------------------------------------------------------------------
+    def reference_result(self) -> np.ndarray:
+        """Dense NumPy product of the full matrices (real mode only)."""
+        if not self.real:
+            raise RuntimeError("reference_result requires real=True")
+        A = np.block(self.A)
+        B = np.block(self.B)
+        return A @ B
+
+    def assembled_C(self) -> np.ndarray:
+        if not self.real:
+            raise RuntimeError("assembled_C requires real=True")
+        return np.block(self.C)

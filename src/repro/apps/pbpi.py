@@ -1,0 +1,215 @@
+"""PBPI — parallel Bayesian phylogenetic inference (§V-B3).
+
+"PBPI is a parallel implementation of a Bayesian phylogenetic inference
+method for DNA sequence data ... based on the construction of
+phylogenetic trees from DNA or AA sequences using a Markov chain Monte
+Carlo (MCMC) sampling method ...  three different tasks are defined for
+each of the three computational loops that account for the majority of
+the execution time of the program.  The data set size used for this
+application is 50000 elements (500 MB)."
+
+We do not have the PBPI sources or its DNA datasets; per the
+substitution rule (DESIGN.md §2) the application is rebuilt as a
+synthetic MCMC skeleton that preserves exactly what the evaluation
+exercises:
+
+* per generation, **loop 1** evaluates conditional likelihoods per
+  partition block (GPU version ~20x faster than SMP — compute bound),
+* **loop 2** accumulates partial likelihoods per block (GPU only 3-4x
+  faster — the paper: "the task itself is between three and four times
+  slower for the SMP versions"),
+* **loop 3** folds everything back into the MCMC tree state and has a
+  *single SMP-targeted version*, which is what forces the likelihood
+  data back to the host every generation and makes *pbpi-gpu* lose to
+  *pbpi-smp* ("sending all the computational work of first and second
+  loops to the GPU is not worth, since all the data will have to be
+  transferred back and forth to run the third loop").
+
+Results for PBPI are reported as execution time, not GFLOP/s (the
+application "has no floating point operations" in the paper's counting).
+
+Variants: ``smp`` / ``gpu`` / ``hyb`` as in §V-B3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps import kernels
+from repro.apps.base import Application
+from repro.runtime.dataregion import DataRegion
+from repro.runtime.directives import task, target
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.perfmodel import AffineBytesCostModel
+from repro.sim.topology import Machine
+
+#: Effective streaming rates (bytes/s) calibrated so that the paper's
+#: qualitative relations hold (loop1 GPU >> SMP; loop2 GPU ~3.5x SMP;
+#: PCIe traffic expensive relative to loop2 compute).
+LOOP1_SMP_BW = 1.0e9
+LOOP1_GPU_BW = 10.0e9
+LOOP2_SMP_BW = 2.0e9
+LOOP2_GPU_BW = 7.0e9
+LOOP3_SMP_BW = 12.0e9
+GPU_LAUNCH_OVERHEAD = 10e-6
+
+VERSION_LEGEND = {
+    "pbpi_loop1_gpu": "GPU",
+    "pbpi_loop1_smp": "SMP",
+    "pbpi_loop2_gpu": "GPU",
+    "pbpi_loop2_smp": "SMP",
+}
+
+#: Per-loop legends for the Figure 14/15 stacked charts.
+PBPI_LOOP_LEGENDS = {
+    "loop1": {"pbpi_loop1_gpu": "GPU", "pbpi_loop1_smp": "SMP"},
+    "loop2": {"pbpi_loop2_gpu": "GPU", "pbpi_loop2_smp": "SMP"},
+}
+
+
+class PBPIApp(Application):
+    """Synthetic PBPI: MCMC generations over partitioned likelihood loops."""
+
+    name = "pbpi"
+    VARIANTS = ("smp", "gpu", "hyb")
+
+    def __init__(
+        self,
+        *,
+        generations: int = 60,
+        n_blocks: int = 16,
+        dataset_bytes: int = 500 * 1024**2,
+        tree_bytes: int = 8 * 1024**2,
+        variant: str = "hyb",
+        real: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if variant not in self.VARIANTS:
+            raise ValueError(f"variant must be one of {self.VARIANTS}, got {variant!r}")
+        if generations < 1 or n_blocks < 1:
+            raise ValueError("generations and n_blocks must be positive")
+        super().__init__(variant)
+        self.generations = generations
+        self.n_blocks = n_blocks
+        self.dataset_bytes = dataset_bytes
+        self.tree_bytes = tree_bytes
+        self.block_bytes = dataset_bytes // n_blocks
+        self.real = real
+        self.seed = seed
+        self._build_data()
+        self._build_tasks()
+
+    # ------------------------------------------------------------------
+    def _build_data(self) -> None:
+        nb = self.n_blocks
+        if self.real:
+            rng = np.random.default_rng(self.seed)
+            elems = max(self.block_bytes // 8, 4)
+            tree_elems = max(self.tree_bytes // 8, elems)
+            self.seq = [rng.standard_normal(elems) for _ in range(nb)]
+            self.lik = [np.zeros(elems) for _ in range(nb)]
+            self.acc = [np.zeros(elems) for _ in range(nb)]
+            self.tree = np.ones(tree_elems)
+        else:
+            self.seq = [
+                DataRegion(("seq", b), self.block_bytes, label=f"seq[{b}]")
+                for b in range(nb)
+            ]
+            self.lik = [
+                DataRegion(("lik", b), self.block_bytes, label=f"lik[{b}]")
+                for b in range(nb)
+            ]
+            self.acc = [
+                DataRegion(("acc", b), self.block_bytes, label=f"acc[{b}]")
+                for b in range(nb)
+            ]
+            self.tree = DataRegion("tree", self.tree_bytes, label="tree")
+
+    def _build_tasks(self) -> None:
+        # ---- loop 1: conditional likelihood per block -----------------
+        l1_kwargs = dict(
+            inputs=["seq", "tree"],
+            outputs=["lik"],
+            registry=self.registry,
+        )
+        if self.variant == "smp":
+            self.loop1 = task(kernels.pbpi_loop1, device="smp",
+                              name="pbpi_loop1_smp", **l1_kwargs)
+        else:
+            self.loop1 = task(kernels.pbpi_loop1, device="cuda",
+                              name="pbpi_loop1_gpu", **l1_kwargs)
+            if self.variant == "hyb":
+                target(device="smp", implements=self.loop1)(
+                    task(kernels.pbpi_loop1, name="pbpi_loop1_smp", **l1_kwargs)
+                )
+
+        # ---- loop 2: likelihood accumulation per block -----------------
+        l2_kwargs = dict(inputs=["lik"], inouts=["acc"], registry=self.registry)
+        if self.variant == "smp":
+            self.loop2 = task(kernels.pbpi_loop2, device="smp",
+                              name="pbpi_loop2_smp", **l2_kwargs)
+        else:
+            self.loop2 = task(kernels.pbpi_loop2, device="cuda",
+                              name="pbpi_loop2_gpu", **l2_kwargs)
+            if self.variant == "hyb":
+                target(device="smp", implements=self.loop2)(
+                    task(kernels.pbpi_loop2, name="pbpi_loop2_smp", **l2_kwargs)
+                )
+
+        # ---- loop 3: MCMC state update, SMP only -----------------------
+        def loop3_body(liks, accs, tree):
+            if kernels.is_real(tree, *liks, *accs):
+                for lik, acc in zip(liks, accs):
+                    kernels.pbpi_loop3(acc, tree)
+                    tree[: len(lik)] += 1e-6 * lik.mean()
+
+        self.loop3 = task(
+            loop3_body,
+            inputs=lambda liks, accs, tree: [*liks, *accs],
+            inouts=lambda liks, accs, tree: [tree],
+            device="smp",
+            name="pbpi_loop3_smp",
+            registry=self.registry,
+        )
+
+    # ------------------------------------------------------------------
+    def register_cost_models(self, machine: Machine) -> None:
+        has_smp = bool(machine.devices_of_kind("smp"))
+        has_gpu = bool(machine.devices_of_kind("cuda"))
+        if self.variant != "smp" and has_gpu:
+            machine.register_kernel_for_kind(
+                "cuda", "pbpi_loop1_gpu",
+                AffineBytesCostModel(GPU_LAUNCH_OVERHEAD, LOOP1_GPU_BW),
+            )
+            machine.register_kernel_for_kind(
+                "cuda", "pbpi_loop2_gpu",
+                AffineBytesCostModel(GPU_LAUNCH_OVERHEAD, LOOP2_GPU_BW),
+            )
+        if self.variant != "gpu" and has_smp:
+            machine.register_kernel_for_kind(
+                "smp", "pbpi_loop1_smp", AffineBytesCostModel(0.0, LOOP1_SMP_BW)
+            )
+            machine.register_kernel_for_kind(
+                "smp", "pbpi_loop2_smp", AffineBytesCostModel(0.0, LOOP2_SMP_BW)
+            )
+        if not has_smp:
+            raise RuntimeError("PBPI needs at least one SMP worker (loop 3 is SMP-only)")
+        machine.register_kernel_for_kind(
+            "smp", "pbpi_loop3_smp", AffineBytesCostModel(0.0, LOOP3_SMP_BW)
+        )
+
+    def master(self, rt: OmpSsRuntime) -> None:
+        for _ in range(self.generations):
+            for b in range(self.n_blocks):
+                self.loop1(self.seq[b], self.tree, self.lik[b])
+            for b in range(self.n_blocks):
+                self.loop2(self.lik[b], self.acc[b])
+            self.loop3(tuple(self.lik), tuple(self.acc), self.tree)
+
+    def total_flops(self) -> Optional[float]:
+        return None  # PBPI is reported as execution time (Figure 12)
+
+    def task_count(self) -> int:
+        return self.generations * (2 * self.n_blocks + 1)

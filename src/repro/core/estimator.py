@@ -1,0 +1,129 @@
+"""Execution-time estimators.
+
+"Each time a task is run, its execution time is recorded and its mean
+execution time is updated as the arithmetic mean of all the task
+executions.  This value is used by the scheduler as the estimated
+execution time of that task version for future executions." (§IV-B)
+
+Footnote 3 adds: "Optionally, we could try computing a weighted mean to
+give more weight to recent execution information and less weight to past
+information, but we have not tried this option yet."  Both are
+implemented; the ablation bench compares them on a drifting workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Incremental duration estimator."""
+
+    count: int
+
+    def add(self, sample: float) -> None:
+        """Record one observed duration (seconds, non-negative)."""
+        ...
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current estimate, or ``None`` before any sample."""
+        ...
+
+    def clone(self) -> "Estimator":
+        """Fresh estimator of the same kind (same parameters, no data)."""
+        ...
+
+
+class RunningMean:
+    """Numerically stable arithmetic running mean (Welford update)."""
+
+    __slots__ = ("count", "_mean")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+
+    def add(self, sample: float) -> None:
+        if sample < 0:
+            raise ValueError(f"negative duration sample: {sample}")
+        self.count += 1
+        self._mean += (sample - self._mean) / self.count
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._mean if self.count else None
+
+    def preload(self, mean: float, count: int) -> None:
+        """Seed the estimator from an external hint (mean over ``count`` runs)."""
+        if count <= 0:
+            raise ValueError("hint count must be positive")
+        if mean < 0:
+            raise ValueError("hint mean must be non-negative")
+        self.count = count
+        self._mean = mean
+
+    def clone(self) -> "RunningMean":
+        return RunningMean()
+
+    def __repr__(self) -> str:
+        v = "-" if self.value is None else f"{self.value:.6f}s"
+        return f"RunningMean({v}, n={self.count})"
+
+
+class EWMA:
+    """Exponentially weighted moving average — the footnote-3 option.
+
+    ``alpha`` is the weight of the newest sample; the first sample
+    initialises the value directly.
+    """
+
+    __slots__ = ("alpha", "count", "_value")
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.count = 0
+        self._value = 0.0
+
+    def add(self, sample: float) -> None:
+        if sample < 0:
+            raise ValueError(f"negative duration sample: {sample}")
+        if self.count == 0:
+            self._value = sample
+        else:
+            self._value = self.alpha * sample + (1.0 - self.alpha) * self._value
+        self.count += 1
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value if self.count else None
+
+    def preload(self, mean: float, count: int) -> None:
+        if count <= 0:
+            raise ValueError("hint count must be positive")
+        if mean < 0:
+            raise ValueError("hint mean must be non-negative")
+        self.count = count
+        self._value = mean
+
+    def clone(self) -> "EWMA":
+        return EWMA(self.alpha)
+
+    def __repr__(self) -> str:
+        v = "-" if self.value is None else f"{self.value:.6f}s"
+        return f"EWMA(alpha={self.alpha}, {v}, n={self.count})"
+
+
+def make_estimator(kind: str = "mean", **options: Any) -> Estimator:
+    """Factory: ``"mean"`` -> :class:`RunningMean`, ``"ewma"`` -> :class:`EWMA`."""
+    kind = kind.lower()
+    if kind in ("mean", "arithmetic", "running-mean"):
+        if options:
+            raise ValueError(f"RunningMean takes no options, got {options}")
+        return RunningMean()
+    if kind in ("ewma", "weighted"):
+        return EWMA(**options)
+    raise ValueError(f"unknown estimator kind {kind!r} (use 'mean' or 'ewma')")

@@ -1,0 +1,140 @@
+"""External hint files for the versioning scheduler (future work, §VII).
+
+"The scheduler should also offer the possibility to receive external
+hints for tasks versions: for example, read an XML file with additional
+information about tasks versions.  This file can be written by the
+user, but it could also be written by OmpSs runtime from a previous
+application's execution."
+
+Both halves are implemented: :func:`save_hints` snapshots a scheduler's
+profile table after a run, :func:`load_hints` reads it back so a new run
+skips (or shortens) the learning phase.  XML is the paper's suggested
+format; JSON is provided for convenience.  The format is inferred from
+the file extension unless forced.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.profile import VersionProfileTable
+
+PathLike = Union[str, Path]
+
+
+def save_hints(
+    table: VersionProfileTable, path: PathLike, *, format: Optional[str] = None
+) -> None:
+    """Write a profile-table snapshot to ``path`` (xml or json)."""
+    path = Path(path)
+    fmt = _resolve_format(path, format)
+    snapshot = table.to_dict()
+    if fmt == "json":
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        path.write_bytes(_to_xml(snapshot))
+
+
+def load_hints(path: PathLike, *, format: Optional[str] = None) -> dict:
+    """Read a hints file; returns the snapshot dict.
+
+    Feed the result to ``VersioningScheduler(hints=...)`` or to
+    :meth:`VersionProfileTable.preload`.
+    """
+    path = Path(path)
+    fmt = _resolve_format(path, format)
+    if fmt == "json":
+        snapshot = json.loads(path.read_text())
+        _validate(snapshot)
+        return snapshot
+    return _from_xml(path.read_bytes())
+
+
+def _resolve_format(path: Path, fmt: Optional[str]) -> str:
+    if fmt is None:
+        fmt = path.suffix.lstrip(".").lower() or "xml"
+    fmt = fmt.lower()
+    if fmt not in ("xml", "json"):
+        raise ValueError(f"unsupported hints format {fmt!r} (use 'xml' or 'json')")
+    return fmt
+
+
+def _validate(snapshot: dict) -> None:
+    if not isinstance(snapshot, dict) or "tasks" not in snapshot:
+        raise ValueError("malformed hints: missing top-level 'tasks'")
+    for task_name, groups in snapshot["tasks"].items():
+        if not isinstance(groups, list):
+            raise ValueError(f"malformed hints for task {task_name!r}: groups not a list")
+        for g in groups:
+            if "representative_bytes" not in g:
+                raise ValueError(
+                    f"malformed hints for task {task_name!r}: group lacks "
+                    "'representative_bytes'"
+                )
+
+
+def _to_xml(snapshot: dict) -> bytes:
+    root = ET.Element(
+        "versioning-hints",
+        grouping=str(snapshot.get("grouping", "exact")),
+        estimator=str(snapshot.get("estimator", "mean")),
+    )
+    for task_name in sorted(snapshot.get("tasks", {})):
+        task_el = ET.SubElement(root, "task", name=task_name)
+        for g in snapshot["tasks"][task_name]:
+            grp_el = ET.SubElement(
+                task_el, "group", bytes=str(int(g["representative_bytes"]))
+            )
+            for vname in sorted(g.get("versions", {})):
+                stats = g["versions"][vname]
+                if stats.get("mean_time") is None:
+                    continue
+                ET.SubElement(
+                    grp_el,
+                    "version",
+                    name=vname,
+                    mean_time=repr(float(stats["mean_time"])),
+                    executions=str(int(stats["executions"])),
+                )
+    ET.indent(root)
+    return ET.tostring(root, xml_declaration=True, encoding="utf-8")
+
+
+def _from_xml(payload: bytes) -> dict:
+    try:
+        root = ET.fromstring(payload)
+    except ET.ParseError as exc:
+        raise ValueError(f"malformed hints XML: {exc}") from exc
+    if root.tag != "versioning-hints":
+        raise ValueError(f"not a hints file (root element {root.tag!r})")
+    out: dict = {
+        "grouping": root.get("grouping", "exact"),
+        "estimator": root.get("estimator", "mean"),
+        "tasks": {},
+    }
+    for task_el in root.findall("task"):
+        name = task_el.get("name")
+        if not name:
+            raise ValueError("hints XML: <task> without name")
+        groups = []
+        for grp_el in task_el.findall("group"):
+            versions = {}
+            for v_el in grp_el.findall("version"):
+                vname = v_el.get("name")
+                if not vname:
+                    raise ValueError("hints XML: <version> without name")
+                versions[vname] = {
+                    "mean_time": float(v_el.get("mean_time", "nan")),
+                    "executions": int(v_el.get("executions", "0")),
+                }
+            groups.append(
+                {
+                    "representative_bytes": int(grp_el.get("bytes", "0")),
+                    "versions": versions,
+                }
+            )
+        out["tasks"][name] = groups
+    return out

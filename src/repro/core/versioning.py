@@ -1,0 +1,321 @@
+"""The versioning scheduler — the paper's contribution (§IV-B).
+
+Policy summary:
+
+* **Learning phase** (per task, per data-set-size group): "picking task
+  versions from ready tasks in a Round-Robin fashion and distributing
+  them among OmpSs workers.  ...  We force the scheduler to run each
+  task version at least λ times."  Each version is dispatched until λ
+  runs are underway; the group then graduates as soon as all versions
+  have λ *recorded* executions.
+
+* **Reliable-information phase**: each ready task goes to its
+  **earliest executor** — over all (version, worker) pairs, minimise
+  *worker estimated busy time* + *version mean execution time*.  The
+  fastest executor usually wins, but a busy fastest executor loses to an
+  idle slower one, exactly the Figure 5 scenario.
+
+* The scheduler never stops learning: every completed task updates its
+  version's running mean, and an unseen data-set size sends that group
+  back to the learning phase.
+
+Dispatch discipline
+-------------------
+Ready tasks enter the scheduler's pool and are *pumped* into per-worker
+queues only while a worker has queue room (``queue_depth``, default 2 =
+one running + one prefetching).  This bounded look-ahead mirrors how the
+Nanos++ workers pick work and is what produces two emergent behaviours
+the paper reports: "the SMP worker threads keep picking the SMP version
+while the GPUs are busy", and "for the final part of the computation ...
+only the GPUs run the fastest implementation to avoid losing
+performance" — once the pool drains, the earliest executor of the few
+remaining tasks is always a GPU.
+
+Tunables (all exposed to the ablation benches): λ (``lam``), the
+estimator kind (arithmetic mean / EWMA), the size-grouping strategy
+(exact / relative range / fixed bins), ``queue_depth`` and an optional
+warm-start profile table loaded from a hints file.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.core.grouping import SizeGrouping, make_grouping
+from repro.core.profile import SizeGroupProfile, VersionProfileTable
+from repro.runtime.task import TaskInstance, TaskVersion
+from repro.schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.worker import Worker
+
+#: Default λ: "we force the scheduler to run each task version at least
+#: λ times during the initial learning phase" — configurable by the user
+#: (footnote 4); three runs is the value our benches default to.
+DEFAULT_LAMBDA = 3
+
+#: Default per-worker queue bound (running + prefetching).
+DEFAULT_QUEUE_DEPTH = 2
+
+
+class VersioningScheduler(Scheduler):
+    name = "versioning"
+    supports_versions = True
+
+    def __init__(
+        self,
+        *,
+        lam: int = DEFAULT_LAMBDA,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        estimator: str = "mean",
+        estimator_options: Optional[dict] = None,
+        grouping: "str | SizeGrouping" = "exact",
+        grouping_options: Optional[dict] = None,
+        hints: Optional[dict] = None,
+    ) -> None:
+        super().__init__()
+        if lam < 1:
+            raise ValueError("lam (λ) must be at least 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        self.lam = lam
+        self.queue_depth = queue_depth
+        if isinstance(grouping, str):
+            grouping = make_grouping(grouping, **(grouping_options or {}))
+        elif grouping_options:
+            raise ValueError("grouping_options only apply when grouping is a name")
+        self.table = VersionProfileTable(
+            grouping=grouping,
+            estimator_kind=estimator,
+            estimator_options=estimator_options,
+        )
+        if hints:
+            self.table.preload(hints)
+        # ready tasks not yet placed in any worker queue (FIFO)
+        self._pool: Deque[TaskInstance] = deque()
+        self._pumping = False
+        # worker name -> estimated busy time (sum of estimates of queued
+        # + running tasks, §IV-B "OmpSs worker estimated busy time")
+        self._busy_est: dict[str, float] = {}
+        # task uid -> the estimate added at dispatch (to subtract at finish)
+        self._est_by_uid: dict[int, float] = {}
+        # diagnostics for tests/benches
+        self.learning_dispatches = 0
+        self.reliable_dispatches = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, runtime) -> None:  # type: ignore[override]
+        super().bind(runtime)
+        self._busy_est = {w.name: 0.0 for w in runtime.workers}
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and the Figure 5 bench)
+    # ------------------------------------------------------------------
+    def estimated_busy_time(self, worker: "Worker") -> float:
+        """§IV-B: sum of estimated execution times of the worker's queue."""
+        return self._busy_est[worker.name]
+
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def _has_room(self, worker: "Worker") -> bool:
+        return worker.load() < self.queue_depth
+
+    def _runnable_versions(self, t: TaskInstance) -> list[TaskVersion]:
+        """Versions of ``t`` that at least one present worker can run."""
+        out = [v for v in t.definition.versions if self.capable_workers(v)]
+        if not out:
+            raise RuntimeError(
+                f"no worker on this machine can run any version of task {t.name!r}"
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Runtime hooks
+    # ------------------------------------------------------------------
+    def task_ready(self, t: TaskInstance) -> None:
+        self._pool.append(t)
+        self._pump()
+
+    def task_started(self, t: TaskInstance, worker: "Worker") -> None:
+        self._pump()
+
+    def task_finished(self, t: TaskInstance, worker: "Worker", measured: float) -> None:
+        est = self._est_by_uid.pop(t.uid, 0.0)
+        self._busy_est[worker.name] = max(0.0, self._busy_est[worker.name] - est)
+        assert t.chosen_version is not None
+        group = self.table.group(t.name, t.data_bytes)
+        group.record(t.chosen_version.name, measured)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Dispatch pump
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Place pool tasks into worker queues while there is room.
+
+        Reentrancy guard: dispatching starts tasks, which calls back
+        into ``task_started`` -> ``_pump``.
+        """
+        if self._pumping:
+            return
+        assert self.rt is not None
+        self._pumping = True
+        try:
+            while self._pool:
+                placed = False
+                # groups found unplaceable in this scan: skip their other
+                # tasks (same candidates, same full workers)
+                blocked: set = set()
+                # scan by the priority clause first (stable FIFO within
+                # equal priorities); zero-priority pools keep plain order
+                if any(t.priority for t in self._pool):
+                    scan = sorted(
+                        enumerate(self._pool), key=lambda it: (-it[1].priority, it[0])
+                    )
+                else:
+                    scan = list(enumerate(self._pool))
+                for i, t in scan:
+                    gkey = (t.name, self.table.grouping.key(t.data_bytes))
+                    if gkey in blocked:
+                        continue
+                    placement = self._choose(t)
+                    if placement is None:
+                        blocked.add(gkey)
+                        continue
+                    version, worker, learning = placement
+                    del self._pool[i]
+                    group = self.table.group(t.name, t.data_bytes)
+                    est = group.mean_time(version.name)
+                    est_value = est if est is not None else 0.0
+                    self._busy_est[worker.name] += est_value
+                    self._est_by_uid[t.uid] = est_value
+                    group.note_assigned(version.name)
+                    if learning:
+                        self.learning_dispatches += 1
+                    else:
+                        self.reliable_dispatches += 1
+                    self.rt.dispatch(t, worker, version)
+                    placed = True
+                    break
+                if not placed:
+                    break
+        finally:
+            self._pumping = False
+
+    def _choose(
+        self, t: TaskInstance
+    ) -> Optional[tuple[TaskVersion, "Worker", bool]]:
+        """Pick (version, worker, is_learning) for ``t``, or None if no
+        capable worker currently has queue room."""
+        versions = self._runnable_versions(t)
+        group = self.table.group(t.name, t.data_bytes)
+        names = [v.name for v in versions]
+
+        if group.in_learning_phase(names, self.lam):
+            # λ-capped round-robin into workers with queue room.
+            choice = self._learning_choice(t, versions, group)
+            if choice is not None:
+                return (*choice, True)
+            # Every version already has λ runs underway but none recorded
+            # yet: keep feeding workers that have room so nobody idles
+            # while the slow λ-runs retire (estimates are still unknown,
+            # so room-gating is the only sane throttle here).
+            choice = self._earliest_executor(
+                t, versions, group, allow_unknown=True, require_room=True
+            )
+            if choice is not None:
+                return (*choice, True)
+            return None
+        # Reliable phase: the paper pushes at ready time into unbounded
+        # per-worker queues (Figure 5 shows deep task lists); the busy
+        # estimate, not queue room, is what steers placement.
+        choice = self._earliest_executor(
+            t, versions, group, allow_unknown=False, require_room=False
+        )
+        if choice is None:
+            return None
+        return (*choice, False)
+
+    def _learning_choice(
+        self, t: TaskInstance, versions: list[TaskVersion], group: SizeGroupProfile
+    ) -> Optional[tuple[TaskVersion, "Worker"]]:
+        """Round-robin λ executions per version, least-booked worker first.
+
+        A version stops receiving learning dispatches once λ runs are
+        *underway* (recorded + pending), so a burst of ready tasks does
+        not flood a slow version's worker before any feedback arrives.
+        """
+        order = [v.name for v in versions]
+        pending_needed = [
+            v
+            for v in versions
+            if group.executions(v.name) + group.profile(v.name).assigned < self.lam
+        ]
+        if not pending_needed:
+            return None
+        # The λ runs are mandatory: queue them even on a busy worker —
+        # waiting for queue room would starve a version whose device is
+        # saturated (exactly the GPU potrf case in Cholesky).
+        chosen = min(
+            pending_needed,
+            key=lambda v: (
+                group.executions(v.name) + group.profile(v.name).assigned,
+                order.index(v.name),
+            ),
+        )
+        worker = min(
+            self.capable_workers(chosen),
+            key=lambda w: (self.estimated_busy_time(w), w.load(), w.name),
+        )
+        return chosen, worker
+
+    def _earliest_executor(
+        self,
+        t: TaskInstance,
+        versions: list[TaskVersion],
+        group: SizeGroupProfile,
+        *,
+        allow_unknown: bool,
+        require_room: bool,
+    ) -> Optional[tuple[TaskVersion, "Worker"]]:
+        """Minimise (estimated busy time + version mean time) over
+        (version, worker) pairs — the §IV-B earliest-executor rule.
+
+        ``allow_unknown`` admits versions with no recorded mean yet
+        (treated as the mean of the known versions, pessimistically the
+        slowest known, so an unprofiled version never looks free).
+        ``require_room`` restricts candidates to workers with queue room
+        (used only while estimates are still unknown).
+        """
+        known = [group.mean_time(v.name) for v in versions]
+        known_means = [m for m in known if m is not None]
+        fallback = max(known_means) if known_means else 0.0
+
+        best: Optional[tuple[float, str, str]] = None
+        best_pair: Optional[tuple[TaskVersion, "Worker"]] = None
+        for v in versions:
+            mean = group.mean_time(v.name)
+            if mean is None:
+                if not allow_unknown:
+                    continue
+                mean = fallback
+            for w in self.capable_workers(v):
+                if require_room and not self._has_room(w):
+                    continue
+                finish = (
+                    self.estimated_busy_time(w) + mean + self._placement_penalty(t, v, w)
+                )
+                key = (finish, w.name, v.name)
+                if best is None or key < best:
+                    best = key
+                    best_pair = (v, w)
+        return best_pair
+
+    def _placement_penalty(
+        self, t: TaskInstance, version: TaskVersion, worker: "Worker"
+    ) -> float:
+        """Extra cost of placing ``t`` on this worker (0 here; the
+        locality variant adds estimated transfer time)."""
+        return 0.0

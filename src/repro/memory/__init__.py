@@ -1,0 +1,24 @@
+"""Memory subsystem: spaces, coherence, transfers, device caches.
+
+OmpSs assumes multiple physical address spaces; the runtime replicates
+data across them and keeps the copies coherent, counting every transfer.
+The paper's evaluation classifies transferred bytes into *Input Tx*
+(host -> device), *Output Tx* (device -> host) and *Device Tx*
+(device -> device); :class:`~repro.memory.transfers.TransferStats`
+reproduces those three counters exactly.
+"""
+
+from repro.memory.space import MemorySpace
+from repro.memory.directory import Directory, TransferRequest
+from repro.memory.transfers import TransferEngine, TransferStats, TxCategory
+from repro.memory.cache import CacheManager
+
+__all__ = [
+    "MemorySpace",
+    "Directory",
+    "TransferRequest",
+    "TransferEngine",
+    "TransferStats",
+    "TxCategory",
+    "CacheManager",
+]

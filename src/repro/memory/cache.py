@@ -1,0 +1,190 @@
+"""Per-space software cache with LRU eviction.
+
+Each GPU memory space has finite capacity (6 GB on an M2090); the cache
+manager tracks which region copies are resident per space, pins regions
+needed by queued or running tasks, and evicts least-recently-used
+unpinned copies when an allocation would overflow.
+
+Evicting a *dirty* copy (the only authoritative one) first writes it
+back to the host over the link — those write-backs are real transfers
+and show up in the Output Tx counter, exactly as in the Nanos++ cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.memory.directory import Directory
+from repro.memory.space import MemorySpace
+from repro.memory.transfers import TransferEngine
+from repro.runtime.dataregion import DataRegion
+from repro.sim.devices import GPUDevice
+from repro.sim.topology import HOST_SPACE, Machine
+
+
+@dataclass
+class CacheStats:
+    evictions: int = 0
+    writebacks: int = 0
+    writeback_bytes: int = 0
+
+
+class _SpaceCache:
+    """Residency + LRU + pin bookkeeping for one memory space."""
+
+    def __init__(self, space: MemorySpace) -> None:
+        self.space = space
+        self.lru: "OrderedDict[Hashable, DataRegion]" = OrderedDict()
+        self.pins: dict[Hashable, int] = {}
+
+    def is_resident(self, region: DataRegion) -> bool:
+        return region.key in self.lru
+
+    def touch(self, region: DataRegion) -> None:
+        if region.key in self.lru:
+            self.lru.move_to_end(region.key)
+
+
+class CacheManager:
+    """Manages residency across all of a machine's memory spaces."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        directory: Directory,
+        transfer_engine: TransferEngine,
+    ) -> None:
+        self.machine = machine
+        self.directory = directory
+        self.transfers = transfer_engine
+        self.stats = CacheStats()
+        self._caches: dict[str, _SpaceCache] = {}
+        gpu_capacity: dict[str, int] = {}
+        for dev in machine.devices:
+            if isinstance(dev, GPUDevice):
+                gpu_capacity[dev.memory_space] = dev.memory_bytes
+        for name in machine.spaces():
+            capacity = gpu_capacity.get(name)  # host & unknown spaces unbounded
+            self._caches[name] = _SpaceCache(MemorySpace(name, capacity))
+
+    # ------------------------------------------------------------------
+    def space(self, name: str) -> MemorySpace:
+        return self._cache(name).space
+
+    def _cache(self, name: str) -> _SpaceCache:
+        try:
+            return self._caches[name]
+        except KeyError:
+            raise KeyError(f"unknown memory space {name!r}") from None
+
+    def is_resident(self, space: str, region: DataRegion) -> bool:
+        return self._cache(space).is_resident(region)
+
+    def resident_bytes(self, space: str) -> int:
+        return self._cache(space).space.used_bytes
+
+    # ------------------------------------------------------------------
+    # Pinning (regions in use by queued/running tasks must not evict)
+    # ------------------------------------------------------------------
+    def pin(self, space: str, region: DataRegion) -> None:
+        cache = self._cache(space)
+        cache.pins[region.key] = cache.pins.get(region.key, 0) + 1
+
+    def unpin(self, space: str, region: DataRegion) -> None:
+        cache = self._cache(space)
+        n = cache.pins.get(region.key, 0)
+        if n <= 0:
+            raise ValueError(f"unpin of unpinned region {region.label!r} in {space!r}")
+        if n == 1:
+            del cache.pins[region.key]
+        else:
+            cache.pins[region.key] = n - 1
+
+    def is_pinned(self, space: str, region: DataRegion) -> bool:
+        return self._cache(space).pins.get(region.key, 0) > 0
+
+    # ------------------------------------------------------------------
+    # Residency
+    # ------------------------------------------------------------------
+    def ensure_resident(self, space: str, region: DataRegion) -> None:
+        """Allocate room for ``region`` in ``space``, evicting if needed.
+
+        Idempotent for already-resident regions (refreshes LRU order).
+        Raises :class:`MemoryError` when the pinned working set alone
+        exceeds the space's capacity — a genuinely unschedulable task.
+        """
+        cache = self._cache(space)
+        if cache.is_resident(region):
+            cache.touch(region)
+            return
+        if not cache.space.fits(region.nbytes):
+            self._evict_until_fits(cache, region.nbytes)
+        cache.space.allocate(region.nbytes)
+        cache.lru[region.key] = region
+
+    def _evict_until_fits(self, cache: _SpaceCache, nbytes: int) -> None:
+        space_name = cache.space.name
+        for key in list(cache.lru):
+            if cache.space.fits(nbytes):
+                return
+            if cache.pins.get(key, 0) > 0:
+                continue
+            self._evict(space_name, cache.lru[key])
+        if not cache.space.fits(nbytes):
+            raise MemoryError(
+                f"space {space_name!r}: cannot fit {nbytes} B — "
+                f"{cache.space.used_bytes} B resident and all pinned"
+            )
+
+    def _evict(self, space: str, region: DataRegion) -> None:
+        cache = self._cache(space)
+        if self.directory.is_valid(region, space):
+            if self.directory.dirty_owner(region) == space:
+                # Write the authoritative copy home before dropping it.
+                req = self.directory.writeback_request(region)
+                assert req is not None and req.src == space
+                self.transfers.issue(req)
+                self.directory.note_writeback_done(region)
+                self.stats.writebacks += 1
+                self.stats.writeback_bytes += region.nbytes
+            if self.directory.valid_spaces(region) != {space}:
+                self.directory.drop_copy(region, space)
+            else:
+                # Sole clean copy outside home should not happen (home is
+                # unbounded and clean data always re-fetchable); guard
+                # against protocol drift loudly.
+                raise AssertionError(
+                    f"evicting sole valid clean copy of {region.label!r} from {space!r}"
+                )
+        del cache.lru[region.key]
+        cache.space.release(region.nbytes)
+        self.stats.evictions += 1
+
+    def invalidate(self, space: str, region: DataRegion) -> None:
+        """Drop a (now stale) resident copy without directory interaction.
+
+        Called after another space wrote the region: the directory has
+        already removed ``space`` from the valid set; the cache frees
+        the garbage copy.
+        """
+        cache = self._cache(space)
+        if cache.is_resident(region):
+            if cache.pins.get(region.key, 0) > 0:
+                # A queued task still holds a pin; keep the allocation —
+                # the copy will be refreshed by that task's own transfer.
+                return
+            del cache.lru[region.key]
+            cache.space.release(region.nbytes)
+
+    def invalidate_stale_everywhere(self, region: DataRegion, writer_space: str) -> None:
+        """Free stale copies of ``region`` in every space but the writer's.
+
+        The host space keeps its allocation (host memory is the backing
+        store; "stale" host data is just overwritten on write-back).
+        """
+        for name in self._caches:
+            if name != writer_space and name != HOST_SPACE:
+                if not self.directory.is_valid(region, name):
+                    self.invalidate(name, region)

@@ -1,0 +1,181 @@
+"""Coherence directory.
+
+The runtime replicates data regions across memory spaces; the directory
+records, per region, which spaces hold a *valid* copy and whether the
+authoritative (dirty) copy lives away from the region's home space.
+
+Protocol (write-invalidate, matching the Nanos++ software cache):
+
+* a region starts valid only in its home space (the host),
+* a read on space S requires a valid copy in S — if missing, the
+  directory emits a :class:`TransferRequest` from a chosen source,
+* a write on space S makes S the *only* valid holder and marks the
+  region dirty when S is not the home space,
+* flushing (taskwait semantics) copies every dirty region back to its
+  home space.
+
+Invariants (property-tested):
+
+* every registered region is valid somewhere at all times,
+* a dirty region's owner space is always in the valid set,
+* immediately after a write, exactly one space is valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.runtime.dataregion import DataRegion
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """A region copy that must be performed: ``src`` space -> ``dst`` space."""
+
+    region: DataRegion
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("transfer with identical endpoints")
+
+
+@dataclass
+class _Entry:
+    region: DataRegion
+    valid: set[str]
+    dirty_owner: Optional[str]  # space holding the sole authoritative copy
+
+
+class Directory:
+    """Tracks validity of region copies across memory spaces."""
+
+    def __init__(self, home_space: str = "host") -> None:
+        self.home_space = home_space
+        self._entries: dict[Hashable, _Entry] = {}
+
+    # ------------------------------------------------------------------
+    # Registration & queries
+    # ------------------------------------------------------------------
+    def register(self, region: DataRegion) -> None:
+        """Make the directory aware of ``region`` (idempotent).
+
+        New regions are valid in the home space only.
+        """
+        if region.key not in self._entries:
+            self._entries[region.key] = _Entry(region, {self.home_space}, None)
+
+    def known(self, region: DataRegion) -> bool:
+        return region.key in self._entries
+
+    def regions(self) -> list[DataRegion]:
+        return [e.region for e in self._entries.values()]
+
+    def valid_spaces(self, region: DataRegion) -> set[str]:
+        self.register(region)
+        return set(self._entries[region.key].valid)
+
+    def is_valid(self, region: DataRegion, space: str) -> bool:
+        self.register(region)
+        return space in self._entries[region.key].valid
+
+    def dirty_owner(self, region: DataRegion) -> Optional[str]:
+        self.register(region)
+        return self._entries[region.key].dirty_owner
+
+    # ------------------------------------------------------------------
+    # Protocol actions
+    # ------------------------------------------------------------------
+    def choose_source(self, region: DataRegion, dst: str) -> str:
+        """Pick the space to copy from when ``dst`` needs a valid copy.
+
+        Deterministic: prefer the home space when it holds a valid copy
+        (host-staged copies match how Nanos++ routed most traffic);
+        otherwise the lexicographically first valid space.  Peer GPU
+        sources are what produce the paper's *Device Tx* counter.
+        """
+        self.register(region)
+        entry = self._entries[region.key]
+        if dst in entry.valid:
+            raise ValueError(f"{region.label!r} is already valid in {dst!r}")
+        if self.home_space in entry.valid:
+            return self.home_space
+        return min(entry.valid)
+
+    def reads_needed(self, region: DataRegion, space: str) -> Optional[TransferRequest]:
+        """Transfer needed (if any) so ``space`` can read ``region``."""
+        self.register(region)
+        if self.is_valid(region, space):
+            return None
+        return TransferRequest(region, self.choose_source(region, space), space)
+
+    def mark_valid(self, region: DataRegion, space: str) -> None:
+        """Record a completed copy into ``space`` (does not change dirtiness)."""
+        self.register(region)
+        self._entries[region.key].valid.add(space)
+
+    def note_write(self, region: DataRegion, space: str) -> None:
+        """A task on ``space`` wrote ``region``: invalidate all other copies."""
+        self.register(region)
+        entry = self._entries[region.key]
+        entry.valid = {space}
+        entry.dirty_owner = space if space != self.home_space else None
+
+    def drop_copy(self, region: DataRegion, space: str) -> None:
+        """Evict the copy held by ``space`` (cache eviction of clean data).
+
+        Dropping the last valid copy — or the dirty owner's copy — is a
+        protocol violation: the caller must write back first.
+        """
+        self.register(region)
+        entry = self._entries[region.key]
+        if space not in entry.valid:
+            raise ValueError(f"{region.label!r} holds no copy in {space!r}")
+        if entry.dirty_owner == space:
+            raise ValueError(
+                f"cannot drop the dirty copy of {region.label!r} from {space!r}; "
+                "write back to the home space first"
+            )
+        if entry.valid == {space}:
+            raise ValueError(f"cannot drop the only valid copy of {region.label!r}")
+        entry.valid.discard(space)
+
+    def writeback_request(self, region: DataRegion) -> Optional[TransferRequest]:
+        """Transfer that would clean the region (dirty owner -> home)."""
+        self.register(region)
+        entry = self._entries[region.key]
+        if entry.dirty_owner is None:
+            return None
+        return TransferRequest(region, entry.dirty_owner, self.home_space)
+
+    def note_writeback_done(self, region: DataRegion) -> None:
+        """The dirty copy has been copied home; region is now clean."""
+        self.register(region)
+        entry = self._entries[region.key]
+        if entry.dirty_owner is None:
+            raise ValueError(f"{region.label!r} is not dirty")
+        entry.valid.add(self.home_space)
+        entry.dirty_owner = None
+
+    def flush_requests(self) -> list[TransferRequest]:
+        """All transfers a full ``taskwait`` flush needs (deterministic order)."""
+        out: list[TransferRequest] = []
+        for key in sorted(self._entries, key=repr):
+            req = self.writeback_request(self._entries[key].region)
+            if req is not None:
+                out.append(req)
+        return out
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` on any violated protocol invariant."""
+        for entry in self._entries.values():
+            if not entry.valid:
+                raise AssertionError(f"{entry.region.label!r} is valid nowhere")
+            if entry.dirty_owner is not None and entry.dirty_owner not in entry.valid:
+                raise AssertionError(
+                    f"{entry.region.label!r}: dirty owner {entry.dirty_owner!r} "
+                    "lacks a valid copy"
+                )

@@ -1,0 +1,61 @@
+"""Memory spaces.
+
+A :class:`MemorySpace` is one physical address space: the host memory
+(shared by all SMP cores) or one GPU's device memory.  Spaces track how
+many bytes of region copies they currently hold so the cache manager
+can enforce device-memory capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MemorySpace:
+    """One physical address space with optional finite capacity."""
+
+    def __init__(self, name: str, capacity: Optional[int] = None) -> None:
+        """``capacity=None`` means unbounded (the 24 GB host space is
+        treated as unbounded relative to the working sets we simulate)."""
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.name = name
+        self.capacity = capacity
+        self.used_bytes = 0
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.capacity is not None
+
+    def free_bytes(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return self.capacity - self.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` more would fit without eviction."""
+        return self.capacity is None or self.used_bytes + nbytes <= self.capacity
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if not self.fits(nbytes):
+            raise MemoryError(
+                f"space {self.name!r}: allocating {nbytes} B exceeds capacity "
+                f"({self.used_bytes}/{self.capacity} B used)"
+            )
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot release negative bytes")
+        if nbytes > self.used_bytes:
+            raise ValueError(
+                f"space {self.name!r}: releasing {nbytes} B but only "
+                f"{self.used_bytes} B allocated"
+            )
+        self.used_bytes -= nbytes
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"MemorySpace({self.name!r}, used={self.used_bytes}/{cap})"

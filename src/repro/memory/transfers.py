@@ -1,0 +1,168 @@
+"""Transfer engine and the paper's three transfer counters.
+
+Every region copy crosses a link of the machine; the engine serialises
+transfers per directed link (a PCIe direction is one DMA stream) and
+accounts each one in the classification the paper's §V-A uses:
+
+* **Input Tx** — host space to any device space ("the total amount of
+  data transferred from the host memory space to any of the GPU
+  devices.  If a piece of data is transferred to two different devices,
+  both transfers are taken into account."),
+* **Output Tx** — any device space to host,
+* **Device Tx** — between two device spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.memory.directory import TransferRequest
+from repro.sim.engine import EventKind, SimEngine
+from repro.sim.topology import HOST_SPACE, Machine
+from repro.sim.trace import Trace
+
+
+class TxCategory(Enum):
+    INPUT = "input_tx"    # host -> device
+    OUTPUT = "output_tx"  # device -> host
+    DEVICE = "device_tx"  # device -> device
+
+    @staticmethod
+    def classify(src: str, dst: str, host: str = HOST_SPACE) -> "TxCategory":
+        if src == host and dst != host:
+            return TxCategory.INPUT
+        if src != host and dst == host:
+            return TxCategory.OUTPUT
+        if src != host and dst != host:
+            return TxCategory.DEVICE
+        raise ValueError(f"host-to-host transfer makes no sense ({src} -> {dst})")
+
+
+@dataclass
+class TransferStats:
+    """Bytes and counts per category — the data behind Figures 7/10/13."""
+
+    bytes_by_category: dict[TxCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in TxCategory}
+    )
+    count_by_category: dict[TxCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in TxCategory}
+    )
+
+    def record(self, src: str, dst: str, nbytes: int, host: str = HOST_SPACE) -> None:
+        cat = TxCategory.classify(src, dst, host)
+        self.bytes_by_category[cat] += nbytes
+        self.count_by_category[cat] += 1
+
+    @property
+    def input_tx(self) -> int:
+        return self.bytes_by_category[TxCategory.INPUT]
+
+    @property
+    def output_tx(self) -> int:
+        return self.bytes_by_category[TxCategory.OUTPUT]
+
+    @property
+    def device_tx(self) -> int:
+        return self.bytes_by_category[TxCategory.DEVICE]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_category.values())
+
+    @property
+    def total_count(self) -> int:
+        return sum(self.count_by_category.values())
+
+    def as_dict(self) -> dict[str, int]:
+        return {c.value: self.bytes_by_category[c] for c in TxCategory}
+
+    def __repr__(self) -> str:
+        gb = 1024**3
+        return (
+            f"TransferStats(input={self.input_tx / gb:.3f} GB, "
+            f"output={self.output_tx / gb:.3f} GB, "
+            f"device={self.device_tx / gb:.3f} GB, n={self.total_count})"
+        )
+
+
+class TransferEngine:
+    """Schedules region copies on the machine's links.
+
+    Each directed link is a serial resource: a transfer requested while
+    the link is busy queues behind the transfers already issued (FIFO,
+    matching one DMA stream per PCIe direction).  Completion runs an
+    optional callback — the runtime uses it to mark the destination copy
+    valid in the directory.
+    """
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        machine: Machine,
+        *,
+        stats: Optional[TransferStats] = None,
+        trace: Optional[Trace] = None,
+        host: str = HOST_SPACE,
+    ) -> None:
+        self.engine = engine
+        self.machine = machine
+        self.stats = stats if stats is not None else TransferStats()
+        self.trace = trace
+        self.host = host
+        # per-link list of channel-free times (length = link.channels)
+        self._channel_free_at: dict[tuple[str, str], list[float]] = {}
+
+    # ------------------------------------------------------------------
+    def link_free_at(self, src: str, dst: str) -> float:
+        """Earliest time any channel of the link is free."""
+        channels = self._channel_free_at.get((src, dst))
+        return min(channels) if channels else 0.0
+
+    def issue(
+        self,
+        request: TransferRequest,
+        *,
+        earliest: Optional[float] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Issue a transfer; returns its completion (simulated) time.
+
+        ``earliest`` is the earliest moment the transfer may begin
+        (defaults to now); the actual start also waits for the link(s).
+        Endpoints without a direct link are *routed* (staged copies via
+        intermediate spaces — the cluster case); each hop serialises on
+        its own link and is accounted separately.  The completion
+        callback fires as a simulation event exactly at the returned
+        time.
+        """
+        nbytes = request.region.nbytes
+        ready = self.engine.now if earliest is None else max(earliest, self.engine.now)
+        end = ready
+        for link in self.machine.route(request.src, request.dst):
+            key = (link.src, link.dst)
+            channels = self._channel_free_at.setdefault(key, [0.0] * link.channels)
+            ch = min(range(len(channels)), key=lambda i: (channels[i], i))
+            start = max(end, channels[ch])
+            end = start + link.transfer_time(nbytes)
+            channels[ch] = end
+            self.stats.record(link.src, link.dst, nbytes, self.host)
+            if self.trace is not None:
+                self.trace.add(
+                    start,
+                    end,
+                    worker=f"link:{link.src}->{link.dst}",
+                    category="transfer",
+                    label=request.region.label,
+                    meta=(nbytes,),
+                )
+        if on_complete is not None:
+            self.engine.schedule(
+                end,
+                on_complete,
+                kind=EventKind.TRANSFER_END,
+                label=f"xfer {request.region.label} {request.src}->{request.dst}",
+            )
+        return end

@@ -1,0 +1,219 @@
+"""Command-line reproduction driver.
+
+Regenerates any table/figure of the paper from the terminal::
+
+    python -m repro.reproduce list
+    python -m repro.reproduce fig6 fig8
+    python -m repro.reproduce all --quick
+
+``--quick`` shrinks the sweeps (smaller tile/block grids, fewer
+generations) so every figure renders in a few seconds; the default
+scales match the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table, stacked_percentages
+
+
+def _fig6(quick: bool) -> str:
+    rows = experiments.fig6_matmul_performance(
+        smp_counts=(1, 4, 8, 12) if not quick else (1, 8),
+        gpu_counts=(1, 2),
+        n_tiles=16 if not quick else 8,
+    )
+    return format_table(
+        ["smp", "gpus", "mm-gpu-aff", "mm-gpu-dep", "mm-hyb-ver"],
+        [[r["smp"], r["gpus"], r["mm-gpu-aff"], r["mm-gpu-dep"], r["mm-hyb-ver"]]
+         for r in rows],
+        title="Figure 6 — matmul performance (GFLOP/s)",
+    )
+
+
+def _fig7(quick: bool) -> str:
+    rows = experiments.fig7_matmul_transfers(
+        smp_counts=(4, 12) if not quick else (8,),
+        gpu_counts=(2,),
+        n_tiles=16 if not quick else 8,
+    )
+    return format_table(
+        ["smp", "gpus", "config", "Input Tx", "Output Tx", "Device Tx", "total"],
+        [[r["smp"], r["gpus"], r["config"], r["input_tx"], r["output_tx"],
+          r["device_tx"], r["total"]] for r in rows],
+        title="Figure 7 — matmul data transferred (GB)",
+        floatfmt="{:.2f}",
+    )
+
+
+def _fig8(quick: bool) -> str:
+    rows = experiments.fig8_matmul_task_stats(
+        smp_counts=(1, 4, 8, 12) if not quick else (8,),
+        gpu_counts=(1, 2),
+        n_tiles=16 if not quick else 8,
+    )
+    series = {
+        f"{r['smp']}smp+{r['gpus']}gpu": {k: r[k] for k in ("CUBLAS", "CUDA", "SMP")}
+        for r in rows
+    }
+    return stacked_percentages(series, title="Figure 8 — matmul task versions run",
+                               order=("CUBLAS", "CUDA", "SMP"))
+
+
+def _fig9(quick: bool) -> str:
+    rows = experiments.fig9_cholesky_performance(
+        smp_counts=(2, 8), gpu_counts=(2,), n_blocks=16 if not quick else 8
+    )
+    return format_table(
+        ["smp", "gpus", "potrf-smp-dep", "potrf-gpu-aff", "potrf-gpu-dep",
+         "potrf-hyb-ver"],
+        [[r["smp"], r["gpus"], r["potrf-smp-dep"], r["potrf-gpu-aff"],
+          r["potrf-gpu-dep"], r["potrf-hyb-ver"]] for r in rows],
+        title="Figure 9 — Cholesky performance (GFLOP/s)",
+    )
+
+
+def _fig10(quick: bool) -> str:
+    rows = experiments.fig10_cholesky_transfers(
+        smp_counts=(2,), gpu_counts=(2,), n_blocks=16 if not quick else 8
+    )
+    return format_table(
+        ["smp", "gpus", "config", "Input Tx", "Output Tx", "Device Tx", "total"],
+        [[r["smp"], r["gpus"], r["config"], r["input_tx"], r["output_tx"],
+          r["device_tx"], r["total"]] for r in rows],
+        title="Figure 10 — Cholesky data transferred (GB)",
+        floatfmt="{:.2f}",
+    )
+
+
+def _fig11(quick: bool) -> str:
+    rows = experiments.fig11_cholesky_task_stats(
+        smp_counts=(2, 8), gpu_counts=(2,), n_blocks=16 if not quick else 8
+    )
+    series = {f"{r['smp']}smp+{r['gpus']}gpu": {k: r[k] for k in ("GPU", "SMP")}
+              for r in rows}
+    return stacked_percentages(series, title="Figure 11 — Cholesky potrf versions run",
+                               order=("GPU", "SMP"))
+
+
+def _fig12(quick: bool) -> str:
+    rows = experiments.fig12_pbpi_time(
+        smp_counts=(2, 4, 8, 12) if not quick else (4, 8),
+        gpu_counts=(2,),
+        generations=40 if not quick else 10,
+    )
+    return format_table(
+        ["smp", "gpus", "pbpi-smp (s)", "pbpi-gpu (s)", "pbpi-hyb (s)"],
+        [[r["smp"], r["gpus"], r["pbpi-smp"], r["pbpi-gpu"], r["pbpi-hyb"]]
+         for r in rows],
+        title="Figure 12 — PBPI execution time (s, lower is better)",
+        floatfmt="{:.2f}",
+    )
+
+
+def _fig13(quick: bool) -> str:
+    rows = experiments.fig13_pbpi_transfers(
+        smp_counts=(8,), gpu_counts=(2,), generations=40 if not quick else 10
+    )
+    return format_table(
+        ["smp", "gpus", "config", "Input Tx", "Output Tx", "Device Tx", "total"],
+        [[r["smp"], r["gpus"], r["config"], r["input_tx"], r["output_tx"],
+          r["device_tx"], r["total"]] for r in rows],
+        title="Figure 13 — PBPI data transferred (GB)",
+        floatfmt="{:.2f}",
+    )
+
+
+def _fig14(quick: bool) -> str:
+    rows = experiments.fig14_pbpi_loop1_stats(
+        smp_counts=(4, 8, 12) if not quick else (8,),
+        gpu_counts=(2,),
+        generations=40 if not quick else 10,
+    )
+    series = {f"{r['smp']}smp+{r['gpus']}gpu": {k: r[k] for k in ("GPU", "SMP")}
+              for r in rows}
+    return stacked_percentages(series, title="Figure 14 — PBPI loop-1 versions run",
+                               order=("GPU", "SMP"))
+
+
+def _fig15(quick: bool) -> str:
+    rows = experiments.fig15_pbpi_loop2_stats(
+        smp_counts=(4, 8, 12) if not quick else (8,),
+        gpu_counts=(2,),
+        generations=40 if not quick else 10,
+    )
+    series = {f"{r['smp']}smp+{r['gpus']}gpu": {k: r[k] for k in ("GPU", "SMP")}
+              for r in rows}
+    return stacked_percentages(series, title="Figure 15 — PBPI loop-2 versions run",
+                               order=("GPU", "SMP"))
+
+
+def _table1(quick: bool) -> str:
+    _, rendered = experiments.table1_taskversionset()
+    return "Table I — TaskVersionSet structure\n" + rendered
+
+
+def _fig5(quick: bool) -> str:
+    row = experiments.fig5_earliest_executor_decision()
+    return format_table(
+        ["smp task runs", "gpu task runs", "makespan (s)", "GFLOP/s"],
+        [[row["smp_runs"], row["gpu_runs"], row["makespan"], row["gflops"]]],
+        title="Figure 5 — earliest-executor decision",
+        floatfmt="{:.3f}",
+    )
+
+
+FIGURES: dict[str, Callable[[bool], str]] = {
+    "table1": _table1,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reproduce",
+        description="Regenerate tables/figures of Planas et al., IPDPS 2013.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="figure ids (e.g. fig6 table1), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced scales (seconds per figure)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.targets == ["list"]:
+        for name in FIGURES:
+            print(name)
+        return 0
+
+    targets = list(FIGURES) if "all" in args.targets else args.targets
+    unknown = [t for t in targets if t not in FIGURES]
+    if unknown:
+        parser.error(
+            f"unknown figure(s): {', '.join(unknown)}; valid: {', '.join(FIGURES)}"
+        )
+    for t in targets:
+        print(FIGURES[t](args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""OmpSs-like task runtime (the Nanos++ substrate, rebuilt in Python).
+
+* :mod:`repro.runtime.dataregion` — data regions named by the dependence
+  clauses (``input``/``output``/``inout``),
+* :mod:`repro.runtime.task` — task types, versions (``implements``) and
+  task instances,
+* :mod:`repro.runtime.directives` — the ``@task`` / ``@target``
+  decorators mirroring the OmpSs pragmas,
+* :mod:`repro.runtime.dependences` — dataflow dependence analysis,
+* :mod:`repro.runtime.worker` — one worker per device, each with its own
+  task queue,
+* :mod:`repro.runtime.runtime` — the runtime core: submission, the
+  event-driven execution loop, ``taskwait``.
+"""
+
+from repro.runtime.dataregion import AccessKind, DataAccess, DataRegion, region_of
+from repro.runtime.task import TaskDefinition, TaskInstance, TaskState, TaskVersion
+from repro.runtime.directives import task, target, clear_task_registry, registered_tasks
+from repro.runtime.dependences import DependenceGraph
+from repro.runtime.worker import Worker
+from repro.runtime.runtime import OmpSsRuntime, RuntimeConfig, RunResult
+
+__all__ = [
+    "AccessKind",
+    "DataAccess",
+    "DataRegion",
+    "region_of",
+    "TaskDefinition",
+    "TaskInstance",
+    "TaskState",
+    "TaskVersion",
+    "task",
+    "target",
+    "clear_task_registry",
+    "registered_tasks",
+    "DependenceGraph",
+    "Worker",
+    "OmpSsRuntime",
+    "RuntimeConfig",
+    "RunResult",
+]

@@ -1,0 +1,31 @@
+"""Current-runtime context.
+
+OmpSs task pragmas turn function calls into task submissions only when a
+runtime is active; otherwise the annotated function is just a function.
+This module holds the (per-process) stack of active runtimes that the
+``@task`` decorator consults on every call.  A stack — rather than a
+single slot — supports nested runtimes in tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import OmpSsRuntime
+
+_stack: list["OmpSsRuntime"] = []
+
+
+def push_runtime(rt: "OmpSsRuntime") -> None:
+    _stack.append(rt)
+
+
+def pop_runtime(rt: "OmpSsRuntime") -> None:
+    if not _stack or _stack[-1] is not rt:
+        raise RuntimeError("runtime context stack corrupted (mismatched pop)")
+    _stack.pop()
+
+
+def current_runtime() -> Optional["OmpSsRuntime"]:
+    return _stack[-1] if _stack else None

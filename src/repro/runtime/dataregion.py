@@ -1,0 +1,173 @@
+"""Data regions and accesses.
+
+OmpSs dependence clauses (``input([BS*BS]A)``, ``inout([BS*BS]C)``, ...)
+name *regions* of user data.  A :class:`DataRegion` is the runtime's
+handle for one such region: a stable key, a size in bytes, and an
+optional reference to the backing NumPy array so task bodies can really
+compute.
+
+Regions are the unit of the coherence protocol: they are replicated
+across memory spaces, invalidated on writes and transferred over links.
+Following the paper's runtime, a region is atomic — two accesses either
+name the same region or are independent — but regions constructed from
+(base, length) intervals also support overlap queries, which the
+dependence analysis uses to reject ill-formed programs that alias
+distinct regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Hashable, Optional
+
+import numpy as np
+
+
+class AccessKind(Enum):
+    """The three StarSs dependence clauses."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessKind.INPUT, AccessKind.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessKind.OUTPUT, AccessKind.INOUT)
+
+
+class DataRegion:
+    """A contiguous region of user data tracked by the runtime.
+
+    Parameters
+    ----------
+    key:
+        Stable hashable identity.  Two :class:`DataRegion` objects with
+        the same key denote the same data.
+    nbytes:
+        Region size; drives transfer cost and the scheduler's data-set
+        size accounting.
+    data:
+        Optional backing :class:`numpy.ndarray` for real execution.
+    base, length:
+        Optional address interval for overlap queries; regions created
+        from arrays get these from the array's memory layout.
+    label:
+        Human-readable name for traces.
+    """
+
+    __slots__ = ("key", "nbytes", "data", "base", "length", "label")
+
+    def __init__(
+        self,
+        key: Hashable,
+        nbytes: int,
+        *,
+        data: Optional[np.ndarray] = None,
+        base: Optional[int] = None,
+        length: Optional[int] = None,
+        label: str = "",
+    ) -> None:
+        if nbytes < 0:
+            raise ValueError("region size must be non-negative")
+        self.key = key
+        self.nbytes = int(nbytes)
+        self.data = data
+        self.base = base
+        self.length = length if length is not None else (nbytes if base is not None else None)
+        self.label = label or str(key)
+
+    # -- identity ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataRegion):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return f"DataRegion({self.label!r}, {self.nbytes}B)"
+
+    # -- geometry ------------------------------------------------------
+    def overlaps(self, other: "DataRegion") -> bool:
+        """Whether the two regions' address intervals intersect.
+
+        Regions without interval information only overlap when they are
+        the *same* region (equal keys).
+        """
+        if self.key == other.key:
+            return True
+        if self.base is None or other.base is None:
+            return False
+        a0, a1 = self.base, self.base + (self.length or 0)
+        b0, b1 = other.base, other.base + (other.length or 0)
+        return a0 < b1 and b0 < a1
+
+
+def region_of(obj: Any, *, label: str = "") -> DataRegion:
+    """Build (or pass through) a region for a user object.
+
+    * :class:`DataRegion` instances pass through unchanged,
+    * NumPy arrays become regions keyed by their base allocation address
+      and offset — two views of the same buffer at the same offset are
+      the same region, matching OmpSs's address-based dependence
+      computation,
+    * anything else raises :class:`TypeError` (the clause syntax only
+      admits data, never scalars-by-value).
+    """
+    if isinstance(obj, DataRegion):
+        return obj
+    if isinstance(obj, np.ndarray):
+        iface = obj.__array_interface__
+        addr = iface["data"][0]
+        return DataRegion(
+            key=("ndarray", addr, obj.nbytes),
+            nbytes=obj.nbytes,
+            data=obj,
+            base=addr,
+            length=obj.nbytes,
+            label=label or f"array@{addr:#x}",
+        )
+    raise TypeError(
+        f"dependence clauses accept DataRegion or numpy.ndarray, got {type(obj).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class DataAccess:
+    """One dependence-clause entry of one task instance: region + kind."""
+
+    region: DataRegion
+    kind: AccessKind
+
+    @property
+    def reads(self) -> bool:
+        return self.kind.reads
+
+    @property
+    def writes(self) -> bool:
+        return self.kind.writes
+
+    def __repr__(self) -> str:
+        return f"DataAccess({self.kind.value}, {self.region.label!r})"
+
+
+def unique_data_bytes(accesses: "list[DataAccess]") -> int:
+    """Total data-set size of a task instance.
+
+    Paper §IV-B footnote 2: *"Each task's parameter size is counted just
+    once, even if it is an input/output parameter."*  Hence: the sum of
+    region sizes over *distinct* regions.
+    """
+    seen: set = set()
+    total = 0
+    for acc in accesses:
+        if acc.region.key not in seen:
+            seen.add(acc.region.key)
+            total += acc.region.nbytes
+    return total

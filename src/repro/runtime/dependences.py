@@ -1,0 +1,217 @@
+"""Dataflow dependence analysis (the StarSs dependence support).
+
+As tasks are submitted in program order, each dependence clause is
+matched against the running history of accesses per region:
+
+* a **read** depends on the last writer of the region (RAW),
+* a **write** depends on the last writer (WAW) *and* on every reader
+  since that writer (WAR),
+
+after which the region history is updated.  This is exactly the
+last-writer/reader-list algorithm of the Nanos++ dependence module, and
+it yields a DAG whose edges the runtime uses to release ready tasks.
+
+The graph also performs an optional aliasing check: two *distinct*
+regions whose address intervals overlap would make dependence tracking
+unsound, so the builder can reject them (OmpSs leaves this undefined;
+rejecting loudly is kinder).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable, Iterable, Optional
+
+from repro.runtime.dataregion import DataRegion
+from repro.runtime.task import TaskInstance
+
+
+class DepKind(Enum):
+    RAW = "raw"  # read after write (true dependence)
+    WAR = "war"  # write after read (anti dependence)
+    WAW = "waw"  # write after write (output dependence)
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A dependence edge: ``src`` must finish before ``dst`` may start."""
+
+    src: int  # uid of the earlier task
+    dst: int  # uid of the later task
+    kind: DepKind
+    region: DataRegion
+
+
+@dataclass
+class _RegionHistory:
+    last_writer: Optional[TaskInstance] = None
+    readers_since_write: list[TaskInstance] = field(default_factory=list)
+
+
+class DependenceGraph:
+    """Builds and tracks the task DAG as tasks are submitted and retire."""
+
+    def __init__(self, *, check_aliasing: bool = False) -> None:
+        self._history: dict[Hashable, _RegionHistory] = {}
+        self._tasks: dict[int, TaskInstance] = {}
+        self._edges: list[DepEdge] = []
+        self._unfinished: set[int] = set()
+        self._check_aliasing = check_aliasing
+        # interval index for the aliasing check: sorted list of
+        # (base, end, key) for regions that carry address info.
+        self._intervals: list[tuple[int, int, Hashable]] = []
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def add_task(self, t: TaskInstance) -> bool:
+        """Register a submitted task; returns ``True`` if it is ready.
+
+        The task's ``predecessors`` set is filled with the uids of its
+        not-yet-finished predecessors; each predecessor's ``successors``
+        list gains the task.
+        """
+        if t.uid in self._tasks:
+            raise ValueError(f"task {t.label!r} submitted twice")
+        self._tasks[t.uid] = t
+        self._unfinished.add(t.uid)
+
+        preds: dict[int, DepEdge] = {}
+        for acc in t.accesses:
+            region = acc.region
+            if self._check_aliasing:
+                self._check_alias(region)
+            hist = self._history.get(region.key)
+            if hist is None:
+                hist = _RegionHistory()
+                self._history[region.key] = hist
+
+            if acc.reads and hist.last_writer is not None:
+                self._note_dep(preds, hist.last_writer, t, DepKind.RAW, region)
+            if acc.writes:
+                if hist.last_writer is not None:
+                    self._note_dep(preds, hist.last_writer, t, DepKind.WAW, region)
+                for reader in hist.readers_since_write:
+                    if reader.uid != t.uid:
+                        self._note_dep(preds, reader, t, DepKind.WAR, region)
+
+        # Update histories only after all clauses were matched, so a task
+        # never depends on itself through an inout access.
+        for acc in t.accesses:
+            hist = self._history[acc.region.key]
+            if acc.writes:
+                hist.last_writer = t
+                hist.readers_since_write = []
+            elif acc.reads:
+                hist.readers_since_write.append(t)
+
+        for edge in preds.values():
+            self._edges.append(edge)
+            src = self._tasks[edge.src]
+            if edge.src in self._unfinished:
+                t.predecessors.add(edge.src)
+                src.successors.append(t)
+
+        return not t.predecessors
+
+    def _note_dep(
+        self,
+        preds: dict[int, DepEdge],
+        src: TaskInstance,
+        dst: TaskInstance,
+        kind: DepKind,
+        region: DataRegion,
+    ) -> None:
+        # Keep one edge per predecessor; prefer the "strongest" kind for
+        # reporting (RAW > WAW > WAR) but correctness only needs one.
+        order = {DepKind.RAW: 0, DepKind.WAW: 1, DepKind.WAR: 2}
+        prev = preds.get(src.uid)
+        if prev is None or order[kind] < order[prev.kind]:
+            preds[src.uid] = DepEdge(src.uid, dst.uid, kind, region)
+
+    def _check_alias(self, region: DataRegion) -> None:
+        if region.base is None or region.length is None or region.key in self._history:
+            return
+        start, end = region.base, region.base + region.length
+        i = bisect.bisect_left(self._intervals, (start, start, None))
+        # neighbours on both sides may overlap
+        for j in (i - 1, i):
+            if 0 <= j < len(self._intervals):
+                b0, b1, key = self._intervals[j]
+                if key != region.key and b0 < end and start < b1:
+                    raise ValueError(
+                        f"region {region.label!r} [{start:#x},{end:#x}) partially "
+                        f"overlaps an existing distinct region [{b0:#x},{b1:#x}); "
+                        "dependence tracking over aliased regions is unsupported"
+                    )
+        bisect.insort(self._intervals, (start, end, region.key))
+
+    # ------------------------------------------------------------------
+    # Retirement
+    # ------------------------------------------------------------------
+    def task_finished(self, t: TaskInstance) -> list[TaskInstance]:
+        """Retire a task; returns successors that became ready."""
+        if t.uid not in self._unfinished:
+            raise ValueError(f"task {t.label!r} finished twice or never submitted")
+        self._unfinished.discard(t.uid)
+        released: list[TaskInstance] = []
+        for succ in t.successors:
+            succ.predecessors.discard(t.uid)
+            if not succ.predecessors:
+                released.append(succ)
+        return released
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> tuple[DepEdge, ...]:
+        return tuple(self._edges)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def unfinished(self) -> int:
+        return len(self._unfinished)
+
+    def task(self, uid: int) -> TaskInstance:
+        return self._tasks[uid]
+
+    def edge_counts(self) -> dict[DepKind, int]:
+        out = {k: 0 for k in DepKind}
+        for e in self._edges:
+            out[e.kind] += 1
+        return out
+
+    def successors_of(self, t: TaskInstance) -> list[TaskInstance]:
+        return list(t.successors)
+
+    def pending_writer(self, region: DataRegion) -> Optional[TaskInstance]:
+        """The unfinished task that will produce ``region``, if any.
+
+        Supports the ``taskwait on`` clause: the master blocks until the
+        data is produced, i.e. until the region's last writer retires.
+        """
+        hist = self._history.get(region.key)
+        if hist is None or hist.last_writer is None:
+            return None
+        writer = hist.last_writer
+        return writer if writer.uid in self._unfinished else None
+
+    def verify_schedule(self, order: Iterable[int]) -> None:
+        """Assert that a completed execution order respects every edge.
+
+        ``order`` is the sequence of task uids in *finish* order; used by
+        tests to prove serialisability of simulated runs.
+        """
+        pos = {uid: i for i, uid in enumerate(order)}
+        for e in self._edges:
+            if e.src in pos and e.dst in pos and pos[e.src] >= pos[e.dst]:
+                raise AssertionError(
+                    f"dependence violated: task {e.src} ({e.kind.value} on "
+                    f"{e.region.label!r}) finished after its dependent {e.dst}"
+                )

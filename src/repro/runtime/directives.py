@@ -1,0 +1,336 @@
+"""The OmpSs pragmas as Python decorators.
+
+The paper's front end is the Mercurium compiler translating::
+
+    #pragma omp target device(cuda) implements(matmul_tile) copy_deps
+    #pragma omp task inout([BS*BS]C) input([BS*BS]A, [BS*BS]B)
+    void matmul_tile_cublas(float *A, float *B, float *C, int BS) {...}
+
+into a per-task version table.  Here the same program is written::
+
+    @target(device="smp", copy_deps=True)
+    @task(inputs=["A", "B"], inouts=["C"], work=tile_work)
+    def matmul_tile(A, B, C):
+        ...
+
+    @target(device="cuda", implements=matmul_tile, copy_deps=True)
+    @task(inputs=["A", "B"], inouts=["C"], work=tile_work)
+    def matmul_tile_cublas(A, B, C):
+        ...
+
+Calling the decorated function inside an active
+:class:`~repro.runtime.runtime.OmpSsRuntime` submits a task instance;
+calling it with no runtime active simply runs the body (sequential
+semantics, like compiling OmpSs code without the runtime).
+
+Clause values are lists of parameter names (strings) or callables
+mapping the bound arguments to a list of arrays/regions; ``work`` is an
+optional callable producing the cost-model parameter dict consumed by
+the simulated devices (e.g. ``{"n": 1024}`` for a gemm tile).
+
+``@task`` alone registers an SMP-targeted main version; ``@target``
+above it overrides device / implements / copy semantics by rebuilding
+the registration, mirroring how the two pragmas combine in OmpSs.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.runtime import context
+from repro.runtime.dataregion import AccessKind, DataAccess, region_of
+from repro.runtime.task import TaskDefinition, TaskInstance, TaskVersion
+from repro.sim.devices import DeviceKind
+
+ClauseSpec = Union[Sequence[str], Callable[..., Iterable[Any]], None]
+
+#: Global registry of task definitions, keyed by main-version name.
+_REGISTRY: dict[str, TaskDefinition] = {}
+
+
+def registered_tasks() -> dict[str, TaskDefinition]:
+    """A snapshot of the global task registry."""
+    return dict(_REGISTRY)
+
+
+def clear_task_registry() -> None:
+    """Drop all globally registered task definitions (test isolation)."""
+    _REGISTRY.clear()
+
+
+class TaskFunction:
+    """A function annotated with ``@task`` (and optionally ``@target``).
+
+    Behaves like the original callable outside a runtime; inside one,
+    each call creates and submits a :class:`TaskInstance`.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        *,
+        inputs: ClauseSpec = None,
+        outputs: ClauseSpec = None,
+        inouts: ClauseSpec = None,
+        work: Optional[Callable[..., Mapping[str, float]]] = None,
+        device: "str | DeviceKind | Sequence[str | DeviceKind]" = DeviceKind.SMP,
+        implements: "TaskFunction | str | None" = None,
+        copy_deps: bool = True,
+        priority: "int | Callable[..., int]" = 0,
+        name: Optional[str] = None,
+        registry: Optional[dict[str, TaskDefinition]] = None,
+    ) -> None:
+        self.fn = fn
+        self.__name__ = name or fn.__name__
+        self.__doc__ = fn.__doc__
+        self._signature = inspect.signature(fn)
+        self._inputs = inputs
+        self._outputs = outputs
+        self._inouts = inouts
+        self._work = work
+        self._priority = priority
+        self._registry = _REGISTRY if registry is None else registry
+
+        kinds = self._parse_device(device)
+        main_name, is_main = self._resolve_implements(implements)
+
+        self.version = TaskVersion(
+            name=self.__name__,
+            task_name=main_name,
+            device_kinds=kinds,
+            kernel=self.__name__,
+            fn=fn,
+            is_main=is_main,
+            copy_deps=copy_deps,
+        )
+        definition = self._registry.get(main_name)
+        if definition is None:
+            if not is_main:
+                raise ValueError(
+                    f"{self.__name__!r} declares implements({main_name!r}) but no task "
+                    f"named {main_name!r} is registered"
+                )
+            definition = TaskDefinition(main_name)
+            self._registry[main_name] = definition
+        definition.add_version(self.version)
+        self.definition = definition
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_device(
+        device: "str | DeviceKind | Sequence[str | DeviceKind]",
+    ) -> tuple[DeviceKind, ...]:
+        if isinstance(device, (str, DeviceKind)):
+            device = [device]
+        kinds = tuple(DeviceKind.parse(d) for d in device)
+        if len(set(kinds)) != len(kinds):
+            raise ValueError("duplicate device kinds in device clause")
+        return kinds
+
+    def _resolve_implements(
+        self, implements: "TaskFunction | str | None"
+    ) -> tuple[str, bool]:
+        if implements is None:
+            return self.__name__, True
+        if isinstance(implements, TaskFunction):
+            # implements must reference the *main* version (paper §IV-A):
+            # "it is not possible to create an implementation of another
+            # implementation".
+            if not implements.version.is_main:
+                raise ValueError(
+                    f"{self.__name__!r}: implements({implements.__name__!r}) references "
+                    "a version that is itself an implementation; implements must name "
+                    "the main version"
+                )
+            return implements.definition.name, False
+        if isinstance(implements, str):
+            return implements, False
+        raise TypeError("implements must be a TaskFunction, a task name, or None")
+
+    def _unregister(self) -> None:
+        """Undo this function's registration (used by @target's rebuild)."""
+        definition = self._registry.get(self.definition.name)
+        if definition is None:
+            return
+        definition._versions = [v for v in definition._versions if v.name != self.version.name]
+        if not definition._versions:
+            del self._registry[self.definition.name]
+
+    # ------------------------------------------------------------------
+    def _clause_regions(self, spec: ClauseSpec, bound: inspect.BoundArguments) -> list:
+        if spec is None:
+            return []
+        if callable(spec):
+            objs = spec(**bound.arguments)
+        else:
+            objs = []
+            for pname in spec:
+                if pname not in bound.arguments:
+                    raise TypeError(
+                        f"task {self.__name__!r}: clause names parameter {pname!r} "
+                        f"which is not an argument of the function"
+                    )
+                objs.append(bound.arguments[pname])
+        return [region_of(o) for o in objs]
+
+    def build_accesses(self, *args: Any, **kwargs: Any) -> list[DataAccess]:
+        """Capture the dependence environment of one call (no submission)."""
+        bound = self._signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        accesses: list[DataAccess] = []
+        for spec, kind in (
+            (self._inputs, AccessKind.INPUT),
+            (self._outputs, AccessKind.OUTPUT),
+            (self._inouts, AccessKind.INOUT),
+        ):
+            for reg in self._clause_regions(spec, bound):
+                accesses.append(DataAccess(reg, kind))
+        self._check_clause_consistency(accesses)
+        return accesses
+
+    @staticmethod
+    def _check_clause_consistency(accesses: list[DataAccess]) -> None:
+        seen: dict = {}
+        for acc in accesses:
+            prev = seen.get(acc.region.key)
+            if prev is not None and prev is not acc.kind:
+                raise ValueError(
+                    f"region {acc.region.label!r} named by two different clauses "
+                    f"({prev.value} and {acc.kind.value}); use inout instead"
+                )
+            seen[acc.region.key] = acc.kind
+
+    def work_params(self, *args: Any, **kwargs: Any) -> dict[str, float]:
+        if self._work is None:
+            return {}
+        bound = self._signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        return dict(self._work(**bound.arguments))
+
+    def priority_of(self, *args: Any, **kwargs: Any) -> int:
+        """Evaluate the ``priority`` clause for one call."""
+        if callable(self._priority):
+            bound = self._signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            return int(self._priority(**bound.arguments))
+        return int(self._priority)
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args: Any, **kwargs: Any) -> Optional[TaskInstance]:
+        rt = context.current_runtime()
+        if rt is None:
+            return self.fn(*args, **kwargs)
+        instance = TaskInstance(
+            self.definition,
+            self.build_accesses(*args, **kwargs),
+            params=self.work_params(*args, **kwargs),
+            args=args,
+            kwargs=kwargs,
+            priority=self.priority_of(*args, **kwargs),
+        )
+        rt.submit(instance)
+        return instance
+
+    def __repr__(self) -> str:
+        kinds = ",".join(k.value for k in self.version.device_kinds)
+        main = "" if self.version.is_main else f" implements {self.definition.name!r}"
+        return f"<TaskFunction {self.__name__!r} device=[{kinds}]{main}>"
+
+
+def task(
+    fn: Optional[Callable[..., Any]] = None,
+    *,
+    inputs: ClauseSpec = None,
+    outputs: ClauseSpec = None,
+    inouts: ClauseSpec = None,
+    work: Optional[Callable[..., Mapping[str, float]]] = None,
+    device: "str | DeviceKind | Sequence[str | DeviceKind]" = DeviceKind.SMP,
+    implements: "TaskFunction | str | None" = None,
+    copy_deps: bool = True,
+    priority: "int | Callable[..., int]" = 0,
+    name: Optional[str] = None,
+    registry: Optional[dict[str, TaskDefinition]] = None,
+) -> Any:
+    """``#pragma omp task`` — declare a function as a task.
+
+    ``inputs`` / ``outputs`` / ``inouts`` mirror the StarSs dependence
+    clauses.  ``device``, ``implements`` and ``copy_deps`` may be given
+    here directly or via a wrapping :func:`target` decorator.
+    ``registry`` selects a private task registry (applications that
+    build their task set per run use one to stay isolated).
+    """
+
+    def wrap(f: Callable[..., Any]) -> TaskFunction:
+        return TaskFunction(
+            f,
+            inputs=inputs,
+            outputs=outputs,
+            inouts=inouts,
+            work=work,
+            device=device,
+            implements=implements,
+            copy_deps=copy_deps,
+            priority=priority,
+            name=name,
+            registry=registry,
+        )
+
+    return wrap(fn) if fn is not None else wrap
+
+
+class _TargetSpec:
+    """The ``target`` clauses, applied above an ``@task`` declaration.
+
+    Rebuilds the inner :class:`TaskFunction`'s registration with the
+    device / implements / copy_deps values from this clause — the same
+    merge Mercurium performs when both pragmas annotate one function.
+    """
+
+    def __init__(
+        self,
+        device: "str | DeviceKind | Sequence[str | DeviceKind]",
+        implements: "TaskFunction | str | None",
+        copy_deps: bool,
+    ) -> None:
+        self.device = device
+        self.implements = implements
+        self.copy_deps = copy_deps
+
+    def __call__(self, inner: Any) -> TaskFunction:
+        if not isinstance(inner, TaskFunction):
+            raise TypeError(
+                "@target must wrap an @task-annotated function:\n"
+                "    @target(device=...)\n    @task(...)\n    def f(...): ..."
+            )
+        inner._unregister()
+        return TaskFunction(
+            inner.fn,
+            inputs=inner._inputs,
+            outputs=inner._outputs,
+            inouts=inner._inouts,
+            work=inner._work,
+            device=self.device,
+            implements=self.implements,
+            copy_deps=self.copy_deps,
+            priority=inner._priority,
+            name=inner.__name__,
+            registry=inner._registry,
+        )
+
+
+def target(
+    *,
+    device: "str | DeviceKind | Sequence[str | DeviceKind]" = DeviceKind.SMP,
+    implements: "TaskFunction | str | None" = None,
+    copy_deps: bool = True,
+) -> _TargetSpec:
+    """``#pragma omp target`` — set device / implements / copy semantics.
+
+    Use above ``@task``::
+
+        @target(device="cuda", implements=matmul_tile)
+        @task(inputs=["A", "B"], inouts=["C"])
+        def matmul_tile_cublas(A, B, C): ...
+    """
+    return _TargetSpec(device, implements, copy_deps)

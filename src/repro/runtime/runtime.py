@@ -1,0 +1,505 @@
+"""The OmpSs runtime core.
+
+Execution model (mirroring Nanos++ as described in §III/§IV-B):
+
+* a master thread (the caller's Python code) creates tasks; each
+  submission runs the dependence analysis and hands *ready* tasks to the
+  scheduling policy,
+* the policy dispatches each ready task — one chosen version, one chosen
+  worker — into that worker's FIFO queue,
+* a worker starts its head task once the task's input regions hold valid
+  copies in the worker's memory space; input transfers are issued at
+  dispatch time (prefetch) so they overlap with the execution of earlier
+  tasks, unless overlap is disabled,
+* on completion the runtime updates the coherence directory (writes
+  invalidate remote copies), reports the measured duration back to the
+  scheduler, releases dependent tasks, and the worker proceeds,
+* ``taskwait`` blocks the master until every submitted task has retired,
+  then flushes dirty data back to the host (unless ``noflush``).
+
+Time is simulated: durations come from the machine's device cost models
+and transfers from its links.  Task bodies may still execute real NumPy
+kernels so applications produce verifiable numerical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Optional, Union
+
+from repro.memory.cache import CacheManager, CacheStats
+from repro.memory.directory import Directory, TransferRequest
+from repro.memory.transfers import TransferEngine, TransferStats
+from repro.runtime import context
+from repro.runtime.dependences import DependenceGraph
+from repro.runtime.task import TaskInstance, TaskState, TaskVersion
+from repro.runtime.worker import Worker
+from repro.sim.engine import EventKind, SimEngine
+from repro.sim.topology import HOST_SPACE, Machine
+from repro.sim.trace import Trace
+
+_EPS = 1e-12
+
+
+@dataclass
+class RuntimeConfig:
+    """Runtime tunables (the paper's environment-variable switches).
+
+    ``overlap_transfers`` + ``prefetch`` reproduce the configuration used
+    throughout the paper's evaluation ("we configured OmpSs to overlap
+    data transfers with task execution.  We also combined this feature
+    with prefetching task data", §V-A2).  Disabling them is used by the
+    overlap ablation bench.
+    """
+
+    overlap_transfers: bool = True
+    prefetch: bool = True
+    #: How many tasks deep into each worker queue input transfers are
+    #: issued ahead of execution.  Bounds pinned device memory to
+    #: ``window x task working set`` while still overlapping transfers
+    #: with the execution of earlier tasks.
+    prefetch_window: int = 4
+    #: Task-creation throttle (the Nanos++ throttle policy): the master
+    #: thread blocks in ``submit`` while this many tasks are in flight,
+    #: bounding runtime memory and look-ahead.  ``None`` = unthrottled.
+    max_in_flight_tasks: Optional[int] = None
+    flush_on_wait: bool = True
+    execute_bodies: bool = True
+    check_aliasing: bool = False
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.prefetch and not self.overlap_transfers:
+            # prefetch is meaningless without overlap; normalise silently
+            self.prefetch = False
+        if self.prefetch_window < 1:
+            raise ValueError("prefetch_window must be >= 1")
+        if self.max_in_flight_tasks is not None and self.max_in_flight_tasks < 1:
+            raise ValueError("max_in_flight_tasks must be >= 1 or None")
+
+    @property
+    def effective_window(self) -> int:
+        """Queue depth at which tasks are prepared (1 = head only)."""
+        return self.prefetch_window if self.prefetch else 1
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run exposes to analysis code."""
+
+    scheduler: str
+    machine: str
+    makespan: float
+    tasks_completed: int
+    transfer_stats: TransferStats
+    cache_stats: CacheStats
+    version_counts: dict[str, dict[str, int]]
+    worker_stats: dict[str, dict[str, float]]
+    trace: Trace
+    finish_order: list[int]
+
+    def version_fractions(self, task_name: str) -> dict[str, float]:
+        """Share of executions per version of one task (Figures 8/11/14/15)."""
+        counts = self.version_counts.get(task_name, {})
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {v: n / total for v, n in counts.items()}
+
+    def gflops(self, total_flops: float) -> float:
+        """Aggregate rate given the application's total flop count."""
+        if self.makespan <= 0:
+            return 0.0
+        return total_flops / self.makespan / 1e9
+
+
+class OmpSsRuntime:
+    """One run of the OmpSs-like runtime on a simulated machine.
+
+    Use as a context manager; the ``with`` body plays the role of the
+    master thread::
+
+        rt = OmpSsRuntime(machine, scheduler="versioning")
+        with rt:
+            for ...: some_task(...)
+            rt.taskwait()
+        result = rt.result()
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler: "Union[str, Any]" = "versioning",
+        *,
+        config: Optional[RuntimeConfig] = None,
+        scheduler_options: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        from repro.schedulers.registry import create_scheduler  # avoid cycle
+
+        self.machine = machine
+        self.config = config or RuntimeConfig()
+        self.engine = SimEngine()
+        self.trace = Trace()
+        self.directory = Directory(HOST_SPACE)
+        self.transfer_engine = TransferEngine(
+            self.engine, machine, trace=self.trace, host=HOST_SPACE
+        )
+        self.cache = CacheManager(machine, self.directory, self.transfer_engine)
+        self.graph = DependenceGraph(check_aliasing=self.config.check_aliasing)
+        self.workers: list[Worker] = [Worker(d) for d in machine.devices]
+        self._workers_by_name = {w.name: w for w in self.workers}
+
+        if isinstance(scheduler, str):
+            self.scheduler = create_scheduler(scheduler, **dict(scheduler_options or {}))
+        else:
+            if scheduler_options:
+                raise ValueError("pass scheduler options to the scheduler instance directly")
+            self.scheduler = scheduler
+        self.scheduler.bind(self)
+
+        self.version_counts: dict[str, dict[str, int]] = {}
+        self._finish_order: list[int] = []
+        self._tasks_completed = 0
+        self._tasks_submitted = 0
+        # (region key, space) -> completion time of an in-flight copy
+        self._inflight: dict[tuple[Hashable, str], float] = {}
+        # task uid -> time its input transfers complete (prepared tasks)
+        self._xfer_ready: dict[int, float] = {}
+        # task uids whose regions are currently pinned in a space
+        self._pinned: set[int] = set()
+        # global uid -> run-local sequence number (for trace determinism)
+        self._local_ids: dict[int, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Master-thread interface
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "OmpSsRuntime":
+        if self._closed:
+            raise RuntimeError("runtime already finished; create a new one")
+        context.push_runtime(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        context.pop_runtime(self)
+        if exc_type is None:
+            self.wait_all()
+
+    def submit(self, t: TaskInstance) -> None:
+        """Submit one task instance (called by the ``@task`` wrapper).
+
+        With ``max_in_flight_tasks`` set, the master blocks here (the
+        simulation advances) until the in-flight count drops below the
+        throttle — the Nanos++ task-creation throttle.
+        """
+        if self._closed:
+            raise RuntimeError("runtime already finished; create a new one")
+        limit = self.config.max_in_flight_tasks
+        if limit is not None:
+            while self.graph.unfinished >= limit:
+                if not self.engine.step():
+                    raise RuntimeError(
+                        "deadlock in throttled submit: in-flight tasks pending "
+                        "but no events queued"
+                    )
+        t.submit_time = self.engine.now
+        self._tasks_submitted += 1
+        # run-local sequence number: traces use it instead of the global
+        # uid so two identical runs produce identical traces
+        self._local_ids[t.uid] = self._tasks_submitted
+        for region in t.regions():
+            self.directory.register(region)
+        if self.graph.add_task(t):
+            self._mark_ready(t)
+
+    def taskwait(self, *, noflush: bool = False) -> None:
+        """Block the master until all submitted tasks retire.
+
+        ``noflush`` reproduces the extended ``taskwait noflush`` clause:
+        synchronise tasks without copying device data back to the host.
+        """
+        guard = self.config.max_events
+        while self.graph.unfinished:
+            if not self.engine.step():
+                raise RuntimeError(
+                    f"deadlock: {self.graph.unfinished} tasks pending but the event "
+                    "queue is empty (dependence cycle or dispatch bug)"
+                )
+            if guard is not None and self.engine.events_processed > guard:
+                raise RuntimeError(f"exceeded max_events={guard}")
+        if self.config.flush_on_wait and not noflush:
+            self._flush_to_host()
+
+    def taskwait_on(self, *data: Any, noflush: bool = False) -> None:
+        """``taskwait on(...)`` — block until the given data is produced.
+
+        Unlike a plain :meth:`taskwait`, only the named regions gate the
+        master, and only they are flushed back to the host; unrelated
+        tasks keep running ("allows the encountering task to block until
+        some data is produced", §III).
+        """
+        from repro.runtime.dataregion import region_of
+
+        regions = [region_of(d) for d in data]
+        guard = self.config.max_events
+        while any(self.graph.pending_writer(r) is not None for r in regions):
+            if not self.engine.step():
+                raise RuntimeError(
+                    "deadlock in taskwait_on: writers pending but no events queued"
+                )
+            if guard is not None and self.engine.events_processed > guard:
+                raise RuntimeError(f"exceeded max_events={guard}")
+        if self.config.flush_on_wait and not noflush:
+            last = self.engine.now
+            for r in regions:
+                req = self.directory.writeback_request(r)
+                if req is not None:
+                    last = max(last, self.transfer_engine.issue(req))
+                    self.directory.note_writeback_done(r)
+            if last > self.engine.now:
+                self.engine.schedule(last, lambda: None, kind=EventKind.RUNTIME,
+                                     label="flush-on")
+                self.engine.run(until=last)
+
+    def wait_all(self) -> "RunResult":
+        """Final barrier: taskwait + flush, then freeze the run."""
+        self.taskwait()
+        self._closed = True
+        return self.result()
+
+    def result(self) -> RunResult:
+        makespan = self.engine.now
+        worker_stats = {
+            w.name: {
+                "tasks_run": float(w.tasks_run),
+                "busy_time": w.busy_time,
+                "utilisation": (w.busy_time / makespan) if makespan > 0 else 0.0,
+            }
+            for w in self.workers
+        }
+        return RunResult(
+            scheduler=self.scheduler.name,
+            machine=self.machine.name,
+            makespan=makespan,
+            tasks_completed=self._tasks_completed,
+            transfer_stats=self.transfer_engine.stats,
+            cache_stats=self.cache.stats,
+            version_counts={k: dict(v) for k, v in self.version_counts.items()},
+            worker_stats=worker_stats,
+            trace=self.trace,
+            finish_order=list(self._finish_order),
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduler-facing interface
+    # ------------------------------------------------------------------
+    def worker(self, name: str) -> Worker:
+        return self._workers_by_name[name]
+
+    def dispatch(self, t: TaskInstance, worker: Worker, version: TaskVersion) -> None:
+        """Place a ready task, with its chosen version, in a worker queue."""
+        if t.state is not TaskState.READY:
+            raise RuntimeError(f"dispatch of non-ready task {t.label!r} ({t.state})")
+        if version not in t.definition.versions:
+            raise ValueError(
+                f"version {version.name!r} does not belong to task {t.name!r}"
+            )
+        if not version.runs_on(worker.device.kind):
+            raise ValueError(
+                f"version {version.name!r} (devices "
+                f"{[k.value for k in version.device_kinds]}) cannot run on worker "
+                f"{worker.name!r} ({worker.device.kind.value})"
+            )
+        t.chosen_version = version
+        t.chosen_worker = worker.name
+        t.state = TaskState.QUEUED
+
+        worker.enqueue(t)
+        self._prepare_window(worker)
+        self._try_start(worker)
+
+    def missing_read_bytes(self, t: TaskInstance, space: str) -> int:
+        """Bytes that would have to move for ``t``'s reads on ``space``.
+
+        Used by the affinity policy and the locality-aware versioning
+        variant; counts each needed region once, ignoring in-flight
+        copies (the policy sees directory state, like Nanos++'s).
+        """
+        total = 0
+        for region in {a.region.key: a.region for a in t.accesses if a.reads}.values():
+            if not self.directory.is_valid(region, space):
+                total += region.nbytes
+        return total
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _mark_ready(self, t: TaskInstance) -> None:
+        # The scheduler may dispatch immediately (dep/affinity) or hold
+        # the task in its own ready pool (versioning's bounded-queue
+        # dispatch); an undispatched task that never moves will surface
+        # as a deadlock in taskwait().
+        t.state = TaskState.READY
+        t.ready_time = self.engine.now
+        self.scheduler.task_ready(t)
+
+    def _prepare_window(self, worker: Worker) -> None:
+        """Prepare the first ``prefetch_window`` queued tasks of a worker.
+
+        Preparation = allocate + pin the task's regions in the worker's
+        space and issue the input transfers.  Deferring preparation for
+        deep queue positions bounds the pinned working set (a 6 GB GPU
+        cannot pin a 16 GB backlog) while still overlapping transfers
+        with the execution of the tasks ahead — the paper's prefetch
+        configuration (§V-A2).
+        """
+        window = self.config.effective_window
+        if not self.config.overlap_transfers and worker.current is not None:
+            # overlap disabled: transfers may only start once the worker
+            # is idle and about to run the task (strict serialisation)
+            return
+        space = worker.space
+        for idx, t in enumerate(worker.queue):
+            if idx >= window:
+                break
+            if t.uid in self._xfer_ready:
+                continue
+            for region in t.regions():
+                self.cache.ensure_resident(space, region)
+                self.cache.pin(space, region)
+            self._pinned.add(t.uid)
+            self._xfer_ready[t.uid] = self._issue_read_transfers(t, space)
+
+    def _issue_read_transfers(self, t: TaskInstance, space: str) -> float:
+        """Start copies for every read region not valid in ``space``.
+
+        Returns the simulated time at which all inputs are valid there.
+        Copies already in flight toward ``space`` are reused, never
+        duplicated.
+        """
+        ready = self.engine.now
+        seen: set = set()
+        for acc in t.accesses:
+            if not acc.reads or acc.region.key in seen:
+                continue
+            seen.add(acc.region.key)
+            region = acc.region
+            if self.directory.is_valid(region, space):
+                continue
+            key = (region.key, space)
+            inflight = self._inflight.get(key)
+            if inflight is not None and inflight > self.engine.now + _EPS:
+                ready = max(ready, inflight)
+                continue
+            req = self.directory.reads_needed(region, space)
+            if req is None:  # pragma: no cover - raced with completion
+                continue
+            done = self.transfer_engine.issue(
+                req,
+                on_complete=self._make_transfer_done(req),
+            )
+            self._inflight[key] = done
+            ready = max(ready, done)
+        return ready
+
+    def _make_transfer_done(self, req: TransferRequest):
+        def _done() -> None:
+            self.directory.mark_valid(req.region, req.dst)
+            self._inflight.pop((req.region.key, req.dst), None)
+
+        return _done
+
+    def _try_start(self, worker: Worker) -> None:
+        if worker.current is not None:
+            return
+        t = worker.peek()
+        if t is None:
+            return
+        if t.uid not in self._xfer_ready:
+            self._prepare_window(worker)
+        ready = self._xfer_ready[t.uid]
+        now = self.engine.now
+        if ready > now + _EPS:
+            # schedule (or pull forward) the wake for this worker; a
+            # priority task jumping to the head may need an earlier wake
+            # than one already scheduled for the previous head
+            if worker._wake_at is None or ready < worker._wake_at - _EPS:
+                worker._wake_at = ready
+                self.engine.schedule(
+                    ready,
+                    lambda: self._wake(worker),
+                    kind=EventKind.WORKER_WAKE,
+                    label=f"wake {worker.name}",
+                )
+            return
+        worker.pop()
+        del self._xfer_ready[t.uid]
+        worker.current = t
+        t.state = TaskState.RUNNING
+        t.start_time = now
+        duration = worker.device.duration(t.chosen_version.kernel, t.data_bytes, t.params)
+        worker.free_at = now + duration
+        self.engine.schedule(
+            now + duration,
+            lambda: self._finish(t, worker),
+            kind=EventKind.TASK_END,
+            label=t.label,
+        )
+        # the pop promoted a task into the prefetch window
+        self._prepare_window(worker)
+        self.scheduler.task_started(t, worker)
+
+    def _wake(self, worker: Worker) -> None:
+        worker._wake_at = None
+        self._try_start(worker)
+
+    def _finish(self, t: TaskInstance, worker: Worker) -> None:
+        now = self.engine.now
+        measured = now - t.start_time
+        worker.current = None
+        worker.busy_time += measured
+        worker.tasks_run += 1
+        t.state = TaskState.FINISHED
+        t.end_time = now
+        if self.config.execute_bodies:
+            t.execute_body()
+        assert t.chosen_version is not None
+        self.trace.add(
+            t.start_time,
+            now,
+            worker.name,
+            "task",
+            t.chosen_version.name,
+            meta=(self._local_ids[t.uid],),
+        )
+
+        space = worker.space
+        for region in t.writes():
+            self.directory.note_write(region, space)
+            self.cache.invalidate_stale_everywhere(region, space)
+        if t.uid in self._pinned:
+            self._pinned.discard(t.uid)
+            for region in t.regions():
+                self.cache.unpin(space, region)
+
+        self.version_counts.setdefault(t.name, {}).setdefault(t.chosen_version.name, 0)
+        self.version_counts[t.name][t.chosen_version.name] += 1
+        self._finish_order.append(t.uid)
+        self._tasks_completed += 1
+
+        self.scheduler.task_finished(t, worker, measured)
+        for succ in self.graph.task_finished(t):
+            self._mark_ready(succ)
+        self._try_start(worker)
+
+    def _flush_to_host(self) -> None:
+        """Copy every dirty region back to the host (taskwait semantics)."""
+        last = self.engine.now
+        for req in self.directory.flush_requests():
+            end = self.transfer_engine.issue(req)
+            self.directory.note_writeback_done(req.region)
+            last = max(last, end)
+        if last > self.engine.now:
+            # advance the master's clock to the final write-back
+            self.engine.schedule(last, lambda: None, kind=EventKind.RUNTIME, label="flush")
+            self.engine.run()

@@ -1,0 +1,237 @@
+"""Task types, versions and instances.
+
+A :class:`TaskDefinition` corresponds to a set of OmpSs task functions
+tied together by the ``implements`` clause: one *main* implementation
+plus any number of alternative versions.  As §IV-A of the paper states,
+the main/alternative distinction is purely a front-end matter — "from
+the runtime point of view, all task versions are treated equally".
+
+A :class:`TaskInstance` is one invocation: the dependence accesses are
+captured from the call's arguments, its data-set size computed (each
+region counted once), and the instance flows through
+``CREATED -> READY -> QUEUED -> RUNNING -> FINISHED``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.runtime.dataregion import DataAccess, DataRegion, unique_data_bytes
+from repro.sim.devices import DeviceKind
+
+
+class TaskState(Enum):
+    CREATED = "created"     # submitted, waiting on dependences
+    READY = "ready"         # dependences satisfied, waiting for the scheduler
+    QUEUED = "queued"       # placed in a worker's queue
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class TaskVersion:
+    """One implementation of a task (one ``#pragma omp target device(...)``).
+
+    Parameters
+    ----------
+    name:
+        Unique version name (the annotated function's name, e.g.
+        ``"matmul_tile_cublas"``).
+    task_name:
+        Name of the owning :class:`TaskDefinition` (the main version).
+    device_kinds:
+        Architectures able to run this version — the ``device(...)``
+        clause admits more than one.
+    kernel:
+        Cost-model key on the device (defaults to ``name``).
+    fn:
+        Optional Python callable executed on the host arrays for real
+        numerical output.  ``None`` means timing-only simulation.
+    is_main:
+        Whether this was the version without an ``implements`` clause.
+    """
+
+    name: str
+    task_name: str
+    device_kinds: tuple[DeviceKind, ...]
+    kernel: str
+    fn: Optional[Callable[..., Any]] = None
+    is_main: bool = False
+    copy_deps: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.device_kinds:
+            raise ValueError(f"task version {self.name!r} targets no device")
+
+    def runs_on(self, kind: "str | DeviceKind") -> bool:
+        return DeviceKind.parse(kind) in self.device_kinds
+
+    def __repr__(self) -> str:
+        kinds = ",".join(k.value for k in self.device_kinds)
+        return f"TaskVersion({self.name!r}, device=[{kinds}])"
+
+
+class TaskDefinition:
+    """A named task together with all its registered versions.
+
+    The first version registered without ``implements`` is the main one;
+    every other version must declare ``implements(<main>)`` — declaring
+    an implementation of a non-main version is rejected, exactly as the
+    paper's front end does (§IV-A).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._versions: list[TaskVersion] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def versions(self) -> tuple[TaskVersion, ...]:
+        return tuple(self._versions)
+
+    @property
+    def main_version(self) -> TaskVersion:
+        if not self._versions:
+            raise RuntimeError(f"task {self.name!r} has no versions")
+        return self._versions[0]
+
+    def add_version(self, version: TaskVersion) -> None:
+        if version.task_name != self.name:
+            raise ValueError(
+                f"version {version.name!r} implements {version.task_name!r}, "
+                f"not {self.name!r}"
+            )
+        if any(v.name == version.name for v in self._versions):
+            raise ValueError(f"duplicate version name {version.name!r} for task {self.name!r}")
+        if version.is_main and self._versions:
+            raise ValueError(f"task {self.name!r} already has a main version")
+        if not version.is_main and not self._versions:
+            raise ValueError(
+                f"version {version.name!r}: implements({self.name!r}) declared before "
+                "the main version was registered"
+            )
+        self._versions.append(version)
+
+    def version(self, name: str) -> TaskVersion:
+        for v in self._versions:
+            if v.name == name:
+                return v
+        raise KeyError(f"task {self.name!r} has no version {name!r}")
+
+    def versions_for_kind(self, kind: "str | DeviceKind") -> list[TaskVersion]:
+        kind = DeviceKind.parse(kind)
+        return [v for v in self._versions if kind in v.device_kinds]
+
+    def device_kinds(self) -> set[DeviceKind]:
+        out: set[DeviceKind] = set()
+        for v in self._versions:
+            out.update(v.device_kinds)
+        return out
+
+    def __repr__(self) -> str:
+        return f"TaskDefinition({self.name!r}, {len(self._versions)} versions)"
+
+
+class TaskInstance:
+    """One invocation of a task.
+
+    Instances are ordered by creation (``uid``), which the dependence
+    analysis uses for program order and the schedulers use for
+    deterministic tie-breaking.
+    """
+
+    _uid_counter = itertools.count()
+
+    __slots__ = (
+        "uid",
+        "definition",
+        "accesses",
+        "params",
+        "args",
+        "kwargs",
+        "state",
+        "data_bytes",
+        "priority",
+        "predecessors",
+        "successors",
+        "chosen_version",
+        "chosen_worker",
+        "submit_time",
+        "ready_time",
+        "start_time",
+        "end_time",
+        "label",
+    )
+
+    def __init__(
+        self,
+        definition: TaskDefinition,
+        accesses: Sequence[DataAccess],
+        *,
+        params: Optional[Mapping[str, float]] = None,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        self.uid: int = next(TaskInstance._uid_counter)
+        self.definition = definition
+        self.accesses: tuple[DataAccess, ...] = tuple(accesses)
+        self.params: dict[str, float] = dict(params or {})
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.state = TaskState.CREATED
+        self.data_bytes = unique_data_bytes(list(self.accesses))
+        #: OmpSs ``priority`` clause: higher values are scheduled first
+        #: within ready pools and jump ahead of lower-priority queued
+        #: tasks (they never preempt a running task).
+        self.priority = int(priority)
+        # dependence bookkeeping, owned by DependenceGraph
+        self.predecessors: set[int] = set()
+        self.successors: list["TaskInstance"] = []
+        # scheduling outcome
+        self.chosen_version: Optional[TaskVersion] = None
+        self.chosen_worker: Optional[str] = None
+        self.submit_time: float = 0.0
+        self.ready_time: float = 0.0
+        self.start_time: float = 0.0
+        self.end_time: float = 0.0
+        self.label = label or f"{definition.name}#{self.uid}"
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    def reads(self) -> list[DataRegion]:
+        return [a.region for a in self.accesses if a.reads]
+
+    def writes(self) -> list[DataRegion]:
+        return [a.region for a in self.accesses if a.writes]
+
+    def regions(self) -> list[DataRegion]:
+        seen: set = set()
+        out: list[DataRegion] = []
+        for a in self.accesses:
+            if a.region.key not in seen:
+                seen.add(a.region.key)
+                out.append(a.region)
+        return out
+
+    def execute_body(self) -> None:
+        """Run the chosen version's Python body on the host arrays.
+
+        Only meaningful when the application supplied real kernels; the
+        simulation's notion of time is independent of this call.
+        """
+        version = self.chosen_version
+        if version is None:
+            raise RuntimeError(f"{self.label}: no version chosen yet")
+        if version.fn is not None:
+            version.fn(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:
+        return f"TaskInstance({self.label!r}, state={self.state.value})"

@@ -1,0 +1,88 @@
+"""Workers: one per device, each with its own task queue.
+
+"Each OmpSs worker thread is currently devoted to only one device (SMP,
+GPU, ...) and there can be as many workers as machine resources.  With
+the versioning scheduler, each worker has its own task queue." (§IV-B)
+
+The queue is FIFO; the runtime starts the head task once its input
+transfers have completed.  Workers track busy time and execution counts
+for the per-device utilisation reporting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.runtime.task import TaskInstance
+from repro.sim.devices import Device, DeviceStats
+
+
+class Worker:
+    """A serial execution resource bound to one device."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.name = f"w:{device.name}"
+        self.queue: Deque[TaskInstance] = deque()
+        self.current: Optional[TaskInstance] = None
+        self.free_at: float = 0.0       # when the running task ends
+        self.busy_time: float = 0.0
+        self.tasks_run: int = 0
+        #: runtime bookkeeping: simulated time of the earliest pending
+        #: wake event for this worker (None = no wake scheduled)
+        self._wake_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> str:
+        """The memory space this worker computes from."""
+        return self.device.memory_space
+
+    @property
+    def is_idle(self) -> bool:
+        return self.current is None
+
+    def load(self) -> int:
+        """Queued tasks (plus the running one) — the simple load metric."""
+        return len(self.queue) + (0 if self.current is None else 1)
+
+    def enqueue(self, t: TaskInstance) -> None:
+        """Append to the queue, honouring the ``priority`` clause.
+
+        A task with non-zero priority is inserted before the first
+        queued task of strictly lower priority (stable within equal
+        priorities); priority-0 tasks take the plain FIFO fast path.
+        """
+        if t.priority == 0 or not self.queue:
+            self.queue.append(t)
+            return
+        for i, queued in enumerate(self.queue):
+            if queued.priority < t.priority:
+                self.queue.insert(i, t)
+                return
+        self.queue.append(t)
+
+    def peek(self) -> Optional[TaskInstance]:
+        return self.queue[0] if self.queue else None
+
+    def pop(self) -> TaskInstance:
+        return self.queue.popleft()
+
+    def queued_tasks(self) -> list[TaskInstance]:
+        """Snapshot of the queue contents (running task excluded)."""
+        return list(self.queue)
+
+    # ------------------------------------------------------------------
+    def stats(self, total_time: float) -> DeviceStats:
+        idle = max(total_time - self.busy_time, 0.0)
+        return DeviceStats(
+            device=self.device.name,
+            tasks_run=self.tasks_run,
+            busy_time=self.busy_time,
+            idle_time=idle,
+        )
+
+    def __repr__(self) -> str:
+        running = self.current.label if self.current else "-"
+        return f"Worker({self.name}, running={running}, queued={len(self.queue)})"

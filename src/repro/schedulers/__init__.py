@@ -1,0 +1,39 @@
+"""Scheduling policies, pluggable like Nanos++ scheduler plug-ins.
+
+Three policies reproduce the paper's evaluation:
+
+* :class:`~repro.schedulers.dependency_aware.DependencyAwareScheduler` —
+  follows dependence chains to keep successive tasks on one device,
+* :class:`~repro.schedulers.affinity.AffinityScheduler` — sends each
+  task where the least data must move,
+* :class:`~repro.core.versioning.VersioningScheduler` — the paper's
+  contribution (lives in :mod:`repro.core`).
+
+Only the versioning scheduler honours ``implements`` versions; the other
+two run each task's *main* implementation only (paper §III, footnote 1).
+Select policies by name through :func:`~repro.schedulers.registry.create_scheduler`
+or the ``REPRO_SCHEDULER`` environment variable, mirroring how Nanos++
+selects plug-ins via ``NX_SCHEDULE``.
+"""
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.breadth_first import BreadthFirstScheduler
+from repro.schedulers.dependency_aware import DependencyAwareScheduler
+from repro.schedulers.affinity import AffinityScheduler
+from repro.schedulers.registry import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+    scheduler_from_env,
+)
+
+__all__ = [
+    "Scheduler",
+    "BreadthFirstScheduler",
+    "DependencyAwareScheduler",
+    "AffinityScheduler",
+    "available_schedulers",
+    "create_scheduler",
+    "register_scheduler",
+    "scheduler_from_env",
+]

@@ -1,0 +1,40 @@
+"""Affinity scheduler.
+
+"For each task, it evaluates the amount of data that should be
+transferred to a certain device in order to execute the task.  The
+scheduler chooses the device where the minimum amount of data must be
+transferred.  We can exploit data locality this way, and reduce
+significantly the time spent in memory transfers." (§V-A2)
+
+Ties on missing bytes are broken by queue load (so an idle device steals
+work from a loaded one — the behaviour §V-B2 observes on Cholesky) and
+then by worker name for determinism.  Ignores ``implements`` versions.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.task import TaskInstance
+from repro.schedulers.base import Scheduler
+
+
+class AffinityScheduler(Scheduler):
+    name = "affinity"
+    supports_versions = False
+
+    #: A worker may run ahead of the least-loaded one by at most this many
+    #: queued tasks before locality stops winning; beyond it, an idle
+    #: worker "steals" the task even though that costs extra transfers
+    #: (the behaviour §V-B2 describes on Cholesky).
+    load_slack: int = 2
+
+    def task_ready(self, t: TaskInstance) -> None:
+        assert self.rt is not None
+        version = self.main_version(t.definition)
+        candidates = self.require_capable_workers(version)
+        min_load = min(w.load() for w in candidates)
+        balanced = [w for w in candidates if w.load() <= min_load + self.load_slack]
+        worker = min(
+            balanced,
+            key=lambda w: (self.rt.missing_read_bytes(t, w.space), w.load(), w.name),
+        )
+        self.rt.dispatch(t, worker, version)

@@ -1,0 +1,98 @@
+"""Scheduler plug-in interface.
+
+A scheduler receives ready tasks from the runtime and must dispatch each
+one — choose a worker and a task version — by calling
+:meth:`~repro.runtime.runtime.OmpSsRuntime.dispatch`.  After every task
+execution the runtime reports the measured duration back through
+:meth:`Scheduler.task_finished`; only the versioning scheduler uses that
+feedback, but the hook is part of the generic interface.
+
+``supports_versions`` mirrors the paper's footnote 1: the pre-existing
+OmpSs schedulers ignore the ``implements`` clause and always run the
+main implementation.  The runtime refuses to start a hybrid application
+(one whose main implementation cannot run anywhere on the machine) under
+such a scheduler — the same failure a real OmpSs run would hit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.runtime.task import TaskDefinition, TaskInstance, TaskVersion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import OmpSsRuntime
+    from repro.runtime.worker import Worker
+
+
+class Scheduler:
+    """Base class for scheduling policies."""
+
+    #: Plug-in name used by the registry / environment variable.
+    name: str = "base"
+
+    #: Whether the policy understands ``implements`` versions.
+    supports_versions: bool = False
+
+    def __init__(self) -> None:
+        self.rt: Optional["OmpSsRuntime"] = None
+        # device-kind tuple -> capable workers; the worker set is fixed
+        # for a run, so this is a pure cache (hot path of every dispatch)
+        self._capable_cache: dict[tuple, list["Worker"]] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, runtime: "OmpSsRuntime") -> None:
+        """Attach to a runtime before the first task is submitted."""
+        self.rt = runtime
+        self._capable_cache.clear()
+
+    @property
+    def workers(self) -> list["Worker"]:
+        assert self.rt is not None, "scheduler not bound to a runtime"
+        return self.rt.workers
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def task_ready(self, t: TaskInstance) -> None:
+        """A task's dependences are satisfied; dispatch it now."""
+        raise NotImplementedError
+
+    def task_started(self, t: TaskInstance, worker: "Worker") -> None:
+        """A dispatched task left the queue and began executing."""
+
+    def task_finished(self, t: TaskInstance, worker: "Worker", measured: float) -> None:
+        """Execution feedback (measured duration in seconds)."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the non-versioning policies
+    # ------------------------------------------------------------------
+    def main_version(self, definition: TaskDefinition) -> TaskVersion:
+        return definition.main_version
+
+    def capable_workers(self, version: TaskVersion) -> list["Worker"]:
+        """Workers whose device can run ``version`` (deterministic order)."""
+        key = version.device_kinds
+        cached = self._capable_cache.get(key)
+        if cached is None:
+            cached = [w for w in self.workers if version.runs_on(w.device.kind)]
+            self._capable_cache[key] = cached
+        return cached
+
+    def require_capable_workers(self, version: TaskVersion) -> list["Worker"]:
+        ws = self.capable_workers(version)
+        if not ws:
+            kinds = ",".join(k.value for k in version.device_kinds)
+            raise RuntimeError(
+                f"no worker on this machine can run version {version.name!r} "
+                f"(device clause: {kinds}); scheduler {self.name!r} only runs main "
+                "implementations" if not self.supports_versions else
+                f"no worker can run version {version.name!r} (device clause: {kinds})"
+            )
+        return ws
+
+    def least_loaded(self, workers: list["Worker"]) -> "Worker":
+        """Fewest queued tasks; ties broken by worker name (deterministic)."""
+        return min(workers, key=lambda w: (w.load(), w.name))

@@ -1,0 +1,64 @@
+"""Breadth-first scheduler.
+
+Nanos++'s default policy: a single central ready queue in FIFO order;
+idle workers pick the oldest ready task they can run.  No locality, no
+chains, no version awareness — the baseline the smarter policies are
+measured against.  (The paper's evaluation uses dep-aware and affinity;
+``bf`` is included for completeness of the scheduler plug-in set.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque
+
+from repro.runtime.task import TaskInstance
+from repro.schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.worker import Worker
+
+
+class BreadthFirstScheduler(Scheduler):
+    name = "bf"
+    supports_versions = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ready: Deque[TaskInstance] = deque()
+        self._pumping = False
+
+    def task_ready(self, t: TaskInstance) -> None:
+        # validate early so an unrunnable task fails at submission
+        self.require_capable_workers(self.main_version(t.definition))
+        self._ready.append(t)
+        self._pump()
+
+    def task_started(self, t: TaskInstance, worker: "Worker") -> None:
+        self._pump()
+
+    def task_finished(self, t: TaskInstance, worker: "Worker", measured: float) -> None:
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._pumping:
+            return
+        assert self.rt is not None
+        self._pumping = True
+        try:
+            while self._ready:
+                placed = False
+                for i, t in enumerate(self._ready):
+                    version = self.main_version(t.definition)
+                    idle = [w for w in self.capable_workers(version) if w.load() == 0]
+                    if not idle:
+                        continue
+                    worker = min(idle, key=lambda w: w.name)
+                    del self._ready[i]
+                    self.rt.dispatch(t, worker, version)
+                    placed = True
+                    break
+                if not placed:
+                    break
+        finally:
+            self._pumping = False

@@ -1,0 +1,59 @@
+"""Dependency-aware scheduler.
+
+"A simple implementation of a scheduler that tries to find chains of
+dependencies and schedule consecutive tasks of the same chain to the
+same device.  Its decisions are fast, but in some cases cannot fully
+exploit data locality." (§V-A2)
+
+Policy: when a task becomes ready because a predecessor just finished on
+worker W, and W can run the task's main implementation, keep the chain
+on W.  Tasks with no usable chain hint (or whose hint cannot run the
+main version) go to the least-loaded capable worker.  Like every
+pre-versioning OmpSs scheduler it ignores ``implements`` versions and
+runs main implementations only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.task import TaskInstance
+from repro.schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.worker import Worker
+
+
+class DependencyAwareScheduler(Scheduler):
+    name = "dep"
+    supports_versions = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        # successor uid -> the worker that finished a predecessor last;
+        # set in task_finished, which the runtime calls *before* it
+        # releases the successors, so the hint is ready by task_ready.
+        self._chain_hint: dict[int, "Worker"] = {}
+
+    def task_ready(self, t: TaskInstance) -> None:
+        assert self.rt is not None
+        version = self.main_version(t.definition)
+        candidates = self.require_capable_workers(version)
+        hint = self._chain_hint.pop(t.uid, None)
+        fallback = self.least_loaded(candidates)
+        if (
+            hint is not None
+            and version.runs_on(hint.device.kind)
+            and hint.load() <= fallback.load()
+        ):
+            # Keep the chain on the predecessor's device — but only while
+            # that does not pile work onto an already-longer queue (a
+            # chain hint must not defeat load balance entirely).
+            worker = hint
+        else:
+            worker = fallback
+        self.rt.dispatch(t, worker, version)
+
+    def task_finished(self, t: TaskInstance, worker: "Worker", measured: float) -> None:
+        for succ in t.successors:
+            self._chain_hint[succ.uid] = worker

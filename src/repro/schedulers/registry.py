@@ -1,0 +1,84 @@
+"""Scheduler plug-in registry.
+
+Nanos++ loads scheduling policies as plug-ins selected by the
+``NX_SCHEDULE`` environment variable, so the same binary can run under
+different schedulers without recompiling (§III).  This registry is the
+equivalent: policies register under one or more names, and
+:func:`create_scheduler` / :func:`scheduler_from_env` instantiate them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+from repro.schedulers.base import Scheduler
+
+ENV_VAR = "REPRO_SCHEDULER"
+
+_FACTORIES: dict[str, Callable[..., Scheduler]] = {}
+
+
+def register_scheduler(*names: str) -> Callable[[type], type]:
+    """Class decorator: register a Scheduler subclass under ``names``."""
+
+    def wrap(cls: type) -> type:
+        if not issubclass(cls, Scheduler):
+            raise TypeError(f"{cls.__name__} is not a Scheduler")
+        for n in names:
+            key = n.lower()
+            if key in _FACTORIES:
+                raise ValueError(f"scheduler name {key!r} already registered")
+            _FACTORIES[key] = cls
+        return cls
+
+    return wrap
+
+
+def available_schedulers() -> list[str]:
+    _ensure_builtin()
+    return sorted(_FACTORIES)
+
+
+def create_scheduler(name: str, **options: Any) -> Scheduler:
+    """Instantiate a registered policy by name (case-insensitive)."""
+    _ensure_builtin()
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from None
+    return factory(**options)
+
+
+def scheduler_from_env(default: str = "dep", **options: Any) -> Scheduler:
+    """Build the scheduler selected by ``$REPRO_SCHEDULER`` (or ``default``)."""
+    return create_scheduler(os.environ.get(ENV_VAR, default), **options)
+
+
+_BOOTSTRAPPED = False
+
+
+def _ensure_builtin() -> None:
+    """Register built-in policies lazily (avoids import cycles)."""
+    global _BOOTSTRAPPED
+    if _BOOTSTRAPPED:
+        return
+    _BOOTSTRAPPED = True
+    from repro.schedulers.affinity import AffinityScheduler
+    from repro.schedulers.breadth_first import BreadthFirstScheduler
+    from repro.schedulers.dependency_aware import DependencyAwareScheduler
+    from repro.core.versioning import VersioningScheduler
+    from repro.core.locality import LocalityVersioningScheduler
+
+    for names, cls in (
+        (("bf", "breadth-first"), BreadthFirstScheduler),
+        (("dep", "dependency-aware"), DependencyAwareScheduler),
+        (("affinity", "aff"), AffinityScheduler),
+        (("versioning", "ver"), VersioningScheduler),
+        (("versioning-locality", "ver-loc"), LocalityVersioningScheduler),
+    ):
+        for n in names:
+            if n not in _FACTORIES:
+                _FACTORIES[n] = cls

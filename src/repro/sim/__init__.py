@@ -1,0 +1,64 @@
+"""Discrete-event simulation substrate.
+
+This package models the hardware the paper ran on — a MinoTauro node with
+two 6-core Intel Xeon E5649 CPUs and two NVIDIA M2090 GPUs — as a
+deterministic discrete-event simulation:
+
+* :mod:`repro.sim.engine` — the event queue and simulated clock,
+* :mod:`repro.sim.devices` — compute devices (SMP cores, GPUs) with
+  calibrated kernel cost models,
+* :mod:`repro.sim.perfmodel` — the cost models themselves,
+* :mod:`repro.sim.topology` — machine descriptions (devices + links),
+* :mod:`repro.sim.trace` — execution traces for post-mortem analysis.
+
+The simulation is deterministic for a given seed; the runtime layers on
+top of it never consult wall-clock time.
+"""
+
+from repro.sim.engine import Event, EventKind, SimEngine
+from repro.sim.devices import Device, DeviceKind, GPUDevice, SMPDevice
+from repro.sim.perfmodel import (
+    KernelCostModel,
+    PerfModel,
+    TableCostModel,
+    AffineBytesCostModel,
+    GemmCostModel,
+)
+from repro.sim.perturb import DriftCostModel, PhaseShiftCostModel, SpikeCostModel
+from repro.sim.calibrate import (
+    fit_affine_bytes,
+    fit_fixed,
+    fit_gemm,
+    table_model_from_profile,
+)
+from repro.sim.topology import Link, Machine, MachineSpec, cluster_machine, minotauro_node
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "SimEngine",
+    "Device",
+    "DeviceKind",
+    "GPUDevice",
+    "SMPDevice",
+    "KernelCostModel",
+    "PerfModel",
+    "TableCostModel",
+    "AffineBytesCostModel",
+    "GemmCostModel",
+    "PhaseShiftCostModel",
+    "SpikeCostModel",
+    "DriftCostModel",
+    "fit_fixed",
+    "fit_affine_bytes",
+    "fit_gemm",
+    "table_model_from_profile",
+    "Link",
+    "Machine",
+    "MachineSpec",
+    "cluster_machine",
+    "minotauro_node",
+    "Trace",
+    "TraceRecord",
+]

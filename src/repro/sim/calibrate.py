@@ -1,0 +1,100 @@
+"""Cost-model calibration from measured samples.
+
+The simulated machine's fidelity hangs on its cost models.  This module
+fits the standard model shapes to measurement samples — pairs of
+(work description, observed seconds) — so machines can be built from
+real profiling data (or from a previous simulated run's profile table,
+closing the same loop as the §VII hints file but on the *machine* side).
+
+All fits are least squares with physical constraints (non-negative
+overheads, positive rates); they only need NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.core.profile import TaskVersionSet
+
+from repro.sim.perfmodel import (
+    AffineBytesCostModel,
+    FixedCostModel,
+    GemmCostModel,
+    TableCostModel,
+)
+
+
+def _check_samples(samples: Sequence[tuple[float, float]], minimum: int) -> None:
+    if len(samples) < minimum:
+        raise ValueError(f"need at least {minimum} samples, got {len(samples)}")
+    for x, t in samples:
+        if t < 0:
+            raise ValueError(f"negative duration sample: {t}")
+
+
+def fit_fixed(durations: Iterable[float]) -> FixedCostModel:
+    """Fit a constant-cost model: the sample mean."""
+    xs = np.asarray(list(durations), dtype=float)
+    if xs.size == 0:
+        raise ValueError("need at least 1 sample")
+    if np.any(xs < 0):
+        raise ValueError("negative duration sample")
+    return FixedCostModel(float(xs.mean()))
+
+
+def fit_affine_bytes(samples: Sequence[tuple[int, float]]) -> AffineBytesCostModel:
+    """Fit ``t = base + bytes / bandwidth`` to (bytes, seconds) samples.
+
+    The slope is clamped positive (a kernel cannot get faster with more
+    data under this model); the base is clamped non-negative.
+    """
+    _check_samples(samples, 2)
+    nbytes = np.array([s[0] for s in samples], dtype=float)
+    times = np.array([s[1] for s in samples], dtype=float)
+    if np.ptp(nbytes) == 0:
+        raise ValueError("samples must span more than one size to fit a slope")
+    A = np.vstack([np.ones_like(nbytes), nbytes]).T
+    (base, slope), *_ = np.linalg.lstsq(A, times, rcond=None)
+    base = max(float(base), 0.0)
+    slope = max(float(slope), 1e-18)
+    return AffineBytesCostModel(base=base, bandwidth=1.0 / slope)
+
+
+def fit_gemm(samples: Sequence[tuple[int, float]]) -> GemmCostModel:
+    """Fit ``t = overhead + 2 n^3 / rate`` to (tile dimension, seconds)."""
+    _check_samples(samples, 2)
+    ns = np.array([s[0] for s in samples], dtype=float)
+    times = np.array([s[1] for s in samples], dtype=float)
+    flops = 2.0 * ns**3
+    if np.ptp(flops) == 0:
+        raise ValueError("samples must span more than one tile size")
+    A = np.vstack([np.ones_like(flops), flops]).T
+    (overhead, slope), *_ = np.linalg.lstsq(A, times, rcond=None)
+    overhead = max(float(overhead), 0.0)
+    slope = max(float(slope), 1e-21)
+    return GemmCostModel(gflops=1.0 / slope / 1e9, launch_overhead=overhead)
+
+
+def table_model_from_profile(
+    vset: "TaskVersionSet", version_name: str
+) -> TableCostModel:
+    """Replay a learned profile as a size-keyed cost model.
+
+    Takes a :class:`~repro.core.profile.TaskVersionSet` (e.g. loaded
+    from a §VII hints file) and builds a :class:`TableCostModel` mapping
+    each observed data-set size to that version's mean time — a machine
+    description distilled from execution history.
+    """
+    table: dict[int, float] = {}
+    for grp in vset.groups():
+        mean = grp.mean_time(version_name)
+        if mean is not None:
+            table[int(grp.representative_bytes)] = float(mean)
+    if not table:
+        raise ValueError(
+            f"profile has no executions of version {version_name!r} to replay"
+        )
+    return TableCostModel(table)

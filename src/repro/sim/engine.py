@@ -1,0 +1,217 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a priority queue of timestamped events plus a simulated
+clock.  Everything above it (workers, transfer engines, the scheduler's
+notion of "busy time") is driven by callbacks fired in timestamp order.
+
+Determinism
+-----------
+Two runs with the same inputs must produce *identical* traces, so ties in
+timestamps are broken by a monotonically increasing sequence number — the
+insertion order — never by object identity or hash order.  No wall-clock
+time is ever consulted.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+
+class EventKind(Enum):
+    """Classification of simulation events, used for tracing and debugging."""
+
+    GENERIC = "generic"
+    TASK_START = "task-start"
+    TASK_END = "task-end"
+    TRANSFER_START = "transfer-start"
+    TRANSFER_END = "transfer-end"
+    WORKER_WAKE = "worker-wake"
+    RUNTIME = "runtime"
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` where ``seq`` is the insertion
+    order; this makes the event queue fully deterministic.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind
+    callback: Callable[[], None]
+    label: str = ""
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class SimEngine:
+    """Discrete-event simulation core.
+
+    Usage::
+
+        eng = SimEngine()
+        eng.schedule(1.5, lambda: print("fires at t=1.5"))
+        eng.run()
+        assert eng.now == 1.5
+
+    The engine may be driven either to completion (:meth:`run`) or event
+    by event (:meth:`step`), and supports bounded runs (``until=``).
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now: float = 0.0
+        self._events_processed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to fire at absolute simulated ``time``.
+
+        ``time`` must not be in the past.  Returns the :class:`Event`,
+        which the caller may later :meth:`Event.cancel`.
+        """
+        if math.isnan(time):
+            raise ValueError("cannot schedule an event at NaN time")
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        ev = Event(time=time, seq=next(self._seq), kind=kind, callback=callback, label=label)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule(self._now + delay, callback, kind=kind, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        is exhausted.
+        """
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:  # pragma: no cover - defensive
+                raise RuntimeError("event queue yielded an event in the past")
+            self._now = ev.time
+            self._events_processed += 1
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            ``until`` (the clock is then advanced to ``until``).
+        max_events:
+            Safety valve; raise :class:`RuntimeError` if more than this
+            many events execute (catches accidental infinite loops).
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise RuntimeError("SimEngine.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                nxt = self._peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise RuntimeError(
+                        f"SimEngine exceeded max_events={max_events}; "
+                        "likely an event loop that never terminates"
+                    )
+        finally:
+            self._running = False
+        return executed
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next non-cancelled event without executing it."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    # Introspection / reset
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimEngine(now={self._now:.6f}, pending={len(self._queue)}, "
+            f"processed={self._events_processed})"
+        )

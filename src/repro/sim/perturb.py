@@ -1,0 +1,96 @@
+"""Perturbed cost models — workload drift and interference injection.
+
+The versioning scheduler "never stops learning ... and easily adapts to
+application's behaviour, even if it changes over the whole execution"
+(§IV-B).  Testing that claim needs kernels whose cost *changes*: these
+wrappers inject phase shifts (thermal throttling, a co-scheduled job
+appearing), periodic spikes (OS jitter, garbage collection) and gradual
+drift into any base cost model.
+
+All wrappers are deterministic functions of the call count, so perturbed
+simulations stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.perfmodel import KernelCostModel, Params
+
+
+class PhaseShiftCostModel(KernelCostModel):
+    """Switch between cost models after fixed call counts.
+
+    ``phases`` is a list of ``(model, calls)`` pairs; the last phase's
+    call budget is ignored (it runs forever).  Models an abrupt change:
+    a GPU starting to throttle, a contending job arriving or leaving.
+    """
+
+    def __init__(self, phases: Sequence[tuple[KernelCostModel, int]]) -> None:
+        if not phases:
+            raise ValueError("PhaseShiftCostModel needs at least one phase")
+        for _, calls in phases[:-1]:
+            if calls <= 0:
+                raise ValueError("phase call budgets must be positive")
+        self.phases = list(phases)
+        self.calls = 0
+
+    def duration(self, data_bytes: int, params: Params) -> float:
+        self.calls += 1
+        remaining = self.calls
+        for model, budget in self.phases[:-1]:
+            if remaining <= budget:
+                return model(data_bytes, params)
+            remaining -= budget
+        return self.phases[-1][0](data_bytes, params)
+
+
+class SpikeCostModel(KernelCostModel):
+    """Every ``every_n``-th call costs ``factor`` times more.
+
+    Models periodic interference (OS jitter, page migration, GC pauses).
+    """
+
+    def __init__(self, inner: KernelCostModel, every_n: int, factor: float) -> None:
+        if every_n < 1:
+            raise ValueError("every_n must be >= 1")
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.inner = inner
+        self.every_n = every_n
+        self.factor = factor
+        self.calls = 0
+
+    def duration(self, data_bytes: int, params: Params) -> float:
+        self.calls += 1
+        base = self.inner(data_bytes, params)
+        if self.calls % self.every_n == 0:
+            return base * self.factor
+        return base
+
+
+class DriftCostModel(KernelCostModel):
+    """Each call multiplies the base cost by ``(1 + rate)`` more.
+
+    Models gradual degradation; ``rate`` may be negative (warm-up).
+    ``max_factor`` clamps the cumulative drift so long runs stay sane.
+    """
+
+    def __init__(
+        self,
+        inner: KernelCostModel,
+        rate_per_call: float,
+        max_factor: float = 100.0,
+    ) -> None:
+        if max_factor <= 0:
+            raise ValueError("max_factor must be positive")
+        self.inner = inner
+        self.rate = rate_per_call
+        self.max_factor = max_factor
+        self.calls = 0
+
+    def duration(self, data_bytes: int, params: Params) -> float:
+        factor = min(max((1.0 + self.rate) ** self.calls, 1.0 / self.max_factor),
+                     self.max_factor)
+        self.calls += 1
+        return self.inner(data_bytes, params) * factor

@@ -1,0 +1,338 @@
+"""Machine descriptions: devices plus the links between memory spaces.
+
+The reference machine is one node of the MinoTauro cluster used in the
+paper's evaluation: two Intel Xeon E5649 6-core CPUs (12 cores, 24 GB,
+one shared host memory space) and two NVIDIA Tesla M2090 GPUs (6 GB
+each, private memory spaces) on PCIe 2.0.
+
+Calibration
+-----------
+The constants below are chosen so that the *relationships* the paper
+reports hold on the simulated machine:
+
+* one SMP core sustains ~5 GFLOP/s on dgemm while one GPU sustains
+  ~305 GFLOP/s with CUBLAS — the paper's "SMP task duration is about 60
+  times the GPU task duration" for 1024x1024 double tiles;
+* one GPU is ~45% of node peak, one core <1% (paper §V-B1);
+* PCIe 2.0 x16 moves ~6 GB/s with ~15 us latency; peer-to-peer GPU
+  copies run slightly slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.sim.devices import Device, DeviceKind, GPUDevice, SMPDevice
+from repro.sim.perfmodel import KernelCostModel, PerfModel
+
+HOST_SPACE = "host"
+
+#: Calibrated sustained rates (GFLOP/s) and bandwidths (bytes/s).
+SMP_DGEMM_GFLOPS = 5.1
+GPU_CUBLAS_DGEMM_GFLOPS = 305.0
+GPU_HANDCODED_DGEMM_GFLOPS = 150.0
+PCIE_BANDWIDTH = 6.0e9
+PCIE_LATENCY = 15e-6
+P2P_BANDWIDTH = 5.0e9
+P2P_LATENCY = 20e-6
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two memory spaces.
+
+    ``transfer_time`` is the classic latency + size/bandwidth model.
+    ``channels`` models parallel DMA engines on the link: up to that
+    many transfers proceed concurrently, each at full link bandwidth
+    (engine-limited, not wire-limited — the Fermi copy-engine model);
+    further transfers queue on the earliest-free channel.
+    """
+
+    src: str
+    dst: str
+    bandwidth: float
+    latency: float = 0.0
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("link latency must be non-negative")
+        if self.src == self.dst:
+            raise ValueError("a link must connect two distinct memory spaces")
+        if self.channels < 1:
+            raise ValueError("a link needs at least one channel")
+
+    def transfer_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative number of bytes")
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters for building a simulated node.
+
+    ``n_smp`` counts SMP *worker* cores (the x-axis of the paper's
+    plots); ``n_gpus`` counts GPUs.  ``noise_cv`` adds deterministic
+    per-device duration jitter so the learning scheduler has something
+    real to average over.
+    """
+
+    n_smp: int = 12
+    n_gpus: int = 2
+    gpu_memory_bytes: int = 6 * 1024**3
+    pcie_bandwidth: float = PCIE_BANDWIDTH
+    pcie_latency: float = PCIE_LATENCY
+    p2p_bandwidth: float = P2P_BANDWIDTH
+    p2p_latency: float = P2P_LATENCY
+    noise_cv: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_smp < 0 or self.n_gpus < 0:
+            raise ValueError("device counts must be non-negative")
+        if self.n_smp == 0 and self.n_gpus == 0:
+            raise ValueError("a machine needs at least one device")
+
+
+class Machine:
+    """A set of devices plus the link matrix between their memory spaces."""
+
+    def __init__(self, name: str, devices: Iterable[Device], links: Iterable[Link]) -> None:
+        self.name = name
+        self.devices: list[Device] = list(devices)
+        if not self.devices:
+            raise ValueError("a machine needs at least one device")
+        names = [d.name for d in self.devices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device names: {names}")
+        self._links: dict[tuple[str, str], Link] = {}
+        for link in links:
+            key = (link.src, link.dst)
+            if key in self._links:
+                raise ValueError(f"duplicate link {key}")
+            self._links[key] = link
+        self._routes: dict[tuple[str, str], list[Link]] = {}
+
+    # ------------------------------------------------------------------
+    def device(self, name: str) -> Device:
+        for d in self.devices:
+            if d.name == name:
+                return d
+        raise KeyError(f"no device named {name!r}")
+
+    def devices_of_kind(self, kind: "str | DeviceKind") -> list[Device]:
+        kind = DeviceKind.parse(kind)
+        return [d for d in self.devices if d.kind is kind]
+
+    def spaces(self) -> list[str]:
+        """All memory-space identifiers, host space first if present."""
+        seen: dict[str, None] = {}
+        for d in self.devices:
+            seen.setdefault(d.memory_space, None)
+        out = sorted(seen, key=lambda s: (s != HOST_SPACE, s))
+        return out
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link from {src!r} to {dst!r}") from None
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._links
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        return self.link(src, dst).transfer_time(nbytes)
+
+    # ------------------------------------------------------------------
+    # Routing (multi-hop transfers, for cluster machines whose GPUs have
+    # no direct link to a remote node's memory)
+    # ------------------------------------------------------------------
+    def route(self, src: str, dst: str) -> list[Link]:
+        """Shortest-hop path of links from ``src`` to ``dst``.
+
+        Single-node machines always route in one hop; on a cluster a
+        GPU-to-remote-GPU copy stages through the two host memories,
+        exactly like OmpSs@cluster's data movement.  Paths are cached.
+        Raises :class:`KeyError` when no path exists.
+        """
+        if src == dst:
+            raise ValueError("route with identical endpoints")
+        cached = self._routes.get((src, dst))
+        if cached is not None:
+            return cached
+        direct = self._links.get((src, dst))
+        if direct is not None:
+            self._routes[(src, dst)] = [direct]
+            return [direct]
+        # BFS over the link graph
+        prev: dict[str, Link] = {}
+        frontier = [src]
+        seen = {src}
+        while frontier and dst not in seen:
+            nxt: list[str] = []
+            for node in frontier:
+                for (a, b), link in self._links.items():
+                    if a == node and b not in seen:
+                        seen.add(b)
+                        prev[b] = link
+                        nxt.append(b)
+            frontier = nxt
+        if dst not in prev:
+            raise KeyError(f"no route from {src!r} to {dst!r}")
+        path: list[Link] = []
+        node = dst
+        while node != src:
+            link = prev[node]
+            path.append(link)
+            node = link.src
+        path.reverse()
+        self._routes[(src, dst)] = path
+        return path
+
+    def path_transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Wire time of a (possibly multi-hop) copy, ignoring queueing."""
+        return sum(link.transfer_time(nbytes) for link in self.route(src, dst))
+
+    # ------------------------------------------------------------------
+    def register_kernel_for_kind(
+        self, kind: "str | DeviceKind", kernel: str, model: KernelCostModel
+    ) -> None:
+        """Register a cost model on every device of the given kind.
+
+        Applications use this to teach the machine what their kernels
+        cost per architecture before a run.
+        """
+        targets = self.devices_of_kind(kind)
+        if not targets:
+            raise ValueError(f"machine {self.name!r} has no {DeviceKind.parse(kind).value} devices")
+        for d in targets:
+            d.register_kernel(kernel, model)
+
+    def __repr__(self) -> str:
+        kinds: dict[str, int] = {}
+        for d in self.devices:
+            kinds[d.kind.value] = kinds.get(d.kind.value, 0) + 1
+        desc = ", ".join(f"{n}x {k}" for k, n in sorted(kinds.items()))
+        return f"Machine({self.name!r}: {desc})"
+
+
+#: Default interconnect rates for cluster machines (QDR InfiniBand-ish).
+NETWORK_BANDWIDTH = 3.0e9
+NETWORK_LATENCY = 2e-6
+
+
+def cluster_machine(
+    n_nodes: int = 2,
+    smp_per_node: int = 6,
+    gpus_per_node: int = 2,
+    *,
+    network_bandwidth: float = NETWORK_BANDWIDTH,
+    network_latency: float = NETWORK_LATENCY,
+    gpu_memory_bytes: int = 6 * 1024**3,
+    noise_cv: float = 0.03,
+    seed: int = 0,
+) -> Machine:
+    """A cluster of MinoTauro-like nodes (the OmpSs@cluster setting).
+
+    Node 0's host memory is the home space (``"host"``, where the
+    application's data lives); remote nodes contribute their own host
+    spaces (``"node1"``, ...) and GPUs.  Intra-node links are PCIe;
+    host-to-host links model the interconnect.  A copy between two GPUs
+    on different nodes has no direct link and is *routed* through both
+    host memories — three hops, each accounted separately.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be at least 1")
+    devices: list[Device] = []
+    links: list[Link] = []
+    host_spaces: list[str] = []
+    for node in range(n_nodes):
+        host = HOST_SPACE if node == 0 else f"node{node}"
+        host_spaces.append(host)
+        for i in range(smp_per_node):
+            devices.append(
+                SMPDevice(
+                    f"n{node}smp{i}",
+                    PerfModel(noise_cv=noise_cv, seed=seed * 10000 + node * 100 + i),
+                    memory_space=host,
+                )
+            )
+        for i in range(gpus_per_node):
+            space = f"{host}.gpu{i}" if node else f"gpu{i}"
+            devices.append(
+                GPUDevice(
+                    f"n{node}gpu{i}",
+                    PerfModel(
+                        noise_cv=noise_cv, seed=seed * 10000 + node * 100 + 50 + i
+                    ),
+                    memory_space=space,
+                    memory_bytes=gpu_memory_bytes,
+                )
+            )
+            links.append(Link(host, space, PCIE_BANDWIDTH, PCIE_LATENCY))
+            links.append(Link(space, host, PCIE_BANDWIDTH, PCIE_LATENCY))
+        # same-node GPU peer links
+        spaces = [
+            (f"{host}.gpu{i}" if node else f"gpu{i}") for i in range(gpus_per_node)
+        ]
+        for a in spaces:
+            for b in spaces:
+                if a != b:
+                    links.append(Link(a, b, P2P_BANDWIDTH, P2P_LATENCY))
+    for a in host_spaces:
+        for b in host_spaces:
+            if a != b:
+                links.append(Link(a, b, network_bandwidth, network_latency))
+    name = f"cluster[{n_nodes}x({smp_per_node}smp+{gpus_per_node}gpu)]"
+    return Machine(name, devices, links)
+
+
+def minotauro_node(
+    n_smp: int = 12,
+    n_gpus: int = 2,
+    *,
+    noise_cv: float = 0.03,
+    seed: int = 0,
+    spec: Optional[MachineSpec] = None,
+) -> Machine:
+    """Build a simulated MinoTauro node.
+
+    Each SMP core and each GPU becomes one device (one OmpSs worker will
+    be attached to each).  All SMP cores share the ``host`` memory
+    space; GPU ``i`` owns space ``gpu<i>``.  Links: host<->each GPU at
+    PCIe rates plus GPU<->GPU peer links.
+    """
+    if spec is None:
+        spec = MachineSpec(n_smp=n_smp, n_gpus=n_gpus, noise_cv=noise_cv, seed=seed)
+
+    devices: list[Device] = []
+    for i in range(spec.n_smp):
+        devices.append(
+            SMPDevice(f"smp{i}", PerfModel(noise_cv=spec.noise_cv, seed=spec.seed * 1000 + i))
+        )
+    for i in range(spec.n_gpus):
+        devices.append(
+            GPUDevice(
+                f"gpu{i}",
+                PerfModel(noise_cv=spec.noise_cv, seed=spec.seed * 1000 + 500 + i),
+                memory_space=f"gpu{i}",
+                memory_bytes=spec.gpu_memory_bytes,
+            )
+        )
+
+    links: list[Link] = []
+    gpu_spaces = [f"gpu{i}" for i in range(spec.n_gpus)]
+    for g in gpu_spaces:
+        links.append(Link(HOST_SPACE, g, spec.pcie_bandwidth, spec.pcie_latency))
+        links.append(Link(g, HOST_SPACE, spec.pcie_bandwidth, spec.pcie_latency))
+    for a in gpu_spaces:
+        for b in gpu_spaces:
+            if a != b:
+                links.append(Link(a, b, spec.p2p_bandwidth, spec.p2p_latency))
+
+    return Machine(f"minotauro[{spec.n_smp}smp+{spec.n_gpus}gpu]", devices, links)

@@ -1,0 +1,128 @@
+"""Execution traces.
+
+Nanos++ emits Paraver traces; we keep a light-weight equivalent: a list
+of ``(start, end, worker, category, label)`` records that tests assert
+on (no overlap per worker, dependence ordering) and that examples render
+as ASCII Gantt charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One closed interval of activity on one worker or DMA channel."""
+
+    start: float
+    end: float
+    worker: str
+    category: str  # "task" | "transfer" | "idle" ...
+    label: str
+    meta: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"trace record ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """Append-only collection of :class:`TraceRecord`.
+
+    Records are stored in append order; :meth:`sorted` returns them by
+    start time (stable).  Traces compare equal record-for-record, which
+    is how determinism tests verify that two seeded runs are identical.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def add(
+        self,
+        start: float,
+        end: float,
+        worker: str,
+        category: str,
+        label: str,
+        meta: tuple = (),
+    ) -> TraceRecord:
+        rec = TraceRecord(start, end, worker, category, label, meta)
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._records == other._records
+
+    def sorted(self) -> list[TraceRecord]:
+        return sorted(self._records, key=lambda r: (r.start, r.end, r.worker))
+
+    def for_worker(self, worker: str) -> list[TraceRecord]:
+        return [r for r in self._records if r.worker == worker]
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        return [r for r in self._records if r.category == category]
+
+    def workers(self) -> list[str]:
+        return sorted({r.worker for r in self._records})
+
+    def makespan(self) -> float:
+        """Latest end time across all records (0.0 for an empty trace)."""
+        return max((r.end for r in self._records), default=0.0)
+
+    # ------------------------------------------------------------------
+    def busy_time(self, worker: str, category: Optional[str] = "task") -> float:
+        """Total recorded time on ``worker`` (optionally one category)."""
+        return sum(
+            r.duration
+            for r in self._records
+            if r.worker == worker and (category is None or r.category == category)
+        )
+
+    def check_no_overlap(self, category: str = "task") -> None:
+        """Raise :class:`AssertionError` if any worker runs two records
+        of ``category`` at once — a worker is a serial resource."""
+        for worker in self.workers():
+            recs = sorted(
+                (r for r in self._records if r.worker == worker and r.category == category),
+                key=lambda r: r.start,
+            )
+            for a, b in zip(recs, recs[1:]):
+                if b.start < a.end - 1e-12:
+                    raise AssertionError(
+                        f"overlapping {category} records on {worker}: {a} overlaps {b}"
+                    )
+
+    # ------------------------------------------------------------------
+    def gantt(self, width: int = 80, category: str = "task") -> str:
+        """Render an ASCII Gantt chart, one row per worker."""
+        span = self.makespan()
+        if span <= 0:
+            return "(empty trace)"
+        lines = []
+        for worker in self.workers():
+            row = [" "] * width
+            for r in self._records:
+                if r.worker != worker or r.category != category:
+                    continue
+                i0 = min(width - 1, int(r.start / span * width))
+                i1 = min(width - 1, max(i0, int(r.end / span * width) - 1))
+                ch = (r.label[:1] or "#") if r.label else "#"
+                for i in range(i0, i1 + 1):
+                    row[i] = ch
+            lines.append(f"{worker:>8} |{''.join(row)}|")
+        lines.append(f"{'':>8}  0{'':{width - 2}}{span:.3f}s")
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Tests for the per-figure experiment drivers (small scales)."""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+class TestMatmulDrivers:
+    def test_fig6_rows_structure(self):
+        rows = experiments.fig6_matmul_performance(
+            smp_counts=(2,), gpu_counts=(1,), n_tiles=4
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert {"smp", "gpus", "mm-gpu-aff", "mm-gpu-dep", "mm-hyb-ver"} <= set(row)
+        assert all(row[k] > 0 for k in ("mm-gpu-aff", "mm-gpu-dep", "mm-hyb-ver"))
+
+    def test_fig7_transfer_rows(self):
+        rows = experiments.fig7_matmul_transfers(
+            smp_counts=(2,), gpu_counts=(1,), n_tiles=4
+        )
+        assert {r["config"] for r in rows} == {"GA", "GD", "HV"}
+        for r in rows:
+            assert r["total"] >= r["input_tx"]
+
+    def test_fig8_shares_sum_to_100(self):
+        rows = experiments.fig8_matmul_task_stats(
+            smp_counts=(2,), gpu_counts=(1,), n_tiles=4
+        )
+        r = rows[0]
+        assert r["CUBLAS"] + r["CUDA"] + r["SMP"] == pytest.approx(100.0)
+
+
+class TestCholeskyDrivers:
+    def test_fig9_rows(self):
+        rows = experiments.fig9_cholesky_performance(
+            smp_counts=(2,), gpu_counts=(2,), n_blocks=6
+        )
+        row = rows[0]
+        for k in ("potrf-smp-dep", "potrf-gpu-aff", "potrf-gpu-dep",
+                  "potrf-hyb-ver"):
+            assert row[k] > 0
+
+    def test_fig11_shares(self):
+        rows = experiments.fig11_cholesky_task_stats(
+            smp_counts=(2,), gpu_counts=(2,), n_blocks=6
+        )
+        r = rows[0]
+        assert r["GPU"] + r["SMP"] == pytest.approx(100.0)
+
+
+class TestPBPIDrivers:
+    def test_fig12_rows(self):
+        rows = experiments.fig12_pbpi_time(
+            smp_counts=(4,), gpu_counts=(2,), generations=5
+        )
+        row = rows[0]
+        for k in ("pbpi-smp", "pbpi-gpu", "pbpi-hyb"):
+            assert row[k] > 0
+
+    def test_fig13_smp_config_has_zero_transfers(self):
+        rows = experiments.fig13_pbpi_transfers(
+            smp_counts=(4,), gpu_counts=(2,), generations=5
+        )
+        smp_row = next(r for r in rows if r["config"] == "SMP-dep")
+        assert smp_row["total"] == 0.0
+
+    def test_fig14_fig15_shares(self):
+        for fn in (experiments.fig14_pbpi_loop1_stats,
+                   experiments.fig15_pbpi_loop2_stats):
+            rows = fn(smp_counts=(4,), gpu_counts=(2,), generations=5)
+            assert rows[0]["GPU"] + rows[0]["SMP"] == pytest.approx(100.0)
+
+
+class TestTable1AndFig5:
+    def test_table1_structure(self):
+        table, rendered = experiments.table1_taskversionset()
+        assert "TaskVersionSet" in rendered
+        # one task set with two data-set-size groups, three versions each
+        vset = table.version_set("matmul_tile_cublas")
+        assert len(vset) == 2
+        for grp in vset.groups():
+            names = {p.version_name for p in grp.versions() if p.executions > 0}
+            assert "matmul_tile_cublas" in names
+
+    def test_fig5_idle_smp_workers_used(self):
+        row = experiments.fig5_earliest_executor_decision()
+        assert row["smp_runs"] > 0
+        assert row["gpu_runs"] > row["smp_runs"]

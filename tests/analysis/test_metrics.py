@@ -1,0 +1,58 @@
+"""Tests for derived metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    tasks_per_device_kind,
+    transfer_breakdown_gb,
+    version_percentages,
+    worker_utilisation,
+)
+
+from tests.conftest import MB, make_machine, make_two_version_task, region, run_tasks
+
+
+def sample_result():
+    m = make_machine(2, 1)
+    work, _ = make_two_version_task(machine=m)
+    calls = [(work, region(("x", i), MB), region(("y", i), MB)) for i in range(20)]
+    return run_tasks(m, "versioning", calls)
+
+
+class TestVersionPercentages:
+    def test_sums_to_hundred(self):
+        res = sample_result()
+        pct = version_percentages(res, "work_smp")
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_legend_merging(self):
+        res = sample_result()
+        legend = {"work_smp": "HOST", "work_gpu": "HOST"}
+        pct = version_percentages(res, "work_smp", legend)
+        assert pct == {"HOST": pytest.approx(100.0)}
+
+    def test_unknown_task_empty(self):
+        assert version_percentages(sample_result(), "ghost") == {}
+
+
+class TestTransferBreakdown:
+    def test_keys_and_consistency(self):
+        res = sample_result()
+        gb = transfer_breakdown_gb(res)
+        assert set(gb) == {"input_tx", "output_tx", "device_tx", "total"}
+        assert gb["total"] == pytest.approx(
+            gb["input_tx"] + gb["output_tx"] + gb["device_tx"]
+        )
+
+
+class TestWorkerMetrics:
+    def test_utilisation_bounded(self):
+        res = sample_result()
+        for u in worker_utilisation(res).values():
+            assert 0.0 <= u <= 1.0 + 1e-9
+
+    def test_tasks_per_device_kind(self):
+        res = sample_result()
+        per = tasks_per_device_kind(res)
+        assert set(per) <= {"smp", "gpu"}
+        assert sum(per.values()) == 20

@@ -1,0 +1,58 @@
+"""Tests for plain-text rendering."""
+
+import pytest
+
+from repro.analysis.report import bar_chart, format_table, stacked_percentages
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"], [["a", 1.25], ["bb", 10.0]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.2" in out and "10.0" in out
+
+    def test_floatfmt(self):
+        out = format_table(["v"], [[1.23456]], floatfmt="{:.3f}")
+        assert "1.235" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_unit_suffix(self):
+        assert "3.00s" in bar_chart({"x": 3.0}, unit="s")
+
+    def test_explicit_max(self):
+        out = bar_chart({"a": 5.0}, width=10, max_value=10.0)
+        assert out.splitlines()[0].count("█") == 5
+
+
+class TestStackedPercentages:
+    def test_full_width_bar(self):
+        out = stacked_percentages({"row": {"A": 60.0, "B": 40.0}}, width=10)
+        bar_line = out.splitlines()[-1]
+        assert bar_line.count("█") == 6
+        assert bar_line.count("▓") == 4
+
+    def test_legend_present(self):
+        out = stacked_percentages({"r": {"GPU": 100.0}})
+        assert "█=GPU" in out
+
+    def test_category_order_respected(self):
+        out = stacked_percentages({"r": {"B": 50.0, "A": 50.0}},
+                                  order=("A", "B"))
+        assert out.splitlines()[0].index("A") < out.splitlines()[0].index("B")

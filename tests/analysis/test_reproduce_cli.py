@@ -1,0 +1,49 @@
+"""Tests for the figure-reproduction CLI."""
+
+import pytest
+
+from repro.reproduce import FIGURES, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig5", "fig6", "fig15"):
+            assert name in out
+
+    def test_all_figure_ids_have_handlers(self):
+        expected = {"table1", "fig5"} | {f"fig{i}" for i in range(6, 16)}
+        assert set(FIGURES) == expected
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_quick_table1(self, capsys):
+        assert main(["table1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "TaskVersionSet" in out
+
+    def test_quick_fig12_renders_expected_columns(self, capsys):
+        assert main(["fig12", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "pbpi-smp" in out and "pbpi-hyb" in out
+
+    @pytest.mark.parametrize("fig", ["fig7", "fig10", "fig13"])
+    def test_quick_transfer_figures(self, capsys, fig):
+        assert main([fig, "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Input Tx" in out
+
+    @pytest.mark.parametrize("fig", ["fig8", "fig11", "fig14", "fig15"])
+    def test_quick_stat_figures(self, capsys, fig):
+        assert main([fig, "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "%" in out
+
+    def test_quick_perf_figures(self, capsys):
+        assert main(["fig5", "fig6", "fig9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figure 6" in out and "Figure 9" in out

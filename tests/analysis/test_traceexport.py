@@ -1,0 +1,125 @@
+"""Tests for trace export and post-mortem statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.traceexport import (
+    critical_worker,
+    overlap_fraction,
+    trace_from_csv,
+    trace_from_json,
+    trace_to_csv,
+    trace_to_json,
+    utilisation_timeline,
+)
+from repro.sim.trace import Trace
+
+
+def make_trace():
+    tr = Trace()
+    tr.add(0.0, 1.0, "w0", "task", "a")
+    tr.add(1.0, 3.0, "w0", "task", "b")
+    tr.add(0.5, 1.5, "w1", "task", "c")
+    tr.add(0.2, 0.8, "link:host->gpu0", "transfer", "x")
+    tr.add(2.5, 4.0, "link:host->gpu0", "transfer", "y")
+    return tr
+
+
+class TestRoundtrips:
+    def test_csv_roundtrip(self, tmp_path):
+        p = tmp_path / "trace.csv"
+        trace_to_csv(make_trace(), p)
+        loaded = trace_from_csv(p)
+        assert loaded == make_trace()
+
+    def test_csv_bad_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="not a trace CSV"):
+            trace_from_csv(p)
+
+    def test_json_roundtrip(self, tmp_path):
+        p = tmp_path / "trace.json"
+        trace_to_json(make_trace(), p)
+        assert trace_from_json(p) == make_trace()
+
+    def test_csv_preserves_float_precision(self, tmp_path):
+        tr = Trace()
+        tr.add(0.1234567890123456, 0.9876543210987654, "w", "task", "t")
+        p = tmp_path / "t.csv"
+        trace_to_csv(tr, p)
+        rec = list(trace_from_csv(p))[0]
+        assert rec.start == 0.1234567890123456
+
+
+class TestUtilisationTimeline:
+    def test_fully_busy_worker(self):
+        tr = Trace()
+        tr.add(0.0, 10.0, "w0", "task", "t")
+        tl = utilisation_timeline(tr, bins=10)
+        assert np.allclose(tl["w0"], 1.0)
+
+    def test_half_busy(self):
+        tr = Trace()
+        tr.add(0.0, 5.0, "w0", "task", "t")
+        tr.add(5.0, 10.0, "w1", "task", "t")
+        tl = utilisation_timeline(tr, bins=2)
+        assert np.allclose(tl["w0"], [1.0, 0.0])
+        assert np.allclose(tl["w1"], [0.0, 1.0])
+
+    def test_empty_trace(self):
+        assert utilisation_timeline(Trace(), bins=4) == {}
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            utilisation_timeline(make_trace(), bins=0)
+
+
+class TestOverlapFraction:
+    def test_fully_hidden_transfer(self):
+        tr = Trace()
+        tr.add(0.0, 10.0, "w0", "task", "t")
+        tr.add(2.0, 4.0, "link", "transfer", "x")
+        assert overlap_fraction(tr) == pytest.approx(1.0)
+
+    def test_fully_exposed_transfer(self):
+        tr = Trace()
+        tr.add(0.0, 1.0, "w0", "task", "t")
+        tr.add(5.0, 6.0, "link", "transfer", "x")
+        assert overlap_fraction(tr) == pytest.approx(0.0)
+
+    def test_partial(self):
+        tr = Trace()
+        tr.add(0.0, 1.0, "w0", "task", "t")
+        tr.add(0.5, 1.5, "link", "transfer", "x")
+        assert overlap_fraction(tr) == pytest.approx(0.5)
+
+    def test_no_transfers_is_one(self):
+        tr = Trace()
+        tr.add(0.0, 1.0, "w0", "task", "t")
+        assert overlap_fraction(tr) == 1.0
+
+    def test_prefetch_run_overlaps_more_than_serial(self):
+        """End-to-end: the §V-A2 overlap configuration must show up in
+        this metric."""
+        from repro.apps.matmul import MatmulApp
+        from repro.runtime.runtime import RuntimeConfig
+        from repro.sim.topology import minotauro_node
+
+        def frac(config):
+            app = MatmulApp(n_tiles=4, variant="gpu")
+            res = app.run(minotauro_node(1, 1, noise_cv=0.0), "dep", config=config)
+            return overlap_fraction(res.run.trace)
+
+        serial = frac(RuntimeConfig(overlap_transfers=False, prefetch=False))
+        overlapped = frac(RuntimeConfig(prefetch=True))
+        assert overlapped > serial
+
+
+class TestCriticalWorker:
+    def test_busiest_worker_wins(self):
+        assert critical_worker(make_trace()) == "w0"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            critical_worker(Trace())

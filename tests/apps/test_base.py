@@ -1,0 +1,72 @@
+"""Tests for the common application driver."""
+
+import pytest
+
+from repro.apps.base import AppResult, Application
+from repro.apps.matmul import MatmulApp
+from repro.apps.pbpi import PBPIApp
+from repro.sim.topology import minotauro_node
+
+
+class TestAppResult:
+    def test_gflops_derived_from_makespan(self):
+        app = MatmulApp(n_tiles=2, variant="gpu")
+        res = app.run(minotauro_node(0, 1, noise_cv=0.0), "dep")
+        assert res.gflops == pytest.approx(
+            app.total_flops() / res.makespan / 1e9
+        )
+
+    def test_pbpi_reports_time_not_gflops(self):
+        app = PBPIApp(generations=2, n_blocks=2, variant="smp")
+        res = app.run(minotauro_node(2, 0, noise_cv=0.0), "dep")
+        assert res.gflops is None
+        assert res.makespan > 0
+
+    def test_summary_contains_key_fields(self):
+        app = MatmulApp(n_tiles=2, variant="gpu")
+        res = app.run(minotauro_node(0, 1, noise_cv=0.0), "dep")
+        s = res.summary()
+        assert "matmul-gpu" in s
+        assert "GFLOP/s" in s
+        assert "tasks=8" in s
+
+    def test_summary_time_mode_for_pbpi(self):
+        app = PBPIApp(generations=2, n_blocks=2, variant="smp")
+        res = app.run(minotauro_node(2, 0, noise_cv=0.0), "dep")
+        assert " s " in res.summary() or res.summary().rstrip().find("s") > 0
+        assert "GFLOP/s" not in res.summary()
+
+
+class TestApplicationBase:
+    def test_abstract_hooks_raise(self):
+        app = Application("v")
+        with pytest.raises(NotImplementedError):
+            app.register_cost_models(None)
+        with pytest.raises(NotImplementedError):
+            app.master(None)
+
+    def test_default_flops_none(self):
+        assert Application("v").total_flops() is None
+
+    def test_run_accepts_scheduler_instance(self):
+        from repro.core.versioning import VersioningScheduler
+
+        app = MatmulApp(n_tiles=2, variant="hyb")
+        sched = VersioningScheduler(lam=1)
+        res = app.run(minotauro_node(1, 1, noise_cv=0.0), sched)
+        assert res.run.scheduler == "versioning"
+
+    def test_run_forwards_scheduler_options(self):
+        app = MatmulApp(n_tiles=2, variant="hyb")
+        res = app.run(
+            minotauro_node(1, 1, noise_cv=0.0),
+            "versioning",
+            scheduler_options={"lam": 1},
+        )
+        assert res.run.tasks_completed == 8
+
+    def test_private_registries_do_not_collide(self):
+        a = MatmulApp(n_tiles=2, variant="hyb")
+        b = MatmulApp(n_tiles=2, variant="hyb")
+        assert a.matmul_tile.definition is not b.matmul_tile.definition
+        assert a.matmul_tile.definition.name == b.matmul_tile.definition.name

@@ -1,0 +1,115 @@
+"""Tests for the tiled matmul application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import VERSION_LEGEND, MatmulApp
+from repro.sim.topology import minotauro_node
+
+
+def machine(smp=2, gpus=1, noise=0.0, seed=0):
+    return minotauro_node(smp, gpus, noise_cv=noise, seed=seed)
+
+
+class TestConstruction:
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            MatmulApp(variant="cpu")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MatmulApp(n_tiles=0)
+
+    def test_gpu_variant_has_one_version(self):
+        app = MatmulApp(n_tiles=2, variant="gpu")
+        assert len(app.matmul_tile.definition.versions) == 1
+
+    def test_hyb_variant_has_three_versions(self):
+        app = MatmulApp(n_tiles=2, variant="hyb")
+        names = [v.name for v in app.matmul_tile.definition.versions]
+        assert names == ["matmul_tile_cublas", "matmul_tile_cuda",
+                         "matmul_tile_cblas"]
+        assert set(names) == set(VERSION_LEGEND)
+
+    def test_total_flops(self):
+        app = MatmulApp(n_tiles=4, tile_size=8)
+        assert app.total_flops() == 2.0 * 32**3
+
+
+class TestExecution:
+    def test_task_count_is_nt_cubed(self):
+        app = MatmulApp(n_tiles=3, variant="gpu")
+        res = app.run(machine(0, 1), "dep")
+        assert res.run.tasks_completed == 27
+
+    def test_hybrid_runs_under_versioning(self):
+        app = MatmulApp(n_tiles=3, variant="hyb")
+        res = app.run(machine(2, 1), "versioning")
+        counts = res.run.version_counts["matmul_tile_cublas"]
+        assert sum(counts.values()) == 27
+
+    def test_hybrid_rejected_under_dep(self):
+        """The main version targets CUDA; on a machine with GPUs the dep
+        scheduler runs it GPU-only, but on a CPU-only machine it must
+        fail (it cannot see the SMP implements version)."""
+        app = MatmulApp(n_tiles=2, variant="hyb")
+        with pytest.raises(RuntimeError):
+            app.run(machine(2, 0), "dep")
+
+    def test_hybrid_on_cpu_only_machine_under_versioning(self):
+        app = MatmulApp(n_tiles=2, variant="hyb")
+        res = app.run(machine(2, 0), "versioning")
+        counts = res.run.version_counts["matmul_tile_cublas"]
+        assert counts == {"matmul_tile_cblas": 8}
+
+    def test_deterministic_given_seed(self):
+        r1 = MatmulApp(n_tiles=3, variant="hyb").run(machine(2, 1, 0.05, 3),
+                                                     "versioning")
+        r2 = MatmulApp(n_tiles=3, variant="hyb").run(machine(2, 1, 0.05, 3),
+                                                     "versioning")
+        assert r1.makespan == r2.makespan
+        assert r1.run.version_counts == r2.run.version_counts
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("sched,variant", [("dep", "gpu"),
+                                               ("affinity", "gpu"),
+                                               ("versioning", "hyb")])
+    def test_real_mode_matches_numpy(self, sched, variant):
+        app = MatmulApp(n_tiles=3, tile_size=8, variant=variant, real=True, seed=5)
+        app.run(machine(2, 1), sched)
+        assert np.allclose(app.assembled_C(), app.reference_result(), atol=1e-8)
+
+    def test_real_mode_dependences_order_k_accumulation(self):
+        """The inout chain on each C tile must serialise the k-sum."""
+        app = MatmulApp(n_tiles=2, tile_size=4, variant="gpu", real=True, seed=1)
+        res = app.run(machine(0, 2), "dep")
+        res.run.trace.check_no_overlap()
+        assert np.allclose(app.assembled_C(), app.reference_result(), atol=1e-10)
+
+    def test_sim_mode_has_no_arrays(self):
+        app = MatmulApp(n_tiles=2, variant="gpu")
+        with pytest.raises(RuntimeError, match="real=True"):
+            app.assembled_C()
+
+
+class TestPaperCalibration:
+    def test_smp_tile_about_60x_gpu_tile(self):
+        """§V-B1: 'SMP task duration is about 60 times the GPU task
+        duration' for 1024^2 double tiles."""
+        m = machine(1, 1)
+        app = MatmulApp(n_tiles=2, variant="hyb")
+        app.register_cost_models(m)
+        params = {"n": 1024}
+        smp = m.device("smp0").duration("matmul_tile_cblas", 0, params)
+        gpu = m.device("gpu0").duration("matmul_tile_cublas", 0, params)
+        assert smp / gpu == pytest.approx(60, rel=0.05)
+
+    def test_handcoded_cuda_slower_than_cublas(self):
+        m = machine(1, 1)
+        app = MatmulApp(n_tiles=2, variant="hyb")
+        app.register_cost_models(m)
+        params = {"n": 1024}
+        cublas = m.device("gpu0").duration("matmul_tile_cublas", 0, params)
+        cuda = m.device("gpu0").duration("matmul_tile_cuda", 0, params)
+        assert cuda > cublas

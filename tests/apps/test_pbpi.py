@@ -1,0 +1,123 @@
+"""Tests for the PBPI application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pbpi import PBPIApp
+from repro.sim.topology import minotauro_node
+
+
+def machine(smp=2, gpus=2, noise=0.0, seed=0):
+    return minotauro_node(smp, gpus, noise_cv=noise, seed=seed)
+
+
+class TestConstruction:
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            PBPIApp(variant="cpu")
+
+    def test_invalid_generations_rejected(self):
+        with pytest.raises(ValueError):
+            PBPIApp(generations=0)
+
+    def test_task_count(self):
+        app = PBPIApp(generations=5, n_blocks=4)
+        assert app.task_count() == 5 * (2 * 4 + 1)
+
+    def test_no_flops_reported(self):
+        assert PBPIApp(generations=1).total_flops() is None
+
+    def test_variant_version_structure(self):
+        hyb = PBPIApp(generations=1, variant="hyb")
+        assert len(hyb.loop1.definition.versions) == 2
+        assert len(hyb.loop2.definition.versions) == 2
+        assert len(hyb.loop3.definition.versions) == 1
+        gpu = PBPIApp(generations=1, variant="gpu")
+        assert len(gpu.loop1.definition.versions) == 1
+
+    def test_block_bytes_partition_dataset(self):
+        app = PBPIApp(generations=1, n_blocks=8, dataset_bytes=800)
+        assert app.block_bytes == 100
+
+
+class TestExecution:
+    def test_all_tasks_complete(self):
+        app = PBPIApp(generations=4, n_blocks=4, variant="hyb")
+        res = app.run(machine(2, 1), "versioning")
+        assert res.run.tasks_completed == app.task_count()
+
+    def test_smp_variant_transfers_nothing(self):
+        """pbpi-smp: 'data always stay in the host memory and no data
+        transfers will be needed.'"""
+        app = PBPIApp(generations=3, n_blocks=4, variant="smp")
+        res = app.run(machine(4, 2), "dep")
+        assert res.run.transfer_stats.total_bytes == 0
+
+    def test_gpu_variant_pays_output_every_generation(self):
+        gens = 4
+        app = PBPIApp(generations=gens, n_blocks=4, variant="gpu")
+        res = app.run(machine(2, 2), "dep")
+        # loop3 on the host needs lik + acc back every generation
+        per_gen = app.dataset_bytes * 2
+        assert res.run.transfer_stats.output_tx >= per_gen * (gens - 1)
+
+    def test_loop3_always_on_host(self):
+        app = PBPIApp(generations=3, n_blocks=4, variant="hyb")
+        res = app.run(machine(2, 2), "versioning")
+        assert res.run.version_counts["pbpi_loop3_smp"] == {"pbpi_loop3_smp": 3}
+
+    def test_needs_an_smp_worker(self):
+        app = PBPIApp(generations=1, variant="gpu")
+        with pytest.raises(RuntimeError, match="SMP worker"):
+            app.run(machine(0, 2), "dep")
+
+    def test_generations_serialise_via_tree_state(self):
+        """Generation g+1's loop1 cannot start before generation g's
+        loop3 finished (RAW on the tree region)."""
+        app = PBPIApp(generations=3, n_blocks=2, variant="gpu")
+        m = machine(1, 1)
+        app.register_cost_models(m)
+        from repro.runtime.runtime import OmpSsRuntime
+
+        rt = OmpSsRuntime(m, "dep")
+        with rt:
+            app.master(rt)
+        res = rt.result()
+        rt.graph.verify_schedule(res.finish_order)
+        loop3_recs = sorted(
+            (r for r in res.trace.by_category("task")
+             if r.label == "pbpi_loop3_smp"),
+            key=lambda r: r.start,
+        )
+        loop1_recs = sorted(
+            (r for r in res.trace.by_category("task")
+             if r.label.startswith("pbpi_loop1")),
+            key=lambda r: r.start,
+        )
+        # the 3rd generation's first loop1 starts after the 2nd loop3 ends
+        assert loop1_recs[2 * 2].start >= loop3_recs[1].end - 1e-12
+
+
+class TestRealMode:
+    def test_real_mode_runs_and_mutates_state(self):
+        app = PBPIApp(generations=3, n_blocks=2, dataset_bytes=2048,
+                      tree_bytes=2048, variant="hyb", real=True, seed=0)
+        tree_before = app.tree.copy()
+        app.run(machine(2, 1), "versioning")
+        assert not np.allclose(app.tree, tree_before)
+
+    def test_real_mode_deterministic_across_schedulers(self):
+        """Dataflow correctness: the numerical result must not depend on
+        the scheduler (all valid topological orders commute here)."""
+
+        def run(sched, variant):
+            app = PBPIApp(generations=3, n_blocks=2, dataset_bytes=2048,
+                          tree_bytes=2048, variant=variant, real=True, seed=1)
+            app.run(machine(2, 2), sched)
+            return app.tree.copy()
+
+        t1 = run("dep", "smp")
+        t2 = run("affinity", "smp")
+        t3 = run("versioning", "hyb")
+        assert np.allclose(t1, t2)
+        assert np.allclose(t1, t3)

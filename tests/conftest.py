@@ -1,0 +1,79 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.dataregion import DataRegion
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime, RuntimeConfig
+from repro.sim.perfmodel import AffineBytesCostModel, FixedCostModel
+from repro.sim.topology import minotauro_node
+
+MB = 1024**2
+
+
+def make_machine(n_smp=2, n_gpus=1, noise=0.0, seed=0):
+    """A small deterministic MinoTauro-like node."""
+    return minotauro_node(n_smp, n_gpus, noise_cv=noise, seed=seed)
+
+
+def make_two_version_task(
+    registry=None,
+    *,
+    name="work",
+    smp_cost=0.010,
+    gpu_cost=0.001,
+    machine=None,
+):
+    """A task with an SMP main version and a CUDA alternative.
+
+    Returns ``(task_function, register)`` where ``register(machine)``
+    installs the fixed cost models.
+    """
+    registry = {} if registry is None else registry
+
+    @task(inputs=["x"], outputs=["y"], device="smp", name=f"{name}_smp",
+          registry=registry)
+    def work(x, y):
+        pass
+
+    @task(inputs=["x"], outputs=["y"], device="cuda", implements=f"{name}_smp",
+          name=f"{name}_gpu", registry=registry)
+    def work_gpu(x, y):
+        pass
+
+    def register(machine):
+        if machine.devices_of_kind("smp"):
+            machine.register_kernel_for_kind("smp", f"{name}_smp",
+                                             FixedCostModel(smp_cost))
+        if machine.devices_of_kind("cuda"):
+            machine.register_kernel_for_kind("cuda", f"{name}_gpu",
+                                             FixedCostModel(gpu_cost))
+
+    if machine is not None:
+        register(machine)
+    return work, register
+
+
+def region(key, nbytes=MB, label=""):
+    return DataRegion(key, nbytes, label=label or str(key))
+
+
+def run_tasks(machine, scheduler, calls, config=None):
+    """Run a list of ``(task_fn, *args)`` calls and return the RunResult."""
+    rt = OmpSsRuntime(machine, scheduler, config=config)
+    with rt:
+        for fn, *args in calls:
+            fn(*args)
+    return rt.result()
+
+
+@pytest.fixture
+def small_machine():
+    return make_machine(2, 1)
+
+
+@pytest.fixture
+def registry():
+    return {}

@@ -1,0 +1,132 @@
+"""Tests for execution-time estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import EWMA, RunningMean, make_estimator
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestRunningMean:
+    def test_empty_has_no_value(self):
+        assert RunningMean().value is None
+        assert RunningMean().count == 0
+
+    def test_single_sample(self):
+        m = RunningMean()
+        m.add(2.5)
+        assert m.value == 2.5
+        assert m.count == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RunningMean().add(-1.0)
+
+    @given(durations)
+    @settings(max_examples=100, deadline=None)
+    def test_running_mean_equals_batch_mean(self, xs):
+        m = RunningMean()
+        for x in xs:
+            m.add(x)
+        assert m.value == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-12)
+        assert m.count == len(xs)
+
+    def test_preload(self):
+        m = RunningMean()
+        m.preload(0.5, 10)
+        assert m.value == 0.5
+        assert m.count == 10
+        m.add(1.6)  # (0.5*10 + 1.6)/11
+        assert m.value == pytest.approx(6.6 / 11)
+
+    def test_preload_validation(self):
+        with pytest.raises(ValueError):
+            RunningMean().preload(1.0, 0)
+        with pytest.raises(ValueError):
+            RunningMean().preload(-1.0, 5)
+
+    def test_clone_is_fresh(self):
+        m = RunningMean()
+        m.add(1.0)
+        c = m.clone()
+        assert c.count == 0 and c.value is None
+
+
+class TestEWMA:
+    def test_first_sample_initialises(self):
+        e = EWMA(0.5)
+        e.add(4.0)
+        assert e.value == 4.0
+
+    def test_weighting(self):
+        e = EWMA(0.5)
+        e.add(4.0)
+        e.add(2.0)
+        assert e.value == pytest.approx(3.0)
+
+    def test_tracks_drift_faster_than_mean(self):
+        e, m = EWMA(0.3), RunningMean()
+        for _ in range(50):
+            e.add(1.0)
+            m.add(1.0)
+        for _ in range(10):
+            e.add(5.0)
+            m.add(5.0)
+        assert abs(e.value - 5.0) < abs(m.value - 5.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EWMA(0.0)
+        with pytest.raises(ValueError):
+            EWMA(1.5)
+
+    def test_alpha_one_is_last_sample(self):
+        e = EWMA(1.0)
+        e.add(1.0)
+        e.add(9.0)
+        assert e.value == 9.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EWMA().add(-0.1)
+
+    def test_preload_and_clone(self):
+        e = EWMA(0.4)
+        e.preload(2.0, 7)
+        assert e.value == 2.0 and e.count == 7
+        c = e.clone()
+        assert c.count == 0 and c.alpha == 0.4
+
+    @given(durations)
+    @settings(max_examples=60, deadline=None)
+    def test_value_bounded_by_sample_range(self, xs):
+        e = EWMA(0.3)
+        for x in xs:
+            e.add(x)
+        assert min(xs) - 1e-9 <= e.value <= max(xs) + 1e-9
+
+
+class TestFactory:
+    def test_mean(self):
+        assert isinstance(make_estimator("mean"), RunningMean)
+        assert isinstance(make_estimator("arithmetic"), RunningMean)
+
+    def test_ewma_with_options(self):
+        e = make_estimator("ewma", alpha=0.7)
+        assert isinstance(e, EWMA) and e.alpha == 0.7
+
+    def test_weighted_alias(self):
+        assert isinstance(make_estimator("weighted"), EWMA)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            make_estimator("median")
+
+    def test_mean_rejects_options(self):
+        with pytest.raises(ValueError):
+            make_estimator("mean", alpha=0.1)

@@ -1,0 +1,106 @@
+"""Tests for data-set-size grouping strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    ExactSizeGrouping,
+    FixedBinGrouping,
+    RelativeSizeGrouping,
+    make_grouping,
+)
+
+
+class TestExact:
+    def test_distinct_sizes_distinct_groups(self):
+        """The paper's §VII weakness: 1 byte apart = different groups."""
+        g = ExactSizeGrouping()
+        assert g.key(1000) != g.key(1001)
+
+    def test_same_size_same_group(self):
+        g = ExactSizeGrouping()
+        assert g.key(12345) == g.key(12345)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExactSizeGrouping().key(-1)
+
+    def test_label_human_readable(self):
+        g = ExactSizeGrouping()
+        assert g.label(g.key(2 * 1024**2)) == "2 MB"
+        assert g.label(g.key(512)) == "512 B"
+
+
+class TestRelative:
+    def test_one_byte_apart_same_group(self):
+        g = RelativeSizeGrouping(0.1)
+        assert g.key(10**6) == g.key(10**6 + 1)
+
+    def test_far_apart_different_groups(self):
+        g = RelativeSizeGrouping(0.1)
+        assert g.key(10**6) != g.key(2 * 10**6)
+
+    def test_zero_has_own_group(self):
+        g = RelativeSizeGrouping(0.1)
+        assert g.key(0) == -1
+        assert g.key(0) != g.key(1)
+        assert g.label(-1) == "0 B"
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            RelativeSizeGrouping(0.0)
+
+    @given(
+        st.integers(min_value=1024, max_value=10**12),
+        st.floats(min_value=-0.04, max_value=0.04),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nearby_sizes_share_or_neighbour(self, size, jitter):
+        """Sizes within ~half the tolerance land in the same or an
+        adjacent bucket — never far apart.  (Sizes below ~1 KB are
+        excluded: integer truncation there breaks the 'nearby' premise,
+        e.g. 2 B -> 1 B is a 50% change.)"""
+        g = RelativeSizeGrouping(0.1)
+        other = max(1, int(size * (1 + jitter)))
+        assert abs(g.key(size) - g.key(other)) <= 1
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    @settings(max_examples=60, deadline=None)
+    def test_keys_monotone(self, size):
+        g = RelativeSizeGrouping(0.1)
+        assert g.key(size) <= g.key(size * 2)
+
+
+class TestFixedBin:
+    def test_binning(self):
+        g = FixedBinGrouping(100)
+        assert g.key(0) == 0
+        assert g.key(99) == 0
+        assert g.key(100) == 1
+
+    def test_label_shows_range(self):
+        g = FixedBinGrouping(1024)
+        assert g.label(0) == "[0 B, 1 KB)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedBinGrouping(0)
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_grouping("exact"), ExactSizeGrouping)
+        assert isinstance(make_grouping("relative", tolerance=0.2),
+                          RelativeSizeGrouping)
+        assert isinstance(make_grouping("range"), RelativeSizeGrouping)
+        assert isinstance(make_grouping("fixed-bin", bin_bytes=10),
+                          FixedBinGrouping)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_grouping("fuzzy")
+
+    def test_exact_rejects_options(self):
+        with pytest.raises(ValueError):
+            make_grouping("exact", tolerance=0.1)

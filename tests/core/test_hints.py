@@ -1,0 +1,102 @@
+"""Tests for external hint files (XML / JSON)."""
+
+import pytest
+
+from repro.core.hints import load_hints, save_hints
+from repro.core.profile import VersionProfileTable
+
+MB = 1024**2
+
+
+def make_table():
+    t = VersionProfileTable()
+    g = t.group("task1", 2 * MB)
+    g.profile("v1").estimator.preload(0.030, 200)
+    g.profile("v2").estimator.preload(0.018, 350)
+    g2 = t.group("task1", 3 * MB)
+    g2.profile("v1").estimator.preload(0.045, 80)
+    t.group("task2", 5 * MB).profile("w1").estimator.preload(0.015, 40)
+    return t
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("ext", ["xml", "json"])
+    def test_roundtrip_preserves_profiles(self, tmp_path, ext):
+        path = tmp_path / f"hints.{ext}"
+        save_hints(make_table(), path)
+        snap = load_hints(path)
+        t2 = VersionProfileTable()
+        t2.preload(snap)
+        assert t2.group("task1", 2 * MB).mean_time("v2") == pytest.approx(0.018)
+        assert t2.group("task1", 2 * MB).executions("v2") == 350
+        assert t2.group("task2", 5 * MB).executions("w1") == 40
+
+    def test_format_inferred_from_extension(self, tmp_path):
+        p = tmp_path / "hints.json"
+        save_hints(make_table(), p)
+        assert p.read_text().lstrip().startswith("{")
+        p2 = tmp_path / "hints.xml"
+        save_hints(make_table(), p2)
+        assert b"<versioning-hints" in p2.read_bytes()
+
+    def test_format_forced(self, tmp_path):
+        p = tmp_path / "hints.dat"
+        save_hints(make_table(), p, format="json")
+        assert load_hints(p, format="json")["tasks"]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            save_hints(make_table(), tmp_path / "h.yaml")
+
+    def test_grouping_and_estimator_metadata_kept(self, tmp_path):
+        p = tmp_path / "h.xml"
+        save_hints(make_table(), p)
+        snap = load_hints(p)
+        assert snap["grouping"] == "exact"
+        assert snap["estimator"] == "mean"
+
+    def test_versions_with_no_executions_dropped(self, tmp_path):
+        t = VersionProfileTable()
+        t.group("t", 100).profile("never_ran")  # 0 executions
+        p = tmp_path / "h.xml"
+        save_hints(t, p)
+        snap = load_hints(p)
+        assert snap["tasks"]["t"][0]["versions"] == {}
+
+
+class TestMalformed:
+    def test_bad_xml_rejected(self, tmp_path):
+        p = tmp_path / "h.xml"
+        p.write_text("<not-closed")
+        with pytest.raises(ValueError, match="malformed"):
+            load_hints(p)
+
+    def test_wrong_root_rejected(self, tmp_path):
+        p = tmp_path / "h.xml"
+        p.write_text("<something/>")
+        with pytest.raises(ValueError, match="not a hints file"):
+            load_hints(p)
+
+    def test_task_without_name_rejected(self, tmp_path):
+        p = tmp_path / "h.xml"
+        p.write_text("<versioning-hints><task/></versioning-hints>")
+        with pytest.raises(ValueError, match="without name"):
+            load_hints(p)
+
+    def test_json_missing_tasks_rejected(self, tmp_path):
+        p = tmp_path / "h.json"
+        p.write_text("{}")
+        with pytest.raises(ValueError, match="missing top-level"):
+            load_hints(p)
+
+    def test_json_group_missing_bytes_rejected(self, tmp_path):
+        p = tmp_path / "h.json"
+        p.write_text('{"tasks": {"t": [{"versions": {}}]}}')
+        with pytest.raises(ValueError, match="representative_bytes"):
+            load_hints(p)
+
+    def test_json_groups_not_list_rejected(self, tmp_path):
+        p = tmp_path / "h.json"
+        p.write_text('{"tasks": {"t": {}}}')
+        with pytest.raises(ValueError, match="not a list"):
+            load_hints(p)

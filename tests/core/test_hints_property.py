@@ -1,0 +1,56 @@
+"""Property test: hints files round-trip arbitrary profile tables."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hints import load_hints, save_hints
+from repro.core.profile import VersionProfileTable
+
+name = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=12)
+profile_entry = st.tuples(
+    st.floats(min_value=1e-9, max_value=1e3, allow_nan=False),  # mean seconds
+    st.integers(min_value=1, max_value=10**6),                   # executions
+)
+table_spec = st.dictionaries(
+    name,  # task name
+    st.dictionaries(
+        st.integers(min_value=0, max_value=2**40),  # data-set bytes
+        st.dictionaries(name, profile_entry, min_size=1, max_size=3),
+        min_size=1,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def build_table(spec) -> VersionProfileTable:
+    t = VersionProfileTable()
+    for task_name, groups in spec.items():
+        for nbytes, versions in groups.items():
+            grp = t.group(task_name, nbytes)
+            for vname, (mean, execs) in versions.items():
+                grp.profile(vname).estimator.preload(mean, execs)
+    return t
+
+
+class TestHintsRoundtripProperty:
+    @given(spec=table_spec, fmt=st.sampled_from(["xml", "json"]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_every_profile(self, tmp_path_factory, spec, fmt):
+        src = build_table(spec)
+        path = tmp_path_factory.mktemp("hints") / f"h.{fmt}"
+        save_hints(src, path)
+        dst = VersionProfileTable()
+        dst.preload(load_hints(path))
+        for task_name, groups in spec.items():
+            for nbytes, versions in groups.items():
+                grp = dst.group(task_name, nbytes)
+                # same-size groups may merge if two spec sizes collide
+                for vname, (mean, execs) in versions.items():
+                    got = grp.mean_time(vname)
+                    assert got is not None
+                    assert got == pytest.approx(mean, rel=1e-9)

@@ -1,0 +1,107 @@
+"""Tests for the locality-aware versioning variant (§VII)."""
+
+import pytest
+
+from repro.core.locality import LocalityVersioningScheduler
+from repro.core.versioning import VersioningScheduler
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.perfmodel import FixedCostModel
+from repro.sim.topology import minotauro_node
+
+from tests.conftest import MB, region, run_tasks
+
+
+def gpu_pair_machine():
+    return minotauro_node(1, 2, noise_cv=0.0)
+
+
+def make_gpu_task(machine, cost=0.002):
+    reg = {}
+
+    @task(inputs=["x"], outputs=["y"], device="cuda", name="k", registry=reg)
+    def k(x, y):
+        pass
+
+    machine.register_kernel_for_kind("cuda", "k", FixedCostModel(cost))
+    return k
+
+
+class TestPenalty:
+    def test_penalty_zero_when_data_local(self):
+        m = gpu_pair_machine()
+        k = make_gpu_task(m)
+        sched = LocalityVersioningScheduler()
+        rt = OmpSsRuntime(m, sched)
+        x = region("x", 6 * MB)
+        with rt:
+            k(x, region(("y", 0), MB))
+        # after the run x is valid on the gpu that ran the task
+        space = next(s for s in ("gpu0", "gpu1") if rt.directory.is_valid(x, s))
+        w = next(w for w in rt.workers if w.space == space)
+        from repro.runtime.task import TaskInstance
+
+        inst = TaskInstance(k.definition, k.build_accesses(x, region(("y", 1), MB)))
+        assert sched._placement_penalty(inst, k.definition.main_version, w) == 0.0
+
+    def test_penalty_prices_missing_bytes(self):
+        m = gpu_pair_machine()
+        k = make_gpu_task(m)
+        sched = LocalityVersioningScheduler()
+        rt = OmpSsRuntime(m, sched)
+        from repro.runtime.task import TaskInstance
+
+        x = region("x", 6 * 10**9)  # 1 s over PCIe
+        rt.directory.register(x)
+        inst = TaskInstance(k.definition, k.build_accesses(x, region("y", MB)))
+        w0 = next(w for w in rt.workers if w.space == "gpu0")
+        pen = sched._placement_penalty(inst, k.definition.main_version, w0)
+        assert pen == pytest.approx(1.0 + 15e-6)
+
+    def test_smp_worker_reading_host_data_penalty_free(self):
+        m = minotauro_node(1, 1, noise_cv=0.0)
+        reg = {}
+
+        @task(inputs=["x"], outputs=["y"], device="smp", name="s", registry=reg)
+        def s(x, y):
+            pass
+
+        m.register_kernel_for_kind("smp", "s", FixedCostModel(0.001))
+        sched = LocalityVersioningScheduler()
+        rt = OmpSsRuntime(m, sched)
+        from repro.runtime.task import TaskInstance
+
+        x = region("x", MB)
+        rt.directory.register(x)
+        inst = TaskInstance(s.definition, s.build_accesses(x, region("y", MB)))
+        w = next(w for w in rt.workers if w.space == "host")
+        assert sched._placement_penalty(inst, s.definition.main_version, w) == 0.0
+
+
+class TestBehaviour:
+    def test_locality_reduces_transfers_on_reused_inputs(self):
+        """Tasks repeatedly reading a handful of large inputs: the plain
+        scheduler balances purely on busy time and replicates the inputs
+        on both GPUs; the locality variant keeps each input's tasks on
+        the GPU already holding it."""
+
+        def run_with(scheduler_cls):
+            m = gpu_pair_machine()
+            k = make_gpu_task(m, cost=0.004)
+            xs = [region(("x", i), 48 * MB) for i in range(2)]
+            calls = [(k, xs[i % 2], region(("y", i), MB)) for i in range(40)]
+            return run_tasks(m, scheduler_cls(), calls)
+
+        plain = run_with(VersioningScheduler)
+        local = run_with(LocalityVersioningScheduler)
+        assert (
+            local.transfer_stats.input_tx <= plain.transfer_stats.input_tx
+        )
+        assert local.transfer_stats.input_tx <= 2 * 48 * MB  # each input once
+
+    def test_registered_in_registry(self):
+        from repro.schedulers.registry import create_scheduler
+
+        s = create_scheduler("versioning-locality")
+        assert isinstance(s, LocalityVersioningScheduler)
+        assert s.name == "versioning-locality"

@@ -1,0 +1,166 @@
+"""Tests for the TaskVersionSet data model (Table I)."""
+
+import pytest
+
+from repro.core.estimator import EWMA
+from repro.core.grouping import ExactSizeGrouping, RelativeSizeGrouping
+from repro.core.profile import (
+    SizeGroupProfile,
+    TaskVersionSet,
+    VersionProfile,
+    VersionProfileTable,
+)
+
+MB = 1024**2
+
+
+class TestVersionProfile:
+    def test_record_updates_mean_and_count(self):
+        p = VersionProfile("v1")
+        p.record(0.010)
+        p.record(0.020)
+        assert p.executions == 2
+        assert p.mean_time == pytest.approx(0.015)
+
+    def test_assigned_decrements_on_record(self):
+        p = VersionProfile("v1")
+        p.assigned = 2
+        p.record(0.01)
+        assert p.assigned == 1
+
+
+class TestSizeGroupProfile:
+    def test_profiles_created_on_demand(self):
+        g = SizeGroupProfile(2 * MB, 2 * MB)
+        assert g.executions("v1") == 0
+        assert g.mean_time("v1") is None
+
+    def test_in_learning_until_lambda_everywhere(self):
+        g = SizeGroupProfile(MB, MB)
+        names = ["a", "b"]
+        for _ in range(3):
+            g.record("a", 0.01)
+        assert g.in_learning_phase(names, 3)  # b still unlearned
+        for _ in range(3):
+            g.record("b", 0.02)
+        assert not g.in_learning_phase(names, 3)
+
+    def test_least_assigned_round_robins(self):
+        g = SizeGroupProfile(MB, MB)
+        names = ["a", "b", "c"]
+        picks = []
+        for _ in range(6):
+            v = g.least_assigned(names)
+            g.note_assigned(v)
+            picks.append(v)
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_least_assigned_counts_executions(self):
+        g = SizeGroupProfile(MB, MB)
+        g.record("a", 0.01)
+        assert g.least_assigned(["a", "b"]) == "b"
+
+    def test_least_assigned_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SizeGroupProfile(MB, MB).least_assigned([])
+
+    def test_fastest_version(self):
+        g = SizeGroupProfile(MB, MB)
+        g.record("slow", 0.030)
+        g.record("fast", 0.018)
+        g.record("mid", 0.025)
+        assert g.fastest_version(["slow", "fast", "mid"]) == "fast"
+
+    def test_fastest_requires_data(self):
+        with pytest.raises(ValueError):
+            SizeGroupProfile(MB, MB).fastest_version(["a"])
+
+    def test_total_executions(self):
+        g = SizeGroupProfile(MB, MB)
+        g.record("a", 0.01)
+        g.record("b", 0.01)
+        g.record("a", 0.01)
+        assert g.total_executions() == 3
+
+    def test_estimator_prototype_cloned(self):
+        g = SizeGroupProfile(MB, MB, estimator_proto=EWMA(0.5))
+        p = g.profile("v")
+        assert isinstance(p.estimator, EWMA)
+        assert p.estimator.alpha == 0.5
+
+
+class TestTaskVersionSet:
+    def test_groups_by_size(self):
+        s = TaskVersionSet("task1")
+        g1 = s.group_for(2 * MB)
+        g2 = s.group_for(3 * MB)
+        assert g1 is not g2
+        assert s.group_for(2 * MB) is g1
+        assert len(s) == 2
+
+    def test_relative_grouping_merges_close_sizes(self):
+        s = TaskVersionSet("t", grouping=RelativeSizeGrouping(0.1))
+        assert s.group_for(MB) is s.group_for(MB + 1)
+
+
+class TestVersionProfileTable:
+    def make_table_like_paper(self):
+        """Reproduce Table I's contents exactly."""
+        t = VersionProfileTable()
+        g1 = t.group("task1", 2 * MB)
+        for v, ms, n in (("task1-v1", 30, 200), ("task1-v2", 18, 350),
+                         ("task1-v3", 25, 230)):
+            g1.profile(v).estimator.preload(ms / 1e3, n)
+        g2 = t.group("task1", 3 * MB)
+        for v, ms, n in (("task1-v1", 45, 80), ("task1-v2", 25, 300),
+                         ("task1-v3", 40, 120)):
+            g2.profile(v).estimator.preload(ms / 1e3, n)
+        g3 = t.group("task2", 5 * MB)
+        for v, ms, n in (("task2-v1", 15, 40), ("task2-v2", 20, 3)):
+            g3.profile(v).estimator.preload(ms / 1e3, n)
+        return t
+
+    def test_render_contains_paper_rows(self):
+        out = self.make_table_like_paper().render()
+        assert "task1" in out and "task2" in out
+        assert "2 MB" in out and "3 MB" in out and "5 MB" in out
+        assert "<task1-v2, 18.0ms, 350>" in out
+        assert "<task2-v2, 20.0ms, 3>" in out
+
+    def test_fastest_executor_matches_paper(self):
+        t = self.make_table_like_paper()
+        names = ["task1-v1", "task1-v2", "task1-v3"]
+        assert t.group("task1", 2 * MB).fastest_version(names) == "task1-v2"
+        assert t.group("task1", 3 * MB).fastest_version(names) == "task1-v2"
+
+    def test_to_dict_roundtrip_via_preload(self):
+        t = self.make_table_like_paper()
+        snap = t.to_dict()
+        t2 = VersionProfileTable()
+        t2.preload(snap)
+        g = t2.group("task1", 2 * MB)
+        assert g.mean_time("task1-v2") == pytest.approx(0.018)
+        assert g.executions("task1-v2") == 350
+
+    def test_preload_skips_empty_versions(self):
+        t = VersionProfileTable()
+        t.preload({"tasks": {"t": [{"representative_bytes": 100,
+                                    "versions": {"v": {"mean_time": None,
+                                                       "executions": 0}}}]}})
+        assert t.group("t", 100).executions("v") == 0
+
+    def test_preload_regroups_with_own_grouping(self):
+        src = VersionProfileTable()
+        src.group("t", MB).profile("v").estimator.preload(0.01, 5)
+        src.group("t", MB + 1).profile("v").estimator.preload(0.02, 5)
+        dst = VersionProfileTable(grouping=RelativeSizeGrouping(0.1))
+        dst.preload(src.to_dict())
+        # both source groups merge into one under relative grouping
+        assert len(dst.version_set("t")) == 1
+        assert dst.group("t", MB).executions("v") == 5
+
+    def test_contains(self):
+        t = VersionProfileTable()
+        assert "t" not in t
+        t.group("t", 1)
+        assert "t" in t

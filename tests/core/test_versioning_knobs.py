@@ -1,0 +1,110 @@
+"""Tests for versioning-scheduler tunables and secondary behaviours."""
+
+import pytest
+
+from repro.core.versioning import VersioningScheduler
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.topology import minotauro_node
+
+from tests.conftest import MB, make_machine, make_two_version_task, region, run_tasks
+
+
+def burst(work, n, size=MB):
+    return [(work, region(("x", i), size), region(("y", i), size)) for i in range(n)]
+
+
+class TestQueueDepth:
+    @pytest.mark.parametrize("depth", [1, 2, 4, 8])
+    def test_any_depth_completes_all_tasks(self, depth):
+        m = make_machine(2, 1)
+        work, _ = make_two_version_task(machine=m)
+        sched = VersioningScheduler(queue_depth=depth)
+        res = run_tasks(m, sched, burst(work, 50))
+        assert res.tasks_completed == 50
+
+    def test_depth_bounds_queues_while_estimates_unknown(self):
+        """Post-λ dispatches with unknown estimates are room-gated: with
+        λ=1 the mandatory runs are one per version, everything else must
+        respect the queue bound (or wait in the pool)."""
+        m = make_machine(2, 1, noise=0.0)
+        work, _ = make_two_version_task(machine=m, smp_cost=1.0, gpu_cost=1.0)
+        sched = VersioningScheduler(queue_depth=2, lam=1)
+        rt = OmpSsRuntime(m, sched)
+        with rt:
+            for i in range(12):
+                work(region(("x", i)), region(("y", i)))
+            # at t=0 nothing has finished; each worker holds at most the
+            # room bound plus possibly one mandatory λ run
+            for w in rt.workers:
+                assert w.load() <= 2 + 1
+            assert sched.pool_size() > 0  # the surplus waits in the pool
+        rt.result()
+
+
+class TestEstimatorSelection:
+    def test_ewma_option_propagates(self):
+        sched = VersioningScheduler(estimator="ewma", estimator_options={"alpha": 0.9})
+        m = make_machine(1, 1)
+        work, reg = make_two_version_task()
+        reg(m)
+        run_tasks(m, sched, burst(work, 10))
+        group = sched.table.group("work_smp", 2 * MB)
+        from repro.core.estimator import EWMA
+
+        est = group.profile("work_gpu").estimator
+        assert isinstance(est, EWMA)
+        assert est.alpha == 0.9
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ValueError):
+            VersioningScheduler(estimator="median")
+
+
+class TestSchedulerOptionsViaRuntime:
+    def test_options_passed_through_runtime_constructor(self):
+        m = make_machine(1, 1)
+        rt = OmpSsRuntime(m, "versioning", scheduler_options={"lam": 9})
+        assert rt.scheduler.lam == 9
+
+    def test_options_with_instance_rejected(self):
+        m = make_machine(1, 1)
+        with pytest.raises(ValueError):
+            OmpSsRuntime(m, VersioningScheduler(), scheduler_options={"lam": 2})
+
+
+class TestMultiplePhases:
+    def test_profiles_survive_taskwait_phases(self):
+        """One runtime, several taskwait-separated phases: learning done
+        in phase 1 carries into phase 2 (no relearning)."""
+        m = make_machine(2, 1)
+        work, reg = make_two_version_task()
+        reg(m)
+        sched = VersioningScheduler(lam=3)
+        rt = OmpSsRuntime(m, sched)
+        with rt:
+            for i in range(20):
+                work(region(("p1", i)), region(("q1", i)))
+            rt.taskwait()
+            after_phase1 = sched.learning_dispatches
+            for i in range(20):
+                work(region(("p2", i)), region(("q2", i)))
+        assert sched.learning_dispatches == after_phase1  # no new learning
+
+    def test_two_apps_one_runtime_share_nothing(self):
+        """The Table I scenario: distinct task sets profile separately."""
+        from repro.apps.matmul import MatmulApp
+
+        m = minotauro_node(2, 1, noise_cv=0.0)
+        a = MatmulApp(n_tiles=2, tile_size=256, variant="hyb")
+        b = MatmulApp(n_tiles=2, tile_size=512, variant="hyb")
+        a.register_cost_models(m)
+        b.register_cost_models(m)
+        sched = VersioningScheduler()
+        rt = OmpSsRuntime(m, sched)
+        with rt:
+            a.master(rt)
+            rt.taskwait()
+            b.master(rt)
+        rt.result()
+        vset = sched.table.version_set("matmul_tile_cublas")
+        assert len(vset) == 2  # two size groups, independently learned

@@ -1,0 +1,74 @@
+"""Smoke tests: every example script must run end to end.
+
+Scales are shrunk through each script's CLI flags where available; the
+scripts print to stdout, which we capture and sanity-check.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+pytestmark = pytest.mark.integration
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "TaskVersionSet" in out
+        assert "makespan" in out
+
+    def test_matmul_hybrid(self, capsys):
+        out = run_example("matmul_hybrid.py", ["--tiles", "6"], capsys)
+        assert "Figure 6" in out and "Figure 8" in out
+
+    def test_cholesky_bottleneck(self, capsys):
+        out = run_example("cholesky_bottleneck.py", ["--blocks", "8"], capsys)
+        assert "Figure 9" in out and "potrf" in out
+
+    def test_pbpi_mcmc(self, capsys):
+        out = run_example("pbpi_mcmc.py", ["--generations", "8"], capsys)
+        assert "Figure 12" in out and "Figure 15" in out
+
+    def test_adaptive_features(self, capsys):
+        out = run_example("adaptive_features.py", [], capsys)
+        assert "learning dispatches cold" in out
+        assert "size groups under exact grouping" in out
+
+    def test_custom_machine(self, capsys):
+        out = run_example("custom_machine.py", [], capsys)
+        assert "cpu-only" in out
+
+    def test_cluster_scaling(self, capsys):
+        out = run_example("cluster_scaling.py", [], capsys)
+        assert "cluster[1x(4smp+2gpu)]" in out
+        assert "cluster[4x(4smp+2gpu)]" in out
+
+    def test_trace_analysis(self, capsys):
+        out = run_example("trace_analysis.py", [], capsys)
+        assert "overlap" in out
+        assert "bottleneck worker" in out
+
+    def test_runtime_adaptation(self, capsys):
+        out = run_example("runtime_adaptation.py", [], capsys)
+        assert "EWMA" in out
+
+    def test_scheduler_comparison(self, capsys, monkeypatch):
+        out = run_example("scheduler_comparison.py", [], capsys)
+        assert "five scheduling policies" in out
+        monkeypatch.setenv("REPRO_SCHEDULER", "bf")
+        out = run_example("scheduler_comparison.py", ["--env"], capsys)
+        assert "[bf" in out

@@ -1,0 +1,236 @@
+"""Shape assertions from the paper's evaluation, at reduced scale.
+
+These tests pin the *qualitative* claims of §V (who wins, what grows,
+which version dominates) so regressions in the scheduler or the machine
+calibration are caught.  Scales are reduced relative to the benches but
+keep the paper's structure.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.apps.matmul import MatmulApp
+from repro.sim.topology import minotauro_node
+
+pytestmark = pytest.mark.integration
+
+
+# ----------------------------------------------------------------------
+# Matmul (Figures 6-8)
+# ----------------------------------------------------------------------
+class TestMatmulShapes:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return experiments.fig6_matmul_performance(
+            smp_counts=(1, 8), gpu_counts=(1, 2), n_tiles=8
+        )
+
+    def test_mm_gpu_scales_linearly_with_gpus(self, fig6):
+        """'the application shows the lineal scalability when using one
+        or two GPUs'"""
+        one = next(r for r in fig6 if r["gpus"] == 1 and r["smp"] == 1)
+        two = next(r for r in fig6 if r["gpus"] == 2 and r["smp"] == 1)
+        assert two["mm-gpu-dep"] / one["mm-gpu-dep"] == pytest.approx(2.0, rel=0.1)
+
+    def test_mm_gpu_flat_in_smp_threads(self, fig6):
+        """'There is no difference between using one, two, four or eight
+        SMP threads' for mm-gpu."""
+        rows = [r for r in fig6 if r["gpus"] == 1]
+        vals = [r["mm-gpu-aff"] for r in rows]
+        assert max(vals) / min(vals) < 1.02
+
+    def test_dep_and_aff_equivalent_on_mm_gpu(self, fig6):
+        """'no difference between using the affinity scheduler or the
+        dependency-aware scheduler' for mm-gpu."""
+        for r in fig6:
+            assert r["mm-gpu-aff"] == pytest.approx(r["mm-gpu-dep"], rel=0.05)
+
+    def test_hybrid_gains_with_more_smp_workers(self, fig6):
+        """'the more SMP worker threads collaborate ... the more benefit
+        versioning scheduler takes'"""
+        rows = [r for r in fig6 if r["gpus"] == 2]
+        few = next(r for r in rows if r["smp"] == 1)["mm-hyb-ver"]
+        many = next(r for r in rows if r["smp"] == 8)["mm-hyb-ver"]
+        assert many > few
+
+    def test_hybrid_beats_gpu_only_at_many_threads(self, fig6):
+        row = next(r for r in fig6 if r["gpus"] == 2 and r["smp"] == 8)
+        assert row["mm-hyb-ver"] > row["mm-gpu-dep"]
+
+    def test_fig7_hybrid_transfers_exceed_gpu_only(self):
+        rows = experiments.fig7_matmul_transfers(
+            smp_counts=(8,), gpu_counts=(2,), n_tiles=8
+        )
+        hv = next(r for r in rows if r["config"] == "HV")
+        gd = next(r for r in rows if r["config"] == "GD")
+        assert hv["total"] > gd["total"]
+        assert hv["device_tx"] > 0  # 'also transferring data between GPU devices'
+
+    def test_fig7_only_hybrid_produces_device_tx(self):
+        """'The versioning scheduler is also transferring data between
+        GPU devices due to a lack of data locality' — the GPU-only runs
+        under dep/affinity keep chains local and never need peer copies.
+
+        (The paper's further claim that HV traffic grows with the SMP
+        worker count reproduces only weakly here — see EXPERIMENTS.md.)"""
+        rows = experiments.fig7_matmul_transfers(
+            smp_counts=(8,), gpu_counts=(2,), n_tiles=8
+        )
+        hv = next(r for r in rows if r["config"] == "HV")
+        ga = next(r for r in rows if r["config"] == "GA")
+        gd = next(r for r in rows if r["config"] == "GD")
+        assert hv["device_tx"] > 0
+        assert ga["device_tx"] == 0.0
+        assert gd["device_tx"] == 0.0
+
+    def test_fig8_cublas_dominates_cuda_learning_only(self):
+        rows = experiments.fig8_matmul_task_stats(
+            smp_counts=(8,), gpu_counts=(2,), n_tiles=8
+        )
+        r = rows[0]
+        assert r["CUBLAS"] > 80.0
+        assert 0.0 < r["CUDA"] < 5.0  # 'only a few times at the beginning'
+        assert r["SMP"] > 0.0
+
+    def test_fig8_smp_share_grows_with_workers(self):
+        rows = experiments.fig8_matmul_task_stats(
+            smp_counts=(1, 8), gpu_counts=(2,), n_tiles=8
+        )
+        assert rows[1]["SMP"] > rows[0]["SMP"]
+
+    def test_fig8_smp_share_larger_with_one_gpu(self):
+        """'they do more work when there is only one GPU'"""
+        rows = experiments.fig8_matmul_task_stats(
+            smp_counts=(8,), gpu_counts=(1, 2), n_tiles=8
+        )
+        one_gpu = next(r for r in rows if r["gpus"] == 1)
+        two_gpu = next(r for r in rows if r["gpus"] == 2)
+        assert one_gpu["SMP"] > two_gpu["SMP"]
+
+
+# ----------------------------------------------------------------------
+# Cholesky (Figures 9-11)
+# ----------------------------------------------------------------------
+class TestCholeskyShapes:
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return experiments.fig9_cholesky_performance(
+            smp_counts=(2, 8), gpu_counts=(2,), n_blocks=16
+        )
+
+    def test_potrf_smp_is_slowest(self, fig9):
+        """'the potrf-smp is the version that gets less performance in
+        all cases'"""
+        for r in fig9:
+            assert r["potrf-smp-dep"] < r["potrf-gpu-aff"]
+            assert r["potrf-smp-dep"] < r["potrf-gpu-dep"]
+            assert r["potrf-smp-dep"] < r["potrf-hyb-ver"]
+
+    def test_hybrid_close_to_gpu_only(self, fig9):
+        """Learning costs keep potrf-hyb-ver at or below potrf-gpu at the
+        paper's 16-block scale (small task count, §V-B2), but within a
+        modest factor."""
+        for r in fig9:
+            assert r["potrf-hyb-ver"] > 0.6 * r["potrf-gpu-dep"]
+
+    def test_learning_penalty_shrinks_with_scale(self):
+        """More potrf instances amortise the λ learning runs (§IV-B:
+        'applications with 50-100 or more task instances have low
+        learning costs')."""
+        small = experiments.fig9_cholesky_performance(
+            smp_counts=(2,), gpu_counts=(2,), n_blocks=8
+        )[0]
+        large = experiments.fig9_cholesky_performance(
+            smp_counts=(2,), gpu_counts=(2,), n_blocks=20
+        )[0]
+        rel_small = small["potrf-hyb-ver"] / small["potrf-gpu-dep"]
+        rel_large = large["potrf-hyb-ver"] / large["potrf-gpu-dep"]
+        assert rel_large > rel_small
+
+    def test_fig11_gpu_takes_almost_all_potrf(self):
+        """'the scheduler decides to assign all the work to the GPUs
+        because they become the earliest executors' (beyond λ learning
+        runs)."""
+        rows = experiments.fig11_cholesky_task_stats(
+            smp_counts=(4,), gpu_counts=(2,), n_blocks=10
+        )
+        r = rows[0]
+        assert r["GPU"] > r["SMP"]
+        assert r["GPU"] >= 60.0
+
+    def test_fig10_smp_variant_moves_diagonal_blocks(self):
+        rows = experiments.fig10_cholesky_transfers(
+            smp_counts=(2,), gpu_counts=(2,), n_blocks=8
+        )
+        smp = next(r for r in rows if r["config"] == "SMP-dep")
+        gpu = next(r for r in rows if r["config"] == "GPU-dep")
+        # running potrf on the host forces the diagonal blocks back and
+        # forth: more data into the devices, more traffic overall
+        assert smp["input_tx"] > gpu["input_tx"]
+        assert smp["total"] > gpu["total"]
+
+
+# ----------------------------------------------------------------------
+# PBPI (Figures 12-15)
+# ----------------------------------------------------------------------
+class TestPBPIShapes:
+    @pytest.fixture(scope="class")
+    def fig12(self):
+        return experiments.fig12_pbpi_time(
+            smp_counts=(8, 12), gpu_counts=(2,), generations=12
+        )
+
+    def test_pbpi_smp_faster_than_gpu(self, fig12):
+        """'pbpi-smp versions run faster than the pbpi-gpu versions'"""
+        for r in fig12:
+            assert r["pbpi-smp"] < r["pbpi-gpu"]
+
+    def test_hybrid_fastest(self, fig12):
+        """'the versioning scheduler is able to find the appropriate
+        balance ... and decrease the execution time'"""
+        for r in fig12:
+            assert r["pbpi-hyb"] < r["pbpi-smp"]
+            assert r["pbpi-hyb"] < r["pbpi-gpu"]
+
+    def test_fig13_hybrid_transfers_nonzero_but_below_gpu(self):
+        rows = experiments.fig13_pbpi_transfers(
+            smp_counts=(8,), gpu_counts=(2,), generations=12
+        )
+        smp = next(r for r in rows if r["config"] == "SMP-dep")
+        gpu = next(r for r in rows if r["config"] == "GPU-dep")
+        hyb = next(r for r in rows if r["config"] == "HYB-ver")
+        assert smp["total"] == 0.0
+        assert hyb["total"] > smp["total"]
+        assert hyb["total"] <= gpu["total"] * 1.2
+
+    def test_fig14_loop1_mostly_gpu(self):
+        rows = experiments.fig14_pbpi_loop1_stats(
+            smp_counts=(8,), gpu_counts=(2,), generations=12
+        )
+        assert rows[0]["GPU"] > 80.0
+
+    def test_fig15_loop2_shared(self):
+        """'the execution of tasks of the second loop is shared between
+        GPU and SMP'"""
+        rows = experiments.fig15_pbpi_loop2_stats(
+            smp_counts=(8,), gpu_counts=(2,), generations=12
+        )
+        assert rows[0]["GPU"] > 10.0
+        assert rows[0]["SMP"] > 10.0
+
+
+# ----------------------------------------------------------------------
+# Calibration sanity (§V-B1 peak-performance remarks)
+# ----------------------------------------------------------------------
+class TestCalibration:
+    def test_gpu_fraction_of_node_peak(self):
+        """'one GPU represents around 45% of the peak' and 'one SMP core
+        represents less than 1%': check the cost-model ratios."""
+        from repro.sim.topology import (
+            GPU_CUBLAS_DGEMM_GFLOPS,
+            SMP_DGEMM_GFLOPS,
+        )
+
+        node_peak = 2 * GPU_CUBLAS_DGEMM_GFLOPS + 12 * SMP_DGEMM_GFLOPS
+        assert GPU_CUBLAS_DGEMM_GFLOPS / node_peak == pytest.approx(0.45, abs=0.05)
+        assert SMP_DGEMM_GFLOPS / node_peak < 0.01

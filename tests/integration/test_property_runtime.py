@@ -1,0 +1,141 @@
+"""Property-based integration tests: random programs on random machines.
+
+Hypothesis generates random task programs (random dependence patterns
+through a small region pool, random multi-version task sets) and random
+machine shapes; every scheduler must execute them to a valid state:
+
+* every submitted task completes exactly once,
+* the finish order respects every dependence edge,
+* no worker runs two tasks at once,
+* the coherence directory's invariants hold at the end,
+* the run is deterministic (same inputs -> identical trace).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.versioning import VersioningScheduler
+from repro.runtime.dataregion import DataRegion
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.perfmodel import FixedCostModel
+from repro.sim.topology import minotauro_node
+
+MB = 1024**2
+
+# one program step: (region ids it reads, region ids it writes)
+step = st.tuples(
+    st.sets(st.integers(0, 5), max_size=2),
+    st.sets(st.integers(0, 5), min_size=1, max_size=2),
+)
+program = st.lists(step, min_size=1, max_size=25)
+machine_shape = st.tuples(st.integers(1, 3), st.integers(0, 2))
+scheduler_name = st.sampled_from(["bf", "dep", "affinity", "versioning",
+                                  "versioning-locality"])
+
+
+def build_and_run(prog, smp, gpus, sched_name, seed=0):
+    machine = minotauro_node(smp, gpus, noise_cv=0.01, seed=seed)
+    registry = {}
+
+    @task(
+        inputs=lambda reads, writes: list(reads),
+        outputs=lambda reads, writes: [w for w in writes if w not in reads],
+        inouts=lambda reads, writes: [w for w in writes if w in reads],
+        device="smp",
+        name="step_smp",
+        registry=registry,
+    )
+    def step_task(reads, writes):
+        pass
+
+    machine.register_kernel_for_kind("smp", "step_smp", FixedCostModel(0.002))
+    if gpus > 0:
+        @task(
+            inputs=lambda reads, writes: list(reads),
+            outputs=lambda reads, writes: [w for w in writes if w not in reads],
+            inouts=lambda reads, writes: [w for w in writes if w in reads],
+            device="cuda",
+            implements="step_smp",
+            name="step_gpu",
+            registry=registry,
+        )
+        def step_gpu(reads, writes):
+            pass
+
+        machine.register_kernel_for_kind("cuda", "step_gpu", FixedCostModel(0.0005))
+
+    regions = {i: DataRegion(("r", i), MB) for i in range(6)}
+    rt = OmpSsRuntime(machine, sched_name)
+    with rt:
+        for reads, writes in prog:
+            read_regs = tuple(regions[i] for i in sorted(reads - writes))
+            write_regs = tuple(regions[i] for i in sorted(writes))
+            step_task(read_regs, write_regs)
+    return rt
+
+
+class TestRandomPrograms:
+    @given(prog=program, shape=machine_shape, sched=scheduler_name)
+    @settings(max_examples=60, deadline=None)
+    def test_valid_execution(self, prog, shape, sched):
+        smp, gpus = shape
+        rt = build_and_run(prog, smp, gpus, sched)
+        res = rt.result()
+        assert res.tasks_completed == len(prog)
+        rt.graph.verify_schedule(res.finish_order)
+        res.trace.check_no_overlap("task")
+        rt.directory.check_invariants()
+        assert len(res.finish_order) == len(set(res.finish_order))
+
+    @given(prog=program, shape=machine_shape)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, prog, shape):
+        smp, gpus = shape
+        a = build_and_run(prog, smp, gpus, "versioning", seed=3).result()
+        b = build_and_run(prog, smp, gpus, "versioning", seed=3).result()
+        assert a.makespan == b.makespan
+        assert a.trace == b.trace
+        assert a.transfer_stats.as_dict() == b.transfer_stats.as_dict()
+
+    @given(prog=program)
+    @settings(max_examples=25, deadline=None)
+    def test_makespan_bounds(self, prog):
+        """Makespan is at least the critical-path lower bound (tasks on
+        one chain cannot overlap) and at most the fully-serial sum plus
+        transfer/flush time."""
+        rt = build_and_run(prog, 2, 0, "dep")
+        res = rt.result()
+        task_time = 0.002
+        assert res.makespan >= task_time - 1e-12
+        assert res.makespan <= len(prog) * task_time + 1.0
+
+    @given(prog=program, shape=machine_shape)
+    @settings(max_examples=25, deadline=None)
+    def test_versioning_counts_consistent(self, prog, shape):
+        smp, gpus = shape
+        sched = VersioningScheduler()
+        machine = minotauro_node(smp, gpus, noise_cv=0.01, seed=1)
+        registry = {}
+
+        @task(
+            inouts=lambda writes: list(writes),
+            device="smp",
+            name="w_smp",
+            registry=registry,
+        )
+        def w(writes):
+            pass
+
+        machine.register_kernel_for_kind("smp", "w_smp", FixedCostModel(0.001))
+        regions = {i: DataRegion(("r", i), MB) for i in range(6)}
+        rt = OmpSsRuntime(machine, sched)
+        with rt:
+            for reads, writes in prog:
+                w(tuple(regions[i] for i in sorted(writes)))
+        res = rt.result()
+        total = sum(sum(v.values()) for v in res.version_counts.values())
+        assert total == len(prog)
+        assert sched.learning_dispatches + sched.reliable_dispatches == len(prog)
+        assert sched.pool_size() == 0

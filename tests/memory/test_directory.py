@@ -1,0 +1,199 @@
+"""Tests for the coherence directory, including protocol-invariant
+property tests over random operation sequences."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.directory import Directory, TransferRequest
+from repro.runtime.dataregion import DataRegion
+
+SPACES = ["host", "gpu0", "gpu1"]
+
+
+def reg(key="x", nbytes=100):
+    return DataRegion(key, nbytes)
+
+
+class TestRegistration:
+    def test_new_region_valid_at_home_only(self):
+        d = Directory()
+        r = reg()
+        d.register(r)
+        assert d.valid_spaces(r) == {"host"}
+        assert d.dirty_owner(r) is None
+
+    def test_register_idempotent(self):
+        d = Directory()
+        r = reg()
+        d.register(r)
+        d.mark_valid(r, "gpu0")
+        d.register(r)  # must not reset state
+        assert d.valid_spaces(r) == {"host", "gpu0"}
+
+    def test_queries_auto_register(self):
+        d = Directory()
+        assert d.is_valid(reg(), "host")
+
+
+class TestReadProtocol:
+    def test_read_at_valid_space_needs_nothing(self):
+        d = Directory()
+        assert d.reads_needed(reg(), "host") is None
+
+    def test_read_elsewhere_needs_transfer_from_home(self):
+        d = Directory()
+        r = reg()
+        req = d.reads_needed(r, "gpu0")
+        assert req == TransferRequest(r, "host", "gpu0")
+
+    def test_choose_source_prefers_home(self):
+        d = Directory()
+        r = reg()
+        d.mark_valid(r, "gpu0")
+        assert d.choose_source(r, "gpu1") == "host"
+
+    def test_choose_source_peer_when_home_invalid(self):
+        d = Directory()
+        r = reg()
+        d.note_write(r, "gpu0")
+        assert d.choose_source(r, "gpu1") == "gpu0"
+
+    def test_choose_source_rejects_already_valid(self):
+        d = Directory()
+        with pytest.raises(ValueError, match="already valid"):
+            d.choose_source(reg(), "host")
+
+    def test_mark_valid_adds_replica(self):
+        d = Directory()
+        r = reg()
+        d.mark_valid(r, "gpu0")
+        assert d.valid_spaces(r) == {"host", "gpu0"}
+
+
+class TestWriteProtocol:
+    def test_write_invalidates_others(self):
+        d = Directory()
+        r = reg()
+        d.mark_valid(r, "gpu0")
+        d.mark_valid(r, "gpu1")
+        d.note_write(r, "gpu0")
+        assert d.valid_spaces(r) == {"gpu0"}
+        assert d.dirty_owner(r) == "gpu0"
+
+    def test_host_write_is_clean(self):
+        d = Directory()
+        r = reg()
+        d.mark_valid(r, "gpu0")
+        d.note_write(r, "host")
+        assert d.valid_spaces(r) == {"host"}
+        assert d.dirty_owner(r) is None
+
+    def test_writeback_cleans(self):
+        d = Directory()
+        r = reg()
+        d.note_write(r, "gpu0")
+        req = d.writeback_request(r)
+        assert req == TransferRequest(r, "gpu0", "host")
+        d.note_writeback_done(r)
+        assert d.dirty_owner(r) is None
+        assert d.valid_spaces(r) == {"gpu0", "host"}
+
+    def test_writeback_of_clean_region_is_none(self):
+        d = Directory()
+        assert d.writeback_request(reg()) is None
+
+    def test_writeback_done_on_clean_rejected(self):
+        d = Directory()
+        with pytest.raises(ValueError):
+            d.note_writeback_done(reg())
+
+
+class TestEviction:
+    def test_drop_replica_ok(self):
+        d = Directory()
+        r = reg()
+        d.mark_valid(r, "gpu0")
+        d.drop_copy(r, "gpu0")
+        assert d.valid_spaces(r) == {"host"}
+
+    def test_drop_dirty_owner_rejected(self):
+        d = Directory()
+        r = reg()
+        d.note_write(r, "gpu0")
+        with pytest.raises(ValueError, match="dirty"):
+            d.drop_copy(r, "gpu0")
+
+    def test_drop_last_copy_rejected(self):
+        d = Directory()
+        r = reg()
+        with pytest.raises(ValueError, match="only valid copy"):
+            d.drop_copy(r, "host")
+
+    def test_drop_nonresident_rejected(self):
+        d = Directory()
+        with pytest.raises(ValueError, match="no copy"):
+            d.drop_copy(reg(), "gpu0")
+
+
+class TestFlush:
+    def test_flush_requests_cover_all_dirty(self):
+        d = Directory()
+        r1, r2, r3 = reg("a"), reg("b"), reg("c")
+        d.note_write(r1, "gpu0")
+        d.note_write(r2, "gpu1")
+        d.register(r3)  # clean
+        reqs = d.flush_requests()
+        assert {q.region.key for q in reqs} == {"a", "b"}
+        assert all(q.dst == "host" for q in reqs)
+
+    def test_flush_requests_deterministic_order(self):
+        d1, d2 = Directory(), Directory()
+        for d in (d1, d2):
+            for key in ("z", "a", "m"):
+                d.note_write(reg(key), "gpu0")
+        assert [q.region.key for q in d1.flush_requests()] == [
+            q.region.key for q in d2.flush_requests()
+        ]
+
+
+class TestTransferRequest:
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            TransferRequest(reg(), "host", "host")
+
+
+class TestInvariantsUnderRandomOps:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["read", "write", "flush_one"]),
+                st.integers(min_value=0, max_value=3),  # region id
+                st.sampled_from(SPACES),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_protocol_invariants(self, ops):
+        """Simulate the runtime's use of the directory: reads complete
+        their transfer immediately; writes invalidate; random write-backs
+        occur.  Invariants must hold after every step."""
+        d = Directory()
+        regions = {i: reg(("r", i)) for i in range(4)}
+        for op, i, space in ops:
+            r = regions[i]
+            if op == "read":
+                req = d.reads_needed(r, space)
+                if req is not None:
+                    d.mark_valid(r, space)
+                assert d.is_valid(r, space)
+            elif op == "write":
+                d.note_write(r, space)
+                assert d.valid_spaces(r) == {space}
+            elif op == "flush_one":
+                req = d.writeback_request(r)
+                if req is not None:
+                    d.note_writeback_done(r)
+                    assert d.is_valid(r, "host")
+            d.check_invariants()

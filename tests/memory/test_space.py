@@ -1,0 +1,57 @@
+"""Tests for memory spaces."""
+
+import pytest
+
+from repro.memory.space import MemorySpace
+
+
+class TestMemorySpace:
+    def test_unbounded_by_default(self):
+        s = MemorySpace("host")
+        assert not s.is_bounded
+        assert s.free_bytes() is None
+        assert s.fits(10**15)
+
+    def test_bounded_capacity(self):
+        s = MemorySpace("gpu", capacity=100)
+        assert s.is_bounded
+        assert s.free_bytes() == 100
+        assert s.fits(100)
+        assert not s.fits(101)
+
+    def test_allocate_and_release(self):
+        s = MemorySpace("gpu", capacity=100)
+        s.allocate(60)
+        assert s.used_bytes == 60
+        assert s.free_bytes() == 40
+        s.release(60)
+        assert s.used_bytes == 0
+
+    def test_overallocation_raises(self):
+        s = MemorySpace("gpu", capacity=100)
+        s.allocate(80)
+        with pytest.raises(MemoryError):
+            s.allocate(21)
+
+    def test_release_more_than_used_raises(self):
+        s = MemorySpace("gpu", capacity=100)
+        s.allocate(10)
+        with pytest.raises(ValueError):
+            s.release(11)
+
+    def test_negative_amounts_rejected(self):
+        s = MemorySpace("gpu", capacity=100)
+        with pytest.raises(ValueError):
+            s.allocate(-1)
+        with pytest.raises(ValueError):
+            s.release(-1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySpace("x", capacity=0)
+
+    def test_fits_accounts_current_usage(self):
+        s = MemorySpace("gpu", capacity=100)
+        s.allocate(50)
+        assert s.fits(50)
+        assert not s.fits(51)

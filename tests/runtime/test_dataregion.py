@@ -1,0 +1,106 @@
+"""Tests for data regions, accesses and data-set-size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.dataregion import (
+    AccessKind,
+    DataAccess,
+    DataRegion,
+    region_of,
+    unique_data_bytes,
+)
+
+
+class TestAccessKind:
+    def test_reads_writes_flags(self):
+        assert AccessKind.INPUT.reads and not AccessKind.INPUT.writes
+        assert AccessKind.OUTPUT.writes and not AccessKind.OUTPUT.reads
+        assert AccessKind.INOUT.reads and AccessKind.INOUT.writes
+
+
+class TestDataRegion:
+    def test_equality_by_key(self):
+        a = DataRegion("x", 100)
+        b = DataRegion("x", 100)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_keys_differ(self):
+        assert DataRegion("x", 100) != DataRegion("y", 100)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataRegion("x", -1)
+
+    def test_label_defaults_to_key(self):
+        assert DataRegion("x", 1).label == "x"
+
+    def test_same_key_overlaps(self):
+        assert DataRegion("x", 10).overlaps(DataRegion("x", 10))
+
+    def test_no_interval_info_no_overlap(self):
+        assert not DataRegion("x", 10).overlaps(DataRegion("y", 10))
+
+    def test_interval_overlap(self):
+        a = DataRegion("a", 10, base=100, length=10)
+        b = DataRegion("b", 10, base=105, length=10)
+        c = DataRegion("c", 10, base=110, length=10)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching, not overlapping
+
+
+class TestRegionOf:
+    def test_region_passthrough(self):
+        r = DataRegion("x", 10)
+        assert region_of(r) is r
+
+    def test_ndarray_keyed_by_address(self):
+        arr = np.zeros(16)
+        r1 = region_of(arr)
+        r2 = region_of(arr)
+        assert r1 == r2
+        assert r1.nbytes == arr.nbytes
+        assert r1.data is arr
+
+    def test_distinct_arrays_distinct_regions(self):
+        assert region_of(np.zeros(4)) is not None
+        a, b = np.zeros(4), np.zeros(4)
+        assert region_of(a) != region_of(b)
+
+    def test_view_at_offset_is_distinct_region(self):
+        arr = np.zeros(16)
+        assert region_of(arr) != region_of(arr[8:])
+
+    def test_scalar_rejected(self):
+        with pytest.raises(TypeError, match="DataRegion or numpy.ndarray"):
+            region_of(42)
+
+    def test_list_rejected(self):
+        with pytest.raises(TypeError):
+            region_of([1, 2, 3])
+
+
+class TestUniqueDataBytes:
+    def test_each_region_counted_once(self):
+        """Paper footnote 2: a parameter's size counts once even if inout."""
+        r = DataRegion("x", 100)
+        accs = [DataAccess(r, AccessKind.INPUT), DataAccess(r, AccessKind.INOUT)]
+        assert unique_data_bytes(accs) == 100
+
+    def test_distinct_regions_summed(self):
+        accs = [
+            DataAccess(DataRegion("a", 10), AccessKind.INPUT),
+            DataAccess(DataRegion("b", 20), AccessKind.OUTPUT),
+            DataAccess(DataRegion("c", 30), AccessKind.INOUT),
+        ]
+        assert unique_data_bytes(accs) == 60
+
+    def test_empty(self):
+        assert unique_data_bytes([]) == 0
+
+
+class TestDataAccess:
+    def test_flags_delegate_to_kind(self):
+        acc = DataAccess(DataRegion("x", 1), AccessKind.INOUT)
+        assert acc.reads and acc.writes

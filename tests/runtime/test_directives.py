@@ -1,0 +1,248 @@
+"""Tests for the @task / @target decorator front end."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.dataregion import AccessKind, DataRegion
+from repro.runtime.directives import (
+    TaskFunction,
+    clear_task_registry,
+    registered_tasks,
+    target,
+    task,
+)
+from repro.sim.devices import DeviceKind
+
+
+class TestTaskDecorator:
+    def test_plain_task_is_smp_main(self, registry):
+        @task(inputs=["a"], registry=registry)
+        def f(a):
+            pass
+
+        assert isinstance(f, TaskFunction)
+        assert f.version.is_main
+        assert f.version.device_kinds == (DeviceKind.SMP,)
+        assert f.definition.name == "f"
+
+    def test_device_clause_inline(self, registry):
+        @task(device="cuda", registry=registry)
+        def f():
+            pass
+
+        assert f.version.device_kinds == (DeviceKind.CUDA,)
+
+    def test_multi_device_clause(self, registry):
+        @task(device=["smp", "cuda"], registry=registry)
+        def f():
+            pass
+
+        assert set(f.version.device_kinds) == {DeviceKind.SMP, DeviceKind.CUDA}
+
+    def test_duplicate_device_rejected(self, registry):
+        with pytest.raises(ValueError, match="duplicate device"):
+            @task(device=["smp", "smp"], registry=registry)
+            def f():
+                pass
+
+    def test_sequential_semantics_without_runtime(self, registry):
+        @task(inputs=["a"], inouts=["b"], registry=registry)
+        def f(a, b):
+            b += a
+
+        a, b = np.ones(4), np.zeros(4)
+        f(a, b)
+        assert np.allclose(b, 1.0)
+
+    def test_name_override(self, registry):
+        @task(name="renamed", registry=registry)
+        def f():
+            pass
+
+        assert f.__name__ == "renamed"
+        assert "renamed" in registry
+
+
+class TestImplements:
+    def test_implements_by_reference(self, registry):
+        @task(registry=registry)
+        def main_impl():
+            pass
+
+        @task(implements=main_impl, device="cuda", registry=registry)
+        def alt():
+            pass
+
+        assert not alt.version.is_main
+        assert alt.definition is main_impl.definition
+        assert [v.name for v in main_impl.definition.versions] == ["main_impl", "alt"]
+
+    def test_implements_by_name(self, registry):
+        @task(registry=registry)
+        def main_impl():
+            pass
+
+        @task(implements="main_impl", registry=registry)
+        def alt():
+            pass
+
+        assert alt.definition is main_impl.definition
+
+    def test_implements_unknown_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="no task named"):
+            @task(implements="ghost", registry=registry)
+            def alt():
+                pass
+
+    def test_implements_of_implementation_rejected(self, registry):
+        """Paper §IV-A: implements must reference the main version."""
+
+        @task(registry=registry)
+        def main_impl():
+            pass
+
+        @task(implements=main_impl, registry=registry)
+        def alt():
+            pass
+
+        with pytest.raises(ValueError, match="must name the main version"):
+            @task(implements=alt, registry=registry)
+            def alt2():
+                pass
+
+    def test_implements_wrong_type_rejected(self, registry):
+        with pytest.raises(TypeError):
+            @task(implements=42, registry=registry)
+            def alt():
+                pass
+
+
+class TestTargetDecorator:
+    def test_target_overrides_device(self, registry):
+        @target(device="cuda")
+        @task(registry=registry)
+        def f():
+            pass
+
+        assert f.version.device_kinds == (DeviceKind.CUDA,)
+
+    def test_target_implements(self, registry):
+        @task(registry=registry)
+        def main_impl():
+            pass
+
+        @target(device="cuda", implements=main_impl)
+        @task(registry=registry)
+        def alt():
+            pass
+
+        assert alt.definition is main_impl.definition
+        assert not alt.version.is_main
+        # the inner @task's transient main registration must be gone
+        assert "alt" not in registry
+
+    def test_target_over_plain_function_rejected(self, registry):
+        with pytest.raises(TypeError, match="@task"):
+            @target(device="cuda")
+            def f():
+                pass
+
+    def test_copy_deps_recorded(self, registry):
+        @target(device="smp", copy_deps=False)
+        @task(registry=registry)
+        def f():
+            pass
+
+        assert f.version.copy_deps is False
+
+
+class TestClauses:
+    def test_accesses_from_names(self, registry):
+        @task(inputs=["a"], outputs=["b"], inouts=["c"], registry=registry)
+        def f(a, b, c):
+            pass
+
+        ra, rb, rc = DataRegion("a", 1), DataRegion("b", 2), DataRegion("c", 3)
+        accs = f.build_accesses(ra, rb, rc)
+        assert [(x.region.key, x.kind) for x in accs] == [
+            ("a", AccessKind.INPUT),
+            ("b", AccessKind.OUTPUT),
+            ("c", AccessKind.INOUT),
+        ]
+
+    def test_accesses_from_callable(self, registry):
+        @task(inputs=lambda xs, y: list(xs), outputs=lambda xs, y: [y],
+              registry=registry)
+        def f(xs, y):
+            pass
+
+        r1, r2, ry = DataRegion("1", 1), DataRegion("2", 1), DataRegion("y", 1)
+        accs = f.build_accesses((r1, r2), ry)
+        assert len(accs) == 3
+
+    def test_unknown_parameter_in_clause_rejected(self, registry):
+        @task(inputs=["nope"], registry=registry)
+        def f(a):
+            pass
+
+        with pytest.raises(TypeError, match="not an argument"):
+            f.build_accesses(DataRegion("a", 1))
+
+    def test_conflicting_clauses_rejected(self, registry):
+        @task(inputs=["a"], outputs=["a"], registry=registry)
+        def f(a):
+            pass
+
+        with pytest.raises(ValueError, match="use inout"):
+            f.build_accesses(DataRegion("a", 1))
+
+    def test_same_region_same_clause_ok(self, registry):
+        @task(inputs=lambda a: [a, a], registry=registry)
+        def f(a):
+            pass
+
+        accs = f.build_accesses(DataRegion("a", 1))
+        assert len(accs) == 2
+
+    def test_work_params(self, registry):
+        @task(work=lambda a, n: {"n": n}, registry=registry)
+        def f(a, n=8):
+            pass
+
+        assert f.work_params(DataRegion("a", 1)) == {"n": 8}
+        assert f.work_params(DataRegion("a", 1), 16) == {"n": 16}
+
+    def test_no_work_gives_empty(self, registry):
+        @task(registry=registry)
+        def f(a):
+            pass
+
+        assert f.work_params(1) == {}
+
+    def test_kwargs_binding(self, registry):
+        @task(inputs=["a"], registry=registry)
+        def f(a, scale=1.0):
+            pass
+
+        accs = f.build_accesses(a=DataRegion("a", 7))
+        assert accs[0].region.nbytes == 7
+
+
+class TestGlobalRegistry:
+    def test_global_registration_and_clear(self):
+        clear_task_registry()
+
+        @task
+        def globally_registered():
+            pass
+
+        assert "globally_registered" in registered_tasks()
+        clear_task_registry()
+        assert registered_tasks() == {}
+
+    def test_repr(self, registry):
+        @task(device="cuda", registry=registry)
+        def f():
+            pass
+
+        assert "cuda" in repr(f)

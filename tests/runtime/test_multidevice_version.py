@@ -1,0 +1,98 @@
+"""Tests for versions targeting more than one device kind.
+
+§IV-A: "the same implementation can be targeted to more than one device
+(provided that all devices specified in the device clause are able to
+run the code)".
+"""
+
+import pytest
+
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.devices import DeviceKind
+from repro.sim.perfmodel import FixedCostModel
+
+from tests.conftest import make_machine, region, run_tasks
+
+
+def make_portable_task(machine, smp_cost=0.004, gpu_cost=0.001):
+    """One version, runnable on both SMP and CUDA devices."""
+    reg = {}
+
+    @task(inputs=["x"], outputs=["y"], device=["smp", "cuda"], name="portable",
+          registry=reg)
+    def portable(x, y):
+        pass
+
+    if machine.devices_of_kind("smp"):
+        machine.register_kernel_for_kind("smp", "portable", FixedCostModel(smp_cost))
+    if machine.devices_of_kind("cuda"):
+        machine.register_kernel_for_kind("cuda", "portable", FixedCostModel(gpu_cost))
+    return portable
+
+
+class TestDeclaration:
+    def test_version_lists_both_kinds(self, registry):
+        @task(device=["smp", "cuda"], name="p", registry=registry)
+        def p():
+            pass
+
+        assert set(p.version.device_kinds) == {DeviceKind.SMP, DeviceKind.CUDA}
+        assert p.version.runs_on("smp") and p.version.runs_on("cuda")
+
+
+class TestExecution:
+    def test_runs_on_all_worker_kinds_under_versioning(self):
+        m = make_machine(2, 1, noise=0.0)
+        portable = make_portable_task(m)
+        calls = [(portable, region(("x", i)), region(("y", i))) for i in range(60)]
+        res = run_tasks(m, "versioning", calls)
+        workers = {r.worker for r in res.trace.by_category("task")}
+        assert any(w.startswith("w:smp") for w in workers)
+        assert any(w.startswith("w:gpu") for w in workers)
+        # one version, all executions
+        assert res.version_counts["portable"] == {"portable": 60}
+
+    def test_works_under_dep_scheduler_on_either_machine(self):
+        for smp, gpus in ((2, 0), (0, 1)):
+            m = make_machine(smp, gpus, noise=0.0)
+            portable = make_portable_task(m)
+            res = run_tasks(m, "dep",
+                            [(portable, region("x"), region("y"))])
+            assert res.tasks_completed == 1
+
+    def test_same_version_different_cost_per_device(self):
+        """The scheduler profiles per *version*, so a portable version's
+        mean blends devices — placement still prefers the faster worker
+        through the queue estimates."""
+        m = make_machine(1, 1, noise=0.0)
+        portable = make_portable_task(m, smp_cost=0.020, gpu_cost=0.001)
+        calls = [(portable, region(("x", i)), region(("y", i))) for i in range(80)]
+        res = run_tasks(m, "versioning", calls)
+        from collections import Counter
+
+        per = Counter(r.worker for r in res.trace.by_category("task"))
+        assert per["w:gpu0"] > per.get("w:smp0", 0)
+
+    def test_portable_plus_specialised_version(self):
+        """A portable main version plus a faster GPU-only implements."""
+        m = make_machine(2, 1, noise=0.0)
+        reg = {}
+
+        @task(inputs=["x"], outputs=["y"], device=["smp", "cuda"],
+              name="generic", registry=reg)
+        def generic(x, y):
+            pass
+
+        @task(inputs=["x"], outputs=["y"], device="cuda", implements="generic",
+              name="tuned", registry=reg)
+        def tuned(x, y):
+            pass
+
+        m.register_kernel_for_kind("smp", "generic", FixedCostModel(0.010))
+        m.register_kernel_for_kind("cuda", "generic", FixedCostModel(0.005))
+        m.register_kernel_for_kind("cuda", "tuned", FixedCostModel(0.001))
+        calls = [(generic, region(("x", i)), region(("y", i))) for i in range(60)]
+        res = run_tasks(m, "versioning", calls)
+        counts = res.version_counts["generic"]
+        assert counts["tuned"] > counts.get("generic", 0)

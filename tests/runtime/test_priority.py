@@ -1,0 +1,175 @@
+"""Tests for the OmpSs priority clause."""
+
+import pytest
+
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.runtime.task import TaskDefinition, TaskInstance, TaskVersion
+from repro.runtime.worker import Worker
+from repro.sim.devices import DeviceKind, SMPDevice
+from repro.sim.perfmodel import FixedCostModel
+
+from tests.conftest import make_machine, region, run_tasks
+
+
+def make_task(priority=0):
+    d = TaskDefinition("t")
+    d.add_version(TaskVersion("v", "t", (DeviceKind.SMP,), "v", is_main=True))
+    return TaskInstance(d, [], priority=priority)
+
+
+class TestWorkerQueueOrdering:
+    def test_priority_jumps_queue(self):
+        w = Worker(SMPDevice("smp0"))
+        low1, low2 = make_task(0), make_task(0)
+        high = make_task(5)
+        w.enqueue(low1)
+        w.enqueue(low2)
+        w.enqueue(high)
+        assert w.pop() is high
+
+    def test_equal_priorities_stay_fifo(self):
+        w = Worker(SMPDevice("smp0"))
+        a, b, c = make_task(1), make_task(1), make_task(1)
+        for t in (a, b, c):
+            w.enqueue(t)
+        assert [w.pop(), w.pop(), w.pop()] == [a, b, c]
+
+    def test_ordering_among_mixed_priorities(self):
+        w = Worker(SMPDevice("smp0"))
+        p0, p2, p1, p2b = make_task(0), make_task(2), make_task(1), make_task(2)
+        for t in (p0, p2, p1, p2b):
+            w.enqueue(t)
+        assert [w.pop() for _ in range(4)] == [p2, p2b, p1, p0]
+
+
+class TestClause:
+    def test_static_priority(self, registry):
+        @task(priority=3, name="p", registry=registry)
+        def p():
+            pass
+
+        assert p.priority_of() == 3
+
+    def test_callable_priority(self, registry):
+        @task(priority=lambda k: 10 - k, name="p", registry=registry)
+        def p(k):
+            pass
+
+        assert p.priority_of(4) == 6
+
+    def test_default_zero(self, registry):
+        @task(name="p", registry=registry)
+        def p():
+            pass
+
+        assert p.priority_of() == 0
+
+
+class TestEndToEnd:
+    def test_priority_task_runs_earlier(self):
+        """A high-priority task submitted last still starts before the
+        queued low-priority backlog."""
+        m = make_machine(1, 0, noise=0.0)
+        reg = {}
+
+        @task(outputs=["y"], device="smp", name="lo", registry=reg)
+        def lo(y):
+            pass
+
+        @task(outputs=["y"], device="smp", priority=1, name="hi", registry=reg)
+        def hi(y):
+            pass
+
+        m.register_kernel_for_kind("smp", "lo", FixedCostModel(0.010))
+        m.register_kernel_for_kind("smp", "hi", FixedCostModel(0.010))
+        rt = OmpSsRuntime(m, "dep")
+        with rt:
+            for i in range(5):
+                lo(region(("y", i)))
+            hi(region("important"))
+        res = rt.result()
+        recs = sorted(res.trace.by_category("task"), key=lambda r: r.start)
+        # the running task (index 0) cannot be preempted; the priority
+        # task is next
+        assert recs[1].label == "hi"
+
+    def test_versioning_pool_respects_priority(self):
+        """Under the versioning scheduler, pool-held tasks with higher
+        priority are placed first."""
+        from tests.conftest import make_two_version_task
+
+        m = make_machine(1, 1, noise=0.0)
+        reg = {}
+
+        @task(outputs=["y"], device="smp", name="lo", registry=reg)
+        def lo(y):
+            pass
+
+        @task(outputs=["y"], device="smp", priority=2, name="hi", registry=reg)
+        def hi(y):
+            pass
+
+        m.register_kernel_for_kind("smp", "lo", FixedCostModel(0.005))
+        m.register_kernel_for_kind("smp", "hi", FixedCostModel(0.005))
+        rt = OmpSsRuntime(m, "versioning")
+        with rt:
+            for i in range(20):
+                lo(region(("y", i)))
+            hi(region("important"))
+        res = rt.result()
+        hi_rec = next(r for r in res.trace.by_category("task") if r.label == "hi")
+        lo_recs = [r for r in res.trace.by_category("task") if r.label == "lo"]
+        # the priority task beats most of the earlier-submitted backlog
+        assert sum(1 for r in lo_recs if r.start < hi_rec.start) <= 4
+
+    def test_priority_head_with_pending_transfers_pulls_wake_forward(self):
+        """A priority task that jumps to the head of an idle worker whose
+        wake was scheduled for the old head's (larger) transfer must not
+        inherit the old wake time."""
+        from repro.sim.devices import GPUDevice
+        from repro.sim.perfmodel import PerfModel
+        from repro.sim.topology import Link, Machine
+
+        # two DMA channels so the small transfer is not stuck behind the
+        # big one on the wire
+        m = Machine(
+            "m",
+            [GPUDevice("gpu0", PerfModel())],
+            [Link("host", "gpu0", 6e9, 0.0, channels=2),
+             Link("gpu0", "host", 6e9, 0.0, channels=2)],
+        )
+        reg = {}
+
+        @task(inputs=["x"], outputs=["y"], device="cuda", name="big", registry=reg)
+        def big(x, y):
+            pass
+
+        @task(inputs=["x"], outputs=["y"], device="cuda", priority=1, name="small",
+              registry=reg)
+        def small(x, y):
+            pass
+
+        m.register_kernel_for_kind("cuda", "big", FixedCostModel(0.001))
+        m.register_kernel_for_kind("cuda", "small", FixedCostModel(0.001))
+        rt = OmpSsRuntime(m, "dep")
+        mb = 1024**2
+        with rt:
+            big(region("bx", 600 * mb), region("by", 1))    # ~100 ms transfer
+            small(region("sx", 6 * mb), region("sy", 1))    # ~1 ms transfer
+        res = rt.result()
+        recs = sorted(res.trace.by_category("task"), key=lambda r: r.start)
+        assert recs[0].label == "small"
+        # the priority task started as soon as its own (small) transfer
+        # landed, not after the big task's
+        assert recs[0].start < 0.01
+
+    def test_cholesky_potrf_priority_does_not_hurt(self):
+        from repro.apps.cholesky import CholeskyApp
+        from repro.sim.topology import minotauro_node
+
+        def run(prio):
+            app = CholeskyApp(n_blocks=10, variant="gpu", potrf_priority=prio)
+            return app.run(minotauro_node(1, 2, noise_cv=0.0, seed=1), "dep").gflops
+
+        assert run(1) >= run(0) * 0.999

@@ -1,0 +1,109 @@
+"""Tests for the task-creation throttle (Nanos++ throttle policy)."""
+
+import pytest
+
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime, RuntimeConfig
+from repro.sim.perfmodel import FixedCostModel
+
+from tests.conftest import make_machine, make_two_version_task, region
+
+
+def make_simple(machine, cost=0.002):
+    reg = {}
+
+    @task(outputs=["y"], device="smp", name="w", registry=reg)
+    def w(y):
+        pass
+
+    machine.register_kernel_for_kind("smp", "w", FixedCostModel(cost))
+    return w
+
+
+class TestThrottle:
+    def test_in_flight_never_exceeds_limit(self):
+        m = make_machine(2, 0, noise=0.0)
+        w = make_simple(m)
+        rt = OmpSsRuntime(m, "dep", config=RuntimeConfig(max_in_flight_tasks=3))
+        max_seen = 0
+        with rt:
+            for i in range(20):
+                w(region(("y", i)))
+                max_seen = max(max_seen, rt.graph.unfinished)
+        assert max_seen <= 3
+        assert rt.result().tasks_completed == 20
+
+    def test_submission_advances_the_clock(self):
+        m = make_machine(1, 0, noise=0.0)
+        w = make_simple(m, cost=0.010)
+        rt = OmpSsRuntime(m, "dep", config=RuntimeConfig(max_in_flight_tasks=1))
+        with rt:
+            w(region("a"))
+            assert rt.engine.now == 0.0
+            w(region("b"))  # must wait for a to retire
+            assert rt.engine.now == pytest.approx(0.010)
+
+    def test_unthrottled_submits_instantly(self):
+        m = make_machine(1, 0, noise=0.0)
+        w = make_simple(m)
+        rt = OmpSsRuntime(m, "dep")
+        with rt:
+            for i in range(10):
+                w(region(("y", i)))
+            assert rt.engine.now == 0.0
+        rt.result()
+
+    def test_same_makespan_when_throttle_not_binding(self):
+        def run(config):
+            m = make_machine(2, 1, noise=0.0)
+            work, _ = make_two_version_task(machine=m)
+            rt = OmpSsRuntime(m, "versioning", config=config)
+            with rt:
+                for i in range(30):
+                    work(region(("x", i)), region(("y", i)))
+            return rt.result().makespan
+
+        assert run(RuntimeConfig(max_in_flight_tasks=1000)) == pytest.approx(
+            run(RuntimeConfig())
+        )
+
+    def test_throttled_versioning_completes(self):
+        m = make_machine(2, 1, noise=0.0)
+        work, _ = make_two_version_task(machine=m)
+        rt = OmpSsRuntime(m, "versioning",
+                          config=RuntimeConfig(max_in_flight_tasks=4))
+        with rt:
+            for i in range(40):
+                work(region(("x", i)), region(("y", i)))
+        res = rt.result()
+        assert res.tasks_completed == 40
+        rt.graph.verify_schedule(res.finish_order)
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(max_in_flight_tasks=0)
+
+    def test_throttle_bounds_lookahead_effect(self):
+        """A tight throttle limits how far transfers can run ahead: the
+        in-flight bound caps queued work, observable as a (weakly)
+        longer or equal makespan on a transfer-heavy workload."""
+        from repro.runtime.directives import task as mktask
+
+        def run(limit):
+            m = make_machine(0, 1, noise=0.0)
+            reg = {}
+
+            @mktask(inputs=["x"], outputs=["y"], device="cuda", name="k",
+                    registry=reg)
+            def k(x, y):
+                pass
+
+            m.register_kernel_for_kind("cuda", "k", FixedCostModel(0.010))
+            cfg = RuntimeConfig(max_in_flight_tasks=limit)
+            rt = OmpSsRuntime(m, "dep", config=cfg)
+            with rt:
+                for i in range(8):
+                    k(region(("x", i), 60 * 1024**2), region(("y", i), 1024))
+            return rt.result().makespan
+
+        assert run(1) >= run(100) - 1e-12

@@ -1,0 +1,72 @@
+"""Tests for the worker abstraction."""
+
+import pytest
+
+from repro.runtime.task import TaskDefinition, TaskInstance, TaskVersion
+from repro.runtime.worker import Worker
+from repro.sim.devices import DeviceKind, GPUDevice, SMPDevice
+
+
+def make_task():
+    d = TaskDefinition("t")
+    d.add_version(TaskVersion("v", "t", (DeviceKind.SMP,), "v", is_main=True))
+    return TaskInstance(d, [])
+
+
+class TestWorker:
+    def test_name_and_space(self):
+        w = Worker(SMPDevice("smp0"))
+        assert w.name == "w:smp0"
+        assert w.space == "host"
+        wg = Worker(GPUDevice("gpu1"))
+        assert wg.space == "gpu1"
+
+    def test_queue_fifo(self):
+        w = Worker(SMPDevice("smp0"))
+        t1, t2 = make_task(), make_task()
+        w.enqueue(t1)
+        w.enqueue(t2)
+        assert w.peek() is t1
+        assert w.pop() is t1
+        assert w.pop() is t2
+        assert w.peek() is None
+
+    def test_load_counts_running_task(self):
+        w = Worker(SMPDevice("smp0"))
+        assert w.load() == 0
+        w.enqueue(make_task())
+        assert w.load() == 1
+        w.current = w.pop()
+        assert w.load() == 1
+        w.enqueue(make_task())
+        assert w.load() == 2
+
+    def test_is_idle(self):
+        w = Worker(SMPDevice("smp0"))
+        assert w.is_idle
+        w.current = make_task()
+        assert not w.is_idle
+
+    def test_queued_tasks_snapshot(self):
+        w = Worker(SMPDevice("smp0"))
+        t = make_task()
+        w.enqueue(t)
+        snap = w.queued_tasks()
+        assert snap == [t]
+        snap.clear()
+        assert w.peek() is t  # snapshot is a copy
+
+    def test_stats(self):
+        w = Worker(SMPDevice("smp0"))
+        w.busy_time = 3.0
+        w.tasks_run = 7
+        s = w.stats(total_time=4.0)
+        assert s.tasks_run == 7
+        assert s.busy_time == 3.0
+        assert s.idle_time == pytest.approx(1.0)
+        assert s.utilisation == pytest.approx(0.75)
+
+    def test_stats_idle_clamped(self):
+        w = Worker(SMPDevice("smp0"))
+        w.busy_time = 5.0
+        assert w.stats(total_time=4.0).idle_time == 0.0

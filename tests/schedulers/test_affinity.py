@@ -1,0 +1,87 @@
+"""Tests for the affinity scheduler."""
+
+import pytest
+
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.perfmodel import FixedCostModel
+
+from tests.conftest import MB, make_machine, make_two_version_task, region, run_tasks
+
+
+def gpu_task(machine, cost=0.002):
+    reg = {}
+
+    @task(inputs=["x"], outputs=["y"], device="cuda", name="k", registry=reg)
+    def k(x, y):
+        pass
+
+    machine.register_kernel_for_kind("cuda", "k", FixedCostModel(cost))
+    return k
+
+
+class TestLocality:
+    def test_repeated_input_stays_on_one_gpu(self):
+        """A dependence chain re-reading one region keeps running where
+        the data is — a single Input Tx of each region in total."""
+        m = make_machine(0, 2)
+        reg = {}
+
+        @task(inputs=["x"], inouts=["acc"], device="cuda", name="k",
+              registry=reg)
+        def k(x, acc):
+            pass
+
+        m.register_kernel_for_kind("cuda", "k", FixedCostModel(0.010))
+        x, acc = region("x", 8 * MB), region("acc", MB)
+        calls = [(k, x, acc)] * 6
+        res = run_tasks(m, "affinity", calls)
+        assert res.transfer_stats.input_tx == 9 * MB  # x and acc, once each
+        workers = {rec.worker for rec in res.trace.by_category("task")}
+        assert len(workers) == 1
+
+    def test_disjoint_inputs_split_between_gpus(self):
+        m = make_machine(0, 2)
+        k = gpu_task(m, cost=0.010)
+        xa, xb = region("xa", 8 * MB), region("xb", 8 * MB)
+        calls = []
+        for i in range(6):
+            calls.append((k, xa if i % 2 == 0 else xb, region(("y", i), MB)))
+        res = run_tasks(m, "affinity", calls)
+        workers = {}
+        for rec in res.trace.by_category("task"):
+            workers.setdefault(rec.worker, 0)
+            workers[rec.worker] += 1
+        assert len(workers) == 2
+
+
+class TestStealing:
+    def test_idle_worker_steals_despite_locality(self):
+        """When one GPU's queue runs ahead by more than the slack, the
+        other steals — paying extra transfers (the paper's Cholesky
+        observation)."""
+        m = make_machine(0, 2)
+        k = gpu_task(m, cost=0.010)
+        x = region("x", 8 * MB)
+        calls = [(k, x, region(("y", i), MB)) for i in range(12)]
+        res = run_tasks(m, "affinity", calls)
+        workers = {rec.worker for rec in res.trace.by_category("task")}
+        assert len(workers) == 2  # the second GPU stole work
+        assert res.transfer_stats.input_tx == 16 * MB  # x replicated
+
+
+class TestMainVersionOnly:
+    def test_ignores_implements_versions(self):
+        m = make_machine(2, 1)
+        work, _ = make_two_version_task(machine=m)
+        calls = [(work, region(("x", i)), region(("y", i))) for i in range(8)]
+        res = run_tasks(m, "affinity", calls)
+        assert res.version_counts["work_smp"] == {"work_smp": 8}
+
+    def test_unrunnable_main_raises(self):
+        m = make_machine(0, 1)
+        work, _ = make_two_version_task(machine=m)
+        rt = OmpSsRuntime(m, "affinity")
+        with pytest.raises(RuntimeError):
+            with rt:
+                work(region("x"), region("y"))

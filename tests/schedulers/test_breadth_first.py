@@ -1,0 +1,82 @@
+"""Tests for the breadth-first baseline scheduler."""
+
+import pytest
+
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.schedulers.breadth_first import BreadthFirstScheduler
+from repro.sim.perfmodel import FixedCostModel
+
+from tests.conftest import make_machine, make_two_version_task, region, run_tasks
+
+
+class TestBreadthFirst:
+    def test_registered(self):
+        from repro.schedulers.registry import create_scheduler
+
+        assert isinstance(create_scheduler("bf"), BreadthFirstScheduler)
+        assert isinstance(create_scheduler("breadth-first"), BreadthFirstScheduler)
+
+    def test_fifo_dispatch_order(self):
+        m = make_machine(1, 0, noise=0.0)
+        reg = {}
+
+        @task(outputs=["y"], device="smp", name="w", registry=reg)
+        def w(y):
+            pass
+
+        m.register_kernel_for_kind("smp", "w", FixedCostModel(0.001))
+        rt = OmpSsRuntime(m, "bf")
+        with rt:
+            tasks = [w(region(("y", i))) for i in range(6)]
+        res = rt.result()
+        assert res.finish_order == [t.uid for t in tasks]
+
+    def test_spreads_over_idle_workers(self):
+        m = make_machine(4, 0, noise=0.0)
+        reg = {}
+
+        @task(outputs=["y"], device="smp", name="w", registry=reg)
+        def w(y):
+            pass
+
+        m.register_kernel_for_kind("smp", "w", FixedCostModel(0.010))
+        res = run_tasks(m, "bf", [(w, region(("y", i))) for i in range(8)])
+        from collections import Counter
+
+        per = Counter(r.worker for r in res.trace.by_category("task"))
+        assert sorted(per.values()) == [2, 2, 2, 2]
+
+    def test_main_version_only(self):
+        m = make_machine(2, 1)
+        work, _ = make_two_version_task(machine=m)
+        res = run_tasks(m, "bf",
+                        [(work, region(("x", i)), region(("y", i))) for i in range(6)])
+        assert res.version_counts["work_smp"] == {"work_smp": 6}
+
+    def test_unrunnable_task_raises_at_submit(self):
+        m = make_machine(2, 0)
+        reg = {}
+
+        @task(device="cuda", name="k", registry=reg)
+        def k():
+            pass
+
+        rt = OmpSsRuntime(m, "bf")
+        with pytest.raises(RuntimeError):
+            with rt:
+                k()
+
+    def test_all_tasks_complete_with_dependences(self):
+        m = make_machine(2, 0, noise=0.0)
+        reg = {}
+
+        @task(inouts=["x"], device="smp", name="step", registry=reg)
+        def step(x):
+            pass
+
+        m.register_kernel_for_kind("smp", "step", FixedCostModel(0.002))
+        x = region("x")
+        res = run_tasks(m, "bf", [(step, x)] * 7)
+        assert res.tasks_completed == 7
+        assert res.makespan == pytest.approx(7 * 0.002)

@@ -1,0 +1,96 @@
+"""Tests for the dependency-aware scheduler."""
+
+import pytest
+
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.perfmodel import FixedCostModel
+
+from tests.conftest import make_machine, make_two_version_task, region, run_tasks
+
+
+def chain_task(machine, registry=None, cost=0.005):
+    reg = {} if registry is None else registry
+
+    @task(inouts=["x"], device="smp", name="step", registry=reg)
+    def step(x):
+        pass
+
+    machine.register_kernel_for_kind("smp", "step", FixedCostModel(cost))
+    return step
+
+
+class TestChainFollowing:
+    def test_chain_stays_on_one_worker(self):
+        m = make_machine(4, 0)
+        step = chain_task(m)
+        x = region("x")
+        res = run_tasks(m, "dep", [(step, x)] * 8)
+        workers = {r.worker for r in res.trace.by_category("task")}
+        assert len(workers) == 1
+
+    def test_independent_chains_spread_across_workers(self):
+        m = make_machine(4, 0)
+        step = chain_task(m)
+        calls = []
+        xs = [region(("x", i)) for i in range(4)]
+        for _ in range(5):
+            for x in xs:
+                calls.append((step, x))
+        res = run_tasks(m, "dep", calls)
+        workers = {r.worker for r in res.trace.by_category("task")}
+        assert len(workers) == 4
+
+    def test_chain_hint_does_not_defeat_balance(self):
+        """A fan-out from one task must not all land on one worker."""
+        m = make_machine(4, 0)
+        reg = {}
+
+        @task(outputs=["x"], device="smp", name="src", registry=reg)
+        def src(x):
+            pass
+
+        @task(inputs=["x"], outputs=["y"], device="smp", name="sink", registry=reg)
+        def sink(x, y):
+            pass
+
+        m.register_kernel_for_kind("smp", "src", FixedCostModel(0.001))
+        m.register_kernel_for_kind("smp", "sink", FixedCostModel(0.010))
+        x = region("x")
+        calls = [(src, x)] + [(sink, x, region(("y", i))) for i in range(8)]
+        res = run_tasks(m, "dep", calls)
+        workers = {r.worker for r in res.trace.by_category("task") if r.label == "sink"}
+        assert len(workers) == 4  # spread, not serialised on the src worker
+
+
+class TestMainVersionOnly:
+    def test_ignores_implements_versions(self):
+        """Paper footnote 1: pre-versioning schedulers run only the main
+        implementation."""
+        m = make_machine(2, 1)
+        work, _ = make_two_version_task(machine=m)  # main = SMP
+        calls = [(work, region(("x", i)), region(("y", i))) for i in range(10)]
+        res = run_tasks(m, "dep", calls)
+        counts = res.version_counts["work_smp"]
+        assert counts == {"work_smp": 10}  # the GPU version never runs
+
+    def test_unrunnable_main_raises(self):
+        m = make_machine(0, 1)  # GPUs only
+        work, _ = make_two_version_task(machine=m)  # main targets SMP
+        rt = OmpSsRuntime(m, "dep")
+        with pytest.raises(RuntimeError, match="main"):
+            with rt:
+                work(region("x"), region("y"))
+
+
+class TestFallback:
+    def test_least_loaded_when_no_hint(self):
+        m = make_machine(3, 0)
+        step = chain_task(m)
+        xs = [region(("x", i)) for i in range(9)]
+        res = run_tasks(m, "dep", [(step, x) for x in xs])
+        # 9 independent tasks over 3 workers: 3 each
+        from collections import Counter
+
+        per = Counter(r.worker for r in res.trace.by_category("task"))
+        assert sorted(per.values()) == [3, 3, 3]

@@ -1,0 +1,75 @@
+"""Tests for the scheduler plug-in registry."""
+
+import pytest
+
+from repro.core.locality import LocalityVersioningScheduler
+from repro.core.versioning import VersioningScheduler
+from repro.schedulers.affinity import AffinityScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.dependency_aware import DependencyAwareScheduler
+from repro.schedulers.registry import (
+    ENV_VAR,
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+    scheduler_from_env,
+)
+
+
+class TestBuiltins:
+    def test_all_builtin_names_available(self):
+        names = available_schedulers()
+        for expected in ("dep", "dependency-aware", "affinity", "aff",
+                         "versioning", "ver", "versioning-locality", "ver-loc"):
+            assert expected in names
+
+    def test_create_each_kind(self):
+        assert isinstance(create_scheduler("dep"), DependencyAwareScheduler)
+        assert isinstance(create_scheduler("affinity"), AffinityScheduler)
+        assert isinstance(create_scheduler("versioning"), VersioningScheduler)
+        assert isinstance(create_scheduler("ver-loc"), LocalityVersioningScheduler)
+
+    def test_case_insensitive(self):
+        assert isinstance(create_scheduler("VERSIONING"), VersioningScheduler)
+
+    def test_options_forwarded(self):
+        s = create_scheduler("versioning", lam=7)
+        assert s.lam == 7
+
+    def test_unknown_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="available:"):
+            create_scheduler("wfq")
+
+
+class TestEnvSelection:
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "affinity")
+        assert isinstance(scheduler_from_env(), AffinityScheduler)
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert isinstance(scheduler_from_env(default="versioning"),
+                          VersioningScheduler)
+
+
+class TestCustomRegistration:
+    def test_register_decorator(self):
+        @register_scheduler("test-custom-policy")
+        class Custom(Scheduler):
+            name = "test-custom-policy"
+
+            def task_ready(self, t):  # pragma: no cover - never dispatched
+                pass
+
+        assert isinstance(create_scheduler("test-custom-policy"), Custom)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_scheduler("dep")
+            class Clash(Scheduler):
+                def task_ready(self, t):  # pragma: no cover
+                    pass
+
+    def test_non_scheduler_rejected(self):
+        with pytest.raises(TypeError):
+            register_scheduler("x-not-a-scheduler")(dict)

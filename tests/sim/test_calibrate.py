@@ -1,0 +1,112 @@
+"""Tests for cost-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import TaskVersionSet
+from repro.sim.calibrate import (
+    fit_affine_bytes,
+    fit_fixed,
+    fit_gemm,
+    table_model_from_profile,
+)
+from repro.sim.perfmodel import AffineBytesCostModel, GemmCostModel
+
+MB = 1024**2
+
+
+class TestFitFixed:
+    def test_mean(self):
+        m = fit_fixed([1.0, 2.0, 3.0])
+        assert m.seconds == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_fixed([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fit_fixed([1.0, -0.1])
+
+
+class TestFitAffine:
+    def test_recovers_known_model(self):
+        truth = AffineBytesCostModel(base=1e-3, bandwidth=5e9)
+        sizes = [MB, 4 * MB, 16 * MB, 64 * MB]
+        samples = [(s, truth(s, {})) for s in sizes]
+        fitted = fit_affine_bytes(samples)
+        assert fitted.base == pytest.approx(1e-3, rel=1e-6)
+        assert fitted.bandwidth == pytest.approx(5e9, rel=1e-6)
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        truth = AffineBytesCostModel(base=2e-3, bandwidth=2e9)
+        samples = [
+            (s, truth(s, {}) * (1 + 0.02 * rng.standard_normal()))
+            for s in np.linspace(MB, 128 * MB, 40).astype(int)
+        ]
+        fitted = fit_affine_bytes(samples)
+        assert fitted.bandwidth == pytest.approx(2e9, rel=0.05)
+
+    def test_single_size_rejected(self):
+        with pytest.raises(ValueError, match="span"):
+            fit_affine_bytes([(MB, 1.0), (MB, 1.1)])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_affine_bytes([(MB, 1.0)])
+
+    def test_base_clamped_nonnegative(self):
+        # samples implying a negative intercept still yield a valid model
+        samples = [(MB, 0.0001), (2 * MB, 0.0004), (3 * MB, 0.0007)]
+        fitted = fit_affine_bytes(samples)
+        assert fitted.base >= 0.0
+
+
+class TestFitGemm:
+    def test_recovers_known_model(self):
+        truth = GemmCostModel(gflops=300.0, launch_overhead=20e-6)
+        ns = [256, 512, 1024, 2048]
+        samples = [(n, truth(0, {"n": n})) for n in ns]
+        fitted = fit_gemm(samples)
+        assert fitted.gflops == pytest.approx(300.0, rel=1e-6)
+        assert fitted.launch_overhead == pytest.approx(20e-6, rel=1e-3)
+
+    def test_predictions_match(self):
+        truth = GemmCostModel(gflops=150.0, launch_overhead=0.0)
+        samples = [(n, truth(0, {"n": n})) for n in (128, 512, 1024)]
+        fitted = fit_gemm(samples)
+        assert fitted(0, {"n": 768}) == pytest.approx(truth(0, {"n": 768}), rel=1e-6)
+
+
+class TestProfileReplay:
+    def test_table_from_profile(self):
+        vset = TaskVersionSet("t")
+        vset.group_for(2 * MB).profile("v").estimator.preload(0.018, 10)
+        vset.group_for(3 * MB).profile("v").estimator.preload(0.025, 10)
+        model = table_model_from_profile(vset, "v")
+        assert model(2 * MB, {}) == pytest.approx(0.018)
+        assert model(3 * MB, {}) == pytest.approx(0.025)
+        # interpolation between observed sizes
+        assert 0.018 < model(int(2.5 * MB), {}) < 0.025
+
+    def test_empty_profile_rejected(self):
+        vset = TaskVersionSet("t")
+        vset.group_for(MB)  # group exists, no executions
+        with pytest.raises(ValueError, match="no executions"):
+            table_model_from_profile(vset, "v")
+
+    def test_roundtrip_through_hints(self, tmp_path):
+        """Profile -> XML hints -> profile -> machine model: the full
+        'written by the runtime from a previous execution' loop."""
+        from repro.core.hints import load_hints, save_hints
+        from repro.core.profile import VersionProfileTable
+
+        t = VersionProfileTable()
+        t.group("k", 4 * MB).profile("k_gpu").estimator.preload(0.007, 5)
+        path = tmp_path / "h.xml"
+        save_hints(t, path)
+        t2 = VersionProfileTable()
+        t2.preload(load_hints(path))
+        model = table_model_from_profile(t2.version_set("k"), "k_gpu")
+        assert model(4 * MB, {}) == pytest.approx(0.007)

@@ -1,0 +1,208 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Event, EventKind, SimEngine
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert SimEngine().now == 0.0
+
+    def test_single_event_advances_clock(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule(1.5, lambda: fired.append(eng.now))
+        eng.run()
+        assert fired == [1.5]
+        assert eng.now == 1.5
+
+    def test_events_fire_in_time_order(self):
+        eng = SimEngine()
+        fired = []
+        for t in (3.0, 1.0, 2.0):
+            eng.schedule(t, lambda t=t: fired.append(t))
+        eng.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_insertion_order(self):
+        eng = SimEngine()
+        fired = []
+        for i in range(10):
+            eng.schedule(1.0, lambda i=i: fired.append(i))
+        eng.run()
+        assert fired == list(range(10))
+
+    def test_schedule_after_uses_relative_delay(self):
+        eng = SimEngine()
+        out = []
+        eng.schedule(1.0, lambda: eng.schedule_after(0.5, lambda: out.append(eng.now)))
+        eng.run()
+        assert out == [1.5]
+
+    def test_schedule_in_past_rejected(self):
+        eng = SimEngine()
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError, match="before current time"):
+            eng.schedule(0.5, lambda: None)
+
+    def test_schedule_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            SimEngine().schedule(float("nan"), lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="negative delay"):
+            SimEngine().schedule_after(-1.0, lambda: None)
+
+    def test_schedule_at_current_time_allowed(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule(0.0, lambda: fired.append(True))
+        eng.run()
+        assert fired == [True]
+
+    def test_events_scheduled_during_run_execute(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule(1.0, lambda: eng.schedule(2.0, lambda: fired.append("inner")))
+        eng.run()
+        assert fired == ["inner"]
+        assert eng.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = SimEngine()
+        fired = []
+        ev = eng.schedule(1.0, lambda: fired.append("a"))
+        eng.schedule(2.0, lambda: fired.append("b"))
+        ev.cancel()
+        eng.run()
+        assert fired == ["b"]
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        eng = SimEngine()
+        ev = eng.schedule(5.0, lambda: None)
+        ev.cancel()
+        eng.run()
+        assert eng.now == 0.0
+
+    def test_cancelled_not_counted_in_processed(self):
+        eng = SimEngine()
+        ev = eng.schedule(1.0, lambda: None)
+        ev.cancel()
+        eng.schedule(2.0, lambda: None)
+        eng.run()
+        assert eng.events_processed == 1
+
+
+class TestRunControl:
+    def test_step_returns_false_when_empty(self):
+        assert SimEngine().step() is False
+
+    def test_step_executes_one_event(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(2.0, lambda: fired.append(2))
+        assert eng.step() is True
+        assert fired == [1]
+
+    def test_run_until_stops_before_later_events(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(5.0, lambda: fired.append(5))
+        eng.run(until=3.0)
+        assert fired == [1]
+        assert eng.now == 3.0
+        eng.run()
+        assert fired == [1, 5]
+
+    def test_run_returns_executed_count(self):
+        eng = SimEngine()
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule(t, lambda: None)
+        assert eng.run() == 3
+
+    def test_max_events_guard(self):
+        eng = SimEngine()
+
+        def resubmit():
+            eng.schedule_after(1.0, resubmit)
+
+        eng.schedule(0.0, resubmit)
+        with pytest.raises(RuntimeError, match="max_events"):
+            eng.run(max_events=50)
+
+    def test_run_not_reentrant(self):
+        eng = SimEngine()
+        err = []
+
+        def inner():
+            try:
+                eng.run()
+            except RuntimeError as e:
+                err.append(str(e))
+
+        eng.schedule(1.0, inner)
+        eng.run()
+        assert err and "not reentrant" in err[0]
+
+    def test_reset(self):
+        eng = SimEngine()
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        eng.reset()
+        assert eng.now == 0.0
+        assert eng.pending == 0
+        assert eng.events_processed == 0
+
+
+class TestEventObject:
+    def test_event_ordering(self):
+        a = Event(1.0, 0, EventKind.GENERIC, lambda: None)
+        b = Event(1.0, 1, EventKind.GENERIC, lambda: None)
+        c = Event(0.5, 2, EventKind.GENERIC, lambda: None)
+        assert a < b
+        assert c < a
+
+    def test_pending_counts_queue(self):
+        eng = SimEngine()
+        eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.pending == 2
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_execution_order_is_sorted(self, times):
+        eng = SimEngine()
+        fired = []
+        for t in times:
+            eng.schedule(t, lambda t=t: fired.append(t))
+        eng.run()
+        assert fired == sorted(times)
+        assert eng.now == max(times)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cancellation_subset(self, spec):
+        eng = SimEngine()
+        fired = []
+        for t, keep in spec:
+            ev = eng.schedule(t, lambda t=t: fired.append(t))
+            if not keep:
+                ev.cancel()
+        eng.run()
+        assert fired == sorted(t for t, keep in spec if keep)

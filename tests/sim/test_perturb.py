@@ -1,0 +1,103 @@
+"""Tests for perturbed cost models and scheduler adaptation to them."""
+
+import pytest
+
+from repro.sim.perfmodel import FixedCostModel
+from repro.sim.perturb import DriftCostModel, PhaseShiftCostModel, SpikeCostModel
+
+
+class TestPhaseShift:
+    def test_switches_after_budget(self):
+        m = PhaseShiftCostModel([(FixedCostModel(1.0), 3), (FixedCostModel(9.0), 0)])
+        assert [m(0, {}) for _ in range(5)] == [1.0, 1.0, 1.0, 9.0, 9.0]
+
+    def test_three_phases(self):
+        m = PhaseShiftCostModel(
+            [(FixedCostModel(1.0), 2), (FixedCostModel(2.0), 2), (FixedCostModel(3.0), 0)]
+        )
+        assert [m(0, {}) for _ in range(6)] == [1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseShiftCostModel([])
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseShiftCostModel([(FixedCostModel(1.0), 0), (FixedCostModel(2.0), 0)])
+
+
+class TestSpike:
+    def test_every_nth_spikes(self):
+        m = SpikeCostModel(FixedCostModel(1.0), every_n=3, factor=10.0)
+        assert [m(0, {}) for _ in range(6)] == [1.0, 1.0, 10.0, 1.0, 1.0, 10.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpikeCostModel(FixedCostModel(1.0), every_n=0, factor=2.0)
+        with pytest.raises(ValueError):
+            SpikeCostModel(FixedCostModel(1.0), every_n=2, factor=0.0)
+
+
+class TestDrift:
+    def test_geometric_growth(self):
+        m = DriftCostModel(FixedCostModel(1.0), rate_per_call=0.5)
+        assert m(0, {}) == pytest.approx(1.0)
+        assert m(0, {}) == pytest.approx(1.5)
+        assert m(0, {}) == pytest.approx(2.25)
+
+    def test_negative_rate_warmup(self):
+        m = DriftCostModel(FixedCostModel(1.0), rate_per_call=-0.5)
+        first = m(0, {})
+        second = m(0, {})
+        assert second < first
+
+    def test_clamped_at_max_factor(self):
+        m = DriftCostModel(FixedCostModel(1.0), rate_per_call=1.0, max_factor=4.0)
+        vals = [m(0, {}) for _ in range(10)]
+        assert max(vals) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftCostModel(FixedCostModel(1.0), 0.1, max_factor=0.0)
+
+
+class TestSchedulerAdaptation:
+    def test_versioning_adapts_to_phase_shift(self):
+        """After the GPU version degrades 20x, the EWMA-estimating
+        scheduler routes (chained) work back to the SMP version."""
+        from repro.core.versioning import VersioningScheduler
+        from repro.runtime.dataregion import DataRegion
+        from repro.runtime.directives import task
+        from repro.runtime.runtime import OmpSsRuntime
+        from repro.sim.topology import minotauro_node
+
+        registry = {}
+
+        @task(inputs=["x"], inouts=["acc"], device="smp", name="w_smp",
+              registry=registry)
+        def w(x, acc):
+            pass
+
+        @task(inputs=["x"], inouts=["acc"], device="cuda", implements="w_smp",
+              name="w_gpu", registry=registry)
+        def w_gpu(x, acc):
+            pass
+
+        m = minotauro_node(2, 1, noise_cv=0.0)
+        m.register_kernel_for_kind("smp", "w_smp", FixedCostModel(0.004))
+        m.register_kernel_for_kind(
+            "cuda", "w_gpu",
+            PhaseShiftCostModel([(FixedCostModel(0.001), 60),
+                                 (FixedCostModel(0.020), 0)]),
+        )
+        sched = VersioningScheduler(estimator="ewma", estimator_options={"alpha": 0.4})
+        rt = OmpSsRuntime(m, sched)
+        accs = [DataRegion(("acc", c), 1024) for c in range(4)]
+        with rt:
+            for i in range(240):
+                w(DataRegion(("x", i), 1024), accs[i % 4])
+        res = rt.result()
+        counts = res.version_counts["w_smp"]
+        # late tasks go SMP: more SMP than GPU runs overall despite the
+        # GPU winning the whole first phase
+        assert counts.get("w_smp", 0) > counts.get("w_gpu", 0)

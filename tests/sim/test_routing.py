@@ -1,0 +1,111 @@
+"""Tests for multi-hop routing and cluster machines."""
+
+import pytest
+
+from repro.sim.topology import (
+    HOST_SPACE,
+    Link,
+    Machine,
+    cluster_machine,
+    minotauro_node,
+)
+from repro.sim.devices import SMPDevice, GPUDevice
+from repro.sim.perfmodel import PerfModel
+
+
+class TestRouting:
+    def test_direct_link_is_single_hop(self):
+        m = minotauro_node(1, 2, noise_cv=0.0)
+        path = m.route(HOST_SPACE, "gpu0")
+        assert len(path) == 1
+        assert (path[0].src, path[0].dst) == (HOST_SPACE, "gpu0")
+
+    def test_route_self_rejected(self):
+        m = minotauro_node(1, 1, noise_cv=0.0)
+        with pytest.raises(ValueError):
+            m.route(HOST_SPACE, HOST_SPACE)
+
+    def test_unreachable_raises(self):
+        m = Machine("m", [SMPDevice("s0"), GPUDevice("g0")], [])
+        with pytest.raises(KeyError, match="no route"):
+            m.route(HOST_SPACE, "g0")
+
+    def test_cluster_cross_node_gpu_routes_via_hosts(self):
+        m = cluster_machine(2, 1, 1, noise_cv=0.0)
+        path = m.route("gpu0", "node1.gpu0")
+        hops = [(l.src, l.dst) for l in path]
+        assert hops == [("gpu0", "host"), ("host", "node1"), ("node1", "node1.gpu0")]
+
+    def test_route_cached_and_consistent(self):
+        m = cluster_machine(2, 1, 1, noise_cv=0.0)
+        assert m.route("gpu0", "node1.gpu0") is m.route("gpu0", "node1.gpu0")
+
+    def test_path_transfer_time_sums_hops(self):
+        m = cluster_machine(2, 1, 1, noise_cv=0.0)
+        direct = m.path_transfer_time(HOST_SPACE, "gpu0", 10**9)
+        staged = m.path_transfer_time("gpu0", "node1.gpu0", 10**9)
+        assert staged > 2 * direct  # PCIe + network + PCIe
+
+
+class TestClusterMachine:
+    def test_device_counts_and_spaces(self):
+        m = cluster_machine(3, 4, 2, noise_cv=0.0)
+        assert len(m.devices_of_kind("smp")) == 12
+        assert len(m.devices_of_kind("cuda")) == 6
+        spaces = m.spaces()
+        assert spaces[0] == "host"
+        assert "node1" in spaces and "node2" in spaces
+        assert "node1.gpu0" in spaces
+
+    def test_node0_matches_minotauro_naming(self):
+        m = cluster_machine(1, 2, 2, noise_cv=0.0)
+        assert {d.memory_space for d in m.devices_of_kind("cuda")} == {"gpu0", "gpu1"}
+
+    def test_invalid_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_machine(0)
+
+    def test_network_rates_applied(self):
+        m = cluster_machine(2, 1, 0, network_bandwidth=1e9, network_latency=1e-3,
+                            noise_cv=0.0)
+        assert m.transfer_time("host", "node1", 1e9) == pytest.approx(1.001)
+
+
+class TestClusterExecution:
+    def test_matmul_scales_across_nodes(self):
+        from repro.apps.matmul import MatmulApp
+
+        def run(nodes):
+            m = cluster_machine(nodes, 2, 2, noise_cv=0.0, seed=1)
+            app = MatmulApp(n_tiles=6, variant="hyb")
+            return app.run(m, "versioning")
+
+        one = run(1)
+        two = run(2)
+        assert two.gflops > one.gflops  # more GPUs help despite the network
+        assert two.run.tasks_completed == one.run.tasks_completed == 216
+
+    def test_cross_node_traffic_accounted(self):
+        from repro.apps.matmul import MatmulApp
+
+        m = cluster_machine(2, 2, 2, noise_cv=0.0, seed=1)
+        app = MatmulApp(n_tiles=4, variant="hyb")
+        res = app.run(m, "versioning")
+        # remote-node hops exist in the trace
+        hops = {r.worker for r in res.run.trace.by_category("transfer")}
+        assert any("node1" in h for h in hops)
+
+    def test_coherence_invariants_on_cluster(self):
+        from repro.apps.cholesky import CholeskyApp
+        from repro.runtime.runtime import OmpSsRuntime
+
+        m = cluster_machine(2, 2, 1, noise_cv=0.0, seed=2)
+        app = CholeskyApp(n_blocks=4, variant="hyb")
+        app.register_cost_models(m)
+        rt = OmpSsRuntime(m, "versioning")
+        with rt:
+            app.master(rt)
+        res = rt.result()
+        rt.directory.check_invariants()
+        rt.graph.verify_schedule(res.finish_order)
+        res.trace.check_no_overlap()

@@ -1,0 +1,128 @@
+"""Tests for links, machines and the MinoTauro node factory."""
+
+import pytest
+
+from repro.sim.devices import DeviceKind, GPUDevice, SMPDevice
+from repro.sim.perfmodel import FixedCostModel, PerfModel
+from repro.sim.topology import HOST_SPACE, Link, Machine, MachineSpec, minotauro_node
+
+
+class TestLink:
+    def test_transfer_time_latency_plus_wire(self):
+        link = Link("host", "gpu0", bandwidth=1e9, latency=1e-3)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = Link("host", "gpu0", 1e9, 2e-3)
+        assert link.transfer_time(0) == pytest.approx(2e-3)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", 1e9).transfer_time(-1)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", 0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "b", 1e9, -1e-3)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "a", 1e9)
+
+
+class TestMachine:
+    def test_duplicate_device_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate device names"):
+            Machine("m", [SMPDevice("x"), SMPDevice("x")], [])
+
+    def test_needs_a_device(self):
+        with pytest.raises(ValueError):
+            Machine("m", [], [])
+
+    def test_duplicate_link_rejected(self):
+        devs = [SMPDevice("s"), GPUDevice("g")]
+        links = [Link(HOST_SPACE, "g", 1e9), Link(HOST_SPACE, "g", 2e9)]
+        with pytest.raises(ValueError, match="duplicate link"):
+            Machine("m", devs, links)
+
+    def test_device_lookup(self):
+        m = Machine("m", [SMPDevice("s0")], [])
+        assert m.device("s0").name == "s0"
+        with pytest.raises(KeyError):
+            m.device("nope")
+
+    def test_devices_of_kind(self):
+        m = minotauro_node(3, 2)
+        assert len(m.devices_of_kind("smp")) == 3
+        assert len(m.devices_of_kind(DeviceKind.CUDA)) == 2
+
+    def test_spaces_host_first(self):
+        m = minotauro_node(2, 2)
+        assert m.spaces() == ["host", "gpu0", "gpu1"]
+
+    def test_missing_link_raises(self):
+        m = Machine("m", [SMPDevice("s0")], [])
+        with pytest.raises(KeyError, match="no link"):
+            m.link("host", "gpu0")
+
+    def test_register_kernel_for_kind_requires_devices(self):
+        m = Machine("m", [SMPDevice("s0")], [])
+        with pytest.raises(ValueError, match="no cuda devices"):
+            m.register_kernel_for_kind("cuda", "k", FixedCostModel(1.0))
+
+    def test_register_kernel_hits_all_matching_devices(self):
+        m = minotauro_node(2, 2, noise_cv=0.0)
+        m.register_kernel_for_kind("cuda", "k", FixedCostModel(0.5))
+        for d in m.devices_of_kind("cuda"):
+            assert d.duration("k", 0, {}) == 0.5
+        for d in m.devices_of_kind("smp"):
+            assert not d.perf.has_kernel("k")
+
+
+class TestMinotauroFactory:
+    def test_device_counts(self):
+        m = minotauro_node(12, 2)
+        assert len(m.devices) == 14
+
+    def test_links_exist_between_all_spaces(self):
+        m = minotauro_node(1, 2)
+        for a in ("gpu0", "gpu1"):
+            assert m.has_link(HOST_SPACE, a)
+            assert m.has_link(a, HOST_SPACE)
+        assert m.has_link("gpu0", "gpu1")
+        assert m.has_link("gpu1", "gpu0")
+
+    def test_no_host_to_host_link(self):
+        m = minotauro_node(2, 1)
+        assert not m.has_link(HOST_SPACE, HOST_SPACE)
+
+    def test_gpu_memory_capacity(self):
+        m = minotauro_node(1, 1)
+        gpu = m.device("gpu0")
+        assert gpu.memory_bytes == 6 * 1024**3
+
+    def test_pcie_rates_applied(self):
+        spec = MachineSpec(n_smp=1, n_gpus=1, pcie_bandwidth=2e9, pcie_latency=1e-6)
+        m = minotauro_node(spec=spec)
+        assert m.transfer_time(HOST_SPACE, "gpu0", 2e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(n_smp=0, n_gpus=0)
+
+    def test_gpu_only_machine_allowed(self):
+        m = minotauro_node(0, 2)
+        assert len(m.devices_of_kind("smp")) == 0
+        assert len(m.devices_of_kind("cuda")) == 2
+
+    def test_different_seeds_give_different_noise(self):
+        m1 = minotauro_node(1, 0, noise_cv=0.1, seed=1)
+        m2 = minotauro_node(1, 0, noise_cv=0.1, seed=2)
+        m1.device("smp0").register_kernel("k", FixedCostModel(1.0))
+        m2.device("smp0").register_kernel("k", FixedCostModel(1.0))
+        s1 = [m1.device("smp0").duration("k", 0, {}) for _ in range(5)]
+        s2 = [m2.device("smp0").duration("k", 0, {}) for _ in range(5)]
+        assert s1 != s2

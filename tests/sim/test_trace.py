@@ -1,0 +1,111 @@
+"""Tests for execution traces."""
+
+import pytest
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+def make_trace():
+    tr = Trace()
+    tr.add(0.0, 1.0, "w0", "task", "a")
+    tr.add(1.0, 2.0, "w0", "task", "b")
+    tr.add(0.5, 1.5, "w1", "task", "c")
+    tr.add(0.0, 0.4, "link", "transfer", "x")
+    return tr
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        assert TraceRecord(1.0, 3.5, "w", "task", "l").duration == 2.5
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(2.0, 1.0, "w", "task", "l")
+
+    def test_zero_length_allowed(self):
+        assert TraceRecord(1.0, 1.0, "w", "task", "l").duration == 0.0
+
+
+class TestTrace:
+    def test_len_and_iter(self):
+        tr = make_trace()
+        assert len(tr) == 4
+        assert len(list(tr)) == 4
+
+    def test_workers_sorted(self):
+        assert make_trace().workers() == ["link", "w0", "w1"]
+
+    def test_makespan(self):
+        assert make_trace().makespan() == 2.0
+
+    def test_makespan_empty(self):
+        assert Trace().makespan() == 0.0
+
+    def test_for_worker(self):
+        assert len(make_trace().for_worker("w0")) == 2
+
+    def test_by_category(self):
+        assert len(make_trace().by_category("transfer")) == 1
+
+    def test_busy_time(self):
+        tr = make_trace()
+        assert tr.busy_time("w0") == pytest.approx(2.0)
+        assert tr.busy_time("link", category="transfer") == pytest.approx(0.4)
+        assert tr.busy_time("link", category=None) == pytest.approx(0.4)
+
+    def test_sorted_by_start(self):
+        starts = [r.start for r in make_trace().sorted()]
+        assert starts == sorted(starts)
+
+    def test_equality(self):
+        assert make_trace() == make_trace()
+        other = make_trace()
+        other.add(9.0, 10.0, "w0", "task", "z")
+        assert make_trace() != other
+
+    def test_equality_with_non_trace(self):
+        assert make_trace() != "trace"
+
+
+class TestOverlapCheck:
+    def test_no_overlap_passes(self):
+        make_trace().check_no_overlap()
+
+    def test_overlap_detected(self):
+        tr = Trace()
+        tr.add(0.0, 2.0, "w0", "task", "a")
+        tr.add(1.0, 3.0, "w0", "task", "b")
+        with pytest.raises(AssertionError, match="overlapping"):
+            tr.check_no_overlap()
+
+    def test_overlap_on_other_worker_ok(self):
+        tr = Trace()
+        tr.add(0.0, 2.0, "w0", "task", "a")
+        tr.add(1.0, 3.0, "w1", "task", "b")
+        tr.check_no_overlap()
+
+    def test_touching_intervals_ok(self):
+        tr = Trace()
+        tr.add(0.0, 1.0, "w0", "task", "a")
+        tr.add(1.0, 2.0, "w0", "task", "b")
+        tr.check_no_overlap()
+
+    def test_overlap_across_categories_ignored(self):
+        tr = Trace()
+        tr.add(0.0, 2.0, "w0", "task", "a")
+        tr.add(1.0, 3.0, "w0", "transfer", "x")
+        tr.check_no_overlap("task")
+
+
+class TestGantt:
+    def test_empty(self):
+        assert Trace().gantt() == "(empty trace)"
+
+    def test_rows_per_worker(self):
+        out = make_trace().gantt(width=40)
+        assert "w0" in out and "w1" in out
+
+    def test_labels_used_as_fill(self):
+        tr = Trace()
+        tr.add(0.0, 1.0, "w0", "task", "gemm")
+        assert "g" in tr.gantt(width=10)
