@@ -1,0 +1,102 @@
+"""Resilience — makespan degradation when a GPU dies mid-run.
+
+The paper's versioning scheduler keeps one profile table per
+(task, size) group and re-evaluates the earliest executor at every
+dispatch (§IV-B).  That machinery doubles as a graceful-degradation
+mechanism: when one of the two GPUs fails permanently mid-run, its
+queued and in-flight tasks are re-dispatched and subsequent placement
+decisions simply stop considering the dead worker.  This bench measures
+the makespan degradation of the versioning scheduler against the naive
+breadth-first policy for the same fault plan, and verifies that every
+task still produces numerically correct results.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.resilience import FaultPlan, WorkerFailure
+from repro.runtime.directives import task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.perfmodel import FixedCostModel
+from repro.sim.topology import minotauro_node
+
+from figutils import emit, run_once
+
+N_TASKS = 240
+N_ELEMS = 512
+SMP_COST = 0.004
+GPU_COST = 0.001
+#: simulated time at which gpu1 fails — mid-run for both schedulers
+DEATH_AT = 0.04
+
+
+def build(registry):
+    @task(inputs=["x"], outputs=["y"], device="smp", name="scale_smp",
+          registry=registry)
+    def scale(x, y):
+        y[:] = 2.0 * x + 1.0
+
+    @task(inputs=["x"], outputs=["y"], device="cuda", implements="scale_smp",
+          name="scale_gpu", registry=registry)
+    def scale_gpu(x, y):
+        y[:] = 2.0 * x + 1.0
+
+    return scale
+
+
+def run(scheduler, plan=None):
+    machine = minotauro_node(4, 2, noise_cv=0.0, seed=0)
+    machine.register_kernel_for_kind("smp", "scale_smp", FixedCostModel(SMP_COST))
+    machine.register_kernel_for_kind("cuda", "scale_gpu", FixedCostModel(GPU_COST))
+    scale = build(registry := {})
+    xs = [np.full(N_ELEMS, float(i)) for i in range(N_TASKS)]
+    ys = [np.zeros(N_ELEMS) for _ in range(N_TASKS)]
+    rt = OmpSsRuntime(machine, scheduler, fault_plan=plan)
+    with rt:
+        for x, y in zip(xs, ys):
+            scale(x, y)
+    res = rt.result()
+    assert res.tasks_completed == N_TASKS
+    for x, y in zip(xs, ys):
+        np.testing.assert_allclose(y, 2.0 * x + 1.0)
+    return res
+
+
+def sweep():
+    plan = FaultPlan(worker_failures=[WorkerFailure("gpu1", DEATH_AT)])
+    out = {}
+    for sched in ("versioning", "bf"):
+        base = run(sched)
+        faulted = run(sched, plan)
+        assert faulted.resilience.worker_failures == 1
+        out[sched] = {
+            "baseline": base.makespan,
+            "faulted": faulted.makespan,
+            "degradation": faulted.makespan / base.makespan - 1.0,
+            "redispatched": faulted.resilience.tasks_redispatched,
+            "stats": faulted.resilience.as_dict(),
+        }
+    return out
+
+
+def test_resilience_degradation(benchmark):
+    out = run_once(benchmark, sweep)
+    table = format_table(
+        ["scheduler", "baseline (s)", "gpu1 dies (s)", "degradation %",
+         "redispatched"],
+        [
+            [k, v["baseline"], v["faulted"], 100.0 * v["degradation"],
+             v["redispatched"]]
+            for k, v in out.items()
+        ],
+        title="Makespan degradation — one of two GPUs fails at "
+              f"t={DEATH_AT:.3f}s",
+        floatfmt="{:.4f}",
+    )
+    emit("resilience_degradation", table)
+
+    for sched, v in out.items():
+        # losing one of two GPUs must cost something, but the run
+        # completes and the slowdown stays bounded
+        assert v["faulted"] >= v["baseline"]
+        assert v["faulted"] <= v["baseline"] * 3.0, (sched, v)

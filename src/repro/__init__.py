@@ -40,6 +40,16 @@ from repro.schedulers import (
     create_scheduler,
 )
 from repro.sim import Machine, MachineSpec, cluster_machine, minotauro_node
+from repro.resilience import (
+    FaultPlan,
+    RecoveryPolicy,
+    ResilienceStats,
+    TaskFaultRule,
+    TaskRetryExceededError,
+    TransferFaultRule,
+    TransferRetryExceededError,
+    WorkerFailure,
+)
 
 __version__ = "1.0.0"
 
@@ -69,5 +79,13 @@ __all__ = [
     "MachineSpec",
     "cluster_machine",
     "minotauro_node",
+    "FaultPlan",
+    "TaskFaultRule",
+    "TransferFaultRule",
+    "WorkerFailure",
+    "RecoveryPolicy",
+    "ResilienceStats",
+    "TaskRetryExceededError",
+    "TransferRetryExceededError",
     "__version__",
 ]

@@ -94,6 +94,13 @@ class SizeGroupProfile:
     def note_assigned(self, version_name: str) -> None:
         self.profile(version_name).assigned += 1
 
+    def note_unassigned(self, version_name: str) -> None:
+        """Release a pending assignment that will never be recorded
+        (the dispatch was revoked by fault recovery)."""
+        p = self.profile(version_name)
+        if p.assigned > 0:
+            p.assigned -= 1
+
     # ------------------------------------------------------------------
     def in_learning_phase(self, version_names: Iterable[str], lam: int) -> bool:
         """True while any candidate version has fewer than λ executions.

@@ -150,6 +150,30 @@ class VersioningScheduler(Scheduler):
         self._pump()
 
     # ------------------------------------------------------------------
+    # Resilience hooks
+    # ------------------------------------------------------------------
+    def task_requeued(self, t: TaskInstance, worker: "Worker") -> None:
+        """Undo the dispatch bookkeeping of a task pulled back by fault
+        recovery: its busy-time estimate leaves the worker's account and
+        its pending learning assignment is released — no duration is
+        recorded, so the profile tables stay valid."""
+        est = self._est_by_uid.pop(t.uid, None)
+        if est is not None:
+            self._busy_est[worker.name] = max(0.0, self._busy_est[worker.name] - est)
+        if t.chosen_version is not None:
+            group = self.table.group(t.name, t.data_bytes)
+            group.note_unassigned(t.chosen_version.name)
+
+    def worker_down(self, worker: "Worker") -> None:
+        # per-task estimates were already released via task_requeued when
+        # the runtime drained the queue; zero the account to kill any
+        # floating-point residue (the worker never hosts work again)
+        self._busy_est[worker.name] = 0.0
+
+    def worker_up(self, worker: "Worker") -> None:
+        self._pump()
+
+    # ------------------------------------------------------------------
     # Dispatch pump
     # ------------------------------------------------------------------
     def _pump(self) -> None:
@@ -212,6 +236,10 @@ class VersioningScheduler(Scheduler):
         versions = self._runnable_versions(t)
         group = self.table.group(t.name, t.data_bytes)
         names = [v.name for v in versions]
+        # version-fallback retry: a (version, worker) pair the task has
+        # already faulted on is avoided while an alternative exists —
+        # the paper's multi-version tables double as the degradation path
+        avoid = frozenset(t.failed_pairs)
 
         if group.in_learning_phase(names, self.lam):
             # λ-capped round-robin into workers with queue room.
@@ -223,8 +251,12 @@ class VersioningScheduler(Scheduler):
             # while the slow λ-runs retire (estimates are still unknown,
             # so room-gating is the only sane throttle here).
             choice = self._earliest_executor(
-                t, versions, group, allow_unknown=True, require_room=True
+                t, versions, group, allow_unknown=True, require_room=True, avoid=avoid
             )
+            if choice is None and avoid:
+                choice = self._earliest_executor(
+                    t, versions, group, allow_unknown=True, require_room=True
+                )
             if choice is not None:
                 return (*choice, True)
             return None
@@ -232,8 +264,14 @@ class VersioningScheduler(Scheduler):
         # per-worker queues (Figure 5 shows deep task lists); the busy
         # estimate, not queue room, is what steers placement.
         choice = self._earliest_executor(
-            t, versions, group, allow_unknown=False, require_room=False
+            t, versions, group, allow_unknown=False, require_room=False, avoid=avoid
         )
+        if choice is None and avoid:
+            # every viable pair already faulted for this task: fall back
+            # to the plain earliest executor rather than deadlocking
+            choice = self._earliest_executor(
+                t, versions, group, allow_unknown=False, require_room=False
+            )
         if choice is None:
             return None
         return (*choice, False)
@@ -258,16 +296,39 @@ class VersioningScheduler(Scheduler):
         # The λ runs are mandatory: queue them even on a busy worker —
         # waiting for queue room would starve a version whose device is
         # saturated (exactly the GPU potrf case in Cholesky).
+        # A version whose every dispatchable worker already faulted this
+        # task (or that has no dispatchable worker at all) yields to the
+        # alternatives — retries prefer a fresh (version, worker) pair.
+        def exhausted(v: TaskVersion) -> bool:
+            return all(
+                (v.name, w.name) in t.failed_pairs
+                for w in self.capable_workers(v)
+                if self.dispatchable(w)
+            )
+
         chosen = min(
             pending_needed,
             key=lambda v: (
+                exhausted(v),
                 group.executions(v.name) + group.profile(v.name).assigned,
                 order.index(v.name),
             ),
         )
+        if t.failed_pairs and exhausted(chosen):
+            # every learning-eligible pair already faulted this task: let
+            # the overflow path place it on a fresh pair instead
+            return None
+        candidates = [w for w in self.capable_workers(chosen) if self.dispatchable(w)]
+        if not candidates:
+            return None
         worker = min(
-            self.capable_workers(chosen),
-            key=lambda w: (self.estimated_busy_time(w), w.load(), w.name),
+            candidates,
+            key=lambda w: (
+                (chosen.name, w.name) in t.failed_pairs,
+                self.estimated_busy_time(w),
+                w.load(),
+                w.name,
+            ),
         )
         return chosen, worker
 
@@ -279,6 +340,7 @@ class VersioningScheduler(Scheduler):
         *,
         allow_unknown: bool,
         require_room: bool,
+        avoid: frozenset = frozenset(),
     ) -> Optional[tuple[TaskVersion, "Worker"]]:
         """Minimise (estimated busy time + version mean time) over
         (version, worker) pairs — the §IV-B earliest-executor rule.
@@ -287,7 +349,9 @@ class VersioningScheduler(Scheduler):
         (treated as the mean of the known versions, pessimistically the
         slowest known, so an unprofiled version never looks free).
         ``require_room`` restricts candidates to workers with queue room
-        (used only while estimates are still unknown).
+        (used only while estimates are still unknown).  ``avoid`` is a
+        set of (version name, worker name) pairs excluded from the
+        search — the pairs a retried task has already faulted on.
         """
         known = [group.mean_time(v.name) for v in versions]
         known_means = [m for m in known if m is not None]
@@ -302,6 +366,10 @@ class VersioningScheduler(Scheduler):
                     continue
                 mean = fallback
             for w in self.capable_workers(v):
+                if not self.dispatchable(w):
+                    continue
+                if (v.name, w.name) in avoid:
+                    continue
                 if require_room and not self._has_room(w):
                     continue
                 finish = (

@@ -16,12 +16,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.memory.directory import TransferRequest
+from repro.resilience.recovery import TransferRetryExceededError
 from repro.sim.engine import EventKind, SimEngine
 from repro.sim.topology import HOST_SPACE, Machine
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.recovery import ResilienceManager
 
 
 class TxCategory(Enum):
@@ -106,12 +110,16 @@ class TransferEngine:
         stats: Optional[TransferStats] = None,
         trace: Optional[Trace] = None,
         host: str = HOST_SPACE,
+        resilience: Optional["ResilienceManager"] = None,
     ) -> None:
         self.engine = engine
         self.machine = machine
         self.stats = stats if stats is not None else TransferStats()
         self.trace = trace
         self.host = host
+        #: fault-injection hook: consulted per attempt per hop; failed
+        #: attempts are retried with deterministic exponential backoff
+        self.resilience = resilience
         # per-link list of channel-free times (length = link.channels)
         self._channel_free_at: dict[tuple[str, str], list[float]] = {}
 
@@ -137,6 +145,15 @@ class TransferEngine:
         its own link and is accounted separately.  The completion
         callback fires as a simulation event exactly at the returned
         time.
+
+        With a resilience manager attached, each hop attempt may be
+        failed by the fault plan; failed attempts are retried after a
+        deterministic exponential backoff, bounded by the recovery
+        policy's ``transfer_max_retries`` (then
+        :class:`TransferRetryExceededError`).  A failed attempt still
+        occupies the link for the full hop time and is accounted in the
+        transfer counters — the bytes moved before the error was
+        detected.
         """
         nbytes = request.region.nbytes
         ready = self.engine.now if earliest is None else max(earliest, self.engine.now)
@@ -144,20 +161,37 @@ class TransferEngine:
         for link in self.machine.route(request.src, request.dst):
             key = (link.src, link.dst)
             channels = self._channel_free_at.setdefault(key, [0.0] * link.channels)
-            ch = min(range(len(channels)), key=lambda i: (channels[i], i))
-            start = max(end, channels[ch])
-            end = start + link.transfer_time(nbytes)
-            channels[ch] = end
-            self.stats.record(link.src, link.dst, nbytes, self.host)
-            if self.trace is not None:
-                self.trace.add(
-                    start,
-                    end,
-                    worker=f"link:{link.src}->{link.dst}",
-                    category="transfer",
-                    label=request.region.label,
-                    meta=(nbytes,),
+            attempt = 1
+            while True:
+                ch = min(range(len(channels)), key=lambda i: (channels[i], i))
+                start = max(end, channels[ch])
+                hop_end = start + link.transfer_time(nbytes)
+                channels[ch] = hop_end
+                failed = self.resilience is not None and self.resilience.transfer_fault(
+                    link.src, link.dst
                 )
+                self.stats.record(link.src, link.dst, nbytes, self.host)
+                if self.trace is not None:
+                    self.trace.add(
+                        start,
+                        hop_end,
+                        worker=f"link:{link.src}->{link.dst}",
+                        category="transfer" if not failed else "transfer-fault",
+                        label=request.region.label,
+                        meta=(nbytes,),
+                    )
+                if not failed:
+                    end = hop_end
+                    break
+                assert self.resilience is not None
+                if attempt > self.resilience.max_transfer_retries:
+                    raise TransferRetryExceededError(
+                        f"transfer of {request.region.label!r} over "
+                        f"{link.src}->{link.dst} failed {attempt} times "
+                        f"(retry budget {self.resilience.max_transfer_retries})"
+                    )
+                end = hop_end + self.resilience.transfer_retry(attempt)
+                attempt += 1
         if on_complete is not None:
             self.engine.schedule(
                 end,

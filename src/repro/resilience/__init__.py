@@ -1,0 +1,44 @@
+"""Resilience: deterministic fault injection and recovery.
+
+The paper's multi-version tasks (``implements``) give the runtime a
+natural *graceful-degradation* mechanism: when a device faults, the task
+can re-run as a different (version, worker) pair and the versioning
+scheduler's learning tables steer the retry.  This package supplies
+
+* :mod:`repro.resilience.faults` — a seeded, fully deterministic
+  :class:`FaultPlan` describing transient task faults, permanent worker
+  failures and link transfer errors (same reproducibility discipline as
+  :mod:`repro.sim.perturb`),
+* :mod:`repro.resilience.recovery` — the :class:`RecoveryPolicy`
+  (retry budgets, quarantine) and the :class:`ResilienceManager` that
+  the runtime consults at task start / transfer time and notifies on
+  every fault.
+"""
+
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    TaskFaultRule,
+    TransferFaultRule,
+    WorkerFailure,
+)
+from repro.resilience.recovery import (
+    RecoveryPolicy,
+    ResilienceManager,
+    ResilienceStats,
+    TaskRetryExceededError,
+    TransferRetryExceededError,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "TaskFaultRule",
+    "TransferFaultRule",
+    "WorkerFailure",
+    "RecoveryPolicy",
+    "ResilienceManager",
+    "ResilienceStats",
+    "TaskRetryExceededError",
+    "TransferRetryExceededError",
+]

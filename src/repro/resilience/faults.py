@@ -1,0 +1,220 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is an immutable description of every failure a run
+should suffer.  Like the perturbation models in :mod:`repro.sim.perturb`
+all decisions are deterministic functions of call counts and a seed —
+never of wall-clock time or object identity — so two runs with the same
+plan produce byte-identical traces, and a failure scenario found once
+can be replayed forever.
+
+Three failure classes are modelled:
+
+* **Transient task faults** (:class:`TaskFaultRule`): a kernel faults
+  part-way through execution (ECC error, kernel launch failure, a
+  segfaulting hand-written CUDA kernel).  The task instance survives and
+  must be retried — preferably as a *different* (version, worker) pair,
+  which the paper's multi-version tables make possible.
+* **Permanent worker failures** (:class:`WorkerFailure`): a device drops
+  off the bus at a given simulated time.  Its queued and running tasks
+  must be re-dispatched and it must leave the scheduler's candidate set.
+* **Transfer faults** (:class:`TransferFaultRule`): a link transfer
+  errors and is retried with deterministic exponential backoff by the
+  transfer engine.
+
+The plan itself is stateless; :meth:`FaultPlan.injector` builds the
+per-run mutable counters/RNGs so one plan can drive many runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+def _as_tuple(seq: Sequence) -> tuple:
+    return tuple(seq) if not isinstance(seq, tuple) else seq
+
+
+@dataclass(frozen=True)
+class TaskFaultRule:
+    """When matching task executions suffer a transient fault.
+
+    Parameters
+    ----------
+    worker:
+        Worker (``"w:gpu0"``) or device (``"gpu0"``) name the rule
+        applies to; ``None`` matches every worker.
+    kernel:
+        Cost-model kernel name (i.e. the task version's kernel) the rule
+        applies to; ``None`` matches every kernel.
+    at_starts:
+        1-based indices, *counted per rule over matching starts*, that
+        fault deterministically: ``(1, 3)`` fails the first and third
+        matching execution.
+    probability:
+        Additionally fail each matching start with this probability,
+        drawn from the plan's seeded RNG (deterministic given the run's
+        event order, which is itself deterministic).
+    work_fraction:
+        Fraction of the version's simulated duration consumed before the
+        fault fires — failed work still occupies the worker.
+    """
+
+    worker: Optional[str] = None
+    kernel: Optional[str] = None
+    at_starts: tuple[int, ...] = ()
+    probability: float = 0.0
+    work_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at_starts", _as_tuple(self.at_starts))
+        if any(n < 1 for n in self.at_starts):
+            raise ValueError("at_starts indices are 1-based and must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not 0.0 < self.work_fraction <= 1.0:
+            raise ValueError("work_fraction must be in (0, 1]")
+        if not self.at_starts and self.probability == 0.0:
+            raise ValueError("rule can never fire: give at_starts or probability")
+
+    def matches(self, worker_name: str, device_name: str, kernel: str) -> bool:
+        if self.worker is not None and self.worker not in (worker_name, device_name):
+            return False
+        if self.kernel is not None and self.kernel != kernel:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class TransferFaultRule:
+    """When matching link transfer attempts fail.
+
+    ``at_attempts`` counts attempts per (rule, directed link) — so
+    ``at_attempts=(1,)`` with ``src="host", dst="gpu0"`` fails exactly
+    the first copy attempted over host→gpu0, which the transfer engine
+    then retries with backoff.
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    at_attempts: tuple[int, ...] = ()
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at_attempts", _as_tuple(self.at_attempts))
+        if any(n < 1 for n in self.at_attempts):
+            raise ValueError("at_attempts indices are 1-based and must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not self.at_attempts and self.probability == 0.0:
+            raise ValueError("rule can never fire: give at_attempts or probability")
+
+    def matches(self, src: str, dst: str) -> bool:
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """A permanent worker death at an absolute simulated time.
+
+    ``worker`` names either the worker (``"w:gpu1"``) or its device
+    (``"gpu1"``).  From ``at_time`` on, the worker accepts no work; its
+    queued and running tasks are re-dispatched by the runtime.
+    """
+
+    worker: str
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("at_time must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full failure scenario of one run (immutable, reusable)."""
+
+    seed: int = 0
+    task_faults: tuple[TaskFaultRule, ...] = ()
+    transfer_faults: tuple[TransferFaultRule, ...] = ()
+    worker_failures: tuple[WorkerFailure, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "task_faults", _as_tuple(self.task_faults))
+        object.__setattr__(self, "transfer_faults", _as_tuple(self.transfer_faults))
+        object.__setattr__(self, "worker_failures", _as_tuple(self.worker_failures))
+        seen: set[str] = set()
+        for wf in self.worker_failures:
+            if wf.worker in seen:
+                raise ValueError(f"worker {wf.worker!r} fails twice in one plan")
+            seen.add(wf.worker)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.task_faults or self.transfer_faults or self.worker_failures)
+
+    def injector(self) -> "FaultInjector":
+        """Fresh per-run mutable state (counters + seeded RNG streams)."""
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """Per-run evaluation of a :class:`FaultPlan`.
+
+    Holds the per-rule match counters and one RNG stream per rule
+    (seeded from ``plan.seed`` and the rule index, so adding a rule
+    never perturbs the draws of the others).  Rules are evaluated in
+    declaration order; the first rule that fires wins.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._task_counts = [0] * len(plan.task_faults)
+        self._task_sets = [frozenset(r.at_starts) for r in plan.task_faults]
+        self._task_rngs = [
+            random.Random(f"{plan.seed}:task:{i}") for i in range(len(plan.task_faults))
+        ]
+        # (rule index, src, dst) -> attempts seen
+        self._xfer_counts: dict[tuple[int, str, str], int] = {}
+        self._xfer_sets = [frozenset(r.at_attempts) for r in plan.transfer_faults]
+        self._xfer_rngs = [
+            random.Random(f"{plan.seed}:xfer:{i}")
+            for i in range(len(plan.transfer_faults))
+        ]
+
+    def task_fault(
+        self, worker_name: str, device_name: str, kernel: str
+    ) -> Optional[float]:
+        """Consulted at each task start.
+
+        Returns the ``work_fraction`` at which the execution faults, or
+        ``None`` for a clean run.
+        """
+        for i, rule in enumerate(self.plan.task_faults):
+            if not rule.matches(worker_name, device_name, kernel):
+                continue
+            self._task_counts[i] += 1
+            if self._task_counts[i] in self._task_sets[i]:
+                return rule.work_fraction
+            if rule.probability > 0.0 and self._task_rngs[i].random() < rule.probability:
+                return rule.work_fraction
+        return None
+
+    def transfer_fault(self, src: str, dst: str) -> bool:
+        """Consulted per transfer attempt per link hop; True = it fails."""
+        for i, rule in enumerate(self.plan.transfer_faults):
+            if not rule.matches(src, dst):
+                continue
+            key = (i, src, dst)
+            n = self._xfer_counts.get(key, 0) + 1
+            self._xfer_counts[key] = n
+            if n in self._xfer_sets[i]:
+                return True
+            if rule.probability > 0.0 and self._xfer_rngs[i].random() < rule.probability:
+                return True
+        return False

@@ -1,0 +1,262 @@
+"""Recovery policy: retry budgets, worker quarantine, failure accounting.
+
+The :class:`ResilienceManager` is the runtime's single point of contact
+with the fault model.  The runtime *consults* it (does this task start
+fault?  does this transfer attempt fail?) and *notifies* it (a task
+faulted, a task succeeded, a worker died); the manager owns every
+recovery decision:
+
+* **retry budget** — a faulted task re-enters the ready pool until it
+  has failed ``max_task_retries`` times, then the run aborts with
+  :class:`TaskRetryExceededError`,
+* **alternate-pair preference** — the failed (version, worker) pair is
+  recorded on the task instance; version-aware schedulers consult it and
+  prefer a different pair, turning the paper's ``implements`` tables
+  into a graceful-degradation mechanism,
+* **quarantine** — ``quarantine_threshold`` *consecutive* transient
+  faults on one worker (a success resets the streak) put it in
+  quarantine: its queue is drained back to the scheduler and it accepts
+  no work for ``quarantine_cooldown`` simulated seconds (scaled by
+  ``quarantine_backoff`` per repeat offence).  Re-admission is
+  probationary: one more fault re-quarantines immediately, one success
+  fully rehabilitates.
+* **profile integrity** — a faulted execution never reaches the
+  versioning scheduler's profile tables (durations are recorded only in
+  ``task_finished``), so surviving workers' estimates stay valid after
+  failures.
+
+Everything is driven by simulated time and deterministic counters, so
+recovery behaviour is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.resilience.faults import FaultPlan
+from repro.sim.engine import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import OmpSsRuntime
+    from repro.runtime.task import TaskInstance
+    from repro.runtime.worker import Worker
+
+
+class TaskRetryExceededError(RuntimeError):
+    """A task instance exhausted its retry budget."""
+
+
+class TransferRetryExceededError(RuntimeError):
+    """A link transfer kept failing past the bounded retry budget."""
+
+
+@dataclass
+class RecoveryPolicy:
+    """Tunables of the recovery machinery."""
+
+    #: Times one task instance may *fail* before the run aborts.
+    max_task_retries: int = 3
+    #: Consecutive transient faults on one worker before quarantine.
+    quarantine_threshold: int = 3
+    #: Quarantine length in simulated seconds.
+    quarantine_cooldown: float = 0.5
+    #: Cooldown multiplier applied per repeated quarantine of a worker.
+    quarantine_backoff: float = 2.0
+    #: Times one transfer hop may fail before the run aborts.
+    transfer_max_retries: int = 3
+    #: Base backoff before transfer retry n: ``backoff * 2**(n-1)``.
+    transfer_backoff: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        if self.quarantine_cooldown < 0:
+            raise ValueError("quarantine_cooldown must be >= 0")
+        if self.quarantine_backoff < 1.0:
+            raise ValueError("quarantine_backoff must be >= 1")
+        if self.transfer_max_retries < 0:
+            raise ValueError("transfer_max_retries must be >= 0")
+        if self.transfer_backoff < 0:
+            raise ValueError("transfer_backoff must be >= 0")
+
+
+@dataclass
+class ResilienceStats:
+    """Fault/recovery counters exposed on :class:`RunResult`."""
+
+    task_faults: int = 0          # transient task failures injected
+    retries: int = 0              # task re-dispatches caused by faults
+    worker_failures: int = 0      # permanent worker deaths
+    tasks_redispatched: int = 0   # queued/running tasks pulled off a dead
+                                  # or quarantined worker
+    quarantines: int = 0
+    readmissions: int = 0
+    transfer_faults: int = 0      # failed transfer attempts
+    transfer_retries: int = 0     # transfer attempts re-issued
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "task_faults": self.task_faults,
+            "retries": self.retries,
+            "worker_failures": self.worker_failures,
+            "tasks_redispatched": self.tasks_redispatched,
+            "quarantines": self.quarantines,
+            "readmissions": self.readmissions,
+            "transfer_faults": self.transfer_faults,
+            "transfer_retries": self.transfer_retries,
+        }
+
+    @property
+    def any_failures(self) -> bool:
+        return any(self.as_dict().values())
+
+
+class ResilienceManager:
+    """Owns fault consultation and recovery for one runtime instance."""
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        policy: Optional[RecoveryPolicy] = None,
+    ) -> None:
+        self.plan = plan
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.stats = ResilienceStats()
+        self.injector = plan.injector() if plan is not None and not plan.empty else None
+        self.rt: Optional["OmpSsRuntime"] = None
+        # worker name -> consecutive transient faults since last success
+        self._transient: dict[str, int] = {}
+        # worker name -> how many times it has been quarantined
+        self._quarantine_count: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, runtime: "OmpSsRuntime") -> None:
+        """Attach to a runtime; schedules the plan's worker deaths."""
+        self.rt = runtime
+        self._transient = {w.name: 0 for w in runtime.workers}
+        if self.plan is None:
+            return
+        for wf in self.plan.worker_failures:
+            worker = self._resolve_worker(wf.worker)
+            runtime.engine.schedule(
+                wf.at_time,
+                lambda w=worker: runtime._worker_down(w),
+                kind=EventKind.WORKER_DOWN,
+                label=f"fail {worker.name}",
+            )
+
+    def _resolve_worker(self, name: str) -> "Worker":
+        assert self.rt is not None
+        for w in self.rt.workers:
+            if name in (w.name, w.device.name):
+                return w
+        raise KeyError(f"fault plan names unknown worker/device {name!r}")
+
+    # ------------------------------------------------------------------
+    # Consultation (runtime asks before committing to an outcome)
+    # ------------------------------------------------------------------
+    def task_fault_at_start(
+        self, t: "TaskInstance", worker: "Worker"
+    ) -> Optional[float]:
+        """Fraction of the duration after which this start faults, or None."""
+        if self.injector is None:
+            return None
+        assert t.chosen_version is not None
+        return self.injector.task_fault(
+            worker.name, worker.device.name, t.chosen_version.kernel
+        )
+
+    def transfer_fault(self, src: str, dst: str) -> bool:
+        if self.injector is None:
+            return False
+        if self.injector.transfer_fault(src, dst):
+            self.stats.transfer_faults += 1
+            return True
+        return False
+
+    @property
+    def max_transfer_retries(self) -> int:
+        return self.policy.transfer_max_retries
+
+    def transfer_retry(self, attempt: int) -> float:
+        """Account one transfer retry; returns its backoff delay."""
+        self.stats.transfer_retries += 1
+        return self.policy.transfer_backoff * (2.0 ** (attempt - 1))
+
+    # ------------------------------------------------------------------
+    # Notification (runtime reports what happened)
+    # ------------------------------------------------------------------
+    def on_task_fault(self, t: "TaskInstance", worker: "Worker") -> None:
+        """A running task faulted transiently on ``worker``.
+
+        Burns one unit of the task's retry budget, records the failed
+        (version, worker) pair for alternate-pair preference, and may
+        quarantine the worker.  Raises when the budget is exhausted.
+        """
+        assert self.rt is not None and t.chosen_version is not None
+        self.stats.task_faults += 1
+        t.attempts += 1
+        t.failed_pairs.add((t.chosen_version.name, worker.name))
+        self._transient[worker.name] = self._transient.get(worker.name, 0) + 1
+        if t.attempts > self.policy.max_task_retries:
+            raise TaskRetryExceededError(
+                f"task {t.label!r} faulted {t.attempts} times "
+                f"(retry budget {self.policy.max_task_retries})"
+            )
+        self.stats.retries += 1
+        if (
+            worker.alive
+            and worker.quarantined_until is None
+            and self._transient[worker.name] >= self.policy.quarantine_threshold
+        ):
+            self._quarantine(worker)
+
+    def on_task_success(self, worker: "Worker") -> None:
+        """A task completed cleanly: the worker's fault streak resets."""
+        self._transient[worker.name] = 0
+
+    def on_worker_down(self, worker: "Worker", redispatched: int) -> None:
+        self.stats.worker_failures += 1
+        self.stats.tasks_redispatched += redispatched
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def _quarantine(self, worker: "Worker") -> None:
+        rt = self.rt
+        assert rt is not None
+        now = rt.engine.now
+        repeat = self._quarantine_count.get(worker.name, 0)
+        cooldown = self.policy.quarantine_cooldown * (
+            self.policy.quarantine_backoff ** repeat
+        )
+        self._quarantine_count[worker.name] = repeat + 1
+        worker.quarantined_until = now + cooldown
+        self.stats.quarantines += 1
+        rt.trace.add(now, now, worker.name, "quarantine", f"cooldown={cooldown:.6g}")
+        self.stats.tasks_redispatched += rt._drain_worker(worker)
+        rt.engine.schedule(
+            now + cooldown,
+            lambda w=worker: self._readmit(w),
+            kind=EventKind.RUNTIME,
+            label=f"readmit {worker.name}",
+        )
+
+    def _readmit(self, worker: "Worker") -> None:
+        worker.quarantined_until = None
+        if not worker.alive:  # died while quarantined; stays out for good
+            return
+        # probation: one more fault re-quarantines immediately, while one
+        # clean completion (on_task_success) fully rehabilitates
+        self._transient[worker.name] = max(0, self.policy.quarantine_threshold - 1)
+        self.stats.readmissions += 1
+        rt = self.rt
+        assert rt is not None
+        rt.trace.add(rt.engine.now, rt.engine.now, worker.name, "readmit",
+                     worker.device.name)
+        rt.scheduler.worker_up(worker)

@@ -24,12 +24,18 @@ kernels so applications produce verifiable numerical results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Hashable, Mapping, Optional, Union
 
 from repro.memory.cache import CacheManager, CacheStats
 from repro.memory.directory import Directory, TransferRequest
 from repro.memory.transfers import TransferEngine, TransferStats
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import (
+    RecoveryPolicy,
+    ResilienceManager,
+    ResilienceStats,
+)
 from repro.runtime import context
 from repro.runtime.dependences import DependenceGraph
 from repro.runtime.task import TaskInstance, TaskState, TaskVersion
@@ -97,6 +103,7 @@ class RunResult:
     worker_stats: dict[str, dict[str, float]]
     trace: Trace
     finish_order: list[int]
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     def version_fractions(self, task_name: str) -> dict[str, float]:
         """Share of executions per version of one task (Figures 8/11/14/15)."""
@@ -133,6 +140,8 @@ class OmpSsRuntime:
         *,
         config: Optional[RuntimeConfig] = None,
         scheduler_options: Optional[Mapping[str, Any]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         from repro.schedulers.registry import create_scheduler  # avoid cycle
 
@@ -141,8 +150,10 @@ class OmpSsRuntime:
         self.engine = SimEngine()
         self.trace = Trace()
         self.directory = Directory(HOST_SPACE)
+        self.resilience = ResilienceManager(plan=fault_plan, policy=recovery)
         self.transfer_engine = TransferEngine(
-            self.engine, machine, trace=self.trace, host=HOST_SPACE
+            self.engine, machine, trace=self.trace, host=HOST_SPACE,
+            resilience=self.resilience,
         )
         self.cache = CacheManager(machine, self.directory, self.transfer_engine)
         self.graph = DependenceGraph(check_aliasing=self.config.check_aliasing)
@@ -156,6 +167,7 @@ class OmpSsRuntime:
                 raise ValueError("pass scheduler options to the scheduler instance directly")
             self.scheduler = scheduler
         self.scheduler.bind(self)
+        self.resilience.bind(self)
 
         self.version_counts: dict[str, dict[str, int]] = {}
         self._finish_order: list[int] = []
@@ -288,6 +300,7 @@ class OmpSsRuntime:
             worker_stats=worker_stats,
             trace=self.trace,
             finish_order=list(self._finish_order),
+            resilience=self.resilience.stats,
         )
 
     # ------------------------------------------------------------------
@@ -300,6 +313,10 @@ class OmpSsRuntime:
         """Place a ready task, with its chosen version, in a worker queue."""
         if t.state is not TaskState.READY:
             raise RuntimeError(f"dispatch of non-ready task {t.label!r} ({t.state})")
+        if not worker.alive:
+            raise RuntimeError(
+                f"dispatch of {t.label!r} to failed worker {worker.name!r}"
+            )
         if version not in t.definition.versions:
             raise ValueError(
                 f"version {version.name!r} does not belong to task {t.name!r}"
@@ -410,7 +427,7 @@ class OmpSsRuntime:
         return _done
 
     def _try_start(self, worker: Worker) -> None:
-        if worker.current is not None:
+        if not worker.alive or worker.current is not None:
             return
         t = worker.peek()
         if t is None:
@@ -438,13 +455,26 @@ class OmpSsRuntime:
         t.state = TaskState.RUNNING
         t.start_time = now
         duration = worker.device.duration(t.chosen_version.kernel, t.data_bytes, t.params)
-        worker.free_at = now + duration
-        self.engine.schedule(
-            now + duration,
-            lambda: self._finish(t, worker),
-            kind=EventKind.TASK_END,
-            label=t.label,
-        )
+        fail_fraction = self.resilience.task_fault_at_start(t, worker)
+        if fail_fraction is not None:
+            # the execution faults part-way: the worker is occupied for
+            # the faulted fraction, then the task re-enters recovery
+            fail_at = now + duration * fail_fraction
+            worker.free_at = fail_at
+            worker._end_event = self.engine.schedule(
+                fail_at,
+                lambda: self._fail_running(t, worker),
+                kind=EventKind.TASK_FAIL,
+                label=t.label,
+            )
+        else:
+            worker.free_at = now + duration
+            worker._end_event = self.engine.schedule(
+                now + duration,
+                lambda: self._finish(t, worker),
+                kind=EventKind.TASK_END,
+                label=t.label,
+            )
         # the pop promoted a task into the prefetch window
         self._prepare_window(worker)
         self.scheduler.task_started(t, worker)
@@ -457,6 +487,7 @@ class OmpSsRuntime:
         now = self.engine.now
         measured = now - t.start_time
         worker.current = None
+        worker._end_event = None
         worker.busy_time += measured
         worker.tasks_run += 1
         t.state = TaskState.FINISHED
@@ -487,10 +518,106 @@ class OmpSsRuntime:
         self._finish_order.append(t.uid)
         self._tasks_completed += 1
 
+        self.resilience.on_task_success(worker)
         self.scheduler.task_finished(t, worker, measured)
         for succ in self.graph.task_finished(t):
             self._mark_ready(succ)
         self._try_start(worker)
+
+    # ------------------------------------------------------------------
+    # Failure handling (driven by the resilience subsystem)
+    # ------------------------------------------------------------------
+    def _fail_running(self, t: TaskInstance, worker: Worker) -> None:
+        """The running task faulted transiently (TASK_FAIL event).
+
+        The partially-executed work still occupied the worker (busy
+        time), but nothing else of the execution survives: the body was
+        never run, no writes reached the directory, and no duration is
+        reported to the scheduler — profile tables stay uncorrupted.
+        """
+        now = self.engine.now
+        assert t.chosen_version is not None
+        worker.current = None
+        worker._end_event = None
+        worker.busy_time += now - t.start_time
+        self.trace.add(
+            t.start_time,
+            now,
+            worker.name,
+            "fault",
+            t.chosen_version.name,
+            meta=(self._local_ids[t.uid], t.attempts + 1),
+        )
+        # burns retry budget, records the failed pair, may quarantine the
+        # worker (draining its queue); raises TaskRetryExceededError when
+        # the budget is gone
+        self.resilience.on_task_fault(t, worker)
+        self._requeue(t, worker)
+        self._try_start(worker)
+
+    def _requeue(self, t: TaskInstance, worker: Worker) -> None:
+        """Pull a dispatched-but-unfinished task back to the ready pool."""
+        now = self.engine.now
+        self._xfer_ready.pop(t.uid, None)
+        if t.uid in self._pinned:
+            self._pinned.discard(t.uid)
+            for region in t.regions():
+                self.cache.unpin(worker.space, region)
+        self.scheduler.task_requeued(t, worker)
+        self.trace.add(
+            now, now, worker.name, "retry", t.name,
+            meta=(self._local_ids[t.uid], t.attempts),
+        )
+        t.chosen_version = None
+        t.chosen_worker = None
+        self._mark_ready(t)
+
+    def _drain_worker(self, worker: Worker) -> int:
+        """Hand every queued task of ``worker`` back to the scheduler.
+
+        Used when a worker dies or is quarantined.  Returns the number
+        of tasks re-dispatched.
+        """
+        drained = list(worker.queue)
+        worker.queue.clear()
+        for t in drained:
+            self._requeue(t, worker)
+        return len(drained)
+
+    def _worker_down(self, worker: Worker) -> None:
+        """Permanent worker failure (WORKER_DOWN event).
+
+        The worker leaves every scheduler's candidate set for good; its
+        running task is aborted (without burning the task's retry
+        budget — the fault is the worker's, not the task's) and, with
+        all queued tasks, re-dispatched to the survivors.  Profile data
+        recorded from its past executions is retained untouched.
+        """
+        if not worker.alive:
+            return
+        now = self.engine.now
+        worker.alive = False
+        worker.quarantined_until = None
+        self.trace.add(now, now, worker.name, "worker-down", worker.device.name)
+        redispatched = 0
+        running = worker.current
+        if running is not None:
+            assert running.chosen_version is not None
+            worker.current = None
+            if worker._end_event is not None:
+                worker._end_event.cancel()
+                worker._end_event = None
+            worker.busy_time += now - running.start_time
+            self.trace.add(
+                running.start_time, now, worker.name, "aborted",
+                running.chosen_version.name,
+                meta=(self._local_ids[running.uid],),
+            )
+            self._requeue(running, worker)
+            redispatched += 1
+        redispatched += self._drain_worker(worker)
+        self.resilience.on_worker_down(worker, redispatched)
+        self.scheduler.worker_down(worker)
 
     def _flush_to_host(self) -> None:
         """Copy every dirty region back to the host (taskwait semantics)."""
@@ -500,6 +627,6 @@ class OmpSsRuntime:
             self.directory.note_writeback_done(req.region)
             last = max(last, end)
         if last > self.engine.now:
-            # advance the master's clock to the final write-back
-            self.engine.schedule(last, lambda: None, kind=EventKind.RUNTIME, label="flush")
-            self.engine.run()
+            # advance the master's clock to the final write-back; bounded
+            # so pending fault-plan events past that time never fire
+            self.engine.run(until=last)

@@ -159,6 +159,8 @@ class TaskInstance:
         "successors",
         "chosen_version",
         "chosen_worker",
+        "attempts",
+        "failed_pairs",
         "submit_time",
         "ready_time",
         "start_time",
@@ -195,6 +197,12 @@ class TaskInstance:
         # scheduling outcome
         self.chosen_version: Optional[TaskVersion] = None
         self.chosen_worker: Optional[str] = None
+        #: fault-recovery bookkeeping: failed executions so far, and the
+        #: (version name, worker name) pairs they failed on — retries
+        #: prefer a pair not in this set (graceful degradation via the
+        #: paper's multi-version tables)
+        self.attempts: int = 0
+        self.failed_pairs: set[tuple[str, str]] = set()
         self.submit_time: float = 0.0
         self.ready_time: float = 0.0
         self.start_time: float = 0.0

@@ -12,10 +12,13 @@ for the per-device utilisation reporting.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.runtime.task import TaskInstance
 from repro.sim.devices import Device, DeviceStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Event
 
 
 class Worker:
@@ -29,9 +32,18 @@ class Worker:
         self.free_at: float = 0.0       # when the running task ends
         self.busy_time: float = 0.0
         self.tasks_run: int = 0
+        #: False once the worker failed permanently (a dead worker never
+        #: re-enters any scheduler's candidate set)
+        self.alive: bool = True
+        #: simulated time until which the worker is quarantined after
+        #: repeated transient faults (None = not quarantined)
+        self.quarantined_until: Optional[float] = None
         #: runtime bookkeeping: simulated time of the earliest pending
         #: wake event for this worker (None = no wake scheduled)
         self._wake_at: Optional[float] = None
+        #: the pending TASK_END / TASK_FAIL event of the running task,
+        #: cancelled if the worker dies mid-execution
+        self._end_event: Optional["Event"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -42,6 +54,12 @@ class Worker:
     @property
     def is_idle(self) -> bool:
         return self.current is None
+
+    def available(self, now: float) -> bool:
+        """Whether the worker may accept dispatches at simulated ``now``."""
+        return self.alive and (
+            self.quarantined_until is None or now >= self.quarantined_until
+        )
 
     def load(self) -> int:
         """Queued tasks (plus the running one) — the simple load metric."""

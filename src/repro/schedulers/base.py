@@ -67,19 +67,48 @@ class Scheduler:
         """Execution feedback (measured duration in seconds)."""
 
     # ------------------------------------------------------------------
+    # Resilience hooks (fault recovery; defaults are safe no-ops)
+    # ------------------------------------------------------------------
+    def task_requeued(self, t: TaskInstance, worker: "Worker") -> None:
+        """A dispatched task was pulled back before finishing (fault
+        recovery).  Called with ``t.chosen_version`` still set; the task
+        re-enters via :meth:`task_ready` afterwards.  Policies that keep
+        per-dispatch bookkeeping (busy estimates, assignment counts)
+        must undo it here."""
+
+    def worker_down(self, worker: "Worker") -> None:
+        """``worker`` failed permanently.  :meth:`capable_workers`
+        already excludes dead workers; override to drop extra state."""
+
+    def worker_up(self, worker: "Worker") -> None:
+        """A quarantined worker was re-admitted; pool-based policies
+        should re-pump so waiting tasks can use it."""
+
+    # ------------------------------------------------------------------
     # Helpers shared by the non-versioning policies
     # ------------------------------------------------------------------
     def main_version(self, definition: TaskDefinition) -> TaskVersion:
         return definition.main_version
 
     def capable_workers(self, version: TaskVersion) -> list["Worker"]:
-        """Workers whose device can run ``version`` (deterministic order)."""
+        """Live workers whose device can run ``version`` (deterministic
+        order).  Permanently failed workers are excluded; quarantined
+        ones are not (quarantine is temporary — use :meth:`dispatchable`
+        at dispatch time)."""
         key = version.device_kinds
         cached = self._capable_cache.get(key)
         if cached is None:
             cached = [w for w in self.workers if version.runs_on(w.device.kind)]
             self._capable_cache[key] = cached
+        if any(not w.alive for w in cached):
+            return [w for w in cached if w.alive]
         return cached
+
+    def dispatchable(self, worker: "Worker") -> bool:
+        """Whether ``worker`` accepts dispatches right now (alive and
+        not quarantined at the current simulated time)."""
+        assert self.rt is not None, "scheduler not bound to a runtime"
+        return worker.available(self.rt.engine.now)
 
     def require_capable_workers(self, version: TaskVersion) -> list["Worker"]:
         ws = self.capable_workers(version)

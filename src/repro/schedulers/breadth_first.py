@@ -40,6 +40,13 @@ class BreadthFirstScheduler(Scheduler):
     def task_finished(self, t: TaskInstance, worker: "Worker", measured: float) -> None:
         self._pump()
 
+    def task_requeued(self, t: TaskInstance, worker: "Worker") -> None:
+        # nothing to undo: bf keeps no per-dispatch bookkeeping
+        pass
+
+    def worker_up(self, worker: "Worker") -> None:
+        self._pump()
+
     def _pump(self) -> None:
         if self._pumping:
             return
@@ -50,10 +57,19 @@ class BreadthFirstScheduler(Scheduler):
                 placed = False
                 for i, t in enumerate(self._ready):
                     version = self.main_version(t.definition)
-                    idle = [w for w in self.capable_workers(version) if w.load() == 0]
+                    idle = [
+                        w
+                        for w in self.capable_workers(version)
+                        if w.load() == 0 and self.dispatchable(w)
+                    ]
                     if not idle:
                         continue
-                    worker = min(idle, key=lambda w: w.name)
+                    # a retried task prefers a worker it has not yet
+                    # failed on, when one is idle
+                    worker = min(
+                        idle,
+                        key=lambda w: ((version.name, w.name) in t.failed_pairs, w.name),
+                    )
                     del self._ready[i]
                     self.rt.dispatch(t, worker, version)
                     placed = True

@@ -43,6 +43,7 @@ class DependencyAwareScheduler(Scheduler):
         fallback = self.least_loaded(candidates)
         if (
             hint is not None
+            and hint.alive
             and version.runs_on(hint.device.kind)
             and hint.load() <= fallback.load()
         ):

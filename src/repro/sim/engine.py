@@ -28,9 +28,12 @@ class EventKind(Enum):
     GENERIC = "generic"
     TASK_START = "task-start"
     TASK_END = "task-end"
+    TASK_FAIL = "task-fail"
     TRANSFER_START = "transfer-start"
     TRANSFER_END = "transfer-end"
     WORKER_WAKE = "worker-wake"
+    WORKER_DOWN = "worker-down"
+    RETRY = "retry"
     RUNTIME = "runtime"
 
 
@@ -163,10 +166,13 @@ class SimEngine:
         ----------
         until:
             If given, stop once the next event would fire strictly after
-            ``until`` (the clock is then advanced to ``until``).
+            ``until``.  A bounded run always lands the clock exactly on
+            ``until`` (unless it is already past it), even when the
+            queue is empty or drains early.
         max_events:
-            Safety valve; raise :class:`RuntimeError` if more than this
-            many events execute (catches accidental infinite loops).
+            Safety valve; execute at most this many events, raising
+            :class:`RuntimeError` if another would follow (catches
+            accidental infinite loops).
 
         Returns the number of events executed by this call.
         """
@@ -180,16 +186,17 @@ class SimEngine:
                 if nxt is None:
                     break
                 if until is not None and nxt.time > until:
-                    self._now = max(self._now, until)
                     break
-                if not self.step():
-                    break
-                executed += 1
-                if max_events is not None and executed > max_events:
+                if max_events is not None and executed >= max_events:
                     raise RuntimeError(
                         f"SimEngine exceeded max_events={max_events}; "
                         "likely an event loop that never terminates"
                     )
+                if not self.step():
+                    break
+                executed += 1
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
         return executed

@@ -1,0 +1,71 @@
+"""Perturbed cost models composed with the versioning scheduler.
+
+The paper claims the versioning scheduler "never stops learning ... and
+easily adapts to application's behaviour, even if it changes over the
+whole execution" (§IV-B).  Here the GPU implementation is fast for its
+first 80 executions and then abruptly slows down (thermal throttling, a
+co-scheduled job): per-version counts must shift from the GPU version
+early in the run to the SMP version late in the run.
+"""
+
+from repro.runtime.runtime import OmpSsRuntime, RuntimeConfig
+from repro.sim.perfmodel import FixedCostModel
+from repro.sim.perturb import PhaseShiftCostModel
+from tests.conftest import make_machine, make_two_version_task, region
+
+FAST_GPU = 0.001
+SLOW_GPU = 0.040
+SMP = 0.004
+FLIP_AFTER = 80
+
+
+def _run(n_tasks=200):
+    m = make_machine(2, 1)
+    registry = {}
+    work, _ = make_two_version_task(registry)
+    m.register_kernel_for_kind("smp", "work_smp", FixedCostModel(SMP))
+    m.register_kernel_for_kind(
+        "cuda",
+        "work_gpu",
+        PhaseShiftCostModel([
+            (FixedCostModel(FAST_GPU), FLIP_AFTER),
+            (FixedCostModel(SLOW_GPU), 0),
+        ]),
+    )
+    # throttle the master so placement decisions spread over simulated
+    # time instead of all happening at submission
+    config = RuntimeConfig(max_in_flight_tasks=8)
+    rt = OmpSsRuntime(m, "versioning", config=config)
+    with rt:
+        for i in range(n_tasks):
+            work(region(("a", i)), region(("b", i)))
+    return rt.result()
+
+
+def _version_share(records, version_name):
+    return sum(1 for r in records if r.label == version_name) / len(records)
+
+
+class TestPhaseShiftAdaptation:
+    def test_version_mix_follows_the_cost_flip(self):
+        res = _run()
+        assert res.tasks_completed == 200
+
+        counts = res.version_counts["work_smp"]
+        # both implementations execute a substantial share of the run
+        assert counts.get("work_gpu", 0) >= 40
+        assert counts.get("work_smp", 0) >= 40
+
+        tasks = sorted((r for r in res.trace if r.category == "task"),
+                       key=lambda r: (r.start, r.worker))
+        early, late = tasks[:40], tasks[-40:]
+        # while the GPU is fast it dominates; after the flip the
+        # scheduler routes new work to the SMP version instead
+        assert _version_share(early, "work_gpu") > 0.5
+        assert _version_share(late, "work_smp") > 0.5
+
+    def test_adaptation_is_deterministic(self):
+        a = _run()
+        b = _run()
+        assert a.trace == b.trace
+        assert a.version_counts == b.version_counts

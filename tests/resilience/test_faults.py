@@ -1,0 +1,119 @@
+"""Unit tests for the deterministic fault-plan machinery."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultPlan,
+    TaskFaultRule,
+    TransferFaultRule,
+    WorkerFailure,
+)
+
+
+class TestRuleValidation:
+    def test_task_rule_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="never fire"):
+            TaskFaultRule(worker="gpu0")
+
+    def test_task_rule_rejects_zero_start_index(self):
+        with pytest.raises(ValueError, match="1-based"):
+            TaskFaultRule(at_starts=(0,))
+
+    def test_task_rule_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            TaskFaultRule(probability=1.5)
+
+    def test_task_rule_rejects_bad_work_fraction(self):
+        with pytest.raises(ValueError, match="work_fraction"):
+            TaskFaultRule(at_starts=(1,), work_fraction=0.0)
+
+    def test_transfer_rule_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="never fire"):
+            TransferFaultRule(src="host")
+
+    def test_worker_failure_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkerFailure("gpu0", -1.0)
+
+    def test_plan_rejects_duplicate_worker_failure(self):
+        with pytest.raises(ValueError, match="twice"):
+            FaultPlan(worker_failures=[WorkerFailure("gpu0", 1.0),
+                                       WorkerFailure("gpu0", 2.0)])
+
+    def test_plan_normalises_lists_to_tuples(self):
+        plan = FaultPlan(task_faults=[TaskFaultRule(at_starts=[2])])
+        assert plan.task_faults[0].at_starts == (2,)
+
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(worker_failures=[WorkerFailure("gpu0", 1.0)]).empty
+
+
+class TestTaskFaultMatching:
+    def test_at_starts_counts_matching_starts_only(self):
+        plan = FaultPlan(task_faults=[
+            TaskFaultRule(worker="gpu0", kernel="k", at_starts=(2,)),
+        ])
+        inj = plan.injector()
+        # non-matching starts do not advance the rule's counter
+        assert inj.task_fault("w:smp0", "smp0", "k") is None
+        assert inj.task_fault("w:gpu0", "gpu0", "other") is None
+        # first matching start: clean; second: faults
+        assert inj.task_fault("w:gpu0", "gpu0", "k") is None
+        assert inj.task_fault("w:gpu0", "gpu0", "k") == pytest.approx(0.5)
+        assert inj.task_fault("w:gpu0", "gpu0", "k") is None
+
+    def test_worker_matches_device_or_worker_name(self):
+        plan = FaultPlan(task_faults=[TaskFaultRule(worker="w:gpu0", at_starts=(1,))])
+        inj = plan.injector()
+        assert inj.task_fault("w:gpu0", "gpu0", "k") is not None
+
+    def test_wildcards_match_everything(self):
+        plan = FaultPlan(task_faults=[TaskFaultRule(at_starts=(1, 2))])
+        inj = plan.injector()
+        assert inj.task_fault("w:a", "a", "x") is not None
+        assert inj.task_fault("w:b", "b", "y") is not None
+        assert inj.task_fault("w:c", "c", "z") is None
+
+    def test_work_fraction_returned(self):
+        plan = FaultPlan(task_faults=[
+            TaskFaultRule(at_starts=(1,), work_fraction=0.25),
+        ])
+        assert plan.injector().task_fault("w", "d", "k") == pytest.approx(0.25)
+
+    def test_probabilistic_faults_are_deterministic(self):
+        plan = FaultPlan(seed=7, task_faults=[TaskFaultRule(probability=0.3)])
+        inj1, inj2 = plan.injector(), plan.injector()
+        seq1 = [inj1.task_fault("w", "d", "k") is not None for _ in range(50)]
+        seq2 = [inj2.task_fault("w", "d", "k") is not None for _ in range(50)]
+        assert seq1 == seq2
+        assert any(seq1) and not all(seq1)
+
+    def test_different_seeds_differ(self):
+        def seq(seed):
+            plan = FaultPlan(seed=seed,
+                             task_faults=[TaskFaultRule(probability=0.5)])
+            inj = plan.injector()
+            return [inj.task_fault("w", "d", "k") is not None for _ in range(64)]
+
+        assert seq(1) != seq(2)
+
+
+class TestTransferFaultMatching:
+    def test_at_attempts_counts_per_link(self):
+        plan = FaultPlan(transfer_faults=[TransferFaultRule(at_attempts=(1,))])
+        inj = plan.injector()
+        # each directed link has its own attempt counter
+        assert inj.transfer_fault("host", "gpu0") is True
+        assert inj.transfer_fault("host", "gpu0") is False
+        assert inj.transfer_fault("host", "gpu1") is True
+        assert inj.transfer_fault("gpu0", "host") is True
+
+    def test_src_dst_filters(self):
+        plan = FaultPlan(transfer_faults=[
+            TransferFaultRule(src="host", dst="gpu0", at_attempts=(1,)),
+        ])
+        inj = plan.injector()
+        assert inj.transfer_fault("host", "gpu1") is False
+        assert inj.transfer_fault("gpu0", "host") is False
+        assert inj.transfer_fault("host", "gpu0") is True

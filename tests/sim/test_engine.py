@@ -138,6 +138,51 @@ class TestRunControl:
         with pytest.raises(RuntimeError, match="max_events"):
             eng.run(max_events=50)
 
+    def test_max_events_executes_exactly_the_limit(self):
+        # regression: the guard used to fire only after N+1 executions
+        eng = SimEngine()
+        fired = []
+
+        def resubmit():
+            fired.append(eng.now)
+            eng.schedule_after(1.0, resubmit)
+
+        eng.schedule(0.0, resubmit)
+        with pytest.raises(RuntimeError, match="max_events"):
+            eng.run(max_events=50)
+        assert len(fired) == 50
+
+    def test_max_events_zero_executes_nothing(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        with pytest.raises(RuntimeError, match="max_events"):
+            eng.run(max_events=0)
+        assert fired == []
+        assert eng.now == 0.0
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        # regression: an empty queue used to leave ``now`` behind
+        eng = SimEngine()
+        assert eng.run(until=5.0) == 0
+        assert eng.now == 5.0
+
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        eng = SimEngine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.run(until=5.0)
+        assert fired == [1]
+        assert eng.now == 5.0
+
+    def test_run_until_never_rewinds_the_clock(self):
+        eng = SimEngine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        assert eng.now == 5.0
+        eng.run(until=3.0)
+        assert eng.now == 5.0
+
     def test_run_not_reentrant(self):
         eng = SimEngine()
         err = []
