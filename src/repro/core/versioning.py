@@ -103,6 +103,9 @@ class VersioningScheduler(Scheduler):
         # diagnostics for tests/benches
         self.learning_dispatches = 0
         self.reliable_dispatches = 0
+        # per-(task name, size-group key) dispatch counters, consumed by
+        # the trace sanitizer's λ-consistency check (SAN-T005)
+        self.group_dispatches: dict[tuple, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     def bind(self, runtime) -> None:  # type: ignore[override]
@@ -216,10 +219,15 @@ class VersioningScheduler(Scheduler):
                     self._busy_est[worker.name] += est_value
                     self._est_by_uid[t.uid] = est_value
                     group.note_assigned(version.name)
+                    counters = self.group_dispatches.setdefault(
+                        gkey, {"learning": 0, "reliable": 0}
+                    )
                     if learning:
                         self.learning_dispatches += 1
+                        counters["learning"] += 1
                     else:
                         self.reliable_dispatches += 1
+                        counters["reliable"] += 1
                     self.rt.dispatch(t, worker, version)
                     placed = True
                     break

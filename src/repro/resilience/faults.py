@@ -28,7 +28,7 @@ per-run mutable counters/RNGs so one plan can drive many runs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 

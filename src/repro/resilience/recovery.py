@@ -31,7 +31,7 @@ recovery behaviour is exactly reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.resilience.faults import FaultPlan

@@ -13,8 +13,10 @@ it yields a DAG whose edges the runtime uses to release ready tasks.
 
 The graph also performs an optional aliasing check: two *distinct*
 regions whose address intervals overlap would make dependence tracking
-unsound, so the builder can reject them (OmpSs leaves this undefined;
-rejecting loudly is kinder).
+unsound.  ``alias_policy`` selects what happens then: ``"off"`` ignores
+it, ``"report"`` records a sanitizer diagnostic (``SAN-R003``) carrying
+the task names and region intervals, ``"reject"`` raises immediately
+(OmpSs leaves this undefined; failing loudly is kinder).
 """
 
 from __future__ import annotations
@@ -53,15 +55,28 @@ class _RegionHistory:
 class DependenceGraph:
     """Builds and tracks the task DAG as tasks are submitted and retire."""
 
-    def __init__(self, *, check_aliasing: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        check_aliasing: bool = False,
+        alias_policy: Optional[str] = None,
+    ) -> None:
         self._history: dict[Hashable, _RegionHistory] = {}
         self._tasks: dict[int, TaskInstance] = {}
         self._edges: list[DepEdge] = []
         self._unfinished: set[int] = set()
-        self._check_aliasing = check_aliasing
+        if alias_policy is None:
+            alias_policy = "reject" if check_aliasing else "off"
+        if alias_policy not in ("off", "report", "reject"):
+            raise ValueError(f"unknown alias_policy {alias_policy!r}")
+        self.alias_policy = alias_policy
         # interval index for the aliasing check: sorted list of
-        # (base, end, key) for regions that carry address info.
+        # (base, end, key) for regions that carry address info, plus the
+        # label of the task that introduced each region (for reporting).
         self._intervals: list[tuple[int, int, Hashable]] = []
+        self._interval_owner: dict[Hashable, str] = {}
+        #: SAN-R003 findings collected under ``alias_policy="report"``
+        self.alias_diagnostics: list = []
 
     # ------------------------------------------------------------------
     # Submission
@@ -81,8 +96,8 @@ class DependenceGraph:
         preds: dict[int, DepEdge] = {}
         for acc in t.accesses:
             region = acc.region
-            if self._check_aliasing:
-                self._check_alias(region)
+            if self.alias_policy != "off":
+                self._check_alias(region, t)
             hist = self._history.get(region.key)
             if hist is None:
                 hist = _RegionHistory()
@@ -131,8 +146,10 @@ class DependenceGraph:
         if prev is None or order[kind] < order[prev.kind]:
             preds[src.uid] = DepEdge(src.uid, dst.uid, kind, region)
 
-    def _check_alias(self, region: DataRegion) -> None:
-        if region.base is None or region.length is None or region.key in self._history:
+    def _check_alias(self, region: DataRegion, t: TaskInstance) -> None:
+        if region.base is None or region.length is None:
+            return
+        if region.key in self._interval_owner:
             return
         start, end = region.base, region.base + region.length
         i = bisect.bisect_left(self._intervals, (start, start, None))
@@ -141,12 +158,35 @@ class DependenceGraph:
             if 0 <= j < len(self._intervals):
                 b0, b1, key = self._intervals[j]
                 if key != region.key and b0 < end and start < b1:
-                    raise ValueError(
-                        f"region {region.label!r} [{start:#x},{end:#x}) partially "
-                        f"overlaps an existing distinct region [{b0:#x},{b1:#x}); "
-                        "dependence tracking over aliased regions is unsupported"
-                    )
+                    self._alias_found(region, t, (b0, b1, key))
         bisect.insort(self._intervals, (start, end, region.key))
+        self._interval_owner[region.key] = t.label
+
+    def _alias_found(
+        self, region: DataRegion, t: TaskInstance, other: tuple[int, int, Hashable]
+    ) -> None:
+        b0, b1, key = other
+        start, end = region.base, region.base + region.length  # type: ignore[operator]
+        owner = self._interval_owner.get(key, "<unknown task>")
+        message = (
+            f"region {region.label!r} [{start:#x},{end:#x}) of task {t.label!r} "
+            f"partially overlaps distinct region [{b0:#x},{b1:#x}) first used "
+            f"by task {owner!r}; dependence tracking over aliased regions is "
+            "unsound"
+        )
+        if self.alias_policy == "reject":
+            raise ValueError(message)
+        from repro.sanitizer.diagnostics import Diagnostic
+
+        self.alias_diagnostics.append(
+            Diagnostic(
+                code="SAN-R003",
+                message=message,
+                task=t.label,
+                region=region.label,
+                meta=((start, end), (b0, b1), owner),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Retirement
@@ -180,6 +220,10 @@ class DependenceGraph:
 
     def task(self, uid: int) -> TaskInstance:
         return self._tasks[uid]
+
+    def tasks(self) -> list[TaskInstance]:
+        """All registered tasks in submission (uid) order."""
+        return [self._tasks[uid] for uid in sorted(self._tasks)]
 
     def edge_counts(self) -> dict[DepKind, int]:
         out = {k: 0 for k in DepKind}

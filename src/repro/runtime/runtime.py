@@ -72,6 +72,16 @@ class RuntimeConfig:
     flush_on_wait: bool = True
     execute_bodies: bool = True
     check_aliasing: bool = False
+    #: Aliasing policy for the dependence graph: ``None`` derives it
+    #: from ``check_aliasing`` ("reject" vs "off"); "report" collects
+    #: SAN-R003 sanitizer diagnostics instead of raising.
+    alias_policy: Optional[str] = None
+    #: Run task bodies under the sanitizer's access recorder: actual
+    #: reads/writes are diffed against the declared clauses and exposed
+    #: through ``RunResult.race_diagnostics()`` / ``validate()``.
+    #: Implies nothing unless ``execute_bodies`` is on and kernels are
+    #: real NumPy code.
+    record_accesses: bool = False
     max_events: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -104,6 +114,19 @@ class RunResult:
     trace: Trace
     finish_order: list[int]
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: live run internals for the sanitizer (excluded from equality so
+    #: determinism tests keep comparing results by observable outcome)
+    graph: Optional[DependenceGraph] = field(
+        default=None, repr=False, compare=False
+    )
+    workers: list[Worker] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    scheduler_state: Any = field(default=None, repr=False, compare=False)
+    recorder: Any = field(default=None, repr=False, compare=False)
+    local_ids: dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def version_fractions(self, task_name: str) -> dict[str, float]:
         """Share of executions per version of one task (Figures 8/11/14/15)."""
@@ -118,6 +141,36 @@ class RunResult:
         if self.makespan <= 0:
             return 0.0
         return total_flops / self.makespan / 1e9
+
+    # -- sanitizer entry points ----------------------------------------
+    def validate(self, *, strict: bool = True) -> list:
+        """Run every applicable sanitizer check over this result.
+
+        Covers the trace invariants (SAN-T*), the aliasing findings
+        collected by the dependence graph (SAN-R003) and — when the run
+        recorded accesses — the declared-vs-actual diff and
+        happens-before analysis (SAN-R001/R002/R010).  With ``strict``
+        (the default) error-severity findings raise
+        :class:`repro.sanitizer.SanitizerError`; otherwise the list of
+        diagnostics is returned for inspection.
+        """
+        from repro.sanitizer import validate_run
+        from repro.sanitizer.diagnostics import raise_if_errors
+
+        diags = validate_run(self)
+        if strict:
+            raise_if_errors(diags)
+        return diags
+
+    def race_diagnostics(self) -> list:
+        """Dynamic-race findings of this run (requires ``record_accesses``)."""
+        from repro.sanitizer.races import check_happens_before
+
+        out = list(self.recorder.diagnostics()) if self.recorder is not None else []
+        if self.graph is not None:
+            out.extend(self.graph.alias_diagnostics)
+            out.extend(check_happens_before(self.graph, recorder=self.recorder))
+        return out
 
 
 class OmpSsRuntime:
@@ -156,7 +209,15 @@ class OmpSsRuntime:
             resilience=self.resilience,
         )
         self.cache = CacheManager(machine, self.directory, self.transfer_engine)
-        self.graph = DependenceGraph(check_aliasing=self.config.check_aliasing)
+        self.graph = DependenceGraph(
+            check_aliasing=self.config.check_aliasing,
+            alias_policy=self.config.alias_policy,
+        )
+        self.recorder = None
+        if self.config.record_accesses:
+            from repro.sanitizer.races import AccessRecorder
+
+            self.recorder = AccessRecorder()
         self.workers: list[Worker] = [Worker(d) for d in machine.devices]
         self._workers_by_name = {w.name: w for w in self.workers}
 
@@ -301,6 +362,11 @@ class OmpSsRuntime:
             trace=self.trace,
             finish_order=list(self._finish_order),
             resilience=self.resilience.stats,
+            graph=self.graph,
+            workers=list(self.workers),
+            scheduler_state=self.scheduler,
+            recorder=self.recorder,
+            local_ids=dict(self._local_ids),
         )
 
     # ------------------------------------------------------------------
@@ -493,7 +559,10 @@ class OmpSsRuntime:
         t.state = TaskState.FINISHED
         t.end_time = now
         if self.config.execute_bodies:
-            t.execute_body()
+            if self.recorder is not None:
+                self.recorder.run_task(t)
+            else:
+                t.execute_body()
         assert t.chosen_version is not None
         self.trace.add(
             t.start_time,

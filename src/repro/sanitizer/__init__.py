@@ -1,0 +1,55 @@
+"""Task-graph sanitizer: correctness tooling for the OmpSs reproduction.
+
+Three analyses, one diagnostic model:
+
+* **Static directive lint** (:mod:`repro.sanitizer.lint`, SAN-L*) —
+  AST inspection of ``@task``/``@target`` declarations: clause names
+  missing from the signature, bodies writing inputs-only parameters,
+  duplicate clause entries, ``implements=`` clause-set mismatches.
+* **Dependence-race detection** (:mod:`repro.sanitizer.races`, SAN-R*)
+  — actual reads/writes of executed kernel bodies diffed against the
+  declared clauses, plus a happens-before check over the completed DAG.
+* **Trace invariant checking** (:mod:`repro.sanitizer.invariants`,
+  SAN-T*) — per-worker overlap, dependence ordering, transfer ordering,
+  quarantine/death windows, λ-count consistency, run accounting.
+
+CLI: ``python -m repro.sanitizer [paths...]`` lints a source tree;
+``RunResult.validate()`` covers the dynamic analyses.  Findings carry
+stable codes (see :data:`repro.sanitizer.CODES`); a static finding can
+be waived with a ``# san-ignore: SAN-Lxxx`` comment on the flagged line.
+"""
+
+from repro.sanitizer.diagnostics import (
+    CODES,
+    Diagnostic,
+    SanitizerError,
+    Severity,
+    errors,
+    format_diagnostics,
+    raise_if_errors,
+)
+from repro.sanitizer.invariants import check_run, check_trace, validate_run
+from repro.sanitizer.lint import lint_files, lint_paths
+from repro.sanitizer.races import (
+    AccessRecorder,
+    check_happens_before,
+    declared_vs_actual,
+)
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "SanitizerError",
+    "Severity",
+    "errors",
+    "format_diagnostics",
+    "raise_if_errors",
+    "check_run",
+    "check_trace",
+    "validate_run",
+    "lint_files",
+    "lint_paths",
+    "AccessRecorder",
+    "check_happens_before",
+    "declared_vs_actual",
+]

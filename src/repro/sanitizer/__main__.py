@@ -1,0 +1,73 @@
+"""``python -m repro.sanitizer`` — lint task directives in a source tree.
+
+Exit status: 0 when no error-severity findings, 1 otherwise, 2 on usage
+errors.  ``--list-codes`` documents every diagnostic the sanitizer (CLI
+*and* runtime analyses) can emit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sanitizer.diagnostics import CODES, Severity, format_diagnostics
+from repro.sanitizer.lint import lint_paths
+
+
+def _list_codes() -> str:
+    width = max(len(c) for c in CODES)
+    return "\n".join(f"{code:<{width}}  {desc}" for code, desc in sorted(CODES.items()))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitizer",
+        description="Static directive lint for @task/@target declarations.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories are walked for *.py)",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print every diagnostic code with its meaning and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (findings are still printed)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_codes:
+        print(_list_codes())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-codes)", file=sys.stderr)
+        return 2
+
+    try:
+        diags = lint_paths(args.paths)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if diags:
+        print(format_diagnostics(diags))
+    n_err = sum(1 for d in diags if d.severity is Severity.ERROR)
+    if not args.quiet:
+        n_warn = len(diags) - n_err
+        print(
+            f"sanitizer: {n_err} error(s), {n_warn} warning(s)"
+            if diags
+            else "sanitizer: clean"
+        )
+    return 1 if n_err else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""Diagnostic model shared by every sanitizer analysis.
+
+A :class:`Diagnostic` is one finding: a stable code (``SAN-L001``,
+``SAN-R010``, ...), a severity, a human-readable message and whatever
+location information the producing analysis has — a file/line for the
+static lint, a task/region pair for the dynamic analyses.
+
+The code registry below is the single source of truth for what each
+code means; ``python -m repro.sanitizer --list-codes`` renders it.
+
+This module deliberately imports nothing from the rest of the package so
+runtime modules (e.g. the dependence graph's aliasing check) can create
+diagnostics without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+
+class Severity(Enum):
+    ERROR = "error"      # soundness violation: racy DAG, broken invariant
+    WARNING = "warning"  # suspicious but not provably unsound
+    INFO = "info"        # advisory
+
+    def __lt__(self, other: "Severity") -> bool:  # ERROR sorts first
+        order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return order[self] < order[other]
+
+
+#: Registry of every diagnostic code the sanitizer can emit.
+CODES: dict[str, str] = {
+    # -- static directive lint (SAN-Lxxx) ------------------------------
+    "SAN-L001": "dependence clause names a parameter that is not in the "
+                "task function's signature",
+    "SAN-L002": "parameter is assigned/mutated in the task body but "
+                "declared only in the inputs clause",
+    "SAN-L003": "duplicate or conflicting clause entry (same parameter "
+                "named twice, or by two different clauses)",
+    "SAN-L004": "implements= version declares a clause set that disagrees "
+                "with the main version (Table-I grouping would be unsound)",
+    # -- dynamic dependence-race detection (SAN-Rxxx) ------------------
+    "SAN-R001": "task body wrote a region not declared output/inout "
+                "(task-level data race)",
+    "SAN-R002": "task body read a region not declared input/inout "
+                "(task-level data race)",
+    "SAN-R003": "two distinct regions with overlapping address intervals "
+                "entered the dependence graph (aliasing makes the DAG "
+                "unsound)",
+    "SAN-R010": "two tasks access overlapping regions, at least one "
+                "writes, and no dependence path orders them (CONFIRMED "
+                "race by happens-before analysis)",
+    # -- trace invariant checking (SAN-Txxx) ---------------------------
+    "SAN-T001": "two activity records overlap on one worker (a worker is "
+                "a serial resource)",
+    "SAN-T002": "a task started before one of its dependence "
+                "predecessors finished",
+    "SAN-T003": "an input transfer for a task completed after the "
+                "consuming task had already started",
+    "SAN-T004": "a dead or quarantined worker executed a task",
+    "SAN-T005": "versioning-scheduler λ-count inconsistency: a size "
+                "group received reliable-phase dispatches although some "
+                "version has fewer than λ recorded executions",
+    "SAN-T006": "run accounting mismatch (completed-task counters, trace "
+                "records and finish order disagree)",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One sanitizer finding."""
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    #: static-lint location
+    file: Optional[str] = None
+    line: Optional[int] = None
+    #: dynamic-analysis location
+    task: Optional[str] = None
+    region: Optional[str] = None
+    worker: Optional[str] = None
+    #: free-form extras (e.g. the missing clause kind for SAN-R001/2)
+    meta: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def location(self) -> str:
+        if self.file is not None:
+            line = "?" if self.line is None else str(self.line)
+            return f"{self.file}:{line}"
+        parts = [p for p in (self.task, self.region, self.worker) if p]
+        return " ".join(parts) if parts else "<run>"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.severity.value} {self.code}: {self.message}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+class SanitizerError(AssertionError):
+    """Raised by strict validation when error-severity findings exist.
+
+    Subclasses :class:`AssertionError` so existing test idioms
+    (``pytest.raises(AssertionError)``) treat sanitizer failures like
+    any other broken invariant.
+    """
+
+    def __init__(self, diagnostics: "list[Diagnostic]") -> None:
+        self.diagnostics = diagnostics
+        lines = [d.render() for d in diagnostics]
+        super().__init__(
+            f"{len(diagnostics)} sanitizer finding(s):\n" + "\n".join(lines)
+        )
+
+
+def errors(diags: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """The error-severity subset of ``diags``."""
+    return [d for d in diags if d.severity is Severity.ERROR]
+
+
+def raise_if_errors(diags: Iterable[Diagnostic]) -> None:
+    bad = errors(diags)
+    if bad:
+        raise SanitizerError(bad)
+
+
+def format_diagnostics(diags: "list[Diagnostic]") -> str:
+    """Render findings one per line, most severe first (stable)."""
+    if not diags:
+        return "no findings"
+    ordered = sorted(diags, key=lambda d: (d.severity, d.code, d.location()))
+    return "\n".join(d.render() for d in ordered)

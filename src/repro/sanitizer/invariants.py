@@ -1,0 +1,328 @@
+"""Trace invariant checking (the SAN-T* family).
+
+Two entry points:
+
+* :func:`check_trace` — validates any :class:`~repro.sim.trace.Trace`
+  in isolation: per-worker interval overlap (SAN-T001), optional
+  task-before-dependence ordering given explicit dependence pairs
+  (SAN-T002), and quarantined/dead-worker execution (SAN-T004, windows
+  derived from the trace's own ``quarantine``/``readmit``/
+  ``worker-down`` records).  Usable on hand-built traces in tests.
+
+* :func:`check_run` — validates a full :class:`RunResult`: everything
+  above with dependence pairs derived from the run's DAG, plus
+  transfer-completes-before-consumer-starts (SAN-T003), the versioning
+  scheduler's λ-count consistency (SAN-T005) and run accounting
+  (SAN-T006).
+
+All comparisons tolerate ``eps`` of floating-point noise; the simulated
+clock is exact event times, so violations found here are real logic
+errors, not rounding.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.sanitizer.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import RunResult
+    from repro.sim.trace import Trace, TraceRecord
+
+_EPS = 1e-9
+
+#: categories that occupy a worker exclusively (serial resource)
+_BUSY_CATEGORIES = ("task", "fault", "aborted")
+
+
+def _task_records(trace: "Trace") -> dict[int, "TraceRecord"]:
+    """Map run-local task sequence number -> its completion record."""
+    out: dict[int, "TraceRecord"] = {}
+    for r in trace.by_category("task"):
+        if r.meta:
+            out[r.meta[0]] = r
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN-T001 — per-worker interval overlap
+# ----------------------------------------------------------------------
+def _check_overlaps(trace: "Trace", eps: float) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for worker in trace.workers():
+        if worker.startswith("link:"):
+            continue  # DMA channels pipeline; links are checked elsewhere
+        recs = sorted(
+            (
+                r
+                for r in trace
+                if r.worker == worker and r.category in _BUSY_CATEGORIES
+            ),
+            key=lambda r: (r.start, r.end),
+        )
+        for a, b in zip(recs, recs[1:]):
+            if b.start < a.end - eps:
+                out.append(Diagnostic(
+                    code="SAN-T001",
+                    message=(
+                        f"worker {worker!r} runs two activities at once: "
+                        f"{a.category} {a.label!r} [{a.start:.6g},{a.end:.6g}] "
+                        f"overlaps {b.category} {b.label!r} "
+                        f"[{b.start:.6g},{b.end:.6g}]"
+                    ),
+                    worker=worker,
+                    task=b.label,
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN-T002 — task starts before a dependence predecessor finishes
+# ----------------------------------------------------------------------
+def _check_dependence_order(
+    trace: "Trace", deps: Iterable[tuple[int, int]], eps: float
+) -> list[Diagnostic]:
+    records = _task_records(trace)
+    out: list[Diagnostic] = []
+    seen: set[tuple[int, int]] = set()
+    for pred, succ in deps:
+        if (pred, succ) in seen:
+            continue
+        seen.add((pred, succ))
+        a, b = records.get(pred), records.get(succ)
+        if a is None or b is None:
+            continue  # one side never completed (aborted run)
+        if b.start < a.end - eps:
+            out.append(Diagnostic(
+                code="SAN-T002",
+                message=(
+                    f"task #{succ} ({b.label!r} on {b.worker}) started at "
+                    f"{b.start:.6g} before its dependence predecessor "
+                    f"#{pred} ({a.label!r} on {a.worker}) finished at "
+                    f"{a.end:.6g}"
+                ),
+                task=b.label,
+                worker=b.worker,
+                meta=(pred, succ),
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN-T004 — dead/quarantined workers executing tasks
+# ----------------------------------------------------------------------
+def _check_worker_windows(trace: "Trace", eps: float) -> list[Diagnostic]:
+    # closed-off windows per worker: [start, end) during which no task
+    # may *start*; inf = permanently down
+    windows: dict[str, list[tuple[float, float, str]]] = {}
+    open_quarantine: dict[str, float] = {}
+    for r in trace.sorted():
+        if r.category == "quarantine":
+            open_quarantine[r.worker] = r.start
+        elif r.category == "readmit":
+            q = open_quarantine.pop(r.worker, None)
+            if q is not None:
+                windows.setdefault(r.worker, []).append((q, r.start, "quarantined"))
+        elif r.category == "worker-down":
+            windows.setdefault(r.worker, []).append((r.start, float("inf"), "dead"))
+    for worker, q in open_quarantine.items():
+        windows.setdefault(worker, []).append((q, float("inf"), "quarantined"))
+
+    out: list[Diagnostic] = []
+    for r in trace.by_category("task"):
+        for w0, w1, state in windows.get(r.worker, ()):
+            if w0 - eps < r.start < w1 - eps:
+                out.append(Diagnostic(
+                    code="SAN-T004",
+                    message=(
+                        f"task {r.label!r} started at {r.start:.6g} on worker "
+                        f"{r.worker!r} while it was {state} "
+                        f"(window [{w0:.6g},{'∞' if w1 == float('inf') else f'{w1:.6g}'}))"
+                    ),
+                    worker=r.worker,
+                    task=r.label,
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+def check_trace(
+    trace: "Trace",
+    *,
+    deps: Optional[Iterable[tuple[int, int]]] = None,
+    eps: float = _EPS,
+) -> list[Diagnostic]:
+    """Validate a trace in isolation.
+
+    ``deps`` is an optional iterable of ``(pred_seq, succ_seq)`` pairs —
+    run-local task sequence numbers (``meta[0]`` of task records) where
+    the predecessor must finish before the successor starts.
+    """
+    out = _check_overlaps(trace, eps)
+    if deps is not None:
+        out.extend(_check_dependence_order(trace, deps, eps))
+    out.extend(_check_worker_windows(trace, eps))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN-T003 — input transfer completes after its consumer started
+# ----------------------------------------------------------------------
+def _check_transfer_order(result: "RunResult", eps: float) -> list[Diagnostic]:
+    from repro.runtime.task import TaskState
+
+    graph = result.graph
+    if graph is None:
+        return []
+    space_of = {w.name: w.space for w in result.workers}
+    # transfers grouped by (destination space, region label)
+    transfers: dict[tuple[str, str], list] = {}
+    for r in result.trace.by_category("transfer"):
+        if not r.worker.startswith("link:") or "->" not in r.worker:
+            continue
+        dst = r.worker.split("->", 1)[1]
+        transfers.setdefault((dst, r.label), []).append(r)
+
+    out: list[Diagnostic] = []
+    for t in graph.tasks():
+        if t.state is not TaskState.FINISHED or t.chosen_worker is None:
+            continue
+        space = space_of.get(t.chosen_worker)
+        if space is None:
+            continue
+        for region in {a.region.key: a.region for a in t.accesses if a.reads}.values():
+            for rec in transfers.get((space, region.label), ()):
+                # a copy already in flight at task start must have been
+                # waited for; one issued later belongs to a later consumer
+                if rec.start < t.start_time - eps and rec.end > t.start_time + eps:
+                    out.append(Diagnostic(
+                        code="SAN-T003",
+                        message=(
+                            f"input transfer of {region.label!r} into "
+                            f"{space!r} completed at {rec.end:.6g}, after "
+                            f"consumer {t.label!r} started at "
+                            f"{t.start_time:.6g}"
+                        ),
+                        task=t.label,
+                        region=region.label,
+                        worker=t.chosen_worker,
+                    ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN-T005 — versioning λ-count consistency
+# ----------------------------------------------------------------------
+def _check_lambda_counts(result: "RunResult") -> list[Diagnostic]:
+    sched = result.scheduler_state
+    table = getattr(sched, "table", None)
+    dispatches = getattr(sched, "group_dispatches", None)
+    lam = getattr(sched, "lam", None)
+    if table is None or dispatches is None or lam is None or result.graph is None:
+        return []
+    # a mid-run change of the runnable-version set (dead or quarantined
+    # worker) legitimately lets a group graduate with an under-sampled
+    # version; the invariant is only sharp on fault-free runs
+    if any(not w.alive or w.quarantined_until is not None for w in result.workers):
+        return []
+    if getattr(result.resilience, "quarantines", 0):
+        return []
+
+    defs = {t.name: t.definition for t in result.graph.tasks()}
+    kinds = {k for w in result.workers for k in (w.device.kind,)}
+    out: list[Diagnostic] = []
+    for (task_name, size_key), counters in sorted(
+        dispatches.items(), key=lambda kv: (kv[0][0], repr(kv[0][1]))
+    ):
+        if counters.get("reliable", 0) == 0:
+            continue
+        definition = defs.get(task_name)
+        if definition is None:
+            continue
+        names = [
+            v.name
+            for v in definition.versions
+            if any(k in kinds for k in v.device_kinds)
+        ]
+        group = None
+        for g in table.version_set(task_name).groups():
+            if g.size_key == size_key:
+                group = g
+                break
+        if group is None:
+            continue
+        short = [n for n in names if group.executions(n) < lam]
+        if short:
+            detail = ", ".join(
+                f"{n}: {group.executions(n)}" for n in short
+            )
+            out.append(Diagnostic(
+                code="SAN-T005",
+                message=(
+                    f"task {task_name!r} size group {size_key!r} received "
+                    f"{counters['reliable']} reliable-phase dispatch(es) "
+                    f"but version(s) have fewer than λ={lam} executions "
+                    f"({detail})"
+                ),
+                task=task_name,
+                meta=(size_key, tuple(short)),
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN-T006 — run accounting
+# ----------------------------------------------------------------------
+def _check_accounting(result: "RunResult") -> list[Diagnostic]:
+    n_records = len(result.trace.by_category("task"))
+    n_finish = len(result.finish_order)
+    n_done = result.tasks_completed
+    n_worker = int(sum(s.get("tasks_run", 0) for s in result.worker_stats.values()))
+    counts = {
+        "tasks_completed": n_done,
+        "finish_order": n_finish,
+        "task trace records": n_records,
+        "worker tasks_run": n_worker,
+    }
+    if len(set(counts.values())) > 1:
+        detail = ", ".join(f"{k}={v}" for k, v in counts.items())
+        return [Diagnostic(
+            code="SAN-T006",
+            message=f"run accounting mismatch: {detail}",
+            meta=(n_done, n_finish, n_records, n_worker),
+        )]
+    return []
+
+
+# ----------------------------------------------------------------------
+def check_run(result: "RunResult", *, eps: float = _EPS) -> list[Diagnostic]:
+    """All trace invariants of one finished run (SAN-T001..T006)."""
+    deps: list[tuple[int, int]] = []
+    if result.graph is not None and result.local_ids:
+        ids = result.local_ids
+        for e in result.graph.edges:
+            if e.src in ids and e.dst in ids:
+                deps.append((ids[e.src], ids[e.dst]))
+    out = check_trace(result.trace, deps=deps, eps=eps)
+    out.extend(_check_transfer_order(result, eps))
+    out.extend(_check_lambda_counts(result))
+    out.extend(_check_accounting(result))
+    return out
+
+
+def validate_run(result: "RunResult") -> list[Diagnostic]:
+    """Every applicable sanitizer check over one run: trace invariants,
+    aliasing findings and (when recorded) dynamic race analysis."""
+    out = check_run(result)
+    if result.graph is not None:
+        out.extend(result.graph.alias_diagnostics)
+        if result.recorder is not None:
+            out.extend(result.recorder.diagnostics())
+        from repro.sanitizer.races import check_happens_before
+
+        out.extend(check_happens_before(result.graph, recorder=result.recorder))
+    return out
+
+
+__all__ = ["check_trace", "check_run", "validate_run"]

@@ -92,19 +92,33 @@ class Trace:
             if r.worker == worker and (category is None or r.category == category)
         )
 
-    def check_no_overlap(self, category: str = "task") -> None:
-        """Raise :class:`AssertionError` if any worker runs two records
-        of ``category`` at once — a worker is a serial resource."""
+    def overlap_pairs(
+        self, category: str = "task"
+    ) -> list[tuple[TraceRecord, TraceRecord]]:
+        """All pairs of same-worker records of ``category`` that overlap
+        in time.  A worker is a serial resource, so a non-empty result
+        means the trace is broken; the sanitizer reports each pair as
+        ``SAN-T001``."""
+        out: list[tuple[TraceRecord, TraceRecord]] = []
         for worker in self.workers():
             recs = sorted(
                 (r for r in self._records if r.worker == worker and r.category == category),
-                key=lambda r: r.start,
+                key=lambda r: (r.start, r.end),
             )
             for a, b in zip(recs, recs[1:]):
                 if b.start < a.end - 1e-12:
-                    raise AssertionError(
-                        f"overlapping {category} records on {worker}: {a} overlaps {b}"
-                    )
+                    out.append((a, b))
+        return out
+
+    def check_no_overlap(self, category: str = "task") -> None:
+        """Raise :class:`AssertionError` if any worker runs two records
+        of ``category`` at once — a worker is a serial resource."""
+        pairs = self.overlap_pairs(category)
+        if pairs:
+            a, b = pairs[0]
+            raise AssertionError(
+                f"overlapping {category} records on {a.worker}: {a} overlaps {b}"
+            )
 
     # ------------------------------------------------------------------
     def gantt(self, width: int = 80, category: str = "task") -> str:

@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro.sanitizer`` CLI."""
+
+import pathlib
+import subprocess
+import sys
+
+import repro
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+
+def run_cli(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.sanitizer", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or str(REPO_ROOT),
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        proc = run_cli("examples/", "src/repro/apps/")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_findings_exit_one(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text('''
+from repro.runtime.directives import task
+
+@task(inputs=["a", "missing"], outputs=["b"])
+def f(a, b):
+    b[:] = a
+''')
+        proc = run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "SAN-L001" in proc.stdout
+        assert "missing" in proc.stdout
+
+    def test_list_codes(self):
+        proc = run_cli("--list-codes")
+        assert proc.returncode == 0
+        for code in ("SAN-L001", "SAN-R001", "SAN-R010", "SAN-T001", "SAN-T005"):
+            assert code in proc.stdout
+
+    def test_no_paths_is_usage_error(self):
+        proc = run_cli()
+        assert proc.returncode == 2
+
+    def test_directory_walk_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("this is ( not python")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        proc = run_cli(str(tmp_path))
+        assert proc.returncode == 0

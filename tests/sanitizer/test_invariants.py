@@ -1,0 +1,194 @@
+"""Tests for the trace invariant checker (SAN-T*)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.directives import target, task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sanitizer import SanitizerError, check_run, check_trace
+from repro.sim.perfmodel import AffineBytesCostModel
+from repro.sim.topology import minotauro_node
+from repro.sim.trace import Trace
+
+ALL_SCHEDULERS = ["breadth-first", "dependency-aware", "affinity", "versioning"]
+
+
+def saxpy_run(scheduler, *, n_tasks=40, n_smp=4, n_gpus=2, seed=7):
+    """A seeded mixed-device run with real dependences and transfers."""
+    registry = {}
+
+    @target(device="smp")
+    @task(inputs=["a"], inouts=["b"], registry=registry)
+    def saxpy(a, b):
+        b += 2.0 * a
+
+    @target(device="cuda", implements=saxpy)
+    @task(inputs=["a"], inouts=["b"], registry=registry)
+    def saxpy_cuda(a, b):
+        b += 2.0 * a
+
+    m = minotauro_node(n_smp, n_gpus, noise_cv=0.05, seed=seed)
+    m.register_kernel_for_kind("smp", "saxpy", AffineBytesCostModel(0.0, 1e9))
+    m.register_kernel_for_kind(
+        "cuda", "saxpy_cuda", AffineBytesCostModel(10e-6, 20e9)
+    )
+    rt = OmpSsRuntime(m, scheduler)
+    a = np.ones(1 << 12)
+    bs = [np.zeros(1 << 12) for _ in range(n_tasks)]
+    with rt:
+        for b in bs:
+            saxpy(a, b)
+        # chain a second wave onto the same arrays: real RAW edges
+        for b in bs[: n_tasks // 2]:
+            saxpy(a, b)
+    return rt.result()
+
+
+class TestCleanRunsValidate:
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    def test_seeded_run_passes_validation(self, scheduler):
+        res = saxpy_run(scheduler)
+        assert res.validate() == []
+
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    def test_check_run_directly(self, scheduler):
+        res = saxpy_run(scheduler, n_tasks=12, seed=11)
+        assert check_run(res) == []
+
+
+class TestCorruptedTraces:
+    def test_worker_overlap_is_t001(self):
+        bad = Trace()
+        bad.add(0.0, 2.0, "w:cpu0", "task", "t1", meta=(1,))
+        bad.add(1.0, 3.0, "w:cpu0", "task", "t2", meta=(2,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T001"]
+        assert diags[0].worker == "w:cpu0"
+
+    def test_task_before_dependence_is_t002(self):
+        bad = Trace()
+        bad.add(0.0, 2.0, "w:cpu0", "task", "producer", meta=(1,))
+        bad.add(0.5, 1.5, "w:cpu1", "task", "consumer", meta=(2,))
+        diags = check_trace(bad, deps=[(1, 2)])
+        assert [d.code for d in diags] == ["SAN-T002"]
+        assert "consumer" in diags[0].message
+        assert "producer" in diags[0].message
+
+    def test_both_corruptions_reported_together(self):
+        bad = Trace()
+        bad.add(0.0, 2.0, "w:cpu0", "task", "t1", meta=(1,))
+        bad.add(1.0, 3.0, "w:cpu0", "task", "t2", meta=(2,))
+        bad.add(0.5, 1.5, "w:cpu1", "task", "t3", meta=(3,))
+        diags = check_trace(bad, deps=[(1, 3)])
+        assert sorted(d.code for d in diags) == ["SAN-T001", "SAN-T002"]
+
+    def test_clean_hand_trace_passes(self):
+        ok = Trace()
+        ok.add(0.0, 1.0, "w:cpu0", "task", "t1", meta=(1,))
+        ok.add(1.0, 2.0, "w:cpu1", "task", "t2", meta=(2,))
+        assert check_trace(ok, deps=[(1, 2)]) == []
+
+    def test_back_to_back_records_are_not_overlap(self):
+        ok = Trace()
+        ok.add(0.0, 1.0, "w:cpu0", "task", "t1", meta=(1,))
+        ok.add(1.0, 2.0, "w:cpu0", "task", "t2", meta=(2,))
+        assert check_trace(ok) == []
+
+
+class TestWorkerWindows:
+    def test_task_on_quarantined_worker_is_t004(self):
+        bad = Trace()
+        bad.add(1.0, 1.0, "w:gpu0", "quarantine", "cooldown=2")
+        bad.add(2.0, 2.5, "w:gpu0", "task", "t1", meta=(1,))  # inside window
+        bad.add(3.0, 3.0, "w:gpu0", "readmit", "")
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T004"]
+        assert "quarantined" in diags[0].message
+
+    def test_task_starting_at_readmit_is_fine(self):
+        ok = Trace()
+        ok.add(1.0, 1.0, "w:gpu0", "quarantine", "cooldown=2")
+        ok.add(3.0, 3.0, "w:gpu0", "readmit", "")
+        ok.add(3.0, 4.0, "w:gpu0", "task", "t1", meta=(1,))
+        assert check_trace(ok) == []
+
+    def test_task_on_dead_worker_is_t004(self):
+        bad = Trace()
+        bad.add(1.0, 1.0, "w:gpu0", "worker-down", "gpu0")
+        bad.add(5.0, 6.0, "w:gpu0", "task", "zombie", meta=(1,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T004"]
+        assert "dead" in diags[0].message
+
+    def test_task_before_death_is_fine(self):
+        ok = Trace()
+        ok.add(0.0, 1.0, "w:gpu0", "task", "t1", meta=(1,))
+        ok.add(2.0, 2.0, "w:gpu0", "worker-down", "gpu0")
+        assert check_trace(ok) == []
+
+
+class TestRunLevelInvariants:
+    def test_corrupted_start_time_is_t003(self):
+        """Rewind a GPU consumer's start to before its input transfer."""
+        res = saxpy_run("versioning", n_tasks=16)
+        transfers = res.trace.by_category("transfer")
+        assert transfers, "expected PCIe transfers in a mixed run"
+        gpu_spaces = {w.space for w in res.workers if "gpu" in w.name}
+        victim = None
+        for t in res.graph.tasks():
+            w = next((w for w in res.workers if w.name == t.chosen_worker), None)
+            if w is None or w.space not in gpu_spaces:
+                continue
+            read_labels = {a.region.label for a in t.accesses if a.reads}
+            for rec in transfers:
+                dst = rec.worker.split("->", 1)[1]
+                if (
+                    dst == w.space
+                    and rec.label in read_labels
+                    and rec.end <= t.start_time
+                    and rec.duration > 0
+                ):
+                    victim = (t, rec)
+                    break
+            if victim:
+                break
+        assert victim is not None, "no GPU task with a completed input transfer"
+        t, rec = victim
+        # rewind the consumer's start into the middle of its input copy
+        t.start_time = (rec.start + rec.end) / 2.0
+        diags = check_run(res)
+        assert any(d.code == "SAN-T003" for d in diags)
+
+    def test_accounting_mismatch_is_t006(self):
+        res = saxpy_run("breadth-first", n_tasks=8)
+        res.tasks_completed += 1
+        diags = check_run(res)
+        assert [d.code for d in diags] == ["SAN-T006"]
+        with pytest.raises(SanitizerError):
+            res.validate()
+
+    def test_lambda_shortfall_is_t005(self):
+        """Raise λ after the fact: recorded executions now violate it."""
+        res = saxpy_run("versioning")
+        sched = res.scheduler_state
+        assert sched.reliable_dispatches > 0, "run too short to graduate"
+        assert check_run(res) == []
+        sched.lam = 10_000
+        diags = check_run(res)
+        assert any(d.code == "SAN-T005" for d in diags)
+        assert "λ=10000" in next(
+            d.message for d in diags if d.code == "SAN-T005"
+        )
+
+    def test_versioning_lambda_counters_populated(self):
+        res = saxpy_run("versioning")
+        sched = res.scheduler_state
+        assert sched.group_dispatches
+        total_learning = sum(
+            c["learning"] for c in sched.group_dispatches.values()
+        )
+        total_reliable = sum(
+            c["reliable"] for c in sched.group_dispatches.values()
+        )
+        assert total_learning == sched.learning_dispatches
+        assert total_reliable == sched.reliable_dispatches

@@ -1,0 +1,256 @@
+"""Tests for the static directive lint (SAN-L*)."""
+
+import pathlib
+
+from repro.sanitizer import CODES, Severity, lint_paths
+from repro.sanitizer.lint import lint_files
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def write(tmp_path, name, source):
+    p = tmp_path / name
+    p.write_text(source)
+    return str(p)
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+class TestCleanTree:
+    def test_examples_and_apps_lint_clean(self):
+        """The satellite gate: the shipped tree has zero findings."""
+        diags = lint_paths([
+            str(REPO_ROOT / "examples"),
+            str(REPO_ROOT / "src" / "repro" / "apps"),
+        ])
+        assert diags == [], "\n".join(d.render() for d in diags)
+
+    def test_finds_declarations_in_shipped_tree(self):
+        # guard against the lint silently parsing nothing
+        from repro.sanitizer.lint import DirectiveLinter
+
+        files = [
+            str(p)
+            for p in (REPO_ROOT / "src" / "repro" / "apps").glob("*.py")
+        ]
+        linter = DirectiveLinter(files)
+        n = sum(len(m.decls) for m in linter.modules)
+        assert n >= 10  # matmul 3 + cholesky 6 + pbpi 7
+
+
+class TestClauseNames:
+    def test_unknown_clause_name(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a", "nosuch"], outputs=["b"])
+def f(a, b):
+    b[:] = a
+''')
+        diags = lint_files([f])
+        assert codes(diags) == ["SAN-L001"]
+        d = diags[0]
+        assert "nosuch" in d.message
+        assert d.severity is Severity.ERROR
+        assert d.file == f and d.line is not None
+
+    def test_callable_clause_spec_is_skipped(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=lambda xs, y: list(xs), outputs=["y"])
+def f(xs, y):
+    y[:] = 0
+''')
+        assert lint_files([f]) == []
+
+
+class TestBodyWrites:
+    def test_input_assigned_in_body(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a", "b"])
+def f(a, b):
+    b[:] = a
+''')
+        diags = lint_files([f])
+        assert codes(diags) == ["SAN-L002"]
+        assert "'b'" in diags[0].message
+
+    def test_augmented_assignment_counts(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a"], outputs=["b"])
+def f(a, b):
+    a += 1
+    b[:] = a
+''')
+        diags = lint_files([f])
+        assert codes(diags) == ["SAN-L002"]
+        assert "'a'" in diags[0].message
+
+    def test_inout_write_is_fine(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a"], inouts=["b"])
+def f(a, b):
+    b += a
+''')
+        assert lint_files([f]) == []
+
+    def test_local_rebinding_is_not_a_region_write(self, tmp_path):
+        # rebinding the *name* does not mutate the caller's array
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a"], outputs=["b"])
+def f(a, b):
+    tmp = a * 2
+    b[:] = tmp
+''')
+        assert lint_files([f]) == []
+
+
+class TestDuplicates:
+    def test_same_name_twice_in_one_clause(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a", "a"], outputs=["b"])
+def f(a, b):
+    b[:] = a
+''')
+        assert codes(lint_files([f])) == ["SAN-L003"]
+
+    def test_same_name_in_two_clauses(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a"], outputs=["a"])
+def f(a):
+    a[:] = 0
+''')
+        assert codes(lint_files([f])) == ["SAN-L003"]
+
+
+class TestImplementsConsistency:
+    def test_mismatched_clause_sets(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task, target
+
+@task(inputs=["x"], outputs=["y"])
+def main_v(x, y):
+    y[:] = x
+
+@target(device="cuda", implements=main_v)
+@task(inputs=["x"], inouts=["y"])
+def alt_v(x, y):
+    y[:] = x
+''')
+        diags = lint_files([f])
+        assert codes(diags) == ["SAN-L004"]
+        assert "alt_v" in diags[0].message and "main_v" in diags[0].message
+
+    def test_matching_clause_sets(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task, target
+
+@task(inputs=["x"], inouts=["y"])
+def main_v(x, y):
+    y += x
+
+@target(device="cuda", implements=main_v)
+@task(inputs=["x"], inouts=["y"])
+def alt_v(x, y):
+    y += x
+''')
+        assert lint_files([f]) == []
+
+    def test_positionally_identical_renamed_params_ok(self, tmp_path):
+        # call form: clauses map to the same parameter positions
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task, target
+
+def kern_a(A, B):
+    B[:] = A
+
+def kern_b(X, Y):
+    Y[:] = X
+
+main = task(kern_a, inputs=["A"], outputs=["B"], name="t_main")
+alt = target(device="cuda", implements=main)(
+    task(kern_b, inputs=["X"], outputs=["Y"], name="t_alt")
+)
+''')
+        assert lint_files([f]) == []
+
+
+class TestWaivers:
+    def test_san_ignore_comment_waives_finding(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a"], inouts=["b"])
+def f(a, b):
+    a += 1  # san-ignore: SAN-L002
+    b += a
+''')
+        assert lint_files([f]) == []
+
+    def test_wrong_code_does_not_waive(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+@task(inputs=["a"], inouts=["b"])
+def f(a, b):
+    a += 1  # san-ignore: SAN-L001
+    b += a
+''')
+        assert codes(lint_files([f])) == ["SAN-L002"]
+
+
+class TestCallForm:
+    def test_call_form_resolves_kernel_signature(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+def my_kernel(p, q):
+    q[:] = p
+
+bound = task(my_kernel, inputs=["p", "wrong"], outputs=["q"], name="k")
+''')
+        diags = lint_files([f])
+        assert codes(diags) == ["SAN-L001"]
+        assert "wrong" in diags[0].message
+
+    def test_kwargs_dict_expansion(self, tmp_path):
+        f = write(tmp_path, "a.py", '''
+from repro.runtime.directives import task
+
+def my_kernel(p, q):
+    q[:] = p
+
+shared = dict(inputs=["p", "oops"], outputs=["q"])
+bound = task(my_kernel, name="k", **shared)
+''')
+        diags = lint_files([f])
+        assert codes(diags) == ["SAN-L001"]
+
+
+class TestDiagnosticModel:
+    def test_every_emitted_code_is_registered(self):
+        for code in ("SAN-L001", "SAN-L002", "SAN-L003", "SAN-L004"):
+            assert code in CODES
+
+    def test_unknown_code_rejected(self):
+        import pytest
+
+        from repro.sanitizer import Diagnostic
+
+        with pytest.raises(ValueError):
+            Diagnostic(code="SAN-X999", message="nope")
