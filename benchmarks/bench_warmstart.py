@@ -1,0 +1,79 @@
+"""Profile store — cold vs warm time-to-reliable-phase (matmul).
+
+A cold versioning run spends its opening phase learning: λ executions
+per version per size group before the earliest-executor rule can place
+tasks on merit (§IV-B).  Committing the learned table to a profile store
+and warm-starting the next run under the ``trust`` policy removes that
+phase entirely; ``probation`` keeps a shortened one.  The figure of
+merit is *time to reliable phase*: the simulated time at which the last
+size group graduates from learning.
+"""
+
+from repro.analysis.metrics import time_to_reliable_phase, warm_start_summary
+from repro.analysis.report import format_table
+from repro.apps.matmul import MatmulApp
+from repro.core.versioning import VersioningScheduler
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.topology import minotauro_node
+from repro.store import ProfileStore, warm_start_options
+
+from figutils import RESULTS_DIR, emit, run_once
+
+
+def run_matmul(sched):
+    app = MatmulApp(n_tiles=12, variant="hyb")
+    machine = minotauro_node(8, 2, noise_cv=0.02, seed=4)
+    app.register_cost_models(machine)
+    rt = OmpSsRuntime(machine, sched)
+    with rt:
+        app.master(rt)
+    res = rt.result()
+    return res, res.gflops(app.total_flops())
+
+
+def sweep():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    store = ProfileStore(RESULTS_DIR / "matmul_profile_store.json")
+    if store.exists():
+        store.path.unlink()
+
+    rows = {}
+    cold = VersioningScheduler()
+    cold_res, cold_gflops = run_matmul(cold)
+    rows["cold"] = {**warm_start_summary(cold_res), "gflops": cold_gflops}
+
+    store.begin_run()
+    store.commit(cold.table, sim_time=cold_res.makespan)
+
+    for policy in ("trust", "probation"):
+        sched = VersioningScheduler(**warm_start_options(store, policy=policy))
+        res, gflops = run_matmul(sched)
+        rows[policy] = {**warm_start_summary(res), "gflops": gflops}
+    return rows
+
+
+def test_warmstart_time_to_reliable(benchmark):
+    rows = run_once(benchmark, sweep)
+    table = format_table(
+        ["run", "time-to-reliable (s)", "learning", "reliable", "preloaded",
+         "GFLOP/s"],
+        [[name, r["time_to_reliable"], int(r["learning_dispatches"]),
+          int(r["reliable_dispatches"]), int(r["preloaded_entries"]),
+          r["gflops"]] for name, r in rows.items()],
+        title="Profile store — cold vs warm time-to-reliable (matmul-hyb, "
+        "8 SMP + 2 GPU)",
+        floatfmt="{:.4f}",
+    )
+    emit("warmstart_time_to_reliable", table)
+
+    cold, trust, probation = rows["cold"], rows["trust"], rows["probation"]
+    # the cold run must actually have graduated for the comparison to mean
+    # anything
+    assert cold["time_to_reliable"] < float("inf")
+    # trust skips learning entirely and graduates immediately
+    assert trust["learning_dispatches"] == 0
+    assert trust["time_to_reliable"] < cold["time_to_reliable"]
+    # probation re-learns a shortened phase: between the two
+    assert probation["time_to_reliable"] <= cold["time_to_reliable"]
+    # warm-started throughput does not regress
+    assert trust["gflops"] >= cold["gflops"] * 0.98

@@ -11,8 +11,10 @@
 """
 
 from repro.analysis.metrics import (
+    time_to_reliable_phase,
     transfer_breakdown_gb,
     version_percentages,
+    warm_start_summary,
     worker_utilisation,
 )
 from repro.analysis.report import bar_chart, format_table
@@ -28,8 +30,10 @@ from repro.analysis.traceexport import (
 from repro.analysis import experiments
 
 __all__ = [
+    "time_to_reliable_phase",
     "transfer_breakdown_gb",
     "version_percentages",
+    "warm_start_summary",
     "worker_utilisation",
     "bar_chart",
     "format_table",

@@ -45,6 +45,42 @@ def worker_utilisation(result: RunResult) -> dict[str, float]:
     }
 
 
+def time_to_reliable_phase(result: RunResult) -> Optional[float]:
+    """Simulated time at which the last size group left the learning
+    phase — the warm-start figure of merit.
+
+    ``None`` when the run did not use a versioning scheduler or no group
+    ever graduated (run too short, or aborted mid-learning).  Groups that
+    were *born* reliable (fully preloaded under the ``trust`` policy)
+    graduate at their first dispatch, so a perfectly warm-started run
+    reports a value close to 0.
+    """
+    sched = result.scheduler_state
+    getter = getattr(sched, "time_to_reliable_phase", None)
+    if getter is None:
+        return None
+    return getter()
+
+
+def warm_start_summary(result: RunResult) -> dict[str, float]:
+    """Warm-start effectiveness counters of one run.
+
+    ``learning_dispatches`` / ``reliable_dispatches`` split the paper's
+    two scheduling phases; ``preloaded_entries`` counts (group, version)
+    profiles seeded from a store; ``time_to_reliable`` is
+    :func:`time_to_reliable_phase` (``inf`` when never reached, so cold
+    and warm runs compare monotonically).
+    """
+    sched = result.scheduler_state
+    ttr = time_to_reliable_phase(result)
+    return {
+        "learning_dispatches": float(getattr(sched, "learning_dispatches", 0)),
+        "reliable_dispatches": float(getattr(sched, "reliable_dispatches", 0)),
+        "preloaded_entries": float(getattr(sched, "preloaded_entries", 0)),
+        "time_to_reliable": float("inf") if ttr is None else ttr,
+    }
+
+
 def tasks_per_device_kind(result: RunResult) -> dict[str, int]:
     """Executed-task counts aggregated by device kind prefix.
 

@@ -47,7 +47,12 @@ def load_hints(path: PathLike, *, format: Optional[str] = None) -> dict:
     path = Path(path)
     fmt = _resolve_format(path, format)
     if fmt == "json":
-        snapshot = json.loads(path.read_text())
+        try:
+            snapshot = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"malformed hints JSON in {path}: truncated or invalid ({exc})"
+            ) from exc
         _validate(snapshot)
         return snapshot
     return _from_xml(path.read_bytes())

@@ -27,7 +27,7 @@ from repro.core.grouping import ExactSizeGrouping, SizeGrouping
 class VersionProfile:
     """ExecTime / #Exec for one implementation at one data-set size."""
 
-    __slots__ = ("version_name", "estimator", "assigned")
+    __slots__ = ("version_name", "estimator", "assigned", "preloaded")
 
     def __init__(self, version_name: str, estimator: Optional[Estimator] = None) -> None:
         self.version_name = version_name
@@ -36,10 +36,19 @@ class VersionProfile:
         #: the learning phase when many tasks are assigned before any
         #: timing feedback arrives.
         self.assigned = 0
+        #: executions imported from an external hints file / profile
+        #: store rather than observed in this run.  Warm-start policies
+        #: (trust vs probation) decide how much λ-credit these carry.
+        self.preloaded = 0
 
     @property
     def executions(self) -> int:
         return self.estimator.count
+
+    @property
+    def live_executions(self) -> int:
+        """Executions actually observed in this run (excludes preloads)."""
+        return max(0, self.estimator.count - self.preloaded)
 
     @property
     def mean_time(self) -> Optional[float]:
@@ -49,6 +58,16 @@ class VersionProfile:
         self.estimator.add(duration)
         if self.assigned > 0:
             self.assigned -= 1
+
+    def preload(self, mean: float, count: int) -> None:
+        """Seed from external history: ``count`` runs averaging ``mean``."""
+        preload = getattr(self.estimator, "preload", None)
+        if preload is None:
+            raise TypeError(
+                f"estimator {type(self.estimator).__name__} cannot be preloaded"
+            )
+        preload(float(mean), int(count))
+        self.preloaded = int(count)
 
     def __repr__(self) -> str:
         t = "-" if self.mean_time is None else f"{self.mean_time * 1e3:.2f}ms"
@@ -257,13 +276,17 @@ class VersionProfileTable:
             out["tasks"][vset.task_name] = groups
         return out
 
-    def preload(self, snapshot: dict) -> None:
+    def preload(self, snapshot: dict) -> int:
         """Warm-start from a snapshot produced by :meth:`to_dict`.
 
         Group membership is recomputed with *this* table's grouping, so
         hints recorded under exact grouping remain usable under range
-        grouping and vice versa.
+        grouping and vice versa.  Returns the number of (group, version)
+        entries preloaded; each entry is marked as preloaded so
+        warm-start policies can distinguish imported from observed
+        executions.
         """
+        loaded = 0
         for task_name, groups in snapshot.get("tasks", {}).items():
             for g in groups:
                 grp = self.group(task_name, int(g["representative_bytes"]))
@@ -272,10 +295,6 @@ class VersionProfileTable:
                     count = int(stats.get("executions", 0))
                     if mean is None or count <= 0:
                         continue
-                    est = grp.profile(vname).estimator
-                    preload = getattr(est, "preload", None)
-                    if preload is None:
-                        raise TypeError(
-                            f"estimator {type(est).__name__} cannot be preloaded"
-                        )
-                    preload(float(mean), count)
+                    grp.profile(vname).preload(float(mean), count)
+                    loaded += 1
+        return loaded

@@ -34,7 +34,29 @@ remaining tasks is always a GPU.
 Tunables (all exposed to the ablation benches): λ (``lam``), the
 estimator kind (arithmetic mean / EWMA), the size-grouping strategy
 (exact / relative range / fixed bins), ``queue_depth`` and an optional
-warm-start profile table loaded from a hints file.
+warm-start profile table loaded from a hints file or profile store.
+
+Warm-start policies
+-------------------
+``warm_start`` governs how much λ-credit preloaded (hints/store)
+executions carry:
+
+* ``trust`` — preloaded executions count fully toward λ: a group whose
+  every version was preloaded with ≥ λ executions skips the learning
+  phase outright,
+* ``probation`` — preloaded credit is capped at ``λ - probation_lam``,
+  so each preloaded version must still be re-validated by at least
+  ``probation_lam`` live executions before the group graduates (a
+  shortened learning phase),
+* ``cold`` — hints are ignored entirely; full learning from scratch.
+
+Fault-aware cost estimation
+---------------------------
+With ``fault_aware`` enabled the earliest-executor computation inflates
+a worker's (busy time + mean) by ``1 / (1 - fault_rate)`` using the
+observed transient-fault rate from the resilience counters: a
+flaky-but-fast device is discounted before it faults again, because the
+expected number of attempts per completed task there is ``1/(1-rate)``.
 """
 
 from __future__ import annotations
@@ -58,6 +80,9 @@ DEFAULT_LAMBDA = 3
 #: Default per-worker queue bound (running + prefetching).
 DEFAULT_QUEUE_DEPTH = 2
 
+#: Valid warm-start policies for preloaded profile entries.
+WARM_START_POLICIES = ("trust", "probation", "cold")
+
 
 class VersioningScheduler(Scheduler):
     name = "versioning"
@@ -73,14 +98,30 @@ class VersioningScheduler(Scheduler):
         grouping: "str | SizeGrouping" = "exact",
         grouping_options: Optional[dict] = None,
         hints: Optional[dict] = None,
+        warm_start: str = "trust",
+        probation_lam: int = 1,
+        fault_aware: bool = False,
+        fault_rate_cap: float = 0.9,
     ) -> None:
         super().__init__()
         if lam < 1:
             raise ValueError("lam (λ) must be at least 1")
         if queue_depth < 1:
             raise ValueError("queue_depth must be at least 1")
+        if warm_start not in WARM_START_POLICIES:
+            raise ValueError(
+                f"warm_start must be one of {WARM_START_POLICIES}, got {warm_start!r}"
+            )
+        if not 1 <= probation_lam <= lam:
+            raise ValueError("probation_lam must be in [1, lam]")
+        if not 0.0 <= fault_rate_cap < 1.0:
+            raise ValueError("fault_rate_cap must be in [0, 1)")
         self.lam = lam
         self.queue_depth = queue_depth
+        self.warm_start = warm_start
+        self.probation_lam = probation_lam
+        self.fault_aware = fault_aware
+        self.fault_rate_cap = fault_rate_cap
         if isinstance(grouping, str):
             grouping = make_grouping(grouping, **(grouping_options or {}))
         elif grouping_options:
@@ -90,8 +131,9 @@ class VersioningScheduler(Scheduler):
             estimator_kind=estimator,
             estimator_options=estimator_options,
         )
-        if hints:
-            self.table.preload(hints)
+        self.preloaded_entries = 0
+        if hints and warm_start != "cold":
+            self.preloaded_entries = self.table.preload(hints)
         # ready tasks not yet placed in any worker queue (FIFO)
         self._pool: Deque[TaskInstance] = deque()
         self._pumping = False
@@ -106,6 +148,11 @@ class VersioningScheduler(Scheduler):
         # per-(task name, size-group key) dispatch counters, consumed by
         # the trace sanitizer's λ-consistency check (SAN-T005)
         self.group_dispatches: dict[tuple, dict[str, int]] = {}
+        # (task name, size-group key) -> simulated time of the group's
+        # first reliable-phase dispatch — the per-group end of learning;
+        # time_to_reliable_phase() aggregates these for the warm-start
+        # benches
+        self.group_reliable_at: dict[tuple, float] = {}
 
     # ------------------------------------------------------------------
     def bind(self, runtime) -> None:  # type: ignore[override]
@@ -121,6 +168,41 @@ class VersioningScheduler(Scheduler):
 
     def pool_size(self) -> int:
         return len(self._pool)
+
+    def learning_credit(self, group: SizeGroupProfile, version_name: str) -> int:
+        """Executions of ``version_name`` that count toward λ under this
+        scheduler's warm-start policy.
+
+        ``trust`` counts preloaded executions fully; ``probation`` caps
+        their credit at ``λ - probation_lam`` so at least
+        ``probation_lam`` live runs are still required; live executions
+        always count in full.  (Under ``cold`` nothing was preloaded, so
+        all three collapse to the raw execution count.)
+        """
+        p = group.profile(version_name)
+        if p.preloaded <= 0 or self.warm_start != "probation":
+            return p.executions
+        return p.live_executions + min(p.preloaded, max(0, self.lam - self.probation_lam))
+
+    def in_learning_phase(self, group: SizeGroupProfile, version_names: list[str]) -> bool:
+        """True while any candidate version lacks λ credited executions."""
+        return any(self.learning_credit(group, n) < self.lam for n in version_names)
+
+    def time_to_reliable_phase(self) -> Optional[float]:
+        """Simulated time at which the last size group seen so far left
+        the learning phase (its first reliable dispatch), or ``None``
+        when no group has graduated yet."""
+        if not self.group_reliable_at:
+            return None
+        return max(self.group_reliable_at.values())
+
+    def worker_fault_rate(self, worker: "Worker") -> float:
+        """Observed transient-fault rate of ``worker`` (0 when the run
+        has no resilience manager or no history)."""
+        resilience = getattr(self.rt, "resilience", None)
+        if resilience is None:
+            return 0.0
+        return resilience.worker_fault_rate(worker.name)
 
     def _has_room(self, worker: "Worker") -> bool:
         return worker.load() < self.queue_depth
@@ -228,6 +310,8 @@ class VersioningScheduler(Scheduler):
                     else:
                         self.reliable_dispatches += 1
                         counters["reliable"] += 1
+                        if gkey not in self.group_reliable_at:
+                            self.group_reliable_at[gkey] = self.rt.engine.now
                     self.rt.dispatch(t, worker, version)
                     placed = True
                     break
@@ -249,7 +333,7 @@ class VersioningScheduler(Scheduler):
         # the paper's multi-version tables double as the degradation path
         avoid = frozenset(t.failed_pairs)
 
-        if group.in_learning_phase(names, self.lam):
+        if self.in_learning_phase(group, names):
             # λ-capped round-robin into workers with queue room.
             choice = self._learning_choice(t, versions, group)
             if choice is not None:
@@ -297,7 +381,8 @@ class VersioningScheduler(Scheduler):
         pending_needed = [
             v
             for v in versions
-            if group.executions(v.name) + group.profile(v.name).assigned < self.lam
+            if self.learning_credit(group, v.name) + group.profile(v.name).assigned
+            < self.lam
         ]
         if not pending_needed:
             return None
@@ -318,7 +403,7 @@ class VersioningScheduler(Scheduler):
             pending_needed,
             key=lambda v: (
                 exhausted(v),
-                group.executions(v.name) + group.profile(v.name).assigned,
+                self.learning_credit(group, v.name) + group.profile(v.name).assigned,
                 order.index(v.name),
             ),
         )
@@ -380,9 +465,16 @@ class VersioningScheduler(Scheduler):
                     continue
                 if require_room and not self._has_room(w):
                     continue
-                finish = (
-                    self.estimated_busy_time(w) + mean + self._placement_penalty(t, v, w)
-                )
+                finish = self.estimated_busy_time(w) + mean
+                if self.fault_aware:
+                    # expected attempts per completed task on a worker
+                    # with transient-fault rate p is 1/(1-p): inflate the
+                    # whole busy+exec estimate so a flaky-but-fast device
+                    # is discounted before it faults again
+                    rate = self.worker_fault_rate(w)
+                    if rate > 0.0:
+                        finish /= 1.0 - min(rate, self.fault_rate_cap)
+                finish += self._placement_penalty(t, v, w)
                 key = (finish, w.name, v.name)
                 if best is None or key < best:
                     best = key

@@ -9,6 +9,13 @@ Regenerates any table/figure of the paper from the terminal::
 ``--quick`` shrinks the sweeps (smaller tile/block grids, fewer
 generations) so every figure renders in a few seconds; the default
 scales match the benchmark harness.
+
+``--profile-store PATH`` makes the sweeps durable: every versioning
+scheduler the figures create is warm-started from the store (per
+``--warm-start``: trust / probation / cold) and the learned tables are
+merged back into it afterward.  Stores created this way carry no device
+fingerprint — figure sweeps span many machine shapes, so the caller
+owns comparability.
 """
 
 from __future__ import annotations
@@ -196,6 +203,19 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced scales (seconds per figure)"
     )
+    parser.add_argument(
+        "--profile-store",
+        metavar="PATH",
+        default=None,
+        help="warm-start versioning schedulers from this profile store and "
+        "merge the learned tables back into it afterward",
+    )
+    parser.add_argument(
+        "--warm-start",
+        choices=("trust", "probation", "cold"),
+        default="trust",
+        help="warm-start policy for preloaded profiles (default: trust)",
+    )
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:
@@ -209,9 +229,35 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error(
             f"unknown figure(s): {', '.join(unknown)}; valid: {', '.join(FIGURES)}"
         )
-    for t in targets:
-        print(FIGURES[t](args.quick))
-        print()
+
+    if args.profile_store is None:
+        for t in targets:
+            print(FIGURES[t](args.quick))
+            print()
+        return 0
+
+    from repro.schedulers.registry import scheduler_defaults
+    from repro.store import ProfileStore, warm_start_options
+
+    store = ProfileStore(args.profile_store)
+    defaults = warm_start_options(store, policy=args.warm_start)
+    with scheduler_defaults("versioning", **defaults) as created:
+        for t in targets:
+            print(FIGURES[t](args.quick))
+            print()
+    tables = [s.table for s in created]
+    # figure sweeps span many simulated machine shapes, so the merged
+    # store carries no single device fingerprint; warm-started tables
+    # already contain the store's history, so the baseline is only
+    # re-merged for cold runs
+    warmed = any(s.preloaded_entries for s in created)
+    if store.absorb(tables, fingerprint=None, merge_base=not warmed) is not None:
+        preloaded = sum(s.preloaded_entries for s in created)
+        print(
+            f"profile store: absorbed {len(tables)} run(s) into "
+            f"{args.profile_store} (policy {args.warm_start}, "
+            f"{preloaded} preloaded entries)"
+        )
     return 0
 
 

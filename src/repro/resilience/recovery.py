@@ -131,6 +131,10 @@ class ResilienceManager:
         self._transient: dict[str, int] = {}
         # worker name -> how many times it has been quarantined
         self._quarantine_count: dict[str, int] = {}
+        # cumulative per-worker history, feeding the versioning
+        # scheduler's fault-aware cost estimation (`fault_aware=True`)
+        self._worker_faults: dict[str, int] = {}
+        self._worker_completions: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -203,6 +207,7 @@ class ResilienceManager:
         t.attempts += 1
         t.failed_pairs.add((t.chosen_version.name, worker.name))
         self._transient[worker.name] = self._transient.get(worker.name, 0) + 1
+        self._worker_faults[worker.name] = self._worker_faults.get(worker.name, 0) + 1
         if t.attempts > self.policy.max_task_retries:
             raise TaskRetryExceededError(
                 f"task {t.label!r} faulted {t.attempts} times "
@@ -219,6 +224,28 @@ class ResilienceManager:
     def on_task_success(self, worker: "Worker") -> None:
         """A task completed cleanly: the worker's fault streak resets."""
         self._transient[worker.name] = 0
+        self._worker_completions[worker.name] = (
+            self._worker_completions.get(worker.name, 0) + 1
+        )
+
+    # ------------------------------------------------------------------
+    # Observed fault rates (fault-aware cost estimation)
+    # ------------------------------------------------------------------
+    def worker_fault_rate(self, worker_name: str) -> float:
+        """Fraction of this worker's task starts that faulted transiently.
+
+        Derived from the cumulative fault/completion counters; 0.0 with
+        no history, so schedulers may consult it unconditionally.
+        """
+        faults = self._worker_faults.get(worker_name, 0)
+        completions = self._worker_completions.get(worker_name, 0)
+        attempts = faults + completions
+        return faults / attempts if attempts else 0.0
+
+    def fault_rates(self) -> dict[str, float]:
+        """Observed fault rate per worker with any history."""
+        names = set(self._worker_faults) | set(self._worker_completions)
+        return {n: self.worker_fault_rate(n) for n in sorted(names)}
 
     def on_worker_down(self, worker: "Worker", redispatched: int) -> None:
         self.stats.worker_failures += 1

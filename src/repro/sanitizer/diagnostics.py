@@ -64,7 +64,9 @@ CODES: dict[str, str] = {
     "SAN-T004": "a dead or quarantined worker executed a task",
     "SAN-T005": "versioning-scheduler λ-count inconsistency: a size "
                 "group received reliable-phase dispatches although some "
-                "version has fewer than λ recorded executions",
+                "version has less than λ learning credit (recorded "
+                "executions plus warm-start-policy-capped preloaded "
+                "history)",
     "SAN-T006": "run accounting mismatch (completed-task counters, trace "
                 "records and finish order disagree)",
 }

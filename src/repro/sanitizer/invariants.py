@@ -231,6 +231,11 @@ def _check_lambda_counts(result: "RunResult") -> list[Diagnostic]:
 
     defs = {t.name: t.definition for t in result.graph.tasks()}
     kinds = {k for w in result.workers for k in (w.device.kind,)}
+    # warm-started schedulers graduate on learning *credit* (live
+    # executions plus policy-capped preloaded history), not raw counts;
+    # use the scheduler's own accounting when it exposes it so preloaded
+    # runs validate clean
+    credit = getattr(sched, "learning_credit", None)
     out: list[Diagnostic] = []
     for (task_name, size_key), counters in sorted(
         dispatches.items(), key=lambda kv: (kv[0][0], repr(kv[0][1]))
@@ -252,17 +257,28 @@ def _check_lambda_counts(result: "RunResult") -> list[Diagnostic]:
                 break
         if group is None:
             continue
-        short = [n for n in names if group.executions(n) < lam]
+        def _credit(name: str) -> int:
+            if credit is not None:
+                return credit(group, name)
+            return group.executions(name)
+
+        short = [n for n in names if _credit(n) < lam]
         if short:
             detail = ", ".join(
-                f"{n}: {group.executions(n)}" for n in short
+                f"{n}: {_credit(n)}"
+                + (
+                    f" (preloaded {group.profile(n).preloaded})"
+                    if getattr(group.profile(n), "preloaded", 0)
+                    else ""
+                )
+                for n in short
             )
             out.append(Diagnostic(
                 code="SAN-T005",
                 message=(
                     f"task {task_name!r} size group {size_key!r} received "
                     f"{counters['reliable']} reliable-phase dispatch(es) "
-                    f"but version(s) have fewer than λ={lam} executions "
+                    f"but version(s) have less than λ={lam} learning credit "
                     f"({detail})"
                 ),
                 task=task_name,

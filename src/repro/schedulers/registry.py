@@ -10,13 +10,18 @@ equivalent: policies register under one or more names, and
 from __future__ import annotations
 
 import os
-from typing import Any, Callable
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
 
 from repro.schedulers.base import Scheduler
 
 ENV_VAR = "REPRO_SCHEDULER"
 
 _FACTORIES: dict[str, Callable[..., Scheduler]] = {}
+
+#: factory -> (default options, list collecting created instances);
+#: installed by the scheduler_defaults() context manager.
+_DEFAULTS: dict[Callable[..., Scheduler], tuple[dict[str, Any], list[Scheduler]]] = {}
 
 
 def register_scheduler(*names: str) -> Callable[[type], type]:
@@ -49,7 +54,47 @@ def create_scheduler(name: str, **options: Any) -> Scheduler:
         raise ValueError(
             f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
         ) from None
+    entry = _DEFAULTS.get(factory)
+    if entry is not None:
+        defaults, created = entry
+        instance = factory(**{**defaults, **options})
+        created.append(instance)
+        return instance
     return factory(**options)
+
+
+@contextmanager
+def scheduler_defaults(name: str, **options: Any) -> Iterator[list[Scheduler]]:
+    """Merge ``options`` into every :func:`create_scheduler` call for the
+    policy registered under ``name`` (any of its aliases) while the
+    context is active.  Explicit per-call options win over the defaults.
+
+    Yields the list of instances the context created (appended live), so
+    callers can collect state from the schedulers of runs they did not
+    construct themselves — e.g. ``repro.reproduce`` absorbing learned
+    profile tables into a store after a figure sweep::
+
+        with scheduler_defaults("versioning", hints=snapshot) as created:
+            run_figure()
+        tables = [s.table for s in created]
+    """
+    _ensure_builtin()
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from None
+    created: list[Scheduler] = []
+    previous = _DEFAULTS.get(factory)
+    _DEFAULTS[factory] = (dict(options), created)
+    try:
+        yield created
+    finally:
+        if previous is None:
+            _DEFAULTS.pop(factory, None)
+        else:
+            _DEFAULTS[factory] = previous
 
 
 def scheduler_from_env(default: str = "dep", **options: Any) -> Scheduler:

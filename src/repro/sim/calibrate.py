@@ -12,12 +12,14 @@ overheads, positive rates); they only need NumPy.
 
 from __future__ import annotations
 
+import hashlib
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.core.profile import TaskVersionSet
+    from repro.sim.topology import Machine
 
 from repro.sim.perfmodel import (
     AffineBytesCostModel,
@@ -25,6 +27,31 @@ from repro.sim.perfmodel import (
     GemmCostModel,
     TableCostModel,
 )
+
+
+def machine_fingerprint(machine: "Machine") -> str:
+    """Deterministic digest of a machine's device calibration.
+
+    Learned execution-time profiles are only transferable between runs
+    whose devices behave identically, so the profile store tags its
+    contents with this fingerprint and invalidates them when it changes.
+    The digest covers the machine name, every device's name / kind /
+    memory space / noise level and the repr of each registered kernel
+    cost model (all models are frozen dataclasses with stable reprs).
+    The RNG seed is deliberately excluded: two runs that differ only in
+    the jitter sample sequence draw from the same distribution, so their
+    profiles remain comparable.
+    """
+    parts = [f"machine={machine.name}"]
+    for d in machine.devices:
+        parts.append(
+            f"device={d.name}|{d.kind.value}|{d.memory_space}"
+            f"|noise_cv={d.perf.noise_cv!r}"
+        )
+        for kernel in d.perf.kernels():
+            parts.append(f"  kernel={kernel}:{d.perf.model(kernel)!r}")
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    return f"fp:{digest[:16]}"
 
 
 def _check_samples(samples: Sequence[tuple[float, float]], minimum: int) -> None:

@@ -138,6 +138,30 @@ class SimEngine:
             raise ValueError(f"negative delay: {delay}")
         return self.schedule(self._now + delay, callback, kind=kind, label=label)
 
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], object],
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        label: str = "",
+        first: Optional[float] = None,
+    ) -> "RecurringEvent":
+        """Fire ``callback`` every ``interval`` simulated seconds.
+
+        The first firing is ``first`` seconds from now (default
+        ``interval``).  The callback may return ``False`` to stop the
+        series; the returned :class:`RecurringEvent` handle also stops it
+        via :meth:`RecurringEvent.cancel`.  Used by periodic services
+        (profile-store checkpointing) that piggyback on the event loop.
+        """
+        if interval <= 0:
+            raise ValueError(f"recurring interval must be positive, got {interval}")
+        if first is not None and first < 0:
+            raise ValueError(f"negative first delay: {first}")
+        return RecurringEvent(self, interval, callback, kind=kind, label=label,
+                              first=first)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -222,3 +246,60 @@ class SimEngine:
             f"SimEngine(now={self._now:.6f}, pending={len(self._queue)}, "
             f"processed={self._events_processed})"
         )
+
+
+class RecurringEvent:
+    """A self-rescheduling event series on a :class:`SimEngine`.
+
+    At most one underlying :class:`Event` is pending at a time; each
+    firing schedules the next one ``interval`` later unless the callback
+    returned ``False`` or :meth:`cancel` was called.  ``fired`` counts
+    completed firings.
+    """
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        interval: float,
+        callback: Callable[[], object],
+        *,
+        kind: EventKind = EventKind.GENERIC,
+        label: str = "",
+        first: Optional[float] = None,
+    ) -> None:
+        self._engine = engine
+        self.interval = interval
+        self._callback = callback
+        self._kind = kind
+        self._label = label
+        self.fired = 0
+        self._active = True
+        self._pending: Optional[Event] = None
+        self._schedule_next(interval if first is None else first)
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def cancel(self) -> None:
+        """Stop the series; the pending occurrence (if any) is cancelled."""
+        self._active = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _schedule_next(self, delay: float) -> None:
+        self._pending = self._engine.schedule_after(
+            delay, self._fire, kind=self._kind, label=self._label
+        )
+
+    def _fire(self) -> None:
+        self._pending = None
+        if not self._active:
+            return
+        keep = self._callback()
+        self.fired += 1
+        if keep is False or not self._active:
+            self._active = False
+            return
+        self._schedule_next(self.interval)

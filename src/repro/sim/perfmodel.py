@@ -200,6 +200,13 @@ class PerfModel:
     def kernels(self) -> list[str]:
         return sorted(self._kernels)
 
+    def model(self, kernel: str) -> KernelCostModel:
+        """The registered cost model for ``kernel`` (KeyError if absent)."""
+        try:
+            return self._kernels[kernel]
+        except KeyError:
+            raise KeyError(f"no cost model registered for kernel {kernel!r}") from None
+
     def duration(self, kernel: str, data_bytes: int, params: Params) -> float:
         """Sample a duration for one execution of ``kernel``.
 

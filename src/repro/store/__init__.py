@@ -1,0 +1,70 @@
+"""Durable profile store: checkpointed learning tables across runs.
+
+The versioning scheduler's profile tables (§IV-B, Table I) are learned
+per process and die with it.  This package makes them durable:
+
+* :mod:`repro.store.format` — schema-versioned on-disk JSON format with
+  atomic writes, rotation to ``.bak``, validation and transparent
+  migration from legacy §VII hints snapshots (XML or JSON),
+* :mod:`repro.store.merge` — cross-run merging weighted by #Exec with
+  staleness decay, plus pruning and hints export,
+* :mod:`repro.store.store` — :class:`ProfileStore`, the run-lifecycle
+  API (begin/checkpoint/commit/absorb) with device-calibration
+  fingerprint invalidation,
+* :mod:`repro.store.checkpoint` — :class:`Checkpointer`, periodic
+  in-run checkpoints riding the simulation event loop so an aborted run
+  can warm-start its successor,
+* ``python -m repro.store`` — inspect / diff / merge / prune / migrate
+  CLI over store files.
+"""
+
+from repro.store.checkpoint import DEFAULT_IDLE_LIMIT, DEFAULT_INTERVAL, Checkpointer
+from repro.store.format import (
+    FORMAT_NAME,
+    SCHEMA_VERSION,
+    FingerprintMismatchError,
+    StoreCorruptError,
+    StoreError,
+    backup_path,
+    empty_payload,
+    migrate_legacy,
+    read_payload,
+    validate_payload,
+    write_payload,
+)
+from repro.store.merge import (
+    DEFAULT_DECAY,
+    age_payload,
+    effective_executions,
+    entry_count,
+    merge_payloads,
+    prune_payload,
+    to_hints,
+)
+from repro.store.store import ProfileStore, warm_start_options
+
+__all__ = [
+    "Checkpointer",
+    "DEFAULT_DECAY",
+    "DEFAULT_IDLE_LIMIT",
+    "DEFAULT_INTERVAL",
+    "FORMAT_NAME",
+    "FingerprintMismatchError",
+    "ProfileStore",
+    "SCHEMA_VERSION",
+    "StoreCorruptError",
+    "StoreError",
+    "age_payload",
+    "backup_path",
+    "effective_executions",
+    "empty_payload",
+    "entry_count",
+    "merge_payloads",
+    "migrate_legacy",
+    "prune_payload",
+    "read_payload",
+    "to_hints",
+    "validate_payload",
+    "warm_start_options",
+    "write_payload",
+]

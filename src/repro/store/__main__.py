@@ -1,0 +1,220 @@
+"""``python -m repro.store`` — inspect and maintain profile-store files.
+
+Subcommands::
+
+    create    PATH                  start an empty store file
+    inspect   PATH [--json]         summarise a store (or legacy hints) file
+    diff      A B                   compare two stores entry by entry
+    merge     -o OUT IN [IN ...]    merge stores with staleness decay
+    prune     PATH                  drop stale/thin entries in place
+    migrate   LEGACY -o OUT         lift a legacy hints file to schema v2
+
+Exit status: 0 on success, 1 when a comparison finds differences
+(``diff``), 2 on usage errors or corrupt/unreadable stores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.store.format import (
+    SCHEMA_VERSION,
+    StoreError,
+    empty_payload,
+    read_payload,
+    write_payload,
+)
+from repro.store.merge import (
+    DEFAULT_DECAY,
+    effective_executions,
+    entry_count,
+    merge_payloads,
+    prune_payload,
+)
+
+
+def _iter_entries(payload: dict):
+    """Yield ``(task, representative_bytes, version, stats)`` sorted."""
+    for task_name in sorted(payload.get("tasks", {})):
+        for g in sorted(
+            payload["tasks"][task_name], key=lambda g: g["representative_bytes"]
+        ):
+            for vname in sorted(g.get("versions", {})):
+                yield task_name, g["representative_bytes"], vname, g["versions"][vname]
+
+
+def _summarise(path: str, payload: dict, *, as_json: bool) -> str:
+    meta = payload.get("meta", {})
+    if as_json:
+        return json.dumps(payload, indent=2, sort_keys=True)
+    lines = [
+        f"store: {path}",
+        f"  schema v{payload.get('schema_version', SCHEMA_VERSION)}"
+        f"  fingerprint={payload.get('fingerprint') or '-'}",
+        f"  grouping={payload.get('grouping')}  estimator={payload.get('estimator')}",
+        f"  runs={meta.get('runs', 0)}  checkpoints={meta.get('checkpoints', 0)}"
+        f"  invalidations={meta.get('invalidations', 0)}",
+        f"  entries={entry_count(payload)}",
+    ]
+    last = meta.get("last_checkpoint")
+    if last:
+        state = "complete" if last.get("run_complete") else "mid-run"
+        lines.append(
+            f"  last checkpoint: t={last.get('sim_time', 0.0):.6f} ({state})"
+        )
+    for task, rep, vname, stats in _iter_entries(payload):
+        eff = effective_executions(stats, DEFAULT_DECAY)
+        lines.append(
+            f"  {task} @{rep}B {vname}: mean={stats['mean_time']:.6g}s"
+            f" execs={stats['executions']} stale={stats.get('stale_runs', 0)}"
+            f" (effective {eff:.1f})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_create(args: argparse.Namespace) -> int:
+    write_payload(args.path, empty_payload(fingerprint=args.fingerprint))
+    print(f"created empty store at {args.path}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    print(_summarise(args.path, read_payload(args.path), as_json=args.json))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    a = {(t, r, v): s for t, r, v, s in _iter_entries(read_payload(args.a))}
+    b = {(t, r, v): s for t, r, v, s in _iter_entries(read_payload(args.b))}
+    differences = 0
+    for key in sorted(set(a) | set(b)):
+        task, rep, vname = key
+        label = f"{task} @{rep}B {vname}"
+        if key not in b:
+            print(f"- {label}: only in {args.a}")
+        elif key not in a:
+            print(f"+ {label}: only in {args.b}")
+        else:
+            sa, sb = a[key], b[key]
+            deltas = []
+            if abs(sa["mean_time"] - sb["mean_time"]) > args.tolerance * max(
+                sa["mean_time"], sb["mean_time"], 1e-12
+            ):
+                deltas.append(f"mean {sa['mean_time']:.6g} -> {sb['mean_time']:.6g}")
+            if sa["executions"] != sb["executions"]:
+                deltas.append(f"execs {sa['executions']} -> {sb['executions']}")
+            if sa.get("stale_runs", 0) != sb.get("stale_runs", 0):
+                deltas.append(
+                    f"stale {sa.get('stale_runs', 0)} -> {sb.get('stale_runs', 0)}"
+                )
+            if not deltas:
+                continue
+            print(f"~ {label}: " + ", ".join(deltas))
+        differences += 1
+    print(f"diff: {differences} differing entr{'y' if differences == 1 else 'ies'}")
+    return 1 if differences else 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    payloads = [read_payload(p) for p in args.inputs]
+    merged = merge_payloads(
+        payloads, decay=args.decay, check_fingerprints=not args.ignore_fingerprints
+    )
+    write_payload(args.output, merged)
+    print(
+        f"merged {len(payloads)} store(s) -> {args.output} "
+        f"({entry_count(merged)} entries)"
+    )
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    payload = read_payload(args.path)
+    pruned, removed = prune_payload(
+        payload,
+        decay=args.decay,
+        max_stale=args.max_stale,
+        min_executions=args.min_executions,
+    )
+    if removed:
+        write_payload(args.path, pruned)
+    print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} from {args.path}")
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    payload = read_payload(args.legacy)  # migrates XML/JSON hints transparently
+    write_payload(args.output, payload)
+    print(
+        f"migrated {args.legacy} -> {args.output} "
+        f"(schema v{payload['schema_version']}, {entry_count(payload)} entries)"
+    )
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Inspect and maintain durable profile stores.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("create", help="start an empty store file")
+    p.add_argument("path")
+    p.add_argument("--fingerprint", default=None, help="device-calibration tag")
+    p.set_defaults(func=_cmd_create)
+
+    p = sub.add_parser("inspect", help="summarise a store (or legacy hints) file")
+    p.add_argument("path")
+    p.add_argument("--json", action="store_true", help="dump the raw payload")
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser("diff", help="compare two stores entry by entry")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-9,
+        help="relative mean-time difference to ignore (default 1e-9)",
+    )
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser("merge", help="merge stores with staleness decay")
+    p.add_argument("inputs", nargs="+", metavar="IN")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--decay", type=float, default=DEFAULT_DECAY)
+    p.add_argument(
+        "--ignore-fingerprints",
+        action="store_true",
+        help="merge even when device-calibration fingerprints differ",
+    )
+    p.set_defaults(func=_cmd_merge)
+
+    p = sub.add_parser("prune", help="drop stale/thin entries in place")
+    p.add_argument("path")
+    p.add_argument("--decay", type=float, default=DEFAULT_DECAY)
+    p.add_argument("--max-stale", type=int, default=None)
+    p.add_argument("--min-executions", type=int, default=1)
+    p.set_defaults(func=_cmd_prune)
+
+    p = sub.add_parser("migrate", help="lift a legacy hints file to schema v2")
+    p.add_argument("legacy")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_migrate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

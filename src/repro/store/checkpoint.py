@@ -1,0 +1,150 @@
+"""Periodic in-run checkpointing of the scheduler's learning tables.
+
+A :class:`Checkpointer` rides the simulation's own event loop: bound to
+a runtime, it registers a recurring event that snapshots the versioning
+scheduler's profile table into a :class:`~repro.store.store.ProfileStore`
+every ``interval`` simulated seconds.  A run killed mid-learning (task
+retry budget exhausted, worker loss cascade, plain crash) therefore
+leaves a consistent store generation on disk from which the next run can
+warm-start instead of re-learning from scratch.
+
+Two subtleties:
+
+* **Double counting.**  If the scheduler was itself warm-started from
+  the same store, its estimator counts already contain the preloaded
+  history, so checkpoints must *not* merge the pre-run baseline back in.
+  This is auto-detected from ``scheduler.preloaded_entries``.
+* **Liveness.**  A recurring event keeps the queue non-empty, which
+  would turn the runtime's empty-queue deadlock detection into an
+  infinite loop.  The checkpointer therefore watches the runtime's
+  completed-task counter and retires itself after ``idle_limit``
+  consecutive ticks with no forward progress.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import EventKind, RecurringEvent
+from repro.store.store import ProfileStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import OmpSsRuntime
+
+#: Default checkpoint cadence in simulated seconds.
+DEFAULT_INTERVAL = 0.25
+
+#: Consecutive no-progress ticks after which the checkpointer retires.
+DEFAULT_IDLE_LIMIT = 3
+
+
+class Checkpointer:
+    """Periodic profile-table checkpoints driven by simulated time."""
+
+    def __init__(
+        self,
+        store: ProfileStore,
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        merge_base: Optional[bool] = None,
+        idle_limit: int = DEFAULT_IDLE_LIMIT,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"checkpoint interval must be positive, got {interval}")
+        if idle_limit < 1:
+            raise ValueError(f"idle_limit must be >= 1, got {idle_limit}")
+        self.store = store
+        self.interval = interval
+        self.idle_limit = idle_limit
+        #: None = decide at bind time from the scheduler's warm-start state.
+        self._merge_base_override = merge_base
+        self.merge_base = True
+        self.checkpoints_taken = 0
+        self.last_checkpoint_time: Optional[float] = None
+        self._rt: Optional["OmpSsRuntime"] = None
+        self._event: Optional[RecurringEvent] = None
+        self._last_completed = 0
+        self._idle_ticks = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def bind(self, runtime: "OmpSsRuntime") -> "Checkpointer":
+        """Attach to a runtime: open the run in the store and start the
+        recurring checkpoint event.  Call before submitting tasks."""
+        scheduler = runtime.scheduler
+        if getattr(scheduler, "table", None) is None:
+            raise TypeError(
+                f"scheduler {scheduler.name!r} has no profile table to checkpoint; "
+                "the profile store requires a versioning scheduler"
+            )
+        from repro.sim.calibrate import machine_fingerprint
+
+        self._rt = runtime
+        if self._merge_base_override is not None:
+            self.merge_base = self._merge_base_override
+        else:
+            # a warm-started scheduler's counts already include the
+            # store's history; merging the baseline would double-count
+            self.merge_base = getattr(scheduler, "preloaded_entries", 0) == 0
+        self.store.begin_run(fingerprint=machine_fingerprint(runtime.machine))
+        self._last_completed = runtime._tasks_completed
+        self._idle_ticks = 0
+        self._event = runtime.engine.schedule_every(
+            self.interval,
+            self._tick,
+            kind=EventKind.RUNTIME,
+            label="profile-checkpoint",
+        )
+        return self
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None and self._event.active
+
+    # ------------------------------------------------------------------
+    def checkpoint_now(self, *, run_complete: bool = False) -> dict:
+        """Take one checkpoint immediately (also used by each tick)."""
+        if self._rt is None:
+            raise RuntimeError("checkpointer is not bound to a runtime")
+        payload = self.store.checkpoint(
+            self._rt.scheduler.table,
+            sim_time=self._rt.engine.now,
+            merge_base=self.merge_base,
+            run_complete=run_complete,
+        )
+        self.checkpoints_taken += 1
+        self.last_checkpoint_time = self._rt.engine.now
+        return payload
+
+    def finalize(self) -> Optional[dict]:
+        """Stop the recurring event and write the final (run-complete)
+        generation.  Idempotent; safe to call after an aborted run."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if self._rt is None or self._finalized:
+            return None
+        self._finalized = True
+        return self.checkpoint_now(run_complete=True)
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> object:
+        assert self._rt is not None
+        completed = self._rt._tasks_completed
+        if completed == self._last_completed:
+            if any(w.current is not None for w in self._rt.workers):
+                # a task is running (its end event is queued): the run is
+                # making progress, there's just nothing new to snapshot
+                return None
+            self._idle_ticks += 1
+            if self._idle_ticks >= self.idle_limit:
+                # no running task and no completions for idle_limit
+                # ticks: retire so the empty-queue deadlock detection in
+                # taskwait() can still fire
+                self._event = None
+                return False
+            return None
+        self._last_completed = completed
+        self._idle_ticks = 0
+        self.checkpoint_now(run_complete=False)
+        return None

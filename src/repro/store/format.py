@@ -1,0 +1,283 @@
+"""On-disk format of the profile store (schema v2).
+
+A store file is a single JSON document::
+
+    {
+      "format": "repro-profile-store",
+      "schema_version": 2,
+      "fingerprint": "fp:..." | null,
+      "meta": {"runs": N, "checkpoints": N, "invalidations": N,
+               "last_checkpoint": {"sim_time": T, "run_complete": bool}},
+      "grouping": "exact", "estimator": "mean",
+      "tasks": {task: [{"representative_bytes": B,
+                        "versions": {v: {"mean_time": s,
+                                         "executions": n,
+                                         "stale_runs": k}}}]}
+    }
+
+``tasks`` is a superset of the legacy §VII hints snapshot
+(:mod:`repro.core.hints`): each version entry additionally carries
+``stale_runs`` — how many completed runs have been merged into the store
+since this entry was last refreshed — which drives staleness decay at
+merge and warm-start time.
+
+Durability: writes go to a temp file in the same directory followed by
+an atomic :func:`os.replace`; the previous store generation is rotated
+to ``<name>.bak`` first, so a crash mid-write always leaves at least one
+readable generation on disk.  Reads validate the whole document and
+raise :class:`StoreCorruptError` with a precise reason on truncated or
+malformed files; legacy hints snapshots (XML or JSON) are migrated
+in-memory to schema v2 transparently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+FORMAT_NAME = "repro-profile-store"
+SCHEMA_VERSION = 2
+
+PathLike = Union[str, Path]
+
+
+class StoreError(ValueError):
+    """Base class for profile-store failures."""
+
+
+class StoreCorruptError(StoreError):
+    """The store file is truncated, malformed, or fails validation."""
+
+
+class FingerprintMismatchError(StoreError):
+    """Stores with incompatible device-calibration fingerprints."""
+
+
+# ----------------------------------------------------------------------
+# Construction / migration
+# ----------------------------------------------------------------------
+def empty_payload(
+    *,
+    fingerprint: Optional[str] = None,
+    grouping: str = "exact",
+    estimator: str = "mean",
+) -> dict:
+    """A fresh, valid schema-v2 payload with no profile data."""
+    return {
+        "format": FORMAT_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "meta": {
+            "runs": 0,
+            "checkpoints": 0,
+            "invalidations": 0,
+            "last_checkpoint": None,
+        },
+        "grouping": grouping,
+        "estimator": estimator,
+        "tasks": {},
+    }
+
+
+def migrate_legacy(snapshot: dict, *, fingerprint: Optional[str] = None) -> dict:
+    """Lift a legacy hints snapshot (schema v1: the plain dict written by
+    :func:`repro.core.hints.save_hints` / ``VersionProfileTable.to_dict``)
+    into a schema-v2 payload.
+
+    Legacy entries have no provenance, so they enter with
+    ``stale_runs = 0`` and count as one merged run.
+    """
+    if not isinstance(snapshot, dict) or "tasks" not in snapshot:
+        raise StoreCorruptError("legacy snapshot lacks a top-level 'tasks' mapping")
+    payload = empty_payload(
+        fingerprint=fingerprint,
+        grouping=str(snapshot.get("grouping", "exact")),
+        estimator=str(snapshot.get("estimator", "mean")),
+    )
+    payload["meta"]["runs"] = 1
+    for task_name, groups in snapshot["tasks"].items():
+        if not isinstance(groups, list):
+            raise StoreCorruptError(
+                f"legacy snapshot: groups of task {task_name!r} are not a list"
+            )
+        out_groups = []
+        for g in groups:
+            if "representative_bytes" not in g:
+                raise StoreCorruptError(
+                    f"legacy snapshot: group of task {task_name!r} lacks "
+                    "'representative_bytes'"
+                )
+            versions = {}
+            for vname, stats in g.get("versions", {}).items():
+                mean = stats.get("mean_time")
+                count = int(stats.get("executions", 0))
+                if mean is None or count <= 0:
+                    continue
+                versions[vname] = {
+                    "mean_time": float(mean),
+                    "executions": count,
+                    "stale_runs": 0,
+                }
+            out_groups.append(
+                {
+                    "representative_bytes": int(g["representative_bytes"]),
+                    "versions": versions,
+                }
+            )
+        payload["tasks"][task_name] = out_groups
+    return validate_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_payload(payload: dict) -> dict:
+    """Check a payload against schema v2; returns it on success.
+
+    Raises :class:`StoreCorruptError` naming the first offending field.
+    """
+    if not isinstance(payload, dict):
+        raise StoreCorruptError(f"store root must be an object, got {type(payload).__name__}")
+    fmt = payload.get("format")
+    if fmt != FORMAT_NAME:
+        raise StoreCorruptError(f"not a profile store (format={fmt!r})")
+    version = payload.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise StoreCorruptError(f"bad schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise StoreCorruptError(
+            f"store schema_version {version} is newer than supported "
+            f"({SCHEMA_VERSION}); upgrade this runtime"
+        )
+    fp = payload.get("fingerprint")
+    if fp is not None and not isinstance(fp, str):
+        raise StoreCorruptError(f"fingerprint must be a string or null, got {fp!r}")
+    meta = payload.get("meta")
+    if not isinstance(meta, dict):
+        raise StoreCorruptError("store lacks a 'meta' object")
+    for counter in ("runs", "checkpoints", "invalidations"):
+        v = meta.get(counter, 0)
+        if not isinstance(v, int) or v < 0:
+            raise StoreCorruptError(f"meta.{counter} must be a non-negative int, got {v!r}")
+    tasks = payload.get("tasks")
+    if not isinstance(tasks, dict):
+        raise StoreCorruptError("store lacks a 'tasks' mapping")
+    for task_name, groups in tasks.items():
+        if not isinstance(groups, list):
+            raise StoreCorruptError(f"tasks[{task_name!r}] must be a list of groups")
+        for g in groups:
+            if not isinstance(g, dict) or "representative_bytes" not in g:
+                raise StoreCorruptError(
+                    f"group of task {task_name!r} lacks 'representative_bytes'"
+                )
+            if int(g["representative_bytes"]) < 0:
+                raise StoreCorruptError(
+                    f"group of task {task_name!r} has negative representative_bytes"
+                )
+            versions = g.get("versions", {})
+            if not isinstance(versions, dict):
+                raise StoreCorruptError(
+                    f"versions of task {task_name!r} must be a mapping"
+                )
+            for vname, stats in versions.items():
+                if not isinstance(stats, dict):
+                    raise StoreCorruptError(
+                        f"entry {task_name!r}/{vname!r} must be an object"
+                    )
+                mean = stats.get("mean_time")
+                if not isinstance(mean, (int, float)) or mean < 0 or mean != mean:
+                    raise StoreCorruptError(
+                        f"entry {task_name!r}/{vname!r} has invalid mean_time {mean!r}"
+                    )
+                execs = stats.get("executions")
+                if not isinstance(execs, int) or execs < 1:
+                    raise StoreCorruptError(
+                        f"entry {task_name!r}/{vname!r} has invalid executions {execs!r}"
+                    )
+                stale = stats.get("stale_runs", 0)
+                if not isinstance(stale, int) or stale < 0:
+                    raise StoreCorruptError(
+                        f"entry {task_name!r}/{vname!r} has invalid stale_runs {stale!r}"
+                    )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# I/O
+# ----------------------------------------------------------------------
+def read_payload(path: PathLike) -> dict:
+    """Read + validate a store file; migrates legacy hints transparently.
+
+    Accepts schema-v2 JSON stores, legacy JSON hints snapshots and
+    legacy XML hints files; anything else raises
+    :class:`StoreCorruptError` with the path and the parse failure.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise StoreError(f"cannot read profile store {path}: {exc}") from exc
+    stripped = raw.lstrip()
+    if stripped.startswith(b"<"):
+        # legacy XML hints snapshot
+        from repro.core.hints import _from_xml
+
+        try:
+            snapshot = _from_xml(raw)
+        except ValueError as exc:
+            raise StoreCorruptError(f"{path}: {exc}") from exc
+        return migrate_legacy(snapshot)
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreCorruptError(
+            f"{path}: truncated or malformed JSON ({exc})"
+        ) from exc
+    if isinstance(payload, dict) and payload.get("format") != FORMAT_NAME:
+        # legacy JSON hints snapshot (no format marker)
+        try:
+            return migrate_legacy(payload)
+        except StoreCorruptError as exc:
+            raise StoreCorruptError(f"{path}: {exc}") from exc
+    try:
+        return validate_payload(payload)
+    except StoreCorruptError as exc:
+        raise StoreCorruptError(f"{path}: {exc}") from exc
+
+
+def write_payload(path: PathLike, payload: dict) -> None:
+    """Atomically write ``payload`` to ``path``, rotating the previous
+    generation to ``<path>.bak``.
+
+    The document lands in a temp file in the destination directory and
+    is moved into place with :func:`os.replace`, so readers never see a
+    half-written store.
+    """
+    path = Path(path)
+    validate_payload(payload)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        if path.exists():
+            os.replace(path, backup_path(path))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def backup_path(path: PathLike) -> Path:
+    """Where :func:`write_payload` rotates the previous generation."""
+    path = Path(path)
+    return path.with_name(path.name + ".bak")

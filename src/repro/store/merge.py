@@ -1,0 +1,255 @@
+"""Cross-run profile merging with #Exec weighting and staleness decay.
+
+The merge rule for one (task, size-group, version) entry across several
+payloads follows the estimator semantics: each contribution is a mean
+over a number of executions, so the combined mean is the
+execution-weighted average.  The weight of an entry is its *effective*
+execution count::
+
+    effective = executions * decay ** stale_runs
+
+where ``stale_runs`` counts how many completed runs have been merged
+into the store since the entry was last refreshed.  Fresh data therefore
+dominates and stale data fades geometrically instead of pinning the
+estimate forever — the "always learning" property (§IV-B) extended
+across process lifetimes.
+
+Payloads with differing device-calibration fingerprints are never
+silently combined: learned times from different hardware are not
+comparable (:class:`FingerprintMismatchError`), unless the caller
+explicitly opts out of the check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.store.format import (
+    FingerprintMismatchError,
+    StoreError,
+    empty_payload,
+    validate_payload,
+)
+
+#: Default per-run geometric decay of unrefreshed entries.
+DEFAULT_DECAY = 0.5
+
+#: Entries whose effective execution count falls below this are dropped.
+MIN_EFFECTIVE_EXECUTIONS = 0.5
+
+#: Merged execution counts are capped so decades of history cannot make
+#: an estimate immune to new evidence (≈ a few learning phases' worth).
+MAX_MERGED_EXECUTIONS = 1000
+
+
+def effective_executions(entry: dict, decay: float = DEFAULT_DECAY) -> float:
+    """The staleness-decayed weight of one version entry."""
+    return entry["executions"] * decay ** entry.get("stale_runs", 0)
+
+
+def age_payload(payload: dict, by: int = 1) -> dict:
+    """Return a copy with every entry's ``stale_runs`` advanced by ``by``
+    (one unit per completed run merged since the entry was refreshed)."""
+    out = _copy_shell(payload)
+    for task_name, groups in payload.get("tasks", {}).items():
+        out["tasks"][task_name] = [
+            {
+                "representative_bytes": g["representative_bytes"],
+                "versions": {
+                    v: {**stats, "stale_runs": stats.get("stale_runs", 0) + by}
+                    for v, stats in g.get("versions", {}).items()
+                },
+            }
+            for g in groups
+        ]
+    return out
+
+
+def merge_payloads(
+    payloads: Sequence[dict],
+    *,
+    decay: float = DEFAULT_DECAY,
+    check_fingerprints: bool = True,
+) -> dict:
+    """Merge several store payloads into one.
+
+    Entries are matched by (task, representative_bytes, version);
+    matching entries combine by effective-execution-weighted mean, and
+    the result's ``stale_runs`` is the minimum of the contributors' (the
+    freshest provenance wins).  Sub-threshold entries are dropped.
+    """
+    if not payloads:
+        raise StoreError("nothing to merge: no payloads given")
+    if not 0.0 < decay <= 1.0:
+        raise StoreError(f"decay must be in (0, 1], got {decay}")
+    for p in payloads:
+        validate_payload(p)
+    fingerprint = _common_fingerprint(payloads, check=check_fingerprints)
+
+    out = empty_payload(
+        fingerprint=fingerprint,
+        grouping=str(payloads[0].get("grouping", "exact")),
+        estimator=str(payloads[0].get("estimator", "mean")),
+    )
+    out["meta"]["runs"] = sum(p["meta"].get("runs", 0) for p in payloads)
+    out["meta"]["checkpoints"] = max(p["meta"].get("checkpoints", 0) for p in payloads)
+    out["meta"]["invalidations"] = sum(
+        p["meta"].get("invalidations", 0) for p in payloads
+    )
+
+    # (task, representative_bytes) -> version -> list of entries
+    buckets: dict[tuple[str, int], dict[str, list[dict]]] = {}
+    for p in payloads:
+        for task_name, groups in p.get("tasks", {}).items():
+            for g in groups:
+                key = (task_name, int(g["representative_bytes"]))
+                by_version = buckets.setdefault(key, {})
+                for vname, stats in g.get("versions", {}).items():
+                    by_version.setdefault(vname, []).append(stats)
+
+    for (task_name, rep_bytes), by_version in sorted(buckets.items()):
+        versions: dict[str, dict] = {}
+        for vname, entries in sorted(by_version.items()):
+            merged = _merge_entries(entries, decay)
+            if merged is not None:
+                versions[vname] = merged
+        out["tasks"].setdefault(task_name, []).append(
+            {"representative_bytes": rep_bytes, "versions": versions}
+        )
+    return validate_payload(out)
+
+
+def prune_payload(
+    payload: dict,
+    *,
+    decay: float = DEFAULT_DECAY,
+    max_stale: Optional[int] = None,
+    min_executions: int = 1,
+) -> tuple[dict, int]:
+    """Drop entries that are too stale or too thin to trust.
+
+    Removes version entries with ``stale_runs > max_stale`` (when
+    given), raw executions below ``min_executions``, or an effective
+    count below :data:`MIN_EFFECTIVE_EXECUTIONS`; then drops emptied
+    groups and tasks.  Returns ``(pruned payload, entries removed)``.
+    """
+    validate_payload(payload)
+    out = _copy_shell(payload)
+    removed = 0
+    for task_name, groups in payload.get("tasks", {}).items():
+        kept_groups = []
+        for g in groups:
+            versions = {}
+            for vname, stats in g.get("versions", {}).items():
+                too_stale = max_stale is not None and stats.get("stale_runs", 0) > max_stale
+                too_thin = (
+                    stats["executions"] < min_executions
+                    or effective_executions(stats, decay) < MIN_EFFECTIVE_EXECUTIONS
+                )
+                if too_stale or too_thin:
+                    removed += 1
+                    continue
+                versions[vname] = dict(stats)
+            if versions:
+                kept_groups.append(
+                    {
+                        "representative_bytes": g["representative_bytes"],
+                        "versions": versions,
+                    }
+                )
+        if kept_groups:
+            out["tasks"][task_name] = kept_groups
+    return out, removed
+
+
+def to_hints(payload: dict, *, decay: float = DEFAULT_DECAY) -> dict:
+    """Flatten a payload to the legacy hints-snapshot shape consumed by
+    ``VersioningScheduler(hints=...)`` / ``VersionProfileTable.preload``.
+
+    Staleness decay is applied here: an entry enters the new run with
+    ``round(executions * decay**stale_runs)`` executions of credit, and
+    entries decayed to nothing are omitted.  Pass ``decay=1.0`` to
+    export raw counts.
+    """
+    validate_payload(payload)
+    out: dict = {
+        "grouping": payload.get("grouping", "exact"),
+        "estimator": payload.get("estimator", "mean"),
+        "tasks": {},
+    }
+    for task_name, groups in payload.get("tasks", {}).items():
+        out_groups = []
+        for g in groups:
+            versions = {}
+            for vname, stats in g.get("versions", {}).items():
+                eff = int(round(effective_executions(stats, decay)))
+                if eff < 1:
+                    continue
+                versions[vname] = {
+                    "mean_time": stats["mean_time"],
+                    "executions": eff,
+                }
+            if versions:
+                out_groups.append(
+                    {
+                        "representative_bytes": g["representative_bytes"],
+                        "versions": versions,
+                    }
+                )
+        if out_groups:
+            out["tasks"][task_name] = out_groups
+    return out
+
+
+def entry_count(payload: dict) -> int:
+    """Total (task, group, version) entries in a payload."""
+    return sum(
+        len(g.get("versions", {}))
+        for groups in payload.get("tasks", {}).values()
+        for g in groups
+    )
+
+
+# ----------------------------------------------------------------------
+def _merge_entries(entries: Iterable[dict], decay: float) -> Optional[dict]:
+    weight = 0.0
+    weighted_mean = 0.0
+    stale = None
+    for e in entries:
+        w = effective_executions(e, decay)
+        if w <= 0.0:
+            continue
+        weight += w
+        weighted_mean += w * e["mean_time"]
+        s = e.get("stale_runs", 0)
+        stale = s if stale is None else min(stale, s)
+    if weight < MIN_EFFECTIVE_EXECUTIONS or stale is None:
+        return None
+    return {
+        "mean_time": weighted_mean / weight,
+        "executions": min(max(1, int(round(weight))), MAX_MERGED_EXECUTIONS),
+        "stale_runs": stale,
+    }
+
+
+def _common_fingerprint(payloads: Sequence[dict], *, check: bool) -> Optional[str]:
+    fingerprints = {p.get("fingerprint") for p in payloads} - {None}
+    if len(fingerprints) > 1 and check:
+        raise FingerprintMismatchError(
+            "refusing to merge stores with different device calibrations: "
+            + ", ".join(sorted(fingerprints))
+        )
+    if len(fingerprints) == 1:
+        return next(iter(fingerprints))
+    return None
+
+
+def _copy_shell(payload: dict) -> dict:
+    """A payload copy with the same metadata but empty ``tasks``."""
+    out = empty_payload(
+        fingerprint=payload.get("fingerprint"),
+        grouping=str(payload.get("grouping", "exact")),
+        estimator=str(payload.get("estimator", "mean")),
+    )
+    out["meta"] = dict(payload.get("meta", out["meta"]))
+    return out

@@ -100,3 +100,41 @@ class TestMalformed:
         p.write_text('{"tasks": {"t": {}}}')
         with pytest.raises(ValueError, match="not a list"):
             load_hints(p)
+
+    def test_truncated_json_rejected_with_clear_error(self, tmp_path):
+        p = tmp_path / "h.json"
+        save_hints(make_table(), p)
+        text = p.read_text()
+        p.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="truncated or invalid"):
+            load_hints(p)
+
+
+class TestFormatEquivalence:
+    def test_xml_and_json_snapshots_are_equivalent(self, tmp_path):
+        """The two serialisations of one table preload identically."""
+        xml_p, json_p = tmp_path / "h.xml", tmp_path / "h.json"
+        save_hints(make_table(), xml_p)
+        save_hints(make_table(), json_p)
+        assert load_hints(xml_p) == load_hints(json_p)
+
+    def test_cross_format_roundtrip(self, tmp_path):
+        """JSON -> table -> XML -> table preserves every profile."""
+        json_p = tmp_path / "h.json"
+        save_hints(make_table(), json_p)
+        t2 = VersionProfileTable()
+        t2.preload(load_hints(json_p))
+        xml_p = tmp_path / "h2.xml"
+        save_hints(t2, xml_p)
+        assert load_hints(xml_p) == load_hints(json_p)
+
+    def test_legacy_snapshot_migrates_to_store_schema(self, tmp_path):
+        """Both legacy formats lift to identical schema-v2 payloads."""
+        from repro.store import SCHEMA_VERSION, read_payload
+
+        xml_p, json_p = tmp_path / "h.xml", tmp_path / "h.json"
+        save_hints(make_table(), xml_p)
+        save_hints(make_table(), json_p)
+        a, b = read_payload(xml_p), read_payload(json_p)
+        assert a["schema_version"] == b["schema_version"] == SCHEMA_VERSION
+        assert a["tasks"] == b["tasks"]

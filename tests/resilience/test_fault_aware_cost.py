@@ -1,0 +1,85 @@
+"""Fault-aware cost estimation: the earliest-executor computation
+inflates a worker's estimated finish time by its observed fault rate, so
+a flaky-but-fast device stops monopolising the reliable phase."""
+
+import pytest
+
+from repro.core.versioning import VersioningScheduler
+from repro.resilience.faults import FaultPlan, TaskFaultRule
+from repro.resilience.recovery import ResilienceManager
+from repro.runtime.runtime import OmpSsRuntime
+from tests.conftest import make_machine, make_two_version_task, region
+
+
+def run_flaky_gpu(*, fault_aware, n_tasks=80):
+    """GPU slightly faster than SMP on paper, but every other GPU start
+    faults transiently (rate ~0.5 → effective cost doubles)."""
+    registry = {}
+    m = make_machine(2, 1)
+    # close enough that a 2x fault inflation flips the decision
+    work, _ = make_two_version_task(
+        registry, machine=m, smp_cost=0.010, gpu_cost=0.008
+    )
+    plan = FaultPlan(
+        task_faults=[
+            TaskFaultRule(worker="gpu0", at_starts=tuple(range(1, 4 * n_tasks, 2)))
+        ]
+    )
+    sched = VersioningScheduler(fault_aware=fault_aware)
+    rt = OmpSsRuntime(m, sched, fault_plan=plan)
+    with rt:
+        for i in range(n_tasks):
+            work(region(("a", i)), region(("b", i)))
+    res = rt.result()
+    gpu_runs = res.version_counts["work_smp"].get("work_gpu", 0)
+    return res, sched, gpu_runs
+
+
+class TestWorkerFaultRate:
+    def test_rate_is_faults_over_attempts(self):
+        mgr = ResilienceManager()
+        mgr._worker_faults["w:gpu0"] = 3
+        mgr._worker_completions["w:gpu0"] = 9
+        assert mgr.worker_fault_rate("w:gpu0") == pytest.approx(0.25)
+
+    def test_unknown_worker_rate_is_zero(self):
+        assert ResilienceManager().worker_fault_rate("w:nowhere") == 0.0
+
+    def test_fault_rates_lists_all_seen_workers(self):
+        mgr = ResilienceManager()
+        mgr._worker_faults["w:gpu0"] = 1
+        mgr._worker_completions["w:smp0"] = 4
+        rates = mgr.fault_rates()
+        assert rates == {"w:gpu0": 1.0, "w:smp0": 0.0}
+
+    def test_rates_tracked_through_a_run(self):
+        res, _, _ = run_flaky_gpu(fault_aware=False, n_tasks=20)
+        # ResilienceManager counted both faults and completions on gpu0
+        assert res.resilience.task_faults > 0
+
+
+class TestFaultAwareSelection:
+    def test_flaky_but_fast_device_is_discounted(self):
+        res_off, sched_off, gpu_off = run_flaky_gpu(fault_aware=False)
+        res_on, sched_on, gpu_on = run_flaky_gpu(fault_aware=True)
+        # both runs finish the full workload despite the faults
+        assert res_off.tasks_completed == res_on.tasks_completed == 80
+        # without fault awareness the nominally-faster GPU keeps winning
+        # the earliest-executor race; with it, the observed ~50% fault
+        # rate doubles its effective cost and the SMP workers take over
+        assert gpu_on < gpu_off
+        # fault-triggered retries shrink accordingly
+        assert res_on.resilience.task_faults < res_off.resilience.task_faults
+
+    def test_default_is_off(self):
+        assert VersioningScheduler().fault_aware is False
+
+    def test_rate_cap_bounds_the_inflation(self):
+        with pytest.raises(ValueError, match="fault_rate_cap"):
+            VersioningScheduler(fault_aware=True, fault_rate_cap=1.0)
+
+    def test_fault_aware_run_validates_clean(self):
+        res, _, _ = run_flaky_gpu(fault_aware=True, n_tasks=40)
+        # fault-aware placement must not break any trace invariant
+        diags = res.validate(strict=False)
+        assert all(d.severity.name != "ERROR" for d in diags)

@@ -1,0 +1,168 @@
+"""Checkpoint/restart: a run killed mid-learning resumes from the last
+checkpoint instead of re-learning from scratch (the tentpole scenario)."""
+
+import pytest
+
+from repro.core.versioning import VersioningScheduler
+from repro.resilience.faults import FaultPlan, TaskFaultRule
+from repro.resilience.recovery import RecoveryPolicy, TaskRetryExceededError
+from repro.runtime.runtime import OmpSsRuntime
+from repro.store import Checkpointer, ProfileStore, warm_start_options
+from repro.store.merge import entry_count
+from tests.conftest import make_machine, make_two_version_task, region
+
+
+def build_run(sched, *, n_tasks, plan=None, policy=None):
+    registry = {}
+    m = make_machine(2, 1)
+    work, _ = make_two_version_task(registry, machine=m)
+    rt = OmpSsRuntime(m, sched, fault_plan=plan, recovery=policy)
+    calls = [(work, region(("a", i)), region(("b", i))) for i in range(n_tasks)]
+    return rt, calls
+
+
+def run(rt, calls):
+    with rt:
+        for fn, *args in calls:
+            fn(*args)
+    return rt.result()
+
+
+def killed_mid_learning_store(tmp_path, *, interval=0.0005):
+    """Run with periodic checkpoints and abort mid-learning; returns the
+    store left on disk by the last checkpoint before the crash."""
+    store = ProfileStore(tmp_path / "ckpt.json")
+    sched = VersioningScheduler()
+    # the 18th task start faults, and a zero retry budget turns that
+    # first fault into a fatal abort — the simulated "killed run".  At
+    # that point the SMP version has 2 of λ=3 recorded executions, so
+    # the checkpoint is genuinely mid-learning for both versions' group
+    plan = FaultPlan(task_faults=[TaskFaultRule(at_starts=(18,))])
+    policy = RecoveryPolicy(max_task_retries=0)
+    rt, calls = build_run(sched, n_tasks=200, plan=plan, policy=policy)
+    cp = Checkpointer(store, interval=interval).bind(rt)
+    with pytest.raises(TaskRetryExceededError):
+        run(rt, calls)
+    # the process "died": no finalize(), only periodic generations exist
+    return store, sched, cp
+
+
+class TestKilledRun:
+    def test_abort_leaves_a_consistent_midrun_checkpoint(self, tmp_path):
+        store, sched, cp = killed_mid_learning_store(tmp_path)
+        assert cp.checkpoints_taken > 0
+        payload = store.load()  # validates on read
+        assert entry_count(payload) > 0
+        last = payload["meta"]["last_checkpoint"]
+        assert last is not None and not last["run_complete"]
+        # the run died before finishing its learning phase
+        assert sched.reliable_dispatches == 0
+
+    def test_checkpoint_carries_calibration_fingerprint(self, tmp_path):
+        store, _, _ = killed_mid_learning_store(tmp_path)
+        assert store.load()["fingerprint"].startswith("fp:")
+
+
+class TestRestart:
+    def test_warm_restart_learns_strictly_less_than_cold(self, tmp_path):
+        store, _, _ = killed_mid_learning_store(tmp_path)
+
+        warm = VersioningScheduler(**warm_start_options(store))
+        assert warm.preloaded_entries > 0
+        rt, calls = build_run(warm, n_tasks=200)
+        warm_res = run(rt, calls)
+
+        cold = VersioningScheduler()
+        rt, calls = build_run(cold, n_tasks=200)
+        cold_res = run(rt, calls)
+
+        # both restarts finish the workload and reach the reliable phase
+        assert warm_res.tasks_completed == cold_res.tasks_completed == 200
+        assert warm.reliable_dispatches > 0
+        assert cold.reliable_dispatches > 0
+        # the acceptance criterion: strictly fewer post-restart learning
+        # dispatches than a cold restart, and an earlier reliable phase
+        assert warm.learning_dispatches < cold.learning_dispatches
+        assert warm.time_to_reliable_phase() < cold.time_to_reliable_phase()
+
+    def test_warm_restart_validates_clean(self, tmp_path):
+        store, _, _ = killed_mid_learning_store(tmp_path)
+        warm = VersioningScheduler(**warm_start_options(store))
+        rt, calls = build_run(warm, n_tasks=200)
+        res = run(rt, calls)
+        res.validate()  # raises on any error-severity finding
+
+
+class TestCheckpointerMechanics:
+    def test_periodic_checkpoints_during_clean_run(self, tmp_path):
+        store = ProfileStore(tmp_path / "s.json")
+        sched = VersioningScheduler()
+        rt, calls = build_run(sched, n_tasks=60)
+        cp = Checkpointer(store, interval=0.0005).bind(rt)
+        run(rt, calls)
+        final = cp.finalize()
+        assert cp.checkpoints_taken >= 2  # periodic + final
+        assert final["meta"]["last_checkpoint"]["run_complete"]
+        assert store.load()["meta"]["checkpoints"] == cp.checkpoints_taken
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        store = ProfileStore(tmp_path / "s.json")
+        rt, calls = build_run(VersioningScheduler(), n_tasks=10)
+        cp = Checkpointer(store, interval=0.01).bind(rt)
+        run(rt, calls)
+        assert cp.finalize() is not None
+        assert cp.finalize() is None
+
+    def test_warm_started_scheduler_disables_base_merge(self, tmp_path):
+        store, _, _ = killed_mid_learning_store(tmp_path)
+        warm = VersioningScheduler(**warm_start_options(store))
+        rt, calls = build_run(warm, n_tasks=20)
+        cp = Checkpointer(store).bind(rt)
+        # the warm table already contains the store's counts
+        assert cp.merge_base is False
+        run(rt, calls)
+        cp.finalize()
+        store.load()
+
+    def test_cold_scheduler_merges_base(self, tmp_path):
+        store = ProfileStore(tmp_path / "s.json")
+        rt, _ = build_run(VersioningScheduler(), n_tasks=4)
+        cp = Checkpointer(store).bind(rt)
+        assert cp.merge_base is True
+
+    def test_resumed_counts_accumulate_without_double_counting(self, tmp_path):
+        store, _, _ = killed_mid_learning_store(tmp_path)
+        before = store.load()
+        warm = VersioningScheduler(**warm_start_options(store))
+        preloaded_execs = sum(
+            stats["executions"]
+            for groups in before["tasks"].values()
+            for g in groups
+            for stats in g["versions"].values()
+        )
+        rt, calls = build_run(warm, n_tasks=50)
+        cp = Checkpointer(store).bind(rt)
+        run(rt, calls)
+        cp.finalize()
+        after = store.load()
+        total_execs = sum(
+            stats["executions"]
+            for groups in after["tasks"].values()
+            for g in groups
+            for stats in g["versions"].values()
+        )
+        # preloads + 50 live tasks, not preloads*2 + 50
+        assert total_execs == preloaded_execs + 50
+
+    def test_requires_a_profiling_scheduler(self, tmp_path):
+        store = ProfileStore(tmp_path / "s.json")
+        registry = {}
+        m = make_machine(2, 1)
+        make_two_version_task(registry, machine=m)
+        rt = OmpSsRuntime(m, "dep")
+        with pytest.raises(TypeError, match="profile table"):
+            Checkpointer(store).bind(rt)
+
+    def test_bad_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            Checkpointer(ProfileStore(tmp_path / "s.json"), interval=0.0)

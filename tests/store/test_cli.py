@@ -1,0 +1,107 @@
+"""The ``python -m repro.store`` maintenance CLI."""
+
+import json
+
+import pytest
+
+from repro.core.hints import save_hints
+from repro.core.profile import VersionProfileTable
+from repro.store import read_payload
+from repro.store.__main__ import main
+
+MB = 1024**2
+
+
+def make_table(mean=0.030, execs=200):
+    t = VersionProfileTable()
+    g = t.group("task1", 2 * MB)
+    g.profile("v1").estimator.preload(mean, execs)
+    g.profile("v2").estimator.preload(0.018, 350)
+    return t
+
+
+def seeded_path(tmp_path, name="seed.json", **kwargs):
+    path = tmp_path / name
+    save_hints(make_table(**kwargs), path)
+    out = tmp_path / f"store-{name}"
+    assert main(["migrate", str(path), "-o", str(out)]) == 0
+    return out
+
+
+class TestCreateInspect:
+    def test_create_then_inspect(self, tmp_path, capsys):
+        path = tmp_path / "new.json"
+        assert main(["create", str(path), "--fingerprint", "fp:ci"]) == 0
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fp:ci" in out
+        assert "entries=0" in out
+
+    def test_inspect_json_dump_is_valid(self, tmp_path, capsys):
+        path = seeded_path(tmp_path)
+        capsys.readouterr()  # drop the migrate chatter
+        assert main(["inspect", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-profile-store"
+
+    def test_inspect_legacy_hints_directly(self, tmp_path, capsys):
+        path = tmp_path / "hints.xml"
+        save_hints(make_table(), path)
+        assert main(["inspect", str(path)]) == 0
+        assert "task1" in capsys.readouterr().out
+
+
+class TestMergeDiffPrune:
+    def test_merge_combines_entries(self, tmp_path, capsys):
+        a = seeded_path(tmp_path, "a.json", mean=0.030)
+        b = seeded_path(tmp_path, "b.json", mean=0.060)
+        out = tmp_path / "merged.json"
+        assert main(["merge", str(a), str(b), "-o", str(out)]) == 0
+        merged = read_payload(out)
+        entry = merged["tasks"]["task1"][0]["versions"]["v1"]
+        assert entry["mean_time"] == pytest.approx(0.045)
+
+    def test_diff_identical_exit_zero(self, tmp_path):
+        a = seeded_path(tmp_path, "a.json")
+        assert main(["diff", str(a), str(a)]) == 0
+
+    def test_diff_different_exit_one(self, tmp_path, capsys):
+        a = seeded_path(tmp_path, "a.json", mean=0.030)
+        b = seeded_path(tmp_path, "b.json", mean=0.060)
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "mean" in capsys.readouterr().out
+
+    def test_prune_removes_stale_entries(self, tmp_path, capsys):
+        path = seeded_path(tmp_path)
+        payload = read_payload(path)
+        payload["tasks"]["task1"][0]["versions"]["v1"]["stale_runs"] = 9
+        from repro.store import write_payload
+
+        write_payload(path, payload)
+        assert main(["prune", str(path), "--max-stale", "4"]) == 0
+        assert "pruned 1 entry" in capsys.readouterr().out
+        assert "v1" not in read_payload(path)["tasks"]["task1"][0]["versions"]
+
+
+class TestErrors:
+    def test_corrupt_store_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "repro-profile-store", "schema')
+        assert main(["inspect", str(bad)]) == 2
+        assert "truncated or malformed" in capsys.readouterr().err
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fingerprint_mismatch_merge_exit_two(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["create", str(a), "--fingerprint", "fp:one"]) == 0
+        assert main(["create", str(b), "--fingerprint", "fp:two"]) == 0
+        out = tmp_path / "m.json"
+        assert main(["merge", str(a), str(b), "-o", str(out)]) == 2
+        assert "different device calibrations" in capsys.readouterr().err
+        # and the override works
+        assert main(
+            ["merge", str(a), str(b), "-o", str(out), "--ignore-fingerprints"]
+        ) == 0

@@ -1,0 +1,183 @@
+"""On-disk format: validation, atomic write/rotation, legacy migration."""
+
+import json
+
+import pytest
+
+from repro.core.hints import save_hints
+from repro.core.profile import VersionProfileTable
+from repro.store import (
+    SCHEMA_VERSION,
+    StoreCorruptError,
+    backup_path,
+    empty_payload,
+    migrate_legacy,
+    read_payload,
+    validate_payload,
+    write_payload,
+)
+
+MB = 1024**2
+
+
+def make_table():
+    t = VersionProfileTable()
+    g = t.group("task1", 2 * MB)
+    g.profile("v1").estimator.preload(0.030, 200)
+    g.profile("v2").estimator.preload(0.018, 350)
+    t.group("task2", 5 * MB).profile("w1").estimator.preload(0.015, 40)
+    return t
+
+
+def sample_payload():
+    return migrate_legacy(make_table().to_dict(), fingerprint="fp:test")
+
+
+class TestValidation:
+    def test_empty_payload_is_valid(self):
+        validate_payload(empty_payload())
+
+    def test_migrated_legacy_snapshot_is_valid(self):
+        p = sample_payload()
+        validate_payload(p)
+        entry = p["tasks"]["task1"][0]["versions"]["v1"]
+        assert entry == {"mean_time": 0.030, "executions": 200, "stale_runs": 0}
+        assert p["schema_version"] == SCHEMA_VERSION
+
+    def test_zero_execution_versions_dropped_on_migration(self):
+        t = VersionProfileTable()
+        t.group("t", 100).profile("never_ran")
+        p = migrate_legacy(t.to_dict())
+        assert p["tasks"]["t"][0]["versions"] == {}
+
+    def test_wrong_format_marker_rejected(self):
+        with pytest.raises(StoreCorruptError, match="not a profile store"):
+            validate_payload({"format": "something-else"})
+
+    def test_newer_schema_rejected_with_upgrade_hint(self):
+        p = empty_payload()
+        p["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(StoreCorruptError, match="upgrade this runtime"):
+            validate_payload(p)
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda e: e.update(mean_time=-1.0), "mean_time"),
+            (lambda e: e.update(mean_time=float("nan")), "mean_time"),
+            (lambda e: e.update(executions=0), "executions"),
+            (lambda e: e.update(executions=1.5), "executions"),
+            (lambda e: e.update(stale_runs=-1), "stale_runs"),
+        ],
+    )
+    def test_bad_entry_fields_rejected(self, mutate, match):
+        p = sample_payload()
+        mutate(p["tasks"]["task1"][0]["versions"]["v1"])
+        with pytest.raises(StoreCorruptError, match=match):
+            validate_payload(p)
+
+    def test_bad_meta_counter_rejected(self):
+        p = sample_payload()
+        p["meta"]["runs"] = -3
+        with pytest.raises(StoreCorruptError, match="meta.runs"):
+            validate_payload(p)
+
+
+class TestAtomicWrite:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "store.json"
+        p = sample_payload()
+        write_payload(path, p)
+        assert read_payload(path) == p
+
+    def test_previous_generation_rotated_to_bak(self, tmp_path):
+        path = tmp_path / "store.json"
+        first = empty_payload(fingerprint="fp:first")
+        write_payload(path, first)
+        write_payload(path, empty_payload(fingerprint="fp:second"))
+        assert backup_path(path).exists()
+        assert read_payload(backup_path(path)) == first
+        assert read_payload(path)["fingerprint"] == "fp:second"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "store.json"
+        write_payload(path, sample_payload())
+        write_payload(path, sample_payload())
+        leftovers = [f for f in tmp_path.iterdir() if f.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_invalid_payload_never_touches_disk(self, tmp_path):
+        path = tmp_path / "store.json"
+        write_payload(path, sample_payload())
+        bad = sample_payload()
+        bad["tasks"]["task1"][0]["versions"]["v1"]["executions"] = 0
+        with pytest.raises(StoreCorruptError):
+            write_payload(path, bad)
+        assert read_payload(path) == sample_payload()
+
+
+class TestLegacyMigration:
+    def test_legacy_xml_hints_read_transparently(self, tmp_path):
+        path = tmp_path / "hints.xml"
+        save_hints(make_table(), path)
+        p = read_payload(path)
+        assert p["schema_version"] == SCHEMA_VERSION
+        assert p["tasks"]["task1"][0]["versions"]["v2"]["executions"] == 350
+
+    def test_legacy_json_hints_read_transparently(self, tmp_path):
+        path = tmp_path / "hints.json"
+        save_hints(make_table(), path)
+        p = read_payload(path)
+        assert p["tasks"]["task2"][0]["versions"]["w1"]["mean_time"] == pytest.approx(
+            0.015
+        )
+        assert all(
+            stats["stale_runs"] == 0
+            for groups in p["tasks"].values()
+            for g in groups
+            for stats in g["versions"].values()
+        )
+
+    def test_xml_and_json_hints_migrate_identically(self, tmp_path):
+        xml_path, json_path = tmp_path / "h.xml", tmp_path / "h.json"
+        save_hints(make_table(), xml_path)
+        save_hints(make_table(), json_path)
+        a, b = read_payload(xml_path), read_payload(json_path)
+        assert a["tasks"] == b["tasks"]
+
+
+class TestCorruptFiles:
+    def test_truncated_json_rejected_with_clear_error(self, tmp_path):
+        path = tmp_path / "store.json"
+        full = json.dumps(sample_payload())
+        path.write_text(full[: len(full) // 2])
+        with pytest.raises(StoreCorruptError, match="truncated or malformed JSON"):
+            read_payload(path)
+
+    def test_binary_garbage_rejected(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_bytes(b"\x00\xff\x13garbage")
+        with pytest.raises(StoreCorruptError, match=str(path)):
+            read_payload(path)
+
+    def test_truncated_xml_rejected(self, tmp_path):
+        path = tmp_path / "hints.xml"
+        save_hints(make_table(), path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(StoreCorruptError, match="malformed hints XML"):
+            read_payload(path)
+
+    def test_missing_file_errors_name_the_path(self, tmp_path):
+        from repro.store import StoreError
+
+        with pytest.raises(StoreError, match="nowhere.json"):
+            read_payload(tmp_path / "nowhere.json")
+
+    def test_error_names_first_offending_field(self, tmp_path):
+        path = tmp_path / "store.json"
+        p = sample_payload()
+        p["tasks"]["task1"][0]["versions"]["v1"]["executions"] = "many"
+        path.write_text(json.dumps(p))
+        with pytest.raises(StoreCorruptError, match="'task1'/'v1'"):
+            read_payload(path)

@@ -1,0 +1,157 @@
+"""Cross-run merging: #Exec weighting, staleness decay, fingerprints."""
+
+import pytest
+
+from repro.store import (
+    FingerprintMismatchError,
+    age_payload,
+    effective_executions,
+    empty_payload,
+    entry_count,
+    merge_payloads,
+    prune_payload,
+    to_hints,
+    validate_payload,
+)
+from repro.store.merge import MAX_MERGED_EXECUTIONS
+
+
+def payload_with(entries, *, fingerprint=None):
+    """entries: {(task, rep_bytes, version): (mean, execs, stale)}"""
+    p = empty_payload(fingerprint=fingerprint)
+    p["meta"]["runs"] = 1
+    for (task, rep, vname), (mean, execs, stale) in entries.items():
+        groups = p["tasks"].setdefault(task, [])
+        for g in groups:
+            if g["representative_bytes"] == rep:
+                break
+        else:
+            g = {"representative_bytes": rep, "versions": {}}
+            groups.append(g)
+        g["versions"][vname] = {
+            "mean_time": mean,
+            "executions": execs,
+            "stale_runs": stale,
+        }
+    return validate_payload(p)
+
+
+class TestWeightedMerge:
+    def test_merge_is_execution_weighted_mean(self):
+        a = payload_with({("t", 100, "v"): (1.0, 30, 0)})
+        b = payload_with({("t", 100, "v"): (2.0, 10, 0)})
+        m = merge_payloads([a, b])
+        entry = m["tasks"]["t"][0]["versions"]["v"]
+        assert entry["mean_time"] == pytest.approx(1.25)  # (30*1 + 10*2) / 40
+        assert entry["executions"] == 40
+
+    def test_stale_contribution_is_decayed(self):
+        fresh = payload_with({("t", 100, "v"): (1.0, 10, 0)})
+        stale = payload_with({("t", 100, "v"): (3.0, 10, 2)})  # weight 10*0.5^2=2.5
+        m = merge_payloads([fresh, stale], decay=0.5)
+        entry = m["tasks"]["t"][0]["versions"]["v"]
+        assert entry["mean_time"] == pytest.approx((10 * 1.0 + 2.5 * 3.0) / 12.5)
+        assert entry["stale_runs"] == 0  # freshest provenance wins
+
+    def test_disjoint_entries_union(self):
+        a = payload_with({("t", 100, "v1"): (1.0, 5, 0)})
+        b = payload_with({("u", 200, "v2"): (2.0, 5, 0)})
+        m = merge_payloads([a, b])
+        assert entry_count(m) == 2
+
+    def test_entries_decayed_to_nothing_are_dropped(self):
+        dead = payload_with({("t", 100, "v"): (1.0, 1, 10)})  # 1 * 0.5^10 << 0.5
+        m = merge_payloads([dead])
+        assert entry_count(m) == 0
+
+    def test_merged_executions_capped(self):
+        huge = [
+            payload_with({("t", 100, "v"): (1.0, 900, 0)}),
+            payload_with({("t", 100, "v"): (1.0, 900, 0)}),
+        ]
+        m = merge_payloads(huge)
+        assert m["tasks"]["t"][0]["versions"]["v"]["executions"] == MAX_MERGED_EXECUTIONS
+
+    def test_meta_runs_summed(self):
+        m = merge_payloads(
+            [payload_with({}), payload_with({}), payload_with({})]
+        )
+        assert m["meta"]["runs"] == 3
+
+    def test_result_validates(self):
+        a = payload_with({("t", 100, "v"): (1.0, 3, 1)})
+        validate_payload(merge_payloads([a, a, a]))
+
+
+class TestFingerprints:
+    def test_mismatched_fingerprints_refused(self):
+        a = payload_with({("t", 100, "v"): (1.0, 5, 0)}, fingerprint="fp:a")
+        b = payload_with({("t", 100, "v"): (1.0, 5, 0)}, fingerprint="fp:b")
+        with pytest.raises(FingerprintMismatchError, match="fp:a"):
+            merge_payloads([a, b])
+
+    def test_mismatch_check_can_be_disabled(self):
+        a = payload_with({("t", 100, "v"): (1.0, 5, 0)}, fingerprint="fp:a")
+        b = payload_with({("t", 100, "v"): (1.0, 5, 0)}, fingerprint="fp:b")
+        m = merge_payloads([a, b], check_fingerprints=False)
+        assert m["fingerprint"] is None
+
+    def test_common_fingerprint_kept(self):
+        a = payload_with({("t", 100, "v"): (1.0, 5, 0)}, fingerprint="fp:x")
+        b = payload_with({}, fingerprint="fp:x")
+        assert merge_payloads([a, b])["fingerprint"] == "fp:x"
+
+    def test_none_fingerprint_is_wildcard(self):
+        a = payload_with({("t", 100, "v"): (1.0, 5, 0)}, fingerprint="fp:x")
+        b = payload_with({("t", 100, "v"): (2.0, 5, 0)})  # fingerprint None
+        assert merge_payloads([a, b])["fingerprint"] == "fp:x"
+
+
+class TestAgeAndPrune:
+    def test_age_advances_stale_runs(self):
+        p = payload_with({("t", 100, "v"): (1.0, 8, 1)})
+        aged = age_payload(p, by=2)
+        assert aged["tasks"]["t"][0]["versions"]["v"]["stale_runs"] == 3
+        # original untouched
+        assert p["tasks"]["t"][0]["versions"]["v"]["stale_runs"] == 1
+
+    def test_effective_executions_decays_geometrically(self):
+        e = {"mean_time": 1.0, "executions": 16, "stale_runs": 2}
+        assert effective_executions(e, 0.5) == pytest.approx(4.0)
+
+    def test_prune_drops_stale_and_thin(self):
+        p = payload_with(
+            {
+                ("t", 100, "keep"): (1.0, 20, 0),
+                ("t", 100, "stale"): (1.0, 20, 7),
+                ("u", 200, "thin"): (1.0, 1, 4),
+            }
+        )
+        pruned, removed = prune_payload(p, max_stale=5)
+        assert removed == 2
+        assert entry_count(pruned) == 1
+        assert "u" not in pruned["tasks"]  # emptied task dropped
+
+
+class TestHintsExport:
+    def test_decay_applied_at_export(self):
+        p = payload_with({("t", 100, "v"): (1.0, 16, 2)})
+        hints = to_hints(p, decay=0.5)
+        assert hints["tasks"]["t"][0]["versions"]["v"]["executions"] == 4
+
+    def test_raw_export_with_decay_one(self):
+        p = payload_with({("t", 100, "v"): (1.0, 16, 2)})
+        hints = to_hints(p, decay=1.0)
+        assert hints["tasks"]["t"][0]["versions"]["v"]["executions"] == 16
+
+    def test_fully_decayed_entries_omitted(self):
+        p = payload_with({("t", 100, "v"): (1.0, 1, 6)})
+        assert to_hints(p, decay=0.5)["tasks"] == {}
+
+    def test_export_feeds_preload(self):
+        from repro.core.profile import VersionProfileTable
+
+        p = payload_with({("t", 4096, "v"): (0.25, 8, 0)})
+        table = VersionProfileTable()
+        assert table.preload(to_hints(p)) == 1
+        assert table.group("t", 4096).mean_time("v") == pytest.approx(0.25)

@@ -1,0 +1,195 @@
+"""Warm-start policies: trust / probation / cold, credit accounting,
+time-to-reliable metrics and sanitizer cleanliness."""
+
+import pytest
+
+from repro.analysis.metrics import time_to_reliable_phase, warm_start_summary
+from repro.core.versioning import VersioningScheduler
+from repro.runtime.runtime import OmpSsRuntime
+from repro.store import ProfileStore, warm_start_options
+from tests.conftest import make_machine, make_two_version_task, region
+
+
+def run_versioning(sched, n_tasks=24, registry=None):
+    registry = {} if registry is None else registry
+    m = make_machine(2, 1)
+    work, _ = make_two_version_task(registry, machine=m)
+    rt = OmpSsRuntime(m, sched)
+    with rt:
+        for i in range(n_tasks):
+            work(region(("a", i)), region(("b", i)))
+    return rt.result()
+
+
+def seeded_store(tmp_path):
+    """A store holding the table of one completed cold run."""
+    cold = VersioningScheduler()
+    run_versioning(cold)
+    store = ProfileStore(tmp_path / "store.json")
+    store.begin_run()
+    store.commit(cold.table)
+    return store, cold
+
+
+class TestPolicies:
+    def test_trust_skips_learning_entirely(self, tmp_path):
+        store, cold = seeded_store(tmp_path)
+        assert cold.learning_dispatches > 0
+        warm = VersioningScheduler(**warm_start_options(store, policy="trust"))
+        assert warm.preloaded_entries == 2  # one group, two versions
+        run_versioning(warm)
+        assert warm.learning_dispatches == 0
+        assert warm.reliable_dispatches > 0
+
+    def test_probation_requires_live_executions(self, tmp_path):
+        store, cold = seeded_store(tmp_path)
+        warm = VersioningScheduler(
+            **warm_start_options(store, policy="probation"), probation_lam=2
+        )
+        run_versioning(warm)
+        # probation re-learns a shortened phase: more than trust's zero,
+        # strictly less than a full cold learning phase
+        assert 0 < warm.learning_dispatches < cold.learning_dispatches
+
+    def test_cold_ignores_hints(self, tmp_path):
+        store, cold = seeded_store(tmp_path)
+        coldstart = VersioningScheduler(**warm_start_options(store, policy="cold"))
+        assert coldstart.preloaded_entries == 0
+        run_versioning(coldstart)
+        assert coldstart.learning_dispatches == cold.learning_dispatches
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="warm_start"):
+            VersioningScheduler(warm_start="optimistic")
+
+    def test_probation_lam_bounds(self):
+        with pytest.raises(ValueError, match="probation_lam"):
+            VersioningScheduler(lam=3, probation_lam=4)
+
+
+class TestLearningCredit:
+    def test_trust_counts_preloaded_fully(self):
+        hints = {
+            "tasks": {
+                "t": [
+                    {
+                        "representative_bytes": 64,
+                        "versions": {"v": {"mean_time": 0.1, "executions": 7}},
+                    }
+                ]
+            }
+        }
+        s = VersioningScheduler(lam=5, warm_start="trust", hints=hints)
+        group = s.table.group("t", 64)
+        assert s.learning_credit(group, "v") == 7
+        assert not s.in_learning_phase(group, ["v"])
+
+    def test_probation_caps_preloaded_credit(self):
+        hints = {
+            "tasks": {
+                "t": [
+                    {
+                        "representative_bytes": 64,
+                        "versions": {"v": {"mean_time": 0.1, "executions": 100}},
+                    }
+                ]
+            }
+        }
+        s = VersioningScheduler(
+            lam=5, warm_start="probation", probation_lam=2, hints=hints
+        )
+        group = s.table.group("t", 64)
+        # capped at lam - probation_lam = 3 despite 100 preloaded
+        assert s.learning_credit(group, "v") == 3
+        assert s.in_learning_phase(group, ["v"])
+        # credit never exceeds raw executions (SAN-T005 stays sharp)
+        assert s.learning_credit(group, "v") <= group.executions("v")
+
+    def test_live_executions_always_count_in_full(self):
+        hints = {
+            "tasks": {
+                "t": [
+                    {
+                        "representative_bytes": 64,
+                        "versions": {"v": {"mean_time": 0.1, "executions": 9}},
+                    }
+                ]
+            }
+        }
+        s = VersioningScheduler(
+            lam=5, warm_start="probation", probation_lam=2, hints=hints
+        )
+        group = s.table.group("t", 64)
+        group.record("v", 0.1)
+        group.record("v", 0.1)
+        assert s.learning_credit(group, "v") == 3 + 2
+        assert not s.in_learning_phase(group, ["v"])
+
+
+class TestMetrics:
+    def test_time_to_reliable_warm_beats_cold(self, tmp_path):
+        store, cold_sched = seeded_store(tmp_path)
+        # long enough that the cold run outlives its learning phase
+        cold = VersioningScheduler()
+        cold_res = run_versioning(cold, n_tasks=200)
+        warm = VersioningScheduler(**warm_start_options(store))
+        warm_res = run_versioning(warm, n_tasks=200)
+        t_cold = time_to_reliable_phase(cold_res)
+        t_warm = time_to_reliable_phase(warm_res)
+        assert t_cold is not None and t_warm is not None
+        assert t_warm < t_cold
+
+    def test_warm_start_summary_shape(self, tmp_path):
+        store, _ = seeded_store(tmp_path)
+        warm = VersioningScheduler(**warm_start_options(store))
+        res = run_versioning(warm)
+        summary = warm_start_summary(res)
+        assert summary["learning_dispatches"] == 0.0
+        assert summary["reliable_dispatches"] > 0
+        assert summary["preloaded_entries"] == 2.0
+        assert summary["time_to_reliable"] < float("inf")
+
+    def test_non_versioning_run_reports_none(self):
+        registry = {}
+        m = make_machine(2, 1)
+        work, _ = make_two_version_task(registry, machine=m)
+        rt = OmpSsRuntime(m, "dep")
+        with rt:
+            for i in range(4):
+                work(region(("a", i)), region(("b", i)))
+        assert time_to_reliable_phase(rt.result()) is None
+
+
+class TestSanitizerCleanliness:
+    @pytest.mark.parametrize("policy", ["trust", "probation", "cold"])
+    def test_warm_started_runs_validate_clean(self, tmp_path, policy):
+        store, _ = seeded_store(tmp_path)
+        warm = VersioningScheduler(
+            **warm_start_options(store, policy=policy), probation_lam=1
+        )
+        res = run_versioning(warm)
+        assert res.validate() == [] or all(
+            d.code != "SAN-T005" for d in res.validate(strict=False)
+        )
+
+    def test_trust_run_with_short_lam_hints_validates(self, tmp_path):
+        # preloaded counts below λ would trip a naive raw-count check the
+        # moment trust lets the group graduate — the credit-based
+        # SAN-T005 must accept it... but trust only skips learning when
+        # credit >= λ, so a *partial* preload still learns the remainder
+        hints = {
+            "tasks": {
+                "work_smp": [
+                    {
+                        "representative_bytes": 2 * 1024**2,
+                        "versions": {
+                            "work_smp": {"mean_time": 0.01, "executions": 1},
+                            "work_gpu": {"mean_time": 0.001, "executions": 1},
+                        },
+                    }
+                ]
+            }
+        }
+        warm = VersioningScheduler(lam=3, hints=hints)
+        res = run_versioning(warm)
+        assert all(d.code != "SAN-T005" for d in res.validate(strict=False))
