@@ -42,6 +42,8 @@ from repro.schedulers import (
 from repro.sim import Machine, MachineSpec, cluster_machine, minotauro_node
 from repro.resilience import (
     FaultPlan,
+    HangRule,
+    ProgressStallError,
     RecoveryPolicy,
     ResilienceStats,
     TaskFaultRule,
@@ -49,6 +51,8 @@ from repro.resilience import (
     TransferFaultRule,
     TransferRetryExceededError,
     WorkerFailure,
+    WorkerSlowdown,
+    recovery_defaults,
 )
 
 __version__ = "1.0.0"
@@ -80,12 +84,16 @@ __all__ = [
     "cluster_machine",
     "minotauro_node",
     "FaultPlan",
+    "HangRule",
     "TaskFaultRule",
     "TransferFaultRule",
     "WorkerFailure",
+    "WorkerSlowdown",
+    "ProgressStallError",
     "RecoveryPolicy",
     "ResilienceStats",
     "TaskRetryExceededError",
     "TransferRetryExceededError",
+    "recovery_defaults",
     "__version__",
 ]

@@ -11,6 +11,7 @@
 """
 
 from repro.analysis.metrics import (
+    straggler_summary,
     time_to_reliable_phase,
     transfer_breakdown_gb,
     version_percentages,
@@ -30,6 +31,7 @@ from repro.analysis.traceexport import (
 from repro.analysis import experiments
 
 __all__ = [
+    "straggler_summary",
     "time_to_reliable_phase",
     "transfer_breakdown_gb",
     "version_percentages",

@@ -81,6 +81,31 @@ def warm_start_summary(result: RunResult) -> dict[str, float]:
     }
 
 
+def straggler_summary(result: RunResult) -> dict[str, float]:
+    """Straggler-robustness counters of one run.
+
+    ``detected`` counts adaptive-deadline expiries; ``launched`` /
+    ``won`` / ``wasted`` split the speculative copies into races the
+    copy won and races the original won anyway (wasted work);
+    ``speculation_yield`` is won/launched (1.0 on a run with no
+    speculation, so fault-free runs score perfect); ``hangs`` counts
+    injected never-terminating executions the watchdog had to resolve.
+    """
+    res = result.resilience
+    detected = float(getattr(res, "straggler_detected", 0))
+    launched = float(getattr(res, "speculations_launched", 0))
+    won = float(getattr(res, "speculations_won", 0))
+    wasted = float(getattr(res, "speculations_wasted", 0))
+    return {
+        "detected": detected,
+        "launched": launched,
+        "won": won,
+        "wasted": wasted,
+        "speculation_yield": won / launched if launched else 1.0,
+        "hangs": float(getattr(res, "hangs", 0)),
+    }
+
+
 def tasks_per_device_kind(result: RunResult) -> dict[str, int]:
     """Executed-task counts aggregated by device kind prefix.
 

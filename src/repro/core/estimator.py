@@ -9,6 +9,13 @@ Footnote 3 adds: "Optionally, we could try computing a weighted mean to
 give more weight to recent execution information and less weight to past
 information, but we have not tried this option yet."  Both are
 implemented; the ablation bench compares them on a drifting workload.
+
+Both estimators also track the *spread* of their samples — Welford M2
+for the arithmetic mean, an exponentially weighted variance for the
+EWMA.  Per-version timing variance is first-class signal: the straggler
+watchdog arms its adaptive deadlines at ``mean + k·sigma``, so a
+learned profile states not just how long a version takes but how long
+it may plausibly take before the execution is declared a straggler.
 """
 
 from __future__ import annotations
@@ -31,38 +38,58 @@ class Estimator(Protocol):
         """Current estimate, or ``None`` before any sample."""
         ...
 
+    @property
+    def variance(self) -> Optional[float]:
+        """Sample-spread estimate, or ``None`` below two samples."""
+        ...
+
     def clone(self) -> "Estimator":
         """Fresh estimator of the same kind (same parameters, no data)."""
         ...
 
 
 class RunningMean:
-    """Numerically stable arithmetic running mean (Welford update)."""
+    """Numerically stable arithmetic running mean + variance (Welford)."""
 
-    __slots__ = ("count", "_mean")
+    __slots__ = ("count", "_mean", "_m2")
 
     def __init__(self) -> None:
         self.count = 0
         self._mean = 0.0
+        self._m2 = 0.0
 
     def add(self, sample: float) -> None:
         if sample < 0:
             raise ValueError(f"negative duration sample: {sample}")
         self.count += 1
-        self._mean += (sample - self._mean) / self.count
+        delta = sample - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (sample - self._mean)
 
     @property
     def value(self) -> Optional[float]:
         return self._mean if self.count else None
 
-    def preload(self, mean: float, count: int) -> None:
-        """Seed the estimator from an external hint (mean over ``count`` runs)."""
+    @property
+    def variance(self) -> Optional[float]:
+        """Unbiased sample variance, or ``None`` below two samples."""
+        if self.count < 2:
+            return None
+        return max(0.0, self._m2 / (self.count - 1))
+
+    def preload(self, mean: float, count: int,
+                variance: Optional[float] = None) -> None:
+        """Seed the estimator from an external hint (mean over ``count``
+        runs, optionally with the sample variance of those runs)."""
         if count <= 0:
             raise ValueError("hint count must be positive")
         if mean < 0:
             raise ValueError("hint mean must be non-negative")
+        if variance is not None and variance < 0:
+            raise ValueError("hint variance must be non-negative")
         self.count = count
         self._mean = mean
+        self._m2 = variance * (count - 1) if variance is not None and count > 1 else 0.0
 
     def clone(self) -> "RunningMean":
         return RunningMean()
@@ -76,10 +103,13 @@ class EWMA:
     """Exponentially weighted moving average — the footnote-3 option.
 
     ``alpha`` is the weight of the newest sample; the first sample
-    initialises the value directly.
+    initialises the value directly.  The spread is tracked as the
+    matching exponentially weighted variance
+    (``var' = (1-α)·(var + α·diff²)``), so recent jitter dominates the
+    deadline width just as recent samples dominate the mean.
     """
 
-    __slots__ = ("alpha", "count", "_value")
+    __slots__ = ("alpha", "count", "_value", "_var")
 
     def __init__(self, alpha: float = 0.25) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -87,6 +117,7 @@ class EWMA:
         self.alpha = alpha
         self.count = 0
         self._value = 0.0
+        self._var = 0.0
 
     def add(self, sample: float) -> None:
         if sample < 0:
@@ -94,20 +125,34 @@ class EWMA:
         if self.count == 0:
             self._value = sample
         else:
-            self._value = self.alpha * sample + (1.0 - self.alpha) * self._value
+            diff = sample - self._value
+            incr = self.alpha * diff
+            self._value += incr
+            self._var = (1.0 - self.alpha) * (self._var + diff * incr)
         self.count += 1
 
     @property
     def value(self) -> Optional[float]:
         return self._value if self.count else None
 
-    def preload(self, mean: float, count: int) -> None:
+    @property
+    def variance(self) -> Optional[float]:
+        """Exponentially weighted variance, ``None`` below two samples."""
+        if self.count < 2:
+            return None
+        return max(0.0, self._var)
+
+    def preload(self, mean: float, count: int,
+                variance: Optional[float] = None) -> None:
         if count <= 0:
             raise ValueError("hint count must be positive")
         if mean < 0:
             raise ValueError("hint mean must be non-negative")
+        if variance is not None and variance < 0:
+            raise ValueError("hint variance must be non-negative")
         self.count = count
         self._value = mean
+        self._var = variance if variance is not None and count > 1 else 0.0
 
     def clone(self) -> "EWMA":
         return EWMA(self.alpha)

@@ -97,13 +97,14 @@ def _to_xml(snapshot: dict) -> bytes:
                 stats = g["versions"][vname]
                 if stats.get("mean_time") is None:
                     continue
-                ET.SubElement(
-                    grp_el,
-                    "version",
-                    name=vname,
-                    mean_time=repr(float(stats["mean_time"])),
-                    executions=str(int(stats["executions"])),
-                )
+                attrs = {
+                    "name": vname,
+                    "mean_time": repr(float(stats["mean_time"])),
+                    "executions": str(int(stats["executions"])),
+                }
+                if stats.get("variance") is not None:
+                    attrs["variance"] = repr(float(stats["variance"]))
+                ET.SubElement(grp_el, "version", attrs)
     ET.indent(root)
     return ET.tostring(root, xml_declaration=True, encoding="utf-8")
 
@@ -135,6 +136,8 @@ def _from_xml(payload: bytes) -> dict:
                     "mean_time": float(v_el.get("mean_time", "nan")),
                     "executions": int(v_el.get("executions", "0")),
                 }
+                if v_el.get("variance") is not None:
+                    versions[vname]["variance"] = float(v_el.get("variance"))
             groups.append(
                 {
                     "representative_bytes": int(grp_el.get("bytes", "0")),

@@ -54,19 +54,35 @@ class VersionProfile:
     def mean_time(self) -> Optional[float]:
         return self.estimator.value
 
+    @property
+    def variance(self) -> Optional[float]:
+        """Spread of the observed durations (``None`` below two samples)."""
+        return getattr(self.estimator, "variance", None)
+
+    @property
+    def stddev(self) -> Optional[float]:
+        var = self.variance
+        return None if var is None else var ** 0.5
+
     def record(self, duration: float) -> None:
         self.estimator.add(duration)
         if self.assigned > 0:
             self.assigned -= 1
 
-    def preload(self, mean: float, count: int) -> None:
-        """Seed from external history: ``count`` runs averaging ``mean``."""
+    def preload(self, mean: float, count: int,
+                variance: Optional[float] = None) -> None:
+        """Seed from external history: ``count`` runs averaging ``mean``
+        (optionally with the variance of those runs, so warm-started
+        straggler deadlines inherit ``mean + k·sigma`` immediately)."""
         preload = getattr(self.estimator, "preload", None)
         if preload is None:
             raise TypeError(
                 f"estimator {type(self.estimator).__name__} cannot be preloaded"
             )
-        preload(float(mean), int(count))
+        if variance is None:
+            preload(float(mean), int(count))
+        else:
+            preload(float(mean), int(count), float(variance))
         self.preloaded = int(count)
 
     def __repr__(self) -> str:
@@ -264,10 +280,18 @@ class VersionProfileTable:
                     {
                         "representative_bytes": grp.representative_bytes,
                         "versions": {
-                            p.version_name: {
-                                "mean_time": p.mean_time,
-                                "executions": p.executions,
-                            }
+                            p.version_name: (
+                                {
+                                    "mean_time": p.mean_time,
+                                    "executions": p.executions,
+                                }
+                                if p.variance is None
+                                else {
+                                    "mean_time": p.mean_time,
+                                    "executions": p.executions,
+                                    "variance": p.variance,
+                                }
+                            )
                             for p in grp.versions()
                             if p.executions > 0
                         },
@@ -295,6 +319,10 @@ class VersionProfileTable:
                     count = int(stats.get("executions", 0))
                     if mean is None or count <= 0:
                         continue
-                    grp.profile(vname).preload(float(mean), count)
+                    variance = stats.get("variance")
+                    grp.profile(vname).preload(
+                        float(mean), count,
+                        None if variance is None else float(variance),
+                    )
                     loaded += 1
         return loaded

@@ -237,6 +237,20 @@ class VersioningScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Resilience hooks
     # ------------------------------------------------------------------
+    def task_speculated(
+        self, t: TaskInstance, worker: "Worker", version: TaskVersion
+    ) -> None:
+        """Mirror dispatch bookkeeping for a speculative copy: its
+        estimate joins the target worker's busy account and a pending
+        learning assignment is noted, both undone symmetrically by
+        ``task_finished`` (win) or ``task_requeued`` (withdrawal)."""
+        group = self.table.group(t.name, t.data_bytes)
+        est = group.mean_time(version.name)
+        est_value = est if est is not None else 0.0
+        self._busy_est[worker.name] += est_value
+        self._est_by_uid[t.uid] = est_value
+        group.note_assigned(version.name)
+
     def task_requeued(self, t: TaskInstance, worker: "Worker") -> None:
         """Undo the dispatch bookkeeping of a task pulled back by fault
         recovery: its busy-time estimate leaves the worker's account and

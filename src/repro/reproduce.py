@@ -16,6 +16,12 @@ scheduler the figures create is warm-started from the store (per
 merged back into it afterward.  Stores created this way carry no device
 fingerprint — figure sweeps span many machine shapes, so the caller
 owns comparability.
+
+``--speculate`` (and ``--deadline-k K``) turn on straggler robustness
+for every run the figures perform: profile-derived adaptive deadlines
+(``mean + k*sigma``) with speculative re-execution of tasks that blow
+past them.  On a fault-free simulation this is a near no-op; it is the
+switch the chaos/robustness workflows flip.
 """
 
 from __future__ import annotations
@@ -216,6 +222,20 @@ def main(argv: "list[str] | None" = None) -> int:
         default="trust",
         help="warm-start policy for preloaded profiles (default: trust)",
     )
+    parser.add_argument(
+        "--speculate",
+        action="store_true",
+        help="arm profile-derived straggler deadlines and speculatively "
+        "re-execute tasks that blow past mean + k*sigma",
+    )
+    parser.add_argument(
+        "--deadline-k",
+        type=float,
+        default=None,
+        metavar="K",
+        help="sigma multiplier of the straggler deadline (implies "
+        "--speculate; default 4.0)",
+    )
     args = parser.parse_args(argv)
 
     if args.targets == ["list"]:
@@ -230,10 +250,23 @@ def main(argv: "list[str] | None" = None) -> int:
             f"unknown figure(s): {', '.join(unknown)}; valid: {', '.join(FIGURES)}"
         )
 
+    if args.speculate or args.deadline_k is not None:
+        from repro.resilience import RecoveryPolicy, recovery_defaults
+
+        policy_kwargs: dict = {"speculate": True}
+        if args.deadline_k is not None:
+            policy_kwargs["deadline_k"] = args.deadline_k
+        recovery_guard = recovery_defaults(RecoveryPolicy(**policy_kwargs))
+    else:
+        from contextlib import nullcontext
+
+        recovery_guard = nullcontext()
+
     if args.profile_store is None:
-        for t in targets:
-            print(FIGURES[t](args.quick))
-            print()
+        with recovery_guard:
+            for t in targets:
+                print(FIGURES[t](args.quick))
+                print()
         return 0
 
     from repro.schedulers.registry import scheduler_defaults
@@ -241,7 +274,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     store = ProfileStore(args.profile_store)
     defaults = warm_start_options(store, policy=args.warm_start)
-    with scheduler_defaults("versioning", **defaults) as created:
+    with recovery_guard, scheduler_defaults("versioning", **defaults) as created:
         for t in targets:
             print(FIGURES[t](args.quick))
             print()

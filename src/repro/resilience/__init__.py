@@ -7,20 +7,26 @@ scheduler's learning tables steer the retry.  This package supplies
 
 * :mod:`repro.resilience.faults` — a seeded, fully deterministic
   :class:`FaultPlan` describing transient task faults, permanent worker
-  failures and link transfer errors (same reproducibility discipline as
-  :mod:`repro.sim.perturb`),
+  failures, link transfer errors, task hangs and worker slowdowns (same
+  reproducibility discipline as :mod:`repro.sim.perturb`),
 * :mod:`repro.resilience.recovery` — the :class:`RecoveryPolicy`
-  (retry budgets, quarantine) and the :class:`ResilienceManager` that
-  the runtime consults at task start / transfer time and notifies on
-  every fault.
+  (retry budgets, quarantine, speculation) and the
+  :class:`ResilienceManager` that the runtime consults at task start /
+  transfer time and notifies on every fault,
+* :mod:`repro.resilience.watchdog` — profile-derived adaptive deadlines
+  (:class:`TaskWatchdog`) feeding speculative re-execution of
+  stragglers, and the global :class:`ProgressWatchdog` that fails a
+  livelocked run with a diagnostic dump.
 """
 
 from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
+    HangRule,
     TaskFaultRule,
     TransferFaultRule,
     WorkerFailure,
+    WorkerSlowdown,
 )
 from repro.resilience.recovery import (
     RecoveryPolicy,
@@ -28,17 +34,31 @@ from repro.resilience.recovery import (
     ResilienceStats,
     TaskRetryExceededError,
     TransferRetryExceededError,
+    default_recovery_policy,
+    recovery_defaults,
+)
+from repro.resilience.watchdog import (
+    ProgressStallError,
+    ProgressWatchdog,
+    TaskWatchdog,
 )
 
 __all__ = [
     "FaultInjector",
     "FaultPlan",
+    "HangRule",
     "TaskFaultRule",
     "TransferFaultRule",
     "WorkerFailure",
+    "WorkerSlowdown",
     "RecoveryPolicy",
     "ResilienceManager",
     "ResilienceStats",
     "TaskRetryExceededError",
     "TransferRetryExceededError",
+    "default_recovery_policy",
+    "recovery_defaults",
+    "ProgressStallError",
+    "ProgressWatchdog",
+    "TaskWatchdog",
 ]

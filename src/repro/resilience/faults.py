@@ -7,7 +7,7 @@ never of wall-clock time or object identity — so two runs with the same
 plan produce byte-identical traces, and a failure scenario found once
 can be replayed forever.
 
-Three failure classes are modelled:
+Five failure classes are modelled:
 
 * **Transient task faults** (:class:`TaskFaultRule`): a kernel faults
   part-way through execution (ECC error, kernel launch failure, a
@@ -20,6 +20,15 @@ Three failure classes are modelled:
 * **Transfer faults** (:class:`TransferFaultRule`): a link transfer
   errors and is retried with deterministic exponential backoff by the
   transfer engine.
+* **Hangs** (:class:`HangRule`): a matching task execution never
+  completes — the kernel livelocks, the device driver wedges.  Nothing
+  crashes, so only the straggler watchdog (profile-derived deadlines)
+  can notice and recover via speculation or retry.
+* **Slowdowns** (:class:`WorkerSlowdown`): a worker executes at a
+  degraded rate from a given simulated time (thermal throttling, a
+  contended PCIe link, a co-scheduled noisy neighbour).  The worker
+  stays alive and keeps accepting work, silently stretching every
+  execution — the classic straggler.
 
 The plan itself is stateless; :meth:`FaultPlan.injector` builds the
 per-run mutable counters/RNGs so one plan can drive many runs.
@@ -119,6 +128,71 @@ class TransferFaultRule:
 
 
 @dataclass(frozen=True)
+class HangRule:
+    """When matching task executions hang forever.
+
+    A hung execution occupies its worker indefinitely and never fires a
+    completion event; without a deadline watchdog the run stalls.  Match
+    semantics are those of :class:`TaskFaultRule`: ``at_starts`` indices
+    are 1-based and counted per rule over matching starts, and
+    ``probability`` draws from the rule's seeded RNG stream.
+    """
+
+    worker: Optional[str] = None
+    kernel: Optional[str] = None
+    at_starts: tuple[int, ...] = ()
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at_starts", _as_tuple(self.at_starts))
+        if any(n < 1 for n in self.at_starts):
+            raise ValueError("at_starts indices are 1-based and must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not self.at_starts and self.probability == 0.0:
+            raise ValueError("rule can never fire: give at_starts or probability")
+
+    def matches(self, worker_name: str, device_name: str, kernel: str) -> bool:
+        if self.worker is not None and self.worker not in (worker_name, device_name):
+            return False
+        if self.kernel is not None and self.kernel != kernel:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class WorkerSlowdown:
+    """A worker executes at a degraded rate from ``at_time`` on.
+
+    ``worker`` names either the worker (``"w:gpu1"``) or its device
+    (``"gpu1"``).  Every task *started* on the worker at or after
+    ``at_time`` takes ``factor`` times its nominal duration; tasks
+    already running are unaffected (their end events are committed).
+    ``until`` optionally ends the degradation (``None`` = permanent).
+    Overlapping slowdowns of one worker compose multiplicatively.
+    """
+
+    worker: str
+    at_time: float
+    factor: float
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("at_time must be non-negative")
+        if self.factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        if self.until is not None and self.until <= self.at_time:
+            raise ValueError("until must be after at_time")
+
+    def active_at(self, now: float) -> bool:
+        return now >= self.at_time and (self.until is None or now < self.until)
+
+    def matches(self, worker_name: str, device_name: str) -> bool:
+        return self.worker in (worker_name, device_name)
+
+
+@dataclass(frozen=True)
 class WorkerFailure:
     """A permanent worker death at an absolute simulated time.
 
@@ -143,11 +217,15 @@ class FaultPlan:
     task_faults: tuple[TaskFaultRule, ...] = ()
     transfer_faults: tuple[TransferFaultRule, ...] = ()
     worker_failures: tuple[WorkerFailure, ...] = ()
+    hangs: tuple[HangRule, ...] = ()
+    slowdowns: tuple[WorkerSlowdown, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "task_faults", _as_tuple(self.task_faults))
         object.__setattr__(self, "transfer_faults", _as_tuple(self.transfer_faults))
         object.__setattr__(self, "worker_failures", _as_tuple(self.worker_failures))
+        object.__setattr__(self, "hangs", _as_tuple(self.hangs))
+        object.__setattr__(self, "slowdowns", _as_tuple(self.slowdowns))
         seen: set[str] = set()
         for wf in self.worker_failures:
             if wf.worker in seen:
@@ -156,7 +234,13 @@ class FaultPlan:
 
     @property
     def empty(self) -> bool:
-        return not (self.task_faults or self.transfer_faults or self.worker_failures)
+        return not (
+            self.task_faults
+            or self.transfer_faults
+            or self.worker_failures
+            or self.hangs
+            or self.slowdowns
+        )
 
     def injector(self) -> "FaultInjector":
         """Fresh per-run mutable state (counters + seeded RNG streams)."""
@@ -186,6 +270,11 @@ class FaultInjector:
             random.Random(f"{plan.seed}:xfer:{i}")
             for i in range(len(plan.transfer_faults))
         ]
+        self._hang_counts = [0] * len(plan.hangs)
+        self._hang_sets = [frozenset(r.at_starts) for r in plan.hangs]
+        self._hang_rngs = [
+            random.Random(f"{plan.seed}:hang:{i}") for i in range(len(plan.hangs))
+        ]
 
     def task_fault(
         self, worker_name: str, device_name: str, kernel: str
@@ -204,6 +293,27 @@ class FaultInjector:
             if rule.probability > 0.0 and self._task_rngs[i].random() < rule.probability:
                 return rule.work_fraction
         return None
+
+    def task_hang(self, worker_name: str, device_name: str, kernel: str) -> bool:
+        """Consulted at each task start; True = this execution hangs."""
+        for i, rule in enumerate(self.plan.hangs):
+            if not rule.matches(worker_name, device_name, kernel):
+                continue
+            self._hang_counts[i] += 1
+            if self._hang_counts[i] in self._hang_sets[i]:
+                return True
+            if rule.probability > 0.0 and self._hang_rngs[i].random() < rule.probability:
+                return True
+        return False
+
+    def slowdown_factor(self, worker_name: str, device_name: str, now: float) -> float:
+        """Composed duration multiplier for a task starting on the worker
+        at simulated ``now`` (1.0 = nominal speed)."""
+        factor = 1.0
+        for rule in self.plan.slowdowns:
+            if rule.matches(worker_name, device_name) and rule.active_at(now):
+                factor *= rule.factor
+        return factor
 
     def transfer_fault(self, src: str, dst: str) -> bool:
         """Consulted per transfer attempt per link hop; True = it fails."""

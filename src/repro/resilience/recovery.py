@@ -24,6 +24,16 @@ recovery decision:
   versioning scheduler's profile tables (durations are recorded only in
   ``task_finished``), so surviving workers' estimates stay valid after
   failures.
+* **straggler recovery** — with ``speculate`` enabled, every task start
+  arms a profile-derived deadline (:class:`~repro.resilience.watchdog.
+  TaskWatchdog`).  On expiry the manager launches a *speculative copy*
+  of the task on the best alternate (version, worker) pair; the first
+  execution to finish wins, the loser is cancelled and its results are
+  discarded.  When no alternate pair exists (or the concurrent-
+  speculation budget is spent) the straggling execution is aborted and
+  retried through the normal transient-fault path.  A lost race counts
+  as a strike in the loser worker's quarantine streak — a persistently
+  slow worker eventually quarantines itself out of the candidate set.
 
 Everything is driven by simulated time and deterministic counters, so
 recovery behaviour is exactly reproducible.
@@ -31,10 +41,12 @@ recovery behaviour is exactly reproducible.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.resilience.faults import FaultPlan
+from repro.resilience.watchdog import TaskWatchdog
 from repro.sim.engine import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -67,6 +79,30 @@ class RecoveryPolicy:
     transfer_max_retries: int = 3
     #: Base backoff before transfer retry n: ``backoff * 2**(n-1)``.
     transfer_backoff: float = 1e-4
+    # -- straggler watchdog / speculative re-execution -----------------
+    #: Arm profile-derived deadlines on every task start and recover
+    #: stragglers by speculative duplication (or cancel-and-retry).
+    speculate: bool = False
+    #: Sigma multiplier of the reliable deadline ``grace·mean + k·sigma``.
+    deadline_k: float = 4.0
+    #: Mean multiplier of the reliable deadline — headroom so that a
+    #: zero-variance profile (deterministic cost models) still leaves a
+    #: margin above the expected duration.
+    deadline_grace: float = 1.5
+    #: Absolute lower bound on any armed deadline (simulated seconds),
+    #: guarding against degenerate near-zero profiles.
+    deadline_floor: float = 1e-6
+    #: Deadline multiplier while a profile is cold: with fewer than
+    #: ``min_deadline_samples`` samples the deadline is this many times
+    #: the best available estimate (learned mean, else the device cost
+    #: model's nominal duration).
+    cold_multiplier: float = 8.0
+    #: Samples before ``mean + k·sigma`` is trusted over the cold path.
+    min_deadline_samples: int = 2
+    #: Speculative copies allowed in flight at once (across the run).
+    max_concurrent_speculations: int = 2
+    #: Speculative copies allowed per task instance (lifetime).
+    max_speculations_per_task: int = 1
 
     def __post_init__(self) -> None:
         if self.max_task_retries < 0:
@@ -81,6 +117,44 @@ class RecoveryPolicy:
             raise ValueError("transfer_max_retries must be >= 0")
         if self.transfer_backoff < 0:
             raise ValueError("transfer_backoff must be >= 0")
+        if self.deadline_k < 0:
+            raise ValueError("deadline_k must be >= 0")
+        if self.deadline_grace < 1.0:
+            raise ValueError("deadline_grace must be >= 1")
+        if self.deadline_floor < 0:
+            raise ValueError("deadline_floor must be >= 0")
+        if self.cold_multiplier < 1.0:
+            raise ValueError("cold_multiplier must be >= 1")
+        if self.min_deadline_samples < 2:
+            raise ValueError("min_deadline_samples must be >= 2 (variance "
+                             "needs two samples)")
+        if self.max_concurrent_speculations < 1:
+            raise ValueError("max_concurrent_speculations must be >= 1")
+        if self.max_speculations_per_task < 1:
+            raise ValueError("max_speculations_per_task must be >= 1")
+
+
+#: Process-wide default policy override, set via :func:`recovery_defaults`
+#: so entry points (the CLI's ``--speculate``/``--deadline-k`` flags) can
+#: parameterise runtimes they do not construct themselves.
+_default_policy: Optional[RecoveryPolicy] = None
+
+
+def default_recovery_policy() -> RecoveryPolicy:
+    """The policy a runtime gets when none is passed explicitly."""
+    return _default_policy if _default_policy is not None else RecoveryPolicy()
+
+
+@contextmanager
+def recovery_defaults(policy: RecoveryPolicy) -> Iterator[RecoveryPolicy]:
+    """Make ``policy`` the default for runtimes created in this scope."""
+    global _default_policy
+    prev = _default_policy
+    _default_policy = policy
+    try:
+        yield policy
+    finally:
+        _default_policy = prev
 
 
 @dataclass
@@ -96,6 +170,11 @@ class ResilienceStats:
     readmissions: int = 0
     transfer_faults: int = 0      # failed transfer attempts
     transfer_retries: int = 0     # transfer attempts re-issued
+    hangs: int = 0                # injected never-completing executions
+    straggler_detected: int = 0   # adaptive deadline expiries
+    speculations_launched: int = 0
+    speculations_won: int = 0     # speculative copy finished first
+    speculations_wasted: int = 0  # copies cancelled or beaten by the original
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -107,6 +186,11 @@ class ResilienceStats:
             "readmissions": self.readmissions,
             "transfer_faults": self.transfer_faults,
             "transfer_retries": self.transfer_retries,
+            "hangs": self.hangs,
+            "straggler_detected": self.straggler_detected,
+            "speculations_launched": self.speculations_launched,
+            "speculations_won": self.speculations_won,
+            "speculations_wasted": self.speculations_wasted,
         }
 
     @property
@@ -123,10 +207,11 @@ class ResilienceManager:
         policy: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.plan = plan
-        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.policy = policy if policy is not None else default_recovery_policy()
         self.stats = ResilienceStats()
         self.injector = plan.injector() if plan is not None and not plan.empty else None
         self.rt: Optional["OmpSsRuntime"] = None
+        self.watchdog = TaskWatchdog(self)
         # worker name -> consecutive transient faults since last success
         self._transient: dict[str, int] = {}
         # worker name -> how many times it has been quarantined
@@ -135,6 +220,10 @@ class ResilienceManager:
         # scheduler's fault-aware cost estimation (`fault_aware=True`)
         self._worker_faults: dict[str, int] = {}
         self._worker_completions: dict[str, int] = {}
+        # primary uid -> shadow uid of the speculation currently in flight
+        self._active_spec: dict[int, int] = {}
+        # primary uid -> speculative copies launched for it (lifetime)
+        self._spec_count: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -175,6 +264,27 @@ class ResilienceManager:
             worker.name, worker.device.name, t.chosen_version.kernel
         )
 
+    def task_hang_at_start(self, t: "TaskInstance", worker: "Worker") -> bool:
+        """Whether this execution hangs (never fires a completion event)."""
+        if self.injector is None:
+            return False
+        assert t.chosen_version is not None
+        if self.injector.task_hang(
+            worker.name, worker.device.name, t.chosen_version.kernel
+        ):
+            self.stats.hangs += 1
+            return True
+        return False
+
+    def slowdown_factor(self, worker: "Worker") -> float:
+        """Duration multiplier of a task starting on ``worker`` now."""
+        if self.injector is None:
+            return 1.0
+        assert self.rt is not None
+        return self.injector.slowdown_factor(
+            worker.name, worker.device.name, self.rt.engine.now
+        )
+
     def transfer_fault(self, src: str, dst: str) -> bool:
         if self.injector is None:
             return False
@@ -195,25 +305,33 @@ class ResilienceManager:
     # ------------------------------------------------------------------
     # Notification (runtime reports what happened)
     # ------------------------------------------------------------------
-    def on_task_fault(self, t: "TaskInstance", worker: "Worker") -> None:
+    def on_task_fault(
+        self, t: "TaskInstance", worker: "Worker", *, will_retry: bool = True
+    ) -> None:
         """A running task faulted transiently on ``worker``.
 
         Burns one unit of the task's retry budget, records the failed
         (version, worker) pair for alternate-pair preference, and may
         quarantine the worker.  Raises when the budget is exhausted.
+
+        ``will_retry=False`` accounts a fault that causes no retry — a
+        faulted speculative copy, or a faulted primary whose live copy
+        carries the task — charging the worker streak but not the task's
+        retry budget.
         """
         assert self.rt is not None and t.chosen_version is not None
         self.stats.task_faults += 1
-        t.attempts += 1
         t.failed_pairs.add((t.chosen_version.name, worker.name))
         self._transient[worker.name] = self._transient.get(worker.name, 0) + 1
         self._worker_faults[worker.name] = self._worker_faults.get(worker.name, 0) + 1
-        if t.attempts > self.policy.max_task_retries:
-            raise TaskRetryExceededError(
-                f"task {t.label!r} faulted {t.attempts} times "
-                f"(retry budget {self.policy.max_task_retries})"
-            )
-        self.stats.retries += 1
+        if will_retry:
+            t.attempts += 1
+            if t.attempts > self.policy.max_task_retries:
+                raise TaskRetryExceededError(
+                    f"task {t.label!r} faulted {t.attempts} times "
+                    f"(retry budget {self.policy.max_task_retries})"
+                )
+            self.stats.retries += 1
         if (
             worker.alive
             and worker.quarantined_until is None
@@ -227,6 +345,125 @@ class ResilienceManager:
         self._worker_completions[worker.name] = (
             self._worker_completions.get(worker.name, 0) + 1
         )
+
+    # ------------------------------------------------------------------
+    # Straggler detection and speculative re-execution
+    # ------------------------------------------------------------------
+    def on_task_start(
+        self, t: "TaskInstance", worker: "Worker", nominal: float
+    ) -> None:
+        """An execution began; arm its adaptive deadline if enabled.
+
+        Speculative copies are never watched themselves (no recursive
+        speculation): the primary's progress is what matters, and a hung
+        copy alongside a hung primary surfaces via the progress watchdog.
+        """
+        if not self.policy.speculate or t.speculative_of is not None:
+            return
+        self.watchdog.arm(t, worker, nominal)
+
+    def on_task_stop(self, t: "TaskInstance") -> None:
+        """An execution ended (any way); its deadline is disarmed."""
+        self.watchdog.disarm(t)
+
+    def on_straggler(self, t: "TaskInstance", worker: "Worker") -> None:
+        """``t``'s deadline expired while still running on ``worker``.
+
+        Prefers launching a speculative copy on the best alternate
+        (version, worker) pair; with no pair (or no budget) the
+        straggling execution is aborted and retried like a transient
+        fault.  Either way the ``straggler`` trace record is followed by
+        a ``speculate`` or ``retry`` record (SAN-T007).
+        """
+        rt = self.rt
+        assert rt is not None and t.chosen_version is not None
+        now = rt.engine.now
+        self.stats.straggler_detected += 1
+        rt.trace.add(
+            now, now, worker.name, "straggler", t.chosen_version.name,
+            meta=(rt._local_ids[t.uid],),
+        )
+        pair = self._choose_speculation_pair(t, worker)
+        if (
+            pair is not None
+            and len(self._active_spec) < self.policy.max_concurrent_speculations
+            and self._spec_count.get(t.uid, 0) < self.policy.max_speculations_per_task
+        ):
+            version, target = pair
+            self._spec_count[t.uid] = self._spec_count.get(t.uid, 0) + 1
+            self.stats.speculations_launched += 1
+            rt.trace.add(
+                now, now, target.name, "speculate", version.name,
+                meta=(rt._local_ids[t.uid],),
+            )
+            shadow = rt._launch_speculation(t, target, version)
+            self._active_spec[t.uid] = shadow.uid
+            return
+        rt._abort_straggler(t, worker)
+
+    def _choose_speculation_pair(
+        self, t: "TaskInstance", worker: "Worker"
+    ) -> Optional[tuple]:
+        """Best (version, worker) pair for a speculative copy of ``t``.
+
+        The straggling worker itself is excluded (it is serial — a copy
+        queued behind a hung execution would never start), as are dead
+        and quarantined workers and every pair the task already faulted
+        on.  Among the rest, minimise estimated-busy-time + version mean
+        (the earliest-executor rule), falling back to queue load for
+        schedulers without estimates.
+        """
+        rt = self.rt
+        assert rt is not None and t.chosen_version is not None
+        scheduler = rt.scheduler
+        now = rt.engine.now
+        table = getattr(scheduler, "table", None)
+        group = table.group(t.name, t.data_bytes) if table is not None else None
+        est_busy = getattr(scheduler, "estimated_busy_time", None)
+        best: Optional[tuple] = None
+        best_pair: Optional[tuple] = None
+        for version in t.definition.versions:
+            mean = group.mean_time(version.name) if group is not None else None
+            for w in scheduler.capable_workers(version):
+                if w is worker or not w.available(now):
+                    continue
+                if (version.name, w.name) in t.failed_pairs:
+                    continue
+                busy = est_busy(w) if est_busy is not None else float(w.load())
+                key = (busy + (mean if mean is not None else 0.0), w.name, version.name)
+                if best is None or key < best:
+                    best = key
+                    best_pair = (version, w)
+        return best_pair
+
+    def on_speculation_won(
+        self, primary: "TaskInstance", loser: Optional["Worker"]
+    ) -> None:
+        """The speculative copy finished first; the original lost.
+
+        The abandoned execution is a strike against its worker, feeding
+        the same consecutive-fault streak that drives quarantine — a
+        worker that keeps losing races to its peers is degraded, whether
+        or not it ever faults outright.
+        """
+        self._active_spec.pop(primary.uid, None)
+        self.stats.speculations_won += 1
+        if loser is None:
+            return
+        self._transient[loser.name] = self._transient.get(loser.name, 0) + 1
+        self._worker_faults[loser.name] = self._worker_faults.get(loser.name, 0) + 1
+        if (
+            loser.alive
+            and loser.quarantined_until is None
+            and self._transient[loser.name] >= self.policy.quarantine_threshold
+        ):
+            self._quarantine(loser)
+
+    def on_speculation_wasted(self, primary: "TaskInstance") -> None:
+        """The speculative copy was withdrawn (original finished first,
+        the copy faulted, or its worker was lost)."""
+        self._active_spec.pop(primary.uid, None)
+        self.stats.speculations_wasted += 1
 
     # ------------------------------------------------------------------
     # Observed fault rates (fault-aware cost estimation)

@@ -24,6 +24,7 @@ kernels so applications produce verifiable numerical results.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Mapping, Optional, Union
 
@@ -83,6 +84,13 @@ class RuntimeConfig:
     #: real NumPy code.
     record_accesses: bool = False
     max_events: Optional[int] = None
+    #: Global progress watchdog: if no task completes for this many
+    #: simulated seconds (``progress_stall_limit`` consecutive times)
+    #: while tasks are unfinished, the run fails with a diagnostic dump
+    #: (:class:`repro.resilience.watchdog.ProgressStallError`) instead
+    #: of stalling forever.  ``None`` disables it.
+    progress_horizon: Optional[float] = None
+    progress_stall_limit: int = 3
 
     def __post_init__(self) -> None:
         if self.prefetch and not self.overlap_transfers:
@@ -92,6 +100,10 @@ class RuntimeConfig:
             raise ValueError("prefetch_window must be >= 1")
         if self.max_in_flight_tasks is not None and self.max_in_flight_tasks < 1:
             raise ValueError("max_in_flight_tasks must be >= 1 or None")
+        if self.progress_horizon is not None and self.progress_horizon <= 0:
+            raise ValueError("progress_horizon must be positive or None")
+        if self.progress_stall_limit < 1:
+            raise ValueError("progress_stall_limit must be >= 1")
 
     @property
     def effective_window(self) -> int:
@@ -242,6 +254,19 @@ class OmpSsRuntime:
         self._pinned: set[int] = set()
         # global uid -> run-local sequence number (for trace determinism)
         self._local_ids: dict[int, int] = {}
+        # speculation bookkeeping: primary uid -> shadow instance and the
+        # reverse (shadow uid -> primary instance)
+        self._spec_shadow: dict[int, TaskInstance] = {}
+        self._spec_primary: dict[int, TaskInstance] = {}
+        self.progress_watchdog = None
+        if self.config.progress_horizon is not None:
+            from repro.resilience.watchdog import ProgressWatchdog
+
+            self.progress_watchdog = ProgressWatchdog(
+                self,
+                self.config.progress_horizon,
+                stall_limit=self.config.progress_stall_limit,
+            )
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -520,27 +545,43 @@ class OmpSsRuntime:
         worker.current = t
         t.state = TaskState.RUNNING
         t.start_time = now
-        duration = worker.device.duration(t.chosen_version.kernel, t.data_bytes, t.params)
-        fail_fraction = self.resilience.task_fault_at_start(t, worker)
-        if fail_fraction is not None:
-            # the execution faults part-way: the worker is occupied for
-            # the faulted fraction, then the task re-enters recovery
-            fail_at = now + duration * fail_fraction
-            worker.free_at = fail_at
-            worker._end_event = self.engine.schedule(
-                fail_at,
-                lambda: self._fail_running(t, worker),
-                kind=EventKind.TASK_FAIL,
-                label=t.label,
-            )
+        # nominal duration (the device cost model's estimate) feeds the
+        # watchdog deadline; the actual duration is stretched by any
+        # active slowdown fault — the deadline deliberately is not, so a
+        # degraded worker's executions overshoot it and are recovered
+        nominal = worker.device.duration(t.chosen_version.kernel, t.data_bytes, t.params)
+        duration = nominal * self.resilience.slowdown_factor(worker)
+        if self.resilience.task_hang_at_start(t, worker):
+            # hung execution: occupies the worker forever and never
+            # fires a completion event — only the straggler watchdog
+            # (or the progress watchdog) can resolve it
+            worker.free_at = math.inf
+            worker._end_event = None
         else:
-            worker.free_at = now + duration
-            worker._end_event = self.engine.schedule(
-                now + duration,
-                lambda: self._finish(t, worker),
-                kind=EventKind.TASK_END,
-                label=t.label,
-            )
+            fail_fraction = self.resilience.task_fault_at_start(t, worker)
+            if fail_fraction is not None:
+                # the execution faults part-way: the worker is occupied
+                # for the faulted fraction, then the task re-enters
+                # recovery
+                fail_at = now + duration * fail_fraction
+                worker.free_at = fail_at
+                worker._end_event = self.engine.schedule(
+                    fail_at,
+                    lambda: self._fail_running(t, worker),
+                    kind=EventKind.TASK_FAIL,
+                    label=t.label,
+                )
+            else:
+                worker.free_at = now + duration
+                worker._end_event = self.engine.schedule(
+                    now + duration,
+                    lambda: self._finish(t, worker),
+                    kind=EventKind.TASK_END,
+                    label=t.label,
+                )
+        # armed after the end event so a deadline landing on the exact
+        # completion time loses the (time, seq) tie-break to it
+        self.resilience.on_task_start(t, worker, nominal)
         # the pop promoted a task into the prefetch window
         self._prepare_window(worker)
         self.scheduler.task_started(t, worker)
@@ -550,8 +591,18 @@ class OmpSsRuntime:
         self._try_start(worker)
 
     def _finish(self, t: TaskInstance, worker: Worker) -> None:
+        primary = self._spec_primary.get(t.uid)
+        if primary is not None:
+            # a speculative copy finished first: it wins the race
+            self._finish_speculation_win(t, primary, worker)
+            return
         now = self.engine.now
         measured = now - t.start_time
+        self.resilience.on_task_stop(t)
+        shadow = self._spec_shadow.get(t.uid)
+        if shadow is not None:
+            # the straggling original beat its speculative copy after all
+            self._cancel_speculation(shadow)
         worker.current = None
         worker._end_event = None
         worker.busy_time += measured
@@ -606,6 +657,21 @@ class OmpSsRuntime:
         """
         now = self.engine.now
         assert t.chosen_version is not None
+        self.resilience.on_task_stop(t)
+        if t.uid in self._spec_primary:
+            # a speculative copy faulted: charge the worker's streak and
+            # withdraw the copy — the original is still in flight
+            worker.current = None
+            worker._end_event = None
+            worker.busy_time += now - t.start_time
+            self.trace.add(
+                t.start_time, now, worker.name, "fault",
+                t.chosen_version.name,
+                meta=(self._local_ids[t.uid], t.attempts + 1),
+            )
+            self.resilience.on_task_fault(t, worker, will_retry=False)
+            self._cancel_speculation(t)
+            return
         worker.current = None
         worker._end_event = None
         worker.busy_time += now - t.start_time
@@ -619,20 +685,35 @@ class OmpSsRuntime:
         )
         # burns retry budget, records the failed pair, may quarantine the
         # worker (draining its queue); raises TaskRetryExceededError when
-        # the budget is gone
-        self.resilience.on_task_fault(t, worker)
+        # the budget is gone.  A primary with a live speculative copy
+        # does not retry (the copy carries the task), so its budget is
+        # spared too.
+        self.resilience.on_task_fault(
+            t, worker, will_retry=t.uid not in self._spec_shadow
+        )
         self._requeue(t, worker)
         self._try_start(worker)
 
     def _requeue(self, t: TaskInstance, worker: Worker) -> None:
         """Pull a dispatched-but-unfinished task back to the ready pool."""
+        if t.uid in self._spec_primary:
+            # a speculative copy never re-enters the pool: losing its
+            # worker (death, quarantine drain) just cancels the race
+            self._cancel_speculation(t)
+            return
         now = self.engine.now
+        self.resilience.on_task_stop(t)
         self._xfer_ready.pop(t.uid, None)
         if t.uid in self._pinned:
             self._pinned.discard(t.uid)
             for region in t.regions():
                 self.cache.unpin(worker.space, region)
         self.scheduler.task_requeued(t, worker)
+        if t.uid in self._spec_shadow:
+            # a primary with a live speculative copy is parked, not
+            # retried: the copy carries the task to completion
+            t.state = TaskState.READY
+            return
         self.trace.add(
             now, now, worker.name, "retry", t.name,
             meta=(self._local_ids[t.uid], t.attempts),
@@ -640,6 +721,215 @@ class OmpSsRuntime:
         t.chosen_version = None
         t.chosen_worker = None
         self._mark_ready(t)
+
+    # ------------------------------------------------------------------
+    # Speculative re-execution (straggler recovery)
+    # ------------------------------------------------------------------
+    def _launch_speculation(
+        self, t: TaskInstance, worker: Worker, version: TaskVersion
+    ) -> TaskInstance:
+        """Duplicate a straggling running task on an alternate pair.
+
+        The copy is a real :class:`TaskInstance` sharing the original's
+        accesses/arguments (so transfers, pinning and coherence use the
+        ordinary machinery) but it never enters the dependence graph:
+        whichever execution finishes first retires the *original* in
+        dependence order, and the loser is cancelled.  The copy gets a
+        priority bump so it jumps ahead of queued work — a speculation
+        stuck behind a backlog would defeat its purpose.
+        """
+        shadow = TaskInstance(
+            t.definition,
+            t.accesses,
+            params=t.params,
+            args=t.args,
+            kwargs=t.kwargs,
+            priority=t.priority + 1,
+            label=f"{t.label}~spec",
+        )
+        shadow.speculative_of = t.uid
+        shadow.attempts = t.attempts
+        shadow.failed_pairs = t.failed_pairs  # shared avoid-set, by design
+        shadow.submit_time = t.submit_time
+        shadow.state = TaskState.READY
+        shadow.ready_time = self.engine.now
+        # trace records of the copy carry the original's run-local id
+        self._local_ids[shadow.uid] = self._local_ids[t.uid]
+        self._spec_shadow[t.uid] = shadow
+        self._spec_primary[shadow.uid] = t
+        self.scheduler.task_speculated(shadow, worker, version)
+        self.dispatch(shadow, worker, version)
+        return shadow
+
+    def _abort_straggler(self, t: TaskInstance, worker: Worker) -> None:
+        """Cancel a straggling execution and retry it elsewhere.
+
+        The no-speculation recovery path (no alternate pair, or the
+        speculation budget is spent): the burned time stays on the
+        worker, and the retry budget and quarantine streak are charged
+        exactly as for a transient fault.
+        """
+        now = self.engine.now
+        assert t.chosen_version is not None
+        worker.current = None
+        if worker._end_event is not None:
+            worker._end_event.cancel()
+            worker._end_event = None
+        worker.free_at = now
+        worker.busy_time += now - t.start_time
+        self.trace.add(
+            t.start_time, now, worker.name, "aborted",
+            t.chosen_version.name, meta=(self._local_ids[t.uid],),
+        )
+        self.resilience.on_task_fault(t, worker)
+        self._requeue(t, worker)
+        self._try_start(worker)
+
+    def _cancel_speculation(self, shadow: TaskInstance) -> None:
+        """Withdraw a speculative copy (queued or running) for good.
+
+        Called when the original finishes first, when the copy faults,
+        or when the copy's worker is lost.  A withdrawn copy never
+        re-enters any pool; its partial execution time (if it started)
+        stays on the worker as busy time under a ``spec-abort`` record,
+        while a copy still waiting in a queue burned no worker time and
+        leaves only a non-busy ``spec-drop`` point record.
+        """
+        now = self.engine.now
+        primary = self._spec_primary.pop(shadow.uid, None)
+        if primary is not None:
+            self._spec_shadow.pop(primary.uid, None)
+        w = (
+            self._workers_by_name.get(shadow.chosen_worker)
+            if shadow.chosen_worker
+            else None
+        )
+        version_name = (
+            shadow.chosen_version.name if shadow.chosen_version else shadow.name
+        )
+        if w is not None:
+            if w.current is shadow:
+                w.current = None
+                if w._end_event is not None:
+                    w._end_event.cancel()
+                    w._end_event = None
+                w.free_at = now
+                w.busy_time += now - shadow.start_time
+                self.trace.add(
+                    shadow.start_time, now, w.name, "spec-abort",
+                    version_name, meta=(self._local_ids[shadow.uid],),
+                )
+            else:
+                if shadow in w.queue:
+                    w.queue.remove(shadow)
+                self.trace.add(
+                    now, now, w.name, "spec-drop", version_name,
+                    meta=(self._local_ids[shadow.uid],),
+                )
+            self._xfer_ready.pop(shadow.uid, None)
+            if shadow.uid in self._pinned:
+                self._pinned.discard(shadow.uid)
+                for region in shadow.regions():
+                    self.cache.unpin(w.space, region)
+            self.scheduler.task_requeued(shadow, w)
+        shadow.state = TaskState.FINISHED  # retired, never re-dispatched
+        if primary is not None:
+            self.resilience.on_speculation_wasted(primary)
+        if w is not None:
+            self._try_start(w)
+
+    def _finish_speculation_win(
+        self, shadow: TaskInstance, primary: TaskInstance, worker: Worker
+    ) -> None:
+        """A speculative copy finished first: it is the execution of
+        record.  The straggling original is cancelled, its worker freed,
+        and its (never-completed) results discarded — the task retires
+        under the copy's (version, worker) pair in dependence order.
+        """
+        now = self.engine.now
+        measured = now - shadow.start_time
+        assert shadow.chosen_version is not None
+        self._spec_primary.pop(shadow.uid, None)
+        self._spec_shadow.pop(primary.uid, None)
+        self.resilience.on_task_stop(primary)
+
+        worker.current = None
+        worker._end_event = None
+        worker.busy_time += measured
+        worker.tasks_run += 1
+
+        # cancel the straggling original — unless it already left its
+        # worker (faulted away, or the worker died) and was parked
+        loser: Optional[Worker] = None
+        w1 = (
+            self._workers_by_name.get(primary.chosen_worker)
+            if primary.chosen_worker
+            else None
+        )
+        if w1 is not None and w1.current is primary:
+            assert primary.chosen_version is not None
+            loser = w1
+            w1.current = None
+            if w1._end_event is not None:
+                w1._end_event.cancel()
+                w1._end_event = None
+            w1.free_at = now
+            w1.busy_time += now - primary.start_time
+            self.trace.add(
+                primary.start_time, now, w1.name, "spec-abort",
+                primary.chosen_version.name,
+                meta=(self._local_ids[primary.uid],),
+            )
+            if primary.uid in self._pinned:
+                self._pinned.discard(primary.uid)
+                for region in primary.regions():
+                    self.cache.unpin(w1.space, region)
+            self.scheduler.task_requeued(primary, w1)
+
+        shadow.state = TaskState.FINISHED
+        shadow.end_time = now
+        if self.config.execute_bodies:
+            if self.recorder is not None:
+                self.recorder.run_task(shadow)
+            else:
+                shadow.execute_body()
+        self.trace.add(
+            shadow.start_time,
+            now,
+            worker.name,
+            "task",
+            shadow.chosen_version.name,
+            meta=(self._local_ids[shadow.uid],),
+        )
+        space = worker.space
+        for region in shadow.writes():
+            self.directory.note_write(region, space)
+            self.cache.invalidate_stale_everywhere(region, space)
+        if shadow.uid in self._pinned:
+            self._pinned.discard(shadow.uid)
+            for region in shadow.regions():
+                self.cache.unpin(space, region)
+
+        # the original retires under the winning pair so dependence-
+        # order analyses and traces agree on where the task really ran
+        primary.chosen_version = shadow.chosen_version
+        primary.chosen_worker = worker.name
+        primary.start_time = shadow.start_time
+        primary.end_time = now
+        primary.state = TaskState.FINISHED
+        counts = self.version_counts.setdefault(shadow.name, {})
+        counts[shadow.chosen_version.name] = counts.get(shadow.chosen_version.name, 0) + 1
+        self._finish_order.append(primary.uid)
+        self._tasks_completed += 1
+
+        self.resilience.on_task_success(worker)
+        self.resilience.on_speculation_won(primary, loser)
+        self.scheduler.task_finished(shadow, worker, measured)
+        for succ in self.graph.task_finished(primary):
+            self._mark_ready(succ)
+        self._try_start(worker)
+        if loser is not None and loser.alive:
+            self._try_start(loser)
 
     def _drain_worker(self, worker: Worker) -> int:
         """Hand every queued task of ``worker`` back to the scheduler.

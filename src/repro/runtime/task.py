@@ -161,6 +161,7 @@ class TaskInstance:
         "chosen_worker",
         "attempts",
         "failed_pairs",
+        "speculative_of",
         "submit_time",
         "ready_time",
         "start_time",
@@ -203,6 +204,11 @@ class TaskInstance:
         #: paper's multi-version tables)
         self.attempts: int = 0
         self.failed_pairs: set[tuple[str, str]] = set()
+        #: uid of the straggling original this instance is a speculative
+        #: copy of (None for ordinary tasks).  Copies never enter the
+        #: dependence graph; the first of the pair to finish retires the
+        #: original, the other is cancelled.
+        self.speculative_of: Optional[int] = None
         self.submit_time: float = 0.0
         self.ready_time: float = 0.0
         self.start_time: float = 0.0

@@ -69,6 +69,10 @@ CODES: dict[str, str] = {
                 "history)",
     "SAN-T006": "run accounting mismatch (completed-task counters, trace "
                 "records and finish order disagree)",
+    "SAN-T007": "a straggler detection was never acted on: no speculation "
+                "launch or retry followed the straggler record",
+    "SAN-T008": "a task completed more than once (a cancelled speculative "
+                "loser must never also appear as a winner)",
 }
 
 

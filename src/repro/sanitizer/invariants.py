@@ -5,9 +5,11 @@ Two entry points:
 * :func:`check_trace` — validates any :class:`~repro.sim.trace.Trace`
   in isolation: per-worker interval overlap (SAN-T001), optional
   task-before-dependence ordering given explicit dependence pairs
-  (SAN-T002), and quarantined/dead-worker execution (SAN-T004, windows
+  (SAN-T002), quarantined/dead-worker execution (SAN-T004, windows
   derived from the trace's own ``quarantine``/``readmit``/
-  ``worker-down`` records).  Usable on hand-built traces in tests.
+  ``worker-down`` records), straggler-detection follow-up (SAN-T007)
+  and unique task completion (SAN-T008).  Usable on hand-built traces
+  in tests.
 
 * :func:`check_run` — validates a full :class:`RunResult`: everything
   above with dependence pairs derived from the run's DAG, plus
@@ -32,8 +34,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _EPS = 1e-9
 
-#: categories that occupy a worker exclusively (serial resource)
-_BUSY_CATEGORIES = ("task", "fault", "aborted")
+#: categories that occupy a worker exclusively (serial resource);
+#: ``spec-abort`` is the partial execution of a cancelled speculative
+#: copy (or the straggling original it beat) — real busy time
+_BUSY_CATEGORIES = ("task", "fault", "aborted", "spec-abort")
 
 
 def _task_records(trace: "Trace") -> dict[int, "TraceRecord"]:
@@ -147,6 +151,71 @@ def _check_worker_windows(trace: "Trace", eps: float) -> list[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# SAN-T007 — straggler detections must be acted on
+# ----------------------------------------------------------------------
+def _check_straggler_followup(trace: "Trace") -> list[Diagnostic]:
+    # "straggler" and the recovery it triggers ("speculate" launch or
+    # "retry" after an abort) carry the same simulated timestamp, so the
+    # ordering that matters is trace *insertion* order, which the runtime
+    # guarantees (detection is recorded before the recovery action).
+    out: list[Diagnostic] = []
+    records = list(trace)
+    for i, r in enumerate(records):
+        if r.category != "straggler" or not r.meta:
+            continue
+        seq = r.meta[0]
+        acted = any(
+            s.category in ("speculate", "retry") and s.meta and s.meta[0] == seq
+            for s in records[i + 1:]
+        )
+        if not acted:
+            out.append(Diagnostic(
+                code="SAN-T007",
+                message=(
+                    f"straggler detected for task #{seq} ({r.label!r} on "
+                    f"{r.worker}) at {r.start:.6g} but no speculation "
+                    f"launch or retry followed"
+                ),
+                worker=r.worker,
+                task=r.label,
+                meta=(seq,),
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN-T008 — at most one completion per task
+# ----------------------------------------------------------------------
+def _check_unique_completion(trace: "Trace") -> list[Diagnostic]:
+    # Speculative re-execution races an original against a copy: exactly
+    # one side may retire the task ("task" record); the loser must be
+    # withdrawn as "spec-abort".  Two completion records for one
+    # run-local sequence number mean a cancelled loser also won.
+    out: list[Diagnostic] = []
+    seen: dict[int, "TraceRecord"] = {}
+    for r in trace.by_category("task"):
+        if not r.meta:
+            continue
+        seq = r.meta[0]
+        first = seen.get(seq)
+        if first is None:
+            seen[seq] = r
+            continue
+        out.append(Diagnostic(
+            code="SAN-T008",
+            message=(
+                f"task #{seq} completed more than once: {first.label!r} on "
+                f"{first.worker} at {first.end:.6g} and {r.label!r} on "
+                f"{r.worker} at {r.end:.6g}"
+            ),
+            worker=r.worker,
+            task=r.label,
+            meta=(seq,),
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
 def check_trace(
     trace: "Trace",
     *,
@@ -163,6 +232,8 @@ def check_trace(
     if deps is not None:
         out.extend(_check_dependence_order(trace, deps, eps))
     out.extend(_check_worker_windows(trace, eps))
+    out.extend(_check_straggler_followup(trace))
+    out.extend(_check_unique_completion(trace))
     return out
 
 
@@ -313,7 +384,7 @@ def _check_accounting(result: "RunResult") -> list[Diagnostic]:
 
 # ----------------------------------------------------------------------
 def check_run(result: "RunResult", *, eps: float = _EPS) -> list[Diagnostic]:
-    """All trace invariants of one finished run (SAN-T001..T006)."""
+    """All trace invariants of one finished run (SAN-T001..T008)."""
     deps: list[tuple[int, int]] = []
     if result.graph is not None and result.local_ids:
         ids = result.local_ids

@@ -69,6 +69,16 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Resilience hooks (fault recovery; defaults are safe no-ops)
     # ------------------------------------------------------------------
+    def task_speculated(
+        self, t: TaskInstance, worker: "Worker", version: TaskVersion
+    ) -> None:
+        """A speculative copy ``t`` of a straggling task is about to be
+        dispatched to ``worker`` (straggler recovery).  The copy reports
+        back through :meth:`task_finished` if it wins the race or
+        :meth:`task_requeued` if it is withdrawn, so policies that keep
+        per-dispatch bookkeeping should mirror their dispatch-side
+        accounting here."""
+
     def task_requeued(self, t: TaskInstance, worker: "Worker") -> None:
         """A dispatched task was pulled back before finishing (fault
         recovery).  Called with ``t.chosen_version`` still set; the task

@@ -35,6 +35,7 @@ class EventKind(Enum):
     WORKER_DOWN = "worker-down"
     RETRY = "retry"
     RUNTIME = "runtime"
+    WATCHDOG = "watchdog"
 
 
 @dataclass(order=False)

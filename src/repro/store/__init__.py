@@ -41,7 +41,11 @@ from repro.store.merge import (
     prune_payload,
     to_hints,
 )
-from repro.store.store import ProfileStore, warm_start_options
+from repro.store.store import (
+    ProfileStore,
+    StoreLockTimeoutError,
+    warm_start_options,
+)
 
 __all__ = [
     "Checkpointer",
@@ -54,6 +58,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "StoreCorruptError",
     "StoreError",
+    "StoreLockTimeoutError",
     "age_payload",
     "backup_path",
     "effective_executions",

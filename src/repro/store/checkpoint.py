@@ -19,6 +19,14 @@ Two subtleties:
   infinite loop.  The checkpointer therefore watches the runtime's
   completed-task counter and retires itself after ``idle_limit``
   consecutive ticks with no forward progress.
+
+The cadence is adaptive: checkpoints matter most while the tables are
+still being learned (that is the state an aborted run cannot cheaply
+rebuild), so once every size group the scheduler has dispatched reaches
+the reliable phase, the interval widens by ``widen_factor``; if a new
+group later enters learning (a new problem size mid-run) it tightens
+back to the base interval.  ``interval_history`` records every
+transition as ``(sim_time, interval)``.
 """
 
 from __future__ import annotations
@@ -48,13 +56,20 @@ class Checkpointer:
         interval: float = DEFAULT_INTERVAL,
         merge_base: Optional[bool] = None,
         idle_limit: int = DEFAULT_IDLE_LIMIT,
+        widen_factor: float = 4.0,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"checkpoint interval must be positive, got {interval}")
         if idle_limit < 1:
             raise ValueError(f"idle_limit must be >= 1, got {idle_limit}")
+        if widen_factor < 1:
+            raise ValueError(f"widen_factor must be >= 1, got {widen_factor}")
         self.store = store
+        self.base_interval = interval
         self.interval = interval
+        self.widen_factor = widen_factor
+        #: every cadence change as (sim_time, new interval)
+        self.interval_history: list[tuple[float, float]] = []
         self.idle_limit = idle_limit
         #: None = decide at bind time from the scheduler's warm-start state.
         self._merge_base_override = merge_base
@@ -128,8 +143,34 @@ class Checkpointer:
         return self.checkpoint_now(run_complete=True)
 
     # ------------------------------------------------------------------
+    def _all_groups_reliable(self) -> bool:
+        """True when every size group dispatched so far has graduated
+        from the learning phase (no group has learning left to lose)."""
+        sched = self._rt.scheduler if self._rt is not None else None
+        dispatches = getattr(sched, "group_dispatches", None)
+        reliable_at = getattr(sched, "group_reliable_at", None)
+        if not dispatches or reliable_at is None:
+            return False  # nothing dispatched yet: assume still learning
+        return all(gkey in reliable_at for gkey in dispatches)
+
+    def _adapt_interval(self) -> None:
+        assert self._rt is not None
+        target = self.base_interval * (
+            self.widen_factor if self._all_groups_reliable() else 1.0
+        )
+        if target == self.interval:
+            return
+        self.interval = target
+        self.interval_history.append((self._rt.engine.now, target))
+        if self._event is not None:
+            # RecurringEvent re-reads .interval when scheduling the next
+            # tick, so the new cadence takes effect from this tick on
+            self._event.interval = target
+
+    # ------------------------------------------------------------------
     def _tick(self) -> object:
         assert self._rt is not None
+        self._adapt_interval()
         completed = self._rt._tasks_completed
         if completed == self._last_completed:
             if any(w.current is not None for w in self._rt.workers):

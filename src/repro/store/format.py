@@ -12,14 +12,20 @@ A store file is a single JSON document::
       "tasks": {task: [{"representative_bytes": B,
                         "versions": {v: {"mean_time": s,
                                          "executions": n,
-                                         "stale_runs": k}}}]}
+                                         "stale_runs": k,
+                                         "variance": s2?}}}]}
     }
 
 ``tasks`` is a superset of the legacy §VII hints snapshot
 (:mod:`repro.core.hints`): each version entry additionally carries
 ``stale_runs`` — how many completed runs have been merged into the store
 since this entry was last refreshed — which drives staleness decay at
-merge and warm-start time.
+merge and warm-start time, and an optional non-negative ``variance``
+(population variance of the observed execution times) so warm-started
+runs can arm straggler deadlines (``mean + k·sigma``) before
+re-observing a single execution.  ``variance`` is optional within
+schema v2: v2 stores written before variance tracking read back
+unchanged.
 
 Durability: writes go to a temp file in the same directory followed by
 an atomic :func:`os.replace`; the previous store generation is rotated
@@ -116,11 +122,15 @@ def migrate_legacy(snapshot: dict, *, fingerprint: Optional[str] = None) -> dict
                 count = int(stats.get("executions", 0))
                 if mean is None or count <= 0:
                     continue
-                versions[vname] = {
+                entry = {
                     "mean_time": float(mean),
                     "executions": count,
                     "stale_runs": 0,
                 }
+                variance = stats.get("variance")
+                if variance is not None:
+                    entry["variance"] = float(variance)
+                versions[vname] = entry
             out_groups.append(
                 {
                     "representative_bytes": int(g["representative_bytes"]),
@@ -201,6 +211,13 @@ def validate_payload(payload: dict) -> dict:
                 if not isinstance(stale, int) or stale < 0:
                     raise StoreCorruptError(
                         f"entry {task_name!r}/{vname!r} has invalid stale_runs {stale!r}"
+                    )
+                var = stats.get("variance")
+                if var is not None and (
+                    not isinstance(var, (int, float)) or var < 0 or var != var
+                ):
+                    raise StoreCorruptError(
+                        f"entry {task_name!r}/{vname!r} has invalid variance {var!r}"
                     )
     return payload
 

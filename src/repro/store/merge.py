@@ -76,7 +76,9 @@ def merge_payloads(
     Entries are matched by (task, representative_bytes, version);
     matching entries combine by effective-execution-weighted mean, and
     the result's ``stale_runs`` is the minimum of the contributors' (the
-    freshest provenance wins).  Sub-threshold entries are dropped.
+    freshest provenance wins).  Variances pool by the law of total
+    variance (within- plus between-contributor spread).  Sub-threshold
+    entries are dropped.
     """
     if not payloads:
         raise StoreError("nothing to merge: no payloads given")
@@ -185,10 +187,13 @@ def to_hints(payload: dict, *, decay: float = DEFAULT_DECAY) -> dict:
                 eff = int(round(effective_executions(stats, decay)))
                 if eff < 1:
                     continue
-                versions[vname] = {
+                entry = {
                     "mean_time": stats["mean_time"],
                     "executions": eff,
                 }
+                if stats.get("variance") is not None:
+                    entry["variance"] = stats["variance"]
+                versions[vname] = entry
             if versions:
                 out_groups.append(
                     {
@@ -214,6 +219,8 @@ def entry_count(payload: dict) -> int:
 def _merge_entries(entries: Iterable[dict], decay: float) -> Optional[dict]:
     weight = 0.0
     weighted_mean = 0.0
+    weighted_second_moment = 0.0  # Σ wᵢ (varᵢ + meanᵢ²)
+    any_variance = False
     stale = None
     for e in entries:
         w = effective_executions(e, decay)
@@ -221,15 +228,27 @@ def _merge_entries(entries: Iterable[dict], decay: float) -> Optional[dict]:
             continue
         weight += w
         weighted_mean += w * e["mean_time"]
+        var = e.get("variance")
+        if var is not None:
+            any_variance = True
+        weighted_second_moment += w * (
+            (var if var is not None else 0.0) + e["mean_time"] ** 2
+        )
         s = e.get("stale_runs", 0)
         stale = s if stale is None else min(stale, s)
     if weight < MIN_EFFECTIVE_EXECUTIONS or stale is None:
         return None
-    return {
-        "mean_time": weighted_mean / weight,
+    mean = weighted_mean / weight
+    out = {
+        "mean_time": mean,
         "executions": min(max(1, int(round(weight))), MAX_MERGED_EXECUTIONS),
         "stale_runs": stale,
     }
+    if any_variance:
+        # law of total variance over the contributing populations;
+        # the clamp absorbs floating-point cancellation near zero
+        out["variance"] = max(0.0, weighted_second_moment / weight - mean ** 2)
+    return out
 
 
 def _common_fingerprint(payloads: Sequence[dict], *, check: bool) -> Optional[str]:

@@ -16,6 +16,14 @@ run-lifecycle operations the runtime integration uses:
   final tables of one or more completed runs into the store in a single
   aging step.
 
+Concurrency: every generation write happens under an advisory
+``fcntl.flock`` on a ``<name>.lock`` sidecar (POSIX only — a no-op where
+:mod:`fcntl` is unavailable), polled non-blocking until ``lock_timeout``
+and then failing loudly with :class:`StoreLockTimeoutError`.  While the
+lock is held, a write first folds in whatever another process committed
+since this run read its baseline, so concurrent runs sharing one store
+lose neither side's learning.
+
 Everything raises :class:`repro.store.format.StoreError` subclasses with
 precise messages; a corrupt store is never silently overwritten (the
 previous generation survives as ``<name>.bak``).
@@ -23,12 +31,16 @@ previous generation survives as ``<name>.bak``).
 
 from __future__ import annotations
 
+import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
 from repro.store import merge as merge_mod
 from repro.store.format import (
     PathLike,
+    StoreError,
     backup_path,
     empty_payload,
     migrate_legacy,
@@ -38,19 +50,125 @@ from repro.store.format import (
 )
 from repro.store.merge import DEFAULT_DECAY, age_payload, merge_payloads, to_hints
 
+try:  # pragma: no cover - exercised implicitly on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.profile import VersionProfileTable
+
+
+class StoreLockTimeoutError(StoreError):
+    """Could not acquire the store's advisory lock within the timeout."""
 
 
 class ProfileStore:
     """One durable, mergeable profile database backed by a JSON file."""
 
-    def __init__(self, path: PathLike, *, decay: float = DEFAULT_DECAY) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        decay: float = DEFAULT_DECAY,
+        lock_timeout: float = 10.0,
+    ) -> None:
         self.path = Path(path)
         self.decay = decay
+        if lock_timeout < 0:
+            raise StoreError(f"lock_timeout must be non-negative, got {lock_timeout}")
+        self.lock_timeout = lock_timeout
+        self._lock_poll = 0.02
         # aged baseline of the run opened by begin_run (None outside one)
         self._base: Optional[dict] = None
         self._checkpoints_this_run = 0
+        # raw on-disk text last seen by this process; a mismatch under
+        # the lock means another process wrote a generation concurrently
+        self._seen_text: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+    @property
+    def lock_path(self) -> Path:
+        """The advisory-lock sidecar guarding generation writes."""
+        return self.path.with_name(self.path.name + ".lock")
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Hold the store's advisory lock (no-op where flock is absent).
+
+        Non-blocking acquisition polled every ``_lock_poll`` seconds so a
+        crashed-while-holding writer (flock dies with its process) never
+        wedges us, but a *live* contender surfaces as
+        :class:`StoreLockTimeoutError` after ``lock_timeout`` seconds.
+        """
+        if fcntl is None:
+            yield
+            return
+        self.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            deadline = time.monotonic() + self.lock_timeout
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise StoreLockTimeoutError(
+                            f"could not lock profile store {self.path} within "
+                            f"{self.lock_timeout:g}s (held by another process?)"
+                        )
+                    time.sleep(self._lock_poll)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def _read_text(self) -> Optional[str]:
+        try:
+            return self.path.read_text()
+        except OSError:
+            return None
+
+    def _merge_concurrent(self, payload: dict) -> dict:
+        """Under the lock: fold in generations another process committed
+        since this process last read or wrote the store.
+
+        This run's metadata and fingerprint win (counters stay
+        monotonic via per-counter max); profile entries merge by the
+        usual #Exec-weighted rule so neither side's learning is lost.
+        """
+        current_text = self._read_text()
+        if current_text is None or current_text == self._seen_text:
+            return payload
+        try:
+            current = read_payload(self.path)
+        except StoreError:
+            return payload  # concurrent writer left garbage: ours wins
+        merged = merge_payloads(
+            [current, payload], decay=self.decay, check_fingerprints=False
+        )
+        meta = dict(payload.get("meta", {}))
+        cur_meta = current.get("meta", {})
+        for counter in ("runs", "checkpoints", "invalidations"):
+            meta[counter] = max(
+                int(meta.get(counter) or 0), int(cur_meta.get(counter) or 0)
+            )
+        merged["meta"] = meta
+        merged["fingerprint"] = payload.get("fingerprint")
+        return merged
+
+    def _write_generation(self, payload: dict) -> dict:
+        """Serialize one generation write: lock, merge concurrent, write."""
+        with self._locked():
+            payload = self._merge_concurrent(payload)
+            write_payload(self.path, payload)
+        self._seen_text = self._read_text()
+        return payload
 
     # ------------------------------------------------------------------
     # Reading
@@ -108,6 +226,7 @@ class ProfileStore:
             base["fingerprint"] = fingerprint
         self._base = age_payload(base, by=1)
         self._checkpoints_this_run = 0
+        self._seen_text = self._read_text()
         return self._base
 
     def checkpoint(
@@ -142,7 +261,7 @@ class ProfileStore:
             "run_complete": bool(run_complete),
         }
         payload["meta"] = meta
-        write_payload(self.path, payload)
+        payload = self._write_generation(payload)
         if run_complete:
             self._base = None
             self._checkpoints_this_run = 0
@@ -198,7 +317,7 @@ class ProfileStore:
         meta["checkpoints"] = meta.get("checkpoints", 0) + 1
         meta["last_checkpoint"] = {"sim_time": float(sim_time), "run_complete": True}
         payload["meta"] = meta
-        write_payload(self.path, payload)
+        payload = self._write_generation(payload)
         self._base = None
         return payload
 
@@ -209,20 +328,24 @@ class ProfileStore:
         self, *, max_stale: Optional[int] = None, min_executions: int = 1
     ) -> int:
         """Drop stale/thin entries in place; returns entries removed."""
-        payload, removed = merge_mod.prune_payload(
-            self.load(),
-            decay=self.decay,
-            max_stale=max_stale,
-            min_executions=min_executions,
-        )
-        if removed:
-            write_payload(self.path, payload)
+        with self._locked():
+            payload, removed = merge_mod.prune_payload(
+                self.load(),
+                decay=self.decay,
+                max_stale=max_stale,
+                min_executions=min_executions,
+            )
+            if removed:
+                write_payload(self.path, payload)
+        self._seen_text = self._read_text()
         return removed
 
     def migrate_file(self, legacy_path: PathLike) -> dict:
         """Import a legacy hints file (XML/JSON) as this store's content."""
         payload = read_payload(legacy_path)
-        write_payload(self.path, payload)
+        with self._locked():
+            write_payload(self.path, payload)
+        self._seen_text = self._read_text()
         return payload
 
     @property
@@ -247,4 +370,9 @@ def warm_start_options(
     return opts
 
 
-__all__ = ["ProfileStore", "warm_start_options", "validate_payload"]
+__all__ = [
+    "ProfileStore",
+    "StoreLockTimeoutError",
+    "warm_start_options",
+    "validate_payload",
+]

@@ -111,6 +111,67 @@ class TestEWMA:
         assert min(xs) - 1e-9 <= e.value <= max(xs) + 1e-9
 
 
+class TestVariance:
+    def test_running_mean_variance_none_below_two_samples(self):
+        m = RunningMean()
+        assert m.variance is None
+        m.add(1.0)
+        assert m.variance is None
+        m.add(1.0)
+        assert m.variance == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+                    min_size=2, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_welford_matches_batch_sample_variance(self, xs):
+        m = RunningMean()
+        for x in xs:
+            m.add(x)
+        assert m.variance == pytest.approx(
+            float(np.var(xs, ddof=1)), rel=1e-6, abs=1e-9
+        )
+
+    def test_running_mean_preload_with_variance(self):
+        m = RunningMean()
+        m.preload(0.5, 10, variance=0.04)
+        assert m.variance == pytest.approx(0.04)
+        # continued learning folds new samples into the Welford state
+        m.add(0.5)
+        assert m.count == 11
+        assert m.variance == pytest.approx(0.04 * 9 / 10)
+
+    def test_preload_variance_validation(self):
+        with pytest.raises(ValueError, match="variance"):
+            RunningMean().preload(1.0, 5, variance=-0.1)
+        with pytest.raises(ValueError, match="variance"):
+            EWMA().preload(1.0, 5, variance=-0.1)
+
+    def test_preload_single_sample_has_no_variance(self):
+        m = RunningMean()
+        m.preload(1.0, 1, variance=0.5)
+        assert m.variance is None
+
+    def test_ewma_variance_tracks_jitter(self):
+        e = EWMA(0.5)
+        assert e.variance is None
+        e.add(1.0)
+        assert e.variance is None
+        for x in (1.0, 3.0, 1.0, 3.0):
+            e.add(x)
+        assert e.variance is not None and e.variance > 0.0
+
+    def test_ewma_constant_samples_have_zero_variance(self):
+        e = EWMA(0.3)
+        for _ in range(10):
+            e.add(2.0)
+        assert e.variance == pytest.approx(0.0)
+
+    def test_ewma_preload_with_variance(self):
+        e = EWMA(0.4)
+        e.preload(2.0, 7, variance=0.25)
+        assert e.variance == pytest.approx(0.25)
+
+
 class TestFactory:
     def test_mean(self):
         assert isinstance(make_estimator("mean"), RunningMean)

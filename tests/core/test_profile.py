@@ -164,3 +164,49 @@ class TestVersionProfileTable:
         assert "t" not in t
         t.group("t", 1)
         assert "t" in t
+
+
+class TestVarianceRoundTrip:
+    def test_profile_exposes_variance_and_stddev(self):
+        p = VersionProfile("v1")
+        for x in (0.010, 0.020, 0.030):
+            p.record(x)
+        assert p.variance == pytest.approx(1e-4)
+        assert p.stddev == pytest.approx(0.01)
+
+    def test_variance_none_below_two_samples(self):
+        p = VersionProfile("v1")
+        assert p.variance is None and p.stddev is None
+        p.record(0.01)
+        assert p.variance is None and p.stddev is None
+
+    def test_to_dict_carries_variance_and_preload_restores_it(self):
+        t = VersionProfileTable()
+        g = t.group("t", MB)
+        for x in (0.010, 0.020, 0.030):
+            g.record("v", x)
+        snap = t.to_dict()
+        entry = snap["tasks"]["t"][0]["versions"]["v"]
+        assert entry["variance"] == pytest.approx(1e-4)
+
+        t2 = VersionProfileTable()
+        t2.preload(snap)
+        p2 = t2.group("t", MB).profile("v")
+        assert p2.executions == 3
+        assert p2.variance == pytest.approx(1e-4)
+        assert p2.stddev == pytest.approx(0.01)
+
+    def test_to_dict_omits_variance_when_unknown(self):
+        t = VersionProfileTable()
+        t.group("t", MB).record("v", 0.01)  # one sample: no variance yet
+        entry = t.to_dict()["tasks"]["t"][0]["versions"]["v"]
+        assert "variance" not in entry
+
+    def test_preload_without_variance_still_works(self):
+        t = VersionProfileTable()
+        t.preload({"tasks": {"t": [{"representative_bytes": MB,
+                                    "versions": {"v": {"mean_time": 0.01,
+                                                       "executions": 5}}}]}})
+        p = t.group("t", MB).profile("v")
+        assert p.mean_time == pytest.approx(0.01)
+        assert p.variance is None or p.variance == pytest.approx(0.0)

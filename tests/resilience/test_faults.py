@@ -4,9 +4,11 @@ import pytest
 
 from repro.resilience.faults import (
     FaultPlan,
+    HangRule,
     TaskFaultRule,
     TransferFaultRule,
     WorkerFailure,
+    WorkerSlowdown,
 )
 
 
@@ -117,3 +119,63 @@ class TestTransferFaultMatching:
         assert inj.transfer_fault("host", "gpu1") is False
         assert inj.transfer_fault("gpu0", "host") is False
         assert inj.transfer_fault("host", "gpu0") is True
+
+
+class TestHangMatching:
+    def test_hang_rule_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="never fire"):
+            HangRule(worker="gpu0")
+
+    def test_hang_rule_rejects_zero_start_index(self):
+        with pytest.raises(ValueError, match="1-based"):
+            HangRule(at_starts=(0,))
+
+    def test_at_starts_counts_matching_starts_only(self):
+        plan = FaultPlan(hangs=[HangRule(worker="gpu0", at_starts=(2,))])
+        inj = plan.injector()
+        assert inj.task_hang("w:smp0", "smp0", "k") is False  # no match
+        assert inj.task_hang("w:gpu0", "gpu0", "k") is False  # 1st match
+        assert inj.task_hang("w:gpu0", "gpu0", "k") is True   # 2nd match
+        assert inj.task_hang("w:gpu0", "gpu0", "k") is False
+
+    def test_probabilistic_hangs_are_deterministic(self):
+        plan = FaultPlan(seed=11, hangs=[HangRule(probability=0.3)])
+        inj1, inj2 = plan.injector(), plan.injector()
+        seq1 = [inj1.task_hang("w", "d", "k") for _ in range(50)]
+        seq2 = [inj2.task_hang("w", "d", "k") for _ in range(50)]
+        assert seq1 == seq2
+        assert any(seq1) and not all(seq1)
+
+
+class TestWorkerSlowdown:
+    def test_rejects_negative_at_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkerSlowdown("gpu0", -1.0, 2.0)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="positive"):
+            WorkerSlowdown("gpu0", 0.0, 0.0)
+
+    def test_rejects_until_before_at_time(self):
+        with pytest.raises(ValueError, match="until"):
+            WorkerSlowdown("gpu0", 1.0, 2.0, until=0.5)
+
+    def test_window_and_matching(self):
+        plan = FaultPlan(slowdowns=[WorkerSlowdown("gpu0", 1.0, 4.0, until=2.0)])
+        inj = plan.injector()
+        assert inj.slowdown_factor("w:gpu0", "gpu0", 0.5) == pytest.approx(1.0)
+        assert inj.slowdown_factor("w:gpu0", "gpu0", 1.0) == pytest.approx(4.0)
+        assert inj.slowdown_factor("w:gpu0", "gpu0", 2.0) == pytest.approx(1.0)
+        # other workers unaffected; worker name matches too
+        assert inj.slowdown_factor("w:gpu1", "gpu1", 1.5) == pytest.approx(1.0)
+        plan2 = FaultPlan(slowdowns=[WorkerSlowdown("w:gpu0", 0.0, 3.0)])
+        assert plan2.injector().slowdown_factor("w:gpu0", "gpu0", 0.0) == pytest.approx(3.0)
+
+    def test_overlapping_slowdowns_compose_multiplicatively(self):
+        plan = FaultPlan(slowdowns=[
+            WorkerSlowdown("gpu0", 0.0, 2.0),
+            WorkerSlowdown("gpu0", 1.0, 3.0),
+        ])
+        inj = plan.injector()
+        assert inj.slowdown_factor("w:gpu0", "gpu0", 0.5) == pytest.approx(2.0)
+        assert inj.slowdown_factor("w:gpu0", "gpu0", 1.5) == pytest.approx(6.0)

@@ -192,3 +192,66 @@ class TestRunLevelInvariants:
         )
         assert total_learning == sched.learning_dispatches
         assert total_reliable == sched.reliable_dispatches
+
+
+class TestStragglerInvariants:
+    def test_unactioned_straggler_is_t007(self):
+        bad = Trace()
+        bad.add(0.0, 1.0, "w:gpu0", "task", "t1", meta=(1,))
+        bad.add(2.0, 2.0, "w:gpu0", "straggler", "v1", meta=(2,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T007"]
+        assert "no speculation launch or retry" in diags[0].message
+
+    def test_straggler_followed_by_speculation_is_clean(self):
+        ok = Trace()
+        ok.add(2.0, 2.0, "w:gpu0", "straggler", "v1", meta=(2,))
+        ok.add(2.0, 2.0, "w:smp0", "speculate", "v0", meta=(2,))
+        ok.add(2.0, 3.0, "w:smp0", "task", "t2", meta=(2,))
+        assert check_trace(ok) == []
+
+    def test_straggler_followed_by_retry_is_clean(self):
+        ok = Trace()
+        ok.add(2.0, 2.0, "w:gpu0", "straggler", "v1", meta=(2,))
+        ok.add(0.5, 2.0, "w:gpu0", "aborted", "v1", meta=(2,))
+        ok.add(2.0, 2.0, "w:gpu0", "retry", "v1", meta=(2,))
+        ok.add(2.0, 3.0, "w:smp0", "task", "t2", meta=(2,))
+        assert check_trace(ok) == []
+
+    def test_followup_must_reference_the_same_task(self):
+        bad = Trace()
+        bad.add(2.0, 2.0, "w:gpu0", "straggler", "v1", meta=(2,))
+        bad.add(2.0, 2.0, "w:smp0", "speculate", "v0", meta=(3,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T007"]
+
+    def test_duplicate_completion_is_t008(self):
+        bad = Trace()
+        bad.add(0.0, 1.0, "w:gpu0", "task", "t1", meta=(1,))
+        bad.add(0.5, 1.5, "w:smp0", "task", "t1", meta=(1,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T008"]
+        assert "more than once" in diags[0].message
+
+    def test_distinct_tasks_may_share_labels(self):
+        ok = Trace()
+        ok.add(0.0, 1.0, "w:gpu0", "task", "t", meta=(1,))
+        ok.add(0.5, 1.5, "w:smp0", "task", "t", meta=(2,))
+        assert check_trace(ok) == []
+
+    def test_spec_abort_is_busy_time(self):
+        # a withdrawn straggler's slice still occupied its worker: another
+        # task overlapping it is a real SAN-T001 overlap
+        bad = Trace()
+        bad.add(0.0, 2.0, "w:gpu0", "spec-abort", "v1", meta=(1,))
+        bad.add(1.0, 3.0, "w:gpu0", "task", "t2", meta=(2,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T001"]
+
+    def test_spec_drop_is_not_busy_time(self):
+        # a queued copy withdrawn before it ever started leaves only a
+        # point marker; it must not count as occupancy on the worker
+        ok = Trace()
+        ok.add(0.0, 2.0, "w:smp0", "task", "t1", meta=(1,))
+        ok.add(1.0, 1.0, "w:smp0", "spec-drop", "v0", meta=(2,))
+        assert check_trace(ok) == []

@@ -41,7 +41,8 @@ class TestValidation:
         p = sample_payload()
         validate_payload(p)
         entry = p["tasks"]["task1"][0]["versions"]["v1"]
-        assert entry == {"mean_time": 0.030, "executions": 200, "stale_runs": 0}
+        assert entry == {"mean_time": 0.030, "executions": 200,
+                         "stale_runs": 0, "variance": 0.0}
         assert p["schema_version"] == SCHEMA_VERSION
 
     def test_zero_execution_versions_dropped_on_migration(self):

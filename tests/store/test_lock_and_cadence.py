@@ -1,0 +1,247 @@
+"""Store concurrency (advisory locking, concurrent-writer merging),
+variance persistence through the store, and the adaptive checkpoint
+cadence."""
+
+import os
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.core.profile import VersionProfileTable
+from repro.core.versioning import VersioningScheduler
+from repro.runtime.runtime import OmpSsRuntime
+from repro.store import (
+    Checkpointer,
+    ProfileStore,
+    StoreCorruptError,
+    StoreLockTimeoutError,
+    merge_payloads,
+    validate_payload,
+)
+from tests.conftest import make_machine, make_two_version_task, region
+from tests.store.test_merge import payload_with
+
+MB = 1024**2
+
+
+def make_table(task_name="t", samples=(0.010, 0.020, 0.030), rep=MB):
+    t = VersionProfileTable()
+    g = t.group(task_name, rep)
+    for x in samples:
+        g.record("v", x)
+    return t
+
+
+# ----------------------------------------------------------------------
+# Variance through the store
+# ----------------------------------------------------------------------
+class TestVarianceThroughStore:
+    def test_variance_survives_store_round_trip(self, tmp_path):
+        store = ProfileStore(tmp_path / "s.json")
+        store.absorb(make_table())
+        entry = store.load()["tasks"]["t"][0]["versions"]["v"]
+        assert entry["variance"] == pytest.approx(1e-4)
+
+        hints = store.hints(decay=1.0)
+        t2 = VersionProfileTable()
+        t2.preload(hints)
+        p = t2.group("t", MB).profile("v")
+        assert p.executions == 3
+        assert p.stddev == pytest.approx(0.01)
+
+    def test_entries_without_variance_stay_without(self, tmp_path):
+        store = ProfileStore(tmp_path / "s.json")
+        t = VersionProfileTable()
+        t.group("t", MB).record("v", 0.01)  # one sample: no variance
+        store.absorb(t)
+        entry = store.load()["tasks"]["t"][0]["versions"]["v"]
+        assert "variance" not in entry
+
+    def test_validate_rejects_negative_variance(self):
+        p = payload_with({("t", 100, "v"): (1.0, 5, 0)})
+        p["tasks"]["t"][0]["versions"]["v"]["variance"] = -0.5
+        with pytest.raises(StoreCorruptError, match="variance"):
+            validate_payload(p)
+
+    def test_validate_rejects_nan_variance(self):
+        p = payload_with({("t", 100, "v"): (1.0, 5, 0)})
+        p["tasks"]["t"][0]["versions"]["v"]["variance"] = float("nan")
+        with pytest.raises(StoreCorruptError, match="variance"):
+            validate_payload(p)
+
+    def test_merge_pools_variance_by_law_of_total_variance(self):
+        a = payload_with({("t", 100, "v"): (1.0, 10, 0)})
+        b = payload_with({("t", 100, "v"): (3.0, 10, 0)})
+        a["tasks"]["t"][0]["versions"]["v"]["variance"] = 0.04
+        b["tasks"]["t"][0]["versions"]["v"]["variance"] = 0.08
+        m = merge_payloads([a, b])
+        entry = m["tasks"]["t"][0]["versions"]["v"]
+        # within: (0.04 + 0.08)/2; between: means 1 and 3 about 2 -> 1.0
+        assert entry["mean_time"] == pytest.approx(2.0)
+        assert entry["variance"] == pytest.approx(0.06 + 1.0)
+
+    def test_merge_without_any_variance_emits_none(self):
+        a = payload_with({("t", 100, "v"): (1.0, 10, 0)})
+        b = payload_with({("t", 100, "v"): (1.0, 10, 0)})
+        m = merge_payloads([a, b])
+        assert "variance" not in m["tasks"]["t"][0]["versions"]["v"]
+
+
+# ----------------------------------------------------------------------
+# Advisory locking
+# ----------------------------------------------------------------------
+class TestAdvisoryLock:
+    def test_timeout_when_lock_is_held(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        store = ProfileStore(tmp_path / "s.json", lock_timeout=0.1)
+        store.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(store.lock_path, os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            with pytest.raises(StoreLockTimeoutError, match="could not lock"):
+                store.absorb(make_table())
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def test_write_waits_for_a_live_contender_to_release(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        store = ProfileStore(tmp_path / "s.json", lock_timeout=10.0)
+        store.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(store.lock_path, os.O_CREAT | os.O_RDWR)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+
+        def release_later():
+            time.sleep(0.2)
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+        t = threading.Thread(target=release_later)
+        t.start()
+        try:
+            store.absorb(make_table())  # polls until the holder releases
+        finally:
+            t.join()
+        assert store.load()["tasks"]["t"]
+
+    def test_negative_lock_timeout_rejected(self, tmp_path):
+        with pytest.raises(Exception, match="lock_timeout"):
+            ProfileStore(tmp_path / "s.json", lock_timeout=-1.0)
+
+    def test_concurrent_writer_is_merged_not_clobbered(self, tmp_path):
+        # two ProfileStore instances on one path, interleaved the way two
+        # processes would be: both open their run against the same (empty)
+        # baseline, then write one after the other
+        path = tmp_path / "s.json"
+        first, second = ProfileStore(path), ProfileStore(path)
+        second.begin_run()                  # reads the empty baseline
+        first.absorb(make_table("alpha"))   # ...then someone else commits
+        second.absorb(make_table("beta"))
+        payload = second.load()
+        assert set(payload["tasks"]) == {"alpha", "beta"}
+        validate_payload(payload)
+
+    def test_two_process_contention(self, tmp_path):
+        """Two real processes absorbing into one store concurrently:
+        both succeed and neither side's entries are lost."""
+        path = tmp_path / "shared.json"
+        script = textwrap.dedent("""
+            import sys
+            from repro.core.profile import VersionProfileTable
+            from repro.store import ProfileStore
+
+            path, task_name = sys.argv[1], sys.argv[2]
+            t = VersionProfileTable()
+            for _ in range(5):
+                t.group(task_name, 1024).record("v", 0.01)
+            ProfileStore(path).absorb(t)
+        """)
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(root, "src"), root,
+                        env.get("PYTHONPATH", "")) if p
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path), name],
+                env=env, stderr=subprocess.PIPE,
+            )
+            for name in ("alpha", "beta")
+        ]
+        for p in procs:
+            _, err = p.communicate(timeout=60)
+            assert p.returncode == 0, err.decode()
+        payload = ProfileStore(path).load()
+        assert set(payload["tasks"]) == {"alpha", "beta"}
+        # whichever process committed first had its entries aged by the
+        # second's run, so only positive execution counts are guaranteed
+        for name in ("alpha", "beta"):
+            entry = payload["tasks"][name][0]["versions"]["v"]
+            assert entry["executions"] >= 1
+            assert entry["mean_time"] == pytest.approx(0.01)
+
+
+# ----------------------------------------------------------------------
+# Adaptive checkpoint cadence
+# ----------------------------------------------------------------------
+def build_run(sched, *, n_tasks):
+    registry = {}
+    m = make_machine(2, 1)
+    work, _ = make_two_version_task(registry, machine=m)
+    rt = OmpSsRuntime(m, sched, recovery=None)
+    calls = [(work, region(("a", i)), region(("b", i))) for i in range(n_tasks)]
+    return rt, calls
+
+
+class TestAdaptiveCadence:
+    def test_widen_factor_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="widen_factor"):
+            Checkpointer(ProfileStore(tmp_path / "s.json"), widen_factor=0.5)
+
+    def test_widens_then_tightens(self, tmp_path):
+        """Unit-drive both transitions: graduation widens the cadence
+        4x, a new learning group tightens it back."""
+        store = ProfileStore(tmp_path / "s.json")
+        sched = VersioningScheduler()
+        rt, _ = build_run(sched, n_tasks=1)
+        cp = Checkpointer(store, interval=0.001, widen_factor=4.0).bind(rt)
+
+        cp._adapt_interval()  # nothing dispatched yet: still learning
+        assert cp.interval == 0.001
+        assert cp.interval_history == []
+
+        gkey = ("work_smp", MB)
+        sched.group_dispatches[gkey] = {"learning": 3, "reliable": 1}
+        sched.group_reliable_at[gkey] = 0.01
+        cp._adapt_interval()
+        assert cp.interval == pytest.approx(0.004)
+        assert cp._event.interval == pytest.approx(0.004)
+        assert cp.interval_history[-1][1] == pytest.approx(0.004)
+
+        gkey2 = ("work_smp", 2 * MB)  # a new size group starts learning
+        sched.group_dispatches[gkey2] = {"learning": 1, "reliable": 0}
+        cp._adapt_interval()
+        assert cp.interval == pytest.approx(0.001)
+        assert cp.interval_history[-1][1] == pytest.approx(0.001)
+        assert [i for _, i in cp.interval_history] == [0.004, 0.001]
+
+    def test_real_run_widens_after_learning(self, tmp_path):
+        store = ProfileStore(tmp_path / "s.json")
+        sched = VersioningScheduler()
+        rt, calls = build_run(sched, n_tasks=120)
+        cp = Checkpointer(store, interval=0.0005, widen_factor=4.0).bind(rt)
+        with rt:
+            for fn, *args in calls:
+                fn(*args)
+        rt.result()
+        cp.finalize()
+        # the single size group graduated early; the cadence widened and
+        # never tightened again
+        assert sched.reliable_dispatches > 0
+        assert cp.interval == pytest.approx(0.002)
+        assert [i for _, i in cp.interval_history] == [pytest.approx(0.002)]
