@@ -1,44 +1,90 @@
-"""Extension — OmpSs@cluster scaling.
+"""Extension — sharded cluster scheduling, strong scaling to 16 nodes.
 
 The paper's introduction claims OmpSs runs applications on "clusters of
-SMPs and/or GPUs transparently"; its evaluation stays on one node.  This
-bench takes the hybrid matmul across 1/2/4 simulated nodes: aggregate
-throughput must grow with nodes (the versioning scheduler discovers the
-remote devices) while staying sub-linear (every off-node tile crosses
-the interconnect, staged through both hosts — multi-hop transfers).
+SMPs and/or GPUs transparently"; its evaluation stays on one node.  The
+*global* versioning scheduler treats a cluster as a flat worker pool:
+every cold tile is staged from node 0's host, so its NIC serialises the
+traffic of all other nodes and throughput flatlines (and then decays)
+past 4 nodes.  The sharded cluster scheduler partitions the dependence
+graph across nodes, runs one versioning instance per node, bridges
+cross-shard edges with simulated notifications + pushed region
+transfers overlapped with scheduling, and steals between node pools —
+so it keeps scaling where the global scheduler stops.
+
+Assertions (the PR's acceptance numbers): sharded 8-node throughput is
+at least 1.5x its 4-node throughput on the tiled hybrid matmul, while
+global shows at most 1.1x; per-node utilisation and cross-shard message
+counts are reported alongside.
 """
 
+from repro.analysis.experiments import cluster_strong_scaling
+from repro.analysis.metrics import cluster_summary
 from repro.analysis.report import format_table
 from repro.apps.matmul import MatmulApp
 from repro.sim.topology import cluster_machine
 
 from figutils import emit, run_once
 
+NODE_COUNTS = (1, 2, 4, 8, 16)
+N_TILES = 16
+TILE_SIZE = 1024
+
 
 def sweep():
+    return cluster_strong_scaling(
+        node_counts=NODE_COUNTS, n_tiles=N_TILES, tile_size=TILE_SIZE
+    )
+
+
+def partitions_at_8():
+    """One run per partition policy at 8 nodes (protocol counters)."""
     rows = []
-    for nodes in (1, 2, 4):
+    for partition in ("affinity", "block", "hash"):
         machine = cluster_machine(
-            n_nodes=nodes, smp_per_node=4, gpus_per_node=2, noise_cv=0.02, seed=1
+            8, smp_per_node=2, gpus_per_node=1, noise_cv=0.02, seed=1
         )
-        app = MatmulApp(n_tiles=12, variant="hyb")
-        res = app.run(machine, "versioning")
-        tx = res.run.transfer_stats
-        rows.append([nodes, res.gflops, tx.total_bytes / 1024**3])
+        app = MatmulApp(n_tiles=N_TILES, tile_size=TILE_SIZE, variant="hyb")
+        res = app.run(machine, "cluster", scheduler_options={"partition": partition})
+        s = cluster_summary(res.run)
+        util = s["node_utilisation"]
+        rows.append([
+            partition, res.gflops, s["cross_edges"], s["notifications_sent"],
+            s["steals"], s["load_imbalance"], min(util.values()),
+        ])
     return rows
 
 
 def test_extension_cluster(benchmark):
     rows = run_once(benchmark, sweep)
-    table = format_table(
-        ["nodes", "GFLOP/s", "data moved (GB)"],
-        rows,
-        title="Extension — hybrid matmul on 1/2/4 cluster nodes (versioning)",
+    scaling = format_table(
+        ["nodes", "scheduler", "GFLOP/s", "cross msgs", "steals",
+         "mean node util", "min node util"],
+        [[r["nodes"], r["scheduler"], r["gflops"], r["cross_msgs"], r["steals"],
+          r["mean_node_util"], r["min_node_util"]] for r in rows],
+        title=(
+            f"Extension — strong scaling, {N_TILES}x{N_TILES} tiled matmul "
+            f"(tile {TILE_SIZE}), sharded (affinity+steal) vs global versioning"
+        ),
+        floatfmt="{:.2f}",
     )
-    emit("extension_cluster", table)
+    policies = format_table(
+        ["partition", "GFLOP/s", "cross edges", "notifications", "steals",
+         "load imbalance", "min node util"],
+        partitions_at_8(),
+        title="Extension — partition policies at 8 nodes",
+        floatfmt="{:.2f}",
+    )
+    emit("extension_cluster", scaling + "\n\n" + policies)
 
-    by = {r[0]: r for r in rows}
-    assert by[2][1] > by[1][1]            # more nodes -> more throughput
-    assert by[4][1] > by[2][1]
-    assert by[4][1] < 4 * by[1][1]        # ... but sub-linear (network)
-    assert by[4][2] > by[1][2]            # and more data on the wire
+    g = {(r["nodes"], r["scheduler"]): r["gflops"] for r in rows}
+    # the headline claim: sharding unlocks scaling the global scheduler
+    # cannot reach (node 0's NIC serialises its cold fetches)
+    assert g[(8, "sharded")] >= 1.5 * g[(4, "sharded")]
+    assert g[(8, "global")] <= 1.1 * g[(4, "global")]
+    # and the sweep keeps growing to 16 nodes for the sharded scheduler
+    assert g[(16, "sharded")] > g[(8, "sharded")]
+    assert g[(16, "sharded")] > 2.0 * g[(16, "global")]
+    # per-node utilisation is meaningful (reported, non-degenerate)
+    for r in rows:
+        if r["scheduler"] == "sharded" and r["nodes"] >= 4:
+            assert r["min_node_util"] > 0.3

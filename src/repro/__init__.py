@@ -33,6 +33,11 @@ from repro.core import (
     load_hints,
     save_hints,
 )
+from repro.cluster import (
+    PARTITION_POLICIES,
+    ShardedClusterScheduler,
+    make_partitioner,
+)
 from repro.schedulers import (
     AffinityScheduler,
     DependencyAwareScheduler,
@@ -77,6 +82,9 @@ __all__ = [
     "save_hints",
     "AffinityScheduler",
     "DependencyAwareScheduler",
+    "ShardedClusterScheduler",
+    "PARTITION_POLICIES",
+    "make_partitioner",
     "available_schedulers",
     "create_scheduler",
     "Machine",

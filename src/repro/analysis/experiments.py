@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from repro.analysis.metrics import transfer_breakdown_gb, version_percentages
+from repro.analysis.metrics import (
+    cluster_summary,
+    transfer_breakdown_gb,
+    version_percentages,
+)
 from repro.apps.cholesky import CholeskyApp
 from repro.apps.cholesky import VERSION_LEGEND as CHOL_LEGEND
 from repro.apps.matmul import MatmulApp
@@ -25,7 +29,7 @@ from repro.apps.pbpi import PBPIApp
 from repro.core.profile import VersionProfileTable
 from repro.core.versioning import VersioningScheduler
 from repro.runtime.runtime import OmpSsRuntime
-from repro.sim.topology import minotauro_node
+from repro.sim.topology import cluster_machine, minotauro_node
 
 Row = dict[str, Any]
 
@@ -287,6 +291,73 @@ def fig15_pbpi_loop2_stats(
         "pbpi_loop2_gpu", PBPI_LOOP2_LEGEND, smp_counts, gpu_counts,
         generations, seed, noise,
     )
+
+
+# ----------------------------------------------------------------------
+# Cluster sharding (strong scaling)
+# ----------------------------------------------------------------------
+def cluster_strong_scaling(
+    node_counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    n_tiles: int = 16,
+    tile_size: int = 1024,
+    smp_per_node: int = 2,
+    gpus_per_node: int = 1,
+    partition: str = "affinity",
+    steal: bool = True,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """Tiled-matmul strong scaling: sharded cluster vs global versioning.
+
+    One row per (node count, scheduler).  The global versioning
+    scheduler sees the whole cluster as a flat worker pool, so every
+    cold fetch funnels through node 0's NIC and performance flatlines;
+    the sharded scheduler partitions the graph, notifies across shards
+    and routes transfers node-to-node, so it keeps scaling.  Rows carry
+    ``gflops``, mean/min node utilisation and the cross-shard message
+    count so the benches can print the full picture.
+    """
+    rows: list[Row] = []
+    for nodes in node_counts:
+        machine_args = dict(
+            smp_per_node=smp_per_node, gpus_per_node=gpus_per_node,
+            noise_cv=noise, seed=seed,
+        )
+        for sched_label, sched, options in (
+            ("sharded", "cluster", {"partition": partition, "steal": steal}),
+            ("global", "versioning", None),
+        ):
+            machine = cluster_machine(nodes, **machine_args)
+            app = MatmulApp(n_tiles=n_tiles, tile_size=tile_size, variant="hyb")
+            res = app.run(machine, sched, scheduler_options=options)
+            summary = cluster_summary(res.run)
+            util = summary.get("node_utilisation", {})
+            if not util and res.makespan > 0:
+                # non-cluster schedulers know nothing about nodes; derive
+                # the per-node view from the machine layout instead
+                layout = machine.cluster_layout()
+                per: dict[int, list[float]] = {}
+                for w in res.run.workers:
+                    node = layout.node_of_device.get(w.device.name, 0)
+                    per.setdefault(node, []).append(w.busy_time)
+                util = {
+                    n: sum(bs) / (res.makespan * len(bs))
+                    for n, bs in sorted(per.items())
+                }
+            rows.append({
+                "nodes": nodes,
+                "scheduler": sched_label,
+                "gflops": res.gflops,
+                "makespan": res.makespan,
+                "cross_msgs": summary.get("notifications_sent", 0),
+                "steals": summary.get("steals", 0),
+                "pushes": summary.get("pushes", 0),
+                "mean_node_util": (sum(util.values()) / len(util)) if util else 0.0,
+                "min_node_util": min(util.values()) if util else 0.0,
+                "tasks_per_node": summary.get("tasks_per_node", {}),
+            })
+    return rows
 
 
 # ----------------------------------------------------------------------

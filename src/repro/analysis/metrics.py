@@ -106,6 +106,45 @@ def straggler_summary(result: RunResult) -> dict[str, float]:
     }
 
 
+def node_utilisation(result: RunResult) -> dict[int, float]:
+    """Busy fraction per cluster node over the makespan.
+
+    Empty when the run did not use the sharded cluster scheduler (the
+    only scheduler that knows the node → worker mapping).
+    """
+    sched = result.scheduler_state
+    getter = getattr(sched, "node_utilisation", None)
+    if getter is None:
+        return {}
+    return getter(result.makespan)
+
+
+def cluster_summary(result: RunResult) -> dict:
+    """Sharded-cluster counters of one run, flat for tabulation.
+
+    Keys: ``n_nodes``, ``local_edges``, ``cross_edges``,
+    ``notifications_sent``/``_delivered``, ``pushes``, ``push_bytes``,
+    ``steals``, ``tasks_per_node``, plus ``node_utilisation`` and the
+    derived ``cross_edge_fraction`` and ``load_imbalance`` (max/mean
+    tasks per node; 1.0 is perfect).  Empty dict for non-cluster runs.
+    """
+    sched = result.scheduler_state
+    stats = getattr(sched, "stats", None)
+    if stats is None or not hasattr(stats, "as_dict"):
+        return {}
+    out = stats.as_dict()
+    edges = out["local_edges"] + out["cross_edges"]
+    out["cross_edge_fraction"] = out["cross_edges"] / edges if edges else 0.0
+    per_node = out["tasks_per_node"]
+    if per_node:
+        mean = sum(per_node.values()) / len(per_node)
+        out["load_imbalance"] = max(per_node.values()) / mean if mean else 1.0
+    else:
+        out["load_imbalance"] = 1.0
+    out["node_utilisation"] = node_utilisation(result)
+    return out
+
+
 def tasks_per_device_kind(result: RunResult) -> dict[str, int]:
     """Executed-task counts aggregated by device kind prefix.
 

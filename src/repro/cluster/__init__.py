@@ -1,0 +1,33 @@
+"""Sharded cluster scheduling (distributed-manager style).
+
+Partitions the dependence graph across the nodes of a
+``cluster_machine``, runs one scheduler instance per node, and bridges
+cross-shard dependence edges with simulated notification messages plus
+pushed region transfers — overlapped with scheduling.  See
+:mod:`repro.cluster.sharded` for the full protocol description.
+"""
+
+from repro.cluster.partition import (
+    AffinityPartition,
+    BlockPartition,
+    HashPartition,
+    PARTITION_POLICIES,
+    PartitionPolicy,
+    make_partitioner,
+)
+from repro.cluster.protocol import ClusterStats, NotificationRouter, NOTIFY_BYTES
+from repro.cluster.sharded import NodeRuntimeView, ShardedClusterScheduler
+
+__all__ = [
+    "AffinityPartition",
+    "BlockPartition",
+    "HashPartition",
+    "PARTITION_POLICIES",
+    "PartitionPolicy",
+    "make_partitioner",
+    "ClusterStats",
+    "NotificationRouter",
+    "NOTIFY_BYTES",
+    "NodeRuntimeView",
+    "ShardedClusterScheduler",
+]

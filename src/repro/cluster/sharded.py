@@ -1,0 +1,443 @@
+"""Sharded cluster scheduling: one scheduler instance per node.
+
+The :class:`ShardedClusterScheduler` partitions the dependence graph
+across the nodes of a ``cluster_machine`` (see
+:mod:`repro.cluster.partition`), runs one *inner* scheduler per node —
+any registered policy; per-node versioning instances learn their own
+profile tables — and turns cross-shard dependence edges into the
+notification protocol of :mod:`repro.cluster.protocol`:
+
+* at submit, each task is assigned a shard (its in-edges are already
+  recorded, so the partitioner sees the full dependence context);
+* when a predecessor finishes, every cross-shard successor's node gets
+  one notification message, and the edge's data (RAW edges) is pushed
+  toward the successor's host memory, overlapped with scheduling;
+* a task that becomes ready is handed to its node's inner scheduler
+  only once all its notifications are delivered — the data itself may
+  still be in flight (worker start waits on input copies, so local
+  dispatch overlaps remote transfers);
+* idle nodes steal ready tasks from the shard with the deepest ready
+  pool; a stolen task is re-costed by the thief's own scheduler (its
+  profile tables, its busy estimates).
+
+Outside a cluster machine (one node) the whole layer degenerates to a
+thin pass-through around a single inner scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.cluster.partition import PartitionPolicy, make_partitioner
+from repro.cluster.protocol import NOTIFY_BYTES, ClusterStats, NotificationRouter
+from repro.runtime.dependences import DepKind
+from repro.runtime.task import TaskInstance, TaskVersion
+from repro.schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import OmpSsRuntime
+    from repro.runtime.worker import Worker
+
+
+class NodeRuntimeView:
+    """The runtime as seen by one node's inner scheduler.
+
+    Everything delegates to the real runtime except ``workers``, which
+    is restricted to the node's own devices — an inner scheduler can
+    only place work on its shard's node.
+    """
+
+    def __init__(self, rt: "OmpSsRuntime", workers: "list[Worker]") -> None:
+        self._rt = rt
+        self.workers = workers
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._rt, name)
+
+
+class ShardedClusterScheduler(Scheduler):
+    name = "cluster"
+    supports_versions = True
+
+    def __init__(
+        self,
+        *,
+        inner: str = "versioning",
+        inner_options: Optional[dict] = None,
+        partition: str = "affinity",
+        partition_options: Optional[dict] = None,
+        steal: bool = True,
+        steal_threshold: int = 2,
+        message_bytes: int = NOTIFY_BYTES,
+    ) -> None:
+        super().__init__()
+        if steal_threshold < 1:
+            raise ValueError("steal_threshold must be at least 1")
+        self.inner_name = inner
+        self.inner_options = dict(inner_options or {})
+        if inner in ("versioning", "ver", "versioning-locality", "ver-loc"):
+            # late binding by default: bounded reliable-phase queues keep
+            # per-node pools non-empty under backlog, so steals can happen
+            self.inner_options.setdefault("reliable_queue_bound", 4)
+        self.partition_name = partition
+        self.partition_options = dict(partition_options or {})
+        self.steal = steal
+        self.steal_threshold = steal_threshold
+        self.message_bytes = message_bytes
+
+        self.stats = ClusterStats()
+        self.inner: list[Scheduler] = []
+        self.node_workers: dict[int, "list[Worker]"] = {}
+        self.node_of_worker: dict[str, int] = {}
+        self.shard_of: dict[int, int] = {}
+        self.partitioner: Optional[PartitionPolicy] = None
+        self.router: Optional[NotificationRouter] = None
+        self._buffered: dict[int, TaskInstance] = {}
+        self._released: set[int] = set()
+        self._stealing = False
+        self.layout = None
+
+    # ------------------------------------------------------------------
+    def bind(self, runtime: "OmpSsRuntime") -> None:
+        from repro.schedulers.registry import create_scheduler  # avoid cycle
+
+        super().bind(runtime)
+        layout = runtime.machine.cluster_layout()
+        self.layout = layout
+        self.n_nodes = layout.n_nodes
+        self.stats.n_nodes = self.n_nodes
+        if self.n_nodes > 1:
+            runtime.enable_node_topology(layout)
+        self.node_workers = {n: [] for n in layout.nodes()}
+        for w in runtime.workers:
+            node = layout.node_of_device.get(w.device.name, 0)
+            self.node_workers[node].append(w)
+            self.node_of_worker[w.name] = node
+        self.inner = []
+        for node in layout.nodes():
+            sched = create_scheduler(self.inner_name, **self.inner_options)
+            sched.bind(NodeRuntimeView(runtime, self.node_workers[node]))
+            self.inner.append(sched)
+        self.partitioner = make_partitioner(
+            self.partition_name, self.n_nodes, **self.partition_options
+        )
+        self.router = NotificationRouter(
+            runtime, self.stats, message_bytes=self.message_bytes
+        )
+        self.router.on_clear = self._notifications_cleared
+        self.stats.tasks_per_node = {n: 0 for n in layout.nodes()}
+
+    # ------------------------------------------------------------------
+    # Shard assignment
+    # ------------------------------------------------------------------
+    def _capable_nodes(self, t: TaskInstance) -> list[int]:
+        """Nodes with a live worker able to run some version of ``t``."""
+        out = []
+        for node in sorted(self.node_workers):
+            ws = self.node_workers[node]
+            for v in t.definition.versions:
+                if any(w.alive and v.runs_on(w.device.kind) for w in ws):
+                    out.append(node)
+                    break
+        if not out:
+            raise RuntimeError(
+                f"no node of this cluster can run any version of task {t.name!r}"
+            )
+        return out
+
+    def task_submitted(self, t: TaskInstance) -> None:
+        assert self.rt is not None and self.partitioner is not None
+        if self.n_nodes == 1:
+            self.shard_of[t.uid] = 0
+            self.stats.tasks_per_node[0] = self.stats.tasks_per_node.get(0, 0) + 1
+            return
+        seq = self.rt._local_ids.get(t.uid, t.uid)
+        allowed = self._capable_nodes(t)
+        loads = [0] * self.n_nodes
+        for n, c in self.stats.tasks_per_node.items():
+            loads[n] = c
+        node = self.partitioner.assign(t, seq, allowed, loads)
+        if node not in allowed:  # pragma: no cover - defensive
+            node = allowed[0]
+        self.shard_of[t.uid] = node
+        self.stats.tasks_per_node[node] = self.stats.tasks_per_node.get(node, 0) + 1
+        self.partitioner.note_assigned(t, node)
+        # classify this task's in-edges; predecessors that already
+        # finished will never pass through task_finished again, so their
+        # cross-shard notifications are sent right now
+        for edge in self.rt.graph.in_edges(t.uid):
+            pred_node = self.shard_of.get(edge.src)
+            if pred_node is None or pred_node == node:
+                self.stats.local_edges += 1
+                continue
+            self.stats.cross_edges += 1
+            if edge.src not in self.rt.graph._unfinished:
+                self._notify_edge(edge, pred_node, node)
+
+    # ------------------------------------------------------------------
+    # Notification protocol
+    # ------------------------------------------------------------------
+    def _notify_edge(self, edge, pred_node: int, succ_node: int) -> None:
+        assert self.rt is not None and self.router is not None and self.layout
+        src_host = self.layout.host_of_node[pred_node]
+        dst_host = self.layout.host_of_node[succ_node]
+        succ = self.rt.graph.task(edge.dst)
+        # run-local label: task labels embed the process-global uid,
+        # which would make otherwise-identical runs produce different
+        # traces (the seeded-determinism contract)
+        self.router.send(src_host, dst_host, edge.dst, succ.name)
+        if edge.kind is DepKind.RAW:
+            # push the produced region toward the consuming shard's host
+            # overlapped with scheduling (the consumer's worker-space
+            # fetch chains off this staging copy if it is still in flight)
+            _, issued = self.rt.push_region(edge.region, dst_host)
+            if issued:
+                self.stats.pushes += 1
+                self.stats.push_bytes += edge.region.nbytes
+
+    def _notifications_cleared(self, uid: int) -> None:
+        t = self._buffered.pop(uid, None)
+        if t is not None:
+            self._release(t, self.shard_of[t.uid])
+
+    # ------------------------------------------------------------------
+    # Runtime hooks
+    # ------------------------------------------------------------------
+    def task_ready(self, t: TaskInstance) -> None:
+        node = self.shard_of.get(t.uid)
+        if node is None:  # pragma: no cover - defensive
+            node = 0
+            self.shard_of[t.uid] = node
+        if self.router is not None and self.router.pending(t.uid) > 0:
+            self._buffered[t.uid] = t
+            return
+        self._release(t, node)
+
+    def _release(self, t: TaskInstance, node: int) -> None:
+        assert self.rt is not None
+        self._released.add(t.uid)
+        if self.n_nodes > 1:
+            self._stage_reads(t, node)
+        self.inner[node].task_ready(t)
+        self._maybe_steal()
+
+    def _stage_reads(self, t: TaskInstance, node: int) -> None:
+        """Pull read regions with no same-node copy toward the node host.
+
+        RAW pushes already cover producer-consumer data; this covers
+        read-only inputs (no dependence edge, so nothing pushed them).
+        """
+        assert self.rt is not None and self.layout is not None
+        host = self.layout.host_of_node[node]
+        directory = self.rt.directory
+        node_of_space = self.layout.node_of_space
+        seen: set = set()
+        for acc in t.accesses:
+            if not acc.reads or acc.region.key in seen:
+                continue
+            seen.add(acc.region.key)
+            if any(
+                node_of_space.get(s) == node
+                for s in directory.valid_spaces(acc.region)
+            ):
+                continue
+            _, issued = self.rt.push_region(acc.region, host)
+            if issued:
+                self.stats.pushes += 1
+                self.stats.push_bytes += acc.region.nbytes
+
+    def _finished_uid(self, t: TaskInstance) -> int:
+        # a winning speculative shadow finishes on behalf of its primary
+        return t.speculative_of if t.speculative_of is not None else t.uid
+
+    def _node_of(self, worker: "Worker") -> int:
+        return self.node_of_worker.get(worker.name, 0)
+
+    def task_started(self, t: TaskInstance, worker: "Worker") -> None:
+        self.inner[self._node_of(worker)].task_started(t, worker)
+        self._maybe_steal()
+
+    def task_finished(self, t: TaskInstance, worker: "Worker", measured: float) -> None:
+        assert self.rt is not None
+        node = self._node_of(worker)
+        if self.n_nodes > 1:
+            uid = self._finished_uid(t)
+            pred_node = self.shard_of.get(uid, node)
+            for edge in self.rt.graph.out_edges(uid):
+                succ_node = self.shard_of.get(edge.dst)
+                if succ_node is not None and succ_node != pred_node:
+                    self._notify_edge(edge, pred_node, succ_node)
+        self.inner[node].task_finished(t, worker, measured)
+        self._maybe_steal()
+
+    def task_speculated(
+        self, t: TaskInstance, worker: "Worker", version: TaskVersion
+    ) -> None:
+        self.inner[self._node_of(worker)].task_speculated(t, worker, version)
+
+    def task_requeued(self, t: TaskInstance, worker: "Worker") -> None:
+        self.inner[self._node_of(worker)].task_requeued(t, worker)
+
+    def worker_down(self, worker: "Worker") -> None:
+        node = self._node_of(worker)
+        self.inner[node].worker_down(worker)
+        if self.n_nodes > 1 and not any(w.alive for w in self.node_workers[node]):
+            self._evacuate(node)
+
+    def worker_up(self, worker: "Worker") -> None:
+        self.inner[self._node_of(worker)].worker_up(worker)
+        self._maybe_steal()
+
+    def _evacuate(self, dead_node: int) -> None:
+        """Re-home the ready pool of a node that lost all its workers."""
+        assert self.partitioner is not None
+        while True:
+            t = self.inner[dead_node].steal_ready_task(lambda task: True)
+            if t is None:
+                break
+            allowed = self._capable_nodes(t)
+            loads = [0] * self.n_nodes
+            for n, c in self.stats.tasks_per_node.items():
+                loads[n] = c
+            node = min(allowed, key=lambda n: (loads[n], n))
+            self._move_shard(t, dead_node, node)
+            self._release(t, node)
+
+    # ------------------------------------------------------------------
+    # Work stealing
+    # ------------------------------------------------------------------
+    def _pool_depth(self, node: int) -> int:
+        pool_size = getattr(self.inner[node], "pool_size", None)
+        return pool_size() if callable(pool_size) else 0
+
+    def _has_idle_worker(self, node: int) -> bool:
+        assert self.rt is not None
+        now = self.rt.engine.now
+        return any(
+            w.alive and w.available(now) and w.current is None and not w.queue
+            for w in self.node_workers[node]
+        )
+
+    def _accepts(self, node: int):
+        ws = self.node_workers[node]
+
+        def accept(t: TaskInstance) -> bool:
+            return any(
+                w.alive and v.runs_on(w.device.kind)
+                for v in t.definition.versions
+                for w in ws
+            )
+
+        return accept
+
+    def _move_shard(self, t: TaskInstance, src: int, dst: int) -> None:
+        assert self.partitioner is not None
+        self.shard_of[t.uid] = dst
+        self.stats.tasks_per_node[src] = self.stats.tasks_per_node.get(src, 1) - 1
+        self.stats.tasks_per_node[dst] = self.stats.tasks_per_node.get(dst, 0) + 1
+        self.partitioner.note_assigned(t, dst)
+
+    def _migrate_successors(self, t: TaskInstance, src: int, dst: int) -> None:
+        """Re-home the stolen task's unreleased successor closure.
+
+        Shards are fixed at submit, so without this a stolen chain task
+        leaves its successors behind: every later task of the chain
+        ping-pongs between thief and victim, each hop pushing the
+        written region across the network twice.  Migrating the
+        not-yet-released transitive successors that still sit on the
+        victim moves the *rest of the chain* with the steal, so the
+        data crosses the wire once.
+        """
+        assert self.rt is not None
+        frontier = [t.uid]
+        seen = {t.uid}
+        while frontier:
+            uid = frontier.pop()
+            for edge in self.rt.graph.out_edges(uid):
+                succ = edge.dst
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                if self.shard_of.get(succ) != src or succ in self._released:
+                    continue
+                succ_t = self.rt.graph.task(succ)
+                if not self._accepts(dst)(succ_t):
+                    continue
+                self._move_shard(succ_t, src, dst)
+                frontier.append(succ)
+
+    def _maybe_steal(self) -> None:
+        """Move ready work from the deepest pool to a starving node.
+
+        A node steals when it has an idle worker and an empty ready
+        pool; the victim is the shard with the deepest pool (at least
+        ``steal_threshold`` tasks).  The stolen task re-enters through
+        the thief's inner scheduler, which re-costs it with its own
+        profile tables.  Reentrancy-guarded: releasing the stolen task
+        can trigger dispatches that call back into this scheduler.
+        """
+        if not self.steal or self.n_nodes < 2 or self._stealing:
+            return
+        assert self.rt is not None
+        self._stealing = True
+        try:
+            while True:
+                thieves = [
+                    n
+                    for n in sorted(self.node_workers)
+                    if self._pool_depth(n) == 0 and self._has_idle_worker(n)
+                ]
+                if not thieves:
+                    return
+                victims = sorted(
+                    (n for n in self.node_workers if self._pool_depth(n) >= self.steal_threshold),
+                    key=lambda n: (-self._pool_depth(n), n),
+                )
+                stolen = None
+                for thief in thieves:
+                    for victim in victims:
+                        if victim == thief:
+                            continue
+                        t = self.inner[victim].steal_ready_task(self._accepts(thief))
+                        if t is None:
+                            continue
+                        stolen = (t, victim, thief)
+                        break
+                    if stolen is not None:
+                        break
+                if stolen is None:
+                    return
+                t, victim, thief = stolen
+                self._move_shard(t, victim, thief)
+                self._migrate_successors(t, victim, thief)
+                self.stats.steals += 1
+                now = self.rt.engine.now
+                self.rt.trace.add(
+                    now,
+                    now,
+                    worker=f"node:{thief}",
+                    category="steal",
+                    label=t.name,
+                    meta=(self.rt._local_ids.get(t.uid, t.uid), victim, thief),
+                )
+                self._stage_reads(t, thief)
+                self.inner[thief].task_ready(t)
+        finally:
+            self._stealing = False
+
+    # ------------------------------------------------------------------
+    # Introspection (metrics / tests)
+    # ------------------------------------------------------------------
+    def shard_map(self) -> dict[int, int]:
+        """Task uid -> node, after any steals."""
+        return dict(self.shard_of)
+
+    def node_utilisation(self, makespan: float) -> dict[int, float]:
+        """Mean worker utilisation per node."""
+        out: dict[int, float] = {}
+        for node, ws in sorted(self.node_workers.items()):
+            if not ws or makespan <= 0:
+                out[node] = 0.0
+                continue
+            out[node] = sum(w.busy_time for w in ws) / (makespan * len(ws))
+        return out

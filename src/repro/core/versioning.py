@@ -102,12 +102,15 @@ class VersioningScheduler(Scheduler):
         probation_lam: int = 1,
         fault_aware: bool = False,
         fault_rate_cap: float = 0.9,
+        reliable_queue_bound: Optional[int] = None,
     ) -> None:
         super().__init__()
         if lam < 1:
             raise ValueError("lam (λ) must be at least 1")
         if queue_depth < 1:
             raise ValueError("queue_depth must be at least 1")
+        if reliable_queue_bound is not None and reliable_queue_bound < 1:
+            raise ValueError("reliable_queue_bound must be at least 1")
         if warm_start not in WARM_START_POLICIES:
             raise ValueError(
                 f"warm_start must be one of {WARM_START_POLICIES}, got {warm_start!r}"
@@ -118,6 +121,11 @@ class VersioningScheduler(Scheduler):
             raise ValueError("fault_rate_cap must be in [0, 1)")
         self.lam = lam
         self.queue_depth = queue_depth
+        # When set, the reliable phase also gates dispatch on queue room
+        # (late binding): tasks linger in the pool instead of sinking
+        # into deep worker queues, which keeps them *stealable* — the
+        # cluster scheduler's per-node instances run in this mode.
+        self.reliable_queue_bound = reliable_queue_bound
         self.warm_start = warm_start
         self.probation_lam = probation_lam
         self.fault_aware = fault_aware
@@ -204,8 +212,8 @@ class VersioningScheduler(Scheduler):
             return 0.0
         return resilience.worker_fault_rate(worker.name)
 
-    def _has_room(self, worker: "Worker") -> bool:
-        return worker.load() < self.queue_depth
+    def _has_room(self, worker: "Worker", bound: Optional[int] = None) -> bool:
+        return worker.load() < (self.queue_depth if bound is None else bound)
 
     def _runnable_versions(self, t: TaskInstance) -> list[TaskVersion]:
         """Versions of ``t`` that at least one present worker can run."""
@@ -225,6 +233,20 @@ class VersioningScheduler(Scheduler):
 
     def task_started(self, t: TaskInstance, worker: "Worker") -> None:
         self._pump()
+
+    def steal_ready_task(self, accept) -> Optional[TaskInstance]:
+        """Yield the youngest acceptable pool task to a work thief.
+
+        Stealing from the tail (LIFO for thieves, FIFO for the owner) is
+        the classic Cilk discipline: the owner keeps the tasks whose
+        inputs it is already staging, the thief takes the coldest work.
+        """
+        for i in range(len(self._pool) - 1, -1, -1):
+            t = self._pool[i]
+            if accept(t):
+                del self._pool[i]
+                return t
+        return None
 
     def task_finished(self, t: TaskInstance, worker: "Worker", measured: float) -> None:
         est = self._est_by_uid.pop(t.uid, 0.0)
@@ -368,15 +390,20 @@ class VersioningScheduler(Scheduler):
             return None
         # Reliable phase: the paper pushes at ready time into unbounded
         # per-worker queues (Figure 5 shows deep task lists); the busy
-        # estimate, not queue room, is what steers placement.
+        # estimate, not queue room, is what steers placement.  With
+        # ``reliable_queue_bound`` set the push is room-gated instead
+        # (late binding; tasks wait in the pool and stay stealable).
+        bounded = self.reliable_queue_bound is not None
         choice = self._earliest_executor(
-            t, versions, group, allow_unknown=False, require_room=False, avoid=avoid
+            t, versions, group, allow_unknown=False, require_room=bounded,
+            room_bound=self.reliable_queue_bound, avoid=avoid
         )
         if choice is None and avoid:
             # every viable pair already faulted for this task: fall back
             # to the plain earliest executor rather than deadlocking
             choice = self._earliest_executor(
-                t, versions, group, allow_unknown=False, require_room=False
+                t, versions, group, allow_unknown=False, require_room=bounded,
+                room_bound=self.reliable_queue_bound
             )
         if choice is None:
             return None
@@ -447,6 +474,7 @@ class VersioningScheduler(Scheduler):
         *,
         allow_unknown: bool,
         require_room: bool,
+        room_bound: Optional[int] = None,
         avoid: frozenset = frozenset(),
     ) -> Optional[tuple[TaskVersion, "Worker"]]:
         """Minimise (estimated busy time + version mean time) over
@@ -477,7 +505,7 @@ class VersioningScheduler(Scheduler):
                     continue
                 if (v.name, w.name) in avoid:
                     continue
-                if require_room and not self._has_room(w):
+                if require_room and not self._has_room(w, room_bound):
                     continue
                 finish = self.estimated_busy_time(w) + mean
                 if self.fault_aware:

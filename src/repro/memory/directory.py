@@ -23,8 +23,9 @@ Invariants (property-tested):
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, Mapping, Optional
 
 from repro.runtime.dataregion import DataRegion
 
@@ -55,6 +56,25 @@ class Directory:
     def __init__(self, home_space: str = "host") -> None:
         self.home_space = home_space
         self._entries: dict[Hashable, _Entry] = {}
+        # optional cluster awareness (set_topology): when present,
+        # choose_source prefers same-node copies and spreads remote
+        # pulls across the hosts holding valid replicas
+        self._node_of_space: Optional[Mapping[str, int]] = None
+        self._host_spaces: frozenset[str] = frozenset()
+
+    def set_topology(
+        self, node_of_space: Mapping[str, int], host_spaces: "set[str] | frozenset[str]"
+    ) -> None:
+        """Teach the directory which node owns each space (cluster mode).
+
+        Until this is called the directory stays node-oblivious: every
+        cold read is staged from the home space (node 0), which is what
+        makes the *global* scheduler's cluster runs bottleneck on node
+        0's NIC.  The sharded cluster scheduler calls this to unlock
+        same-node reuse and source spreading.
+        """
+        self._node_of_space = dict(node_of_space)
+        self._host_spaces = frozenset(host_spaces)
 
     # ------------------------------------------------------------------
     # Registration & queries
@@ -95,11 +115,29 @@ class Directory:
         (host-staged copies match how Nanos++ routed most traffic);
         otherwise the lexicographically first valid space.  Peer GPU
         sources are what produce the paper's *Device Tx* counter.
+
+        With a cluster topology attached (:meth:`set_topology`) the
+        preference order becomes: a valid copy on the *destination's own
+        node* (its host first), then a valid copy on any node host —
+        spread deterministically across holders so concurrent consumers
+        don't all hammer one NIC — then the node-oblivious fallback.
         """
         self.register(region)
         entry = self._entries[region.key]
         if dst in entry.valid:
             raise ValueError(f"{region.label!r} is already valid in {dst!r}")
+        if self._node_of_space is not None:
+            dst_node = self._node_of_space.get(dst)
+            same_node = sorted(
+                s for s in entry.valid if self._node_of_space.get(s) == dst_node
+            )
+            if same_node:
+                host = next((s for s in same_node if s in self._host_spaces), None)
+                return host if host is not None else same_node[0]
+            hosts = sorted(s for s in entry.valid if s in self._host_spaces)
+            if hosts:
+                idx = zlib.crc32(repr((region.key, dst)).encode()) % len(hosts)
+                return hosts[idx]
         if self.home_space in entry.valid:
             return self.home_space
         return min(entry.valid)

@@ -120,13 +120,24 @@ class TransferEngine:
         #: fault-injection hook: consulted per attempt per hop; failed
         #: attempts are retried with deterministic exponential backoff
         self.resilience = resilience
-        # per-link list of channel-free times (length = link.channels)
-        self._channel_free_at: dict[tuple[str, str], list[float]] = {}
+        # per-link (or per channel-group) list of channel-free times;
+        # links sharing a ``Link.group`` (a node's NIC) share one entry
+        self._channel_free_at: dict[object, list[float]] = {}
+        #: simulated control messages (cluster notification protocol)
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.message_bytes = 0
 
     # ------------------------------------------------------------------
+    def _channel_key(self, link) -> object:
+        return link.group if link.group is not None else (link.src, link.dst)
+
     def link_free_at(self, src: str, dst: str) -> float:
         """Earliest time any channel of the link is free."""
-        channels = self._channel_free_at.get((src, dst))
+        key: object = (src, dst)
+        if self.machine.has_link(src, dst):
+            key = self._channel_key(self.machine.link(src, dst))
+        channels = self._channel_free_at.get(key)
         return min(channels) if channels else 0.0
 
     def issue(
@@ -159,7 +170,7 @@ class TransferEngine:
         ready = self.engine.now if earliest is None else max(earliest, self.engine.now)
         end = ready
         for link in self.machine.route(request.src, request.dst):
-            key = (link.src, link.dst)
+            key = self._channel_key(link)
             channels = self._channel_free_at.setdefault(key, [0.0] * link.channels)
             attempt = 1
             while True:
@@ -199,4 +210,57 @@ class TransferEngine:
                 kind=EventKind.TRANSFER_END,
                 label=f"xfer {request.region.label} {request.src}->{request.dst}",
             )
+        return end
+
+    # ------------------------------------------------------------------
+    def send_message(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        *,
+        label: str = "",
+        meta: tuple = (),
+        on_deliver: Optional[Callable[[], None]] = None,
+    ) -> float:
+        """Send a simulated control message from ``src`` to ``dst``.
+
+        The cluster notification protocol rides on this: the message
+        occupies the same link channels as data (it shares the NIC) but
+        is *not* counted in the data-transfer statistics — it shows up in
+        the trace as a ``"notify"`` record on worker
+        ``node:<src>-><dst>`` and in the ``messages_*`` counters.
+        Returns the delivery time; ``on_deliver`` fires then.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot send a negative-size message")
+        end = self.engine.now
+        for link in self.machine.route(src, dst):
+            key = self._channel_key(link)
+            channels = self._channel_free_at.setdefault(key, [0.0] * link.channels)
+            ch = min(range(len(channels)), key=lambda i: (channels[i], i))
+            start = max(end, channels[ch])
+            hop_end = start + link.transfer_time(nbytes)
+            channels[ch] = hop_end
+            end = hop_end
+        self.messages_sent += 1
+        self.message_bytes += nbytes
+        if self.trace is not None:
+            self.trace.add(
+                self.engine.now,
+                end,
+                worker=f"node:{src}->{dst}",
+                category="notify",
+                label=label,
+                meta=meta,
+            )
+
+        def _deliver() -> None:
+            self.messages_delivered += 1
+            if on_deliver is not None:
+                on_deliver()
+
+        self.engine.schedule(
+            end, _deliver, kind=EventKind.NOTIFY, label=f"notify {label} {src}->{dst}"
+        )
         return end

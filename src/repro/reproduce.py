@@ -165,6 +165,36 @@ def _fig15(quick: bool) -> str:
                                order=("GPU", "SMP"))
 
 
+# populated from --nodes/--partition/--steal in main(); the cluster
+# target is parameterised, unlike the fixed paper figures
+_cluster_args: dict = {"nodes": (1, 2, 4, 8), "partition": "affinity", "steal": True}
+
+
+def _cluster(quick: bool) -> str:
+    nodes = _cluster_args["nodes"]
+    if quick:
+        nodes = tuple(n for n in nodes if n <= 4) or (1, 2)
+    rows = experiments.cluster_strong_scaling(
+        node_counts=nodes,
+        n_tiles=16 if not quick else 8,
+        tile_size=1024 if not quick else 512,
+        partition=_cluster_args["partition"],
+        steal=_cluster_args["steal"],
+    )
+    return format_table(
+        ["nodes", "scheduler", "GFLOP/s", "cross msgs", "steals",
+         "mean node util", "min node util"],
+        [[r["nodes"], r["scheduler"], r["gflops"], r["cross_msgs"], r["steals"],
+          r["mean_node_util"], r["min_node_util"]] for r in rows],
+        title=(
+            "Cluster strong scaling — sharded vs global "
+            f"(partition={_cluster_args['partition']}, "
+            f"steal={'on' if _cluster_args['steal'] else 'off'})"
+        ),
+        floatfmt="{:.2f}",
+    )
+
+
 def _table1(quick: bool) -> str:
     _, rendered = experiments.table1_taskversionset()
     return "Table I — TaskVersionSet structure\n" + rendered
@@ -193,6 +223,7 @@ FIGURES: dict[str, Callable[[bool], str]] = {
     "fig13": _fig13,
     "fig14": _fig14,
     "fig15": _fig15,
+    "cluster": _cluster,
 }
 
 
@@ -236,7 +267,40 @@ def main(argv: "list[str] | None" = None) -> int:
         help="sigma multiplier of the straggler deadline (implies "
         "--speculate; default 4.0)",
     )
+    parser.add_argument(
+        "--nodes",
+        default="1,2,4,8",
+        metavar="N[,N...]",
+        help="node counts swept by the 'cluster' target (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--partition",
+        choices=("hash", "block", "affinity"),
+        default="affinity",
+        help="graph-partition policy for the 'cluster' target",
+    )
+    parser.add_argument(
+        "--steal",
+        dest="steal",
+        action="store_true",
+        default=True,
+        help="enable inter-node work stealing for the 'cluster' target (default)",
+    )
+    parser.add_argument(
+        "--no-steal", dest="steal", action="store_false",
+        help="disable inter-node work stealing for the 'cluster' target",
+    )
     args = parser.parse_args(argv)
+
+    try:
+        node_counts = tuple(int(n) for n in args.nodes.split(",") if n.strip())
+    except ValueError:
+        parser.error(f"--nodes expects comma-separated integers, got {args.nodes!r}")
+    if not node_counts or any(n < 1 for n in node_counts):
+        parser.error("--nodes needs at least one positive node count")
+    _cluster_args.update(
+        nodes=node_counts, partition=args.partition, steal=args.steal
+    )
 
     if args.targets == ["list"]:
         for name in FIGURES:

@@ -64,6 +64,8 @@ class DependenceGraph:
         self._history: dict[Hashable, _RegionHistory] = {}
         self._tasks: dict[int, TaskInstance] = {}
         self._edges: list[DepEdge] = []
+        self._in_edges: dict[int, list[DepEdge]] = {}
+        self._out_edges: dict[int, list[DepEdge]] = {}
         self._unfinished: set[int] = set()
         if alias_policy is None:
             alias_policy = "reject" if check_aliasing else "off"
@@ -124,6 +126,8 @@ class DependenceGraph:
 
         for edge in preds.values():
             self._edges.append(edge)
+            self._out_edges.setdefault(edge.src, []).append(edge)
+            self._in_edges.setdefault(edge.dst, []).append(edge)
             src = self._tasks[edge.src]
             if edge.src in self._unfinished:
                 t.predecessors.add(edge.src)
@@ -224,6 +228,20 @@ class DependenceGraph:
     def tasks(self) -> list[TaskInstance]:
         """All registered tasks in submission (uid) order."""
         return [self._tasks[uid] for uid in sorted(self._tasks)]
+
+    def in_edges(self, uid: int) -> tuple[DepEdge, ...]:
+        """All dependence edges into task ``uid`` (incl. finished preds).
+
+        Unlike ``TaskInstance.predecessors`` — which only tracks
+        *unfinished* predecessors — this is the full dependence record;
+        the cluster partitioner uses it to find cross-shard edges at
+        submit time.
+        """
+        return tuple(self._in_edges.get(uid, ()))
+
+    def out_edges(self, uid: int) -> tuple[DepEdge, ...]:
+        """All dependence edges out of task ``uid``."""
+        return tuple(self._out_edges.get(uid, ()))
 
     def edge_counts(self) -> dict[DepKind, int]:
         out = {k: 0 for k in DepKind}

@@ -38,6 +38,7 @@ from repro.resilience.recovery import (
     ResilienceStats,
 )
 from repro.runtime import context
+from repro.runtime.dataregion import DataRegion
 from repro.runtime.dependences import DependenceGraph
 from repro.runtime.task import TaskInstance, TaskState, TaskVersion
 from repro.runtime.worker import Worker
@@ -233,6 +234,10 @@ class OmpSsRuntime:
         self.workers: list[Worker] = [Worker(d) for d in machine.devices]
         self._workers_by_name = {w.name: w for w in self.workers}
 
+        #: cluster node layout, set via :meth:`enable_node_topology` by
+        #: node-aware schedulers (typically during their ``bind``); None
+        #: for ordinary single-node runs
+        self.node_topology = None
         if isinstance(scheduler, str):
             self.scheduler = create_scheduler(scheduler, **dict(scheduler_options or {}))
         else:
@@ -241,7 +246,6 @@ class OmpSsRuntime:
             self.scheduler = scheduler
         self.scheduler.bind(self)
         self.resilience.bind(self)
-
         self.version_counts: dict[str, dict[str, int]] = {}
         self._finish_order: list[int] = []
         self._tasks_completed = 0
@@ -307,7 +311,11 @@ class OmpSsRuntime:
         self._local_ids[t.uid] = self._tasks_submitted
         for region in t.regions():
             self.directory.register(region)
-        if self.graph.add_task(t):
+        ready = self.graph.add_task(t)
+        # the scheduler sees the task (and its dependence edges) before
+        # it can become ready — cluster sharding assigns the shard here
+        self.scheduler.task_submitted(t)
+        if ready:
             self._mark_ready(t)
 
     def taskwait(self, *, noflush: bool = False) -> None:
@@ -426,6 +434,60 @@ class OmpSsRuntime:
         self._prepare_window(worker)
         self._try_start(worker)
 
+    def enable_node_topology(self, layout) -> None:
+        """Turn on cluster awareness (called by node-aware schedulers).
+
+        The directory starts preferring same-node sources and spreading
+        remote pulls across replica-holding hosts, and read transfers
+        may chain off in-flight staging copies toward a node's host.
+        """
+        self.node_topology = layout
+        host_spaces = set(layout.host_of_node.values())
+        self.directory.set_topology(layout.node_of_space, host_spaces)
+
+    def push_region(self, region: DataRegion, space: str) -> tuple[float, bool]:
+        """Proactively replicate ``region`` into ``space``.
+
+        The cluster protocol layer pushes a predecessor's output toward
+        the consuming shard's host overlapped with scheduling.  Returns
+        ``(ready_time, issued)`` — ``issued`` is False when the space
+        already holds (or is already receiving) a valid copy.
+        """
+        self.directory.register(region)
+        now = self.engine.now
+        if self.directory.is_valid(region, space):
+            return now, False
+        key = (region.key, space)
+        inflight = self._inflight.get(key)
+        if inflight is not None and inflight > now + _EPS:
+            return inflight, False
+        if self.node_topology is not None:
+            # cooperative multicast: if the region is already on the wire
+            # toward another node's host, chain this hop off that copy —
+            # the broadcast pipelines across per-node NICs instead of
+            # serialising every replica on the origin host's NIC
+            best: Optional[tuple[str, float]] = None
+            for h in sorted(set(self.node_topology.host_of_node.values())):
+                if h == space:
+                    continue
+                staged = self._inflight.get((region.key, h))
+                if staged is not None and staged > now + _EPS:
+                    if best is None or staged < best[1]:
+                        best = (h, staged)
+            if best is not None:
+                req = TransferRequest(region, best[0], space)
+                done = self.transfer_engine.issue(
+                    req, earliest=best[1], on_complete=self._make_transfer_done(req)
+                )
+                self._inflight[key] = done
+                return done, True
+        req = self.directory.reads_needed(region, space)
+        if req is None:  # pragma: no cover - raced with completion
+            return now, False
+        done = self.transfer_engine.issue(req, on_complete=self._make_transfer_done(req))
+        self._inflight[key] = done
+        return done, True
+
     def missing_read_bytes(self, t: TaskInstance, space: str) -> int:
         """Bytes that would have to move for ``t``'s reads on ``space``.
 
@@ -499,6 +561,23 @@ class OmpSsRuntime:
             if inflight is not None and inflight > self.engine.now + _EPS:
                 ready = max(ready, inflight)
                 continue
+            # cluster staging: a copy toward this worker's node host is
+            # already in flight — chain the final intra-node hop off it
+            # instead of pulling across the network a second time
+            if self.node_topology is not None:
+                host = self.node_topology.host_of_space(space)
+                if host is not None and host != space:
+                    staged = self._inflight.get((region.key, host))
+                    if staged is not None and staged > self.engine.now + _EPS:
+                        req = TransferRequest(region, host, space)
+                        done = self.transfer_engine.issue(
+                            req,
+                            earliest=staged,
+                            on_complete=self._make_transfer_done(req),
+                        )
+                        self._inflight[key] = done
+                        ready = max(ready, done)
+                        continue
             req = self.directory.reads_needed(region, space)
             if req is None:  # pragma: no cover - raced with completion
                 continue

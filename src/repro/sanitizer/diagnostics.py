@@ -73,6 +73,9 @@ CODES: dict[str, str] = {
                 "launch or retry followed the straggler record",
     "SAN-T008": "a task completed more than once (a cancelled speculative "
                 "loser must never also appear as a winner)",
+    "SAN-T009": "a cross-shard successor started before its inter-node "
+                "notification was delivered (the cluster protocol must "
+                "hold it until every notification lands)",
 }
 
 

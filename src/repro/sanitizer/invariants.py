@@ -7,9 +7,11 @@ Two entry points:
   task-before-dependence ordering given explicit dependence pairs
   (SAN-T002), quarantined/dead-worker execution (SAN-T004, windows
   derived from the trace's own ``quarantine``/``readmit``/
-  ``worker-down`` records), straggler-detection follow-up (SAN-T007)
-  and unique task completion (SAN-T008).  Usable on hand-built traces
-  in tests.
+  ``worker-down`` records), straggler-detection follow-up (SAN-T007),
+  unique task completion (SAN-T008) and cross-shard notification
+  ordering (SAN-T009: a successor with a ``notify`` record must not
+  start before that notification is delivered).  Usable on hand-built
+  traces in tests.
 
 * :func:`check_run` — validates a full :class:`RunResult`: everything
   above with dependence pairs derived from the run's DAG, plus
@@ -216,6 +218,38 @@ def _check_unique_completion(trace: "Trace") -> list[Diagnostic]:
 
 
 # ----------------------------------------------------------------------
+# SAN-T009 — cross-shard successor starts before its notification lands
+# ----------------------------------------------------------------------
+def _check_notify_order(trace: "Trace", eps: float) -> list[Diagnostic]:
+    # The cluster protocol releases a cross-shard successor only after
+    # every notification addressed to it is *delivered* ("notify" record
+    # end time).  A successor's completion record starting earlier means
+    # the scheduler leaked it past the protocol.
+    records = _task_records(trace)
+    out: list[Diagnostic] = []
+    for n in trace.by_category("notify"):
+        if not n.meta:
+            continue
+        succ = records.get(n.meta[0])
+        if succ is None:
+            continue
+        if succ.start < n.end - eps:
+            out.append(Diagnostic(
+                code="SAN-T009",
+                message=(
+                    f"cross-shard successor #{n.meta[0]} ({succ.label!r} on "
+                    f"{succ.worker}) started at {succ.start:.6g} before its "
+                    f"notification over {n.worker!r} was delivered at "
+                    f"{n.end:.6g}"
+                ),
+                task=succ.label,
+                worker=succ.worker,
+                meta=(n.meta[0],),
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
 def check_trace(
     trace: "Trace",
     *,
@@ -234,6 +268,7 @@ def check_trace(
     out.extend(_check_worker_windows(trace, eps))
     out.extend(_check_straggler_followup(trace))
     out.extend(_check_unique_completion(trace))
+    out.extend(_check_notify_order(trace, eps))
     return out
 
 

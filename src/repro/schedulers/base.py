@@ -16,7 +16,7 @@ such a scheduler — the same failure a real OmpSs run would hit.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.runtime.task import TaskDefinition, TaskInstance, TaskVersion
 
@@ -56,9 +56,29 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------
+    def task_submitted(self, t: TaskInstance) -> None:
+        """A task entered the dependence graph (not necessarily ready).
+
+        Called once per task in submission order, after its dependence
+        edges are recorded but before any :meth:`task_ready`.  The
+        cluster scheduler assigns shards here; the default is a no-op.
+        """
+
     def task_ready(self, t: TaskInstance) -> None:
         """A task's dependences are satisfied; dispatch it now."""
         raise NotImplementedError
+
+    def steal_ready_task(
+        self, accept: Callable[[TaskInstance], bool]
+    ) -> Optional[TaskInstance]:
+        """Give up one undispatched ready task for work stealing.
+
+        ``accept`` filters tasks the thief can actually run.  Policies
+        that hold ready tasks in a pool (versioning) override this to
+        pop the youngest acceptable task; policies that dispatch
+        immediately have nothing to steal and return ``None``.
+        """
+        return None
 
     def task_started(self, t: TaskInstance, worker: "Worker") -> None:
         """A dispatched task left the queue and began executing."""

@@ -36,6 +36,8 @@ class EventKind(Enum):
     RETRY = "retry"
     RUNTIME = "runtime"
     WATCHDOG = "watchdog"
+    NOTIFY = "notify"
+    STEAL = "steal"
 
 
 @dataclass(order=False)

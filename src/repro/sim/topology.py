@@ -20,8 +20,8 @@ reports hold on the simulated machine:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
 
 from repro.sim.devices import Device, DeviceKind, GPUDevice, SMPDevice
 from repro.sim.perfmodel import KernelCostModel, PerfModel
@@ -47,6 +47,12 @@ class Link:
     many transfers proceed concurrently, each at full link bandwidth
     (engine-limited, not wire-limited — the Fermi copy-engine model);
     further transfers queue on the earliest-free channel.
+
+    ``group`` optionally names a *shared channel group*: links carrying
+    the same group contend for one pool of channels instead of each
+    owning their own.  Cluster machines use this to model a node's NIC —
+    all network links leaving one host share the NIC's egress engines,
+    so fanning out to many destinations does not multiply bandwidth.
     """
 
     src: str
@@ -54,6 +60,7 @@ class Link:
     bandwidth: float
     latency: float = 0.0
     channels: int = 1
+    group: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -98,11 +105,47 @@ class MachineSpec:
             raise ValueError("a machine needs at least one device")
 
 
+@dataclass(frozen=True)
+class ClusterLayout:
+    """Which node of a cluster machine owns each device and memory space.
+
+    Built by :func:`cluster_machine`; :meth:`Machine.cluster_layout`
+    synthesizes a trivial single-node layout for machines that were not
+    built as clusters, so node-aware code works uniformly.
+    """
+
+    node_of_space: Mapping[str, int]
+    node_of_device: Mapping[str, int]
+    host_of_node: Mapping[int, str] = field(default_factory=dict)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.host_of_node)
+
+    def nodes(self) -> list[int]:
+        return sorted(self.host_of_node)
+
+    def host_of_space(self, space: str) -> Optional[str]:
+        """The host memory space of the node owning ``space`` (or None)."""
+        node = self.node_of_space.get(space)
+        if node is None:
+            return None
+        return self.host_of_node.get(node)
+
+
 class Machine:
     """A set of devices plus the link matrix between their memory spaces."""
 
-    def __init__(self, name: str, devices: Iterable[Device], links: Iterable[Link]) -> None:
+    def __init__(
+        self,
+        name: str,
+        devices: Iterable[Device],
+        links: Iterable[Link],
+        *,
+        layout: Optional[ClusterLayout] = None,
+    ) -> None:
         self.name = name
+        self.layout = layout
         self.devices: list[Device] = list(devices)
         if not self.devices:
             raise ValueError("a machine needs at least one device")
@@ -198,6 +241,15 @@ class Machine:
         """Wire time of a (possibly multi-hop) copy, ignoring queueing."""
         return sum(link.transfer_time(nbytes) for link in self.route(src, dst))
 
+    def cluster_layout(self) -> ClusterLayout:
+        """The node layout of this machine (single-node if not a cluster)."""
+        if self.layout is not None:
+            return self.layout
+        node_of_space = {s: 0 for s in self.spaces()}
+        node_of_device = {d.name: 0 for d in self.devices}
+        host = HOST_SPACE if HOST_SPACE in node_of_space else self.spaces()[0]
+        return ClusterLayout(node_of_space, node_of_device, {0: host})
+
     # ------------------------------------------------------------------
     def register_kernel_for_kind(
         self, kind: "str | DeviceKind", kernel: str, model: KernelCostModel
@@ -233,6 +285,7 @@ def cluster_machine(
     *,
     network_bandwidth: float = NETWORK_BANDWIDTH,
     network_latency: float = NETWORK_LATENCY,
+    nic_channels: int = 1,
     gpu_memory_bytes: int = 6 * 1024**3,
     noise_cv: float = 0.03,
     seed: int = 0,
@@ -245,28 +298,43 @@ def cluster_machine(
     host-to-host links model the interconnect.  A copy between two GPUs
     on different nodes has no direct link and is *routed* through both
     host memories — three hops, each accounted separately.
+
+    Every network link leaving a host shares that host's NIC: the
+    ``nic:<host>`` channel group gives each node ``nic_channels`` egress
+    engines *total*, not per destination, so a node pushing data to many
+    peers serialises on its own NIC exactly like a real cluster.
     """
     if n_nodes < 1:
         raise ValueError("n_nodes must be at least 1")
     devices: list[Device] = []
     links: list[Link] = []
     host_spaces: list[str] = []
+    node_of_space: dict[str, int] = {}
+    node_of_device: dict[str, int] = {}
+    host_of_node: dict[int, str] = {}
     for node in range(n_nodes):
         host = HOST_SPACE if node == 0 else f"node{node}"
         host_spaces.append(host)
+        node_of_space[host] = node
+        host_of_node[node] = host
         for i in range(smp_per_node):
+            name = f"n{node}smp{i}"
+            node_of_device[name] = node
             devices.append(
                 SMPDevice(
-                    f"n{node}smp{i}",
+                    name,
                     PerfModel(noise_cv=noise_cv, seed=seed * 10000 + node * 100 + i),
                     memory_space=host,
                 )
             )
         for i in range(gpus_per_node):
             space = f"{host}.gpu{i}" if node else f"gpu{i}"
+            name = f"n{node}gpu{i}"
+            node_of_space[space] = node
+            node_of_device[name] = node
             devices.append(
                 GPUDevice(
-                    f"n{node}gpu{i}",
+                    name,
                     PerfModel(
                         noise_cv=noise_cv, seed=seed * 10000 + node * 100 + 50 + i
                     ),
@@ -287,9 +355,19 @@ def cluster_machine(
     for a in host_spaces:
         for b in host_spaces:
             if a != b:
-                links.append(Link(a, b, network_bandwidth, network_latency))
+                links.append(
+                    Link(
+                        a,
+                        b,
+                        network_bandwidth,
+                        network_latency,
+                        channels=nic_channels,
+                        group=f"nic:{a}",
+                    )
+                )
     name = f"cluster[{n_nodes}x({smp_per_node}smp+{gpus_per_node}gpu)]"
-    return Machine(name, devices, links)
+    layout = ClusterLayout(node_of_space, node_of_device, host_of_node)
+    return Machine(name, devices, links, layout=layout)
 
 
 def minotauro_node(

@@ -13,8 +13,20 @@ class TestCLI:
             assert name in out
 
     def test_all_figure_ids_have_handlers(self):
-        expected = {"table1", "fig5"} | {f"fig{i}" for i in range(6, 16)}
+        expected = {"table1", "fig5", "cluster"} | {
+            f"fig{i}" for i in range(6, 16)
+        }
         assert set(FIGURES) == expected
+
+    def test_quick_cluster_renders_both_schedulers(self, capsys):
+        assert main(["cluster", "--quick", "--nodes", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded" in out and "global" in out
+        assert "cross msgs" in out
+
+    def test_cluster_rejects_bad_nodes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--nodes", "zero"])
 
     def test_unknown_figure_rejected(self, capsys):
         with pytest.raises(SystemExit):

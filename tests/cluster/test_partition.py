@@ -1,0 +1,126 @@
+"""Unit tests for the graph-partitioning policies."""
+
+import pytest
+
+from repro.cluster.partition import (
+    PARTITION_POLICIES,
+    AffinityPartition,
+    BlockPartition,
+    HashPartition,
+    make_partitioner,
+)
+
+
+class _Region:
+    def __init__(self, key, nbytes):
+        self.key = key
+        self.nbytes = nbytes
+
+
+class _Access:
+    def __init__(self, key, nbytes, *, writes=False, reads=True):
+        self.region = _Region(key, nbytes)
+        self.writes = writes
+        self.reads = reads
+
+
+class _Task:
+    """Just enough of a TaskInstance for the partitioners."""
+
+    def __init__(self, *accesses):
+        self.accesses = list(accesses)
+
+
+def test_registry_names_round_trip():
+    for name in PARTITION_POLICIES:
+        p = make_partitioner(name, 4)
+        assert p.name == name
+        assert p.n_nodes == 4
+
+
+def test_unknown_policy_raises():
+    with pytest.raises(ValueError, match="unknown partition policy"):
+        make_partitioner("zigzag", 2)
+
+
+def test_zero_nodes_raises():
+    with pytest.raises(ValueError):
+        HashPartition(0)
+
+
+def test_block_size_must_be_positive():
+    with pytest.raises(ValueError):
+        BlockPartition(2, block_size=0)
+
+
+class TestHashPartition:
+    def test_stays_within_allowed(self):
+        p = HashPartition(4)
+        allowed = [1, 3]
+        for seq in range(1, 200):
+            assert p.assign(_Task(), seq, allowed, [0, 0, 0, 0]) in allowed
+
+    def test_deterministic(self):
+        a = HashPartition(4)
+        b = HashPartition(4)
+        allowed = [0, 1, 2, 3]
+        picks_a = [a.assign(_Task(), s, allowed, [0] * 4) for s in range(1, 100)]
+        picks_b = [b.assign(_Task(), s, allowed, [0] * 4) for s in range(1, 100)]
+        assert picks_a == picks_b
+
+    def test_roughly_balanced(self):
+        p = HashPartition(4)
+        allowed = [0, 1, 2, 3]
+        counts = {n: 0 for n in allowed}
+        for seq in range(1, 401):
+            counts[p.assign(_Task(), seq, allowed, [0] * 4)] += 1
+        # multiplicative hashing over 400 seqs: no node starves or hogs
+        assert min(counts.values()) > 50
+        assert max(counts.values()) < 150
+
+
+class TestBlockPartition:
+    def test_contiguous_blocks_round_robin(self):
+        p = BlockPartition(3, block_size=4)
+        allowed = [0, 1, 2]
+        picks = [p.assign(_Task(), s, allowed, [0] * 3) for s in range(1, 25)]
+        # seq is 1-based: four per node, wrapping around the allowed list
+        assert picks == [0] * 4 + [1] * 4 + [2] * 4 + [0] * 4 + [1] * 4 + [2] * 4
+
+    def test_respects_allowed_subset(self):
+        p = BlockPartition(4, block_size=2)
+        allowed = [1, 3]
+        picks = [p.assign(_Task(), s, allowed, [0] * 4) for s in range(1, 9)]
+        assert picks == [1, 1, 3, 3, 1, 1, 3, 3]
+
+
+class TestAffinityPartition:
+    def test_write_claims_ownership_and_attracts_readers(self):
+        p = AffinityPartition(2)
+        producer = _Task(_Access("x", 100, writes=True))
+        node = p.assign(producer, 1, [0, 1], [0, 0])
+        p.note_assigned(producer, node)
+        consumer = _Task(_Access("x", 100))
+        assert p.assign(consumer, 2, [0, 1], [1, 0]) == node
+
+    def test_largest_owned_bytes_wins(self):
+        p = AffinityPartition(2)
+        p.note_assigned(_Task(_Access("big", 1000, writes=True)), 1)
+        p.note_assigned(_Task(_Access("small", 10, writes=True)), 0)
+        t = _Task(_Access("big", 1000), _Access("small", 10))
+        assert p.assign(t, 3, [0, 1], [0, 0]) == 1
+
+    def test_ownerless_task_goes_to_least_loaded(self):
+        p = AffinityPartition(3)
+        t = _Task(_Access("fresh", 64))
+        assert p.assign(t, 1, [0, 1, 2], [5, 2, 9]) == 1
+
+    def test_load_tie_breaks_to_lower_node(self):
+        p = AffinityPartition(3)
+        assert p.assign(_Task(), 1, [0, 1, 2], [3, 3, 3]) == 0
+
+    def test_owner_outside_allowed_is_ignored(self):
+        p = AffinityPartition(3)
+        p.note_assigned(_Task(_Access("x", 100, writes=True)), 2)
+        # node 2 owns "x" but cannot run this task: fall back to load
+        assert p.assign(_Task(_Access("x", 100)), 2, [0, 1], [4, 1]) == 1

@@ -1,0 +1,111 @@
+"""Property-based tests for the sharded cluster scheduler.
+
+Hypothesis generates random task DAGs (each task reads one region and
+writes another, so RAW / WAR / WAW edges arise naturally) and we check
+the partitioning and notification invariants the protocol promises:
+
+* the shards are a partition of the task set — disjoint by
+  construction, complete over every submitted task, and every shard id
+  is a real node;
+* with stealing off, every cross-shard dependence edge produces exactly
+  one notification message, every message is delivered, and local
+  edges produce none;
+* a sharded run completes exactly the task set a single-node run
+  completes (same run-local ids, same count), and both validate clean.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.topology import cluster_machine, minotauro_node
+
+from tests.conftest import MB, make_two_version_task, region
+
+MAX_EXAMPLES = 20
+
+
+@st.composite
+def dags(draw):
+    """A random DAG as (n_regions, [(read_idx, write_idx), ...])."""
+    n_regions = draw(st.integers(min_value=2, max_value=6))
+    pair = st.tuples(
+        st.integers(0, n_regions - 1), st.integers(0, n_regions - 1)
+    ).filter(lambda p: p[0] != p[1])
+    pairs = draw(st.lists(pair, min_size=1, max_size=16))
+    return n_regions, pairs
+
+
+def _run(machine, scheduler, n_regions, pairs, **scheduler_options):
+    work, register = make_two_version_task(name="prop")
+    register(machine)
+    regions = [region(("prop", i), MB // 4) for i in range(n_regions)]
+    rt = OmpSsRuntime(
+        machine, scheduler, scheduler_options=scheduler_options or None
+    )
+    with rt:
+        for r, w in pairs:
+            work(regions[r], regions[w])
+    return rt.result()
+
+
+def _cluster(n_nodes):
+    return cluster_machine(
+        n_nodes, smp_per_node=1, gpus_per_node=1, noise_cv=0.0, seed=5
+    )
+
+
+def _local_finish_ids(res):
+    local = res.scheduler_state.rt._local_ids
+    return sorted(local.get(uid, uid) for uid in res.finish_order)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None, derandomize=True)
+@given(dag=dags(), n_nodes=st.sampled_from([2, 3]),
+       partition=st.sampled_from(["hash", "block", "affinity"]))
+def test_shards_partition_the_task_set(dag, n_nodes, partition):
+    n_regions, pairs = dag
+    res = _run(_cluster(n_nodes), "cluster", n_regions, pairs,
+               partition=partition)
+    sched = res.scheduler_state
+    shard_map = sched.shard_map()
+    # complete: every submitted task has exactly one shard (a dict is
+    # disjoint by construction), and every shard id is a real node
+    assert sorted(shard_map) == sorted(res.finish_order)
+    assert all(0 <= node < n_nodes for node in shard_map.values())
+    # the per-node counters sum back to the task set
+    assert sum(sched.stats.tasks_per_node.values()) == len(pairs)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None, derandomize=True)
+@given(dag=dags(), n_nodes=st.sampled_from([2, 3]),
+       partition=st.sampled_from(["hash", "block", "affinity"]))
+def test_every_cross_edge_sends_exactly_one_notification(dag, n_nodes, partition):
+    n_regions, pairs = dag
+    res = _run(_cluster(n_nodes), "cluster", n_regions, pairs,
+               partition=partition, steal=False)
+    stats = res.scheduler_state.stats
+    n_edges = sum(len(res.graph.in_edges(t.uid)) for t in res.graph.tasks())
+    assert stats.cross_edges + stats.local_edges == n_edges
+    assert stats.notifications_sent == stats.cross_edges
+    assert stats.notifications_delivered == stats.notifications_sent
+    assert len(res.trace.by_category("notify")) == stats.notifications_sent
+    assert res.validate() == []
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None, derandomize=True)
+@given(dag=dags(), partition=st.sampled_from(["hash", "block", "affinity"]))
+def test_sharded_run_completes_the_single_node_task_set(dag, partition):
+    n_regions, pairs = dag
+    sharded = _run(_cluster(2), "cluster", n_regions, pairs,
+                   partition=partition)
+    single = _run(minotauro_node(2, 1, noise_cv=0.0, seed=5), "versioning",
+                  n_regions, pairs)
+    assert sharded.tasks_completed == single.tasks_completed == len(pairs)
+    assert _local_finish_ids(sharded) == _local_finish_ids(single)
+    sharded.graph.verify_schedule(sharded.finish_order)
+    single.graph.verify_schedule(single.finish_order)
+    assert sharded.validate() == []
+    assert single.validate() == []

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.apps.cholesky import CholeskyApp
+from repro.apps.matmul import MatmulApp
+from repro.apps.pbpi import PBPIApp
 from repro.runtime.dataregion import DataRegion
 from repro.runtime.directives import task
 from repro.runtime.runtime import OmpSsRuntime, RuntimeConfig
@@ -11,6 +14,51 @@ from repro.sim.perfmodel import AffineBytesCostModel, FixedCostModel
 from repro.sim.topology import minotauro_node
 
 MB = 1024**2
+
+#: Small app instances shared by the scheduler-compare and conformance
+#: suites; each factory takes the variant ("smp" / "gpu" / "hyb").
+SMALL_APPS = {
+    "matmul": lambda variant: MatmulApp(n_tiles=3, variant=variant),
+    "cholesky": lambda variant: CholeskyApp(n_blocks=4, variant=variant),
+    "pbpi": lambda variant: PBPIApp(generations=3, n_blocks=4, variant=variant),
+}
+
+#: Expected completed-task count of each SMALL_APPS instance.
+SMALL_APP_TASKS = {
+    "matmul": 27,
+    "cholesky": CholeskyApp(n_blocks=4, variant="gpu").task_count(),
+    "pbpi": 3 * (2 * 4 + 1),
+}
+
+
+def run_app(app, machine, scheduler, *, scheduler_options=None, config=None):
+    """Register cost models, run ``app`` on ``machine``, return RunResult."""
+    app.register_cost_models(machine)
+    rt = OmpSsRuntime(
+        machine, scheduler, config=config, scheduler_options=scheduler_options
+    )
+    with rt:
+        app.master(rt)
+    rt.directory.check_invariants()
+    return rt.result()
+
+
+def chain_calls(work, n=8, nbytes=MB, tag="chain"):
+    """``n`` tasks in a straight RAW chain: t_i reads r_i, writes r_{i+1}."""
+    regions = [region((tag, i), nbytes) for i in range(n + 1)]
+    return [(work, regions[i], regions[i + 1]) for i in range(n)]
+
+
+def fork_join_calls(work, width=4, nbytes=MB, tag="fj"):
+    """Fork-join over a 2-parameter task: ``width`` parallel branches
+    read the source, then a WAW-serialised join drains every branch
+    into the sink region (2*width tasks total)."""
+    src = region((tag, "src"), nbytes)
+    mids = [region((tag, i), nbytes) for i in range(width)]
+    sink = region((tag, "sink"), nbytes)
+    calls = [(work, src, m) for m in mids]
+    calls += [(work, m, sink) for m in mids]
+    return calls
 
 
 def make_machine(n_smp=2, n_gpus=1, noise=0.0, seed=0):
@@ -60,9 +108,11 @@ def region(key, nbytes=MB, label=""):
     return DataRegion(key, nbytes, label=label or str(key))
 
 
-def run_tasks(machine, scheduler, calls, config=None):
+def run_tasks(machine, scheduler, calls, config=None, scheduler_options=None):
     """Run a list of ``(task_fn, *args)`` calls and return the RunResult."""
-    rt = OmpSsRuntime(machine, scheduler, config=config)
+    rt = OmpSsRuntime(
+        machine, scheduler, config=config, scheduler_options=scheduler_options
+    )
     with rt:
         for fn, *args in calls:
             fn(*args)

@@ -6,17 +6,11 @@ dependences respected, no worker overlap, coherence invariants intact.
 
 import pytest
 
-from repro.apps.cholesky import CholeskyApp
 from repro.apps.matmul import MatmulApp
-from repro.apps.pbpi import PBPIApp
 from repro.runtime.runtime import OmpSsRuntime
 from repro.sim.topology import minotauro_node
 
-APPS = {
-    "matmul": lambda variant: MatmulApp(n_tiles=3, variant=variant),
-    "cholesky": lambda variant: CholeskyApp(n_blocks=4, variant=variant),
-    "pbpi": lambda variant: PBPIApp(generations=3, n_blocks=4, variant=variant),
-}
+from tests.conftest import SMALL_APP_TASKS, SMALL_APPS, run_app
 
 # (app, variant, scheduler) combinations that are valid per the paper
 COMBOS = [
@@ -40,23 +34,13 @@ COMBOS = [
 
 @pytest.mark.parametrize("app_name,variant,sched", COMBOS)
 def test_valid_execution(app_name, variant, sched):
-    app = APPS[app_name](variant)
+    app = SMALL_APPS[app_name](variant)
     machine = minotauro_node(2, 2, noise_cv=0.02, seed=7)
-    app.register_cost_models(machine)
-    rt = OmpSsRuntime(machine, sched)
-    with rt:
-        app.master(rt)
-    res = rt.result()
+    res = run_app(app, machine, sched)
 
-    expected = {
-        "matmul": 27,
-        "cholesky": CholeskyApp(n_blocks=4, variant="gpu").task_count(),
-        "pbpi": 3 * (2 * 4 + 1),
-    }[app_name]
-    assert res.tasks_completed == expected
-    rt.graph.verify_schedule(res.finish_order)
+    assert res.tasks_completed == SMALL_APP_TASKS[app_name]
+    res.graph.verify_schedule(res.finish_order)
     res.trace.check_no_overlap("task")
-    rt.directory.check_invariants()
     assert res.makespan > 0
     # every executed version belongs to its task's definition
     for task_name, versions in res.version_counts.items():

@@ -255,3 +255,54 @@ class TestStragglerInvariants:
         ok.add(0.0, 2.0, "w:smp0", "task", "t1", meta=(1,))
         ok.add(1.0, 1.0, "w:smp0", "spec-drop", "v0", meta=(2,))
         assert check_trace(ok) == []
+
+
+class TestClusterNotifyInvariants:
+    """SAN-T009: a cross-shard successor must wait for its notification."""
+
+    def test_successor_before_delivery_is_t009(self):
+        bad = Trace()
+        bad.add(0.0, 4.0, "w:smp0", "task", "producer", meta=(1,))
+        bad.add(4.0, 5.0, "node:host->node1", "notify", "consumer", meta=(2,))
+        # the successor starts at 4.2, but its notification lands at 5.0
+        bad.add(4.2, 6.0, "w:smp2", "task", "consumer", meta=(2,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T009"]
+        assert diags[0].task == "consumer"
+        assert diags[0].meta == (2,)
+        assert "before its notification" in diags[0].message
+
+    def test_successor_at_or_after_delivery_is_clean(self):
+        ok = Trace()
+        ok.add(0.0, 4.0, "w:smp0", "task", "producer", meta=(1,))
+        ok.add(4.0, 5.0, "node:host->node1", "notify", "consumer", meta=(2,))
+        ok.add(5.0, 6.0, "w:smp2", "task", "consumer", meta=(2,))
+        assert check_trace(ok) == []
+
+    def test_every_late_notification_is_reported(self):
+        bad = Trace()
+        bad.add(4.0, 5.0, "node:host->node1", "notify", "c", meta=(2,))
+        bad.add(4.0, 7.0, "node:host->node2", "notify", "c", meta=(2,))
+        bad.add(6.0, 8.0, "w:smp2", "task", "c", meta=(2,))
+        diags = check_trace(bad)
+        # started after the first delivery but before the second
+        assert [d.code for d in diags] == ["SAN-T009"]
+        assert diags[0].meta == (2,)
+
+    def test_notify_without_task_record_is_ignored(self):
+        # the successor may legitimately never run (e.g. truncated trace
+        # window); nothing to order against
+        ok = Trace()
+        ok.add(4.0, 5.0, "node:host->node1", "notify", "ghost", meta=(99,))
+        assert check_trace(ok) == []
+
+    def test_sharded_cluster_run_validates_clean(self):
+        from repro.apps.matmul import MatmulApp
+        from repro.sim.topology import cluster_machine
+
+        m = cluster_machine(2, smp_per_node=2, gpus_per_node=1,
+                            noise_cv=0.02, seed=7)
+        app = MatmulApp(n_tiles=3, variant="hyb")
+        res = app.run(m, "cluster", scheduler_options={"partition": "hash"})
+        assert res.run.trace.by_category("notify"), "fixture must cross shards"
+        assert res.run.validate() == []

@@ -1,0 +1,115 @@
+"""Scheduler conformance suite.
+
+Every scheduler in the registry — including the sharded cluster
+scheduler — must produce a *valid* execution on a set of fixture
+graphs: a straight chain, a fork-join, the tiled hybrid matmul and the
+Cholesky DAG.  Valid means
+
+* every task completes exactly once (count and uniqueness),
+* no dependence edge is violated (``verify_schedule``),
+* the trace passes every sanitizer invariant (``validate()`` clean),
+* a second identical run reproduces the same makespan and trace
+  (seeded determinism).
+
+The suite runs both on a single MinoTauro-like node and on a 2-node
+cluster machine, so any scheduler that mishandles multi-node worker
+sets fails here rather than in a bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers.registry import canonical_schedulers
+from repro.sim.topology import cluster_machine, minotauro_node
+
+from tests.conftest import (
+    SMALL_APP_TASKS,
+    SMALL_APPS,
+    chain_calls,
+    fork_join_calls,
+    make_two_version_task,
+    run_app,
+    run_tasks,
+)
+
+SCHEDULERS = canonical_schedulers()
+
+MACHINES = {
+    "node": lambda: minotauro_node(2, 2, noise_cv=0.02, seed=7),
+    "cluster2": lambda: cluster_machine(
+        2, smp_per_node=2, gpus_per_node=1, noise_cv=0.02, seed=7
+    ),
+}
+
+CHAIN_LEN = 8
+FJ_WIDTH = 4
+
+
+def _synthetic_calls(shape, machine):
+    work, register = make_two_version_task(name=f"conf_{shape}")
+    register(machine)
+    if shape == "chain":
+        return chain_calls(work, n=CHAIN_LEN), CHAIN_LEN
+    return fork_join_calls(work, width=FJ_WIDTH), 2 * FJ_WIDTH
+
+
+def _assert_valid(res, expected):
+    assert res.tasks_completed == expected
+    # exactly once: no uid repeats in the finish order
+    assert len(res.finish_order) == expected
+    assert len(set(res.finish_order)) == expected
+    res.graph.verify_schedule(res.finish_order)
+    assert res.validate() == []  # strict: raises on any error finding
+    assert res.makespan > 0
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("shape", ["chain", "fork-join"])
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_synthetic_graph_conformance(sched, shape, machine_name):
+    def once():
+        machine = MACHINES[machine_name]()
+        calls, expected = _synthetic_calls(shape, machine)
+        return run_tasks(machine, sched, calls), expected
+
+    res, expected = once()
+    _assert_valid(res, expected)
+    res2, _ = once()
+    assert res2.makespan == res.makespan
+    assert res2.trace == res.trace
+
+
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+@pytest.mark.parametrize("app_name", ["matmul", "cholesky"])
+@pytest.mark.parametrize("sched", SCHEDULERS)
+def test_app_graph_conformance(sched, app_name, machine_name):
+    def once():
+        machine = MACHINES[machine_name]()
+        return run_app(SMALL_APPS[app_name]("hyb"), machine, sched)
+
+    res = once()
+    _assert_valid(res, SMALL_APP_TASKS[app_name])
+    res2 = once()
+    assert res2.makespan == res.makespan
+    assert res2.trace == res.trace
+
+
+@pytest.mark.parametrize("partition", ["hash", "block", "affinity"])
+def test_cluster_partitions_conform_on_matmul(partition):
+    def once():
+        machine = cluster_machine(
+            4, smp_per_node=2, gpus_per_node=1, noise_cv=0.02, seed=7
+        )
+        return run_app(
+            SMALL_APPS["matmul"]("hyb"),
+            machine,
+            "cluster",
+            scheduler_options={"partition": partition},
+        )
+
+    res = once()
+    _assert_valid(res, SMALL_APP_TASKS["matmul"])
+    res2 = once()
+    assert res2.makespan == res.makespan
+    assert res2.trace == res.trace
