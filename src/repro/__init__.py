@@ -48,6 +48,9 @@ from repro.sim import Machine, MachineSpec, cluster_machine, minotauro_node
 from repro.resilience import (
     FaultPlan,
     HangRule,
+    LinkDegradation,
+    MessageFaultRule,
+    NodeCrashRule,
     ProgressStallError,
     RecoveryPolicy,
     ResilienceStats,
@@ -93,6 +96,9 @@ __all__ = [
     "minotauro_node",
     "FaultPlan",
     "HangRule",
+    "LinkDegradation",
+    "MessageFaultRule",
+    "NodeCrashRule",
     "TaskFaultRule",
     "TransferFaultRule",
     "WorkerFailure",

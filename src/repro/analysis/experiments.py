@@ -14,7 +14,7 @@ Cholesky keeps the full 16x16 block grid = 816 tasks; PBPI keeps the
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.analysis.metrics import (
     cluster_summary,
@@ -28,6 +28,7 @@ from repro.apps.matmul import VERSION_LEGEND as MM_LEGEND
 from repro.apps.pbpi import PBPIApp
 from repro.core.profile import VersionProfileTable
 from repro.core.versioning import VersioningScheduler
+from repro.resilience import FaultPlan, MessageFaultRule, NodeCrashRule
 from repro.runtime.runtime import OmpSsRuntime
 from repro.sim.topology import cluster_machine, minotauro_node
 
@@ -357,6 +358,100 @@ def cluster_strong_scaling(
                 "min_node_util": min(util.values()) if util else 0.0,
                 "tasks_per_node": summary.get("tasks_per_node", {}),
             })
+    return rows
+
+
+def cluster_chaos(
+    loss_rates: Sequence[float] = (0.0, 0.02, 0.05),
+    *,
+    nodes: int = 4,
+    n_tiles: int = 16,
+    tile_size: int = 1024,
+    smp_per_node: int = 2,
+    gpus_per_node: int = 1,
+    partition: str = "block",
+    crash: bool = True,
+    crash_frac: float = 0.4,
+    rejoin: bool = False,
+    protocol: Optional[dict] = None,
+    seed: int = DEFAULT_SEED,
+    noise: float = DEFAULT_NOISE,
+) -> list[Row]:
+    """Sharded-cluster matmul under an unreliable interconnect.
+
+    One fault-free calibration run fixes the baseline makespan (and the
+    mid-run crash instant, ``crash_frac`` of the way through it); then
+    each loss rate runs with that fraction of cross-node notifications
+    dropped in flight — once without and, with ``crash=True``, once with
+    a whole-node crash layered on top.  Rows carry the slowdown relative
+    to the fault-free run plus the protocol's book-keeping (retransmits,
+    suppressed duplicates, recovered notifications, evacuated tasks), so
+    the chaos bench and the acceptance tests can check the headline
+    claim: reliable delivery holds the overhead to a bounded slowdown
+    instead of a stall.
+    """
+    if nodes < 2:
+        raise ValueError("cluster_chaos needs at least 2 nodes")
+    machine_args = dict(
+        smp_per_node=smp_per_node, gpus_per_node=gpus_per_node,
+        noise_cv=noise, seed=seed,
+    )
+    sched_options: dict[str, Any] = {"partition": partition, "steal": True}
+    if protocol is not None:
+        # small calibration runs want an ack timeout proportionate to
+        # their makespan; the default 50 ms suits full-scale sweeps
+        sched_options["protocol"] = protocol
+
+    def _run(plan):
+        machine = cluster_machine(nodes, **machine_args)
+        app = MatmulApp(n_tiles=n_tiles, tile_size=tile_size, variant="hyb")
+        return app.run(
+            machine, "cluster", scheduler_options=sched_options, fault_plan=plan
+        )
+
+    baseline = _run(None)
+    base_mk = baseline.makespan
+    crash_at = crash_frac * base_mk
+    crash_rule = NodeCrashRule(
+        node=nodes - 1,
+        at_time=crash_at,
+        rejoin_after=(0.25 * base_mk if rejoin else None),
+    )
+
+    def _row(loss: float, crashed: bool, res) -> Row:
+        summary = cluster_summary(res.run)
+        r = res.run.resilience
+        return {
+            "loss": loss,
+            "crash": crashed,
+            "makespan": res.makespan,
+            "slowdown": res.makespan / base_mk if base_mk > 0 else 1.0,
+            "gflops": res.gflops,
+            "dropped": r.messages_dropped,
+            "retransmits": summary.get("retransmits", 0),
+            "dup_suppressed": summary.get("dup_suppressed", 0),
+            "recovered": summary.get("notifications_recovered", 0),
+            "evacuated": summary.get("evacuated_tasks", 0),
+            "recomputed": r.recompute_tasks,
+        }
+
+    rows: list[Row] = [_row(0.0, False, baseline)]
+    for loss in loss_rates:
+        msg_rules = (
+            (MessageFaultRule(drop=loss),) if loss > 0 else ()
+        )
+        if loss > 0:
+            rows.append(_row(loss, False, _run(
+                FaultPlan(seed=seed, message_faults=msg_rules)
+            )))
+        if crash:
+            rows.append(_row(loss, True, _run(
+                FaultPlan(
+                    seed=seed,
+                    message_faults=msg_rules,
+                    node_crashes=(crash_rule,),
+                )
+            )))
     return rows
 
 

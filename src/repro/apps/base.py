@@ -82,11 +82,23 @@ class Application:
         *,
         scheduler_options: Optional[Mapping[str, Any]] = None,
         config: Optional[RuntimeConfig] = None,
+        fault_plan: Optional[Any] = None,
+        recovery: Optional[Any] = None,
     ) -> AppResult:
-        """Execute the application on ``machine`` under ``scheduler``."""
+        """Execute the application on ``machine`` under ``scheduler``.
+
+        ``fault_plan`` / ``recovery`` are forwarded verbatim to the
+        runtime, so chaos experiments can run an unmodified application
+        under an unreliable interconnect or node crashes.
+        """
         self.register_cost_models(machine)
         rt = OmpSsRuntime(
-            machine, scheduler, config=config, scheduler_options=scheduler_options
+            machine,
+            scheduler,
+            config=config,
+            scheduler_options=scheduler_options,
+            fault_plan=fault_plan,
+            recovery=recovery,
         )
         with rt:
             self.master(rt)

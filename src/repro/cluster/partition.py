@@ -60,6 +60,9 @@ class PartitionPolicy:
     def note_assigned(self, t: "TaskInstance", node: int) -> None:
         """Observe the final placement (including steals)."""
 
+    def note_node_down(self, node: int) -> None:
+        """A node crashed: forget any state steering work toward it."""
+
 
 class HashPartition(PartitionPolicy):
     name = "hash"
@@ -120,6 +123,11 @@ class AffinityPartition(PartitionPolicy):
         for acc in t.accesses:
             if acc.writes:
                 self._owner[acc.region.key] = node
+
+    def note_node_down(self, node: int) -> None:
+        # a dead node owns nothing: its data is gone (or recovering at
+        # the home space), so affinity must stop steering work to it
+        self._owner = {k: n for k, n in self._owner.items() if n != node}
 
 
 def make_partitioner(name: str, n_nodes: int, **options) -> PartitionPolicy:

@@ -1,4 +1,4 @@
-"""Inter-node protocol layer: notifications for cross-shard edges.
+"""Inter-node protocol layer: reliable notifications for cross-shard edges.
 
 When a dependence edge crosses shards, the predecessor's node sends one
 simulated notification message to the successor's node over the same
@@ -13,18 +13,97 @@ The successor is released to its node-local scheduler only when
 Data transfers are not awaited here — a worker's start already waits on
 in-flight input copies, so the node dispatches ready tasks while remote
 outputs are still on the wire (the Bosch et al. overlap).
+
+Reliable delivery
+-----------------
+The network underneath may be unreliable (see
+:class:`~repro.resilience.faults.MessageFaultRule`): messages are
+dropped, duplicated, delayed, and whole nodes crash mid-flight.  The
+router therefore implements a classic reliable-delivery protocol:
+
+* every transmission carries a **sequence number**, allocated from one
+  counter per sender node — seqs are unique per sender, so the
+  receiver's per-(src, dst) window is equivalently keyed by sender,
+  which lets the window survive successor evacuation;
+* the receiver **acks** each transmission (acks ride the same NIC and
+  suffer the same faults); re-receipt of a seen seq is suppressed as a
+  duplicate but re-acked, so a lost ack does not wedge the sender;
+* an unacked transmission is **retransmitted** after a timeout with
+  exponential backoff, re-resolving the successor's *current* shard
+  (it may have been evacuated since) — a bounded budget, then
+  :class:`NotificationRetryExceededError`;
+* every node has an **epoch**, bumped when it crashes: deliveries and
+  acks whose sender epoch is stale are discarded, fencing a dead
+  node's in-flight traffic off its rejoined incarnation;
+* when a sender node crashes, its unacked in-flight notifications are
+  recovered by the survivors after a detection delay — the dependence
+  information is derivable from the replicated task graph, so the
+  successor's node self-clears the edge (``"notify-recover"`` trace
+  record), dedup-checked against deliveries that did land.
+
+``on_clear`` fires **exactly once** per successor: the pending count
+never goes negative (a stray delivery is recorded as a diagnostic, a
+late duplicate after clearing is counted and ignored).
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.engine import Event, EventKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runtime import OmpSsRuntime
 
 #: Simulated size of one notification message (bytes on the wire).
 NOTIFY_BYTES = 256
+
+#: Simulated size of one acknowledgement message.
+ACK_BYTES = 64
+
+
+class NotificationRetryExceededError(RuntimeError):
+    """A notification kept going unacked past the retransmit budget."""
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables of the reliable notification protocol."""
+
+    #: Acks + timeout retransmission on.  Off = fire-and-forget (the
+    #: pre-reliable protocol): any dropped notification wedges its
+    #: successor forever — the ablation the chaos bench compares against.
+    reliable: bool = True
+    #: Base retransmit timeout, measured from the transmission's wire
+    #: arrival (so NIC queueing behind large data pushes does not cause
+    #: spurious storms); retry ``n`` waits ``ack_timeout * backoff**n``.
+    ack_timeout: float = 0.05
+    backoff: float = 2.0
+    #: Retransmissions allowed per notification before the run aborts.
+    max_retransmits: int = 10
+    ack_bytes: int = ACK_BYTES
+    #: Receiver dedup window per sender (seqs below ``max - window`` are
+    #: treated as duplicates once trimmed).
+    window: int = 65536
+    #: How long survivors take to detect a crashed sender and self-clear
+    #: its in-flight notifications from the replicated task graph.
+    detection_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retransmits < 0:
+            raise ValueError("max_retransmits must be >= 0")
+        if self.ack_bytes < 0:
+            raise ValueError("ack_bytes must be >= 0")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.detection_delay < 0:
+            raise ValueError("detection_delay must be >= 0")
 
 
 @dataclass
@@ -40,6 +119,18 @@ class ClusterStats:
     push_bytes: int = 0
     steals: int = 0
     tasks_per_node: dict[int, int] = field(default_factory=dict)
+    # -- reliable-delivery protocol ------------------------------------
+    retransmits: int = 0           # unacked transmissions re-sent
+    acks_sent: int = 0
+    dup_suppressed: int = 0        # re-received seqs ignored (re-acked)
+    stale_discarded: int = 0       # stale-epoch traffic fenced off
+    stray_deliveries: int = 0      # deliveries for a never-pending successor
+    late_duplicates: int = 0       # deliveries after the successor cleared
+    notifications_recovered: int = 0  # self-cleared after a sender crash
+    local_deliveries: int = 0      # retransmit resolved to the sender's node
+    # -- node-crash evacuation -----------------------------------------
+    evacuations: int = 0           # dead shards re-homed
+    evacuated_tasks: int = 0       # unfinished tasks moved off dead nodes
 
     def as_dict(self) -> dict:
         return {
@@ -52,53 +143,301 @@ class ClusterStats:
             "push_bytes": self.push_bytes,
             "steals": self.steals,
             "tasks_per_node": dict(sorted(self.tasks_per_node.items())),
+            "retransmits": self.retransmits,
+            "acks_sent": self.acks_sent,
+            "dup_suppressed": self.dup_suppressed,
+            "stale_discarded": self.stale_discarded,
+            "stray_deliveries": self.stray_deliveries,
+            "late_duplicates": self.late_duplicates,
+            "notifications_recovered": self.notifications_recovered,
+            "local_deliveries": self.local_deliveries,
+            "evacuations": self.evacuations,
+            "evacuated_tasks": self.evacuated_tasks,
         }
+
+
+@dataclass
+class _Message:
+    """Sender-side state of one logical notification."""
+
+    succ_uid: int
+    succ_seq: int            # run-local successor id (trace meta[0])
+    src_node: int
+    dst_node: int            # current believed location of the successor
+    seq: int                 # unique per sender node
+    epoch: int               # sender epoch at send time
+    label: str
+    attempts: int = 0        # transmissions so far
+    acked: bool = False
+    abandoned: bool = False  # sender crashed; recovery owns it now
+    timer: Optional[Event] = None
 
 
 class NotificationRouter:
     """Sends cross-shard dependence notifications as simulated messages.
 
     Messages ride :meth:`TransferEngine.send_message` between the two
-    nodes' host spaces; each shows up in the trace as a ``"notify"``
-    record whose ``meta`` is ``(successor seq,)`` — the contract
-    SAN-T009 checks.  ``pending(uid)`` counts undelivered
-    notifications per successor; the sharded scheduler buffers a ready
-    task until its count reaches zero.
+    nodes' host spaces; each transmission shows up in the trace as a
+    ``"notify"`` record whose ``meta`` is ``(successor seq, wire seq)``
+    — the contract SAN-T009/SAN-T010 check.  ``pending(uid)`` counts
+    undelivered notifications per successor; the sharded scheduler
+    buffers a ready task until its count reaches zero, at which point
+    ``on_clear`` fires exactly once.
     """
 
     def __init__(
-        self, rt: "OmpSsRuntime", stats: ClusterStats, *, message_bytes: int = NOTIFY_BYTES
+        self,
+        rt: "OmpSsRuntime",
+        stats: ClusterStats,
+        *,
+        message_bytes: int = NOTIFY_BYTES,
+        config: Optional[ProtocolConfig] = None,
     ) -> None:
         self.rt = rt
         self.stats = stats
         self.message_bytes = message_bytes
+        self.config = config if config is not None else ProtocolConfig()
         self._pending: dict[int, int] = {}
+        self._cleared: set[int] = set()
         #: called with the successor uid when its last notification lands
         self.on_clear: Callable[[int], None] = lambda uid: None
+        #: current shard node of a successor uid (set by the scheduler;
+        #: retransmissions re-resolve the destination through this)
+        self.resolve_node: Callable[[int], int] = lambda uid: 0
+        #: node id -> host memory space (set by the scheduler)
+        self.host_of_node: dict[int, str] = {}
+        self._msg_ids = itertools.count(1)
+        self._next_seq: dict[int, int] = {}
+        self._inflight: dict[int, _Message] = {}
+        # receiver dedup state, keyed by sender node (seqs are unique
+        # per sender, so this is the per-(src, dst) window collapsed
+        # over dst — it survives successor evacuation)
+        self._received: dict[int, set[int]] = {}
+        self._recv_floor: dict[int, int] = {}
+        self._epoch: dict[int, int] = {}
+        #: satellite-1 guard: stray deliveries are recorded, not applied
+        self.diagnostics: list[str] = []
 
+    # ------------------------------------------------------------------
     def pending(self, uid: int) -> int:
         return self._pending.get(uid, 0)
 
-    def send(self, src_host: str, dst_host: str, succ_uid: int, label: str) -> float:
-        """Notify ``dst_host`` that a predecessor of ``succ_uid`` finished."""
+    def epoch(self, node: int) -> int:
+        return self._epoch.get(node, 0)
+
+    def send(self, src_node: int, dst_node: int, succ_uid: int, label: str) -> None:
+        """Notify ``dst_node`` that a predecessor of ``succ_uid`` finished."""
         self._pending[succ_uid] = self._pending.get(succ_uid, 0) + 1
+        # the count may legitimately reach zero between two sends (the
+        # first predecessor's message lands before the second finishes);
+        # a fresh notification re-opens the successor — true wire
+        # duplicates never get this far (suppressed by seq dedup)
+        self._cleared.discard(succ_uid)
         self.stats.notifications_sent += 1
-        local = self.rt._local_ids
-        succ_seq = local.get(succ_uid, succ_uid)
-        return self.rt.transfer_engine.send_message(
+        seq = self._next_seq.get(src_node, 0) + 1
+        self._next_seq[src_node] = seq
+        msg = _Message(
+            succ_uid=succ_uid,
+            succ_seq=self.rt._local_ids.get(succ_uid, succ_uid),
+            src_node=src_node,
+            dst_node=dst_node,
+            seq=seq,
+            epoch=self.epoch(src_node),
+            label=label,
+        )
+        if self.config.reliable:
+            self._inflight[next(self._msg_ids)] = msg
+        self._transmit(msg)
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def _transmit(self, msg: _Message) -> None:
+        msg.attempts += 1
+        msg.dst_node = self.resolve_node(msg.succ_uid)
+        if msg.dst_node == msg.src_node:
+            # the successor was evacuated onto the sender's own node
+            # since the original send: deliver locally, no wire traffic
+            now = self.rt.engine.now
+            self.stats.local_deliveries += 1
+            self.rt.trace.add(
+                now, now,
+                worker=f"node:{self.host_of_node[msg.src_node]}",
+                category="notify-local",
+                label=msg.label,
+                meta=(msg.succ_seq, msg.seq),
+            )
+            self._on_wire_delivered(msg, msg.dst_node)
+            if self.config.reliable:
+                self._settle(msg)
+            return
+        src_host = self.host_of_node[msg.src_node]
+        dst_host = self.host_of_node[msg.dst_node]
+        end = self.rt.transfer_engine.send_message(
             src_host,
             dst_host,
             self.message_bytes,
-            label=label,
-            meta=(succ_seq,),
-            on_deliver=lambda: self._delivered(succ_uid),
+            label=msg.label,
+            meta=(msg.succ_seq, msg.seq),
+            category="notify",
+            on_deliver=lambda dst=msg.dst_node: self._on_wire_delivered(msg, dst),
+        )
+        if self.config.reliable:
+            delay = self.config.ack_timeout * (
+                self.config.backoff ** (msg.attempts - 1)
+            )
+            msg.timer = self.rt.engine.schedule(
+                end + delay,
+                lambda: self._on_timeout(msg),
+                kind=EventKind.RETRANSMIT,
+                label=f"retransmit? {msg.label} seq={msg.seq}",
+            )
+
+    def _on_timeout(self, msg: _Message) -> None:
+        if msg.acked or msg.abandoned:
+            return
+        msg.timer = None
+        if self.epoch(msg.src_node) != msg.epoch:
+            return  # sender crashed since; recovery owns this edge now
+        if msg.attempts > self.config.max_retransmits:
+            raise NotificationRetryExceededError(
+                f"notification for successor #{msg.succ_seq} ({msg.label!r}, "
+                f"node {msg.src_node} seq {msg.seq}) went unacked through "
+                f"{msg.attempts} transmissions "
+                f"(retransmit budget {self.config.max_retransmits})"
+            )
+        self.stats.retransmits += 1
+        self._transmit(msg)
+
+    def _on_ack(self, msg: _Message) -> None:
+        if msg.acked or msg.abandoned:
+            return
+        if self.epoch(msg.src_node) != msg.epoch:
+            self.stats.stale_discarded += 1
+            return  # ack addressed to a dead incarnation of the sender
+        self._settle(msg)
+
+    def _settle(self, msg: _Message) -> None:
+        msg.acked = True
+        if msg.timer is not None:
+            msg.timer.cancel()
+            msg.timer = None
+        for mid, m in self._inflight.items():
+            if m is msg:
+                del self._inflight[mid]
+                break
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def _on_wire_delivered(self, msg: _Message, dst_node: int) -> None:
+        if self.epoch(msg.src_node) != msg.epoch:
+            self.stats.stale_discarded += 1
+            return  # epoch fencing: a crashed sender's stale traffic
+        if self._is_duplicate(msg.src_node, msg.seq):
+            self.stats.dup_suppressed += 1
+        else:
+            self._deliver_logical(msg)
+        # (re-)ack even for duplicates: the original ack may be the
+        # reason this retransmission exists
+        if self.config.reliable and dst_node != msg.src_node:
+            self._send_ack(msg, dst_node)
+
+    def _is_duplicate(self, src_node: int, seq: int) -> bool:
+        floor = self._recv_floor.get(src_node, 0)
+        if seq <= floor:
+            return True
+        seen = self._received.setdefault(src_node, set())
+        if seq in seen:
+            return True
+        seen.add(seq)
+        if len(seen) > self.config.window:
+            new_floor = max(seen) - self.config.window
+            self._recv_floor[src_node] = new_floor
+            self._received[src_node] = {s for s in seen if s > new_floor}
+        return False
+
+    def _send_ack(self, msg: _Message, dst_node: int) -> None:
+        self.stats.acks_sent += 1
+        self.rt.transfer_engine.send_message(
+            self.host_of_node[dst_node],
+            self.host_of_node[msg.src_node],
+            self.config.ack_bytes,
+            label=f"ack:{msg.label}",
+            meta=(msg.succ_seq, msg.seq),
+            category="ack",
+            on_deliver=lambda: self._on_ack(msg),
         )
 
-    def _delivered(self, succ_uid: int) -> None:
-        self.stats.notifications_delivered += 1
-        left = self._pending.get(succ_uid, 0) - 1
-        if left > 0:
-            self._pending[succ_uid] = left
+    def _deliver_logical(self, msg: _Message) -> None:
+        uid = msg.succ_uid
+        if uid in self._cleared:
+            # e.g. the successor's node crashed after release and the
+            # unacked notification was retransmitted to its new home
+            self.stats.late_duplicates += 1
             return
-        self._pending.pop(succ_uid, None)
-        self.on_clear(succ_uid)
+        left = self._pending.get(uid, 0) - 1
+        if left < 0:
+            # the guard: a stray delivery must never drive the count
+            # negative or fire on_clear a second time
+            self.stats.stray_deliveries += 1
+            self.diagnostics.append(
+                f"stray notification delivery for successor #{msg.succ_seq} "
+                f"({msg.label!r}, node {msg.src_node} seq {msg.seq}): "
+                "no notification is pending"
+            )
+            return
+        self.stats.notifications_delivered += 1
+        if left > 0:
+            self._pending[uid] = left
+            return
+        self._pending.pop(uid, None)
+        self._cleared.add(uid)
+        self.on_clear(uid)
+
+    # ------------------------------------------------------------------
+    # Node crash handling
+    # ------------------------------------------------------------------
+    def node_down(self, node: int) -> None:
+        """Fence a crashed node and recover its in-flight notifications.
+
+        The node's epoch is bumped (stale traffic from its dead
+        incarnation is discarded on arrival) and every unacked
+        notification it sent is *abandoned*: after ``detection_delay``
+        the surviving successors self-clear the edge — the dependence
+        information is replicated in the task graph, only the message
+        was lost.  Self-clearing is dedup-checked, so an edge whose
+        message actually landed before the crash is not double-counted.
+        """
+        self._epoch[node] = self.epoch(node) + 1
+        if not self.config.reliable:
+            return
+        now = self.rt.engine.now
+        for msg in list(self._inflight.values()):
+            if msg.src_node != node or msg.acked or msg.abandoned:
+                continue
+            msg.abandoned = True
+            if msg.timer is not None:
+                msg.timer.cancel()
+                msg.timer = None
+            self.rt.engine.schedule(
+                now + self.config.detection_delay,
+                lambda m=msg: self._recover(m),
+                kind=EventKind.NOTIFY,
+                label=f"recover {msg.label} seq={msg.seq}",
+            )
+
+    def _recover(self, msg: _Message) -> None:
+        if self._is_duplicate(msg.src_node, msg.seq):
+            return  # the original transmission landed before the crash
+        now = self.rt.engine.now
+        self.stats.notifications_recovered += 1
+        dst = self.resolve_node(msg.succ_uid)
+        self.rt.trace.add(
+            now, now,
+            worker=f"node:{self.host_of_node.get(dst, dst)}",
+            category="notify-recover",
+            label=msg.label,
+            meta=(msg.succ_seq, msg.seq),
+        )
+        self._deliver_logical(msg)

@@ -29,7 +29,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.cluster.partition import PartitionPolicy, make_partitioner
-from repro.cluster.protocol import NOTIFY_BYTES, ClusterStats, NotificationRouter
+from repro.cluster.protocol import (
+    NOTIFY_BYTES,
+    ClusterStats,
+    NotificationRouter,
+    ProtocolConfig,
+)
 from repro.runtime.dependences import DepKind
 from repro.runtime.task import TaskInstance, TaskVersion
 from repro.schedulers.base import Scheduler
@@ -69,10 +74,16 @@ class ShardedClusterScheduler(Scheduler):
         steal: bool = True,
         steal_threshold: int = 2,
         message_bytes: int = NOTIFY_BYTES,
+        protocol: "Optional[ProtocolConfig | dict]" = None,
     ) -> None:
         super().__init__()
         if steal_threshold < 1:
             raise ValueError("steal_threshold must be at least 1")
+        if protocol is None:
+            protocol = ProtocolConfig()
+        elif isinstance(protocol, dict):
+            protocol = ProtocolConfig(**protocol)
+        self.protocol = protocol
         self.inner_name = inner
         self.inner_options = dict(inner_options or {})
         if inner in ("versioning", "ver", "versioning-locality", "ver-loc"):
@@ -95,6 +106,7 @@ class ShardedClusterScheduler(Scheduler):
         self._buffered: dict[int, TaskInstance] = {}
         self._released: set[int] = set()
         self._stealing = False
+        self._dead_nodes: set[int] = set()
         self.layout = None
 
     # ------------------------------------------------------------------
@@ -122,9 +134,12 @@ class ShardedClusterScheduler(Scheduler):
             self.partition_name, self.n_nodes, **self.partition_options
         )
         self.router = NotificationRouter(
-            runtime, self.stats, message_bytes=self.message_bytes
+            runtime, self.stats, message_bytes=self.message_bytes,
+            config=self.protocol,
         )
         self.router.on_clear = self._notifications_cleared
+        self.router.host_of_node = dict(layout.host_of_node)
+        self.router.resolve_node = lambda uid: self.shard_of.get(uid, 0)
         self.stats.tasks_per_node = {n: 0 for n in layout.nodes()}
 
     # ------------------------------------------------------------------
@@ -134,6 +149,10 @@ class ShardedClusterScheduler(Scheduler):
         """Nodes with a live worker able to run some version of ``t``."""
         out = []
         for node in sorted(self.node_workers):
+            if node in self._dead_nodes:
+                # crash in progress: the hook runs before the node's
+                # workers are torn down, so check this explicitly
+                continue
             ws = self.node_workers[node]
             for v in t.definition.versions:
                 if any(w.alive and v.runs_on(w.device.kind) for w in ws):
@@ -179,13 +198,12 @@ class ShardedClusterScheduler(Scheduler):
     # ------------------------------------------------------------------
     def _notify_edge(self, edge, pred_node: int, succ_node: int) -> None:
         assert self.rt is not None and self.router is not None and self.layout
-        src_host = self.layout.host_of_node[pred_node]
         dst_host = self.layout.host_of_node[succ_node]
         succ = self.rt.graph.task(edge.dst)
         # run-local label: task labels embed the process-global uid,
         # which would make otherwise-identical runs produce different
         # traces (the seeded-determinism contract)
-        self.router.send(src_host, dst_host, edge.dst, succ.name)
+        self.router.send(pred_node, succ_node, edge.dst, succ.name)
         if edge.kind is DepKind.RAW:
             # push the produced region toward the consuming shard's host
             # overlapped with scheduling (the consumer's worker-space
@@ -198,7 +216,7 @@ class ShardedClusterScheduler(Scheduler):
     def _notifications_cleared(self, uid: int) -> None:
         t = self._buffered.pop(uid, None)
         if t is not None:
-            self._release(t, self.shard_of[t.uid])
+            self._release(t, self._live_node_for(t, self.shard_of[t.uid]))
 
     # ------------------------------------------------------------------
     # Runtime hooks
@@ -211,12 +229,44 @@ class ShardedClusterScheduler(Scheduler):
         if self.router is not None and self.router.pending(t.uid) > 0:
             self._buffered[t.uid] = t
             return
-        self._release(t, node)
+        self._release(t, self._live_node_for(t, node))
+
+    def _live_node_for(self, t: TaskInstance, node: int) -> int:
+        """The shard's node — unless it lost every worker since the
+        assignment, in which case the task is re-homed to the least
+        loaded capable node.  Covers the window where a dying worker's
+        requeued tasks arrive at ``task_ready`` before the runtime
+        invokes the ``worker_down`` hook that evacuates the node, and
+        buffered tasks whose node died while their notifications were
+        still in flight."""
+        if self.n_nodes == 1 or any(w.alive for w in self.node_workers[node]):
+            return node
+        allowed = self._capable_nodes(t)
+        loads = [0] * self.n_nodes
+        for n, c in self.stats.tasks_per_node.items():
+            loads[n] = c
+        dst = min(allowed, key=lambda n: (loads[n], n))
+        self._move_shard(t, node, dst)
+        self.stats.evacuated_tasks += 1
+        return dst
 
     def _release(self, t: TaskInstance, node: int) -> None:
         assert self.rt is not None
+        first = t.uid not in self._released
         self._released.add(t.uid)
         if self.n_nodes > 1:
+            if first:
+                # the SAN-T010 anchor: every release must be justified
+                # by a delivered notification per pending cross edge,
+                # and must happen at most once per task
+                now = self.rt.engine.now
+                self.rt.trace.add(
+                    now, now,
+                    worker=f"node:{node}",
+                    category="release",
+                    label=t.name,
+                    meta=(self.rt._local_ids.get(t.uid, t.uid),),
+                )
             self._stage_reads(t, node)
         self.inner[node].task_ready(t)
         self._maybe_steal()
@@ -281,16 +331,80 @@ class ShardedClusterScheduler(Scheduler):
     def worker_down(self, worker: "Worker") -> None:
         node = self._node_of(worker)
         self.inner[node].worker_down(worker)
-        if self.n_nodes > 1 and not any(w.alive for w in self.node_workers[node]):
+        if (
+            self.n_nodes > 1
+            and node not in self._dead_nodes  # node_down already evacuated
+            and not any(w.alive for w in self.node_workers[node])
+        ):
             self._evacuate(node)
 
     def worker_up(self, worker: "Worker") -> None:
         self.inner[self._node_of(worker)].worker_up(worker)
         self._maybe_steal()
 
+    # ------------------------------------------------------------------
+    # Node crash / rejoin
+    # ------------------------------------------------------------------
+    def node_down(self, node: int) -> None:
+        """A whole node crashed (called by the runtime's ``_node_down``).
+
+        Runs *before* the node's individual workers are torn down:
+        the router fences the dead node's epoch and recovers its
+        in-flight notifications, the partitioner forgets affinity to
+        it, the node's ready pool is evacuated, and every unfinished
+        task still sharded there is repartitioned to the survivors —
+        so by the time the dead workers' running/queued tasks are
+        requeued, ``task_ready`` routes them to live nodes.
+        """
+        if node in self._dead_nodes or self.n_nodes == 1:
+            return
+        self._dead_nodes.add(node)
+        if self.router is not None:
+            self.router.node_down(node)
+        if self.partitioner is not None:
+            self.partitioner.note_node_down(node)
+        self._evacuate(node)
+        self._reassign_shards(node)
+
+    def node_up(self, node: int) -> None:
+        """A crashed node rejoined: fresh inner scheduler, cold state.
+
+        The node is eligible for new shard assignments and work
+        stealing again, but its pre-crash profile tables are gone —
+        the rejoined runtime learns from scratch, exactly like a
+        rebooted machine.
+        """
+        from repro.schedulers.registry import create_scheduler  # avoid cycle
+
+        if node not in self._dead_nodes:
+            return
+        self._dead_nodes.discard(node)
+        assert self.rt is not None
+        sched = create_scheduler(self.inner_name, **self.inner_options)
+        sched.bind(NodeRuntimeView(self.rt, self.node_workers[node]))
+        self.inner[node] = sched
+        self._maybe_steal()
+
+    def _reassign_shards(self, dead: int) -> None:
+        """Repartition every unfinished task sharded on a dead node."""
+        assert self.rt is not None
+        g = self.rt.graph
+        for uid, node in list(self.shard_of.items()):
+            if node != dead or uid not in g._unfinished:
+                continue
+            t = g.task(uid)
+            allowed = self._capable_nodes(t)
+            loads = [0] * self.n_nodes
+            for n, c in self.stats.tasks_per_node.items():
+                loads[n] = c
+            dst = min(allowed, key=lambda n: (loads[n], n))
+            self._move_shard(t, dead, dst)
+            self.stats.evacuated_tasks += 1
+
     def _evacuate(self, dead_node: int) -> None:
         """Re-home the ready pool of a node that lost all its workers."""
         assert self.partitioner is not None
+        self.stats.evacuations += 1
         while True:
             t = self.inner[dead_node].steal_ready_task(lambda task: True)
             if t is None:
@@ -301,6 +415,7 @@ class ShardedClusterScheduler(Scheduler):
                 loads[n] = c
             node = min(allowed, key=lambda n: (loads[n], n))
             self._move_shard(t, dead_node, node)
+            self.stats.evacuated_tasks += 1
             self._release(t, node)
 
     # ------------------------------------------------------------------

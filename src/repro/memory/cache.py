@@ -162,6 +162,19 @@ class CacheManager:
         cache.space.release(region.nbytes)
         self.stats.evictions += 1
 
+    def purge_space(self, name: str) -> None:
+        """Forget everything about ``name`` (the space's node crashed).
+
+        Residency, pins and the allocation count are reset — a rejoined
+        node comes back with a cold cache.  No directory interaction:
+        the caller already invalidated the dead space's copies.
+        """
+        cache = self._cache(name)
+        for region in list(cache.lru.values()):
+            cache.space.release(region.nbytes)
+        cache.lru.clear()
+        cache.pins.clear()
+
     def invalidate(self, space: str, region: DataRegion) -> None:
         """Drop a (now stale) resident copy without directory interaction.
 

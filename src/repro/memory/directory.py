@@ -48,6 +48,9 @@ class _Entry:
     region: DataRegion
     valid: set[str]
     dirty_owner: Optional[str]  # space holding the sole authoritative copy
+    #: every copy died with a crashed node; a recomputation is underway
+    #: (the empty-valid invariant is suspended until it lands)
+    recovering: bool = False
 
 
 class Directory:
@@ -126,6 +129,11 @@ class Directory:
         entry = self._entries[region.key]
         if dst in entry.valid:
             raise ValueError(f"{region.label!r} is already valid in {dst!r}")
+        if not entry.valid:
+            raise ValueError(
+                f"{region.label!r} has no valid copy anywhere "
+                "(lost to a node crash and not yet recovered)"
+            )
         if self._node_of_space is not None:
             dst_node = self._node_of_space.get(dst)
             same_node = sorted(
@@ -160,6 +168,7 @@ class Directory:
         entry = self._entries[region.key]
         entry.valid = {space}
         entry.dirty_owner = space if space != self.home_space else None
+        entry.recovering = False  # a fresh write supersedes any recovery
 
     def drop_copy(self, region: DataRegion, space: str) -> None:
         """Evict the copy held by ``space`` (cache eviction of clean data).
@@ -207,10 +216,54 @@ class Directory:
         return out
 
     # ------------------------------------------------------------------
+    # Node-crash handling
+    # ------------------------------------------------------------------
+    def invalidate_spaces(self, spaces: "set[str]") -> list[DataRegion]:
+        """Every copy held by ``spaces`` is gone (the node crashed).
+
+        Removes the dead spaces from all valid sets.  A dirty owner that
+        died is repaired: if the home space survives among the valid
+        copies the region is simply clean again, otherwise a surviving
+        valid space is promoted to owner.  Regions left with *no* valid
+        copy are flagged ``recovering`` and returned — the runtime
+        schedules their recomputation; until :meth:`note_recovered` (or
+        a superseding write) lands, :meth:`check_invariants` tolerates
+        their empty valid set.
+
+        Deterministic: regions are visited in sorted key order.
+        """
+        lost: list[DataRegion] = []
+        for key in sorted(self._entries, key=repr):
+            entry = self._entries[key]
+            if not (entry.valid & spaces) and entry.dirty_owner not in spaces:
+                continue
+            entry.valid -= spaces
+            if entry.dirty_owner in spaces:
+                entry.dirty_owner = None
+                if entry.valid and self.home_space not in entry.valid:
+                    entry.dirty_owner = min(entry.valid)
+            if not entry.valid:
+                entry.recovering = True
+                lost.append(entry.region)
+        return lost
+
+    def note_recovered(self, region: DataRegion, space: str) -> None:
+        """A lost region's recomputation materialised a copy in ``space``."""
+        self.register(region)
+        entry = self._entries[region.key]
+        entry.valid.add(space)
+        entry.dirty_owner = space if space != self.home_space else None
+        entry.recovering = False
+
+    def is_recovering(self, region: DataRegion) -> bool:
+        self.register(region)
+        return self._entries[region.key].recovering
+
+    # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Raise :class:`AssertionError` on any violated protocol invariant."""
         for entry in self._entries.values():
-            if not entry.valid:
+            if not entry.valid and not entry.recovering:
                 raise AssertionError(f"{entry.region.label!r} is valid nowhere")
             if entry.dirty_owner is not None and entry.dirty_owner not in entry.valid:
                 raise AssertionError(

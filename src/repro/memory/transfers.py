@@ -127,10 +127,30 @@ class TransferEngine:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.message_bytes = 0
+        self.messages_dropped = 0   # lost in flight (fault injection)
+        self.messages_lost = 0      # delivered to a dead node's NIC
+        #: memory spaces whose NIC endpoint is down (crashed nodes):
+        #: message deliveries into them are swallowed silently — the
+        #: sender only learns via its own retransmit timeout
+        self.down_spaces: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def set_spaces_down(self, spaces: "set[str]") -> None:
+        self.down_spaces |= spaces
+
+    def set_spaces_up(self, spaces: "set[str]") -> None:
+        self.down_spaces -= spaces
 
     # ------------------------------------------------------------------
     def _channel_key(self, link) -> object:
         return link.group if link.group is not None else (link.src, link.dst)
+
+    def _hop_time(self, link, nbytes: int, start: float) -> float:
+        """One hop's duration, stretched by any active link degradation."""
+        if self.resilience is None:
+            return link.transfer_time(nbytes)
+        bw_f, lat_f = self.resilience.link_factors(link.src, link.dst, start)
+        return link.latency * lat_f + (nbytes / link.bandwidth) * bw_f
 
     def link_free_at(self, src: str, dst: str) -> float:
         """Earliest time any channel of the link is free."""
@@ -176,7 +196,7 @@ class TransferEngine:
             while True:
                 ch = min(range(len(channels)), key=lambda i: (channels[i], i))
                 start = max(end, channels[ch])
-                hop_end = start + link.transfer_time(nbytes)
+                hop_end = start + self._hop_time(link, nbytes, start)
                 channels[ch] = hop_end
                 failed = self.resilience is not None and self.resilience.transfer_fault(
                     link.src, link.dst
@@ -221,6 +241,7 @@ class TransferEngine:
         *,
         label: str = "",
         meta: tuple = (),
+        category: str = "notify",
         on_deliver: Optional[Callable[[], None]] = None,
     ) -> float:
         """Send a simulated control message from ``src`` to ``dst``.
@@ -228,9 +249,19 @@ class TransferEngine:
         The cluster notification protocol rides on this: the message
         occupies the same link channels as data (it shares the NIC) but
         is *not* counted in the data-transfer statistics — it shows up in
-        the trace as a ``"notify"`` record on worker
+        the trace as a ``category`` record (``"notify"`` for
+        notifications, ``"ack"`` for acknowledgements) on worker
         ``node:<src>-><dst>`` and in the ``messages_*`` counters.
-        Returns the delivery time; ``on_deliver`` fires then.
+        Returns the scheduled delivery time; ``on_deliver`` fires then.
+
+        With a resilience manager attached, the transmission may suffer
+        a :class:`~repro.resilience.faults.MessageFault`: *dropped*
+        messages occupy the wire but never deliver (traced as
+        ``"<category>-drop"``), *duplicated* messages deliver twice (the
+        copy traced as ``"<category>-dup"``), *delayed* messages deliver
+        past their wire arrival.  A delivery into a space listed in
+        :attr:`down_spaces` (a crashed node's NIC) is swallowed — the
+        sender only learns via its own timeout.
         """
         if nbytes < 0:
             raise ValueError("cannot send a negative-size message")
@@ -240,27 +271,67 @@ class TransferEngine:
             channels = self._channel_free_at.setdefault(key, [0.0] * link.channels)
             ch = min(range(len(channels)), key=lambda i: (channels[i], i))
             start = max(end, channels[ch])
-            hop_end = start + link.transfer_time(nbytes)
+            hop_end = start + self._hop_time(link, nbytes, start)
             channels[ch] = hop_end
             end = hop_end
         self.messages_sent += 1
         self.message_bytes += nbytes
+        fault = (
+            self.resilience.message_fault(src, dst, label)
+            if self.resilience is not None
+            else None
+        )
+        if fault is not None and fault.drop:
+            self.messages_dropped += 1
+            if self.trace is not None:
+                self.trace.add(
+                    self.engine.now,
+                    end,
+                    worker=f"node:{src}->{dst}",
+                    category=f"{category}-drop",
+                    label=label,
+                    meta=meta,
+                )
+            return end
+        delivered_at = end + (fault.delay if fault is not None else 0.0)
         if self.trace is not None:
             self.trace.add(
                 self.engine.now,
-                end,
+                delivered_at,
                 worker=f"node:{src}->{dst}",
-                category="notify",
+                category=category,
                 label=label,
                 meta=meta,
             )
 
         def _deliver() -> None:
+            if dst in self.down_spaces:
+                self.messages_lost += 1
+                return
             self.messages_delivered += 1
             if on_deliver is not None:
                 on_deliver()
 
         self.engine.schedule(
-            end, _deliver, kind=EventKind.NOTIFY, label=f"notify {label} {src}->{dst}"
+            delivered_at,
+            _deliver,
+            kind=EventKind.NOTIFY,
+            label=f"{category} {label} {src}->{dst}",
         )
-        return end
+        if fault is not None and fault.duplicate:
+            if self.trace is not None:
+                self.trace.add(
+                    self.engine.now,
+                    delivered_at,
+                    worker=f"node:{src}->{dst}",
+                    category=f"{category}-dup",
+                    label=label,
+                    meta=meta,
+                )
+            self.engine.schedule(
+                delivered_at,
+                _deliver,
+                kind=EventKind.NOTIFY,
+                label=f"{category}-dup {label} {src}->{dst}",
+            )
+        return delivered_at

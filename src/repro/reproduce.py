@@ -169,6 +169,10 @@ def _fig15(quick: bool) -> str:
 # target is parameterised, unlike the fixed paper figures
 _cluster_args: dict = {"nodes": (1, 2, 4, 8), "partition": "affinity", "steal": True}
 
+# populated from --net-faults/--node-crash in main(); drives the
+# 'chaos' target's unreliable-interconnect sweep
+_chaos_args: dict = {"net_faults": 0.05, "node_crash": True}
+
 
 def _cluster(quick: bool) -> str:
     nodes = _cluster_args["nodes"]
@@ -192,6 +196,31 @@ def _cluster(quick: bool) -> str:
             f"steal={'on' if _cluster_args['steal'] else 'off'})"
         ),
         floatfmt="{:.2f}",
+    )
+
+
+def _chaos(quick: bool) -> str:
+    loss = _chaos_args["net_faults"]
+    rows = experiments.cluster_chaos(
+        (loss,) if loss > 0 else (),
+        nodes=4,
+        n_tiles=16 if not quick else 8,
+        tile_size=1024 if not quick else 512,
+        partition="block",
+        crash=_chaos_args["node_crash"],
+    )
+    return format_table(
+        ["loss", "crash", "makespan (s)", "slowdown", "dropped", "retransmits",
+         "dups", "evacuated", "recomputed"],
+        [[r["loss"], "yes" if r["crash"] else "no", r["makespan"], r["slowdown"],
+          r["dropped"], r["retransmits"], r["dup_suppressed"], r["evacuated"],
+          r["recomputed"]] for r in rows],
+        title=(
+            "Cluster chaos — sharded matmul on 4 nodes under "
+            f"{loss:.0%} notification loss"
+            + (" + mid-run node crash" if _chaos_args["node_crash"] else "")
+        ),
+        floatfmt="{:.3f}",
     )
 
 
@@ -224,6 +253,7 @@ FIGURES: dict[str, Callable[[bool], str]] = {
     "fig14": _fig14,
     "fig15": _fig15,
     "cluster": _cluster,
+    "chaos": _chaos,
 }
 
 
@@ -290,7 +320,28 @@ def main(argv: "list[str] | None" = None) -> int:
         "--no-steal", dest="steal", action="store_false",
         help="disable inter-node work stealing for the 'cluster' target",
     )
+    parser.add_argument(
+        "--net-faults",
+        type=float,
+        default=0.05,
+        metavar="RATE",
+        help="notification loss probability for the 'chaos' target "
+        "(default: 0.05; 0 disables message faults)",
+    )
+    parser.add_argument(
+        "--node-crash",
+        dest="node_crash",
+        action="store_true",
+        default=True,
+        help="layer a mid-run node crash onto the 'chaos' target (default)",
+    )
+    parser.add_argument(
+        "--no-node-crash", dest="node_crash", action="store_false",
+        help="run the 'chaos' target with message faults only",
+    )
     args = parser.parse_args(argv)
+    if not 0.0 <= args.net_faults < 1.0:
+        parser.error(f"--net-faults expects a probability in [0, 1), got {args.net_faults}")
 
     try:
         node_counts = tuple(int(n) for n in args.nodes.split(",") if n.strip())
@@ -301,6 +352,7 @@ def main(argv: "list[str] | None" = None) -> int:
     _cluster_args.update(
         nodes=node_counts, partition=args.partition, steal=args.steal
     )
+    _chaos_args.update(net_faults=args.net_faults, node_crash=args.node_crash)
 
     if args.targets == ["list"]:
         for name in FIGURES:

@@ -7,8 +7,13 @@ scheduler's learning tables steer the retry.  This package supplies
 
 * :mod:`repro.resilience.faults` — a seeded, fully deterministic
   :class:`FaultPlan` describing transient task faults, permanent worker
-  failures, link transfer errors, task hangs and worker slowdowns (same
-  reproducibility discipline as :mod:`repro.sim.perturb`),
+  failures, link transfer errors, task hangs, worker slowdowns, and —
+  for cluster runs — unreliable-interconnect rules
+  (:class:`MessageFaultRule` drop/duplicate/delay of notification
+  traffic, :class:`LinkDegradation` time-windowed bandwidth/latency
+  multipliers, :class:`NodeCrashRule` whole-node crashes with optional
+  rejoin), all with the same reproducibility discipline as
+  :mod:`repro.sim.perturb`,
 * :mod:`repro.resilience.recovery` — the :class:`RecoveryPolicy`
   (retry budgets, quarantine, speculation) and the
   :class:`ResilienceManager` that the runtime consults at task start /
@@ -23,6 +28,10 @@ from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
     HangRule,
+    LinkDegradation,
+    MessageFault,
+    MessageFaultRule,
+    NodeCrashRule,
     TaskFaultRule,
     TransferFaultRule,
     WorkerFailure,
@@ -47,6 +56,10 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "HangRule",
+    "LinkDegradation",
+    "MessageFault",
+    "MessageFaultRule",
+    "NodeCrashRule",
     "TaskFaultRule",
     "TransferFaultRule",
     "WorkerFailure",

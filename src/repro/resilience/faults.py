@@ -7,7 +7,7 @@ never of wall-clock time or object identity — so two runs with the same
 plan produce byte-identical traces, and a failure scenario found once
 can be replayed forever.
 
-Five failure classes are modelled:
+Eight failure classes are modelled:
 
 * **Transient task faults** (:class:`TaskFaultRule`): a kernel faults
   part-way through execution (ECC error, kernel launch failure, a
@@ -29,6 +29,19 @@ Five failure classes are modelled:
   contended PCIe link, a co-scheduled noisy neighbour).  The worker
   stays alive and keeps accepting work, silently stretching every
   execution — the classic straggler.
+* **Message faults** (:class:`MessageFaultRule`): control messages
+  (``TransferEngine.send_message`` traffic — the cluster notification
+  protocol and its acks) are dropped, duplicated, or delayed in flight.
+  The unreliable-interconnect model: only the reliable delivery
+  protocol (sequence numbers, acks, retransmits) survives it.
+* **Link degradation** (:class:`LinkDegradation`): a directed link's
+  bandwidth and/or latency degrade inside a time window (a flapping
+  switch port, a congested spine) — the network analogue of
+  :class:`WorkerSlowdown`.  Both data transfers and messages stretch.
+* **Node crashes** (:class:`NodeCrashRule`): a whole cluster node dies
+  at a given time — its workers, its NIC, and its shard scheduler —
+  optionally rejoining after a window.  Surviving nodes must evacuate
+  its shard and recompute its lost region copies.
 
 The plan itself is stateless; :meth:`FaultPlan.injector` builds the
 per-run mutable counters/RNGs so one plan can drive many runs.
@@ -43,6 +56,11 @@ from typing import Optional, Sequence
 
 def _as_tuple(seq: Sequence) -> tuple:
     return tuple(seq) if not isinstance(seq, tuple) else seq
+
+
+def _rule_error(rule, msg: str) -> ValueError:
+    """A ValueError naming the offending rule (class + fields)."""
+    return ValueError(f"{rule!r}: {msg}")
 
 
 @dataclass(frozen=True)
@@ -79,13 +97,13 @@ class TaskFaultRule:
     def __post_init__(self) -> None:
         object.__setattr__(self, "at_starts", _as_tuple(self.at_starts))
         if any(n < 1 for n in self.at_starts):
-            raise ValueError("at_starts indices are 1-based and must be >= 1")
+            raise _rule_error(self, "at_starts indices are 1-based and must be >= 1")
         if not 0.0 <= self.probability <= 1.0:
-            raise ValueError("probability must be in [0, 1]")
+            raise _rule_error(self, "probability must be in [0, 1]")
         if not 0.0 < self.work_fraction <= 1.0:
-            raise ValueError("work_fraction must be in (0, 1]")
+            raise _rule_error(self, "work_fraction must be in (0, 1]")
         if not self.at_starts and self.probability == 0.0:
-            raise ValueError("rule can never fire: give at_starts or probability")
+            raise _rule_error(self, "rule can never fire: give at_starts or probability")
 
     def matches(self, worker_name: str, device_name: str, kernel: str) -> bool:
         if self.worker is not None and self.worker not in (worker_name, device_name):
@@ -113,11 +131,11 @@ class TransferFaultRule:
     def __post_init__(self) -> None:
         object.__setattr__(self, "at_attempts", _as_tuple(self.at_attempts))
         if any(n < 1 for n in self.at_attempts):
-            raise ValueError("at_attempts indices are 1-based and must be >= 1")
+            raise _rule_error(self, "at_attempts indices are 1-based and must be >= 1")
         if not 0.0 <= self.probability <= 1.0:
-            raise ValueError("probability must be in [0, 1]")
+            raise _rule_error(self, "probability must be in [0, 1]")
         if not self.at_attempts and self.probability == 0.0:
-            raise ValueError("rule can never fire: give at_attempts or probability")
+            raise _rule_error(self, "rule can never fire: give at_attempts or probability")
 
     def matches(self, src: str, dst: str) -> bool:
         if self.src is not None and self.src != src:
@@ -146,11 +164,11 @@ class HangRule:
     def __post_init__(self) -> None:
         object.__setattr__(self, "at_starts", _as_tuple(self.at_starts))
         if any(n < 1 for n in self.at_starts):
-            raise ValueError("at_starts indices are 1-based and must be >= 1")
+            raise _rule_error(self, "at_starts indices are 1-based and must be >= 1")
         if not 0.0 <= self.probability <= 1.0:
-            raise ValueError("probability must be in [0, 1]")
+            raise _rule_error(self, "probability must be in [0, 1]")
         if not self.at_starts and self.probability == 0.0:
-            raise ValueError("rule can never fire: give at_starts or probability")
+            raise _rule_error(self, "rule can never fire: give at_starts or probability")
 
     def matches(self, worker_name: str, device_name: str, kernel: str) -> bool:
         if self.worker is not None and self.worker not in (worker_name, device_name):
@@ -179,11 +197,11 @@ class WorkerSlowdown:
 
     def __post_init__(self) -> None:
         if self.at_time < 0:
-            raise ValueError("at_time must be non-negative")
+            raise _rule_error(self, "at_time must be non-negative")
         if self.factor <= 0:
-            raise ValueError("slowdown factor must be positive")
+            raise _rule_error(self, "slowdown factor must be positive")
         if self.until is not None and self.until <= self.at_time:
-            raise ValueError("until must be after at_time")
+            raise _rule_error(self, "until must be after at_time (inverted window)")
 
     def active_at(self, now: float) -> bool:
         return now >= self.at_time and (self.until is None or now < self.until)
@@ -206,7 +224,160 @@ class WorkerFailure:
 
     def __post_init__(self) -> None:
         if self.at_time < 0:
-            raise ValueError("at_time must be non-negative")
+            raise _rule_error(self, "at_time must be non-negative")
+
+
+@dataclass(frozen=True)
+class MessageFaultRule:
+    """When matching control messages suffer an in-flight fault.
+
+    Applies to :meth:`TransferEngine.send_message` traffic — the cluster
+    notification protocol and its acknowledgements; data transfers are
+    covered by :class:`TransferFaultRule` / :class:`LinkDegradation`.
+
+    Parameters
+    ----------
+    src, dst:
+        Host memory-space names the rule applies to (``"host"``,
+        ``"node2"``); ``None`` matches either endpoint.
+    label:
+        Message-label prefix the rule applies to (``"ack:"`` targets
+        only acknowledgements); ``None`` matches every label.
+    drop:
+        Probability a matching transmission is lost in flight (the
+        bytes still occupy the wire — loss is detected, not avoided).
+    duplicate:
+        Probability a matching transmission is delivered twice (a
+        retransmitting switch): the receiver must suppress the copy.
+    delay:
+        Probability a matching transmission is held back ``delay_time``
+        seconds past its wire arrival (reorder: later messages overtake).
+    delay_time:
+        The extra in-flight delay of a delayed message (seconds).
+    at_messages:
+        1-based indices, counted per rule over matching transmissions,
+        that are dropped deterministically (replaying a found scenario).
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    label: Optional[str] = None
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_time: float = 0.0
+    at_messages: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at_messages", _as_tuple(self.at_messages))
+        if any(n < 1 for n in self.at_messages):
+            raise _rule_error(self, "at_messages indices are 1-based and must be >= 1")
+        for name in ("drop", "duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise _rule_error(self, f"{name} probability must be in [0, 1]")
+        if self.delay_time < 0:
+            raise _rule_error(self, "delay_time must be non-negative")
+        if self.delay > 0.0 and self.delay_time == 0.0:
+            raise _rule_error(self, "delay without delay_time has no effect")
+        if (
+            not self.at_messages
+            and self.drop == 0.0
+            and self.duplicate == 0.0
+            and self.delay == 0.0
+        ):
+            raise _rule_error(
+                self, "rule can never fire: give at_messages or a probability"
+            )
+
+    def matches(self, src: str, dst: str, label: str) -> bool:
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        if self.label is not None and not label.startswith(self.label):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Outcome of one faulted transmission (at most one action fires)."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """A directed link degrades inside a time window.
+
+    The network analogue of :class:`WorkerSlowdown`: every hop over the
+    matching link *starting* inside ``[at_time, until)`` takes
+    ``bandwidth_factor`` times its bandwidth term and
+    ``latency_factor`` times its latency term.  ``src``/``dst`` name
+    memory spaces (``None`` = wildcard); overlapping degradations of
+    one link compose multiplicatively.
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    at_time: float = 0.0
+    until: Optional[float] = None
+    bandwidth_factor: float = 1.0
+    latency_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise _rule_error(self, "at_time must be non-negative")
+        if self.until is not None and self.until <= self.at_time:
+            raise _rule_error(self, "until must be after at_time (inverted window)")
+        if self.bandwidth_factor < 1.0:
+            raise _rule_error(self, "bandwidth_factor must be >= 1 (a degradation)")
+        if self.latency_factor < 1.0:
+            raise _rule_error(self, "latency_factor must be >= 1 (a degradation)")
+        if self.bandwidth_factor == 1.0 and self.latency_factor == 1.0:
+            raise _rule_error(
+                self, "rule can never fire: give bandwidth_factor or latency_factor"
+            )
+
+    def active_at(self, now: float) -> bool:
+        return now >= self.at_time and (self.until is None or now < self.until)
+
+    def matches(self, src: str, dst: str) -> bool:
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class NodeCrashRule:
+    """A whole cluster node dies at ``at_time``.
+
+    Its workers abort, its NIC stops delivering (in-flight messages and
+    transfers addressed to it are lost), and its shard is evacuated by
+    the sharded cluster scheduler.  With ``rejoin_after`` set, the node
+    comes back that many seconds later with a new epoch — workers
+    revive empty-handed and stale pre-crash messages are fenced off.
+    Node 0 hosts the application's home memory and cannot crash.
+    """
+
+    node: int
+    at_time: float
+    rejoin_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise _rule_error(self, "node must be a non-negative node id")
+        if self.node == 0:
+            raise _rule_error(self, "node 0 hosts the home memory and cannot crash")
+        if self.at_time < 0:
+            raise _rule_error(self, "at_time must be non-negative")
+        if self.rejoin_after is not None and self.rejoin_after <= 0:
+            raise _rule_error(self, "rejoin_after must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -219,6 +390,9 @@ class FaultPlan:
     worker_failures: tuple[WorkerFailure, ...] = ()
     hangs: tuple[HangRule, ...] = ()
     slowdowns: tuple[WorkerSlowdown, ...] = ()
+    message_faults: tuple[MessageFaultRule, ...] = ()
+    link_degradations: tuple[LinkDegradation, ...] = ()
+    node_crashes: tuple[NodeCrashRule, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "task_faults", _as_tuple(self.task_faults))
@@ -226,11 +400,21 @@ class FaultPlan:
         object.__setattr__(self, "worker_failures", _as_tuple(self.worker_failures))
         object.__setattr__(self, "hangs", _as_tuple(self.hangs))
         object.__setattr__(self, "slowdowns", _as_tuple(self.slowdowns))
+        object.__setattr__(self, "message_faults", _as_tuple(self.message_faults))
+        object.__setattr__(
+            self, "link_degradations", _as_tuple(self.link_degradations)
+        )
+        object.__setattr__(self, "node_crashes", _as_tuple(self.node_crashes))
         seen: set[str] = set()
         for wf in self.worker_failures:
             if wf.worker in seen:
                 raise ValueError(f"worker {wf.worker!r} fails twice in one plan")
             seen.add(wf.worker)
+        seen_nodes: set[int] = set()
+        for nc in self.node_crashes:
+            if nc.node in seen_nodes:
+                raise _rule_error(nc, f"node {nc.node} crashes twice in one plan")
+            seen_nodes.add(nc.node)
 
     @property
     def empty(self) -> bool:
@@ -240,6 +424,9 @@ class FaultPlan:
             or self.worker_failures
             or self.hangs
             or self.slowdowns
+            or self.message_faults
+            or self.link_degradations
+            or self.node_crashes
         )
 
     def injector(self) -> "FaultInjector":
@@ -274,6 +461,12 @@ class FaultInjector:
         self._hang_sets = [frozenset(r.at_starts) for r in plan.hangs]
         self._hang_rngs = [
             random.Random(f"{plan.seed}:hang:{i}") for i in range(len(plan.hangs))
+        ]
+        self._msg_counts = [0] * len(plan.message_faults)
+        self._msg_sets = [frozenset(r.at_messages) for r in plan.message_faults]
+        self._msg_rngs = [
+            random.Random(f"{plan.seed}:msg:{i}")
+            for i in range(len(plan.message_faults))
         ]
 
     def task_fault(
@@ -314,6 +507,41 @@ class FaultInjector:
             if rule.matches(worker_name, device_name) and rule.active_at(now):
                 factor *= rule.factor
         return factor
+
+    def message_fault(self, src: str, dst: str, label: str) -> Optional[MessageFault]:
+        """Consulted per message transmission (retransmits included).
+
+        Returns the fault the transmission suffers, or ``None`` for a
+        clean flight.  Rules are evaluated in declaration order; within
+        a rule the actions are drawn in a fixed order (drop, duplicate,
+        delay) from its own RNG stream, so adding a rule never perturbs
+        the draws of the others.
+        """
+        for i, rule in enumerate(self.plan.message_faults):
+            if not rule.matches(src, dst, label):
+                continue
+            self._msg_counts[i] += 1
+            if self._msg_counts[i] in self._msg_sets[i]:
+                return MessageFault(drop=True)
+            rng = self._msg_rngs[i]
+            if rule.drop > 0.0 and rng.random() < rule.drop:
+                return MessageFault(drop=True)
+            if rule.duplicate > 0.0 and rng.random() < rule.duplicate:
+                return MessageFault(duplicate=True)
+            if rule.delay > 0.0 and rng.random() < rule.delay:
+                return MessageFault(delay=rule.delay_time)
+        return None
+
+    def link_factors(self, src: str, dst: str, now: float) -> tuple[float, float]:
+        """Composed ``(bandwidth_factor, latency_factor)`` of a hop over
+        ``src -> dst`` starting at simulated ``now`` (1.0 = nominal)."""
+        bw = 1.0
+        lat = 1.0
+        for rule in self.plan.link_degradations:
+            if rule.matches(src, dst) and rule.active_at(now):
+                bw *= rule.bandwidth_factor
+                lat *= rule.latency_factor
+        return bw, lat
 
     def transfer_fault(self, src: str, dst: str) -> bool:
         """Consulted per transfer attempt per link hop; True = it fails."""

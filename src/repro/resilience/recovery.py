@@ -175,6 +175,14 @@ class ResilienceStats:
     speculations_launched: int = 0
     speculations_won: int = 0     # speculative copy finished first
     speculations_wasted: int = 0  # copies cancelled or beaten by the original
+    # -- unreliable interconnect / node crashes ------------------------
+    messages_dropped: int = 0     # transmissions lost in flight
+    messages_duplicated: int = 0  # transmissions delivered twice
+    messages_delayed: int = 0     # transmissions held past wire arrival
+    node_crashes: int = 0         # whole-node deaths
+    node_rejoins: int = 0         # crashed nodes that came back
+    regions_lost: int = 0         # regions whose only valid copies died
+    recompute_tasks: int = 0      # lost-writer executions re-charged
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -191,6 +199,13 @@ class ResilienceStats:
             "speculations_launched": self.speculations_launched,
             "speculations_won": self.speculations_won,
             "speculations_wasted": self.speculations_wasted,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delayed": self.messages_delayed,
+            "node_crashes": self.node_crashes,
+            "node_rejoins": self.node_rejoins,
+            "regions_lost": self.regions_lost,
+            "recompute_tasks": self.recompute_tasks,
         }
 
     @property
@@ -242,6 +257,33 @@ class ResilienceManager:
                 kind=EventKind.WORKER_DOWN,
                 label=f"fail {worker.name}",
             )
+        if self.plan.node_crashes:
+            layout = runtime.node_topology
+            if layout is None or layout.n_nodes < 2:
+                raise ValueError(
+                    "fault plan schedules node crashes but the runtime has no "
+                    "multi-node topology (use a cluster machine with the "
+                    "sharded cluster scheduler)"
+                )
+            for nc in self.plan.node_crashes:
+                if nc.node not in layout.host_of_node:
+                    raise ValueError(
+                        f"fault plan crashes unknown node {nc.node} "
+                        f"(cluster has nodes {sorted(layout.host_of_node)})"
+                    )
+                runtime.engine.schedule(
+                    nc.at_time,
+                    lambda n=nc.node: runtime._node_down(n),
+                    kind=EventKind.NODE_DOWN,
+                    label=f"crash node {nc.node}",
+                )
+                if nc.rejoin_after is not None:
+                    runtime.engine.schedule(
+                        nc.at_time + nc.rejoin_after,
+                        lambda n=nc.node: runtime._node_up(n),
+                        kind=EventKind.NODE_UP,
+                        label=f"rejoin node {nc.node}",
+                    )
 
     def _resolve_worker(self, name: str) -> "Worker":
         assert self.rt is not None
@@ -292,6 +334,26 @@ class ResilienceManager:
             self.stats.transfer_faults += 1
             return True
         return False
+
+    def message_fault(self, src: str, dst: str, label: str):
+        """Fault (if any) suffered by one message transmission."""
+        if self.injector is None:
+            return None
+        fault = self.injector.message_fault(src, dst, label)
+        if fault is not None:
+            if fault.drop:
+                self.stats.messages_dropped += 1
+            elif fault.duplicate:
+                self.stats.messages_duplicated += 1
+            elif fault.delay > 0.0:
+                self.stats.messages_delayed += 1
+        return fault
+
+    def link_factors(self, src: str, dst: str, now: float) -> tuple[float, float]:
+        """Composed (bandwidth, latency) degradation of a hop at ``now``."""
+        if self.injector is None:
+            return 1.0, 1.0
+        return self.injector.link_factors(src, dst, now)
 
     @property
     def max_transfer_retries(self) -> int:

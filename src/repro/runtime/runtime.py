@@ -252,6 +252,14 @@ class OmpSsRuntime:
         self._tasks_submitted = 0
         # (region key, space) -> completion time of an in-flight copy
         self._inflight: dict[tuple[Hashable, str], float] = {}
+        # region key -> uids of every task that wrote it, in finish
+        # order: the recomputation lineage replayed when a node crash
+        # destroys the only valid copies
+        self._write_log: dict[Hashable, list[int]] = {}
+        # region key -> simulated time its crash-recovery recomputation
+        # completes; reads of these regions wait instead of sourcing a
+        # copy (there is none anywhere)
+        self._recovering: dict[Hashable, float] = {}
         # task uid -> time its input transfers complete (prepared tasks)
         self._xfer_ready: dict[int, float] = {}
         # task uids whose regions are currently pinned in a space
@@ -457,6 +465,17 @@ class OmpSsRuntime:
         now = self.engine.now
         if self.directory.is_valid(region, space):
             return now, False
+        rec = self._recovering.get(region.key)
+        if rec is not None:
+            # every copy died with a crashed node; retry the push once
+            # the recomputation has restored the home copy
+            self.engine.schedule(
+                max(rec, now),
+                lambda: self.push_region(region, space),
+                kind=EventKind.RETRY,
+                label=f"push {region.label} after recovery",
+            )
+            return max(rec, now), False
         key = (region.key, space)
         inflight = self._inflight.get(key)
         if inflight is not None and inflight > now + _EPS:
@@ -556,6 +575,18 @@ class OmpSsRuntime:
             region = acc.region
             if self.directory.is_valid(region, space):
                 continue
+            rec = self._recovering.get(region.key)
+            if rec is not None:
+                # no copy exists anywhere until the crash recovery
+                # lands; re-issue this task's transfers at that point
+                ready = max(ready, rec)
+                self.engine.schedule(
+                    max(rec, self.engine.now),
+                    lambda tt=t, sp=space: self._reissue_after_recovery(tt, sp),
+                    kind=EventKind.RETRY,
+                    label=f"reissue {t.name} after recovery",
+                )
+                continue
             key = (region.key, space)
             inflight = self._inflight.get(key)
             if inflight is not None and inflight > self.engine.now + _EPS:
@@ -589,8 +620,25 @@ class OmpSsRuntime:
             ready = max(ready, done)
         return ready
 
+    def _reissue_after_recovery(self, t: TaskInstance, space: str) -> None:
+        """Re-run a prepared task's input transfers after crash recovery."""
+        if t.uid not in self._xfer_ready:
+            return  # requeued, cancelled or already running elsewhere
+        done = self._issue_read_transfers(t, space)
+        if done > self._xfer_ready[t.uid]:
+            self._xfer_ready[t.uid] = done
+        w = (
+            self._workers_by_name.get(t.chosen_worker)
+            if t.chosen_worker
+            else None
+        )
+        if w is not None:
+            self._try_start(w)
+
     def _make_transfer_done(self, req: TransferRequest):
         def _done() -> None:
+            if req.dst in self.transfer_engine.down_spaces:
+                return  # the destination's node died while on the wire
             self.directory.mark_valid(req.region, req.dst)
             self._inflight.pop((req.region.key, req.dst), None)
 
@@ -707,6 +755,8 @@ class OmpSsRuntime:
         for region in t.writes():
             self.directory.note_write(region, space)
             self.cache.invalidate_stale_everywhere(region, space)
+            self._write_log.setdefault(region.key, []).append(t.uid)
+            self._recovering.pop(region.key, None)  # overwrite supersedes
         if t.uid in self._pinned:
             self._pinned.discard(t.uid)
             for region in t.regions():
@@ -984,6 +1034,8 @@ class OmpSsRuntime:
         for region in shadow.writes():
             self.directory.note_write(region, space)
             self.cache.invalidate_stale_everywhere(region, space)
+            self._write_log.setdefault(region.key, []).append(primary.uid)
+            self._recovering.pop(region.key, None)
         if shadow.uid in self._pinned:
             self._pinned.discard(shadow.uid)
             for region in shadow.regions():
@@ -1056,6 +1108,127 @@ class OmpSsRuntime:
         redispatched += self._drain_worker(worker)
         self.resilience.on_worker_down(worker, redispatched)
         self.scheduler.worker_down(worker)
+
+    # ------------------------------------------------------------------
+    # Whole-node crash / rejoin (cluster fault tolerance)
+    # ------------------------------------------------------------------
+    def _node_down(self, node: int) -> None:
+        """A whole node dies (NODE_DOWN event): workers, NIC and shard.
+
+        Order matters: the directory's lost regions are flagged (and
+        their recomputations scheduled) *before* the node's workers are
+        torn down, so the requeue-and-redispatch of their tasks finds
+        every lost region already guarded by ``_recovering`` and waits
+        instead of trying to source a copy that no longer exists.  The
+        scheduler's ``node_down`` hook runs before the worker deaths so
+        the shard map is repaired by the time requeued tasks re-enter
+        ``task_ready``.
+        """
+        layout = self.node_topology
+        if layout is None:
+            raise RuntimeError(
+                "node crash injected into a run without node topology"
+            )
+        now = self.engine.now
+        spaces = {s for s, n in layout.node_of_space.items() if n == node}
+        host = layout.host_of_node[node]
+        self.trace.add(now, now, f"node:{host}", "node-down", f"node{node}")
+        self.resilience.stats.node_crashes += 1
+        self.transfer_engine.set_spaces_down(spaces)
+        # copies headed into the dead node will never be marked valid
+        for key in [k for k in self._inflight if k[1] in spaces]:
+            del self._inflight[key]
+        lost = self.directory.invalidate_spaces(spaces)
+        self.resilience.stats.regions_lost += len(lost)
+        for region in lost:
+            self._schedule_recompute(region, node)
+        node_down = getattr(self.scheduler, "node_down", None)
+        if node_down is not None:
+            node_down(node)
+        for w in self.workers:
+            if layout.node_of_space.get(w.space) == node:
+                self._worker_down(w)
+        for s in sorted(spaces):
+            self.cache.purge_space(s)
+
+    def _node_up(self, node: int) -> None:
+        """A crashed node rejoins (NODE_UP event): cold caches, cold
+        profile state, a new epoch — its workers become schedulable
+        again but none of its pre-crash state survives."""
+        layout = self.node_topology
+        if layout is None:  # pragma: no cover - bind() validated this
+            return
+        now = self.engine.now
+        spaces = {s for s, n in layout.node_of_space.items() if n == node}
+        host = layout.host_of_node[node]
+        self.transfer_engine.set_spaces_up(spaces)
+        self.resilience.stats.node_rejoins += 1
+        revived = []
+        for w in self.workers:
+            if layout.node_of_space.get(w.space) == node and not w.alive:
+                w.alive = True
+                w.free_at = now
+                w.quarantined_until = None
+                w.current = None
+                w._end_event = None
+                w._wake_at = None
+                revived.append(w)
+                self.trace.add(now, now, w.name, "worker-up", w.device.name)
+        node_up = getattr(self.scheduler, "node_up", None)
+        if node_up is not None:
+            node_up(node)
+        else:
+            for w in revived:
+                self.scheduler.worker_up(w)
+        self.trace.add(now, now, f"node:{host}", "node-up", f"node{node}")
+
+    def _schedule_recompute(self, region: DataRegion, dead_node: int) -> None:
+        """Schedule the recomputation of a region lost to a node crash.
+
+        The simulated cost is the region's write lineage replayed on the
+        best surviving worker — every task that ever wrote it, at its
+        nominal duration (accumulating writers must all be redone).  The
+        recomputed copy materialises in the home space at the returned
+        eta; readers queued meanwhile wait on ``_recovering``.
+        """
+        layout = self.node_topology
+        now = self.engine.now
+        writers = self._write_log.get(region.key, [])
+        total = 0.0
+        for uid in writers:
+            t = self.graph.task(uid)
+            best: Optional[float] = None
+            for w in self.workers:
+                if not w.alive:
+                    continue
+                if layout is not None and layout.node_of_space.get(w.space) == dead_node:
+                    continue  # this worker is about to die with the node
+                for v in t.definition.versions:
+                    if v.runs_on(w.device.kind):
+                        d = w.device.duration(v.kernel, t.data_bytes, t.params)
+                        if best is None or d < best:
+                            best = d
+            total += best if best is not None else 0.0
+        eta = now + total
+        self._recovering[region.key] = eta
+        self.resilience.stats.recompute_tasks += max(1, len(writers))
+        self.trace.add(
+            now, eta, "recovery", "recompute", region.label,
+            meta=(len(writers),),
+        )
+        self.engine.schedule(
+            eta,
+            lambda r=region: self._recompute_done(r),
+            kind=EventKind.RETRY,
+            label=f"recompute {region.label}",
+        )
+
+    def _recompute_done(self, region: DataRegion) -> None:
+        eta = self._recovering.get(region.key)
+        if eta is None or eta > self.engine.now + _EPS:
+            return  # superseded by a fresh write (or rescheduled)
+        self._recovering.pop(region.key, None)
+        self.directory.note_recovered(region, HOST_SPACE)
 
     def _flush_to_host(self) -> None:
         """Copy every dirty region back to the host (taskwait semantics)."""

@@ -76,6 +76,9 @@ CODES: dict[str, str] = {
     "SAN-T009": "a cross-shard successor started before its inter-node "
                 "notification was delivered (the cluster protocol must "
                 "hold it until every notification lands)",
+    "SAN-T010": "cluster release-protocol violation: a task was released "
+                "more than once, or on the strength of a notification "
+                "that was dropped and never redelivered",
 }
 
 

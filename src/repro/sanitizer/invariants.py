@@ -8,10 +8,13 @@ Two entry points:
   (SAN-T002), quarantined/dead-worker execution (SAN-T004, windows
   derived from the trace's own ``quarantine``/``readmit``/
   ``worker-down`` records), straggler-detection follow-up (SAN-T007),
-  unique task completion (SAN-T008) and cross-shard notification
-  ordering (SAN-T009: a successor with a ``notify`` record must not
-  start before that notification is delivered).  Usable on hand-built
-  traces in tests.
+  unique task completion (SAN-T008), cross-shard notification
+  ordering (SAN-T009: a successor must not start before the first
+  delivery of each of its logical notifications — retransmissions are
+  grouped by the ``(successor, wire seq)`` meta) and release-protocol
+  integrity (SAN-T010: a cluster task is released exactly once, and
+  never on the strength of a notification that was dropped and never
+  redelivered).  Usable on hand-built traces in tests.
 
 * :func:`check_run` — validates a full :class:`RunResult`: everything
   above with dependence pairs derived from the run's DAG, plus
@@ -123,6 +126,7 @@ def _check_worker_windows(trace: "Trace", eps: float) -> list[Diagnostic]:
     # may *start*; inf = permanently down
     windows: dict[str, list[tuple[float, float, str]]] = {}
     open_quarantine: dict[str, float] = {}
+    open_down: dict[str, float] = {}
     for r in trace.sorted():
         if r.category == "quarantine":
             open_quarantine[r.worker] = r.start
@@ -131,9 +135,20 @@ def _check_worker_windows(trace: "Trace", eps: float) -> list[Diagnostic]:
             if q is not None:
                 windows.setdefault(r.worker, []).append((q, r.start, "quarantined"))
         elif r.category == "worker-down":
-            windows.setdefault(r.worker, []).append((r.start, float("inf"), "dead"))
+            open_down[r.worker] = r.start
+        elif r.category == "worker-up":
+            # a node rejoin revives its workers: the down window closes,
+            # and any quarantine is wiped with the rest of their state
+            d = open_down.pop(r.worker, None)
+            if d is not None:
+                windows.setdefault(r.worker, []).append((d, r.start, "dead"))
+            q = open_quarantine.pop(r.worker, None)
+            if q is not None:
+                windows.setdefault(r.worker, []).append((q, r.start, "quarantined"))
     for worker, q in open_quarantine.items():
         windows.setdefault(worker, []).append((q, float("inf"), "quarantined"))
+    for worker, d in open_down.items():
+        windows.setdefault(worker, []).append((d, float("inf"), "dead"))
 
     out: list[Diagnostic] = []
     for r in trace.by_category("task"):
@@ -220,31 +235,140 @@ def _check_unique_completion(trace: "Trace") -> list[Diagnostic]:
 # ----------------------------------------------------------------------
 # SAN-T009 — cross-shard successor starts before its notification lands
 # ----------------------------------------------------------------------
+#: categories whose record represents a notification actually arriving
+#: at the successor's node (wire delivery, duplicate copy, local
+#: delivery after migration, or crash-recovery self-clear)
+_NOTIFY_DELIVERED = ("notify", "notify-dup", "notify-local", "notify-recover")
+
+
+def _notify_groups(trace: "Trace") -> dict[tuple, list["TraceRecord"]]:
+    """Delivered notification records grouped by *logical* message.
+
+    The reliable protocol may transmit one logical notification several
+    times (retransmits, duplicates); all transmissions share the meta
+    ``(successor seq, wire seq)`` and form one group.  Legacy records
+    with a bare ``(successor seq,)`` meta are each their own singleton
+    group (pre-protocol behaviour).
+    """
+    groups: dict[tuple, list["TraceRecord"]] = {}
+    singleton = 0
+    for n in trace.sorted():
+        if n.category not in _NOTIFY_DELIVERED or not n.meta:
+            continue
+        if len(n.meta) >= 2:
+            key = (n.meta[0], n.meta[1])
+        else:
+            singleton += 1
+            key = (n.meta[0], ("rec", singleton))
+        groups.setdefault(key, []).append(n)
+    return groups
+
+
 def _check_notify_order(trace: "Trace", eps: float) -> list[Diagnostic]:
     # The cluster protocol releases a cross-shard successor only after
-    # every notification addressed to it is *delivered* ("notify" record
-    # end time).  A successor's completion record starting earlier means
-    # the scheduler leaked it past the protocol.
+    # every logical notification addressed to it is *delivered*.  With
+    # retransmission, the releasing delivery is the FIRST arrival of
+    # each logical message — a late duplicate legitimately lands after
+    # the successor started, so the check groups transmissions by
+    # logical message and compares against the earliest delivery.
     records = _task_records(trace)
     out: list[Diagnostic] = []
-    for n in trace.by_category("notify"):
-        if not n.meta:
-            continue
-        succ = records.get(n.meta[0])
+    for key, recs in sorted(_notify_groups(trace).items(), key=lambda kv: repr(kv[0])):
+        succ = records.get(key[0])
         if succ is None:
             continue
-        if succ.start < n.end - eps:
+        first = min(recs, key=lambda n: n.end)
+        if succ.start < first.end - eps:
             out.append(Diagnostic(
                 code="SAN-T009",
                 message=(
-                    f"cross-shard successor #{n.meta[0]} ({succ.label!r} on "
+                    f"cross-shard successor #{key[0]} ({succ.label!r} on "
                     f"{succ.worker}) started at {succ.start:.6g} before its "
-                    f"notification over {n.worker!r} was delivered at "
-                    f"{n.end:.6g}"
+                    f"notification over {first.worker!r} was first delivered "
+                    f"at {first.end:.6g}"
                 ),
                 task=succ.label,
                 worker=succ.worker,
-                meta=(n.meta[0],),
+                meta=(key[0],),
+            ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SAN-T010 — a successor is released exactly once, and only by
+# notifications that were actually delivered
+# ----------------------------------------------------------------------
+def _check_release_protocol(trace: "Trace", eps: float) -> list[Diagnostic]:
+    # "release" point records (cluster runs) anchor the check: (a) each
+    # successor is released at most once; (b) for every logical
+    # notification addressed to a released successor, some transmission
+    # was delivered no later than the release — a successor released on
+    # the strength of a dropped-and-never-redelivered notification is
+    # the protocol bug this invariant exists to catch.
+    out: list[Diagnostic] = []
+    releases: dict[int, "TraceRecord"] = {}
+    for r in trace.by_category("release"):
+        if not r.meta:
+            continue
+        seq = r.meta[0]
+        first = releases.get(seq)
+        if first is not None:
+            out.append(Diagnostic(
+                code="SAN-T010",
+                message=(
+                    f"task #{seq} ({r.label!r}) was released more than "
+                    f"once: at {first.start:.6g} on {first.worker!r} and "
+                    f"again at {r.start:.6g} on {r.worker!r}"
+                ),
+                task=r.label,
+                worker=r.worker,
+                meta=(seq,),
+            ))
+            continue
+        releases[seq] = r
+    if not releases:
+        return out
+
+    delivered = _notify_groups(trace)
+    attempted: dict[tuple, "TraceRecord"] = {}
+    for n in trace.sorted():
+        if len(n.meta) < 2:
+            continue
+        if n.category in _NOTIFY_DELIVERED or n.category == "notify-drop":
+            attempted.setdefault((n.meta[0], n.meta[1]), n)
+    for key in sorted(attempted, key=repr):
+        seq, mseq = key
+        rel = releases.get(seq)
+        if rel is None:
+            continue  # never released (stalled run) — not this check's job
+        recs = delivered.get(key)
+        if recs is None:
+            n = attempted[key]
+            out.append(Diagnostic(
+                code="SAN-T010",
+                message=(
+                    f"task #{seq} ({rel.label!r}) was released at "
+                    f"{rel.start:.6g} but its notification (wire seq "
+                    f"{mseq} over {n.worker!r}) was dropped and never "
+                    f"redelivered"
+                ),
+                task=rel.label,
+                worker=rel.worker,
+                meta=(seq, mseq),
+            ))
+            continue
+        first_end = min(r.end for r in recs)
+        if first_end > rel.start + eps:
+            out.append(Diagnostic(
+                code="SAN-T010",
+                message=(
+                    f"task #{seq} ({rel.label!r}) was released at "
+                    f"{rel.start:.6g} before its notification (wire seq "
+                    f"{mseq}) was first delivered at {first_end:.6g}"
+                ),
+                task=rel.label,
+                worker=rel.worker,
+                meta=(seq, mseq),
             ))
     return out
 
@@ -269,6 +393,7 @@ def check_trace(
     out.extend(_check_straggler_followup(trace))
     out.extend(_check_unique_completion(trace))
     out.extend(_check_notify_order(trace, eps))
+    out.extend(_check_release_protocol(trace, eps))
     return out
 
 

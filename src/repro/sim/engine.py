@@ -38,6 +38,9 @@ class EventKind(Enum):
     WATCHDOG = "watchdog"
     NOTIFY = "notify"
     STEAL = "steal"
+    NODE_DOWN = "node-down"
+    NODE_UP = "node-up"
+    RETRANSMIT = "retransmit"
 
 
 @dataclass(order=False)

@@ -13,7 +13,7 @@ class TestCLI:
             assert name in out
 
     def test_all_figure_ids_have_handlers(self):
-        expected = {"table1", "fig5", "cluster"} | {
+        expected = {"table1", "fig5", "cluster", "chaos"} | {
             f"fig{i}" for i in range(6, 16)
         }
         assert set(FIGURES) == expected

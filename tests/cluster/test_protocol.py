@@ -1,0 +1,217 @@
+"""Unit tests for the reliable cross-shard notification protocol.
+
+The router is exercised standalone against a real simulated cluster
+(engine + transfer engine + fault injector), without a scheduler: each
+test sends notifications by hand, drains the event queue and checks the
+protocol's promises — exactly-once ``on_clear``, retransmission of
+dropped messages and dropped acks, duplicate suppression, epoch fencing
+of crashed senders, crash recovery from the replicated graph, and the
+stray-delivery guard that keeps the pending count non-negative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.protocol import (
+    ClusterStats,
+    NotificationRetryExceededError,
+    NotificationRouter,
+    ProtocolConfig,
+    _Message,
+)
+from repro.resilience import FaultPlan, MessageFaultRule
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sim.topology import cluster_machine
+
+#: tight timeout so retransmissions happen in microseconds of sim time
+CFG = ProtocolConfig(ack_timeout=0.001)
+
+SUCC = 42
+
+
+def make_router(plan=None, config=CFG, n_nodes=2, succ_node=1):
+    machine = cluster_machine(
+        n_nodes, smp_per_node=1, gpus_per_node=1, noise_cv=0.0, seed=0
+    )
+    rt = OmpSsRuntime(machine, "versioning", fault_plan=plan)
+    stats = ClusterStats(n_nodes=n_nodes)
+    router = NotificationRouter(rt, stats, config=config)
+    router.host_of_node = dict(machine.cluster_layout().host_of_node)
+    router.resolve_node = lambda uid: succ_node
+    cleared: list[int] = []
+    router.on_clear = cleared.append
+    return rt, router, stats, cleared
+
+
+class TestCleanDelivery:
+    def test_on_clear_fires_once_after_all_notifications_land(self):
+        rt, router, stats, cleared = make_router()
+        router.send(0, 1, SUCC, "edge")
+        router.send(0, 1, SUCC, "edge")
+        assert router.pending(SUCC) == 2
+        rt.engine.run()
+        assert cleared == [SUCC]
+        assert router.pending(SUCC) == 0
+        assert stats.notifications_delivered == 2
+        assert stats.acks_sent == 2
+        assert stats.retransmits == 0
+        assert not router._inflight
+
+    def test_successor_reopens_on_a_fresh_notification(self):
+        # the count legitimately reaches zero between two sends (first
+        # predecessor's message lands before the second finishes): the
+        # second send re-opens the successor and on_clear fires again
+        rt, router, stats, cleared = make_router()
+        router.send(0, 1, SUCC, "edge")
+        rt.engine.run()
+        router.send(0, 1, SUCC, "edge")
+        rt.engine.run()
+        assert cleared == [SUCC, SUCC]
+        assert stats.stray_deliveries == 0
+
+    def test_local_resolution_delivers_without_wire_traffic(self):
+        rt, router, stats, cleared = make_router(succ_node=0)
+        router.send(0, 1, SUCC, "edge")
+        assert cleared == [SUCC]  # synchronous: no wire round-trip
+        assert stats.local_deliveries == 1
+        assert rt.transfer_engine.messages_sent == 0
+        assert len(rt.trace.by_category("notify-local")) == 1
+
+
+class TestRetransmission:
+    def test_dropped_notification_is_retransmitted(self):
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(label="edge", at_messages=(1,)),
+        ])
+        rt, router, stats, cleared = make_router(plan)
+        router.send(0, 1, SUCC, "edge")
+        rt.engine.run()
+        assert cleared == [SUCC]
+        assert stats.retransmits == 1
+        assert stats.notifications_delivered == 1
+        assert stats.dup_suppressed == 0
+        assert rt.transfer_engine.messages_dropped == 1
+
+    def test_dropped_ack_retransmits_and_suppresses_the_duplicate(self):
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(label="ack:", at_messages=(1,)),
+        ])
+        rt, router, stats, cleared = make_router(plan)
+        router.send(0, 1, SUCC, "edge")
+        rt.engine.run()
+        assert cleared == [SUCC]           # exactly once despite the re-send
+        assert stats.retransmits == 1
+        assert stats.dup_suppressed == 1   # the re-received notification
+        assert stats.notifications_delivered == 1
+        assert stats.acks_sent == 2        # duplicates are re-acked
+
+    def test_duplicated_wire_message_is_suppressed(self):
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(label="edge", duplicate=1.0),
+        ])
+        rt, router, stats, cleared = make_router(plan)
+        router.send(0, 1, SUCC, "edge")
+        rt.engine.run()
+        assert cleared == [SUCC]
+        assert stats.dup_suppressed >= 1
+        assert stats.notifications_delivered == 1
+
+    def test_budget_exhaustion_raises(self):
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(label="edge", drop=1.0),
+        ])
+        rt, router, _, cleared = make_router(
+            plan, config=ProtocolConfig(ack_timeout=0.001, max_retransmits=2)
+        )
+        router.send(0, 1, SUCC, "edge")
+        with pytest.raises(NotificationRetryExceededError, match="budget 2"):
+            rt.engine.run()
+        assert cleared == []
+
+    def test_retransmit_rerotes_to_the_successors_new_home(self):
+        # the successor is evacuated onto the sender's node between the
+        # (dropped) original transmission and the retransmit
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(label="edge", at_messages=(1,)),
+        ])
+        rt, router, stats, cleared = make_router(plan)
+        router.send(0, 1, SUCC, "edge")
+        router.resolve_node = lambda uid: 0
+        rt.engine.run()
+        assert cleared == [SUCC]
+        assert stats.local_deliveries == 1
+
+    def test_unreliable_ablation_wedges_on_a_drop(self):
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(label="edge", at_messages=(1,)),
+        ])
+        rt, router, stats, cleared = make_router(
+            plan, config=ProtocolConfig(reliable=False, ack_timeout=0.001)
+        )
+        router.send(0, 1, SUCC, "edge")
+        rt.engine.run()
+        assert cleared == []               # fire-and-forget: wedged forever
+        assert router.pending(SUCC) == 1
+        assert stats.retransmits == 0
+        assert stats.acks_sent == 0
+
+
+class TestCrashFencing:
+    def test_sender_crash_recovers_inflight_notifications(self):
+        rt, router, stats, cleared = make_router()
+        router.send(0, 1, SUCC, "edge")
+        router.node_down(0)  # crash before the wire delivery lands
+        rt.engine.run()
+        assert cleared == [SUCC]           # self-cleared by the survivor
+        assert stats.notifications_recovered == 1
+        assert stats.stale_discarded >= 1  # the dead epoch's delivery
+        assert len(rt.trace.by_category("notify-recover")) == 1
+
+    def test_recovery_is_dedup_checked_against_landed_deliveries(self):
+        rt, router, stats, cleared = make_router()
+        router.send(0, 1, SUCC, "edge")
+        rt.engine.run(until=rt.engine.now + 1.0)  # delivery + ack land
+        assert cleared == [SUCC]
+        router.node_down(0)                # ack raced the crash? no: acked
+        rt.engine.run()
+        assert cleared == [SUCC]           # nothing recovered twice
+        assert stats.notifications_recovered == 0
+
+    def test_epoch_bump_fences_stale_acks(self):
+        rt, router, stats, _ = make_router()
+        router.send(0, 1, SUCC, "edge")
+        router.node_down(0)
+        rt.engine.run()
+        # neither the stale delivery nor its ack settled the message
+        assert stats.stale_discarded >= 1
+        assert router.epoch(0) == 1
+
+
+class TestStrayDeliveryGuard:
+    def _stray(self, seq=77):
+        return _Message(succ_uid=99, succ_seq=99, src_node=0, dst_node=1,
+                        seq=seq, epoch=0, label="ghost")
+
+    def test_stray_delivery_never_goes_negative_or_fires_on_clear(self):
+        rt, router, stats, cleared = make_router()
+        router._deliver_logical(self._stray())
+        router._deliver_logical(self._stray(seq=78))
+        assert cleared == []
+        assert router.pending(99) == 0     # guarded: not -2
+        assert stats.stray_deliveries == 2
+        assert stats.notifications_delivered == 0
+        assert len(router.diagnostics) == 2
+        assert "stray notification" in router.diagnostics[0]
+
+    def test_late_duplicate_after_clear_is_counted_not_reapplied(self):
+        rt, router, stats, cleared = make_router()
+        router.send(0, 1, SUCC, "edge")
+        rt.engine.run()
+        assert cleared == [SUCC]
+        late = _Message(succ_uid=SUCC, succ_seq=1, src_node=0, dst_node=1,
+                        seq=999, epoch=0, label="edge")
+        router._deliver_logical(late)
+        assert cleared == [SUCC]           # on_clear did not fire again
+        assert stats.late_duplicates == 1
+        assert stats.stray_deliveries == 0

@@ -5,6 +5,9 @@ import pytest
 from repro.resilience.faults import (
     FaultPlan,
     HangRule,
+    LinkDegradation,
+    MessageFaultRule,
+    NodeCrashRule,
     TaskFaultRule,
     TransferFaultRule,
     WorkerFailure,
@@ -179,3 +182,105 @@ class TestWorkerSlowdown:
         inj = plan.injector()
         assert inj.slowdown_factor("w:gpu0", "gpu0", 0.5) == pytest.approx(2.0)
         assert inj.slowdown_factor("w:gpu0", "gpu0", 1.5) == pytest.approx(6.0)
+
+
+class TestNetworkRuleValidation:
+    """Satellite: malformed chaos rules fail fast, naming the rule."""
+
+    def test_message_rule_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="MessageFaultRule.*never fire"):
+            MessageFaultRule(src="host")
+
+    def test_message_rule_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="MessageFaultRule.*drop probability"):
+            MessageFaultRule(drop=-0.1)
+        with pytest.raises(ValueError, match="duplicate probability"):
+            MessageFaultRule(duplicate=1.5)
+
+    def test_message_rule_rejects_zero_message_index(self):
+        with pytest.raises(ValueError, match="1-based"):
+            MessageFaultRule(at_messages=(0,))
+
+    def test_message_rule_rejects_delay_without_delay_time(self):
+        with pytest.raises(ValueError, match="delay without delay_time"):
+            MessageFaultRule(delay=0.5)
+
+    def test_degradation_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="LinkDegradation.*inverted window"):
+            LinkDegradation(at_time=2.0, until=1.0, bandwidth_factor=2.0)
+
+    def test_degradation_rejects_speedups(self):
+        with pytest.raises(ValueError, match="degradation"):
+            LinkDegradation(bandwidth_factor=0.5)
+
+    def test_degradation_needs_an_effect(self):
+        with pytest.raises(ValueError, match="never fire"):
+            LinkDegradation(src="host")
+
+    def test_node_crash_rejects_node_zero(self):
+        with pytest.raises(ValueError, match="NodeCrashRule.*node 0"):
+            NodeCrashRule(node=0, at_time=1.0)
+
+    def test_node_crash_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NodeCrashRule(node=1, at_time=-1.0)
+
+    def test_node_crash_rejects_nonpositive_rejoin(self):
+        with pytest.raises(ValueError, match="rejoin_after"):
+            NodeCrashRule(node=1, at_time=1.0, rejoin_after=0.0)
+
+    def test_plan_rejects_duplicate_node_crash(self):
+        with pytest.raises(ValueError, match="node 2 crashes twice"):
+            FaultPlan(node_crashes=[NodeCrashRule(node=2, at_time=1.0),
+                                    NodeCrashRule(node=2, at_time=2.0)])
+
+
+class TestMessageFaultMatching:
+    def test_at_messages_counts_matching_transmissions_only(self):
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(src="host", at_messages=(2,)),
+        ])
+        inj = plan.injector()
+        assert inj.message_fault("node1", "host", "t") is None  # no match
+        assert inj.message_fault("host", "node1", "t") is None  # 1st match
+        fault = inj.message_fault("host", "node2", "t")         # 2nd match
+        assert fault is not None and fault.drop
+        assert inj.message_fault("host", "node1", "t") is None
+
+    def test_label_prefix_targets_ack_traffic(self):
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(label="ack:", at_messages=(1,)),
+        ])
+        inj = plan.injector()
+        assert inj.message_fault("host", "node1", "gemm") is None
+        assert inj.message_fault("node1", "host", "ack:gemm") is not None
+
+    def test_probabilistic_drops_are_deterministic(self):
+        plan = FaultPlan(seed=7, message_faults=[MessageFaultRule(drop=0.3)])
+        inj1, inj2 = plan.injector(), plan.injector()
+        seq1 = [inj1.message_fault("a", "b", "x") is not None for _ in range(60)]
+        seq2 = [inj2.message_fault("a", "b", "x") is not None for _ in range(60)]
+        assert seq1 == seq2
+        assert any(seq1) and not all(seq1)
+
+    def test_delay_carries_delay_time(self):
+        plan = FaultPlan(message_faults=[
+            MessageFaultRule(delay=1.0, delay_time=0.25),
+        ])
+        fault = plan.injector().message_fault("a", "b", "x")
+        assert fault.delay == pytest.approx(0.25)
+        assert not fault.drop and not fault.duplicate
+
+
+class TestLinkDegradationMatching:
+    def test_window_and_composition(self):
+        plan = FaultPlan(link_degradations=[
+            LinkDegradation(src="host", dst="node1", at_time=1.0, until=2.0,
+                            bandwidth_factor=4.0),
+            LinkDegradation(dst="node1", at_time=0.0, latency_factor=3.0),
+        ])
+        inj = plan.injector()
+        assert inj.link_factors("host", "node1", 0.5) == (1.0, 3.0)
+        assert inj.link_factors("host", "node1", 1.5) == (4.0, 3.0)
+        assert inj.link_factors("host", "node1", 2.0) == (1.0, 3.0)
+        assert inj.link_factors("host", "node2", 1.5) == (1.0, 1.0)

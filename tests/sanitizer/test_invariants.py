@@ -306,3 +306,78 @@ class TestClusterNotifyInvariants:
         res = app.run(m, "cluster", scheduler_options={"partition": "hash"})
         assert res.run.trace.by_category("notify"), "fixture must cross shards"
         assert res.run.validate() == []
+
+
+class TestReleaseProtocolInvariants:
+    """SAN-T010: released exactly once, only on delivered notifications."""
+
+    def test_duplicate_release_is_t010(self):
+        bad = Trace()
+        bad.add(4.0, 4.0, "node:host", "release", "consumer", meta=(2,))
+        bad.add(5.0, 5.0, "node:node1", "release", "consumer", meta=(2,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T010"]
+        assert "more than once" in diags[0].message
+        assert diags[0].meta == (2,)
+
+    def test_dropped_never_redelivered_release_is_t010(self):
+        bad = Trace()
+        bad.add(3.0, 4.0, "link:host->node1", "notify-drop", "consumer",
+                meta=(2, 5))
+        bad.add(4.5, 4.5, "node:node1", "release", "consumer", meta=(2,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T010"]
+        assert "dropped and never redelivered" in diags[0].message
+        assert diags[0].meta == (2, 5)
+
+    def test_release_before_first_delivery_is_t010(self):
+        bad = Trace()
+        bad.add(3.0, 5.0, "node:host->node1", "notify", "consumer",
+                meta=(2, 5))
+        bad.add(4.0, 4.0, "node:node1", "release", "consumer", meta=(2,))
+        diags = check_trace(bad)
+        assert [d.code for d in diags] == ["SAN-T010"]
+        assert "before its notification" in diags[0].message
+
+    def test_retransmitted_drop_is_clean(self):
+        # the first transmission is dropped, the retransmit lands, the
+        # release waits for it: the logical message was delivered
+        ok = Trace()
+        ok.add(3.0, 4.0, "link:host->node1", "notify-drop", "consumer",
+               meta=(2, 5))
+        ok.add(4.5, 5.5, "node:host->node1", "notify", "consumer",
+               meta=(2, 5))
+        ok.add(5.5, 5.5, "node:node1", "release", "consumer", meta=(2,))
+        assert check_trace(ok) == []
+
+    def test_late_duplicate_after_release_is_clean(self):
+        # duplicate suppression: the second arrival of wire seq 5 lands
+        # after the release, which is fine — the FIRST delivery gates it
+        ok = Trace()
+        ok.add(3.0, 4.0, "node:host->node1", "notify", "consumer",
+               meta=(2, 5))
+        ok.add(4.0, 4.0, "node:node1", "release", "consumer", meta=(2,))
+        ok.add(4.0, 6.0, "node:host->node1", "notify-dup", "consumer",
+               meta=(2, 5))
+        ok.add(4.5, 7.0, "w:smp2", "task", "consumer", meta=(2,))
+        assert check_trace(ok) == []
+
+    def test_chaos_cluster_run_validates_clean(self):
+        from repro.apps.matmul import MatmulApp
+        from repro.resilience import FaultPlan, MessageFaultRule
+        from repro.sim.topology import cluster_machine
+
+        m = cluster_machine(3, smp_per_node=2, gpus_per_node=1,
+                            noise_cv=0.02, seed=7)
+        app = MatmulApp(n_tiles=4, variant="hyb")
+        plan = FaultPlan(seed=3, message_faults=[MessageFaultRule(drop=0.1)])
+        app.register_cost_models(m)
+        rt = OmpSsRuntime(m, "cluster",
+                          scheduler_options={"partition": "block",
+                                             "protocol": {"ack_timeout": 0.001}},
+                          fault_plan=plan)
+        with rt:
+            app.master(rt)
+        res = rt.result()
+        assert res.trace.by_category("release"), "fixture must release tasks"
+        assert res.validate() == []
