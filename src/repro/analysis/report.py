@@ -35,10 +35,10 @@ def format_table(
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
-        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

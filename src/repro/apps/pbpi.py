@@ -161,7 +161,7 @@ class PBPIApp(Application):
         # ---- loop 3: MCMC state update, SMP only -----------------------
         def loop3_body(liks, accs, tree):
             if kernels.is_real(tree, *liks, *accs):
-                for lik, acc in zip(liks, accs):
+                for lik, acc in zip(liks, accs, strict=True):
                     kernels.pbpi_loop3(acc, tree)
                     tree[: len(lik)] += 1e-6 * lik.mean()
 

@@ -103,6 +103,7 @@ class TaskFunction:
             fn=fn,
             is_main=is_main,
             copy_deps=copy_deps,
+            clauses=self._literal_clauses(inputs, outputs, inouts),
         )
         definition = self._registry.get(main_name)
         if definition is None:
@@ -117,6 +118,27 @@ class TaskFunction:
         self.definition = definition
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _literal_clauses(
+        inputs: ClauseSpec, outputs: ClauseSpec, inouts: ClauseSpec
+    ) -> "Optional[dict[str, tuple[str, ...]]]":
+        """Clause name lists when every present clause is literal.
+
+        Callable clause specs (lambdas computing region lists) are not
+        statically analysable, so the whole declaration opts out of the
+        static effect pre-flight by returning ``None``.
+        """
+        out: dict[str, tuple[str, ...]] = {}
+        for kind, spec in (("inputs", inputs), ("outputs", outputs),
+                           ("inouts", inouts)):
+            if spec is None:
+                out[kind] = ()
+            elif callable(spec):
+                return None
+            else:
+                out[kind] = tuple(str(p) for p in spec)
+        return out
+
     @staticmethod
     def _parse_device(
         device: "str | DeviceKind | Sequence[str | DeviceKind]",

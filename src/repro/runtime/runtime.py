@@ -156,14 +156,17 @@ class RunResult:
         return total_flops / self.makespan / 1e9
 
     # -- sanitizer entry points ----------------------------------------
-    def validate(self, *, strict: bool = True) -> list:
+    def validate(self, *, strict: bool = True, static: bool = False) -> list:
         """Run every applicable sanitizer check over this result.
 
         Covers the trace invariants (SAN-T*), the aliasing findings
         collected by the dependence graph (SAN-R003) and — when the run
         recorded accesses — the declared-vs-actual diff and
-        happens-before analysis (SAN-R001/R002/R010).  With ``strict``
-        (the default) error-severity findings raise
+        happens-before analysis (SAN-R001/R002/R010).  With ``static``
+        the static effect pre-flight also runs over the task definitions
+        this run executed (SAN-S00x, best-effort: versions with callable
+        clause specs or unrecoverable source are skipped).  With
+        ``strict`` (the default) error-severity findings raise
         :class:`repro.sanitizer.SanitizerError`; otherwise the list of
         diagnostics is returned for inspection.
         """
@@ -171,6 +174,18 @@ class RunResult:
         from repro.sanitizer.diagnostics import raise_if_errors
 
         diags = validate_run(self)
+        if static:
+            from repro.sanitizer.static import check_definitions
+
+            definitions: dict = {}
+            if self.graph is not None:
+                for t in self.graph._tasks.values():
+                    definitions.setdefault(t.definition.name, t.definition)
+            else:
+                from repro.runtime.directives import registered_tasks
+
+                definitions = registered_tasks()
+            diags.extend(check_definitions(definitions))
         if strict:
             raise_if_errors(diags)
         return diags

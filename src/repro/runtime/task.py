@@ -61,6 +61,11 @@ class TaskVersion:
     fn: Optional[Callable[..., Any]] = None
     is_main: bool = False
     copy_deps: bool = True
+    #: literal clause parameter names captured at declaration time
+    #: (``{"inputs": (...), "outputs": (...), "inouts": (...)}``) when
+    #: every clause was a plain name list; ``None`` for callable clause
+    #: specs.  Consumed by the sanitizer's static effect pre-flight.
+    clauses: Optional[Mapping[str, tuple[str, ...]]] = None
 
     def __post_init__(self) -> None:
         if not self.device_kinds:

@@ -1,11 +1,24 @@
 """Task-graph sanitizer: correctness tooling for the OmpSs reproduction.
 
-Three analyses, one diagnostic model:
+Six analyses, one diagnostic model:
 
 * **Static directive lint** (:mod:`repro.sanitizer.lint`, SAN-L*) —
   AST inspection of ``@task``/``@target`` declarations: clause names
   missing from the signature, bodies writing inputs-only parameters,
   duplicate clause entries, ``implements=`` clause-set mismatches.
+* **Effect inference** (:mod:`repro.sanitizer.static.effects`,
+  SAN-S001..S005) — per-parameter read/write footprints inferred from
+  task bodies (including calls and aliases) diffed against the declared
+  clauses: undeclared writes, dead clauses, downgradable inouts,
+  ``implements=`` effect disagreements, stale reads of outputs.
+* **Scheduler-contract lint** (:mod:`repro.sanitizer.static.contracts`,
+  SAN-S010..S013) — scheduler/cluster code mutating the trace or worker
+  state it does not own, ``task_ready`` paths that can silently drop a
+  task, raw ``uid`` leaking into labels/metadata.
+* **Protocol model checking** (:mod:`repro.sanitizer.static.modelcheck`,
+  SAN-P001..P004) — bounded exhaustive exploration of the cluster
+  notification protocol under adversarial drop/duplicate/delay/crash
+  schedules, with message-sequence-chart counterexamples.
 * **Dependence-race detection** (:mod:`repro.sanitizer.races`, SAN-R*)
   — actual reads/writes of executed kernel bodies diffed against the
   declared clauses, plus a happens-before check over the completed DAG.
@@ -14,9 +27,13 @@ Three analyses, one diagnostic model:
   quarantine/death windows, λ-count consistency, run accounting.
 
 CLI: ``python -m repro.sanitizer [paths...]`` lints a source tree;
-``RunResult.validate()`` covers the dynamic analyses.  Findings carry
-stable codes (see :data:`repro.sanitizer.CODES`); a static finding can
-be waived with a ``# san-ignore: SAN-Lxxx`` comment on the flagged line.
+``--static`` adds effect inference and contract lint, ``--protocol``
+adds the model-checking suite.  ``RunResult.validate()`` covers the
+dynamic analyses (``static=True`` adds the effect pre-flight over the
+run's task definitions).  Findings carry stable codes (see
+:data:`repro.sanitizer.CODES`); a static finding can be waived with a
+``# san-ignore: SAN-xxxx`` comment on the flagged line (stale waivers
+are themselves reported as SAN-L005).
 """
 
 from repro.sanitizer.diagnostics import (
@@ -35,6 +52,12 @@ from repro.sanitizer.races import (
     check_happens_before,
     declared_vs_actual,
 )
+from repro.sanitizer.waivers import (
+    Waiver,
+    apply_waivers,
+    scan_waivers,
+    unused_waiver_diagnostics,
+)
 
 __all__ = [
     "CODES",
@@ -52,4 +75,8 @@ __all__ = [
     "AccessRecorder",
     "check_happens_before",
     "declared_vs_actual",
+    "Waiver",
+    "apply_waivers",
+    "scan_waivers",
+    "unused_waiver_diagnostics",
 ]

@@ -1,13 +1,26 @@
-"""``python -m repro.sanitizer`` — lint task directives in a source tree.
+"""``python -m repro.sanitizer`` — static analysis of a source tree.
 
-Exit status: 0 when no error-severity findings, 1 otherwise, 2 on usage
-errors.  ``--list-codes`` documents every diagnostic the sanitizer (CLI
-*and* runtime analyses) can emit.
+Modes
+-----
+* default — the classic directive lint (SAN-L*),
+* ``--static`` — the full static pass: directive lint, AST effect
+  inference (SAN-S00x) and scheduler-contract lint (SAN-S01x) with
+  combined waiver accounting,
+* ``--protocol`` — additionally run the bounded protocol model checker
+  (SAN-P00x) over the shipped NotificationRouter (no paths required).
+
+Exit status: 0 when no error-severity findings (warnings alone do not
+fail; ``--strict`` promotes them), 1 when errors (or strict-promoted
+warnings) remain, 2 on usage errors.  ``--json`` prints findings as a
+JSON document for tooling; ``--baseline FILE`` filters findings accepted
+in a previous ``--write-baseline FILE`` run.  ``--list-codes`` documents
+every diagnostic the sanitizer (CLI *and* runtime analyses) can emit.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.sanitizer.diagnostics import CODES, Severity, format_diagnostics
@@ -19,15 +32,53 @@ def _list_codes() -> str:
     return "\n".join(f"{code:<{width}}  {desc}" for code, desc in sorted(CODES.items()))
 
 
-def main(argv: "list[str] | None" = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.sanitizer",
-        description="Static directive lint for @task/@target declarations.",
+        description="Static analysis for the OmpSs reproduction source tree.",
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (directories are walked for *.py)",
+        help="files or directories to analyse (directories are walked for *.py)",
+    )
+    parser.add_argument(
+        "--static",
+        action="store_true",
+        help="run the full static pass (directive lint + effect inference "
+        "+ scheduler-contract lint)",
+    )
+    parser.add_argument(
+        "--protocol",
+        action="store_true",
+        help="also model-check the cluster notification protocol "
+        "(implies --static; paths become optional)",
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="with --protocol: only the quick scenarios (pre-commit budget)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings too, not just errors",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print findings as a JSON document instead of text",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="filter findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to FILE as the new baseline and exit 0",
     )
     parser.add_argument(
         "--list-codes",
@@ -40,33 +91,82 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="suppress the summary line (findings are still printed)",
     )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_codes:
         print(_list_codes())
         return 0
-    if not args.paths:
+    if not args.paths and not args.protocol:
         parser.print_usage(sys.stderr)
-        print("error: no paths given (or use --list-codes)", file=sys.stderr)
+        print(
+            "error: no paths given (or use --protocol / --list-codes)",
+            file=sys.stderr,
+        )
         return 2
 
     try:
-        diags = lint_paths(args.paths)
+        if args.static or args.protocol:
+            from repro.sanitizer.static import check_static
+
+            diags = check_static(
+                args.paths, protocol=args.protocol, small=args.small
+            )
+        else:
+            diags = lint_paths(args.paths)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if diags:
-        print(format_diagnostics(diags))
+    if args.write_baseline:
+        from repro.sanitizer.static import write_baseline
+
+        n = write_baseline(diags, args.write_baseline)
+        if not args.quiet:
+            print(f"sanitizer: wrote {n} baseline entries to "
+                  f"{args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        from repro.sanitizer.static import apply_baseline, load_baseline
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        diags = apply_baseline(diags, baseline, baseline_path=args.baseline)
+
     n_err = sum(1 for d in diags if d.severity is Severity.ERROR)
-    if not args.quiet:
-        n_warn = len(diags) - n_err
-        print(
-            f"sanitizer: {n_err} error(s), {n_warn} warning(s)"
-            if diags
-            else "sanitizer: clean"
-        )
-    return 1 if n_err else 0
+    n_warn = sum(1 for d in diags if d.severity is Severity.WARNING)
+
+    if args.as_json:
+        print(json.dumps(
+            {
+                "findings": [d.as_dict() for d in diags],
+                "errors": n_err,
+                "warnings": n_warn,
+            },
+            indent=2,
+        ))
+    else:
+        if diags:
+            print(format_diagnostics(diags))
+        if not args.quiet:
+            print(
+                f"sanitizer: {n_err} error(s), {n_warn} warning(s)"
+                if diags
+                else "sanitizer: clean"
+            )
+    if n_err:
+        return 1
+    if args.strict and n_warn:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -43,6 +43,47 @@ CODES: dict[str, str] = {
                 "named twice, or by two different clauses)",
     "SAN-L004": "implements= version declares a clause set that disagrees "
                 "with the main version (Table-I grouping would be unsound)",
+    "SAN-L005": "a # san-ignore waiver suppresses nothing (stale waiver; "
+                "remove it so real findings cannot hide behind it)",
+    # -- static effect inference (SAN-S00x) ----------------------------
+    "SAN-S001": "task body writes a parameter not declared output/inout "
+                "(undeclared write inferred through subscript stores, "
+                "kernel calls or aliases; WAR/WAW edges are never built)",
+    "SAN-S002": "dead clause: the declared dependence can never be "
+                "exercised by the task body (no read for an input, no "
+                "write for an output) — the DAG is over-constrained",
+    "SAN-S003": "inout clause is downgradable: the body only reads "
+                "(declare input) or only writes (declare output) the "
+                "parameter, so the clause serializes more than needed",
+    "SAN-S004": "implements= versions disagree on inferred effects: one "
+                "version writes a parameter another version provably "
+                "does not touch (the versions are not interchangeable)",
+    "SAN-S005": "task body reads a parameter declared output-only (the "
+                "value read is stale/undefined before the first write)",
+    # -- scheduler-contract lint (SAN-S01x) ----------------------------
+    "SAN-S010": "scheduler mutates trace state (reassigns, clears or "
+                "edits records); schedulers may only append via "
+                "trace.add — the trace is the sanitizer's evidence",
+    "SAN-S011": "scheduler pokes worker runtime state directly (alive, "
+                "queue, current, free_at, ...); state changes must go "
+                "through the runtime",
+    "SAN-S012": "a task_ready code path neither dispatches, pools nor "
+                "delegates the ready task: the task would be silently "
+                "dropped and the run would hang at taskwait",
+    "SAN-S013": "process-global task uid emitted in a trace label/meta; "
+                "use the run-local id (rt._local_ids) so identical runs "
+                "produce identical traces (seeded-determinism contract)",
+    # -- bounded protocol model checking (SAN-P00x) --------------------
+    "SAN-P001": "notification protocol fired on_clear twice for one "
+                "successor without an intervening send (double release)",
+    "SAN-P002": "notification protocol deadlock: the system quiesced "
+                "with a successor still waiting on undelivered "
+                "notifications (the run would hang at taskwait)",
+    "SAN-P003": "epoch fencing violated: a message from a crashed "
+                "sender's dead incarnation was applied after the crash",
+    "SAN-P004": "premature release: on_clear fired before every logical "
+                "notification for the successor was delivered at least "
+                "once (duplicate suppression is broken)",
     # -- dynamic dependence-race detection (SAN-Rxxx) ------------------
     "SAN-R001": "task body wrote a region not declared output/inout "
                 "(task-level data race)",
@@ -112,6 +153,27 @@ class Diagnostic:
 
     def render(self) -> str:
         return f"{self.location()}: {self.severity.value} {self.code}: {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (the ``--json`` CLI output)."""
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        for key in ("file", "line", "task", "region", "worker"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.meta:
+            out["meta"] = list(self.meta)
+        return out
+
+    def fingerprint(self) -> tuple:
+        """Stable identity for baseline matching (line numbers drift, so
+        the fingerprint is (code, file, first message line))."""
+        head = self.message.split("\n", 1)[0]
+        return (self.code, self.file or "", head)
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()

@@ -70,7 +70,7 @@ def _check_overlaps(trace: "Trace", eps: float) -> list[Diagnostic]:
             ),
             key=lambda r: (r.start, r.end),
         )
-        for a, b in zip(recs, recs[1:]):
+        for a, b in zip(recs, recs[1:], strict=False):
             if b.start < a.end - eps:
                 out.append(Diagnostic(
                     code="SAN-T001",

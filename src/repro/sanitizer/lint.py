@@ -40,10 +40,14 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.sanitizer.diagnostics import Diagnostic
+from repro.sanitizer.waivers import (
+    Waiver,
+    apply_waivers,
+    scan_waivers,
+    unused_waiver_diagnostics,
+)
 
 CLAUSE_KINDS = ("inputs", "outputs", "inouts")
-
-_WAIVE_TOKEN = "san-ignore"
 
 
 # ----------------------------------------------------------------------
@@ -222,7 +226,7 @@ class _Scanner(ast.NodeVisitor):
             return out if len(out) == len(value.keywords) else None
         if isinstance(value, ast.Dict):
             out = {}
-            for k, v in zip(value.keys, value.values):
+            for k, v in zip(value.keys, value.values, strict=True):
                 s = _str_const(k) if k is not None else None
                 if s is None:
                     return None
@@ -391,22 +395,13 @@ def _iter_py_files(paths: Iterable[str]) -> list[str]:
     return files
 
 
-def _waived(mod: _Module, line: int, code: str) -> bool:
-    if 1 <= line <= len(mod.lines):
-        text = mod.lines[line - 1]
-        if _WAIVE_TOKEN in text:
-            after = text.split(_WAIVE_TOKEN, 1)[1]
-            return code in after or "all" in after
-    return False
-
-
 class DirectiveLinter:
     """Runs the four SAN-L checks over a set of source files."""
 
     def __init__(self, files: Sequence[str]) -> None:
         self.modules: list[_Module] = []
         for path in files:
-            with open(path, "r", encoding="utf-8") as fh:
+            with open(path, encoding="utf-8") as fh:
                 source = fh.read()
             tree = ast.parse(source, filename=path)
             mod = _Module(path=path, tree=tree, lines=source.splitlines())
@@ -445,8 +440,28 @@ class DirectiveLinter:
         return candidates[-1] if len(params) == 1 else None
 
 
-def lint_files(files: Sequence[str]) -> list[Diagnostic]:
+def lint_files(
+    files: Sequence[str], *, waive: bool = True
+) -> list[Diagnostic]:
+    """Run the SAN-L checks over ``files``.
+
+    With ``waive`` (the default) ``# san-ignore`` comments are applied
+    and waivers whose SAN-L codes suppressed nothing are reported as
+    SAN-L005.  The static driver passes ``waive=False`` to collect raw
+    findings and do waiver accounting centrally across all analyses.
+    """
     linter = DirectiveLinter(files)
+    diags = collect_lint(linter)
+    if not waive:
+        return diags
+    waivers = collect_waivers(linter)
+    kept = apply_waivers(diags, waivers)
+    kept.extend(unused_waiver_diagnostics(waivers, code_prefixes=("SAN-L",)))
+    return kept
+
+
+def collect_lint(linter: DirectiveLinter) -> list[Diagnostic]:
+    """Raw (unwaived) SAN-L001..L004 findings for a built linter."""
     diags: list[Diagnostic] = []
     all_decls = [(m, d) for m in linter.modules for d in m.decls]
 
@@ -458,15 +473,15 @@ def lint_files(files: Sequence[str]) -> list[Diagnostic]:
 
     # -- L004 across versions -------------------------------------------
     diags.extend(_check_implements_consistency(linter, all_decls))
+    return diags
 
-    return [d for d in diags if not _waived_diag(linter, d)]
 
-
-def _waived_diag(linter: DirectiveLinter, d: Diagnostic) -> bool:
+def collect_waivers(linter: DirectiveLinter) -> list[Waiver]:
+    """Every ``# san-ignore`` comment in the linter's scanned modules."""
+    out: list[Waiver] = []
     for mod in linter.modules:
-        if mod.path == d.file and d.line is not None:
-            return _waived(mod, d.line, d.code)
-    return False
+        out.extend(scan_waivers(mod.path, mod.lines))
+    return out
 
 
 def _check_clause_names(mod: _Module, decl: TaskDecl) -> list[Diagnostic]:

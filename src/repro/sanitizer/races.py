@@ -343,7 +343,7 @@ def check_happens_before(
     # merge aliased buckets pairwise (rare; interval list is small)
     interval_keys.sort()
     merged_into: dict[Hashable, Hashable] = {}
-    for (a0, a1, ka), (b0, b1, kb) in zip(interval_keys, interval_keys[1:]):
+    for (a0, a1, ka), (b0, b1, kb) in zip(interval_keys, interval_keys[1:], strict=False):
         if b0 < a1:  # overlapping neighbours
             merged_into[kb] = merged_into.get(ka, ka)
     if merged_into:

@@ -105,7 +105,7 @@ class Trace:
                 (r for r in self._records if r.worker == worker and r.category == category),
                 key=lambda r: (r.start, r.end),
             )
-            for a, b in zip(recs, recs[1:]):
+            for a, b in zip(recs, recs[1:], strict=False):
                 if b.start < a.end - 1e-12:
                     out.append((a, b))
         return out

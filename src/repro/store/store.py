@@ -119,7 +119,7 @@ class ProfileStore:
                         raise StoreLockTimeoutError(
                             f"could not lock profile store {self.path} within "
                             f"{self.lock_timeout:g}s (held by another process?)"
-                        )
+                        ) from None
                     time.sleep(self._lock_poll)
             try:
                 yield

@@ -1,0 +1,8 @@
+"""Seeded-bug fixtures for the static analysis tests.
+
+``effect_bugs.py`` and ``contract_bugs.py`` are *analysis-only*: the
+tests hand their paths to the static checkers and never import them
+(some of them would not survive execution — that is the point).
+``broken_routers.py`` is importable: the model-checking tests explore
+its deliberately broken NotificationRouter subclasses.
+"""

@@ -1,0 +1,41 @@
+"""Deliberately broken NotificationRouter variants.
+
+Each subclass removes exactly one defensive mechanism from the shipped
+protocol; the model checker must find the resulting property violation
+(see test_modelcheck.py for the expected code per router).
+"""
+
+from repro.cluster.protocol import NotificationRouter
+
+
+class NoDedupRouter(NotificationRouter):
+    """Duplicate suppression removed: a retransmitted or duplicated wire
+    message is delivered (and counted) twice → SAN-P004 (a successor is
+    released after fewer *distinct* notifications than it has
+    predecessors)."""
+
+    def _is_duplicate(self, src_node, seq):
+        return False
+
+
+class NoFenceRouter(NotificationRouter):
+    """Epoch fencing removed from the delivery path: traffic sent by a
+    node's dead incarnation is accepted after the crash → SAN-P003."""
+
+    def _on_wire_delivered(self, msg, dst_node):
+        if self._is_duplicate(msg.src_node, msg.seq):
+            self.stats.dup_suppressed += 1
+        else:
+            self._deliver_logical(msg)
+        if self.config.reliable and dst_node != msg.src_node:
+            self._send_ack(msg, dst_node)
+
+
+class DoubleReleaseRouter(NotificationRouter):
+    """Crash recovery without the dedup/cleared guard: an edge whose
+    message already landed is cleared again → SAN-P001 (double
+    release)."""
+
+    def _recover(self, msg):
+        self._pending.pop(msg.succ_uid, None)
+        self.on_clear(msg.succ_uid)

@@ -1,0 +1,52 @@
+"""Seeded scheduler-contract bugs — every class here except OkScheduler
+must trip exactly one SAN-S01x code (see test_contracts.py).
+
+Analysis-only fixture: parsed by the contract checker, never imported.
+"""
+
+
+class DropScheduler:
+    # SAN-S012: low-priority tasks fall off the end of task_ready
+    def task_ready(self, t):
+        if t.priority > 0:
+            self.rt.dispatch(t, self.workers[0], None)
+
+
+class PokeScheduler:
+    # SAN-S011: scheduler flips worker lifecycle state it does not own
+    def task_ready(self, t):
+        w = self.workers[0]
+        w.alive = False
+        w.queue.append(t)
+
+
+class HistoryScheduler:
+    # SAN-S010: scheduler erases recorded trace history
+    def task_ready(self, t):
+        self.rt.trace.events.clear()
+        self.rt.trace.add(0, 1, "w", "sched", "x")
+        self._pool.append(t)
+
+
+class UidScheduler:
+    # SAN-S013: raw uid leaks into a trace label (the second add is
+    # fine — it goes through the _local_ids mapping)
+    def task_ready(self, t):
+        self.rt.trace.add(0, 1, "w0", "sched", label=f"pick:{t.uid}")
+        self.rt.trace.add(0, 1, "w0", "sched", "ok",
+                          meta=(self.rt._local_ids.get(t.uid, t.uid),))
+        self.rt.dispatch(t, self.workers[0], None)
+
+
+class OkScheduler:
+    # clean: buffering, loop dispatch and a loud raise all count as
+    # handling the task
+    def task_ready(self, t):
+        if self.router is not None and self.router.pending(t.uid) > 0:
+            self._buffered[t.uid] = t
+            return
+        for w in self.workers:
+            if w.alive:
+                self.rt.dispatch(t, w, None)
+                return
+        raise RuntimeError("no workers")

@@ -1,0 +1,53 @@
+"""Seeded clause/effect bugs — every task here must trip exactly one
+SAN-S00x code (see test_effects.py for the expected mapping).
+
+Analysis-only fixture: parsed by the effect checker, never imported.
+"""
+
+from repro.runtime.directives import task
+
+
+def helper_write(dst, src):
+    dst[:] = src * 2
+
+
+@task(inputs=["a", "b"])
+def undeclared_call_write(a, b):
+    # SAN-S001: b is written through helper_write but declared input-only
+    helper_write(b, a)
+
+
+@task(inputs=["a", "c"])
+def undeclared_alias_write(a, c):
+    # SAN-S001: c is written through the alias `view`
+    view = c
+    view[:] = a
+
+
+@task(inputs=["a", "b"], inouts=["c"])
+def dead_clause(a, c, b):
+    # SAN-S002: b is declared but the body never touches it
+    c += a * 2
+
+
+@task(inputs=["a"], inouts=["c"])
+def downgradable(a, c):
+    # SAN-S003: c is declared inout but only ever read
+    return float((a + c).sum())
+
+
+@task(inputs=["a"], outputs=["r"])
+def stale_read(a, r):
+    # SAN-S005: r is output-only but `r += a` reads its stale value
+    r += a
+
+
+@task(inputs=["a"], inouts=["c"], name="main_k")
+def main_k(a, c):
+    c += a
+
+
+@task(inputs=["a"], inouts=["c"], implements="main_k", device="cuda")
+def wrong_version(a, c):
+    # SAN-S004: the main version writes c, this implementation never does
+    return float(a.sum())

@@ -1,0 +1,83 @@
+"""Tests for the scheduler-contract lint (SAN-S010..S013)."""
+
+import pathlib
+
+import pytest
+
+from repro.sanitizer.static import check_contract_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def codes_by_class(diags):
+    out = {}
+    for d in diags:
+        cls = d.message.split(".")[0].split(":")[0].split()[0]
+        out.setdefault(cls, set()).add(d.code)
+    return out
+
+
+class TestSeededBugs:
+    @pytest.fixture(scope="class")
+    def diags(self):
+        return check_contract_paths([str(FIXTURES / "contract_bugs.py")])
+
+    def test_every_seeded_bug_is_caught(self, diags):
+        by_cls = codes_by_class(diags)
+        assert by_cls["DropScheduler"] == {"SAN-S012"}
+        assert by_cls["PokeScheduler"] == {"SAN-S011"}
+        assert by_cls["HistoryScheduler"] == {"SAN-S010"}
+        assert by_cls["UidScheduler"] == {"SAN-S013"}
+
+    def test_clean_scheduler_not_flagged(self, diags):
+        assert "OkScheduler" not in codes_by_class(diags)
+
+    def test_local_id_mapped_uid_is_not_flagged(self, diags):
+        # UidScheduler's second trace.add routes the uid through
+        # _local_ids.get and must produce no second SAN-S013
+        uid_findings = [d for d in diags if d.code == "SAN-S013"]
+        assert len(uid_findings) == 1
+
+
+class TestShippedTreeClean:
+    def test_schedulers_and_cluster_have_no_contract_findings(self):
+        diags = check_contract_paths([
+            str(REPO_ROOT / "src" / "repro" / "schedulers"),
+            str(REPO_ROOT / "src" / "repro" / "cluster"),
+        ])
+        assert diags == [], [str(d) for d in diags]
+
+
+class TestScoping:
+    def test_non_scheduler_code_is_out_of_scope(self, tmp_path):
+        # worker-state writes outside scheduler scope (no task_ready,
+        # not under a schedulers/cluster dir) are the runtime's business
+        p = tmp_path / "runtime_helper.py"
+        p.write_text('''
+class WorkerPool:
+    def reap(self):
+        for w in self.workers:
+            w.alive = False
+''')
+        assert check_contract_paths([str(p)]) == []
+
+    def test_any_class_with_task_ready_is_in_scope(self, tmp_path):
+        p = tmp_path / "anywhere.py"
+        p.write_text('''
+class SneakyScheduler:
+    def task_ready(self, t):
+        self.rt.workers[0].alive = False
+        self.rt.dispatch(t, self.rt.workers[0], None)
+''')
+        diags = check_contract_paths([str(p)])
+        assert [d.code for d in diags] == ["SAN-S011"]
+
+    def test_raise_counts_as_loud_handling(self, tmp_path):
+        p = tmp_path / "loud.py"
+        p.write_text('''
+class LoudScheduler:
+    def task_ready(self, t):
+        raise NotImplementedError("submit-side scheduling only")
+''')
+        assert check_contract_paths([str(p)]) == []

@@ -1,0 +1,154 @@
+"""Tests for the AST effect inference pass (SAN-S001..S005)."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.runtime.directives import target, task
+from repro.runtime.runtime import OmpSsRuntime
+from repro.sanitizer.static import check_definitions, check_effect_paths
+from repro.sim.perfmodel import AffineBytesCostModel
+from repro.sim.topology import minotauro_node
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def codes_by_task(diags):
+    out = {}
+    for d in diags:
+        name = d.message.split("'")[1]
+        out.setdefault(name, set()).add(d.code)
+    return out
+
+
+class TestSeededBugs:
+    @pytest.fixture(scope="class")
+    def diags(self):
+        return check_effect_paths([str(FIXTURES / "effect_bugs.py")])
+
+    def test_every_seeded_bug_is_caught(self, diags):
+        by_task = codes_by_task(diags)
+        assert "SAN-S001" in by_task["undeclared_call_write"]
+        assert "SAN-S001" in by_task["undeclared_alias_write"]
+        assert "SAN-S002" in by_task["dead_clause"]
+        assert "SAN-S003" in by_task["downgradable"]
+        assert "SAN-S005" in by_task["stale_read"]
+        assert "SAN-S004" in by_task["wrong_version"]
+
+    def test_clean_main_version_not_flagged(self, diags):
+        assert "main_k" not in codes_by_task(diags)
+
+    def test_findings_carry_fixture_location(self, diags):
+        assert all(d.file and d.file.endswith("effect_bugs.py") for d in diags)
+        assert all(d.line for d in diags)
+
+
+class TestShippedTreeClean:
+    def test_apps_and_examples_have_no_effect_findings(self):
+        diags = check_effect_paths([
+            str(REPO_ROOT / "src" / "repro" / "apps"),
+            str(REPO_ROOT / "examples"),
+        ])
+        assert diags == [], [str(d) for d in diags]
+
+
+class TestInferenceDetails:
+    def check_snippet(self, tmp_path, body):
+        p = tmp_path / "snippet.py"
+        p.write_text(body)
+        return check_effect_paths([str(p)])
+
+    def test_empty_body_is_exempt_from_dead_clause(self, tmp_path):
+        diags = self.check_snippet(tmp_path, '''
+from repro.runtime.directives import task
+
+@task(inputs=["a"], outputs=["b"])
+def timing_only(a, b):
+    pass
+''')
+        assert diags == [], [str(d) for d in diags]
+
+    def test_numpy_out_kwarg_is_a_write(self, tmp_path):
+        diags = self.check_snippet(tmp_path, '''
+import numpy as np
+from repro.runtime.directives import task
+
+@task(inputs=["a", "b", "c"])
+def out_kwarg(a, b, c):
+    np.add(a, b, out=c)
+''')
+        assert [d.code for d in diags] == ["SAN-S001"]
+        assert "'c'" in diags[0].message
+
+    def test_pure_calls_do_not_write(self, tmp_path):
+        diags = self.check_snippet(tmp_path, '''
+import math
+import numpy as np
+from repro.runtime.directives import task
+
+@task(inputs=["a"], outputs=["b"])
+def pure_reader(a, b):
+    b[:] = math.sqrt(2.0) * np.tanh(a)
+''')
+        assert diags == [], [str(d) for d in diags]
+
+    def test_unknown_call_escapes_conservatively(self, tmp_path):
+        # an unknown callee *may* write its argument: no S002/S003 noise
+        diags = self.check_snippet(tmp_path, '''
+from repro.runtime.directives import task
+from somewhere import mystery
+
+@task(inouts=["c"])
+def escaped(c):
+    mystery(c)
+''')
+        assert diags == [], [str(d) for d in diags]
+
+
+class TestLiveDefinitions:
+    def test_preflight_catches_buggy_definition(self):
+        registry = {}
+
+        @task(inputs=["a"], outputs=["b"], registry=registry)
+        def leaky(a, b):
+            b[:] = a * 2.0
+            a[0] = -1.0  # undeclared write into an inputs-only param
+
+        diags = check_definitions(registry)
+        assert any(d.code == "SAN-S001" and "'a'" in d.message
+                   for d in diags), [str(d) for d in diags]
+
+    def test_preflight_skips_callable_clause_specs(self):
+        registry = {}
+
+        @task(inputs=lambda a, b: ["a"], outputs=lambda a, b: ["b"],
+              registry=registry)
+        def dynamic(a, b):
+            a[0] = -1.0
+
+        assert check_definitions(registry) == []
+
+    def test_validate_static_flag_on_real_run(self):
+        registry = {}
+
+        @target(device="smp")
+        @task(inputs=["a"], outputs=["b"], registry=registry)
+        def leaky_run(a, b):
+            b[:] = a * 2.0
+            a[0] = -1.0
+
+        m = minotauro_node(2, 0, seed=1)
+        m.register_kernel_for_kind(
+            "smp", "leaky_run", AffineBytesCostModel(0.0, 1e9))
+        rt = OmpSsRuntime(m, "breadth-first")
+        a, b = np.ones(8), np.zeros(8)
+        with rt:
+            leaky_run(a, b)
+        res = rt.result()
+        # default: static pre-flight off, dynamic analyses still clean
+        assert not any(d.code.startswith("SAN-S0")
+                       for d in res.validate(strict=False))
+        diags = res.validate(strict=False, static=True)
+        assert any(d.code == "SAN-S001" for d in diags), [str(d) for d in diags]
