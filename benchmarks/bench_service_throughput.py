@@ -1,0 +1,145 @@
+"""Scheduler service — submission throughput, latency, cache effect.
+
+Starts an in-process service (TCP transport included, so the wire
+format is on the measured path), then:
+
+1. drives it with the seeded load generator — 8 concurrent clients
+   with a 50% duplicate fraction — reporting submissions/sec, p50/p99
+   latency and cache hit rate;
+2. measures the cold-vs-cached resubmission latency gap per scheduler:
+   the same spec submitted cold (``no_cache``) and then replayed from
+   the result cache, for both the versioning and affinity policies.
+
+The figure of merit: a cached resubmission answers from memory — no
+graph build, no simulation — so its p50 should sit well over an order
+of magnitude below the cold p50.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import format_table
+from repro.service.client import ServiceClient
+from repro.service.loadgen import _percentile, run_loadgen_sync
+from repro.service.server import ServiceConfig, ServiceHarness
+from repro.service.spec import SubmissionSpec
+
+from figutils import emit, run_once
+
+REPLAYS = 12
+
+
+def _latency_split(client: ServiceClient, spec, *, replays: int = REPLAYS):
+    """Cold latencies (forced fresh runs) vs cached replays, seconds."""
+    cold = []
+    for _ in range(replays):
+        cold.append(client.submit(spec, no_cache=True).latency)
+    client.submit(spec)  # ensure the cache entry exists
+    cached = []
+    for _ in range(replays):
+        outcome = client.submit(spec)
+        assert outcome.cached, "replay must come from the cache"
+        cached.append(outcome.latency)
+    return cold, cached
+
+
+def sweep():
+    out: dict = {}
+    with ServiceHarness(ServiceConfig(workers=4), tcp=True) as harness:
+        assert harness.address is not None
+        host, port = harness.address
+
+        t0 = time.perf_counter()
+        report = run_loadgen_sync(
+            host,
+            port,
+            n_clients=8,
+            requests_per_client=8,
+            duplicate_fraction=0.5,
+            seed=1,
+        )
+        out["loadgen"] = report.as_dict()
+        out["loadgen"]["measured_wall"] = time.perf_counter() - t0
+
+        out["schedulers"] = {}
+        with ServiceClient(host, port) as client:
+            for scheduler in ("versioning", "affinity"):
+                # a paper-scale graph (512 tasks), so the cold side
+                # reflects a real simulation rather than setup overhead
+                spec = SubmissionSpec.from_dict(
+                    {
+                        "app": "matmul",
+                        "app_args": {"n_tiles": 8, "variant": "hyb"},
+                        "machine_args": {"n_smp": 4, "n_gpus": 2},
+                        "scheduler": scheduler,
+                        "seed": 5,
+                    }
+                )
+                cold, cached = _latency_split(client, spec)
+                out["schedulers"][scheduler] = {
+                    "cold_p50": _percentile(cold, 0.5),
+                    "cold_p99": _percentile(cold, 0.99),
+                    "cached_p50": _percentile(cached, 0.5),
+                    "cached_p99": _percentile(cached, 0.99),
+                    "speedup_p50": _percentile(cold, 0.5)
+                    / max(_percentile(cached, 0.5), 1e-9),
+                }
+            out["server_stats"] = client.stats()
+    return out
+
+
+def test_service_throughput(benchmark):
+    out = run_once(benchmark, sweep)
+    lg = out["loadgen"]
+    ms = 1e3
+
+    lines = [
+        "Scheduler service — streaming submission throughput",
+        "",
+        f"load generator: {lg['n_clients']} concurrent clients, "
+        f"{lg['requests']} submissions, duplicate fraction 0.5",
+        f"  throughput : {lg['throughput']:8.1f} submissions/s",
+        f"  latency    : p50 {lg['p50'] * ms:7.1f} ms   p99 {lg['p99'] * ms:7.1f} ms",
+        f"  cache      : hit rate {lg['hit_rate']:.0%}  "
+        f"(cold p50 {lg['cold_p50'] * ms:.1f} ms, cached p50 {lg['cached_p50'] * ms:.1f} ms)",
+        f"  errors     : {lg['errors']}",
+        "",
+    ]
+    rows = []
+    for scheduler, r in out["schedulers"].items():
+        rows.append(
+            [
+                scheduler,
+                r["cold_p50"] * ms,
+                r["cold_p99"] * ms,
+                r["cached_p50"] * ms,
+                r["cached_p99"] * ms,
+                r["speedup_p50"],
+            ]
+        )
+    lines.append(
+        format_table(
+            ["scheduler", "cold p50 (ms)", "cold p99 (ms)", "cached p50 (ms)",
+             "cached p99 (ms)", "p50 speedup"],
+            rows,
+            title="Cold vs cached resubmission latency (sequential, per scheduler)",
+            floatfmt="{:.2f}",
+        )
+    )
+    stats = out["server_stats"]
+    lines.append("")
+    lines.append(
+        f"server: {stats['jobs_completed']} jobs, {stats['cold_runs']} cold runs, "
+        f"cache hit rate {stats['cache']['hit_rate']:.0%}, "
+        f"{stats['scheduler_pool']['reuses']} scheduler reuses"
+    )
+    emit("service_throughput", "\n".join(lines))
+
+    assert lg["errors"] == 0
+    assert lg["hit_rate"] > 0.0
+    for scheduler, r in out["schedulers"].items():
+        assert r["speedup_p50"] >= 10.0, (
+            f"{scheduler}: cached p50 {r['cached_p50'] * ms:.2f}ms not >=10x "
+            f"under cold p50 {r['cold_p50'] * ms:.2f}ms"
+        )

@@ -74,6 +74,16 @@ class Application:
         """Total useful flops, for GFLOP/s reporting (None = report time)."""
         return None
 
+    def submission_args(self) -> Optional[dict]:
+        """Constructor kwargs that rebuild this instance, as JSON data.
+
+        The service router sends these as a submission spec's
+        ``app_args``; returning None marks the instance as not
+        wire-expressible (e.g. real arithmetic, exotic dtypes) and
+        forces the local path.
+        """
+        return None
+
     # -- driver ---------------------------------------------------------
     def run(
         self,
@@ -90,7 +100,27 @@ class Application:
         ``fault_plan`` / ``recovery`` are forwarded verbatim to the
         runtime, so chaos experiments can run an unmodified application
         under an unreliable interconnect or node crashes.
+
+        While a :func:`repro.service.routing.route_via_service` context
+        is active, the run is submitted to the scheduler service instead
+        of simulating locally (falling back here whenever the call is
+        not wire-expressible); drivers cannot tell the paths apart.
         """
+        from repro.service.routing import active_router
+
+        router = active_router()
+        if router is not None:
+            routed = router.try_submit(
+                self,
+                machine,
+                scheduler,
+                scheduler_options=scheduler_options,
+                config=config,
+                fault_plan=fault_plan,
+                recovery=recovery,
+            )
+            if routed is not None:
+                return routed
         self.register_cost_models(machine)
         rt = OmpSsRuntime(
             machine,

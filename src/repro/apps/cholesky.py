@@ -85,6 +85,17 @@ class CholeskyApp(Application):
         self._build_data()
         self._build_tasks()
 
+    def submission_args(self) -> Optional[dict]:
+        if self.real or self.dtype != np.dtype(np.float32):
+            return None
+        return {
+            "n_blocks": self.n_blocks,
+            "block_size": self.block_size,
+            "variant": self.variant,
+            "seed": self.seed,
+            "potrf_priority": self.potrf_priority,
+        }
+
     # ------------------------------------------------------------------
     def _build_data(self) -> None:
         nb, bs = self.n_blocks, self.block_size

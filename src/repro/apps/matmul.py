@@ -76,6 +76,16 @@ class MatmulApp(Application):
         self._build_data()
         self._build_tasks()
 
+    def submission_args(self) -> Optional[dict]:
+        if self.real or self.dtype != np.dtype(np.float64):
+            return None
+        return {
+            "n_tiles": self.n_tiles,
+            "tile_size": self.tile_size,
+            "variant": self.variant,
+            "seed": self.seed,
+        }
+
     # ------------------------------------------------------------------
     def _build_data(self) -> None:
         nt, bs = self.n_tiles, self.tile_size

@@ -101,6 +101,18 @@ class PBPIApp(Application):
         self._build_data()
         self._build_tasks()
 
+    def submission_args(self) -> Optional[dict]:
+        if self.real:
+            return None
+        return {
+            "generations": self.generations,
+            "n_blocks": self.n_blocks,
+            "dataset_bytes": self.dataset_bytes,
+            "tree_bytes": self.tree_bytes,
+            "variant": self.variant,
+            "seed": self.seed,
+        }
+
     # ------------------------------------------------------------------
     def _build_data(self) -> None:
         nb = self.n_blocks

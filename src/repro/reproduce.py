@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from typing import Any, Callable
 
 from repro.analysis import experiments
 from repro.analysis.report import format_table, stacked_percentages
@@ -257,6 +257,16 @@ FIGURES: dict[str, Callable[[bool], str]] = {
 }
 
 
+def _print_service_summary(router: "Any") -> None:
+    if router is None:
+        return
+    print(
+        f"scheduler service: {router.routed} run(s) routed "
+        f"({router.cache_hits} served from cache), "
+        f"{router.fallbacks} ran locally"
+    )
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.reproduce",
@@ -296,6 +306,20 @@ def main(argv: "list[str] | None" = None) -> int:
         metavar="K",
         help="sigma multiplier of the straggler deadline (implies "
         "--speculate; default 4.0)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the figures through an in-process scheduler service: "
+        "every app run is submitted as a spec, cached, and replayed "
+        "from the result cache when repeated",
+    )
+    parser.add_argument(
+        "--service-addr",
+        metavar="HOST:PORT",
+        default=None,
+        help="submit app runs to an already-running scheduler service "
+        "(python -m repro.service serve) instead of simulating locally",
     )
     parser.add_argument(
         "--nodes",
@@ -366,6 +390,42 @@ def main(argv: "list[str] | None" = None) -> int:
             f"unknown figure(s): {', '.join(unknown)}; valid: {', '.join(FIGURES)}"
         )
 
+    if args.serve and args.service_addr:
+        parser.error("--serve and --service-addr are mutually exclusive")
+    service_stack: Any = None
+    service_router = None
+    if args.serve or args.service_addr:
+        import contextlib
+
+        from repro.service import (
+            HarnessClient,
+            ServiceClient,
+            ServiceConfig,
+            ServiceHarness,
+            route_via_service,
+        )
+
+        service_stack = contextlib.ExitStack()
+        if args.service_addr:
+            host, _, port_s = args.service_addr.rpartition(":")
+            try:
+                port = int(port_s)
+            except ValueError:
+                parser.error(
+                    f"--service-addr expects HOST:PORT, got {args.service_addr!r}"
+                )
+            client: Any = service_stack.enter_context(
+                ServiceClient(host or "127.0.0.1", port)
+            )
+        else:
+            harness = service_stack.enter_context(ServiceHarness(ServiceConfig()))
+            client = HarnessClient(harness)
+        service_router = service_stack.enter_context(route_via_service(client))
+    else:
+        from contextlib import nullcontext
+
+        service_stack = nullcontext()
+
     if args.speculate or args.deadline_k is not None:
         from repro.resilience import RecoveryPolicy, recovery_defaults
 
@@ -379,10 +439,11 @@ def main(argv: "list[str] | None" = None) -> int:
         recovery_guard = nullcontext()
 
     if args.profile_store is None:
-        with recovery_guard:
+        with service_stack, recovery_guard:
             for t in targets:
                 print(FIGURES[t](args.quick))
                 print()
+        _print_service_summary(service_router)
         return 0
 
     from repro.schedulers.registry import scheduler_defaults
@@ -390,10 +451,13 @@ def main(argv: "list[str] | None" = None) -> int:
 
     store = ProfileStore(args.profile_store)
     defaults = warm_start_options(store, policy=args.warm_start)
-    with recovery_guard, scheduler_defaults("versioning", **defaults) as created:
+    with service_stack, recovery_guard, scheduler_defaults(
+        "versioning", **defaults
+    ) as created:
         for t in targets:
             print(FIGURES[t](args.quick))
             print()
+    _print_service_summary(service_router)
     tables = [s.table for s in created]
     # figure sweeps span many simulated machine shapes, so the merged
     # store carries no single device fingerprint; warm-started tables

@@ -2,30 +2,39 @@
 
 OmpSs task pragmas turn function calls into task submissions only when a
 runtime is active; otherwise the annotated function is just a function.
-This module holds the (per-process) stack of active runtimes that the
-``@task`` decorator consults on every call.  A stack — rather than a
-single slot — supports nested runtimes in tests.
+This module holds the stack of active runtimes that the ``@task``
+decorator consults on every call.  A stack — rather than a single
+slot — supports nested runtimes in tests.  The stack is **per thread**:
+the scheduler service runs independent simulations on worker threads,
+and each master body must only see its own runtime.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runtime import OmpSsRuntime
 
-_stack: list["OmpSsRuntime"] = []
+
+class _ThreadStack(threading.local):
+    def __init__(self) -> None:
+        self.items: list["OmpSsRuntime"] = []
+
+
+_tls = _ThreadStack()
 
 
 def push_runtime(rt: "OmpSsRuntime") -> None:
-    _stack.append(rt)
+    _tls.items.append(rt)
 
 
 def pop_runtime(rt: "OmpSsRuntime") -> None:
-    if not _stack or _stack[-1] is not rt:
+    if not _tls.items or _tls.items[-1] is not rt:
         raise RuntimeError("runtime context stack corrupted (mismatched pop)")
-    _stack.pop()
+    _tls.items.pop()
 
 
 def current_runtime() -> Optional["OmpSsRuntime"]:
-    return _stack[-1] if _stack else None
+    return _tls.items[-1] if _tls.items else None

@@ -1,0 +1,157 @@
+"""Canonical, process-stable task-graph fingerprints.
+
+The service's result cache is keyed by *what was submitted*: two
+submissions that build the same task graph must hash identically in any
+process — independent of ``PYTHONHASHSEED``, dict iteration order, the
+run-global ``TaskInstance.uid`` counter, and run-local artifacts such as
+region labels derived from array addresses.  The canonicalization
+therefore never hashes raw identifiers:
+
+* tasks are numbered by **submission order** (position, not uid),
+* regions are numbered by **first appearance** while walking the tasks'
+  access lists in submission order; only that index plus the region's
+  byte size enters the hash (keys are identity, not content),
+* per task: definition name, version names in registration order, the
+  access list (region index, clause kind), cost-model params (sorted),
+  and the ``priority`` clause,
+* dependence edges as (src position, dst position, kind, region index),
+  in the deterministic order the dependence analysis discovered them.
+
+The result is hashed as canonical JSON (sorted keys, fixed separators)
+under SHA-256.  :class:`GraphCapture` runs an application's master body
+against a recording stub — dependence analysis only, no simulation — so
+a fingerprint costs graph construction, not a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.runtime import context
+from repro.runtime.dependences import DependenceGraph
+from repro.runtime.task import TaskInstance
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.base import Application
+
+
+def canonical_graph_dict(
+    tasks: Iterable[TaskInstance], edges: Iterable[Any]
+) -> dict:
+    """The canonical JSON-compatible form of a task graph.
+
+    ``tasks`` must be in submission order; ``edges`` are
+    :class:`~repro.runtime.dependences.DepEdge` objects between them.
+    Raises :class:`KeyError` if an edge references an unknown task.
+    """
+    task_index: dict[int, int] = {}
+    region_index: dict[Any, int] = {}
+    region_sizes: list[int] = []
+    out_tasks: list[list] = []
+
+    for pos, t in enumerate(tasks):
+        task_index[t.uid] = pos
+        accesses = []
+        for acc in t.accesses:
+            rid = region_index.get(acc.region.key)
+            if rid is None:
+                rid = len(region_index)
+                region_index[acc.region.key] = rid
+                region_sizes.append(int(acc.region.nbytes))
+            accesses.append([rid, acc.kind.value])
+        out_tasks.append(
+            [
+                t.definition.name,
+                [v.name for v in t.definition.versions],
+                accesses,
+                sorted((str(k), float(v)) for k, v in t.params.items()),
+                int(t.priority),
+            ]
+        )
+
+    out_edges = [
+        [
+            task_index[e.src],
+            task_index[e.dst],
+            e.kind.value,
+            region_index[e.region.key],
+        ]
+        for e in edges
+    ]
+    return {
+        "version": 1,
+        "tasks": out_tasks,
+        "regions": region_sizes,
+        "edges": out_edges,
+    }
+
+
+def graph_fingerprint(graph: DependenceGraph) -> str:
+    """SHA-256 digest (``gfp:`` prefixed, 16 hex chars) of a graph."""
+    canonical = canonical_graph_dict(graph._tasks.values(), graph.edges)
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return "gfp:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class GraphCapture:
+    """A stub runtime that records submissions without simulating.
+
+    Exposes exactly the surface a master-thread body touches — ``submit``
+    via the ``@task`` call protocol, plus no-op ``taskwait`` variants —
+    and feeds every task through the real dependence analysis.  Use as a
+    context manager, like the runtime it impersonates::
+
+        cap = GraphCapture()
+        with cap:
+            app.master(cap)
+        print(cap.fingerprint())
+    """
+
+    def __init__(self) -> None:
+        self.graph = DependenceGraph()
+        self.tasks: list[TaskInstance] = []
+
+    # -- the surface @task and master bodies use -----------------------
+    def submit(self, t: TaskInstance) -> None:
+        self.tasks.append(t)
+        self.graph.add_task(t)
+
+    def taskwait(self, *, noflush: bool = False) -> None:
+        """No-op: capture has no clock to advance."""
+
+    def taskwait_on(self, *data: Any, noflush: bool = False) -> None:
+        """No-op: capture has no clock to advance."""
+
+    def __enter__(self) -> "GraphCapture":
+        context.push_runtime(self)  # type: ignore[arg-type]
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        context.pop_runtime(self)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        return graph_fingerprint(self.graph)
+
+
+def app_graph_fingerprint(app: "Application") -> str:
+    """Fingerprint of the graph an application's master body submits.
+
+    The application instance must be freshly constructed (masters may
+    consume instance state); the capture does not simulate, so this is
+    cheap relative to a run.
+    """
+    cap = GraphCapture()
+    with cap:
+        app.master(cap)  # type: ignore[arg-type]
+    return cap.fingerprint()
+
+
+__all__ = [
+    "GraphCapture",
+    "app_graph_fingerprint",
+    "canonical_graph_dict",
+    "graph_fingerprint",
+]

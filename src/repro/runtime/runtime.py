@@ -155,6 +155,30 @@ class RunResult:
             return 0.0
         return total_flops / self.makespan / 1e9
 
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the observable outcome to a versioned JSON string.
+
+        Everything the dataclass compares by round-trips exactly; the
+        live-run internals (graph, workers, scheduler state, recorder)
+        are process-bound and excluded — see
+        :mod:`repro.runtime.serialize`.
+        """
+        import json
+
+        from repro.runtime.serialize import run_result_to_dict
+
+        return json.dumps(run_result_to_dict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunResult":
+        """Rebuild a result serialized with :meth:`to_json`."""
+        import json
+
+        from repro.runtime.serialize import run_result_from_dict
+
+        return run_result_from_dict(json.loads(payload))
+
     # -- sanitizer entry points ----------------------------------------
     def validate(self, *, strict: bool = True, static: bool = False) -> list:
         """Run every applicable sanitizer check over this result.

@@ -1,0 +1,211 @@
+"""JSON serialization for run results and traces.
+
+Until now a :class:`~repro.runtime.runtime.RunResult` only lived inside
+the process that produced it; the scheduler service needs to ship
+results over a socket and park them in a result cache, so the
+*observable* outcome of a run — everything :class:`RunResult` compares
+by — round-trips through a versioned JSON schema:
+
+* ``trace_to_dict`` / ``trace_from_dict`` — the full record list,
+  including ``meta`` tuples (scalars only, which is all live traces
+  carry), with float-exact round-trips (``json`` emits ``repr(float)``),
+* ``run_result_to_dict`` / ``run_result_from_dict`` — scheduler,
+  machine, makespan, task counts, transfer/cache/resilience statistics,
+  version counts, worker stats, trace and finish order.
+
+Live run internals (the dependence graph, worker objects, scheduler
+state, the access recorder) are process-bound by nature and are *not*
+serialized; they deserialize as ``None``/empty, exactly the fields
+``RunResult`` already excludes from equality.  Schemas are versioned;
+an unknown version raises :class:`SchemaError` instead of guessing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.memory.cache import CacheStats
+from repro.memory.transfers import TransferStats, TxCategory
+from repro.resilience.recovery import ResilienceStats
+from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime
+    from repro.runtime.runtime import RunResult
+
+#: Schema tags, bumped on any incompatible layout change.
+TRACE_SCHEMA = "repro.trace/1"
+RUN_RESULT_SCHEMA = "repro.run-result/1"
+
+_META_SCALARS = (str, int, float, bool)
+
+
+class SchemaError(ValueError):
+    """Payload is not a recognised serialized run result / trace."""
+
+
+def _require_schema(payload: Any, expected: str) -> dict:
+    if not isinstance(payload, dict):
+        raise SchemaError(f"expected a JSON object, got {type(payload).__name__}")
+    schema = payload.get("schema")
+    if schema != expected:
+        raise SchemaError(f"expected schema {expected!r}, got {schema!r}")
+    return payload
+
+
+def _meta_to_json(meta: tuple) -> list:
+    out = []
+    for item in meta:
+        if not isinstance(item, _META_SCALARS):
+            # Nested/exotic metadata only appears on synthetic traces
+            # (sanitizer diagnostics build their own records); a run
+            # trace carries scalars.  Stringify rather than refuse so
+            # the trace stays shippable, but keep it visible.
+            out.append(repr(item))
+        else:
+            out.append(item)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Trace
+# ----------------------------------------------------------------------
+def trace_to_dict(trace: Trace) -> dict:
+    """Serialize a trace to a JSON-compatible dict (append order kept)."""
+    return {
+        "schema": TRACE_SCHEMA,
+        "records": [
+            [r.start, r.end, r.worker, r.category, r.label, _meta_to_json(r.meta)]
+            for r in trace
+        ],
+    }
+
+
+def trace_from_dict(payload: dict) -> Trace:
+    """Rebuild a :class:`Trace` from :func:`trace_to_dict` output."""
+    payload = _require_schema(payload, TRACE_SCHEMA)
+    trace = Trace()
+    try:
+        for start, end, worker, category, label, meta in payload["records"]:
+            trace.add(start, end, worker, category, label, meta=tuple(meta))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed trace record list: {exc}") from exc
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Statistics blocks
+# ----------------------------------------------------------------------
+def _transfer_stats_to_dict(stats: TransferStats) -> dict:
+    return {
+        "bytes": {c.name: stats.bytes_by_category.get(c, 0) for c in TxCategory},
+        "counts": {c.name: stats.count_by_category.get(c, 0) for c in TxCategory},
+    }
+
+
+def _transfer_stats_from_dict(payload: dict) -> TransferStats:
+    stats = TransferStats()
+    for c in TxCategory:
+        stats.bytes_by_category[c] = int(payload["bytes"].get(c.name, 0))
+        stats.count_by_category[c] = int(payload["counts"].get(c.name, 0))
+    return stats
+
+
+def _cache_stats_to_dict(stats: CacheStats) -> dict:
+    return {
+        "evictions": stats.evictions,
+        "writebacks": stats.writebacks,
+        "writeback_bytes": stats.writeback_bytes,
+    }
+
+
+def _cache_stats_from_dict(payload: dict) -> CacheStats:
+    return CacheStats(
+        evictions=int(payload.get("evictions", 0)),
+        writebacks=int(payload.get("writebacks", 0)),
+        writeback_bytes=int(payload.get("writeback_bytes", 0)),
+    )
+
+
+def _resilience_from_dict(payload: dict) -> ResilienceStats:
+    stats = ResilienceStats()
+    known = stats.as_dict()
+    for key, value in payload.items():
+        if key in known:
+            setattr(stats, key, int(value))
+    return stats
+
+
+# ----------------------------------------------------------------------
+# RunResult
+# ----------------------------------------------------------------------
+def run_result_to_dict(result: "RunResult") -> dict:
+    """Serialize the observable outcome of a run (the compared fields).
+
+    ``finish_order`` keeps the producing run's task uids; they identify
+    tasks only relative to that run's numbering (like the run-local
+    sequence numbers carried in trace metadata).
+    """
+    return {
+        "schema": RUN_RESULT_SCHEMA,
+        "scheduler": result.scheduler,
+        "machine": result.machine,
+        "makespan": result.makespan,
+        "tasks_completed": result.tasks_completed,
+        "transfer_stats": _transfer_stats_to_dict(result.transfer_stats),
+        "cache_stats": _cache_stats_to_dict(result.cache_stats),
+        "version_counts": {
+            name: dict(counts) for name, counts in result.version_counts.items()
+        },
+        "worker_stats": {
+            name: dict(stats) for name, stats in result.worker_stats.items()
+        },
+        "trace": trace_to_dict(result.trace),
+        "finish_order": list(result.finish_order),
+        "resilience": result.resilience.as_dict(),
+    }
+
+
+def run_result_from_dict(payload: dict) -> "RunResult":
+    """Rebuild a :class:`RunResult` from :func:`run_result_to_dict`.
+
+    The live-run fields (``graph``, ``workers``, ``scheduler_state``,
+    ``recorder``, ``local_ids``) come back empty — they never leave the
+    producing process.  Everything the dataclass compares by is
+    restored exactly, so ``from_json(x.to_json()) == x``.
+    """
+    from repro.runtime.runtime import RunResult
+
+    payload = _require_schema(payload, RUN_RESULT_SCHEMA)
+    try:
+        return RunResult(
+            scheduler=payload["scheduler"],
+            machine=payload["machine"],
+            makespan=payload["makespan"],
+            tasks_completed=payload["tasks_completed"],
+            transfer_stats=_transfer_stats_from_dict(payload["transfer_stats"]),
+            cache_stats=_cache_stats_from_dict(payload["cache_stats"]),
+            version_counts={
+                name: {v: int(n) for v, n in counts.items()}
+                for name, counts in payload["version_counts"].items()
+            },
+            worker_stats={
+                name: {k: float(v) for k, v in stats.items()}
+                for name, stats in payload["worker_stats"].items()
+            },
+            trace=trace_from_dict(payload["trace"]),
+            finish_order=[int(u) for u in payload["finish_order"]],
+            resilience=_resilience_from_dict(payload.get("resilience", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SchemaError(f"malformed run-result payload: {exc}") from exc
+
+
+__all__ = [
+    "RUN_RESULT_SCHEMA",
+    "TRACE_SCHEMA",
+    "SchemaError",
+    "run_result_from_dict",
+    "run_result_to_dict",
+    "trace_from_dict",
+    "trace_to_dict",
+]

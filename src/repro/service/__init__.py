@@ -1,0 +1,55 @@
+"""Scheduler-as-a-service: a persistent async front-end over the simulator.
+
+One long-lived process hosts the runtime for many tenants: streaming
+task-graph submission over newline-delimited JSON, per-tenant admission
+control with bounded backpressure, fair dispatch onto a pool of
+simulator workers that keep live scheduler instances (so versioning
+profile tables learn across submissions), and a result cache that
+answers repeated submissions byte-identically without re-simulating.
+
+Entry points: ``python -m repro.service serve|loadgen|submit|smoke``,
+or in-process via :class:`~repro.service.server.ServiceHarness`.
+"""
+
+from repro.service.cache import CacheKey, ResultCache
+from repro.service.client import (
+    AdmissionRejectedError,
+    AsyncServiceClient,
+    HarnessClient,
+    ServiceClient,
+    ServiceError,
+    SubmitOutcome,
+)
+from repro.service.routing import ServiceRouter, active_router, route_via_service
+from repro.service.server import (
+    PROTOCOL,
+    SchedulerService,
+    ServiceConfig,
+    ServiceHarness,
+    serve_tcp,
+)
+from repro.service.session import AdmissionError, Session
+from repro.service.spec import SpecError, SubmissionSpec
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionRejectedError",
+    "AsyncServiceClient",
+    "CacheKey",
+    "HarnessClient",
+    "PROTOCOL",
+    "ResultCache",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHarness",
+    "ServiceRouter",
+    "Session",
+    "SpecError",
+    "SubmissionSpec",
+    "SubmitOutcome",
+    "active_router",
+    "route_via_service",
+    "serve_tcp",
+]

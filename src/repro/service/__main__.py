@@ -1,0 +1,196 @@
+"""Command-line entry points for the scheduler service.
+
+* ``serve`` — run a TCP server in the foreground.
+* ``submit`` — send one submission spec (inline JSON or a file).
+* ``loadgen`` — drive a running server with concurrent clients.
+* ``smoke`` — self-contained end-to-end check: start a server on an
+  ephemeral port, run the load generator against it over TCP, assert
+  the invariants CI cares about (everything completes, the cache gets
+  hits, cached answers are byte-identical), print the report.  Exits
+  non-zero on any violation, so CI needs no shell plumbing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.loadgen import run_loadgen_sync, spec_pool
+from repro.service.server import ServiceConfig, ServiceHarness
+
+
+def _add_server_opts(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=4, help="simulator worker count")
+    p.add_argument("--max-pending", type=int, default=16, help="per-tenant queue bound")
+    p.add_argument(
+        "--admission", choices=("reject", "wait"), default="reject",
+        help="what a full tenant queue does to new submissions",
+    )
+    p.add_argument("--cache-path", default=None, help="persist the result cache here")
+
+
+def _config_from(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        workers=args.workers,
+        max_pending=args.max_pending,
+        admission=args.admission,
+        cache_path=args.cache_path,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import SchedulerService, serve_tcp
+
+    async def main() -> None:
+        service = SchedulerService(_config_from(args))
+        await service.start()
+        server = await serve_tcp(service, args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"repro.service listening on {host}:{port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    if args.spec.startswith("@"):
+        with open(args.spec[1:]) as fh:
+            spec = json.load(fh)
+    else:
+        spec = json.loads(args.spec)
+    with ServiceClient(args.host, args.port) as client:
+        try:
+            outcome = client.submit(spec, no_cache=args.no_cache)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    result = outcome.result()
+    print(
+        f"{outcome.id}: {'cached' if outcome.cached else 'cold'} "
+        f"{outcome.graph_fp} makespan={result.makespan:.6f}s "
+        f"tasks={result.tasks_completed} ({outcome.latency * 1e3:.1f}ms)"
+    )
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    report = run_loadgen_sync(
+        args.host,
+        args.port,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        duplicate_fraction=args.duplicates,
+        seed=args.seed,
+    )
+    print(report.summary())
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    return 0 if report.errors == 0 else 1
+
+
+def cmd_smoke(args: argparse.Namespace) -> int:
+    failures: list[str] = []
+    config = _config_from(args)
+    with ServiceHarness(config, tcp=True) as harness:
+        assert harness.address is not None
+        host, port = harness.address
+        pool = spec_pool(seed=args.seed)
+        report = run_loadgen_sync(
+            host,
+            port,
+            n_clients=args.clients,
+            requests_per_client=args.requests,
+            duplicate_fraction=args.duplicates,
+            seed=args.seed,
+            pool=pool,
+        )
+        print(report.summary())
+
+        if report.completed != report.requests:
+            failures.append(
+                f"{report.requests - report.completed} of {report.requests} "
+                "submissions did not complete cleanly"
+            )
+        if report.cached == 0:
+            failures.append("cache hit rate is zero under duplicate load")
+        # byte-identical replay: a fresh submission of the hot spec must
+        # reproduce the exact cached payload
+        with ServiceClient(host, port) as client:
+            first = client.submit(pool[0])
+            second = client.submit(pool[0])
+            if not (first.cached and second.cached):
+                failures.append("post-loadgen resubmission missed the cache")
+            a = json.dumps(first.result_payload, sort_keys=True)
+            b = json.dumps(second.result_payload, sort_keys=True)
+            if a != b:
+                failures.append("cached resubmission payloads differ")
+            stats = client.stats()
+        print(
+            "server: "
+            f"{stats['jobs_completed']} jobs, {stats['cold_runs']} cold runs, "
+            f"cache hit rate {stats['cache']['hit_rate']:.0%}, "
+            f"{stats['scheduler_pool']['reuses']} scheduler reuses"
+        )
+        if stats["jobs_failed"]:
+            failures.append(f"{stats['jobs_failed']} jobs failed server-side")
+
+    for f in failures:
+        print(f"SMOKE FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("service smoke: OK")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.service")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("serve", help="run a TCP server in the foreground")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8750)
+    _add_server_opts(p)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit", help="send one submission spec")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8750)
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("spec", help="inline JSON, or @path/to/spec.json")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("loadgen", help="drive a running server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8750)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--requests", type=int, default=6)
+    p.add_argument("--duplicates", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="also print the report as JSON")
+    p.set_defaults(fn=cmd_loadgen)
+
+    p = sub.add_parser("smoke", help="end-to-end TCP smoke check (CI)")
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--requests", type=int, default=6)
+    p.add_argument("--duplicates", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    _add_server_opts(p)
+    p.set_defaults(fn=cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

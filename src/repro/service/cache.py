@@ -1,0 +1,222 @@
+"""The service's result cache.
+
+Simulated runs are deterministic given ``(graph, machine, scheduler,
+seed)``, so the service never simulates the same submission twice: the
+first run's serialized :class:`~repro.runtime.runtime.RunResult` is
+parked under a :class:`CacheKey` and repeated submissions are answered
+from memory, byte-identical to the original.
+
+The key's terms:
+
+* ``graph_fp`` — the canonical graph fingerprint
+  (:func:`repro.runtime.fingerprint.graph_fingerprint`),
+* ``machine_fp`` — the machine-calibration digest
+  (:func:`repro.sim.calibrate.machine_fingerprint`); re-calibrating a
+  device changes it, so stale results fall out of reach automatically
+  and :meth:`ResultCache.invalidate_machine` reclaims their entries,
+* ``scheduler_key`` — policy name + options + shared-pool flag,
+* ``seed`` — the submission's noise seed (deliberately *not* part of
+  the machine fingerprint, mirroring the profile store's rationale).
+
+Persistence follows ``repro.store`` conventions: a versioned JSON
+payload written atomically (temp file + ``os.replace``), loaded
+tolerantly (a corrupt or alien file starts an empty cache rather than
+killing the server).  All public methods are thread-safe — simulator
+workers call them from worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+CACHE_SCHEMA = "repro.result-cache/1"
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one cacheable submission."""
+
+    graph_fp: str
+    machine_fp: str
+    scheduler_key: str
+    seed: int
+
+    def encode(self) -> str:
+        """Stable string form used in the persistence payload."""
+        return json.dumps(
+            [self.graph_fp, self.machine_fp, self.scheduler_key, self.seed],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def decode(cls, encoded: str) -> "CacheKey":
+        graph_fp, machine_fp, scheduler_key, seed = json.loads(encoded)
+        return cls(graph_fp, machine_fp, scheduler_key, int(seed))
+
+
+@dataclass
+class ResultCacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidated": self.invalidated,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    payload: dict
+    hits: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class ResultCache:
+    """Thread-safe LRU map from :class:`CacheKey` to result payloads."""
+
+    def __init__(
+        self,
+        path: Optional[PathLike] = None,
+        *,
+        max_entries: Optional[int] = 1024,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.path = Path(path) if path is not None else None
+        self.max_entries = max_entries
+        self.stats = ResultCacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: CacheKey) -> Optional[dict]:
+        """The cached result payload for ``key``, or None (counted)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            entry.hits += 1
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry.payload
+
+    def insert(self, key: CacheKey, payload: dict, *, meta: Optional[dict] = None) -> None:
+        """Park one result payload; evicts the LRU entry when full."""
+        with self._lock:
+            self._entries[key] = _Entry(payload=payload, meta=dict(meta or {}))
+            self._entries.move_to_end(key)
+            self.stats.insertions += 1
+            while self.max_entries is not None and len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate_machine(self, machine_fp: str) -> int:
+        """Drop every entry recorded under ``machine_fp``.
+
+        New submissions on a re-calibrated machine already miss (the
+        fingerprint is part of the key); this reclaims the dead weight.
+        """
+        with self._lock:
+            stale = [k for k in self._entries if k.machine_fp == machine_fp]
+            for k in stale:
+                del self._entries[k]
+            self.stats.invalidated += len(stale)
+            return len(stale)
+
+    def keys(self) -> list[CacheKey]:
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.store conventions: versioned, atomic)
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        assert self.path is not None
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return  # unreadable cache = cold cache, never a dead server
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            return
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            return
+        for encoded, record in entries.items():
+            try:
+                key = CacheKey.decode(encoded)
+                self._entries[key] = _Entry(
+                    payload=record["result"],
+                    hits=int(record.get("hits", 0)),
+                    meta=dict(record.get("meta", {})),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # skip the one bad entry, keep the rest
+
+    def save(self) -> Optional[Path]:
+        """Atomically persist the cache (no-op without a path)."""
+        if self.path is None:
+            return None
+        with self._lock:
+            payload = {
+                "schema": CACHE_SCHEMA,
+                "entries": {
+                    key.encode(): {
+                        "result": entry.payload,
+                        "hits": entry.hits,
+                        "meta": entry.meta,
+                    }
+                    for key, entry in self._entries.items()
+                },
+            }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return self.path
+
+
+__all__ = ["CACHE_SCHEMA", "CacheKey", "ResultCache", "ResultCacheStats"]

@@ -1,0 +1,246 @@
+"""Client-side bindings for the scheduler service.
+
+Three flavours over the same request/response shapes:
+
+* :class:`ServiceClient` — synchronous, one TCP connection, blocking
+  socket I/O.  What a batch script (``reproduce.py --serve``) uses.
+* :class:`AsyncServiceClient` — ``asyncio`` streams, for the load
+  generator's many concurrent tenants.
+* :class:`HarnessClient` — calls straight into an in-process
+  :class:`~repro.service.server.ServiceHarness`, no sockets; what unit
+  tests use.
+
+All three normalise responses into :class:`SubmitOutcome` and raise
+typed errors: :class:`AdmissionRejectedError` for admission overflow,
+:class:`ServiceError` (with ``.code``) for everything else.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro.service.spec import SubmissionSpec
+
+
+class ServiceError(Exception):
+    """The service answered with a typed error response."""
+
+    def __init__(self, code: str, message: str, response: Optional[dict] = None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.response = response or {}
+
+
+class AdmissionRejectedError(ServiceError):
+    """The tenant's admission queue was full under the reject policy."""
+
+
+@dataclass
+class SubmitOutcome:
+    """One successful submission, decoded."""
+
+    id: str
+    cached: bool
+    graph_fp: str
+    machine_fp: str
+    raw: dict          #: the full response (``raw["result"]`` is the payload)
+    latency: float     #: client-observed round-trip seconds
+
+    @property
+    def result_payload(self) -> dict:
+        return self.raw["result"]
+
+    def result(self):
+        """The deserialized :class:`RunResult` (live fields are None)."""
+        from repro.runtime.serialize import run_result_from_dict
+
+        return run_result_from_dict(self.raw["result"])
+
+
+def _raise_for(response: dict) -> None:
+    err = response.get("error") or {}
+    code = err.get("code", "run-failed")
+    message = err.get("message", "unknown service error")
+    if code == "admission-rejected":
+        raise AdmissionRejectedError(code, message, response)
+    raise ServiceError(code, message, response)
+
+
+def _decode_submit(response: dict, latency: float) -> SubmitOutcome:
+    if not response.get("ok"):
+        _raise_for(response)
+    return SubmitOutcome(
+        id=str(response.get("id")),
+        cached=bool(response.get("cached")),
+        graph_fp=str(response.get("graph_fp")),
+        machine_fp=str(response.get("machine_fp")),
+        raw=response,
+        latency=latency,
+    )
+
+
+def _submit_request(
+    spec: Union[SubmissionSpec, Mapping[str, Any]],
+    *,
+    rid: Optional[str],
+    tenant: Optional[str],
+    no_cache: bool,
+) -> dict:
+    payload = spec.to_dict() if isinstance(spec, SubmissionSpec) else dict(spec)
+    request: dict[str, Any] = {"op": "submit", "spec": payload}
+    if rid is not None:
+        request["id"] = rid
+    if tenant is not None:
+        request["tenant"] = tenant
+    if no_cache:
+        request["no_cache"] = True
+    return request
+
+
+class _ClientOps:
+    """Shared sync surface; subclasses provide :meth:`request`."""
+
+    def request(self, request: Mapping[str, Any]) -> dict:
+        raise NotImplementedError
+
+    def submit(
+        self,
+        spec: Union[SubmissionSpec, Mapping[str, Any]],
+        *,
+        rid: Optional[str] = None,
+        tenant: Optional[str] = None,
+        no_cache: bool = False,
+    ) -> SubmitOutcome:
+        t0 = time.perf_counter()
+        response = self.request(
+            _submit_request(spec, rid=rid, tenant=tenant, no_cache=no_cache)
+        )
+        return _decode_submit(response, time.perf_counter() - t0)
+
+    def ping(self) -> dict:
+        response = self.request({"op": "ping"})
+        if not response.get("ok"):
+            _raise_for(response)
+        return response
+
+    def stats(self) -> dict:
+        response = self.request({"op": "stats"})
+        if not response.get("ok"):
+            _raise_for(response)
+        return response["stats"]
+
+
+class ServiceClient(_ClientOps):
+    """Blocking TCP client: one connection, one request in flight."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 300.0) -> None:
+        self.address = (host, port)
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def request(self, request: Mapping[str, Any]) -> dict:
+        self._sock.sendall(json.dumps(dict(request)).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ServiceError("connection-closed", "server closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+
+class HarnessClient(_ClientOps):
+    """In-process client over a started ServiceHarness (tests)."""
+
+    def __init__(self, harness: Any, *, tenant: str = "local") -> None:
+        self._harness = harness
+        self._tenant = tenant
+
+    def request(self, request: Mapping[str, Any]) -> dict:
+        return self._harness.request(request, tenant=self._tenant)
+
+
+class AsyncServiceClient:
+    """``asyncio`` TCP client for concurrent load generation.
+
+    One connection per instance; requests are serialized per connection
+    (the load generator gets concurrency by opening many clients, which
+    is also what makes each connection its own tenant server-side).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.address = (host, port)
+        self._reader: Optional[Any] = None
+        self._writer: Optional[Any] = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        import asyncio
+
+        from repro.service.server import MAX_LINE
+
+        self._reader, self._writer = await asyncio.open_connection(
+            *self.address, limit=MAX_LINE
+        )
+        return self
+
+    async def request(self, request: Mapping[str, Any]) -> dict:
+        assert self._reader is not None and self._writer is not None, "not connected"
+        self._writer.write(json.dumps(dict(request)).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("connection-closed", "server closed the connection")
+        return json.loads(line)
+
+    async def submit(
+        self,
+        spec: Union[SubmissionSpec, Mapping[str, Any]],
+        *,
+        rid: Optional[str] = None,
+        tenant: Optional[str] = None,
+        no_cache: bool = False,
+    ) -> SubmitOutcome:
+        t0 = time.perf_counter()
+        response = await self.request(
+            _submit_request(spec, rid=rid, tenant=tenant, no_cache=no_cache)
+        )
+        return _decode_submit(response, time.perf_counter() - t0)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        await self.close()
+
+
+__all__ = [
+    "AdmissionRejectedError",
+    "AsyncServiceClient",
+    "HarnessClient",
+    "ServiceClient",
+    "ServiceError",
+    "SubmitOutcome",
+]

@@ -1,0 +1,186 @@
+"""Load generator: many concurrent tenants hammering one service.
+
+Drives ``n_clients`` concurrent TCP connections (each its own tenant),
+each submitting ``requests_per_client`` specs drawn from a small seeded
+pool.  ``duplicate_fraction`` controls how often a client re-submits a
+spec already in the pool rotation — the dial that produces cache hits.
+Everything is seeded, so a loadgen run is reproducible end to end and CI
+can assert on its report.
+
+The report separates cold and cached latency percentiles: the headline
+claim of the result cache is that a cached resubmission's p50 sits an
+order of magnitude under a cold run's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.service.client import AsyncServiceClient, ServiceError, SubmitOutcome
+from repro.service.spec import SubmissionSpec
+
+#: Small, fast spec shapes the generator rotates through.  All run in
+#: well under a second; variety exercises distinct cache keys.
+_POOL_SHAPES = [
+    {"app": "matmul", "app_args": {"n_tiles": 2, "variant": "hyb"}},
+    {"app": "matmul", "app_args": {"n_tiles": 3, "variant": "hyb"}},
+    {"app": "matmul", "app_args": {"n_tiles": 2, "variant": "gpu"}},
+    {"app": "cholesky", "app_args": {"n_blocks": 3, "variant": "hyb"}},
+    {"app": "cholesky", "app_args": {"n_blocks": 4, "variant": "hyb"}},
+    {"app": "pbpi", "app_args": {"generations": 2, "n_blocks": 3, "variant": "hyb"}},
+]
+
+
+def spec_pool(
+    *,
+    seed: int = 0,
+    size: int = 6,
+    scheduler: str = "versioning",
+    share_scheduler: bool = True,
+) -> list[SubmissionSpec]:
+    """A deterministic pool of small submission specs."""
+    rng = random.Random(seed)
+    pool = []
+    for i in range(size):
+        shape = _POOL_SHAPES[i % len(_POOL_SHAPES)]
+        pool.append(
+            SubmissionSpec.from_dict(
+                {
+                    **shape,
+                    "machine": "minotauro",
+                    "machine_args": {"n_smp": 2, "n_gpus": 1},
+                    "scheduler": scheduler,
+                    "seed": rng.randrange(1 << 16),
+                    "share_scheduler": share_scheduler,
+                }
+            )
+        )
+    return pool
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+@dataclass
+class LoadgenReport:
+    """What one load-generation run observed, client-side."""
+
+    n_clients: int
+    requests: int = 0
+    completed: int = 0
+    cached: int = 0
+    errors: int = 0
+    wall_time: float = 0.0
+    latencies: list[float] = field(default_factory=list, repr=False)
+    cold_latencies: list[float] = field(default_factory=list, repr=False)
+    cached_latencies: list[float] = field(default_factory=list, repr=False)
+    error_codes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.wall_time if self.wall_time else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.completed if self.completed else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_clients": self.n_clients,
+            "requests": self.requests,
+            "completed": self.completed,
+            "cached": self.cached,
+            "errors": self.errors,
+            "error_codes": dict(self.error_codes),
+            "wall_time": self.wall_time,
+            "throughput": self.throughput,
+            "hit_rate": self.hit_rate,
+            "p50": _percentile(self.latencies, 0.50),
+            "p99": _percentile(self.latencies, 0.99),
+            "cold_p50": _percentile(self.cold_latencies, 0.50),
+            "cached_p50": _percentile(self.cached_latencies, 0.50),
+        }
+
+    def summary(self) -> str:
+        d = self.as_dict()
+        return (
+            f"{d['completed']}/{d['requests']} ok "
+            f"({d['errors']} errors) in {d['wall_time']:.2f}s | "
+            f"{d['throughput']:.1f} submissions/s | "
+            f"p50 {d['p50'] * 1e3:.1f}ms p99 {d['p99'] * 1e3:.1f}ms | "
+            f"hit rate {d['hit_rate']:.0%} "
+            f"(cold p50 {d['cold_p50'] * 1e3:.1f}ms, "
+            f"cached p50 {d['cached_p50'] * 1e3:.1f}ms)"
+        )
+
+    def record(self, outcome: SubmitOutcome) -> None:
+        self.completed += 1
+        self.latencies.append(outcome.latency)
+        if outcome.cached:
+            self.cached += 1
+            self.cached_latencies.append(outcome.latency)
+        else:
+            self.cold_latencies.append(outcome.latency)
+
+    def record_error(self, exc: ServiceError) -> None:
+        self.errors += 1
+        self.error_codes[exc.code] = self.error_codes.get(exc.code, 0) + 1
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    n_clients: int = 8,
+    requests_per_client: int = 6,
+    duplicate_fraction: float = 0.5,
+    seed: int = 0,
+    pool: Optional[list[SubmissionSpec]] = None,
+) -> LoadgenReport:
+    """Drive the service from ``n_clients`` concurrent connections.
+
+    Each client walks the spec pool; with probability
+    ``duplicate_fraction`` it re-submits the pool's first spec (the
+    shared hot key) instead of advancing — that overlap across clients
+    is what fills and then exercises the result cache.
+    """
+    specs = pool if pool is not None else spec_pool(seed=seed)
+    report = LoadgenReport(n_clients=n_clients)
+    report.requests = n_clients * requests_per_client
+
+    async def one_client(cid: int) -> None:
+        rng = random.Random((seed << 8) ^ cid)
+        async with AsyncServiceClient(host, port) as client:
+            for i in range(requests_per_client):
+                if rng.random() < duplicate_fraction:
+                    spec = specs[0]
+                else:
+                    spec = specs[(cid + i) % len(specs)]
+                try:
+                    outcome = await client.submit(spec, rid=f"c{cid}-r{i}")
+                except ServiceError as exc:
+                    report.record_error(exc)
+                else:
+                    report.record(outcome)
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(one_client(c) for c in range(n_clients)))
+    report.wall_time = time.perf_counter() - t0
+    return report
+
+
+def run_loadgen_sync(host: str, port: int, **kwargs) -> LoadgenReport:
+    """Blocking wrapper around :func:`run_loadgen` (owns its loop)."""
+    return asyncio.run(run_loadgen(host, port, **kwargs))
+
+
+__all__ = ["LoadgenReport", "run_loadgen", "run_loadgen_sync", "spec_pool"]

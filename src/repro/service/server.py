@@ -1,0 +1,560 @@
+"""The scheduler service: a persistent async front-end over the simulator.
+
+One process hosts the simulator for many tenants.  Requests are
+newline-delimited JSON; the same :meth:`SchedulerService.handle_request`
+coroutine also serves as an in-process transport for tests and for
+:class:`ServiceHarness`.  The moving parts:
+
+* per-tenant :class:`~repro.service.session.Session` admission queues
+  (bounded; reject or backpressure on overflow),
+* a **dispatcher** coroutine draining sessions round-robin — at most one
+  job per tenant per sweep, so a flooding tenant cannot starve others —
+  into a bounded run queue,
+* ``workers`` worker coroutines executing jobs in threads
+  (``asyncio.to_thread``); simulations are pure Python compute but the
+  event loop must stay responsive to new submissions,
+* a **live scheduler pool**: submissions with ``share_scheduler=True``
+  reuse one scheduler instance per (scheduler key, machine fingerprint),
+  so versioning profile tables keep learning across submissions from all
+  tenants — the paper's persistent-runtime behaviour, where the second
+  tenant benefits from what the first tenant's runs taught the policy,
+* a :class:`~repro.service.cache.ResultCache` answering repeated
+  submissions without re-simulating, byte-identical to the first run.
+
+Every response is a JSON object with ``"ok"``; failures carry a typed
+``error.code`` (``bad-request`` / ``bad-spec`` / ``admission-rejected`` /
+``run-failed`` / ``validation-failed``) so clients can branch without
+parsing prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.runtime.fingerprint import app_graph_fingerprint
+from repro.service.cache import CacheKey, ResultCache
+from repro.service.session import AdmissionError, Job, Session
+from repro.service.spec import SpecError, SubmissionSpec
+
+PROTOCOL = "repro.service/1"
+
+
+class ValidationFailed(Exception):
+    """A cold run produced a trace the sanitizer rejects."""
+
+    def __init__(self, messages: list[str]) -> None:
+        super().__init__("; ".join(messages))
+        self.messages = messages
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one service instance."""
+
+    workers: int = 4            #: concurrent simulator workers
+    max_pending: int = 16       #: per-tenant admission queue bound
+    admission: str = "reject"   #: "reject" or "wait" on overflow
+    cache_path: Optional[str] = None
+    cache_entries: Optional[int] = 1024
+    validate_results: bool = True  #: sanitize every cold run before caching
+
+
+@dataclass
+class _SchedulerEntry:
+    """One pooled live scheduler plus its serialization lock.
+
+    A scheduler instance is single-run state *plus* learned profile
+    tables; two simulations must not bind it concurrently, so cold runs
+    drawing from the pool serialize on ``lock`` (runs with different
+    keys still overlap freely).
+    """
+
+    scheduler: Any
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    runs: int = 0
+
+
+class SchedulerService:
+    """Transport-agnostic service core (see module docstring)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        if self.config.workers < 1:
+            raise ValueError("need at least one worker")
+        self.cache = ResultCache(
+            self.config.cache_path, max_entries=self.config.cache_entries
+        )
+        self.sessions: dict[str, Session] = {}
+        self._scheduler_pool: dict[tuple[str, str], _SchedulerEntry] = {}
+        self._pool_lock = threading.Lock()
+        # canonical (app, app_args, machine, machine_args) -> the two
+        # fingerprints of the cache key.  A captured graph and a built
+        # machine are deterministic functions of those spec fields, so
+        # repeated submissions skip graph capture entirely — that is
+        # what keeps a cache hit at transport cost instead of
+        # graph-construction cost.
+        self._fp_cache: dict[str, tuple[str, str]] = {}
+        self._fp_lock = threading.Lock()
+        self._job_ids = itertools.count(1)
+        self._run_queue: "asyncio.Queue[Job]" = asyncio.Queue(
+            maxsize=2 * self.config.workers
+        )
+        self._work_event = asyncio.Event()
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.cold_runs = 0
+        self.scheduler_reuses = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tasks = [asyncio.create_task(self._dispatch(), name="svc-dispatch")]
+        self._tasks += [
+            asyncio.create_task(self._worker(i), name=f"svc-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+
+    async def stop(self) -> None:
+        self._running = False
+        for t in self._tasks:
+            t.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        # anything still queued must not leave a client hanging
+        for session in self.sessions.values():
+            while True:
+                try:
+                    job = session.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._finish(job, _error(job.id, "run-failed", "service stopped"))
+        while True:
+            try:
+                job = self._run_queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._finish(job, _error(job.id, "run-failed", "service stopped"))
+        self.cache.save()
+
+    # ------------------------------------------------------------------
+    # The in-process transport (TCP wraps this too)
+    # ------------------------------------------------------------------
+    async def handle_request(
+        self, request: Mapping[str, Any], tenant: str = "anon"
+    ) -> dict:
+        if not isinstance(request, Mapping):
+            return _error(None, "bad-request", "request must be a JSON object")
+        rid = request.get("id")
+        op = request.get("op", "submit")
+        try:
+            if op == "ping":
+                return {"ok": True, "id": rid, "protocol": PROTOCOL}
+            if op == "stats":
+                return {"ok": True, "id": rid, "stats": self.stats()}
+            if op == "invalidate-machine":
+                mfp = request.get("machine_fp")
+                if not isinstance(mfp, str):
+                    return _error(rid, "bad-request", "invalidate-machine needs machine_fp")
+                return {"ok": True, "id": rid, "invalidated": self.cache.invalidate_machine(mfp)}
+            if op == "submit":
+                return await self._submit(request, tenant)
+            return _error(rid, "bad-request", f"unknown op {op!r}")
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # the transport must always answer
+            return _error(rid, "run-failed", f"{type(exc).__name__}: {exc}")
+
+    async def _submit(self, request: Mapping[str, Any], tenant: str) -> dict:
+        rid = request.get("id") or f"job-{next(self._job_ids)}"
+        tenant = str(request.get("tenant", tenant))
+        try:
+            spec = SubmissionSpec.from_dict(request.get("spec"))
+        except SpecError as exc:
+            return _error(rid, "bad-spec", str(exc))
+        job = Job(
+            id=str(rid),
+            tenant=tenant,
+            spec=spec,
+            no_cache=bool(request.get("no_cache", False)),
+            submitted_at=time.perf_counter(),
+        )
+        session = self._session(tenant)
+        try:
+            await session.admit(job)
+        except AdmissionError as exc:
+            return _error(job.id, exc.code, str(exc), tenant=tenant)
+        self._work_event.set()
+        return await job.future
+
+    def _session(self, tenant: str) -> Session:
+        session = self.sessions.get(tenant)
+        if session is None:
+            session = Session(
+                tenant,
+                max_pending=self.config.max_pending,
+                admission=self.config.admission,
+            )
+            self.sessions[tenant] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Dispatcher and workers
+    # ------------------------------------------------------------------
+    async def _dispatch(self) -> None:
+        """Round-robin: one job per session per sweep into the run queue."""
+        while True:
+            await self._work_event.wait()
+            self._work_event.clear()
+            moved = True
+            while moved:
+                moved = False
+                for session in list(self.sessions.values()):
+                    try:
+                        job = session.queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        continue
+                    await self._run_queue.put(job)  # bounded: throttles the sweep
+                    moved = True
+
+    async def _worker(self, index: int) -> None:
+        while True:
+            job = await self._run_queue.get()
+            job.started_at = time.perf_counter()
+            try:
+                response = await asyncio.to_thread(self._execute, job)
+            except SpecError as exc:
+                response = _error(job.id, "bad-spec", str(exc))
+            except ValidationFailed as exc:
+                response = _error(job.id, "validation-failed", str(exc))
+            except asyncio.CancelledError:
+                self._finish(job, _error(job.id, "run-failed", "service stopped"))
+                raise
+            except Exception as exc:
+                response = _error(job.id, "run-failed", f"{type(exc).__name__}: {exc}")
+            self._finish(job, response)
+
+    def _finish(self, job: Job, response: dict) -> None:
+        job.finished_at = time.perf_counter()
+        if response.get("ok"):
+            self.jobs_completed += 1
+            response["elapsed"] = job.finished_at - job.submitted_at
+        else:
+            self.jobs_failed += 1
+            response.setdefault("tenant", job.tenant)
+        if not job.future.done():
+            job.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # Job execution (worker thread)
+    # ------------------------------------------------------------------
+    def _execute(self, job: Job) -> dict:
+        """Fingerprint, consult the cache, simulate on a miss."""
+        import json
+
+        from repro.runtime.runtime import OmpSsRuntime
+        from repro.sim.calibrate import machine_fingerprint
+
+        spec = job.spec
+        fp_key = json.dumps(
+            {
+                "app": spec.app,
+                "app_args": dict(spec.app_args),
+                "machine": spec.machine,
+                "machine_args": dict(spec.machine_args),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self._fp_lock:
+            fps = self._fp_cache.get(fp_key)
+        machine = app = None
+        if fps is None:
+            graph_fp = app_graph_fingerprint(spec.build_app())
+            machine = spec.build_machine()
+            app = spec.build_app()
+            app.register_cost_models(machine)
+            machine_fp = machine_fingerprint(machine)
+            with self._fp_lock:
+                self._fp_cache[fp_key] = (graph_fp, machine_fp)
+        else:
+            graph_fp, machine_fp = fps
+        key = CacheKey(graph_fp, machine_fp, spec.scheduler_key(), spec.seed)
+
+        if not job.no_cache:
+            payload = self.cache.lookup(key)
+            if payload is not None:
+                return self._ok(job, key, payload, cached=True)
+
+        if machine is None:
+            machine = spec.build_machine()
+            app = spec.build_app()
+            app.register_cost_models(machine)
+
+        entry = self._pool_entry(spec, machine_fp) if spec.share_scheduler else None
+        if entry is not None:
+            with entry.lock:
+                rt = OmpSsRuntime(machine, entry.scheduler, config=spec.build_config())
+                with rt:
+                    app.master(rt)
+                result = rt.result()
+                entry.runs += 1
+                if entry.runs > 1:
+                    self.scheduler_reuses += 1
+        else:
+            rt = OmpSsRuntime(
+                machine,
+                spec.scheduler,
+                config=spec.build_config(),
+                scheduler_options=dict(spec.scheduler_options),
+            )
+            with rt:
+                app.master(rt)
+            result = rt.result()
+        self.cold_runs += 1
+
+        if self.config.validate_results:
+            from repro.sanitizer.diagnostics import Severity
+            from repro.sanitizer.invariants import validate_run
+
+            errors = [
+                f"{d.code}: {d.message}"
+                for d in validate_run(result)
+                if d.severity is Severity.ERROR
+            ]
+            if errors:
+                raise ValidationFailed(errors)
+
+        from repro.runtime.serialize import run_result_to_dict
+
+        payload = run_result_to_dict(result)
+        self.cache.insert(key, payload, meta={"app": spec.app, "tenant": job.tenant})
+        return self._ok(job, key, payload, cached=False)
+
+    def _pool_entry(self, spec: SubmissionSpec, machine_fp: str) -> _SchedulerEntry:
+        from repro.schedulers.registry import create_scheduler
+
+        pool_key = (spec.scheduler_key(), machine_fp)
+        with self._pool_lock:
+            entry = self._scheduler_pool.get(pool_key)
+            if entry is None:
+                entry = _SchedulerEntry(
+                    scheduler=create_scheduler(
+                        spec.scheduler, **dict(spec.scheduler_options)
+                    )
+                )
+                self._scheduler_pool[pool_key] = entry
+            return entry
+
+    def _ok(self, job: Job, key: CacheKey, payload: dict, *, cached: bool) -> dict:
+        return {
+            "ok": True,
+            "id": job.id,
+            "tenant": job.tenant,
+            "cached": cached,
+            "graph_fp": key.graph_fp,
+            "machine_fp": key.machine_fp,
+            "result": payload,
+        }
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._pool_lock:
+            pool = {
+                "entries": len(self._scheduler_pool),
+                "reuses": self.scheduler_reuses,
+            }
+        return {
+            "protocol": PROTOCOL,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "cold_runs": self.cold_runs,
+            "cache": self.cache.stats.as_dict(),
+            "cache_entries": len(self.cache),
+            "scheduler_pool": pool,
+            "sessions": {t: s.stats.as_dict() for t, s in self.sessions.items()},
+        }
+
+
+def _error(rid: Optional[str], code: str, message: str, **extra: Any) -> dict:
+    out: dict[str, Any] = {
+        "ok": False,
+        "id": rid,
+        "error": {"code": code, "message": message},
+    }
+    out.update(extra)
+    return out
+
+
+# ----------------------------------------------------------------------
+# TCP transport: newline-delimited JSON over a stream
+# ----------------------------------------------------------------------
+MAX_LINE = 8 * 1024 * 1024  # a spec is small; a result payload is not ours to read
+
+
+async def serve_tcp(
+    service: SchedulerService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Bind a newline-delimited-JSON listener onto ``service``.
+
+    Each connection is one tenant by default (``conn-N``); requests may
+    override with an explicit ``"tenant"`` field.  Requests on one
+    connection are processed concurrently (pipelining) — responses carry
+    the request ``id`` for correlation and writes are serialized.
+    """
+    import json
+
+    conn_ids = itertools.count(1)
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        tenant = f"conn-{next(conn_ids)}"
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def send(response: dict) -> None:
+            async with write_lock:
+                writer.write(json.dumps(response, sort_keys=True).encode() + b"\n")
+                await writer.drain()
+
+        async def answer(request: Any) -> None:
+            if isinstance(request, Mapping):
+                response = await service.handle_request(request, tenant)
+            else:
+                response = _error(None, "bad-request", "request must be a JSON object")
+            await send(response)
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line or len(line) > MAX_LINE:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    task = asyncio.create_task(
+                        send(_error(None, "bad-request", f"invalid JSON: {exc}"))
+                    )
+                else:
+                    task = asyncio.create_task(answer(request))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    server = await asyncio.start_server(handle, host, port, limit=MAX_LINE)
+    return server
+
+
+# ----------------------------------------------------------------------
+# Harness: run the service (and optionally TCP) on a background thread
+# ----------------------------------------------------------------------
+class ServiceHarness:
+    """A running service owned by a background event-loop thread.
+
+    Gives synchronous code — tests, benchmarks, the batch CLI — both
+    transports: :meth:`request` calls straight into the service
+    in-process, and with ``tcp=True`` the harness also listens on an
+    ephemeral localhost port (:attr:`address`).  Use as a context
+    manager; exit stops the loop and persists the cache.
+    """
+
+    def __init__(
+        self, config: Optional[ServiceConfig] = None, *, tcp: bool = False
+    ) -> None:
+        self.service = SchedulerService(config)
+        self._tcp = tcp
+        self.address: Optional[tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ServiceHarness":
+        started = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            async def boot() -> None:
+                await self.service.start()
+                if self._tcp:
+                    self._server = await serve_tcp(self.service)
+                    self.address = self._server.sockets[0].getsockname()[:2]
+                started.set()
+
+            loop.run_until_complete(boot())
+            loop.run_forever()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-service", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def stop(self) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+
+        async def teardown() -> None:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            await self.service.stop()
+
+        asyncio.run_coroutine_threadsafe(teardown(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        self._loop = self._thread = self._server = None
+
+    def __enter__(self) -> "ServiceHarness":
+        return self.start()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()
+
+    # -- the synchronous in-process transport ---------------------------
+    def request(
+        self, request: Mapping[str, Any], *, tenant: str = "local", timeout: float = 300.0
+    ) -> dict:
+        assert self._loop is not None, "harness not started"
+        fut = asyncio.run_coroutine_threadsafe(
+            self.service.handle_request(request, tenant), self._loop
+        )
+        return fut.result(timeout=timeout)
+
+
+__all__ = [
+    "PROTOCOL",
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceHarness",
+    "ValidationFailed",
+    "serve_tcp",
+]

@@ -1,0 +1,116 @@
+"""Per-tenant session state: admission queues and backpressure.
+
+Every connecting tenant gets a :class:`Session` holding a bounded
+admission queue.  The dispatcher drains all sessions round-robin, so one
+tenant flooding the service cannot starve the others — fairness is
+structural, not probabilistic.
+
+Two admission policies govern what happens when a tenant's queue is
+full:
+
+* ``"reject"`` (default) — the submission fails immediately with a
+  typed :class:`AdmissionError` the transport turns into an
+  ``admission-rejected`` error response.  The client learns *now* that
+  it is over its budget; nothing hangs.
+* ``"wait"`` — the submitting coroutine blocks on the queue, exerting
+  backpressure up the transport (the TCP reader stops consuming, the
+  kernel socket buffer fills, the client's writes stall).
+
+Jobs carry an :class:`asyncio.Future` resolved by the worker that runs
+them; the transport awaits it to answer the client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.service.spec import SubmissionSpec
+
+
+class AdmissionError(Exception):
+    """The tenant's admission queue is full and the policy is reject."""
+
+    code = "admission-rejected"
+
+    def __init__(self, tenant: str, limit: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} has {limit} submissions pending; "
+            "retry after some complete (admission policy: reject)"
+        )
+        self.tenant = tenant
+        self.limit = limit
+
+
+@dataclass
+class Job:
+    """One admitted submission travelling through the service."""
+
+    id: str
+    tenant: str
+    spec: SubmissionSpec
+    no_cache: bool = False
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    future: "asyncio.Future[dict]" = field(default_factory=asyncio.Future, repr=False)
+
+
+@dataclass
+class SessionStats:
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+
+
+class Session:
+    """One tenant's admission queue plus accounting."""
+
+    def __init__(
+        self,
+        tenant: str,
+        *,
+        max_pending: int = 16,
+        admission: str = "reject",
+    ) -> None:
+        if admission not in ("reject", "wait"):
+            raise ValueError(f"unknown admission policy {admission!r}")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.tenant = tenant
+        self.admission = admission
+        self.max_pending = max_pending
+        self.stats = SessionStats()
+        self.queue: "asyncio.Queue[Job]" = asyncio.Queue(maxsize=max_pending)
+
+    async def admit(self, job: Job) -> None:
+        """Enqueue ``job`` per the admission policy.
+
+        Raises :class:`AdmissionError` when the queue is full under the
+        reject policy; blocks (backpressure) under wait.
+        """
+        if self.admission == "reject":
+            try:
+                self.queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.stats.rejected += 1
+                raise AdmissionError(self.tenant, self.max_pending) from None
+        else:
+            await self.queue.put(job)
+        self.stats.submitted += 1
+
+    def pending(self) -> int:
+        return self.queue.qsize()
+
+
+__all__ = ["AdmissionError", "Job", "Session", "SessionStats"]

@@ -20,6 +20,7 @@ reports hold on the simulated machine:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional
 
@@ -146,6 +147,11 @@ class Machine:
     ) -> None:
         self.name = name
         self.layout = layout
+        #: build provenance (factory name, args, seed) recorded by the
+        #: machine factories; the scheduler service uses it to rebuild
+        #: an equivalent machine from a submission spec.  ``None`` for
+        #: hand-assembled machines (they are not service-routable).
+        self.provenance: Optional[dict] = None
         self.devices: list[Device] = list(devices)
         if not self.devices:
             raise ValueError("a machine needs at least one device")
@@ -367,7 +373,22 @@ def cluster_machine(
                 )
     name = f"cluster[{n_nodes}x({smp_per_node}smp+{gpus_per_node}gpu)]"
     layout = ClusterLayout(node_of_space, node_of_device, host_of_node)
-    return Machine(name, devices, links, layout=layout)
+    machine = Machine(name, devices, links, layout=layout)
+    machine.provenance = {
+        "factory": "cluster",
+        "args": {
+            "n_nodes": n_nodes,
+            "smp_per_node": smp_per_node,
+            "gpus_per_node": gpus_per_node,
+            "network_bandwidth": network_bandwidth,
+            "network_latency": network_latency,
+            "nic_channels": nic_channels,
+            "gpu_memory_bytes": gpu_memory_bytes,
+            "noise_cv": noise_cv,
+        },
+        "seed": seed,
+    }
+    return machine
 
 
 def minotauro_node(
@@ -413,4 +434,11 @@ def minotauro_node(
             if a != b:
                 links.append(Link(a, b, spec.p2p_bandwidth, spec.p2p_latency))
 
-    return Machine(f"minotauro[{spec.n_smp}smp+{spec.n_gpus}gpu]", devices, links)
+    machine = Machine(f"minotauro[{spec.n_smp}smp+{spec.n_gpus}gpu]", devices, links)
+    args = dataclasses.asdict(spec)
+    machine.provenance = {
+        "factory": "minotauro",
+        "args": {k: v for k, v in args.items() if k != "seed"},
+        "seed": spec.seed,
+    }
+    return machine

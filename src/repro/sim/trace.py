@@ -70,6 +70,26 @@ class Trace:
     def sorted(self) -> list[TraceRecord]:
         return sorted(self._records, key=lambda r: (r.start, r.end, r.worker))
 
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a versioned JSON string (see
+        :mod:`repro.runtime.serialize`); floats round-trip exactly, so
+        two equal traces serialize to the same bytes and vice versa."""
+        import json
+
+        from repro.runtime.serialize import trace_to_dict
+
+        return json.dumps(trace_to_dict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Trace":
+        """Rebuild a trace serialized with :meth:`to_json`."""
+        import json
+
+        from repro.runtime.serialize import trace_from_dict
+
+        return trace_from_dict(json.loads(payload))
+
     def for_worker(self, worker: str) -> list[TraceRecord]:
         return [r for r in self._records if r.worker == worker]
 

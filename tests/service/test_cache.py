@@ -1,0 +1,94 @@
+"""ResultCache behaviour: keys, LRU, invalidation, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cache import CACHE_SCHEMA, CacheKey, ResultCache
+
+
+def key(n: int = 0, *, mfp: str = "fp:machine", seed: int = 0) -> CacheKey:
+    return CacheKey(f"gfp:{n:016x}", mfp, '{"scheduler":"versioning"}', seed)
+
+
+def test_lookup_miss_then_hit():
+    cache = ResultCache()
+    assert cache.lookup(key()) is None
+    cache.insert(key(), {"makespan": 1.0})
+    assert cache.lookup(key()) == {"makespan": 1.0}
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_seed_is_part_of_the_key():
+    # machine fingerprints deliberately exclude the RNG seed, so the
+    # cache key must carry it explicitly
+    cache = ResultCache()
+    cache.insert(key(seed=1), {"seed": 1})
+    assert cache.lookup(key(seed=2)) is None
+    assert cache.lookup(key(seed=1)) == {"seed": 1}
+
+
+def test_lru_eviction():
+    cache = ResultCache(max_entries=2)
+    cache.insert(key(1), {"n": 1})
+    cache.insert(key(2), {"n": 2})
+    assert cache.lookup(key(1)) == {"n": 1}  # touch 1: 2 becomes LRU
+    cache.insert(key(3), {"n": 3})
+    assert cache.lookup(key(2)) is None
+    assert cache.lookup(key(1)) == {"n": 1}
+    assert cache.stats.evictions == 1
+
+
+def test_invalidate_machine():
+    cache = ResultCache()
+    cache.insert(key(1, mfp="fp:aaaa"), {"n": 1})
+    cache.insert(key(2, mfp="fp:aaaa"), {"n": 2})
+    cache.insert(key(3, mfp="fp:bbbb"), {"n": 3})
+    assert cache.invalidate_machine("fp:aaaa") == 2
+    assert len(cache) == 1
+    assert cache.lookup(key(3, mfp="fp:bbbb")) == {"n": 3}
+    assert cache.stats.invalidated == 2
+
+
+def test_persistence_round_trip(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    cache.insert(key(1), {"n": 1})
+    cache.insert(key(2, seed=9), {"n": 2})
+    cache.save()
+
+    reloaded = ResultCache(path)
+    assert len(reloaded) == 2
+    assert reloaded.lookup(key(1)) == {"n": 1}
+    assert reloaded.lookup(key(2, seed=9)) == {"n": 2}
+
+
+def test_corrupt_cache_file_starts_cold(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{not json")
+    cache = ResultCache(path)
+    assert len(cache) == 0
+    path.write_text(json.dumps({"schema": "something/else", "entries": {}}))
+    assert len(ResultCache(path)) == 0
+
+
+def test_persisted_payload_is_versioned(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    cache.insert(key(), {"n": 1})
+    cache.save()
+    assert json.loads(path.read_text())["schema"] == CACHE_SCHEMA
+
+
+def test_bad_max_entries_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=0)
+
+
+def test_key_encode_decode():
+    k = key(7, seed=3)
+    assert CacheKey.decode(k.encode()) == k

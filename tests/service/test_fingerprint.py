@@ -1,0 +1,92 @@
+"""Canonical graph fingerprints: stable in-process and across processes."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.apps.cholesky import CholeskyApp
+from repro.apps.matmul import MatmulApp
+from repro.apps.pbpi import PBPIApp
+from repro.runtime.fingerprint import GraphCapture, app_graph_fingerprint
+
+
+def test_identical_apps_identical_fingerprint():
+    a = app_graph_fingerprint(MatmulApp(n_tiles=3, variant="hyb"))
+    b = app_graph_fingerprint(MatmulApp(n_tiles=3, variant="hyb"))
+    assert a == b
+    assert a.startswith("gfp:")
+
+
+def test_fingerprint_ignores_uid_counter():
+    # burn task uids between the two captures: the run-global counter
+    # must not leak into the hash
+    first = app_graph_fingerprint(MatmulApp(n_tiles=3, variant="hyb"))
+    app_graph_fingerprint(CholeskyApp(n_blocks=4, variant="gpu"))
+    second = app_graph_fingerprint(MatmulApp(n_tiles=3, variant="hyb"))
+    assert first == second
+
+
+def test_distinct_graphs_distinct_fingerprints():
+    fps = {
+        app_graph_fingerprint(MatmulApp(n_tiles=3, variant="hyb")),
+        app_graph_fingerprint(MatmulApp(n_tiles=4, variant="hyb")),
+        app_graph_fingerprint(MatmulApp(n_tiles=3, variant="gpu")),
+        app_graph_fingerprint(MatmulApp(n_tiles=3, tile_size=512, variant="hyb")),
+        app_graph_fingerprint(CholeskyApp(n_blocks=3, variant="hyb")),
+        app_graph_fingerprint(PBPIApp(generations=2, n_blocks=3, variant="hyb")),
+    }
+    assert len(fps) == 6
+
+
+def test_capture_does_not_simulate():
+    cap = GraphCapture()
+    with cap:
+        MatmulApp(n_tiles=2, variant="hyb").master(cap)  # type: ignore[arg-type]
+    assert len(cap.tasks) == 2 * 2 * 2
+    assert len(cap.graph._tasks) == len(cap.tasks)
+
+
+def test_priority_clause_enters_fingerprint():
+    base = app_graph_fingerprint(CholeskyApp(n_blocks=3, variant="hyb"))
+    prio = app_graph_fingerprint(CholeskyApp(n_blocks=3, variant="hyb", potrf_priority=5))
+    assert base != prio
+
+
+_SUBPROCESS_SNIPPET = """
+import json
+from repro.apps.cholesky import CholeskyApp
+from repro.apps.matmul import MatmulApp
+from repro.runtime.fingerprint import app_graph_fingerprint
+print(json.dumps({
+    "matmul": app_graph_fingerprint(MatmulApp(n_tiles=3, variant="hyb")),
+    "cholesky": app_graph_fingerprint(CholeskyApp(n_blocks=4, variant="hyb")),
+}))
+"""
+
+
+def _fingerprints_under(hashseed: str) -> dict:
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET],
+        env={"PYTHONPATH": src, "PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=120,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def test_fingerprint_is_process_stable():
+    """Regression: the hash must not depend on PYTHONHASHSEED or any
+    other per-process state (dict order, uid counters, object ids)."""
+    runs = [_fingerprints_under(seed) for seed in ("1", "42", "random")]
+    assert runs[0] == runs[1] == runs[2]
+    # and the parent process (whatever its hash seed) agrees
+    assert runs[0]["matmul"] == app_graph_fingerprint(MatmulApp(n_tiles=3, variant="hyb"))
+    assert runs[0]["cholesky"] == app_graph_fingerprint(
+        CholeskyApp(n_blocks=4, variant="hyb")
+    )

@@ -1,0 +1,98 @@
+"""RunResult / Trace JSON round-trips (the service's wire format)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.matmul import MatmulApp
+from repro.runtime.runtime import RunResult
+from repro.runtime.serialize import (
+    RUN_RESULT_SCHEMA,
+    TRACE_SCHEMA,
+    SchemaError,
+    run_result_from_dict,
+    run_result_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.sanitizer.invariants import validate_run
+from repro.sim.trace import Trace
+from tests.conftest import make_machine, run_app
+
+
+@pytest.fixture(scope="module")
+def result():
+    app = MatmulApp(n_tiles=3, variant="hyb")
+    return run_app(app, make_machine(2, 1, noise=0.02, seed=7), "versioning")
+
+
+def test_trace_round_trip(result):
+    restored = Trace.from_json(result.trace.to_json())
+    assert restored == result.trace
+
+
+def test_trace_json_is_stable_text(result):
+    # same trace, same bytes: the cache's byte-identity guarantee
+    assert result.trace.to_json() == result.trace.to_json()
+
+
+def test_run_result_round_trip(result):
+    payload = run_result_to_dict(result)
+    json.dumps(payload)  # wire-safe
+    restored = run_result_from_dict(payload)
+    assert isinstance(restored, RunResult)
+    assert restored == result  # live fields are excluded from equality
+    assert restored.trace == result.trace
+    assert restored.makespan == result.makespan
+    assert restored.version_counts == result.version_counts
+    assert restored.finish_order == result.finish_order
+    assert restored.transfer_stats.input_tx == result.transfer_stats.input_tx
+
+
+def test_round_trip_survives_a_second_pass(result):
+    once = run_result_to_dict(result)
+    twice = run_result_to_dict(run_result_from_dict(once))
+    assert json.dumps(once, sort_keys=True) == json.dumps(twice, sort_keys=True)
+
+
+def test_deserialized_result_still_validates(result):
+    restored = run_result_from_dict(run_result_to_dict(result))
+    assert restored.graph is None  # live fields do not travel
+    assert validate_run(restored) == []
+
+
+def test_schema_tags_present(result):
+    assert run_result_to_dict(result)["schema"] == RUN_RESULT_SCHEMA
+    assert trace_to_dict(result.trace)["schema"] == TRACE_SCHEMA
+
+
+@pytest.mark.parametrize("mangle", ["missing", "wrong", "future"])
+def test_unknown_schema_rejected(result, mangle):
+    payload = run_result_to_dict(result)
+    if mangle == "missing":
+        del payload["schema"]
+    elif mangle == "wrong":
+        payload["schema"] = "repro.trace/1"
+    else:
+        payload["schema"] = "repro.run-result/999"
+    with pytest.raises(SchemaError):
+        run_result_from_dict(payload)
+
+
+def test_unknown_trace_schema_rejected(result):
+    payload = trace_to_dict(result.trace)
+    payload["schema"] = "repro.trace/999"
+    with pytest.raises(SchemaError):
+        trace_from_dict(payload)
+
+
+def test_trace_meta_survives(result):
+    # version-selection metadata drives figure 8-style breakdowns; the
+    # wire format must not flatten it
+    has_meta = [r for r in result.trace if r.meta]
+    assert has_meta, "expected some records with metadata"
+    restored = Trace.from_json(result.trace.to_json())
+    restored_meta = [r for r in restored if r.meta]
+    assert [r.meta for r in restored_meta] == [r.meta for r in has_meta]

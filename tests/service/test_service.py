@@ -1,0 +1,212 @@
+"""End-to-end service semantics: caching, concurrency, admission control."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.sanitizer.invariants import validate_run
+from repro.service.client import AsyncServiceClient, HarnessClient
+from repro.service.loadgen import run_loadgen, spec_pool
+from repro.service.server import SchedulerService, ServiceConfig, ServiceHarness
+from repro.service.spec import SubmissionSpec
+
+SPEC = {
+    "app": "matmul",
+    "app_args": {"n_tiles": 2, "variant": "hyb"},
+    "machine_args": {"n_smp": 2, "n_gpus": 1},
+    "seed": 11,
+}
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with ServiceHarness(ServiceConfig(workers=2), tcp=True) as h:
+        yield h
+
+
+def test_second_submission_served_from_cache_byte_identical(harness):
+    client = HarnessClient(harness, tenant="cache-test")
+    spec = dict(SPEC, seed=21)
+    first = client.submit(spec)
+    second = client.submit(spec)
+    assert not first.cached
+    assert second.cached
+    assert json.dumps(first.result_payload, sort_keys=True) == json.dumps(
+        second.result_payload, sort_keys=True
+    )
+    # and through the deserializer: the replayed trace is the original
+    assert second.result().trace.to_json() == first.result().trace.to_json()
+
+
+def test_no_cache_forces_a_fresh_run(harness):
+    client = HarnessClient(harness, tenant="nocache-test")
+    spec = dict(SPEC, seed=22)
+    assert not client.submit(spec).cached
+    assert client.submit(spec).cached
+    assert not client.submit(spec, no_cache=True).cached
+
+
+def test_cached_results_validate_cleanly(harness):
+    client = HarnessClient(harness, tenant="validate-test")
+    spec = dict(SPEC, seed=23)
+    client.submit(spec)
+    restored = client.submit(spec).result()
+    assert restored.tasks_completed == 8
+    assert validate_run(restored) == []
+
+
+def test_bad_spec_is_a_typed_error(harness):
+    from repro.service.client import ServiceError
+
+    client = HarnessClient(harness, tenant="bad-spec")
+    with pytest.raises(ServiceError) as exc:
+        client.submit({"app": "no-such-app"})
+    assert exc.value.code == "bad-spec"
+
+
+def test_unknown_op_is_bad_request(harness):
+    response = harness.request({"op": "self-destruct"})
+    assert response["ok"] is False
+    assert response["error"]["code"] == "bad-request"
+
+
+def test_stats_shape(harness):
+    client = HarnessClient(harness, tenant="stats-test")
+    client.submit(dict(SPEC, seed=24))
+    stats = client.stats()
+    assert stats["jobs_completed"] >= 1
+    assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+    assert "scheduler_pool" in stats and "sessions" in stats
+
+
+def test_shared_scheduler_pool_reuses_instances(harness):
+    client = HarnessClient(harness, tenant="pool-test")
+    # distinct graphs, same (scheduler, machine) -> one pooled scheduler
+    client.submit(dict(SPEC, seed=25, app_args={"n_tiles": 2, "variant": "hyb"}))
+    before = client.stats()["scheduler_pool"]["reuses"]
+    client.submit(dict(SPEC, seed=25, app_args={"n_tiles": 3, "variant": "hyb"}))
+    assert client.stats()["scheduler_pool"]["reuses"] == before + 1
+
+
+def test_concurrent_clients_all_complete_clean(harness):
+    """N concurrent TCP clients, distinct specs: every submission comes
+    back ok and every deserialized RunResult passes the sanitizer."""
+    assert harness.address is not None
+    host, port = harness.address
+    n_clients = 6
+
+    async def one(cid: int):
+        spec = SubmissionSpec.from_dict(
+            {
+                "app": "cholesky",
+                "app_args": {"n_blocks": 3, "variant": "hyb"},
+                "machine_args": {"n_smp": 2, "n_gpus": 1},
+                "seed": 100 + cid,
+            }
+        )
+        async with AsyncServiceClient(host, port) as client:
+            return await client.submit(spec, rid=f"cc-{cid}")
+
+    async def scenario():
+        return await asyncio.gather(*(one(c) for c in range(n_clients)))
+
+    outcomes = asyncio.run(scenario())
+    assert len(outcomes) == n_clients
+    for outcome in outcomes:
+        result = outcome.result()
+        assert result.tasks_completed > 0
+        assert validate_run(result) == []
+
+
+def test_loadgen_reports_cache_hits(harness):
+    assert harness.address is not None
+    host, port = harness.address
+    report = asyncio.run(
+        run_loadgen(
+            host,
+            port,
+            n_clients=4,
+            requests_per_client=4,
+            duplicate_fraction=0.6,
+            seed=3,
+            pool=spec_pool(seed=3),
+        )
+    )
+    assert report.completed == report.requests == 16
+    assert report.errors == 0
+    assert report.cached > 0
+    assert report.hit_rate > 0.0
+
+
+def test_admission_overflow_rejects_not_hangs():
+    """One tenant floods a tiny service: overflow submissions fail with
+    the typed admission error, within a bounded wall-clock."""
+
+    async def scenario():
+        service = SchedulerService(
+            ServiceConfig(workers=1, max_pending=2, admission="reject")
+        )
+        await service.start()
+        try:
+            requests = [
+                service.handle_request(
+                    {"op": "submit", "id": f"flood-{i}", "spec": dict(SPEC, seed=30)},
+                    tenant="flood",
+                )
+                for i in range(8)
+            ]
+            return await asyncio.wait_for(asyncio.gather(*requests), timeout=60)
+        finally:
+            await service.stop()
+
+    responses = asyncio.run(scenario())
+    rejected = [r for r in responses if not r["ok"]]
+    completed = [r for r in responses if r["ok"]]
+    assert completed, "some submissions must get through"
+    assert rejected, "overflow must produce rejections"
+    for r in rejected:
+        assert r["error"]["code"] == "admission-rejected"
+        assert "flood" in r["error"]["message"]
+
+
+def test_admission_wait_policy_backpressures_instead():
+    async def scenario():
+        service = SchedulerService(
+            ServiceConfig(workers=1, max_pending=2, admission="wait")
+        )
+        await service.start()
+        try:
+            requests = [
+                service.handle_request(
+                    {"op": "submit", "spec": dict(SPEC, seed=31 + i)}, tenant="patient"
+                )
+                for i in range(6)
+            ]
+            return await asyncio.wait_for(asyncio.gather(*requests), timeout=120)
+        finally:
+            await service.stop()
+
+    responses = asyncio.run(scenario())
+    assert all(r["ok"] for r in responses)
+
+
+def test_machine_invalidation_drops_entries(harness):
+    client = HarnessClient(harness, tenant="invalidate-test")
+    outcome = client.submit(dict(SPEC, seed=40))
+    response = harness.request(
+        {"op": "invalidate-machine", "machine_fp": outcome.machine_fp}
+    )
+    assert response["ok"] and response["invalidated"] >= 1
+    assert not client.submit(dict(SPEC, seed=40)).cached  # cold again
+
+
+def test_cache_persists_across_service_instances(tmp_path):
+    path = str(tmp_path / "service-cache.json")
+    spec = dict(SPEC, seed=50)
+    with ServiceHarness(ServiceConfig(workers=1, cache_path=path)) as h:
+        assert not HarnessClient(h).submit(spec).cached
+    with ServiceHarness(ServiceConfig(workers=1, cache_path=path)) as h:
+        assert HarnessClient(h).submit(spec).cached

@@ -1,0 +1,88 @@
+"""SubmissionSpec validation and server-side builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.spec import SpecError, SubmissionSpec
+
+
+def spec_dict(**over):
+    base = {"app": "matmul", "app_args": {"n_tiles": 2, "variant": "hyb"}}
+    base.update(over)
+    return base
+
+
+def test_round_trip():
+    spec = SubmissionSpec.from_dict(spec_dict(seed=7))
+    assert SubmissionSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SpecError, match="unknown app"):
+        SubmissionSpec.from_dict(spec_dict(app="fft"))
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(SpecError, match="unknown machine"):
+        SubmissionSpec.from_dict(spec_dict(machine="bluegene"))
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(SpecError, match="unknown spec field"):
+        SubmissionSpec.from_dict(spec_dict(priority=3))
+
+
+def test_missing_app_rejected():
+    with pytest.raises(SpecError, match="missing the 'app'"):
+        SubmissionSpec.from_dict({"seed": 1})
+
+
+def test_machine_seed_must_be_top_level():
+    with pytest.raises(SpecError, match="must not carry 'seed'"):
+        SubmissionSpec.from_dict(spec_dict(machine_args={"n_smp": 2, "seed": 3}))
+
+
+def test_real_apps_not_serviceable():
+    with pytest.raises(SpecError, match="real-arithmetic"):
+        SubmissionSpec.from_dict(
+            spec_dict(app_args={"n_tiles": 2, "variant": "hyb", "real": True})
+        )
+
+
+def test_unknown_config_field_rejected():
+    with pytest.raises(SpecError, match="unknown config field"):
+        SubmissionSpec.from_dict(spec_dict(config={"turbo": True}))
+
+
+def test_build_app_and_machine():
+    spec = SubmissionSpec.from_dict(
+        spec_dict(machine_args={"n_smp": 2, "n_gpus": 1}, seed=5)
+    )
+    app = spec.build_app()
+    assert app.name == "matmul" and app.n_tiles == 2
+    machine = spec.build_machine()
+    assert len(machine.devices_of_kind("smp")) == 2
+    assert len(machine.devices_of_kind("cuda")) == 1
+    assert machine.provenance is not None and machine.provenance["seed"] == 5
+
+
+def test_bad_app_args_raise_spec_error():
+    spec = SubmissionSpec.from_dict(spec_dict(app_args={"n_tiles": -1}))
+    with pytest.raises(SpecError, match="bad app_args"):
+        spec.build_app()
+
+
+def test_scheduler_key_covers_options_and_sharing():
+    a = SubmissionSpec.from_dict(spec_dict())
+    b = SubmissionSpec.from_dict(spec_dict(share_scheduler=False))
+    c = SubmissionSpec.from_dict(spec_dict(scheduler_options={"window": 4}))
+    keys = {a.scheduler_key(), b.scheduler_key(), c.scheduler_key()}
+    assert len(keys) == 3
+
+
+def test_build_config():
+    spec = SubmissionSpec.from_dict(spec_dict(config={"prefetch": False}))
+    config = spec.build_config()
+    assert config is not None and config.prefetch is False
+    assert SubmissionSpec.from_dict(spec_dict()).build_config() is None
