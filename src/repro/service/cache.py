@@ -16,7 +16,10 @@ The key's terms:
   and :meth:`ResultCache.invalidate_machine` reclaims their entries,
 * ``scheduler_key`` — policy name + options + shared-pool flag,
 * ``seed`` — the submission's noise seed (deliberately *not* part of
-  the machine fingerprint, mirroring the profile store's rationale).
+  the machine fingerprint, mirroring the profile store's rationale),
+* ``config_key`` — canonical JSON of the spec's runtime-config
+  overrides (prefetch, overlap, ...); they change simulation results,
+  so an overlap on/off ablation must occupy two entries, not one.
 
 Persistence follows ``repro.store`` conventions: a versioned JSON
 payload written atomically (temp file + ``os.replace``), loaded
@@ -36,7 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
-CACHE_SCHEMA = "repro.result-cache/1"
+CACHE_SCHEMA = "repro.result-cache/2"  # v2: cache keys grew a config term
 
 PathLike = Union[str, Path]
 
@@ -49,19 +52,26 @@ class CacheKey:
     machine_fp: str
     scheduler_key: str
     seed: int
+    config_key: str = "{}"
 
     def encode(self) -> str:
         """Stable string form used in the persistence payload."""
         return json.dumps(
-            [self.graph_fp, self.machine_fp, self.scheduler_key, self.seed],
+            [
+                self.graph_fp,
+                self.machine_fp,
+                self.scheduler_key,
+                self.seed,
+                self.config_key,
+            ],
             sort_keys=True,
             separators=(",", ":"),
         )
 
     @classmethod
     def decode(cls, encoded: str) -> "CacheKey":
-        graph_fp, machine_fp, scheduler_key, seed = json.loads(encoded)
-        return cls(graph_fp, machine_fp, scheduler_key, int(seed))
+        graph_fp, machine_fp, scheduler_key, seed, config_key = json.loads(encoded)
+        return cls(graph_fp, machine_fp, scheduler_key, int(seed), config_key)
 
 
 @dataclass

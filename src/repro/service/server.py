@@ -100,6 +100,9 @@ class SchedulerService:
         # graph-construction cost.
         self._fp_cache: dict[str, tuple[str, str]] = {}
         self._fp_lock = threading.Lock()
+        # cold_runs / scheduler_reuses are bumped from worker threads;
+        # += is not atomic, so stats mutation takes this lock
+        self._stats_lock = threading.Lock()
         self._job_ids = itertools.count(1)
         self._run_queue: "asyncio.Queue[Job]" = asyncio.Queue(
             maxsize=2 * self.config.workers
@@ -208,6 +211,21 @@ class SchedulerService:
             self.sessions[tenant] = session
         return session
 
+    def release_session(self, tenant: str) -> bool:
+        """Drop ``tenant``'s session if it is idle (no queued jobs).
+
+        Transports call this when a connection-scoped tenant
+        (``conn-N``) disconnects, so a long-running server does not
+        accumulate one dead session per connection ever made.  A session
+        with queued jobs stays — the dispatcher still owns them.  Runs
+        on the event loop, like every other ``self.sessions`` access.
+        """
+        session = self.sessions.get(tenant)
+        if session is not None and session.queue.empty():
+            del self.sessions[tenant]
+            return True
+        return False
+
     # ------------------------------------------------------------------
     # Dispatcher and workers
     # ------------------------------------------------------------------
@@ -246,11 +264,16 @@ class SchedulerService:
 
     def _finish(self, job: Job, response: dict) -> None:
         job.finished_at = time.perf_counter()
+        session = self.sessions.get(job.tenant)
         if response.get("ok"):
             self.jobs_completed += 1
+            if session is not None:
+                session.stats.completed += 1
             response["elapsed"] = job.finished_at - job.submitted_at
         else:
             self.jobs_failed += 1
+            if session is not None:
+                session.stats.failed += 1
             response.setdefault("tenant", job.tenant)
         if not job.future.done():
             job.future.set_result(response)
@@ -289,7 +312,9 @@ class SchedulerService:
                 self._fp_cache[fp_key] = (graph_fp, machine_fp)
         else:
             graph_fp, machine_fp = fps
-        key = CacheKey(graph_fp, machine_fp, spec.scheduler_key(), spec.seed)
+        key = CacheKey(
+            graph_fp, machine_fp, spec.scheduler_key(), spec.seed, spec.config_key()
+        )
 
         if not job.no_cache:
             payload = self.cache.lookup(key)
@@ -310,7 +335,8 @@ class SchedulerService:
                 result = rt.result()
                 entry.runs += 1
                 if entry.runs > 1:
-                    self.scheduler_reuses += 1
+                    with self._stats_lock:
+                        self.scheduler_reuses += 1
         else:
             rt = OmpSsRuntime(
                 machine,
@@ -321,7 +347,8 @@ class SchedulerService:
             with rt:
                 app.master(rt)
             result = rt.result()
-        self.cold_runs += 1
+        with self._stats_lock:
+            self.cold_runs += 1
 
         if self.config.validate_results:
             from repro.sanitizer.diagnostics import Severity
@@ -407,8 +434,9 @@ async def serve_tcp(
 ) -> asyncio.base_events.Server:
     """Bind a newline-delimited-JSON listener onto ``service``.
 
-    Each connection is one tenant by default (``conn-N``); requests may
-    override with an explicit ``"tenant"`` field.  Requests on one
+    Each connection is one tenant by default (``conn-N``), released on
+    disconnect; requests may override with an explicit ``"tenant"``
+    field (named tenants persist across connections).  Requests on one
     connection are processed concurrently (pipelining) — responses carry
     the request ``id`` for correlation and writes are serialized.
     """
@@ -437,9 +465,25 @@ async def serve_tcp(
             while True:
                 try:
                     line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
+                except ConnectionResetError:
                     break
-                if not line or len(line) > MAX_LINE:
+                except ValueError:
+                    # over-limit line: StreamReader.readline wraps
+                    # LimitOverrunError in ValueError — answer, then
+                    # drop the connection (the stream is mid-line and
+                    # cannot be resynchronized)
+                    try:
+                        await send(
+                            _error(
+                                None,
+                                "bad-request",
+                                f"request line exceeds {MAX_LINE} bytes",
+                            )
+                        )
+                    except OSError:
+                        pass
+                    break
+                if not line:
                     break
                 line = line.strip()
                 if not line:
@@ -457,6 +501,9 @@ async def serve_tcp(
         finally:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
+            # all of this connection's jobs are done (answer() awaited
+            # their futures above), so its auto-created session is idle
+            service.release_session(tenant)
             writer.close()
             try:
                 await writer.wait_closed()

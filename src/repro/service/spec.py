@@ -5,7 +5,8 @@ one run: which application graph to build (by factory name + arguments),
 which simulated machine to build it on, which scheduling policy, and the
 noise seed.  The service rebuilds the app and machine from the spec,
 fingerprints the resulting graph and machine, and keys its result cache
-on ``(graph fingerprint, machine fingerprint, scheduler, seed)``.
+on ``(graph fingerprint, machine fingerprint, scheduler, seed, runtime
+config)``.
 
 Specs deliberately name *factories*, not pickled objects: everything on
 the wire is data, the server decides what code runs, and two clients
@@ -209,6 +210,19 @@ class SubmissionSpec:
             },
             sort_keys=True,
             separators=(",", ":"),
+        )
+
+    def config_key(self) -> str:
+        """Canonical runtime-config term of the cache key.
+
+        Config fields (prefetch, overlap_transfers, ...) change
+        simulation results, so two submissions differing only in config
+        must not collide.  ``None`` and ``{}`` both canonicalize to
+        ``"{}"``: each builds a default :class:`RuntimeConfig`, so they
+        are the same experiment.
+        """
+        return json.dumps(
+            dict(self.config or {}), sort_keys=True, separators=(",", ":")
         )
 
 

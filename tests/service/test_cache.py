@@ -92,3 +92,16 @@ def test_bad_max_entries_rejected():
 def test_key_encode_decode():
     k = key(7, seed=3)
     assert CacheKey.decode(k.encode()) == k
+    k2 = CacheKey("g", "m", "s", 1, '{"prefetch":false}')
+    assert CacheKey.decode(k2.encode()) == k2
+
+
+def test_config_is_part_of_the_key():
+    # runtime config changes simulation results, so two submissions
+    # differing only in config must occupy distinct entries
+    cache = ResultCache()
+    plain = CacheKey("g", "m", "s", 0, "{}")
+    ablated = CacheKey("g", "m", "s", 0, '{"overlap_transfers":false}')
+    cache.insert(plain, {"overlap": True})
+    assert cache.lookup(ablated) is None
+    assert cache.lookup(plain) == {"overlap": True}

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 
 import pytest
 
@@ -49,6 +50,19 @@ def test_no_cache_forces_a_fresh_run(harness):
     assert not client.submit(spec, no_cache=True).cached
 
 
+def test_config_changes_miss_the_cache(harness):
+    """Submissions differing only in runtime config are different
+    experiments — an overlap on/off ablation must not collide into one
+    cache entry."""
+    client = HarnessClient(harness, tenant="config-test")
+    base = dict(SPEC, seed=60)
+    ablated = dict(base, config={"overlap_transfers": False, "prefetch": False})
+    assert not client.submit(base).cached
+    assert not client.submit(ablated).cached  # not served the base run
+    assert client.submit(ablated).cached      # but cached under its own key
+    assert client.submit(base).cached         # and the base entry survives
+
+
 def test_cached_results_validate_cleanly(harness):
     client = HarnessClient(harness, tenant="validate-test")
     spec = dict(SPEC, seed=23)
@@ -80,6 +94,88 @@ def test_stats_shape(harness):
     assert stats["jobs_completed"] >= 1
     assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
     assert "scheduler_pool" in stats and "sessions" in stats
+
+
+def test_session_stats_track_completed_and_failed(harness):
+    from repro.service.client import ServiceError
+
+    client = HarnessClient(harness, tenant="session-stats")
+    client.submit(dict(SPEC, seed=61))
+    with pytest.raises(ServiceError):
+        client.submit(
+            dict(SPEC, seed=62, app_args={"n_tiles": 2, "variant": "hyb", "bogus": 1})
+        )
+    stats = client.stats()["sessions"]["session-stats"]
+    assert stats["submitted"] >= 2
+    assert stats["completed"] >= 1
+    assert stats["failed"] >= 1
+
+
+def test_tcp_session_released_on_disconnect(harness):
+    """A connection-scoped tenant (conn-N) must leave self.sessions when
+    its connection closes — a long-running server must not accumulate
+    one dead session per connection ever made."""
+    assert harness.address is not None
+    host, port = harness.address
+
+    async def scenario():
+        async with AsyncServiceClient(host, port) as client:
+            outcome = await client.submit(dict(SPEC, seed=63))
+            tenant = outcome.raw["tenant"]
+            assert tenant.startswith("conn-")
+            # while connected (and having submitted), the session exists
+            assert tenant in (await client.request({"op": "stats"}))["stats"]["sessions"]
+            return tenant
+
+    tenant = asyncio.run(scenario())
+    # the handler's finally block runs on the service loop shortly after
+    # the client-side close returns; poll with a deadline
+    deadline = time.perf_counter() + 10
+    while time.perf_counter() < deadline:
+        if tenant not in harness.request({"op": "stats"})["stats"]["sessions"]:
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail(f"session {tenant!r} not released after disconnect")
+
+
+def test_oversized_request_line_handled_cleanly(harness):
+    """A line beyond the stream limit (readline raises ValueError) must
+    not crash the handler: the connection drops — with a typed error if
+    the response can still be delivered — and the server keeps serving."""
+    from repro.service.server import MAX_LINE
+
+    assert harness.address is not None
+    host, port = harness.address
+
+    async def scenario():
+        reader, writer = await asyncio.open_connection(host, port)
+        line = b""
+        try:
+            writer.write(b"x" * (MAX_LINE + 64) + b"\n")
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout=30)
+            except (ConnectionResetError, asyncio.IncompleteReadError):
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if line:  # the error response outran the close
+            response = json.loads(line)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad-request"
+        # the server survived: a fresh connection still answers
+        async with AsyncServiceClient(host, port) as client:
+            assert (await client.request({"op": "ping"}))["ok"]
+
+    asyncio.run(scenario())
 
 
 def test_shared_scheduler_pool_reuses_instances(harness):

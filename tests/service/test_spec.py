@@ -81,6 +81,16 @@ def test_scheduler_key_covers_options_and_sharing():
     assert len(keys) == 3
 
 
+def test_config_key_is_canonical():
+    # None and {} both build a default RuntimeConfig — same experiment,
+    # same key; any real override gets its own key
+    none_cfg = SubmissionSpec.from_dict(spec_dict())
+    empty_cfg = SubmissionSpec.from_dict(spec_dict(config={}))
+    ablated = SubmissionSpec.from_dict(spec_dict(config={"prefetch": False}))
+    assert none_cfg.config_key() == empty_cfg.config_key() == "{}"
+    assert ablated.config_key() != none_cfg.config_key()
+
+
 def test_build_config():
     spec = SubmissionSpec.from_dict(spec_dict(config={"prefetch": False}))
     config = spec.build_config()
