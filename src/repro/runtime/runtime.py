@@ -24,6 +24,7 @@ kernels so applications produce verifiable numerical results.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Mapping, Optional, Union
@@ -305,6 +306,12 @@ class OmpSsRuntime:
         self._pinned: set[int] = set()
         # global uid -> run-local sequence number (for trace determinism)
         self._local_ids: dict[int, int] = {}
+        # run-local uid allocator: submitted instances (and speculative
+        # shadows) are renumbered from this counter, so two identical
+        # runs expose identical uids — finish_order and serialized
+        # results stay byte-identical no matter how many runtimes the
+        # process ran before
+        self._uid_alloc = itertools.count(1)
         # speculation bookkeeping: primary uid -> shadow instance and the
         # reverse (shadow uid -> primary instance)
         self._spec_shadow: dict[int, TaskInstance] = {}
@@ -353,8 +360,11 @@ class OmpSsRuntime:
                     )
         t.submit_time = self.engine.now
         self._tasks_submitted += 1
-        # run-local sequence number: traces use it instead of the global
-        # uid so two identical runs produce identical traces
+        # renumber to a run-local uid; the process-global uid the
+        # instance was born with only guaranteed uniqueness up to here
+        t.uid = next(self._uid_alloc)
+        # run-local sequence number: traces use it instead of the uid so
+        # two identical runs produce identical traces
         self._local_ids[t.uid] = self._tasks_submitted
         for region in t.regions():
             self.directory.register(region)
@@ -915,6 +925,7 @@ class OmpSsRuntime:
             priority=t.priority + 1,
             label=f"{t.label}~spec",
         )
+        shadow.uid = next(self._uid_alloc)  # run-local, like submitted tasks
         shadow.speculative_of = t.uid
         shadow.attempts = t.attempts
         shadow.failed_pairs = t.failed_pairs  # shared avoid-set, by design

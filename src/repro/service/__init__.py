@@ -7,15 +7,34 @@ simulator workers that keep live scheduler instances (so versioning
 profile tables learn across submissions), and a result cache that
 answers repeated submissions byte-identically without re-simulating.
 
-Entry points: ``python -m repro.service serve|loadgen|submit|smoke``,
-or in-process via :class:`~repro.service.server.ServiceHarness`.
+The service is hardened for long-lived operation: per-submission
+deadlines, supervised (self-replacing) workers, retrying clients with
+decorrelated-jitter backoff, a crash-safe cache journal, graceful
+SIGTERM drain, a poisoned-submission breaker, and a seeded chaos harness
+(:mod:`repro.service.chaos`) that makes every one of those failure modes
+reproducible in tests.
+
+Entry points: ``python -m repro.service
+serve|submit|health|loadgen|smoke|chaos-smoke``, or in-process via
+:class:`~repro.service.server.ServiceHarness`.
 """
 
 from repro.service.cache import CacheKey, ResultCache
+from repro.service.chaos import (
+    CachePersistRule,
+    ConnectionFaultRule,
+    FrameFaultRule,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
+    WorkerCrashRule,
+    WorkerStallRule,
+)
 from repro.service.client import (
+    RETRYABLE_CODES,
     AdmissionRejectedError,
     AsyncServiceClient,
     HarnessClient,
+    RetryPolicy,
     ServiceClient,
     ServiceError,
     SubmitOutcome,
@@ -23,9 +42,12 @@ from repro.service.client import (
 from repro.service.routing import ServiceRouter, active_router, route_via_service
 from repro.service.server import (
     PROTOCOL,
+    QuarantinedError,
     SchedulerService,
     ServiceConfig,
     ServiceHarness,
+    SubmissionBreaker,
+    ValidationFailed,
     serve_tcp,
 )
 from repro.service.session import AdmissionError, Session
@@ -36,19 +58,31 @@ __all__ = [
     "AdmissionRejectedError",
     "AsyncServiceClient",
     "CacheKey",
+    "CachePersistRule",
+    "ConnectionFaultRule",
+    "FrameFaultRule",
     "HarnessClient",
     "PROTOCOL",
+    "QuarantinedError",
+    "RETRYABLE_CODES",
     "ResultCache",
+    "RetryPolicy",
     "SchedulerService",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
     "ServiceHarness",
     "ServiceRouter",
     "Session",
     "SpecError",
+    "SubmissionBreaker",
     "SubmissionSpec",
     "SubmitOutcome",
+    "ValidationFailed",
+    "WorkerCrashRule",
+    "WorkerStallRule",
     "active_router",
     "route_via_service",
     "serve_tcp",

@@ -21,27 +21,47 @@ The key's terms:
   overrides (prefetch, overlap, ...); they change simulation results,
   so an overlap on/off ablation must occupy two entries, not one.
 
-Persistence follows ``repro.store`` conventions: a versioned JSON
-payload written atomically (temp file + ``os.replace``), loaded
-tolerantly (a corrupt or alien file starts an empty cache rather than
-killing the server).  All public methods are thread-safe — simulator
-workers call them from worker threads.
+Persistence is crash-safe in two layers:
+
+* **snapshots** — the full store written atomically (temp file +
+  ``os.replace``) by :meth:`ResultCache.save`, following ``repro.store``
+  conventions;
+* an **append-only journal** (``<path>.journal``, NDJSON) recording
+  every insert between snapshots.  On startup the snapshot is loaded
+  and the journal replayed on top, so killing the server mid-write
+  loses at most the entry being appended — never the store.  ``save``
+  truncates the journal it just folded in.
+
+A corrupted or truncated snapshot (or journal with an alien schema) is
+quarantined to ``<file>.corrupt`` with a warning and the cache starts
+cold — persistence failures degrade, they never kill the server.  All
+public methods are thread-safe — simulator workers call them from
+worker threads.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import logging
 import os
 import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
+
+log = logging.getLogger(__name__)
 
 CACHE_SCHEMA = "repro.result-cache/2"  # v2: cache keys grew a config term
 
 PathLike = Union[str, Path]
+
+#: Called with ``"journal"`` or ``"snapshot"`` before each persistence
+#: write; returning True makes the write fail with OSError.  Wired to
+#: :meth:`repro.service.chaos.ServiceFaultInjector.persist_fault`.
+PersistFaultHook = Callable[[str], bool]
 
 
 @dataclass(frozen=True)
@@ -81,6 +101,9 @@ class ResultCacheStats:
     insertions: int = 0
     evictions: int = 0
     invalidated: int = 0
+    journal_appends: int = 0
+    journal_replayed: int = 0
+    persist_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -97,6 +120,9 @@ class ResultCacheStats:
             "insertions": self.insertions,
             "evictions": self.evictions,
             "invalidated": self.invalidated,
+            "journal_appends": self.journal_appends,
+            "journal_replayed": self.journal_replayed,
+            "persist_errors": self.persist_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -116,15 +142,24 @@ class ResultCache:
         path: Optional[PathLike] = None,
         *,
         max_entries: Optional[int] = 1024,
+        journal: bool = True,
+        persist_fault: Optional[PersistFaultHook] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 or None")
         self.path = Path(path) if path is not None else None
+        self.journal_path = (
+            self.path.with_name(self.path.name + ".journal")
+            if self.path is not None and journal
+            else None
+        )
         self.max_entries = max_entries
         self.stats = ResultCacheStats()
+        self._persist_fault = persist_fault
+        self._journal_fh: Optional[io.TextIOWrapper] = None
         self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
-        if self.path is not None and self.path.exists():
+        if self.path is not None:
             self._load()
 
     # ------------------------------------------------------------------
@@ -145,14 +180,22 @@ class ResultCache:
             return entry.payload
 
     def insert(self, key: CacheKey, payload: dict, *, meta: Optional[dict] = None) -> None:
-        """Park one result payload; evicts the LRU entry when full."""
+        """Park one result payload; evicts the LRU entry when full.
+
+        With a journal configured the entry is also appended to it
+        (flushed), so a kill before the next snapshot cannot lose it.
+        A failed append degrades to warning + counter — the in-memory
+        entry is unaffected.
+        """
+        entry = _Entry(payload=payload, meta=dict(meta or {}))
         with self._lock:
-            self._entries[key] = _Entry(payload=payload, meta=dict(meta or {}))
+            self._entries[key] = entry
             self._entries.move_to_end(key)
             self.stats.insertions += 1
             while self.max_entries is not None and len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+            self._append_journal(key, entry)
 
     def invalidate_machine(self, machine_fp: str) -> int:
         """Drop every entry recorded under ``machine_fp``.
@@ -172,18 +215,40 @@ class ResultCache:
             return list(self._entries)
 
     # ------------------------------------------------------------------
-    # Persistence (repro.store conventions: versioned, atomic)
+    # Persistence: atomic snapshots + an append-only journal between them
     # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str) -> None:
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            log.warning("cache file %s is %s and could not be quarantined", path, reason)
+            return
+        log.warning(
+            "cache file %s is %s; quarantined to %s and starting cold", path, reason, target
+        )
+
     def _load(self) -> None:
+        self._load_snapshot()
+        self._replay_journal()
+
+    def _load_snapshot(self) -> None:
         assert self.path is not None
+        if not self.path.exists():
+            return
         try:
             payload = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             return  # unreadable cache = cold cache, never a dead server
+        except json.JSONDecodeError:
+            self._quarantine(self.path, "corrupt (not valid JSON)")
+            return
         if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            self._quarantine(self.path, f"not a {CACHE_SCHEMA} payload")
             return
         entries = payload.get("entries", {})
         if not isinstance(entries, dict):
+            self._quarantine(self.path, "malformed (entries is not an object)")
             return
         for encoded, record in entries.items():
             try:
@@ -196,8 +261,97 @@ class ResultCache:
             except (KeyError, TypeError, ValueError):
                 continue  # skip the one bad entry, keep the rest
 
+    def _replay_journal(self) -> None:
+        """Fold journal appends (since the last snapshot) into memory.
+
+        A truncated or corrupt line ends the replay — that is the entry
+        that was mid-write when the server died, and nothing after it
+        can be trusted to be in order.
+        """
+        if self.journal_path is None or not self.journal_path.exists():
+            return
+        try:
+            text = self.journal_path.read_text()
+        except OSError:
+            return
+        replayed = 0
+        for lineno, line in enumerate(text.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                log.warning(
+                    "cache journal %s: stopping replay at corrupt/truncated line %d "
+                    "(%d entries recovered)",
+                    self.journal_path, lineno + 1, replayed,
+                )
+                break
+            if lineno == 0:
+                if not isinstance(record, dict) or record.get("schema") != CACHE_SCHEMA:
+                    self._quarantine(self.journal_path, f"not a {CACHE_SCHEMA} journal")
+                    return
+                continue
+            try:
+                key = CacheKey.decode(record["key"])
+                self._entries[key] = _Entry(
+                    payload=record["result"],
+                    hits=int(record.get("hits", 0)),
+                    meta=dict(record.get("meta", {})),
+                )
+                self._entries.move_to_end(key)
+                replayed += 1
+            except (KeyError, TypeError, ValueError):
+                continue  # one bad record, keep replaying
+        while self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self.stats.journal_replayed = replayed
+
+    def _append_journal(self, key: CacheKey, entry: _Entry) -> None:
+        """Append one insert to the journal (caller holds the lock)."""
+        if self.journal_path is None:
+            return
+        try:
+            if self._persist_fault is not None and self._persist_fault("journal"):
+                raise OSError("injected journal write failure")
+            if self._journal_fh is None or self._journal_fh.closed:
+                self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+                fresh = (
+                    not self.journal_path.exists()
+                    or self.journal_path.stat().st_size == 0
+                )
+                self._journal_fh = open(self.journal_path, "a")
+                if fresh:
+                    self._journal_fh.write(
+                        json.dumps({"schema": CACHE_SCHEMA}, sort_keys=True) + "\n"
+                    )
+            self._journal_fh.write(
+                json.dumps(
+                    {"key": key.encode(), "result": entry.payload, "meta": entry.meta},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            self._journal_fh.flush()
+            self.stats.journal_appends += 1
+        except OSError as exc:
+            self.stats.persist_errors += 1
+            log.warning("cache journal append failed (entry stays in memory): %s", exc)
+            # the handle may be mid-line; reopen on the next append
+            if self._journal_fh is not None:
+                try:
+                    self._journal_fh.close()
+                except OSError:
+                    pass
+                self._journal_fh = None
+
     def save(self) -> Optional[Path]:
-        """Atomically persist the cache (no-op without a path)."""
+        """Atomically snapshot the cache, then truncate the journal.
+
+        No-op without a path.  A failed snapshot degrades to warning +
+        counter and *keeps* the journal — nothing persisted is lost.
+        """
         if self.path is None:
             return None
         with self._lock:
@@ -212,21 +366,50 @@ class ResultCache:
                     for key, entry in self._entries.items()
                 },
             }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, sort_keys=True)
-            os.replace(tmp, self.path)
-        except BaseException:
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                if self._persist_fault is not None and self._persist_fault("snapshot"):
+                    raise OSError("injected snapshot write failure")
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "w") as fh:
+                        json.dump(payload, fh, sort_keys=True)
+                    os.replace(tmp, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError as exc:
+                self.stats.persist_errors += 1
+                log.warning("cache snapshot failed (journal kept): %s", exc)
+                return None
+            # the snapshot holds everything; the journal is now redundant
+            if self._journal_fh is not None:
+                try:
+                    self._journal_fh.close()
+                except OSError:
+                    pass
+                self._journal_fh = None
+            if self.journal_path is not None and self.journal_path.exists():
+                try:
+                    os.unlink(self.journal_path)
+                except OSError:
+                    pass
         return self.path
+
+    def close(self) -> None:
+        """Release the journal handle (entries stay journaled on disk)."""
+        with self._lock:
+            if self._journal_fh is not None:
+                try:
+                    self._journal_fh.close()
+                except OSError:
+                    pass
+                self._journal_fh = None
 
 
 __all__ = ["CACHE_SCHEMA", "CacheKey", "ResultCache", "ResultCacheStats"]

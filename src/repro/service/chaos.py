@@ -1,0 +1,365 @@
+"""Seeded fault injection for the scheduler service.
+
+The service-layer analogue of :mod:`repro.resilience.faults`: a
+:class:`ServiceFaultPlan` is an immutable, eagerly-validated description
+of every way the *service* (not the simulation) can fail — worker
+coroutines dying, workers stalling, TCP connections dropping or being
+reset mid-exchange, response frames corrupted or truncated on the wire,
+and cache-persistence writes failing.  A plan is injected via
+:attr:`~repro.service.server.ServiceConfig.fault_plan`; the server and
+TCP transport consult its :class:`ServiceFaultInjector` at well-defined
+points, so every failure mode the robustness machinery claims to handle
+is reproducible in tests under a fixed seed.
+
+Like ``FaultPlan``, every rule owns a child RNG seeded from
+``(plan.seed, rule kind, rule index)`` — adding a rule never perturbs
+the draws of the others — and rules can fire probabilistically or at
+exact consult ordinals (``at_jobs`` / ``at_requests`` / ``at_frames`` /
+``at_writes``), which is what deterministic regression tests use.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+IntTuple = tuple[int, ...]
+
+
+def _rule_error(rule: object, message: str) -> ValueError:
+    return ValueError(f"{type(rule).__name__}: {message}")
+
+
+def _as_int_tuple(rule: object, name: str, value: Union[Iterable[int], IntTuple]) -> IntTuple:
+    out = tuple(int(v) for v in value)
+    if any(v < 0 for v in out):
+        raise _rule_error(rule, f"{name} ordinals must be non-negative")
+    return out
+
+
+def _check_probability(rule: object, name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise _rule_error(rule, f"{name} must be a probability in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class WorkerCrashRule:
+    """A service worker dies as it picks a job off the run queue.
+
+    The worker coroutine raises — exactly what a bug in the dispatch
+    path would do — so the job it held is stranded until supervision
+    fails it (typed ``internal-error``) and replaces the worker.  Fires
+    with ``probability`` per job pickup, or deterministically at the
+    pickup ordinals in ``at_jobs`` (0-based, service-wide).
+    """
+
+    probability: float = 0.0
+    at_jobs: IntTuple = ()
+
+    def __post_init__(self) -> None:
+        _check_probability(self, "probability", self.probability)
+        object.__setattr__(self, "at_jobs", _as_int_tuple(self, "at_jobs", self.at_jobs))
+        if self.probability == 0.0 and not self.at_jobs:
+            raise _rule_error(self, "rule can never fire (no probability, no at_jobs)")
+
+
+@dataclass(frozen=True)
+class WorkerStallRule:
+    """A worker holds a job for ``stall_s`` wall seconds before running it.
+
+    Models a wedged worker thread: the job sits past its queue position,
+    which is how per-submission deadlines get exceeded while "queued".
+    """
+
+    stall_s: float
+    probability: float = 0.0
+    at_jobs: IntTuple = ()
+
+    def __post_init__(self) -> None:
+        if self.stall_s <= 0:
+            raise _rule_error(self, "stall_s must be positive")
+        _check_probability(self, "probability", self.probability)
+        object.__setattr__(self, "at_jobs", _as_int_tuple(self, "at_jobs", self.at_jobs))
+        if self.probability == 0.0 and not self.at_jobs:
+            raise _rule_error(self, "rule can never fire (no probability, no at_jobs)")
+
+
+@dataclass(frozen=True)
+class ConnectionFaultRule:
+    """A TCP connection dies mid-exchange.
+
+    ``when="response"`` (default) kills the connection after the request
+    was processed but before its response frame is written — the nastier
+    case: the work happened, the answer is lost, and only an idempotent
+    resubmission (served from the result cache) recovers it.
+    ``when="request"`` kills it right after the frame is read, before
+    admission.  ``drop`` closes cleanly; ``reset`` aborts the transport
+    (the peer sees ``ECONNRESET``).
+    """
+
+    drop: float = 0.0
+    reset: float = 0.0
+    at_requests: IntTuple = ()
+    when: str = "response"
+
+    def __post_init__(self) -> None:
+        _check_probability(self, "drop", self.drop)
+        _check_probability(self, "reset", self.reset)
+        if self.drop + self.reset > 1.0:
+            raise _rule_error(self, "drop + reset must not exceed 1")
+        if self.when not in ("request", "response"):
+            raise _rule_error(self, f"when must be 'request' or 'response', got {self.when!r}")
+        object.__setattr__(
+            self, "at_requests", _as_int_tuple(self, "at_requests", self.at_requests)
+        )
+        if self.drop == 0.0 and self.reset == 0.0 and not self.at_requests:
+            raise _rule_error(self, "rule can never fire (no probabilities, no at_requests)")
+
+
+@dataclass(frozen=True)
+class FrameFaultRule:
+    """A response frame is damaged on the wire.
+
+    ``corrupt`` overwrites bytes inside the JSON body (framing intact,
+    payload unparseable → the client's ``bad-frame``); ``truncate``
+    sends a prefix of the frame and closes the connection (the client
+    sees a short read).  ``at_frames`` are 0-based response-frame
+    ordinals, service-wide.
+    """
+
+    corrupt: float = 0.0
+    truncate: float = 0.0
+    at_frames: IntTuple = ()
+
+    def __post_init__(self) -> None:
+        _check_probability(self, "corrupt", self.corrupt)
+        _check_probability(self, "truncate", self.truncate)
+        if self.corrupt + self.truncate > 1.0:
+            raise _rule_error(self, "corrupt + truncate must not exceed 1")
+        object.__setattr__(
+            self, "at_frames", _as_int_tuple(self, "at_frames", self.at_frames)
+        )
+        if self.corrupt == 0.0 and self.truncate == 0.0 and not self.at_frames:
+            raise _rule_error(self, "rule can never fire (no probabilities, no at_frames)")
+
+
+@dataclass(frozen=True)
+class CachePersistRule:
+    """A cache persistence write fails with ``OSError``.
+
+    Consulted on every journal append and snapshot write (``at_writes``
+    counts both, in order).  The cache must degrade — warn, count, keep
+    the in-memory entry — never corrupt the store or kill the service.
+    """
+
+    probability: float = 0.0
+    at_writes: IntTuple = ()
+
+    def __post_init__(self) -> None:
+        _check_probability(self, "probability", self.probability)
+        object.__setattr__(
+            self, "at_writes", _as_int_tuple(self, "at_writes", self.at_writes)
+        )
+        if self.probability == 0.0 and not self.at_writes:
+            raise _rule_error(self, "rule can never fire (no probability, no at_writes)")
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """The full service-failure scenario of one soak (immutable, reusable)."""
+
+    seed: int = 0
+    worker_crashes: tuple[WorkerCrashRule, ...] = ()
+    worker_stalls: tuple[WorkerStallRule, ...] = ()
+    connection_faults: tuple[ConnectionFaultRule, ...] = ()
+    frame_faults: tuple[FrameFaultRule, ...] = ()
+    cache_persist_faults: tuple[CachePersistRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, kind in (
+            ("worker_crashes", WorkerCrashRule),
+            ("worker_stalls", WorkerStallRule),
+            ("connection_faults", ConnectionFaultRule),
+            ("frame_faults", FrameFaultRule),
+            ("cache_persist_faults", CachePersistRule),
+        ):
+            rules = tuple(getattr(self, name))
+            for rule in rules:
+                if not isinstance(rule, kind):
+                    raise ValueError(
+                        f"{name} expects {kind.__name__} rules, got {type(rule).__name__}"
+                    )
+            object.__setattr__(self, name, rules)
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.worker_crashes
+            or self.worker_stalls
+            or self.connection_faults
+            or self.frame_faults
+            or self.cache_persist_faults
+        )
+
+    def injector(self) -> "ServiceFaultInjector":
+        """Fresh per-soak mutable state (counters + seeded RNG streams)."""
+        return ServiceFaultInjector(self)
+
+
+class ServiceFaultInjector:
+    """Per-soak evaluation of a :class:`ServiceFaultPlan`.
+
+    One RNG stream and one consult counter per rule, seeded from
+    ``plan.seed`` and the rule index.  Rules are evaluated in
+    declaration order; the first that fires wins.  Draws are serialized
+    by a lock — consults come from the event loop *and* from simulator
+    worker threads (cache writes).
+    """
+
+    def __init__(self, plan: ServiceFaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+
+        def streams(kind: str, rules: tuple) -> list[random.Random]:
+            return [random.Random(f"{plan.seed}:{kind}:{i}") for i in range(len(rules))]
+
+        self._crash_rngs = streams("worker-crash", plan.worker_crashes)
+        self._stall_rngs = streams("worker-stall", plan.worker_stalls)
+        self._conn_rngs = streams("connection", plan.connection_faults)
+        self._frame_rngs = streams("frame", plan.frame_faults)
+        self._persist_rngs = streams("cache-persist", plan.cache_persist_faults)
+        self._jobs_seen = 0
+        self._requests_seen = 0
+        self._frames_seen = 0
+        self._writes_seen = 0
+        #: fired-fault counters by kind, for health reports and tests
+        self.fired: dict[str, int] = {
+            "worker-crash": 0,
+            "worker-stall": 0,
+            "connection-drop": 0,
+            "connection-reset": 0,
+            "frame-corrupt": 0,
+            "frame-truncate": 0,
+            "cache-persist": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def worker_fault(self) -> Optional[tuple[str, float]]:
+        """Consulted as a worker dequeues a job.
+
+        Returns ``("crash", 0.0)``, ``("stall", seconds)`` or ``None``.
+        """
+        with self._lock:
+            ordinal = self._jobs_seen
+            self._jobs_seen += 1
+            for i, rule in enumerate(self.plan.worker_crashes):
+                if ordinal in rule.at_jobs or (
+                    rule.probability > 0.0
+                    and self._crash_rngs[i].random() < rule.probability
+                ):
+                    self.fired["worker-crash"] += 1
+                    return ("crash", 0.0)
+            for i, rule in enumerate(self.plan.worker_stalls):
+                if ordinal in rule.at_jobs or (
+                    rule.probability > 0.0
+                    and self._stall_rngs[i].random() < rule.probability
+                ):
+                    self.fired["worker-stall"] += 1
+                    return ("stall", rule.stall_s)
+            return None
+
+    def request_ordinal(self) -> int:
+        """Claim the next request ordinal (service-wide, 0-based).
+
+        The transport claims one ordinal as it reads each request frame
+        and passes it to both :meth:`connection_fault` consult points —
+        pipelined responses complete out of order, so the ordinal must
+        travel with the request rather than live in the injector.
+        """
+        with self._lock:
+            ordinal = self._requests_seen
+            self._requests_seen += 1
+            return ordinal
+
+    def connection_fault(self, when: str, ordinal: int) -> Optional[str]:
+        """Consulted for request ``ordinal`` at the ``when`` point.
+
+        Returns ``"drop"``, ``"reset"`` or ``None``.  A rule's
+        ``at_requests`` indices refer to the ordinal claimed at the
+        request point, whichever ``when`` the rule uses.
+        """
+        with self._lock:
+            for i, rule in enumerate(self.plan.connection_faults):
+                if rule.when != when:
+                    continue
+                if ordinal in rule.at_requests:
+                    self.fired["connection-drop"] += 1
+                    return "drop"
+                rng = self._conn_rngs[i]
+                if rule.drop > 0.0 and rng.random() < rule.drop:
+                    self.fired["connection-drop"] += 1
+                    return "drop"
+                if rule.reset > 0.0 and rng.random() < rule.reset:
+                    self.fired["connection-reset"] += 1
+                    return "reset"
+            return None
+
+    def frame_fault(self) -> Optional[str]:
+        """Consulted per outgoing response frame.
+
+        Returns ``"corrupt"``, ``"truncate"`` or ``None``.
+        """
+        with self._lock:
+            ordinal = self._frames_seen
+            self._frames_seen += 1
+            for i, rule in enumerate(self.plan.frame_faults):
+                if ordinal in rule.at_frames:
+                    self.fired["frame-corrupt"] += 1
+                    return "corrupt"
+                rng = self._frame_rngs[i]
+                if rule.corrupt > 0.0 and rng.random() < rule.corrupt:
+                    self.fired["frame-corrupt"] += 1
+                    return "corrupt"
+                if rule.truncate > 0.0 and rng.random() < rule.truncate:
+                    self.fired["frame-truncate"] += 1
+                    return "truncate"
+            return None
+
+    def persist_fault(self, kind: str = "journal") -> bool:
+        """Consulted per cache persistence write (journal or snapshot)."""
+        with self._lock:
+            ordinal = self._writes_seen
+            self._writes_seen += 1
+            for i, rule in enumerate(self.plan.cache_persist_faults):
+                if ordinal in rule.at_writes or (
+                    rule.probability > 0.0
+                    and self._persist_rngs[i].random() < rule.probability
+                ):
+                    self.fired["cache-persist"] += 1
+                    return True
+            return False
+
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        """Consults seen and faults fired, for health/debug output."""
+        with self._lock:
+            return {
+                "jobs_seen": self._jobs_seen,
+                "requests_seen": self._requests_seen,
+                "frames_seen": self._frames_seen,
+                "writes_seen": self._writes_seen,
+                "fired": dict(self.fired),
+            }
+
+
+__all__ = [
+    "CachePersistRule",
+    "ConnectionFaultRule",
+    "FrameFaultRule",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
+    "WorkerCrashRule",
+    "WorkerStallRule",
+]

@@ -12,12 +12,29 @@ Three flavours over the same request/response shapes:
 
 All three normalise responses into :class:`SubmitOutcome` and raise
 typed errors: :class:`AdmissionRejectedError` for admission overflow,
-:class:`ServiceError` (with ``.code``) for everything else.
+:class:`ServiceError` (with ``.code``) for everything else — including
+transport failures, which surface as ``connection-closed`` /
+``connection-reset`` / ``connection-refused`` / ``timeout`` /
+``bad-frame`` / ``not-connected`` rather than raw socket exceptions.
+
+Retries
+-------
+Both TCP clients accept a :class:`RetryPolicy`.  Retrying a submission
+is *safe by construction*: results are keyed by the spec's cache key and
+byte-identical across runs, so resubmitting after a lost response at
+worst re-runs a simulation and at best hits the result cache.  The
+policy retries only :data:`RETRYABLE_CODES` — failures where the work
+may not have happened or the answer was lost — with decorrelated-jitter
+exponential backoff, a bounded attempt budget, and an optional overall
+wall-clock deadline.  Transport-level failures tear the connection down
+and reconnect before the next attempt, which is what lets a client ride
+out a server restart.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from dataclasses import dataclass
@@ -38,6 +55,78 @@ class ServiceError(Exception):
 
 class AdmissionRejectedError(ServiceError):
     """The tenant's admission queue was full under the reject policy."""
+
+
+#: Error codes a :class:`RetryPolicy` retries by default: the failure is
+#: transient (connection-level, a draining server, a crashed worker) and
+#: resubmission is idempotent.  ``quarantined``, ``bad-spec``,
+#: ``deadline-exceeded`` and friends are deliberately absent — retrying
+#: those burns the budget on a deterministic failure.
+RETRYABLE_CODES = frozenset(
+    {
+        "connection-closed",
+        "connection-reset",
+        "connection-refused",
+        "not-connected",
+        "timeout",
+        "bad-frame",
+        "shutting-down",
+        "internal-error",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with decorrelated-jitter exponential backoff.
+
+    ``max_attempts`` caps total tries (first attempt included);
+    ``deadline_s`` additionally bounds the whole exchange in wall
+    seconds — a retry that could not complete before the deadline is not
+    attempted.  Sleeps follow the decorrelated-jitter scheme
+    (``sleep = min(cap, uniform(base, prev * 3))``), which spreads a
+    thundering herd of reconnecting clients better than plain
+    exponential doubling.  ``seed`` pins the jitter stream for
+    deterministic tests; production clients leave it ``None``.
+    """
+
+    max_attempts: int = 5
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    deadline_s: Optional[float] = None
+    codes: frozenset = RETRYABLE_CODES
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ValueError("need 0 < base_s <= cap_s")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or omitted)")
+        object.__setattr__(self, "codes", frozenset(self.codes))
+
+    def backoff(self) -> "_Backoff":
+        return _Backoff(self)
+
+    def retryable_code(self, code: Optional[str]) -> bool:
+        return code is not None and code in self.codes
+
+
+class _Backoff:
+    """One exchange's sleep sequence (decorrelated jitter)."""
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self._policy = policy
+        self._rng = random.Random(policy.seed)
+        self._prev = policy.base_s
+
+    def next(self) -> float:
+        sleep = min(
+            self._policy.cap_s, self._rng.uniform(self._policy.base_s, self._prev * 3)
+        )
+        self._prev = sleep
+        return sleep
 
 
 @dataclass
@@ -102,6 +191,12 @@ def _submit_request(
     return request
 
 
+def _response_error_code(response: Mapping[str, Any]) -> Optional[str]:
+    if response.get("ok"):
+        return None
+    return (response.get("error") or {}).get("code")
+
+
 class _ClientOps:
     """Shared sync surface; subclasses provide :meth:`request`."""
 
@@ -134,27 +229,130 @@ class _ClientOps:
             _raise_for(response)
         return response["stats"]
 
+    def health(self) -> dict:
+        response = self.request({"op": "health"})
+        if not response.get("ok"):
+            _raise_for(response)
+        return response["health"]
+
 
 class ServiceClient(_ClientOps):
-    """Blocking TCP client: one connection, one request in flight."""
+    """Blocking TCP client: one connection, one request in flight.
 
-    def __init__(self, host: str, port: int, *, timeout: float = 300.0) -> None:
+    With a :class:`RetryPolicy`, :meth:`request` transparently
+    reconnects and resubmits on retryable failures (see module
+    docstring); :attr:`retries` counts the extra attempts made.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 300.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.address = (host, port)
-        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._timeout = timeout
+        self._retry = retry
+        self._sock: Optional[socket.socket] = None
+        self._rfile: Optional[Any] = None
+        self.retries = 0
+        self._connect()
+
+    # -- transport ------------------------------------------------------
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(self.address, timeout=self._timeout)
+        except OSError as exc:
+            self._sock = None
+            raise ServiceError(
+                "connection-refused", f"cannot connect to {self.address}: {exc}"
+            ) from exc
         self._rfile = self._sock.makefile("rb")
 
-    def request(self, request: Mapping[str, Any]) -> dict:
-        self._sock.sendall(json.dumps(dict(request)).encode() + b"\n")
-        line = self._rfile.readline()
+    def _teardown(self) -> None:
+        try:
+            if self._rfile is not None:
+                self._rfile.close()
+        except OSError:
+            pass
+        try:
+            if self._sock is not None:
+                self._sock.close()
+        except OSError:
+            pass
+        self._sock = self._rfile = None
+
+    def _request_once(self, request: Mapping[str, Any]) -> dict:
+        if self._sock is None:
+            self._connect()
+        assert self._sock is not None and self._rfile is not None
+        try:
+            self._sock.sendall(json.dumps(dict(request)).encode() + b"\n")
+            line = self._rfile.readline()
+        except socket.timeout as exc:
+            # the stream is mid-exchange and unusable; callers (or the
+            # retry loop) must reconnect
+            raise ServiceError(
+                "timeout", f"no response within {self._timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise ServiceError(
+                "connection-reset", f"connection failed mid-request: {exc}"
+            ) from exc
         if not line:
             raise ServiceError("connection-closed", "server closed the connection")
-        return json.loads(line)
+        try:
+            return json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                "bad-frame", f"undecodable response frame: {exc}"
+            ) from exc
+
+    # -- request with retry ---------------------------------------------
+    def request(self, request: Mapping[str, Any]) -> dict:
+        policy = self._retry
+        if policy is None:
+            return self._request_once(request)
+        backoff = policy.backoff()
+        deadline = (
+            time.perf_counter() + policy.deadline_s
+            if policy.deadline_s is not None
+            else None
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            transport_failure = False
+            try:
+                response = self._request_once(request)
+            except ServiceError as exc:
+                if not policy.retryable_code(exc.code):
+                    raise
+                transport_failure = True
+                failure: Union[ServiceError, dict] = exc
+            else:
+                code = _response_error_code(response)
+                if not policy.retryable_code(code):
+                    return response
+                failure = response
+            if transport_failure:
+                self._teardown()
+            if attempt >= policy.max_attempts:
+                if isinstance(failure, ServiceError):
+                    raise failure
+                return failure
+            sleep = backoff.next()
+            if deadline is not None and time.perf_counter() + sleep > deadline:
+                if isinstance(failure, ServiceError):
+                    raise failure
+                return failure
+            self.retries += 1
+            time.sleep(sleep)
 
     def close(self) -> None:
-        try:
-            self._rfile.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -180,31 +378,110 @@ class AsyncServiceClient:
     One connection per instance; requests are serialized per connection
     (the load generator gets concurrency by opening many clients, which
     is also what makes each connection its own tenant server-side).
+    Accepts the same :class:`RetryPolicy` as :class:`ServiceClient`,
+    with ``asyncio.sleep`` backoff and automatic reconnection.
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self, host: str, port: int, *, retry: Optional[RetryPolicy] = None
+    ) -> None:
         self.address = (host, port)
+        self._retry = retry
         self._reader: Optional[Any] = None
         self._writer: Optional[Any] = None
+        self.retries = 0
 
     async def connect(self) -> "AsyncServiceClient":
         import asyncio
 
         from repro.service.server import MAX_LINE
 
-        self._reader, self._writer = await asyncio.open_connection(
-            *self.address, limit=MAX_LINE
-        )
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                *self.address, limit=MAX_LINE
+            )
+        except OSError as exc:
+            self._reader = self._writer = None
+            raise ServiceError(
+                "connection-refused", f"cannot connect to {self.address}: {exc}"
+            ) from exc
         return self
 
-    async def request(self, request: Mapping[str, Any]) -> dict:
-        assert self._reader is not None and self._writer is not None, "not connected"
-        self._writer.write(json.dumps(dict(request)).encode() + b"\n")
-        await self._writer.drain()
-        line = await self._reader.readline()
+    async def _teardown(self) -> None:
+        writer = self._writer
+        self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _request_once(self, request: Mapping[str, Any]) -> dict:
+        if self._reader is None or self._writer is None:
+            raise ServiceError(
+                "not-connected", "client is not connected; call connect() first"
+            )
+        try:
+            self._writer.write(json.dumps(dict(request)).encode() + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        except OSError as exc:
+            raise ServiceError(
+                "connection-reset", f"connection failed mid-request: {exc}"
+            ) from exc
         if not line:
             raise ServiceError("connection-closed", "server closed the connection")
-        return json.loads(line)
+        try:
+            return json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                "bad-frame", f"undecodable response frame: {exc}"
+            ) from exc
+
+    async def request(self, request: Mapping[str, Any]) -> dict:
+        import asyncio
+
+        policy = self._retry
+        if policy is None:
+            return await self._request_once(request)
+        backoff = policy.backoff()
+        deadline = (
+            time.perf_counter() + policy.deadline_s
+            if policy.deadline_s is not None
+            else None
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            transport_failure = False
+            try:
+                if self._reader is None:
+                    await self.connect()
+                response = await self._request_once(request)
+            except ServiceError as exc:
+                if not policy.retryable_code(exc.code):
+                    raise
+                transport_failure = True
+                failure: Union[ServiceError, dict] = exc
+            else:
+                code = _response_error_code(response)
+                if not policy.retryable_code(code):
+                    return response
+                failure = response
+            if transport_failure:
+                await self._teardown()
+            if attempt >= policy.max_attempts:
+                if isinstance(failure, ServiceError):
+                    raise failure
+                return failure
+            sleep = backoff.next()
+            if deadline is not None and time.perf_counter() + sleep > deadline:
+                if isinstance(failure, ServiceError):
+                    raise failure
+                return failure
+            self.retries += 1
+            await asyncio.sleep(sleep)
 
     async def submit(
         self,
@@ -221,13 +498,7 @@ class AsyncServiceClient:
         return _decode_submit(response, time.perf_counter() - t0)
 
     async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-        self._reader = self._writer = None
+        await self._teardown()
 
     async def __aenter__(self) -> "AsyncServiceClient":
         return await self.connect()
@@ -240,6 +511,8 @@ __all__ = [
     "AdmissionRejectedError",
     "AsyncServiceClient",
     "HarnessClient",
+    "RETRYABLE_CODES",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "SubmitOutcome",

@@ -15,12 +15,19 @@ order of magnitude under a cold run's.
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.service.client import AsyncServiceClient, ServiceError, SubmitOutcome
+from repro.service.client import (
+    AsyncServiceClient,
+    RetryPolicy,
+    ServiceError,
+    SubmitOutcome,
+)
 from repro.service.spec import SubmissionSpec
 
 #: Small, fast spec shapes the generator rotates through.  All run in
@@ -79,11 +86,16 @@ class LoadgenReport:
     completed: int = 0
     cached: int = 0
     errors: int = 0
+    retries: int = 0
     wall_time: float = 0.0
     latencies: list[float] = field(default_factory=list, repr=False)
     cold_latencies: list[float] = field(default_factory=list, repr=False)
     cached_latencies: list[float] = field(default_factory=list, repr=False)
     error_codes: dict[str, int] = field(default_factory=dict)
+    #: request id -> SHA-256 of the canonical result payload.  Chaos
+    #: soaks diff this against a fault-free run of the same seed/pool to
+    #: prove retries returned byte-identical results, not just *a* result.
+    result_digests: dict[str, str] = field(default_factory=dict, repr=False)
 
     @property
     def throughput(self) -> float:
@@ -100,6 +112,7 @@ class LoadgenReport:
             "completed": self.completed,
             "cached": self.cached,
             "errors": self.errors,
+            "retries": self.retries,
             "error_codes": dict(self.error_codes),
             "wall_time": self.wall_time,
             "throughput": self.throughput,
@@ -114,7 +127,7 @@ class LoadgenReport:
         d = self.as_dict()
         return (
             f"{d['completed']}/{d['requests']} ok "
-            f"({d['errors']} errors) in {d['wall_time']:.2f}s | "
+            f"({d['errors']} errors, {d['retries']} retries) in {d['wall_time']:.2f}s | "
             f"{d['throughput']:.1f} submissions/s | "
             f"p50 {d['p50'] * 1e3:.1f}ms p99 {d['p99'] * 1e3:.1f}ms | "
             f"hit rate {d['hit_rate']:.0%} "
@@ -125,6 +138,12 @@ class LoadgenReport:
     def record(self, outcome: SubmitOutcome) -> None:
         self.completed += 1
         self.latencies.append(outcome.latency)
+        canonical = json.dumps(
+            outcome.result_payload, sort_keys=True, separators=(",", ":")
+        )
+        self.result_digests[outcome.id] = hashlib.sha256(
+            canonical.encode()
+        ).hexdigest()
         if outcome.cached:
             self.cached += 1
             self.cached_latencies.append(outcome.latency)
@@ -145,6 +164,7 @@ async def run_loadgen(
     duplicate_fraction: float = 0.5,
     seed: int = 0,
     pool: Optional[list[SubmissionSpec]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadgenReport:
     """Drive the service from ``n_clients`` concurrent connections.
 
@@ -152,6 +172,11 @@ async def run_loadgen(
     ``duplicate_fraction`` it re-submits the pool's first spec (the
     shared hot key) instead of advancing — that overlap across clients
     is what fills and then exercises the result cache.
+
+    ``retry`` arms every client with the same :class:`RetryPolicy`
+    (seeded per client off ``seed`` when the policy itself is seeded, so
+    two clients never share a jitter stream); the report's ``retries``
+    aggregates the extra attempts made across all clients.
     """
     specs = pool if pool is not None else spec_pool(seed=seed)
     report = LoadgenReport(n_clients=n_clients)
@@ -159,7 +184,17 @@ async def run_loadgen(
 
     async def one_client(cid: int) -> None:
         rng = random.Random((seed << 8) ^ cid)
-        async with AsyncServiceClient(host, port) as client:
+        policy = retry
+        if policy is not None and policy.seed is not None:
+            policy = RetryPolicy(
+                max_attempts=policy.max_attempts,
+                base_s=policy.base_s,
+                cap_s=policy.cap_s,
+                deadline_s=policy.deadline_s,
+                codes=policy.codes,
+                seed=(policy.seed << 8) ^ cid,
+            )
+        async with AsyncServiceClient(host, port, retry=policy) as client:
             for i in range(requests_per_client):
                 if rng.random() < duplicate_fraction:
                     spec = specs[0]
@@ -171,6 +206,7 @@ async def run_loadgen(
                     report.record_error(exc)
                 else:
                     report.record(outcome)
+            report.retries += client.retries
 
     t0 = time.perf_counter()
     await asyncio.gather(*(one_client(c) for c in range(n_clients)))

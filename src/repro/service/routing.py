@@ -22,13 +22,33 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import json
+import logging
 from typing import TYPE_CHECKING, Any, Iterator, Mapping, Optional
 
+from repro.service.client import ServiceError
 from repro.service.spec import _CONFIG_FIELDS, SpecError, SubmissionSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.base import Application, AppResult
     from repro.sim.topology import Machine
+
+log = logging.getLogger(__name__)
+
+#: Failure codes that mean "the service is unreachable", not "the
+#: submission is bad" — routing falls back to a local run on these
+#: (best-effort, like every other routing fallback) instead of failing
+#: an experiment because a service died under it.
+_CONNECTION_CODES = frozenset(
+    {
+        "connection-closed",
+        "connection-reset",
+        "connection-refused",
+        "not-connected",
+        "timeout",
+        "bad-frame",
+        "shutting-down",
+    }
+)
 
 
 class ServiceRouter:
@@ -40,6 +60,7 @@ class ServiceRouter:
         self.routed = 0
         self.cache_hits = 0
         self.fallbacks = 0
+        self.connection_fallbacks = 0
 
     # ------------------------------------------------------------------
     def try_submit(
@@ -68,7 +89,19 @@ class ServiceRouter:
         if spec is None:
             self.fallbacks += 1
             return None
-        outcome = self.client.submit(spec, tenant=self.tenant)
+        try:
+            outcome = self.client.submit(spec, tenant=self.tenant)
+        except (OSError, ServiceError) as exc:
+            code = getattr(exc, "code", None)
+            if isinstance(exc, ServiceError) and code not in _CONNECTION_CODES:
+                raise  # the submission itself is bad; a local run won't fix it
+            log.warning(
+                "service unreachable (%s); running %s locally",
+                code or type(exc).__name__, app.name,
+            )
+            self.fallbacks += 1
+            self.connection_fallbacks += 1
+            return None
         self.routed += 1
         if outcome.cached:
             self.cache_hits += 1

@@ -56,6 +56,13 @@ class Job:
     finished_at: Optional[float] = None
     future: "asyncio.Future[dict]" = field(default_factory=asyncio.Future, repr=False)
 
+    @property
+    def deadline_at(self) -> Optional[float]:
+        """Absolute ``perf_counter`` deadline, or None without one."""
+        if self.spec.deadline_s is None:
+            return None
+        return self.submitted_at + self.spec.deadline_s
+
 
 @dataclass
 class SessionStats:
@@ -63,6 +70,7 @@ class SessionStats:
     rejected: int = 0
     completed: int = 0
     failed: int = 0
+    deadline_exceeded: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -70,6 +78,7 @@ class SessionStats:
             "rejected": self.rejected,
             "completed": self.completed,
             "failed": self.failed,
+            "deadline_exceeded": self.deadline_exceeded,
         }
 
 

@@ -90,6 +90,12 @@ class SubmissionSpec:
     seed: int = 0
     config: Optional[Mapping[str, Any]] = None
     share_scheduler: bool = True
+    #: Wall-clock budget in seconds from admission to completion; the
+    #: service fails the submission with a typed ``deadline-exceeded``
+    #: once it passes — while queued and cooperatively mid-simulation.
+    #: Deliberately *not* part of the cache key: the deadline bounds how
+    #: long the client waits, it does not change what the run computes.
+    deadline_s: Optional[float] = None
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -105,6 +111,8 @@ class SubmissionSpec:
         }
         if self.config is not None:
             out["config"] = dict(self.config)
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
         return out
 
     @classmethod
@@ -114,6 +122,7 @@ class SubmissionSpec:
         unknown = set(payload) - {
             "app", "app_args", "machine", "machine_args", "scheduler",
             "scheduler_options", "seed", "config", "share_scheduler",
+            "deadline_s",
         }
         if unknown:
             raise SpecError(f"unknown spec field(s): {', '.join(sorted(unknown))}")
@@ -131,6 +140,11 @@ class SubmissionSpec:
                 dict(payload["config"]) if payload.get("config") is not None else None
             ),
             share_scheduler=bool(payload.get("share_scheduler", True)),
+            deadline_s=(
+                float(payload["deadline_s"])
+                if payload.get("deadline_s") is not None
+                else None
+            ),
         )
         spec.validate()
         return spec
@@ -160,6 +174,8 @@ class SubmissionSpec:
             bad = set(self.config) - _CONFIG_FIELDS
             if bad:
                 raise SpecError(f"unknown config field(s): {', '.join(sorted(bad))}")
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise SpecError("deadline_s must be positive (or omitted)")
         try:
             json.dumps(self.to_dict())
         except (TypeError, ValueError) as exc:

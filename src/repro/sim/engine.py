@@ -17,9 +17,34 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time as _time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Optional
+
+
+class WallDeadlineExceededError(RuntimeError):
+    """The engine's cooperative wall-clock deadline passed mid-run.
+
+    Raised from :meth:`SimEngine.step` when :attr:`SimEngine.wall_deadline`
+    is set and the host clock (``time.perf_counter``) moves past it.  The
+    check is cooperative — sampled every
+    :data:`WALL_DEADLINE_CHECK_EVERY` events, so a run overshoots its
+    deadline by at most one check window — and costs one attribute test
+    per event when no deadline is armed.
+    """
+
+    def __init__(self, deadline: float, now: float, events: int) -> None:
+        super().__init__(
+            f"simulation exceeded its wall-clock deadline by {now - deadline:.3f}s "
+            f"after {events} events"
+        )
+        self.deadline = deadline
+        self.overshoot = now - deadline
+
+
+#: How many events elapse between wall-clock samples when a deadline is armed.
+WALL_DEADLINE_CHECK_EVERY = 256
 
 
 class EventKind(Enum):
@@ -86,6 +111,9 @@ class SimEngine:
         self._now: float = 0.0
         self._events_processed: int = 0
         self._running = False
+        #: Absolute ``time.perf_counter`` deadline; ``None`` disables the
+        #: cooperative check (see :class:`WallDeadlineExceededError`).
+        self.wall_deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -177,6 +205,15 @@ class SimEngine:
         Returns ``True`` if an event was executed, ``False`` if the queue
         is exhausted.
         """
+        if (
+            self.wall_deadline is not None
+            and self._events_processed % WALL_DEADLINE_CHECK_EVERY == 0
+        ):
+            now = _time.perf_counter()
+            if now > self.wall_deadline:
+                raise WallDeadlineExceededError(
+                    self.wall_deadline, now, self._events_processed
+                )
         while self._queue:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:

@@ -105,3 +105,117 @@ def test_config_is_part_of_the_key():
     cache.insert(plain, {"overlap": True})
     assert cache.lookup(ablated) is None
     assert cache.lookup(plain) == {"overlap": True}
+
+
+# ----------------------------------------------------------------------
+# Crash safety: the append-only journal between snapshots
+# ----------------------------------------------------------------------
+def test_journal_recovers_inserts_never_snapshotted(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    cache.insert(key(1), {"n": 1})
+    cache.insert(key(2), {"n": 2})
+    cache.close()  # the process dies here: save() was never called
+    assert not path.exists()
+    assert (tmp_path / "cache.json.journal").exists()
+
+    reloaded = ResultCache(path)
+    assert len(reloaded) == 2
+    assert reloaded.stats.journal_replayed == 2
+    assert reloaded.lookup(key(1)) == {"n": 1}
+    assert reloaded.lookup(key(2)) == {"n": 2}
+
+
+def test_journal_replays_on_top_of_snapshot(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    cache.insert(key(1), {"n": 1})
+    cache.save()
+    cache.insert(key(2), {"n": 2})  # journaled only
+    cache.close()
+
+    reloaded = ResultCache(path)
+    assert len(reloaded) == 2
+    assert reloaded.stats.journal_replayed == 1
+
+
+def test_truncated_journal_tail_keeps_complete_entries(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    cache.insert(key(1), {"n": 1})
+    cache.insert(key(2), {"n": 2})
+    cache.close()
+    journal = tmp_path / "cache.json.journal"
+    # the server died mid-append: chop the last line in half
+    text = journal.read_text()
+    journal.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+
+    reloaded = ResultCache(path)
+    assert reloaded.stats.journal_replayed == 1
+    assert reloaded.lookup(key(1)) == {"n": 1}
+    assert reloaded.lookup(key(2)) is None  # the mid-write entry is gone
+
+
+def test_alien_schema_journal_is_quarantined(tmp_path):
+    path = tmp_path / "cache.json"
+    journal = tmp_path / "cache.json.journal"
+    journal.write_text(json.dumps({"schema": "something/else"}) + "\n")
+    cache = ResultCache(path)
+    assert len(cache) == 0
+    assert (tmp_path / "cache.json.journal.corrupt").exists()
+
+
+def test_corrupt_snapshot_is_quarantined_not_deleted(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{not json")
+    cache = ResultCache(path)
+    assert len(cache) == 0
+    quarantined = tmp_path / "cache.json.corrupt"
+    assert quarantined.exists()
+    assert quarantined.read_text() == "{not json"  # evidence preserved
+    assert not path.exists()
+
+
+def test_save_folds_journal_into_snapshot(tmp_path):
+    path = tmp_path / "cache.json"
+    journal = tmp_path / "cache.json.journal"
+    cache = ResultCache(path)
+    cache.insert(key(1), {"n": 1})
+    assert journal.exists()
+    assert cache.stats.journal_appends == 1
+    cache.save()
+    assert path.exists()
+    assert not journal.exists()  # redundant once snapshotted
+
+
+def test_journal_can_be_disabled(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path, journal=False)
+    cache.insert(key(1), {"n": 1})
+    assert not (tmp_path / "cache.json.journal").exists()
+    assert cache.stats.journal_appends == 0
+
+
+def test_persist_fault_degrades_without_raising(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path, persist_fault=lambda kind: True)
+    cache.insert(key(1), {"n": 1})  # journal append fails silently
+    assert cache.save() is None  # snapshot fails too
+    assert cache.stats.persist_errors == 2
+    assert cache.lookup(key(1)) == {"n": 1}  # memory is untouched
+    assert not path.exists()
+    assert not (tmp_path / "cache.json.journal").exists()
+
+
+def test_persist_fault_recovers_when_faults_stop(tmp_path):
+    path = tmp_path / "cache.json"
+    faulty = {"on": True}
+    cache = ResultCache(path, persist_fault=lambda kind: faulty["on"])
+    cache.insert(key(1), {"n": 1})  # lost to the injected fault
+    faulty["on"] = False
+    cache.insert(key(2), {"n": 2})  # journaled fine
+    cache.close()
+
+    reloaded = ResultCache(path)
+    assert reloaded.stats.journal_replayed == 1
+    assert reloaded.lookup(key(2)) == {"n": 2}

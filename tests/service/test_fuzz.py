@@ -1,0 +1,146 @@
+"""Protocol fuzzing: garbage on the wire must never wound the service.
+
+Every frame a client can send — malformed JSON, non-object JSON,
+binary noise, oversized lines, half-written frames followed by an
+abrupt disconnect — must produce a typed error response or a clean
+connection close, never an unhandled exception in the server's event
+loop (``ServiceHarness.loop_errors`` stays empty).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import struct
+
+import pytest
+
+from repro.service.server import MAX_LINE, ServiceConfig, ServiceHarness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with ServiceHarness(ServiceConfig(workers=1), tcp=True) as h:
+        yield h
+
+
+def connect(harness, timeout: float = 30.0) -> socket.socket:
+    assert harness.address is not None
+    sock = socket.create_connection(harness.address, timeout=timeout)
+    return sock
+
+
+def roundtrip(sock: socket.socket, frame: bytes) -> dict:
+    sock.sendall(frame)
+    reply = b""
+    while not reply.endswith(b"\n"):
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed before replying")
+        reply += chunk
+    return json.loads(reply)
+
+
+def garbage_frame(rng: random.Random) -> bytes:
+    """A non-empty, newline-terminated frame that is not valid JSON."""
+    kind = rng.randrange(4)
+    if kind == 0:  # random printable noise
+        body = bytes(rng.randrange(33, 127) for _ in range(rng.randrange(1, 80)))
+    elif kind == 1:  # binary noise (newlines stripped to keep framing)
+        body = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 80)))
+        body = body.replace(b"\n", b"?").replace(b"\r", b"?")
+    elif kind == 2:  # truncated JSON
+        full = json.dumps({"op": "ping", "junk": "x" * rng.randrange(1, 40)}).encode()
+        body = full[: rng.randrange(1, len(full) - 1)]
+    else:  # mismatched brackets
+        body = b'{"op": "ping", "spec": [}'
+    if not body.strip() or _is_json(body):
+        body = b"!" + body  # never whitespace-only, never accidentally valid
+    return body + b"\n"
+
+
+def _is_json(body: bytes) -> bool:
+    try:
+        json.loads(body)
+        return True
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return False
+
+
+def test_garbage_frames_get_typed_errors_and_connection_survives(harness):
+    rng = random.Random(1234)
+    with connect(harness) as sock:
+        for _ in range(50):
+            reply = roundtrip(sock, garbage_frame(rng))
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "bad-request"
+        # the connection is still perfectly usable
+        reply = roundtrip(sock, b'{"op": "ping"}\n')
+        assert reply["ok"] is True
+    assert harness.loop_errors == []
+
+
+def test_valid_json_that_is_not_an_object_is_bad_request(harness):
+    with connect(harness) as sock:
+        for frame in (b"[1, 2, 3]\n", b"42\n", b'"submit"\n', b"null\n", b"true\n"):
+            reply = roundtrip(sock, frame)
+            assert reply["ok"] is False, frame
+            assert reply["error"]["code"] == "bad-request"
+    assert harness.loop_errors == []
+
+
+def test_unknown_op_and_malformed_submit_are_typed(harness):
+    with connect(harness) as sock:
+        reply = roundtrip(sock, b'{"op": "explode"}\n')
+        assert reply["error"]["code"] == "bad-request"
+        reply = roundtrip(sock, b'{"op": "submit", "spec": {"app": "no-such-app"}}\n')
+        assert reply["error"]["code"] == "bad-spec"
+        reply = roundtrip(sock, b'{"op": "invalidate-machine"}\n')
+        assert reply["error"]["code"] == "bad-request"
+    assert harness.loop_errors == []
+
+
+def test_oversized_line_is_rejected_then_closed(harness):
+    with connect(harness) as sock:
+        frame = b"a" * (MAX_LINE + 1024) + b"\n"
+        reply = roundtrip(sock, frame)
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "bad-request"
+        assert "exceeds" in reply["error"]["message"]
+        # the stream cannot be resynchronized mid-line: server hangs up
+        sock.settimeout(10)
+        assert sock.recv(1) == b""
+    assert harness.loop_errors == []
+
+
+def test_abrupt_disconnects_leave_no_loop_errors(harness):
+    # half a frame, then a clean close
+    with connect(harness) as sock:
+        sock.sendall(b'{"op": "pi')
+    # half a frame, then a hard RST
+    sock = connect(harness)
+    sock.sendall(b'{"op": "ping"')
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0))
+    sock.close()
+    # the listener shrugged both off and still answers
+    with connect(harness) as probe:
+        assert roundtrip(probe, b'{"op": "ping"}\n')["ok"] is True
+    assert harness.loop_errors == []
+
+
+def test_mixed_fuzz_soak_across_connections(harness):
+    rng = random.Random(99)
+    for _ in range(8):
+        with connect(harness) as sock:
+            for _ in range(rng.randrange(1, 6)):
+                if rng.random() < 0.3:
+                    reply = roundtrip(sock, b'{"op": "ping"}\n')
+                    assert reply["ok"] is True
+                else:
+                    reply = roundtrip(sock, garbage_frame(rng))
+                    assert reply["ok"] is False
+                    assert "code" in reply["error"]
+    with connect(harness) as probe:
+        assert roundtrip(probe, b'{"op": "stats"}\n')["ok"] is True
+    assert harness.loop_errors == []

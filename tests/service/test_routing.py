@@ -40,10 +40,8 @@ def test_batch_and_service_traces_identical(harness, make_app, scheduler):
     assert routed.makespan == batch.makespan
     assert routed.gflops == batch.gflops
     assert routed.run.version_counts == batch.run.version_counts
-    # finish_order carries run-global task uids, which depend on how
-    # many tasks the process created before this run — compare shape,
-    # not raw ids
-    assert len(routed.run.finish_order) == len(batch.run.finish_order)
+    # task uids are run-local, so even raw finish_order ids must agree
+    assert routed.run.finish_order == batch.run.finish_order
 
 
 def test_router_clears_after_context(harness):
@@ -75,6 +73,43 @@ def test_fault_plans_never_route(harness):
             fault_plan=FaultPlan(),
         )
     assert router.routed == 0 and router.fallbacks == 1
+
+
+class _FailingClient:
+    """Client stub whose submit always raises a scripted ServiceError."""
+
+    def __init__(self, code: str) -> None:
+        from repro.service.client import ServiceError
+
+        self._exc = ServiceError(code, f"scripted {code}")
+
+    def submit(self, spec, *, tenant=None):
+        raise self._exc
+
+
+def test_connection_failures_fall_back_to_local_run():
+    # a dead service must degrade an experiment to batch mode, not kill it
+    with route_via_service(_FailingClient("connection-refused")) as router:
+        res = MatmulApp(n_tiles=2, variant="hyb").run(
+            minotauro_node(2, 1, noise_cv=0.02, seed=9), "versioning"
+        )
+    assert res.run.tasks_completed == 8
+    assert router.routed == 0
+    assert router.fallbacks == 1
+    assert router.connection_fallbacks == 1
+
+
+def test_submission_errors_are_not_swallowed_by_fallback():
+    # bad-spec means the submission itself is wrong; rerunning locally
+    # would silently paper over a real bug, so the error must surface
+    from repro.service.client import ServiceError
+
+    with route_via_service(_FailingClient("bad-spec")):
+        with pytest.raises(ServiceError) as err:
+            MatmulApp(n_tiles=2, variant="hyb").run(
+                minotauro_node(2, 1, noise_cv=0.02, seed=9), "versioning"
+            )
+    assert err.value.code == "bad-spec"
 
 
 def test_routed_repeat_hits_cache(harness):

@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.engine import Event, EventKind, SimEngine
+from repro.sim.engine import (
+    WALL_DEADLINE_CHECK_EVERY,
+    Event,
+    EventKind,
+    SimEngine,
+    WallDeadlineExceededError,
+)
 
 
 class TestScheduling:
@@ -251,3 +257,37 @@ class TestProperties:
                 ev.cancel()
         eng.run()
         assert fired == sorted(t for t, keep in spec if keep)
+
+class TestWallDeadline:
+    """Cooperative wall-clock deadline (service per-submission budgets)."""
+
+    def test_expired_deadline_raises_typed_error(self):
+        import time
+
+        eng = SimEngine()
+        for i in range(WALL_DEADLINE_CHECK_EVERY + 1):
+            eng.schedule(float(i), lambda: None)
+        eng.wall_deadline = time.perf_counter() - 1.0
+        with pytest.raises(WallDeadlineExceededError) as err:
+            eng.run()
+        assert err.value.overshoot > 0
+        # the check is cooperative: sampled once per window, so at most
+        # one full window of events ran before the raise
+        assert eng.events_processed <= WALL_DEADLINE_CHECK_EVERY
+
+    def test_generous_deadline_does_not_interfere(self):
+        import time
+
+        eng = SimEngine()
+        fired = []
+        for i in range(WALL_DEADLINE_CHECK_EVERY * 2):
+            eng.schedule(float(i), lambda i=i: fired.append(i))
+        eng.wall_deadline = time.perf_counter() + 300.0
+        eng.run()
+        assert len(fired) == WALL_DEADLINE_CHECK_EVERY * 2
+
+    def test_no_deadline_means_no_clock_sampling(self):
+        eng = SimEngine()
+        assert eng.wall_deadline is None
+        eng.schedule(1.0, lambda: None)
+        assert eng.run() == 1
