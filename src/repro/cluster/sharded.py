@@ -108,6 +108,18 @@ class ShardedClusterScheduler(Scheduler):
         self._stealing = False
         self._dead_nodes: set[int] = set()
         self.layout = None
+        # capability caching: node -> kind bitmask of its live workers,
+        # and task definition -> capable-node tuple.  Both are pure
+        # functions of worker liveness, so they are rebuilt lazily after
+        # every liveness change (worker_down/up, node_down/up) —
+        # capability scans were a top frame of the 16-node profile.
+        self._alive_kinds: dict[int, int] = {}
+        self._capable_cache: dict[object, list[int]] = {}
+        # per-node bound pool_size methods (see _refresh_pool_fns)
+        self._pool_fns: list = []
+        # sorted node ids, rebuilt alongside the pool fns: the steal
+        # scan re-sorted the node map on every lifecycle hook
+        self._sorted_nodes: list[int] = []
 
     # ------------------------------------------------------------------
     def bind(self, runtime: "OmpSsRuntime") -> None:
@@ -130,6 +142,7 @@ class ShardedClusterScheduler(Scheduler):
             sched = create_scheduler(self.inner_name, **self.inner_options)
             sched.bind(NodeRuntimeView(runtime, self.node_workers[node]))
             self.inner.append(sched)
+        self._refresh_pool_fns()
         self.partitioner = make_partitioner(
             self.partition_name, self.n_nodes, **self.partition_options
         )
@@ -145,24 +158,50 @@ class ShardedClusterScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Shard assignment
     # ------------------------------------------------------------------
+    def _liveness_changed(self) -> None:
+        """Invalidate capability caches (a worker died/revived or a node
+        crashed/rejoined)."""
+        self._alive_kinds.clear()
+        self._capable_cache.clear()
+
+    def _node_alive_kinds(self, node: int) -> int:
+        """Kind bitmask of the node's live workers (cached per liveness)."""
+        kinds = self._alive_kinds.get(node)
+        if kinds is None:
+            kinds = 0
+            for w in self.node_workers[node]:
+                if w.alive:
+                    kinds |= w.device.kind.mask
+            self._alive_kinds[node] = kinds
+        return kinds
+
     def _capable_nodes(self, t: TaskInstance) -> list[int]:
-        """Nodes with a live worker able to run some version of ``t``."""
+        """Nodes with a live worker able to run some version of ``t``.
+
+        A node qualifies iff the union of the definition's version
+        device kinds intersects the node's live-worker kinds — the same
+        predicate as scanning versions × workers, computed as one
+        integer AND of kind bitmasks and memoized per task definition
+        until the next liveness change.
+        """
+        cached = self._capable_cache.get(t.definition)
+        if cached is not None:
+            return list(cached)
+        union = t.definition.device_kind_mask
         out = []
         for node in sorted(self.node_workers):
             if node in self._dead_nodes:
                 # crash in progress: the hook runs before the node's
                 # workers are torn down, so check this explicitly
                 continue
-            ws = self.node_workers[node]
-            for v in t.definition.versions:
-                if any(w.alive and v.runs_on(w.device.kind) for w in ws):
-                    out.append(node)
-                    break
+            if union & self._node_alive_kinds(node):
+                out.append(node)
         if not out:
             raise RuntimeError(
                 f"no node of this cluster can run any version of task {t.name!r}"
             )
-        return out
+        self._capable_cache[t.definition] = out
+        return list(out)
 
     def task_submitted(self, t: TaskInstance) -> None:
         assert self.rt is not None and self.partitioner is not None
@@ -279,22 +318,28 @@ class ShardedClusterScheduler(Scheduler):
         """
         assert self.rt is not None and self.layout is not None
         host = self.layout.host_of_node[node]
-        directory = self.rt.directory
+        rt = self.rt
+        directory = rt.directory
         node_of_space = self.layout.node_of_space
+        stats = self.stats
         seen: set = set()
         for acc in t.accesses:
-            if not acc.reads or acc.region.key in seen:
+            region = acc.region
+            rid = region.rid
+            if not acc.reads or rid in seen:
                 continue
-            seen.add(acc.region.key)
-            if any(
-                node_of_space.get(s) == node
-                for s in directory.valid_spaces(acc.region)
-            ):
+            seen.add(rid)
+            local = False
+            for s in directory.valid_view(region):
+                if node_of_space.get(s) == node:
+                    local = True
+                    break
+            if local:
                 continue
-            _, issued = self.rt.push_region(acc.region, host)
+            _, issued = rt.push_region(region, host)
             if issued:
-                self.stats.pushes += 1
-                self.stats.push_bytes += acc.region.nbytes
+                stats.pushes += 1
+                stats.push_bytes += region.nbytes
 
     def _finished_uid(self, t: TaskInstance) -> int:
         # a winning speculative shadow finishes on behalf of its primary
@@ -329,6 +374,7 @@ class ShardedClusterScheduler(Scheduler):
         self.inner[self._node_of(worker)].task_requeued(t, worker)
 
     def worker_down(self, worker: "Worker") -> None:
+        self._liveness_changed()
         node = self._node_of(worker)
         self.inner[node].worker_down(worker)
         if (
@@ -339,6 +385,7 @@ class ShardedClusterScheduler(Scheduler):
             self._evacuate(node)
 
     def worker_up(self, worker: "Worker") -> None:
+        self._liveness_changed()
         self.inner[self._node_of(worker)].worker_up(worker)
         self._maybe_steal()
 
@@ -359,6 +406,7 @@ class ShardedClusterScheduler(Scheduler):
         if node in self._dead_nodes or self.n_nodes == 1:
             return
         self._dead_nodes.add(node)
+        self._liveness_changed()
         if self.router is not None:
             self.router.node_down(node)
         if self.partitioner is not None:
@@ -379,10 +427,12 @@ class ShardedClusterScheduler(Scheduler):
         if node not in self._dead_nodes:
             return
         self._dead_nodes.discard(node)
+        self._liveness_changed()
         assert self.rt is not None
         sched = create_scheduler(self.inner_name, **self.inner_options)
         sched.bind(NodeRuntimeView(self.rt, self.node_workers[node]))
         self.inner[node] = sched
+        self._refresh_pool_fns()
         self._maybe_steal()
 
     def _reassign_shards(self, dead: int) -> None:
@@ -422,8 +472,36 @@ class ShardedClusterScheduler(Scheduler):
     # Work stealing
     # ------------------------------------------------------------------
     def _pool_depth(self, node: int) -> int:
-        pool_size = getattr(self.inner[node], "pool_size", None)
-        return pool_size() if callable(pool_size) else 0
+        fn = self._pool_fns[node] if node < len(self._pool_fns) else None
+        return fn() if fn is not None else 0
+
+    def _refresh_pool_fns(self) -> None:
+        """Re-resolve each inner scheduler's ``pool_size`` method.
+
+        Bound methods are cached because the steal scan calls
+        ``_pool_depth`` for every node on every task lifecycle hook;
+        per-call ``getattr`` on the inner scheduler was a top frame.
+        When the inner scheduler's ``pool_size`` is the stock
+        ``len(self._pool)`` implementation, the pool deque's own
+        ``__len__`` is bound instead — a C-level call; the deque is
+        created once in ``__init__`` and only ever mutated in place, so
+        the binding stays valid.  Must be called whenever ``self.inner``
+        changes (bind, node_up).
+        """
+        from repro.core.versioning import VersioningScheduler  # avoid cycle
+
+        stock = VersioningScheduler.pool_size
+        fns = []
+        for sched in self.inner:
+            fn = getattr(sched, "pool_size", None)
+            if not callable(fn):
+                fns.append(None)
+            elif getattr(type(sched), "pool_size", None) is stock:
+                fns.append(sched._pool.__len__)
+            else:
+                fns.append(fn)
+        self._pool_fns = fns
+        self._sorted_nodes = sorted(self.node_workers)
 
     def _has_idle_worker(self, node: int) -> bool:
         assert self.rt is not None
@@ -434,14 +512,12 @@ class ShardedClusterScheduler(Scheduler):
         )
 
     def _accepts(self, node: int):
-        ws = self.node_workers[node]
+        # same predicate as scanning versions × live workers: some
+        # version's device kinds intersect the node's live-worker kinds
+        kinds = self._node_alive_kinds(node)
 
         def accept(t: TaskInstance) -> bool:
-            return any(
-                w.alive and v.runs_on(w.device.kind)
-                for v in t.definition.versions
-                for w in ws
-            )
+            return bool(kinds & t.definition.device_kind_mask)
 
         return accept
 
@@ -496,18 +572,29 @@ class ShardedClusterScheduler(Scheduler):
         assert self.rt is not None
         self._stealing = True
         try:
+            threshold = self.steal_threshold
+            nodes = self._sorted_nodes
             while True:
+                # one depth snapshot per round (pool sizes only change
+                # when a steal succeeds, which restarts the round); the
+                # victim check runs first so the common no-backlog case
+                # exits after one flat scan, before any idle-worker scan
+                depths = [
+                    fn() if fn is not None else 0 for fn in self._pool_fns
+                ]
+                if max(depths) < threshold:
+                    return
+                victims = sorted(
+                    (n for n in nodes if depths[n] >= threshold),
+                    key=lambda n: (-depths[n], n),
+                )
                 thieves = [
                     n
-                    for n in sorted(self.node_workers)
-                    if self._pool_depth(n) == 0 and self._has_idle_worker(n)
+                    for n in nodes
+                    if depths[n] == 0 and self._has_idle_worker(n)
                 ]
                 if not thieves:
                     return
-                victims = sorted(
-                    (n for n in self.node_workers if self._pool_depth(n) >= self.steal_threshold),
-                    key=lambda n: (-self._pool_depth(n), n),
-                )
                 stolen = None
                 for thief in thieves:
                     for victim in victims:

@@ -144,6 +144,10 @@ class VersioningScheduler(Scheduler):
             self.preloaded_entries = self.table.preload(hints)
         # ready tasks not yet placed in any worker queue (FIFO)
         self._pool: Deque[TaskInstance] = deque()
+        # count of pooled tasks with a non-zero priority clause, kept in
+        # step with every _pool mutation: _pump consults it per scan
+        # instead of re-walking the pool
+        self._prio_in_pool = 0
         self._pumping = False
         # worker name -> estimated busy time (sum of estimates of queued
         # + running tasks, §IV-B "OmpSs worker estimated busy time")
@@ -229,6 +233,8 @@ class VersioningScheduler(Scheduler):
     # ------------------------------------------------------------------
     def task_ready(self, t: TaskInstance) -> None:
         self._pool.append(t)
+        if t.priority:
+            self._prio_in_pool += 1
         self._pump()
 
     def task_started(self, t: TaskInstance, worker: "Worker") -> None:
@@ -245,6 +251,8 @@ class VersioningScheduler(Scheduler):
             t = self._pool[i]
             if accept(t):
                 del self._pool[i]
+                if t.priority:
+                    self._prio_in_pool -= 1
                 return t
         return None
 
@@ -315,12 +323,13 @@ class VersioningScheduler(Scheduler):
                 blocked: set = set()
                 # scan by the priority clause first (stable FIFO within
                 # equal priorities); zero-priority pools keep plain order
-                if any(t.priority for t in self._pool):
+                # (the counter tracks _pool mutations, so this is O(1))
+                if self._prio_in_pool:
                     scan = sorted(
                         enumerate(self._pool), key=lambda it: (-it[1].priority, it[0])
                     )
                 else:
-                    scan = list(enumerate(self._pool))
+                    scan = enumerate(self._pool)
                 for i, t in scan:
                     gkey = (t.name, self.table.grouping.key(t.data_bytes))
                     if gkey in blocked:
@@ -331,6 +340,8 @@ class VersioningScheduler(Scheduler):
                         continue
                     version, worker, learning = placement
                     del self._pool[i]
+                    if t.priority:
+                        self._prio_in_pool -= 1
                     group = self.table.group(t.name, t.data_bytes)
                     est = group.mean_time(version.name)
                     est_value = est if est is not None else 0.0
@@ -492,23 +503,29 @@ class VersioningScheduler(Scheduler):
         known_means = [m for m in known if m is not None]
         fallback = max(known_means) if known_means else 0.0
 
+        # hoisted invariants: no simulation event runs inside this scan,
+        # so engine.now and the busy-estimate table are constant
+        assert self.rt is not None
+        now = self.rt.engine.now
+        busy = self._busy_est
+        fault_aware = self.fault_aware
         best: Optional[tuple[float, str, str]] = None
         best_pair: Optional[tuple[TaskVersion, "Worker"]] = None
-        for v in versions:
-            mean = group.mean_time(v.name)
+        for v, mean in zip(versions, known):
             if mean is None:
                 if not allow_unknown:
                     continue
                 mean = fallback
+            vname = v.name
             for w in self.capable_workers(v):
-                if not self.dispatchable(w):
+                if not w.available(now):
                     continue
-                if (v.name, w.name) in avoid:
+                if avoid and (vname, w.name) in avoid:
                     continue
                 if require_room and not self._has_room(w, room_bound):
                     continue
-                finish = self.estimated_busy_time(w) + mean
-                if self.fault_aware:
+                finish = busy[w.name] + mean
+                if fault_aware:
                     # expected attempts per completed task on a worker
                     # with transient-fault rate p is 1/(1-p): inflate the
                     # whole busy+exec estimate so a flaky-but-fast device
@@ -517,7 +534,7 @@ class VersioningScheduler(Scheduler):
                     if rate > 0.0:
                         finish /= 1.0 - min(rate, self.fault_rate_cap)
                 finish += self._placement_penalty(t, v, w)
-                key = (finish, w.name, v.name)
+                key = (finish, w.name, vname)
                 if best is None or key < best:
                     best = key
                     best_pair = (v, w)

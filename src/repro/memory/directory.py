@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Hashable, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.runtime.dataregion import DataRegion
 
@@ -58,7 +58,12 @@ class Directory:
 
     def __init__(self, home_space: str = "host") -> None:
         self.home_space = home_space
-        self._entries: dict[Hashable, _Entry] = {}
+        # keyed by the interned region id (DataRegion.rid); directory
+        # lookups run once per task dependence clause and per transfer,
+        # so int keys beat hashing structured tuples.  Anything that
+        # must iterate deterministically sorts by repr(region.key) —
+        # rid assignment order is process-history dependent.
+        self._entries: dict[int, _Entry] = {}
         # optional cluster awareness (set_topology): when present,
         # choose_source prefers same-node copies and spreads remote
         # pulls across the hosts holding valid replicas
@@ -87,26 +92,42 @@ class Directory:
 
         New regions are valid in the home space only.
         """
-        if region.key not in self._entries:
-            self._entries[region.key] = _Entry(region, {self.home_space}, None)
+        self._entry(region)
+
+    def _entry(self, region: DataRegion) -> _Entry:
+        entry = self._entries.get(region.rid)
+        if entry is None:
+            entry = self._entries[region.rid] = _Entry(
+                region, {self.home_space}, None
+            )
+        return entry
 
     def known(self, region: DataRegion) -> bool:
-        return region.key in self._entries
+        return region.rid in self._entries
 
     def regions(self) -> list[DataRegion]:
         return [e.region for e in self._entries.values()]
 
     def valid_spaces(self, region: DataRegion) -> set[str]:
-        self.register(region)
-        return set(self._entries[region.key].valid)
+        return set(self._entry(region).valid)
+
+    def valid_view(self, region: DataRegion) -> "set[str]":
+        """The live valid-space set — read-only by contract; callers
+        that only iterate avoid the defensive copy of
+        :meth:`valid_spaces` (the cluster staging scan is per-access)."""
+        return self._entry(region).valid
 
     def is_valid(self, region: DataRegion, space: str) -> bool:
-        self.register(region)
-        return space in self._entries[region.key].valid
+        return space in self._entry(region).valid
+
+    def register_valid_in(self, region: DataRegion, space: str) -> bool:
+        """Register ``region`` (idempotent) and report whether ``space``
+        already holds a valid copy — one entry lookup instead of the
+        register + is_valid pair on the cluster push hot path."""
+        return space in self._entry(region).valid
 
     def dirty_owner(self, region: DataRegion) -> Optional[str]:
-        self.register(region)
-        return self._entries[region.key].dirty_owner
+        return self._entry(region).dirty_owner
 
     # ------------------------------------------------------------------
     # Protocol actions
@@ -125,8 +146,7 @@ class Directory:
         spread deterministically across holders so concurrent consumers
         don't all hammer one NIC — then the node-oblivious fallback.
         """
-        self.register(region)
-        entry = self._entries[region.key]
+        entry = self._entry(region)
         if dst in entry.valid:
             raise ValueError(f"{region.label!r} is already valid in {dst!r}")
         if not entry.valid:
@@ -152,20 +172,17 @@ class Directory:
 
     def reads_needed(self, region: DataRegion, space: str) -> Optional[TransferRequest]:
         """Transfer needed (if any) so ``space`` can read ``region``."""
-        self.register(region)
-        if self.is_valid(region, space):
+        if space in self._entry(region).valid:
             return None
         return TransferRequest(region, self.choose_source(region, space), space)
 
     def mark_valid(self, region: DataRegion, space: str) -> None:
         """Record a completed copy into ``space`` (does not change dirtiness)."""
-        self.register(region)
-        self._entries[region.key].valid.add(space)
+        self._entry(region).valid.add(space)
 
     def note_write(self, region: DataRegion, space: str) -> None:
         """A task on ``space`` wrote ``region``: invalidate all other copies."""
-        self.register(region)
-        entry = self._entries[region.key]
+        entry = self._entry(region)
         entry.valid = {space}
         entry.dirty_owner = space if space != self.home_space else None
         entry.recovering = False  # a fresh write supersedes any recovery
@@ -176,8 +193,7 @@ class Directory:
         Dropping the last valid copy — or the dirty owner's copy — is a
         protocol violation: the caller must write back first.
         """
-        self.register(region)
-        entry = self._entries[region.key]
+        entry = self._entry(region)
         if space not in entry.valid:
             raise ValueError(f"{region.label!r} holds no copy in {space!r}")
         if entry.dirty_owner == space:
@@ -191,16 +207,14 @@ class Directory:
 
     def writeback_request(self, region: DataRegion) -> Optional[TransferRequest]:
         """Transfer that would clean the region (dirty owner -> home)."""
-        self.register(region)
-        entry = self._entries[region.key]
+        entry = self._entry(region)
         if entry.dirty_owner is None:
             return None
         return TransferRequest(region, entry.dirty_owner, self.home_space)
 
     def note_writeback_done(self, region: DataRegion) -> None:
         """The dirty copy has been copied home; region is now clean."""
-        self.register(region)
-        entry = self._entries[region.key]
+        entry = self._entry(region)
         if entry.dirty_owner is None:
             raise ValueError(f"{region.label!r} is not dirty")
         entry.valid.add(self.home_space)
@@ -209,8 +223,8 @@ class Directory:
     def flush_requests(self) -> list[TransferRequest]:
         """All transfers a full ``taskwait`` flush needs (deterministic order)."""
         out: list[TransferRequest] = []
-        for key in sorted(self._entries, key=repr):
-            req = self.writeback_request(self._entries[key].region)
+        for entry in sorted(self._entries.values(), key=lambda e: repr(e.region.key)):
+            req = self.writeback_request(entry.region)
             if req is not None:
                 out.append(req)
         return out
@@ -233,8 +247,7 @@ class Directory:
         Deterministic: regions are visited in sorted key order.
         """
         lost: list[DataRegion] = []
-        for key in sorted(self._entries, key=repr):
-            entry = self._entries[key]
+        for entry in sorted(self._entries.values(), key=lambda e: repr(e.region.key)):
             if not (entry.valid & spaces) and entry.dirty_owner not in spaces:
                 continue
             entry.valid -= spaces
@@ -249,15 +262,13 @@ class Directory:
 
     def note_recovered(self, region: DataRegion, space: str) -> None:
         """A lost region's recomputation materialised a copy in ``space``."""
-        self.register(region)
-        entry = self._entries[region.key]
+        entry = self._entry(region)
         entry.valid.add(space)
         entry.dirty_owner = space if space != self.home_space else None
         entry.recovering = False
 
     def is_recovering(self, region: DataRegion) -> bool:
-        self.register(region)
-        return self._entries[region.key].recovering
+        return self._entry(region).recovering
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

@@ -56,7 +56,17 @@ class TransferStats:
     )
 
     def record(self, src: str, dst: str, nbytes: int, host: str = HOST_SPACE) -> None:
-        cat = TxCategory.classify(src, dst, host)
+        # classify() inlined — record runs once per transfer hop
+        if src == host:
+            if dst == host:
+                raise ValueError(
+                    f"host-to-host transfer makes no sense ({src} -> {dst})"
+                )
+            cat = TxCategory.INPUT
+        elif dst == host:
+            cat = TxCategory.OUTPUT
+        else:
+            cat = TxCategory.DEVICE
         self.bytes_by_category[cat] += nbytes
         self.count_by_category[cat] += 1
 
@@ -123,6 +133,10 @@ class TransferEngine:
         # per-link (or per channel-group) list of channel-free times;
         # links sharing a ``Link.group`` (a node's NIC) share one entry
         self._channel_free_at: dict[object, list[float]] = {}
+        # interned trace worker names per directed link (issue() runs
+        # once per hop; building the f-string each time showed up in
+        # profiles)
+        self._link_worker: dict[tuple[str, str], str] = {}
         #: simulated control messages (cluster notification protocol)
         self.messages_sent = 0
         self.messages_delivered = 0
@@ -187,26 +201,52 @@ class TransferEngine:
         detected.
         """
         nbytes = request.region.nbytes
-        ready = self.engine.now if earliest is None else max(earliest, self.engine.now)
+        now = self.engine.now
+        ready = now if earliest is None else max(earliest, now)
         end = ready
+        resilience = self.resilience
+        stats = self.stats
+        trace = self.trace
+        host = self.host
+        link_worker = self._link_worker
         for link in self.machine.route(request.src, request.dst):
             key = self._channel_key(link)
-            channels = self._channel_free_at.setdefault(key, [0.0] * link.channels)
+            channels = self._channel_free_at.get(key)
+            if channels is None:
+                channels = self._channel_free_at[key] = [0.0] * link.channels
             attempt = 1
             while True:
-                ch = min(range(len(channels)), key=lambda i: (channels[i], i))
-                start = max(end, channels[ch])
-                hop_end = start + self._hop_time(link, nbytes, start)
+                # earliest-free channel, lowest index on ties (strict <
+                # scan ≡ min over (free time, index))
+                ch = 0
+                free = channels[0]
+                for i in range(1, len(channels)):
+                    if channels[i] < free:
+                        free = channels[i]
+                        ch = i
+                start = end if end > free else free
+                if resilience is None:
+                    hop_end = start + link.transfer_time(nbytes)
+                    failed = False
+                else:
+                    bw_f, lat_f = resilience.link_factors(link.src, link.dst, start)
+                    # parenthesised like _hop_time: float addition is not
+                    # associative and the traces are pinned bit-for-bit
+                    hop_end = start + (
+                        link.latency * lat_f + (nbytes / link.bandwidth) * bw_f
+                    )
+                    failed = resilience.transfer_fault(link.src, link.dst)
                 channels[ch] = hop_end
-                failed = self.resilience is not None and self.resilience.transfer_fault(
-                    link.src, link.dst
-                )
-                self.stats.record(link.src, link.dst, nbytes, self.host)
-                if self.trace is not None:
-                    self.trace.add(
+                stats.record(link.src, link.dst, nbytes, host)
+                if trace is not None:
+                    lkey = (link.src, link.dst)
+                    worker = link_worker.get(lkey)
+                    if worker is None:
+                        worker = link_worker[lkey] = f"link:{link.src}->{link.dst}"
+                    trace.add(
                         start,
                         hop_end,
-                        worker=f"link:{link.src}->{link.dst}",
+                        worker=worker,
                         category="transfer" if not failed else "transfer-fault",
                         label=request.region.label,
                         meta=(nbytes,),
@@ -214,7 +254,7 @@ class TransferEngine:
                 if not failed:
                     end = hop_end
                     break
-                assert self.resilience is not None
+                assert resilience is not None
                 if attempt > self.resilience.max_transfer_retries:
                     raise TransferRetryExceededError(
                         f"transfer of {request.region.label!r} over "
@@ -268,9 +308,16 @@ class TransferEngine:
         end = self.engine.now
         for link in self.machine.route(src, dst):
             key = self._channel_key(link)
-            channels = self._channel_free_at.setdefault(key, [0.0] * link.channels)
-            ch = min(range(len(channels)), key=lambda i: (channels[i], i))
-            start = max(end, channels[ch])
+            channels = self._channel_free_at.get(key)
+            if channels is None:
+                channels = self._channel_free_at[key] = [0.0] * link.channels
+            ch = 0
+            free = channels[0]
+            for i in range(1, len(channels)):
+                if channels[i] < free:
+                    free = channels[i]
+                    ch = i
+            start = end if end > free else free
             hop_end = start + self._hop_time(link, nbytes, start)
             channels[ch] = hop_end
             end = hop_end

@@ -17,7 +17,6 @@ distinct regions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Hashable, Optional
 
@@ -40,6 +39,25 @@ class AccessKind(Enum):
         return self in (AccessKind.OUTPUT, AccessKind.INOUT)
 
 
+#: region-key intern table: key -> small dense int (the region id).
+#: Region keys are structured tuples (``("ndarray", addr, nbytes)``,
+#: ``("tile", i, j)``...); hashing them on every dependence/directory/
+#: cache lookup was a top profile frame.  Each distinct key is hashed
+#: once here; every hot dict is keyed by the resulting ``rid`` instead.
+#: The table is process-global and append-only, mirroring OmpSs's
+#: address-is-identity model; ids are assigned in first-seen order, so
+#: they are only meaningful within a process and never serialized.
+_KEY_INTERN: dict = {}
+
+
+def intern_key(key: Hashable) -> int:
+    """Return the stable per-process region id for ``key``."""
+    rid = _KEY_INTERN.get(key)
+    if rid is None:
+        rid = _KEY_INTERN[key] = len(_KEY_INTERN)
+    return rid
+
+
 class DataRegion:
     """A contiguous region of user data tracked by the runtime.
 
@@ -60,7 +78,7 @@ class DataRegion:
         Human-readable name for traces.
     """
 
-    __slots__ = ("key", "nbytes", "data", "base", "length", "label")
+    __slots__ = ("key", "rid", "nbytes", "data", "base", "length", "label")
 
     def __init__(
         self,
@@ -75,6 +93,7 @@ class DataRegion:
         if nbytes < 0:
             raise ValueError("region size must be non-negative")
         self.key = key
+        self.rid = intern_key(key)
         self.nbytes = int(nbytes)
         self.data = data
         self.base = base
@@ -85,10 +104,11 @@ class DataRegion:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DataRegion):
             return NotImplemented
-        return self.key == other.key
+        return self.rid == other.rid
 
     def __hash__(self) -> int:
-        return hash(self.key)
+        # the interned id hashes to itself — no tuple hashing on lookups
+        return self.rid
 
     def __repr__(self) -> str:
         return f"DataRegion({self.label!r}, {self.nbytes}B)"
@@ -138,20 +158,31 @@ def region_of(obj: Any, *, label: str = "") -> DataRegion:
     )
 
 
-@dataclass(frozen=True)
 class DataAccess:
-    """One dependence-clause entry of one task instance: region + kind."""
+    """One dependence-clause entry of one task instance: region + kind.
 
-    region: DataRegion
-    kind: AccessKind
+    ``reads``/``writes`` are plain attributes computed once at
+    construction — the transfer-staging and dependence paths test them
+    per access per dispatch, and the former property chain
+    (``DataAccess.reads`` -> ``AccessKind.reads``) was two Python-level
+    calls per test.
+    """
 
-    @property
-    def reads(self) -> bool:
-        return self.kind.reads
+    __slots__ = ("region", "kind", "reads", "writes")
 
-    @property
-    def writes(self) -> bool:
-        return self.kind.writes
+    def __init__(self, region: DataRegion, kind: AccessKind) -> None:
+        self.region = region
+        self.kind = kind
+        self.reads = kind is not AccessKind.OUTPUT
+        self.writes = kind is not AccessKind.INPUT
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataAccess):
+            return NotImplemented
+        return self.region == other.region and self.kind is other.kind
+
+    def __hash__(self) -> int:
+        return hash((self.region, self.kind))
 
     def __repr__(self) -> str:
         return f"DataAccess({self.kind.value}, {self.region.label!r})"
@@ -167,7 +198,8 @@ def unique_data_bytes(accesses: "list[DataAccess]") -> int:
     seen: set = set()
     total = 0
     for acc in accesses:
-        if acc.region.key not in seen:
-            seen.add(acc.region.key)
+        rid = acc.region.rid
+        if rid not in seen:
+            seen.add(rid)
             total += acc.region.nbytes
     return total

@@ -46,10 +46,14 @@ class DepEdge:
     region: DataRegion
 
 
-@dataclass
+@dataclass(slots=True)
 class _RegionHistory:
     last_writer: Optional[TaskInstance] = None
     readers_since_write: list[TaskInstance] = field(default_factory=list)
+
+
+#: edge-strength ranking for _note_dep (RAW > WAW > WAR)
+_DEP_ORDER = {DepKind.RAW: 0, DepKind.WAW: 1, DepKind.WAR: 2}
 
 
 class DependenceGraph:
@@ -61,7 +65,10 @@ class DependenceGraph:
         check_aliasing: bool = False,
         alias_policy: Optional[str] = None,
     ) -> None:
-        self._history: dict[Hashable, _RegionHistory] = {}
+        # keyed by the interned region id (DataRegion.rid), not the
+        # structured key — dependence matching is per-submission × per-
+        # clause, and int lookups skip tuple hashing entirely
+        self._history: dict[int, _RegionHistory] = {}
         self._tasks: dict[int, TaskInstance] = {}
         self._edges: list[DepEdge] = []
         self._in_edges: dict[int, list[DepEdge]] = {}
@@ -96,20 +103,22 @@ class DependenceGraph:
         self._unfinished.add(t.uid)
 
         preds: dict[int, DepEdge] = {}
+        history = self._history
+        check_alias = self.alias_policy != "off"
         for acc in t.accesses:
             region = acc.region
-            if self.alias_policy != "off":
+            if check_alias:
                 self._check_alias(region, t)
-            hist = self._history.get(region.key)
+            hist = history.get(region.rid)
             if hist is None:
-                hist = _RegionHistory()
-                self._history[region.key] = hist
+                hist = history[region.rid] = _RegionHistory()
 
-            if acc.reads and hist.last_writer is not None:
-                self._note_dep(preds, hist.last_writer, t, DepKind.RAW, region)
+            last_writer = hist.last_writer
+            if acc.reads and last_writer is not None:
+                self._note_dep(preds, last_writer, t, DepKind.RAW, region)
             if acc.writes:
-                if hist.last_writer is not None:
-                    self._note_dep(preds, hist.last_writer, t, DepKind.WAW, region)
+                if last_writer is not None:
+                    self._note_dep(preds, last_writer, t, DepKind.WAW, region)
                 for reader in hist.readers_since_write:
                     if reader.uid != t.uid:
                         self._note_dep(preds, reader, t, DepKind.WAR, region)
@@ -117,7 +126,7 @@ class DependenceGraph:
         # Update histories only after all clauses were matched, so a task
         # never depends on itself through an inout access.
         for acc in t.accesses:
-            hist = self._history[acc.region.key]
+            hist = history[acc.region.rid]
             if acc.writes:
                 hist.last_writer = t
                 hist.readers_since_write = []
@@ -145,9 +154,8 @@ class DependenceGraph:
     ) -> None:
         # Keep one edge per predecessor; prefer the "strongest" kind for
         # reporting (RAW > WAW > WAR) but correctness only needs one.
-        order = {DepKind.RAW: 0, DepKind.WAW: 1, DepKind.WAR: 2}
         prev = preds.get(src.uid)
-        if prev is None or order[kind] < order[prev.kind]:
+        if prev is None or _DEP_ORDER[kind] < _DEP_ORDER[prev.kind]:
             preds[src.uid] = DepEdge(src.uid, dst.uid, kind, region)
 
     def _check_alias(self, region: DataRegion, t: TaskInstance) -> None:
@@ -258,7 +266,7 @@ class DependenceGraph:
         Supports the ``taskwait on`` clause: the master blocks until the
         data is produced, i.e. until the region's last writer retires.
         """
-        hist = self._history.get(region.key)
+        hist = self._history.get(region.rid)
         if hist is None or hist.last_writer is None:
             return None
         writer = hist.last_writer

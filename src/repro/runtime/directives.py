@@ -59,6 +59,20 @@ def clear_task_registry() -> None:
     _REGISTRY.clear()
 
 
+class _FastBound:
+    """Duck-typed stand-in for :class:`inspect.BoundArguments`.
+
+    The clause/work/priority evaluators only read ``.arguments``; for
+    plain positional calls the mapping is built directly instead of
+    going through ``Signature.bind`` (see ``TaskFunction._bind``).
+    """
+
+    __slots__ = ("arguments",)
+
+    def __init__(self, arguments: dict) -> None:
+        self.arguments = arguments
+
+
 class TaskFunction:
     """A function annotated with ``@task`` (and optionally ``@target``).
 
@@ -85,6 +99,19 @@ class TaskFunction:
         self.__name__ = name or fn.__name__
         self.__doc__ = fn.__doc__
         self._signature = inspect.signature(fn)
+        # fast-path binder: when every parameter is plain
+        # positional-or-keyword, an exact-arity positional call binds to
+        # dict(zip(names, args)) — inspect's bind machinery is
+        # submit-path-hot and an order of magnitude slower
+        params = self._signature.parameters
+        self._fast_params: Optional[tuple[str, ...]] = (
+            tuple(params)
+            if all(
+                p.kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+                for p in params.values()
+            )
+            else None
+        )
         self._inputs = inputs
         self._outputs = outputs
         self._inouts = inouts
@@ -196,10 +223,21 @@ class TaskFunction:
                 objs.append(bound.arguments[pname])
         return [region_of(o) for o in objs]
 
-    def build_accesses(self, *args: Any, **kwargs: Any) -> list[DataAccess]:
-        """Capture the dependence environment of one call (no submission)."""
+    def _bind(self, args: tuple, kwargs: dict) -> "inspect.BoundArguments | _FastBound":
+        names = self._fast_params
+        if names is not None and not kwargs and len(args) == len(names):
+            # exact positional arity: same arguments mapping (and order)
+            # that signature.bind + apply_defaults would produce
+            return _FastBound(dict(zip(names, args)))
         bound = self._signature.bind(*args, **kwargs)
         bound.apply_defaults()
+        return bound
+
+    def build_accesses(self, *args: Any, **kwargs: Any) -> list[DataAccess]:
+        """Capture the dependence environment of one call (no submission)."""
+        return self._accesses_of(self._bind(args, kwargs))
+
+    def _accesses_of(self, bound: inspect.BoundArguments) -> list[DataAccess]:
         accesses: list[DataAccess] = []
         for spec, kind in (
             (self._inputs, AccessKind.INPUT),
@@ -215,26 +253,32 @@ class TaskFunction:
     def _check_clause_consistency(accesses: list[DataAccess]) -> None:
         seen: dict = {}
         for acc in accesses:
-            prev = seen.get(acc.region.key)
+            prev = seen.get(acc.region.rid)
             if prev is not None and prev is not acc.kind:
                 raise ValueError(
                     f"region {acc.region.label!r} named by two different clauses "
                     f"({prev.value} and {acc.kind.value}); use inout instead"
                 )
-            seen[acc.region.key] = acc.kind
+            seen[acc.region.rid] = acc.kind
 
     def work_params(self, *args: Any, **kwargs: Any) -> dict[str, float]:
         if self._work is None:
             return {}
-        bound = self._signature.bind(*args, **kwargs)
-        bound.apply_defaults()
+        return self._work_params_of(self._bind(args, kwargs))
+
+    def _work_params_of(self, bound: inspect.BoundArguments) -> dict[str, float]:
+        if self._work is None:
+            return {}
         return dict(self._work(**bound.arguments))
 
     def priority_of(self, *args: Any, **kwargs: Any) -> int:
         """Evaluate the ``priority`` clause for one call."""
         if callable(self._priority):
-            bound = self._signature.bind(*args, **kwargs)
-            bound.apply_defaults()
+            return int(self._priority(**self._bind(args, kwargs).arguments))
+        return int(self._priority)
+
+    def _priority_of_bound(self, bound: inspect.BoundArguments) -> int:
+        if callable(self._priority):
             return int(self._priority(**bound.arguments))
         return int(self._priority)
 
@@ -243,13 +287,16 @@ class TaskFunction:
         rt = context.current_runtime()
         if rt is None:
             return self.fn(*args, **kwargs)
+        # bind the call signature once and share it across the clause,
+        # work and priority evaluations (binding is submit-path-hot)
+        bound = self._bind(args, kwargs)
         instance = TaskInstance(
             self.definition,
-            self.build_accesses(*args, **kwargs),
-            params=self.work_params(*args, **kwargs),
+            self._accesses_of(bound),
+            params=self._work_params_of(bound),
             args=args,
             kwargs=kwargs,
-            priority=self.priority_of(*args, **kwargs),
+            priority=self._priority_of_bound(bound),
         )
         rt.submit(instance)
         return instance

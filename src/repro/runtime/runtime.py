@@ -278,6 +278,8 @@ class OmpSsRuntime:
         #: node-aware schedulers (typically during their ``bind``); None
         #: for ordinary single-node runs
         self.node_topology = None
+        self._sorted_hosts: list[str] = []
+        self._host_set: set[str] = set()
         if isinstance(scheduler, str):
             self.scheduler = create_scheduler(scheduler, **dict(scheduler_options or {}))
         else:
@@ -290,16 +292,20 @@ class OmpSsRuntime:
         self._finish_order: list[int] = []
         self._tasks_completed = 0
         self._tasks_submitted = 0
-        # (region key, space) -> completion time of an in-flight copy
-        self._inflight: dict[tuple[Hashable, str], float] = {}
-        # region key -> uids of every task that wrote it, in finish
+        # region rid -> {space -> completion time} of in-flight copies.
+        # Nested rather than keyed by (rid, space): the cluster push
+        # path scans every node host per pushed region, and one lookup
+        # of the (usually tiny) per-region map replaces a tuple
+        # allocation + dict probe per host
+        self._inflight: dict[int, dict[str, float]] = {}
+        # region rid -> uids of every task that wrote it, in finish
         # order: the recomputation lineage replayed when a node crash
         # destroys the only valid copies
-        self._write_log: dict[Hashable, list[int]] = {}
-        # region key -> simulated time its crash-recovery recomputation
+        self._write_log: dict[int, list[int]] = {}
+        # region rid -> simulated time its crash-recovery recomputation
         # completes; reads of these regions wait instead of sourcing a
         # copy (there is none anywhere)
-        self._recovering: dict[Hashable, float] = {}
+        self._recovering: dict[int, float] = {}
         # task uid -> time its input transfers complete (prepared tasks)
         self._xfer_ready: dict[int, float] = {}
         # task uids whose regions are currently pinned in a space
@@ -351,13 +357,13 @@ class OmpSsRuntime:
         if self._closed:
             raise RuntimeError("runtime already finished; create a new one")
         limit = self.config.max_in_flight_tasks
-        if limit is not None:
-            while self.graph.unfinished >= limit:
-                if not self.engine.step():
-                    raise RuntimeError(
-                        "deadlock in throttled submit: in-flight tasks pending "
-                        "but no events queued"
-                    )
+        if limit is not None and self.graph.unfinished >= limit:
+            graph = self.graph
+            if not self.engine.run_while(lambda: graph.unfinished >= limit):
+                raise RuntimeError(
+                    "deadlock in throttled submit: in-flight tasks pending "
+                    "but no events queued"
+                )
         t.submit_time = self.engine.now
         self._tasks_submitted += 1
         # renumber to a run-local uid; the process-global uid the
@@ -381,15 +387,14 @@ class OmpSsRuntime:
         ``noflush`` reproduces the extended ``taskwait noflush`` clause:
         synchronise tasks without copying device data back to the host.
         """
-        guard = self.config.max_events
-        while self.graph.unfinished:
-            if not self.engine.step():
-                raise RuntimeError(
-                    f"deadlock: {self.graph.unfinished} tasks pending but the event "
-                    "queue is empty (dependence cycle or dispatch bug)"
-                )
-            if guard is not None and self.engine.events_processed > guard:
-                raise RuntimeError(f"exceeded max_events={guard}")
+        graph = self.graph
+        if not self.engine.run_while(
+            lambda: graph.unfinished, guard=self.config.max_events
+        ):
+            raise RuntimeError(
+                f"deadlock: {self.graph.unfinished} tasks pending but the event "
+                "queue is empty (dependence cycle or dispatch bug)"
+            )
         if self.config.flush_on_wait and not noflush:
             self._flush_to_host()
 
@@ -404,14 +409,14 @@ class OmpSsRuntime:
         from repro.runtime.dataregion import region_of
 
         regions = [region_of(d) for d in data]
-        guard = self.config.max_events
-        while any(self.graph.pending_writer(r) is not None for r in regions):
-            if not self.engine.step():
-                raise RuntimeError(
-                    "deadlock in taskwait_on: writers pending but no events queued"
-                )
-            if guard is not None and self.engine.events_processed > guard:
-                raise RuntimeError(f"exceeded max_events={guard}")
+        graph = self.graph
+        if not self.engine.run_while(
+            lambda: any(graph.pending_writer(r) is not None for r in regions),
+            guard=self.config.max_events,
+        ):
+            raise RuntimeError(
+                "deadlock in taskwait_on: writers pending but no events queued"
+            )
         if self.config.flush_on_wait and not noflush:
             last = self.engine.now
             for r in regions:
@@ -500,6 +505,9 @@ class OmpSsRuntime:
         """
         self.node_topology = layout
         host_spaces = set(layout.host_of_node.values())
+        # sorted once: push_region scans the host list per pushed region
+        self._sorted_hosts = sorted(host_spaces)
+        self._host_set = set(host_spaces)
         self.directory.set_topology(layout.node_of_space, host_spaces)
 
     def push_region(self, region: DataRegion, space: str) -> tuple[float, bool]:
@@ -510,11 +518,10 @@ class OmpSsRuntime:
         ``(ready_time, issued)`` — ``issued`` is False when the space
         already holds (or is already receiving) a valid copy.
         """
-        self.directory.register(region)
         now = self.engine.now
-        if self.directory.is_valid(region, space):
+        if self.directory.register_valid_in(region, space):
             return now, False
-        rec = self._recovering.get(region.key)
+        rec = self._recovering.get(region.rid)
         if rec is not None:
             # every copy died with a crashed node; retry the push once
             # the recomputation has restored the home copy
@@ -525,35 +532,40 @@ class OmpSsRuntime:
                 label=f"push {region.label} after recovery",
             )
             return max(rec, now), False
-        key = (region.key, space)
-        inflight = self._inflight.get(key)
-        if inflight is not None and inflight > now + _EPS:
-            return inflight, False
-        if self.node_topology is not None:
+        by_space = self._inflight.get(region.rid)
+        if by_space is not None:
+            inflight = by_space.get(space)
+            if inflight is not None and inflight > now + _EPS:
+                return inflight, False
+        if self.node_topology is not None and by_space:
             # cooperative multicast: if the region is already on the wire
             # toward another node's host, chain this hop off that copy —
             # the broadcast pipelines across per-node NICs instead of
-            # serialising every replica on the origin host's NIC
-            best: Optional[tuple[str, float]] = None
-            for h in sorted(set(self.node_topology.host_of_node.values())):
-                if h == space:
+            # serialising every replica on the origin host's NIC.
+            # Scanning the (tiny) in-flight map instead of every node
+            # host, min over (time, host) replicates the sorted-host
+            # scan's tie-break exactly
+            best: Optional[tuple[float, str]] = None
+            host_set = self._host_set
+            threshold = now + _EPS
+            for h, staged in by_space.items():
+                if h == space or h not in host_set or staged <= threshold:
                     continue
-                staged = self._inflight.get((region.key, h))
-                if staged is not None and staged > now + _EPS:
-                    if best is None or staged < best[1]:
-                        best = (h, staged)
+                cand = (staged, h)
+                if best is None or cand < best:
+                    best = cand
             if best is not None:
-                req = TransferRequest(region, best[0], space)
+                req = TransferRequest(region, best[1], space)
                 done = self.transfer_engine.issue(
-                    req, earliest=best[1], on_complete=self._make_transfer_done(req)
+                    req, earliest=best[0], on_complete=self._make_transfer_done(req)
                 )
-                self._inflight[key] = done
+                self._set_inflight(region.rid, space, done)
                 return done, True
         req = self.directory.reads_needed(region, space)
         if req is None:  # pragma: no cover - raced with completion
             return now, False
         done = self.transfer_engine.issue(req, on_complete=self._make_transfer_done(req))
-        self._inflight[key] = done
+        self._set_inflight(region.rid, space, done)
         return done, True
 
     def missing_read_bytes(self, t: TaskInstance, space: str) -> int:
@@ -564,7 +576,7 @@ class OmpSsRuntime:
         copies (the policy sees directory state, like Nanos++'s).
         """
         total = 0
-        for region in {a.region.key: a.region for a in t.accesses if a.reads}.values():
+        for region in {a.region.rid: a.region for a in t.accesses if a.reads}.values():
             if not self.directory.is_valid(region, space):
                 total += region.nbytes
         return total
@@ -615,31 +627,37 @@ class OmpSsRuntime:
         Copies already in flight toward ``space`` are reused, never
         duplicated.
         """
-        ready = self.engine.now
+        now = self.engine.now
+        threshold = now + _EPS
+        ready = now
+        directory = self.directory
+        inflight = self._inflight
         seen: set = set()
         for acc in t.accesses:
-            if not acc.reads or acc.region.key in seen:
-                continue
-            seen.add(acc.region.key)
             region = acc.region
-            if self.directory.is_valid(region, space):
+            rid = region.rid
+            if not acc.reads or rid in seen:
                 continue
-            rec = self._recovering.get(region.key)
+            seen.add(rid)
+            if directory.is_valid(region, space):
+                continue
+            rec = self._recovering.get(rid)
             if rec is not None:
                 # no copy exists anywhere until the crash recovery
                 # lands; re-issue this task's transfers at that point
                 ready = max(ready, rec)
                 self.engine.schedule(
-                    max(rec, self.engine.now),
+                    max(rec, now),
                     lambda tt=t, sp=space: self._reissue_after_recovery(tt, sp),
                     kind=EventKind.RETRY,
                     label=f"reissue {t.name} after recovery",
                 )
                 continue
-            key = (region.key, space)
-            inflight = self._inflight.get(key)
-            if inflight is not None and inflight > self.engine.now + _EPS:
-                ready = max(ready, inflight)
+            by_space = inflight.get(rid)
+            pending = by_space.get(space) if by_space is not None else None
+            if pending is not None and pending > threshold:
+                if pending > ready:
+                    ready = pending
                 continue
             # cluster staging: a copy toward this worker's node host is
             # already in flight — chain the final intra-node hop off it
@@ -647,26 +665,28 @@ class OmpSsRuntime:
             if self.node_topology is not None:
                 host = self.node_topology.host_of_space(space)
                 if host is not None and host != space:
-                    staged = self._inflight.get((region.key, host))
-                    if staged is not None and staged > self.engine.now + _EPS:
+                    staged = by_space.get(host) if by_space is not None else None
+                    if staged is not None and staged > threshold:
                         req = TransferRequest(region, host, space)
                         done = self.transfer_engine.issue(
                             req,
                             earliest=staged,
                             on_complete=self._make_transfer_done(req),
                         )
-                        self._inflight[key] = done
-                        ready = max(ready, done)
+                        by_space[space] = done
+                        if done > ready:
+                            ready = done
                         continue
-            req = self.directory.reads_needed(region, space)
+            req = directory.reads_needed(region, space)
             if req is None:  # pragma: no cover - raced with completion
                 continue
             done = self.transfer_engine.issue(
                 req,
                 on_complete=self._make_transfer_done(req),
             )
-            self._inflight[key] = done
-            ready = max(ready, done)
+            self._set_inflight(rid, space, done)
+            if done > ready:
+                ready = done
         return ready
 
     def _reissue_after_recovery(self, t: TaskInstance, space: str) -> None:
@@ -684,12 +704,20 @@ class OmpSsRuntime:
         if w is not None:
             self._try_start(w)
 
+    def _set_inflight(self, rid: int, space: str, done: float) -> None:
+        by_space = self._inflight.get(rid)
+        if by_space is None:
+            by_space = self._inflight[rid] = {}
+        by_space[space] = done
+
     def _make_transfer_done(self, req: TransferRequest):
         def _done() -> None:
             if req.dst in self.transfer_engine.down_spaces:
                 return  # the destination's node died while on the wire
             self.directory.mark_valid(req.region, req.dst)
-            self._inflight.pop((req.region.key, req.dst), None)
+            by_space = self._inflight.get(req.region.rid)
+            if by_space is not None:
+                by_space.pop(req.dst, None)
 
         return _done
 
@@ -699,9 +727,10 @@ class OmpSsRuntime:
         t = worker.peek()
         if t is None:
             return
-        if t.uid not in self._xfer_ready:
+        ready = self._xfer_ready.get(t.uid)
+        if ready is None:
             self._prepare_window(worker)
-        ready = self._xfer_ready[t.uid]
+            ready = self._xfer_ready[t.uid]
         now = self.engine.now
         if ready > now + _EPS:
             # schedule (or pull forward) the wake for this worker; a
@@ -801,18 +830,26 @@ class OmpSsRuntime:
         )
 
         space = worker.space
-        for region in t.writes():
-            self.directory.note_write(region, space)
-            self.cache.invalidate_stale_everywhere(region, space)
-            self._write_log.setdefault(region.key, []).append(t.uid)
-            self._recovering.pop(region.key, None)  # overwrite supersedes
+        directory = self.directory
+        cache = self.cache
+        for acc in t.accesses:
+            if not acc.writes:
+                continue
+            region = acc.region
+            directory.note_write(region, space)
+            cache.invalidate_stale_everywhere(region, space)
+            self._write_log.setdefault(region.rid, []).append(t.uid)
+            self._recovering.pop(region.rid, None)  # overwrite supersedes
         if t.uid in self._pinned:
             self._pinned.discard(t.uid)
             for region in t.regions():
-                self.cache.unpin(space, region)
+                cache.unpin(space, region)
 
-        self.version_counts.setdefault(t.name, {}).setdefault(t.chosen_version.name, 0)
-        self.version_counts[t.name][t.chosen_version.name] += 1
+        by_task = self.version_counts.get(t.name)
+        if by_task is None:
+            by_task = self.version_counts[t.name] = {}
+        vname = t.chosen_version.name
+        by_task[vname] = by_task.get(vname, 0) + 1
         self._finish_order.append(t.uid)
         self._tasks_completed += 1
 
@@ -1084,8 +1121,8 @@ class OmpSsRuntime:
         for region in shadow.writes():
             self.directory.note_write(region, space)
             self.cache.invalidate_stale_everywhere(region, space)
-            self._write_log.setdefault(region.key, []).append(primary.uid)
-            self._recovering.pop(region.key, None)
+            self._write_log.setdefault(region.rid, []).append(primary.uid)
+            self._recovering.pop(region.rid, None)
         if shadow.uid in self._pinned:
             self._pinned.discard(shadow.uid)
             for region in shadow.regions():
@@ -1186,8 +1223,9 @@ class OmpSsRuntime:
         self.resilience.stats.node_crashes += 1
         self.transfer_engine.set_spaces_down(spaces)
         # copies headed into the dead node will never be marked valid
-        for key in [k for k in self._inflight if k[1] in spaces]:
-            del self._inflight[key]
+        for by_space in self._inflight.values():
+            for sp in [s for s in by_space if s in spaces]:
+                del by_space[sp]
         lost = self.directory.invalidate_spaces(spaces)
         self.resilience.stats.regions_lost += len(lost)
         for region in lost:
@@ -1243,7 +1281,7 @@ class OmpSsRuntime:
         """
         layout = self.node_topology
         now = self.engine.now
-        writers = self._write_log.get(region.key, [])
+        writers = self._write_log.get(region.rid, [])
         total = 0.0
         for uid in writers:
             t = self.graph.task(uid)
@@ -1260,7 +1298,7 @@ class OmpSsRuntime:
                             best = d
             total += best if best is not None else 0.0
         eta = now + total
-        self._recovering[region.key] = eta
+        self._recovering[region.rid] = eta
         self.resilience.stats.recompute_tasks += max(1, len(writers))
         self.trace.add(
             now, eta, "recovery", "recompute", region.label,
@@ -1274,10 +1312,10 @@ class OmpSsRuntime:
         )
 
     def _recompute_done(self, region: DataRegion) -> None:
-        eta = self._recovering.get(region.key)
+        eta = self._recovering.get(region.rid)
         if eta is None or eta > self.engine.now + _EPS:
             return  # superseded by a fresh write (or rescheduled)
-        self._recovering.pop(region.key, None)
+        self._recovering.pop(region.rid, None)
         self.directory.note_recovered(region, HOST_SPACE)
 
     def _flush_to_host(self) -> None:

@@ -70,9 +70,21 @@ class TaskVersion:
     def __post_init__(self) -> None:
         if not self.device_kinds:
             raise ValueError(f"task version {self.name!r} targets no device")
+        # normalize: the clause admits bare strings ("smp") as well as
+        # DeviceKind members; frozen dataclass, so set via object.__setattr__
+        kinds = tuple(DeviceKind.parse(k) for k in self.device_kinds)
+        object.__setattr__(self, "device_kinds", kinds)
+        # bitmask membership for runs_on (called once per version ×
+        # worker × dispatch)
+        mask = 0
+        for k in kinds:
+            mask |= k.mask
+        object.__setattr__(self, "_kind_mask", mask)
 
     def runs_on(self, kind: "str | DeviceKind") -> bool:
-        return DeviceKind.parse(kind) in self.device_kinds
+        if type(kind) is DeviceKind:
+            return bool(kind.mask & self._kind_mask)  # type: ignore[attr-defined]
+        return bool(DeviceKind.parse(kind).mask & self._kind_mask)  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:
         kinds = ",".join(k.value for k in self.device_kinds)
@@ -91,6 +103,8 @@ class TaskDefinition:
     def __init__(self, name: str) -> None:
         self.name = name
         self._versions: list[TaskVersion] = []
+        self._kind_union: Optional[frozenset[DeviceKind]] = None
+        self._kind_mask: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -119,6 +133,8 @@ class TaskDefinition:
                 "the main version was registered"
             )
         self._versions.append(version)
+        self._kind_union = None
+        self._kind_mask = None
 
     def version(self, name: str) -> TaskVersion:
         for v in self._versions:
@@ -131,10 +147,31 @@ class TaskDefinition:
         return [v for v in self._versions if kind in v.device_kinds]
 
     def device_kinds(self) -> set[DeviceKind]:
-        out: set[DeviceKind] = set()
-        for v in self._versions:
-            out.update(v.device_kinds)
-        return out
+        return set(self.device_kind_union)
+
+    @property
+    def device_kind_union(self) -> frozenset[DeviceKind]:
+        """Kinds able to run *some* version (cached; capability checks
+        reduce to one frozenset intersection per node)."""
+        union = self._kind_union
+        if union is None:
+            out: set[DeviceKind] = set()
+            for v in self._versions:
+                out.update(v.device_kinds)
+            union = self._kind_union = frozenset(out)
+        return union
+
+    @property
+    def device_kind_mask(self) -> int:
+        """Bit-OR of the versions' kind masks (cached; node-capability
+        checks reduce to one integer AND)."""
+        mask = self._kind_mask
+        if mask is None:
+            mask = 0
+            for v in self._versions:
+                mask |= v._kind_mask  # type: ignore[attr-defined]
+            self._kind_mask = mask
+        return mask
 
     def __repr__(self) -> str:
         return f"TaskDefinition({self.name!r}, {len(self._versions)} versions)"
@@ -172,6 +209,7 @@ class TaskInstance:
         "start_time",
         "end_time",
         "label",
+        "_regions",
     )
 
     def __init__(
@@ -193,6 +231,7 @@ class TaskInstance:
         self.kwargs = kwargs or {}
         self.state = TaskState.CREATED
         self.data_bytes = unique_data_bytes(list(self.accesses))
+        self._regions: Optional[list[DataRegion]] = None
         #: OmpSs ``priority`` clause: higher values are scheduled first
         #: within ready pools and jump ahead of lower-priority queued
         #: tasks (they never preempt a running task).
@@ -232,13 +271,19 @@ class TaskInstance:
         return [a.region for a in self.accesses if a.writes]
 
     def regions(self) -> list[DataRegion]:
-        seen: set = set()
-        out: list[DataRegion] = []
-        for a in self.accesses:
-            if a.region.key not in seen:
-                seen.add(a.region.key)
-                out.append(a.region)
-        return out
+        # cached: accesses are fixed at construction, and the prefetch
+        # window asks for the deduped region list on every pin/unpin
+        cached = self._regions
+        if cached is None:
+            seen: set = set()
+            cached = []
+            for a in self.accesses:
+                rid = a.region.rid
+                if rid not in seen:
+                    seen.add(rid)
+                    cached.append(a.region)
+            self._regions = cached
+        return cached
 
     def execute_body(self) -> None:
         """Run the chosen version's Python body on the host arrays.

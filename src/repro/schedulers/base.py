@@ -36,9 +36,12 @@ class Scheduler:
 
     def __init__(self) -> None:
         self.rt: Optional["OmpSsRuntime"] = None
-        # device-kind tuple -> capable workers; the worker set is fixed
-        # for a run, so this is a pure cache (hot path of every dispatch)
-        self._capable_cache: dict[tuple, list["Worker"]] = {}
+        # device-kind bitmask -> capable workers; the worker set is fixed
+        # for a run, so this is a pure cache (hot path of every dispatch).
+        # Keyed by the version's kind mask, not the kind tuple: hashing a
+        # tuple of enum members calls Enum.__hash__ per element, which is
+        # a Python-level function and dominated dispatch profiles.
+        self._capable_cache: dict[int, list["Worker"]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -125,13 +128,14 @@ class Scheduler:
         order).  Permanently failed workers are excluded; quarantined
         ones are not (quarantine is temporary — use :meth:`dispatchable`
         at dispatch time)."""
-        key = version.device_kinds
+        key: int = version._kind_mask  # type: ignore[attr-defined]
         cached = self._capable_cache.get(key)
         if cached is None:
-            cached = [w for w in self.workers if version.runs_on(w.device.kind)]
+            cached = [w for w in self.workers if w.device.kind.mask & key]
             self._capable_cache[key] = cached
-        if any(not w.alive for w in cached):
-            return [w for w in cached if w.alive]
+        for w in cached:
+            if not w.alive:
+                return [x for x in cached if x.alive]
         return cached
 
     def dispatchable(self, worker: "Worker") -> bool:

@@ -1,0 +1,794 @@
+/* Compiled event core for the repro simulator (REPRO_SIM_BACKEND=compiled).
+ *
+ * Drop-in replacements for repro.sim.engine.Event and EventHeap:
+ *
+ *   Event      — C struct holding (time, seq, kind, callback, label,
+ *                cancelled, _heap, _handle) as raw fields; construction
+ *                and cancellation never enter the interpreter.
+ *   EventHeap  — binary heap of slot ids ordered by (time, seq) held in
+ *                raw double/int64 arrays, next to free-listed payload
+ *                slots holding the event objects.  No tuples are boxed
+ *                anywhere; the ordering comparison is two C number
+ *                compares.
+ *
+ * Semantics are pinned to the pure-Python reference:
+ *   - push(event) reads event.time / event.seq, stores the event, and
+ *     writes back event._heap / event._handle ((gen << 32) | slot);
+ *   - cancellation is lazy: Event.cancel() sets event.cancelled and
+ *     calls cancel_handle(handle), which only adjusts the live count
+ *     (stale handles no-op via the per-slot generation counter, bumped
+ *     on the first counted cancel so a double-cancel cannot count twice);
+ *   - pop() skips cancelled/evicted payloads, recycles their slots,
+ *     clears event._heap, and returns the event (None when drained);
+ *   - peek_time()/peek() prune cancelled entries from the top.
+ *
+ * The heap accepts any object exposing the Event attribute protocol
+ * (the pure-Python Event works), with a fast path when the payload is
+ * this module's Event type.  The golden-trace suite
+ * (tests/sim/test_trace_golden.py) asserts both backends produce
+ * byte-identical traces; the hypothesis model test
+ * (tests/sim/test_event_heap.py) runs the same operation sequences
+ * against heapq.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stdio.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* Event                                                               */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    double time;
+    long long seq;
+    PyObject *kind;
+    PyObject *callback;
+    PyObject *label;
+    char cancelled;
+    PyObject *heap;     /* exposed as _heap; NULL reads as None */
+    long long handle;   /* exposed as _handle */
+} EvEvent;
+
+static PyTypeObject EvEventType;
+static PyTypeObject EvHeapType;
+
+typedef struct {
+    PyObject_HEAD
+    /* heap index: slot ids ordered by (tm[slot], sq[slot]) */
+    Py_ssize_t hn;
+    Py_ssize_t hcap;
+    Py_ssize_t *hp;
+    /* parallel payload slots (scap capacity, ns = high-water mark) */
+    Py_ssize_t ns;
+    Py_ssize_t scap;
+    double *tm;
+    long long *sq;
+    long long *gen;
+    PyObject **ev;
+    Py_ssize_t *freel;
+    Py_ssize_t nfree;
+    Py_ssize_t live;
+} EvHeap;
+
+static PyObject *s_time;
+static PyObject *s_seq;
+static PyObject *s_cancelled;
+static PyObject *s_heap_attr;
+static PyObject *s_handle;
+static PyObject *s_empty;
+
+/* ------------------------------------------------------------------ */
+/* Event implementation                                                */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+evevent_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"time", "seq", "kind", "callback", "label",
+                             "cancelled", NULL};
+    double t;
+    long long seq;
+    PyObject *kind, *callback;
+    PyObject *label = NULL;
+    int cancelled = 0;
+    EvEvent *self;
+
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "dLOO|Op:Event", kwlist,
+                                     &t, &seq, &kind, &callback, &label,
+                                     &cancelled))
+        return NULL;
+    self = (EvEvent *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->time = t;
+    self->seq = seq;
+    Py_INCREF(kind);
+    self->kind = kind;
+    Py_INCREF(callback);
+    self->callback = callback;
+    if (label == NULL)
+        label = s_empty;
+    Py_INCREF(label);
+    self->label = label;
+    self->cancelled = (char)cancelled;
+    self->heap = NULL;
+    self->handle = -1;
+    return (PyObject *)self;
+}
+
+static int
+evevent_traverse(EvEvent *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->kind);
+    Py_VISIT(self->callback);
+    Py_VISIT(self->label);
+    Py_VISIT(self->heap);
+    return 0;
+}
+
+static int
+evevent_tp_clear(EvEvent *self)
+{
+    Py_CLEAR(self->kind);
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->label);
+    Py_CLEAR(self->heap);
+    return 0;
+}
+
+static void
+evevent_dealloc(EvEvent *self)
+{
+    PyObject_GC_UnTrack(self);
+    evevent_tp_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* shared with the heap's generic path: cancelled as a C int (-1 error) */
+static int
+ev_cancelled(PyObject *e)
+{
+    PyObject *c;
+    int truth;
+    if (Py_TYPE(e) == &EvEventType)
+        return ((EvEvent *)e)->cancelled != 0;
+    c = PyObject_GetAttr(e, s_cancelled);
+    if (c == NULL)
+        return -1;
+    truth = PyObject_IsTrue(c);
+    Py_DECREF(c);
+    return truth;
+}
+
+/* core of EventHeap.cancel_handle, shared with Event.cancel's fast path;
+ * returns -1 on error */
+static int
+heap_cancel_handle(EvHeap *self, long long h)
+{
+    long long slot = h & 0xFFFFFFFFLL;
+    if (slot >= 0 && slot < (long long)self->ns &&
+        ((self->gen[slot] << 32) | slot) == h) {
+        PyObject *e = self->ev[slot];
+        if (e != NULL) {
+            int c = ev_cancelled(e);
+            if (c < 0)
+                return -1;
+            if (c) {
+                /* invalidate the handle so a double-cancel cannot
+                 * count twice (generations only ever increase) */
+                self->gen[slot] += 1;
+                self->live -= 1;
+            }
+        }
+    }
+    return 0;
+}
+
+static PyObject *
+evevent_cancel(EvEvent *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *h;
+    self->cancelled = 1;
+    h = self->heap;
+    if (h != NULL && h != Py_None) {
+        if (Py_TYPE(h) == &EvHeapType) {
+            if (heap_cancel_handle((EvHeap *)h, self->handle) < 0)
+                return NULL;
+        } else {
+            PyObject *r = PyObject_CallMethod(h, "cancel_handle", "L",
+                                              self->handle);
+            if (r == NULL)
+                return NULL;
+            Py_DECREF(r);
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+evevent_richcompare(PyObject *a, PyObject *b, int op)
+{
+    double ta, tb;
+    long long qa, qb;
+    int lt;
+
+    if (op != Py_LT || Py_TYPE(a) != &EvEventType)
+        Py_RETURN_NOTIMPLEMENTED;
+    ta = ((EvEvent *)a)->time;
+    qa = ((EvEvent *)a)->seq;
+    if (Py_TYPE(b) == &EvEventType) {
+        tb = ((EvEvent *)b)->time;
+        qb = ((EvEvent *)b)->seq;
+    } else {
+        /* mirror the pure Event.__lt__ tuple compare against any
+         * object exposing .time / .seq */
+        PyObject *o = PyObject_GetAttr(b, s_time);
+        if (o == NULL)
+            return NULL;
+        tb = PyFloat_AsDouble(o);
+        Py_DECREF(o);
+        if (tb == -1.0 && PyErr_Occurred())
+            return NULL;
+        o = PyObject_GetAttr(b, s_seq);
+        if (o == NULL)
+            return NULL;
+        qb = PyLong_AsLongLong(o);
+        Py_DECREF(o);
+        if (qb == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    lt = (ta < tb) || (ta == tb && qa < qb);
+    if (lt)
+        Py_RETURN_TRUE;
+    Py_RETURN_FALSE;
+}
+
+static PyObject *
+evevent_repr(EvEvent *self)
+{
+    char buf[80];
+    PyObject *val, *vstr, *out;
+
+    snprintf(buf, sizeof(buf), "Event(t=%.6f, seq=%lld, ",
+             self->time, self->seq);
+    val = PyObject_GetAttrString(self->kind, "value");
+    if (val == NULL) {
+        PyErr_Clear();
+        Py_INCREF(self->kind);
+        val = self->kind;
+    }
+    vstr = PyObject_Str(val);
+    Py_DECREF(val);
+    if (vstr == NULL)
+        return NULL;
+    out = PyUnicode_FromFormat("%s%U%s)", buf, vstr,
+                               self->cancelled ? " cancelled" : "");
+    Py_DECREF(vstr);
+    return out;
+}
+
+static PyMemberDef evevent_members[] = {
+    {"time", T_DOUBLE, offsetof(EvEvent, time), 0,
+     "absolute simulated firing time"},
+    {"seq", T_LONGLONG, offsetof(EvEvent, seq), 0,
+     "insertion order (tie-break among equal times)"},
+    {"kind", T_OBJECT_EX, offsetof(EvEvent, kind), 0, "EventKind"},
+    {"callback", T_OBJECT_EX, offsetof(EvEvent, callback), 0,
+     "zero-arg callable fired by the engine"},
+    {"label", T_OBJECT_EX, offsetof(EvEvent, label), 0, "debug label"},
+    {"cancelled", T_BOOL, offsetof(EvEvent, cancelled), 0,
+     "skip this event when popped"},
+    {"_heap", T_OBJECT, offsetof(EvEvent, heap), 0,
+     "owning heap while stored (None otherwise)"},
+    {"_handle", T_LONGLONG, offsetof(EvEvent, handle), 0,
+     "slot handle within the owning heap"},
+    {NULL, 0, 0, 0, NULL}
+};
+
+static PyMethodDef evevent_methods[] = {
+    {"cancel", (PyCFunction)evevent_cancel, METH_NOARGS,
+     "Mark the event as cancelled; it will be skipped when popped."},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyTypeObject EvEventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._evcore.Event",
+    .tp_basicsize = sizeof(EvEvent),
+    .tp_dealloc = (destructor)evevent_dealloc,
+    .tp_repr = (reprfunc)evevent_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A scheduled callback (compiled backend).",
+    .tp_traverse = (traverseproc)evevent_traverse,
+    .tp_clear = (inquiry)evevent_tp_clear,
+    .tp_richcompare = evevent_richcompare,
+    .tp_methods = evevent_methods,
+    .tp_members = evevent_members,
+    .tp_new = evevent_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* EventHeap storage growth                                            */
+/* ------------------------------------------------------------------ */
+
+#define EV_LESS(h, a, b) \
+    ((h)->tm[a] < (h)->tm[b] || \
+     ((h)->tm[a] == (h)->tm[b] && (h)->sq[a] < (h)->sq[b]))
+
+static int
+grow_heap_index(EvHeap *self)
+{
+    Py_ssize_t ncap = self->hcap ? self->hcap * 2 : 64;
+    Py_ssize_t *hp = (Py_ssize_t *)PyMem_Realloc(self->hp, ncap * sizeof(Py_ssize_t));
+    if (hp == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->hp = hp;
+    self->hcap = ncap;
+    return 0;
+}
+
+static int
+grow_slots(EvHeap *self)
+{
+    Py_ssize_t ncap = self->scap ? self->scap * 2 : 64;
+    double *tm = (double *)PyMem_Realloc(self->tm, ncap * sizeof(double));
+    if (tm == NULL) goto nomem;
+    self->tm = tm;
+    {
+        long long *sq = (long long *)PyMem_Realloc(self->sq, ncap * sizeof(long long));
+        if (sq == NULL) goto nomem;
+        self->sq = sq;
+    }
+    {
+        long long *gen = (long long *)PyMem_Realloc(self->gen, ncap * sizeof(long long));
+        if (gen == NULL) goto nomem;
+        self->gen = gen;
+    }
+    {
+        PyObject **ev = (PyObject **)PyMem_Realloc(self->ev, ncap * sizeof(PyObject *));
+        if (ev == NULL) goto nomem;
+        self->ev = ev;
+    }
+    {
+        Py_ssize_t *freel = (Py_ssize_t *)PyMem_Realloc(self->freel, ncap * sizeof(Py_ssize_t));
+        if (freel == NULL) goto nomem;
+        self->freel = freel;
+    }
+    self->scap = ncap;
+    return 0;
+nomem:
+    PyErr_NoMemory();
+    return -1;
+}
+
+/* ------------------------------------------------------------------ */
+/* heap primitives                                                     */
+/* ------------------------------------------------------------------ */
+
+static void
+sift_up(EvHeap *self, Py_ssize_t pos)
+{
+    Py_ssize_t *hp = self->hp;
+    Py_ssize_t slot = hp[pos];
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        Py_ssize_t pslot = hp[parent];
+        if (!EV_LESS(self, slot, pslot))
+            break;
+        hp[pos] = pslot;
+        pos = parent;
+    }
+    hp[pos] = slot;
+}
+
+static void
+sift_down(EvHeap *self, Py_ssize_t pos)
+{
+    Py_ssize_t *hp = self->hp;
+    Py_ssize_t n = self->hn;
+    Py_ssize_t slot = hp[pos];
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && EV_LESS(self, hp[child + 1], hp[child]))
+            child += 1;
+        if (!EV_LESS(self, hp[child], slot))
+            break;
+        hp[pos] = hp[child];
+        pos = child;
+    }
+    hp[pos] = slot;
+}
+
+/* Remove the root of the heap index (caller owns the payload). */
+static void
+pop_root(EvHeap *self)
+{
+    self->hn -= 1;
+    if (self->hn > 0) {
+        self->hp[0] = self->hp[self->hn];
+        sift_down(self, 0);
+    }
+}
+
+/* Take the payload out of a slot and recycle it; returns a strong
+ * reference (or NULL for an already-evicted slot). */
+static PyObject *
+release_slot(EvHeap *self, Py_ssize_t slot)
+{
+    PyObject *e = self->ev[slot];
+    self->ev[slot] = NULL;
+    self->gen[slot] += 1;
+    self->freel[self->nfree++] = slot;
+    return e;
+}
+
+/* ------------------------------------------------------------------ */
+/* EventHeap methods                                                   */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+evheap_push(EvHeap *self, PyObject *event)
+{
+    double t;
+    long long q;
+    Py_ssize_t slot;
+    long long handle;
+    int fast = (Py_TYPE(event) == &EvEventType);
+
+    if (fast) {
+        t = ((EvEvent *)event)->time;
+        q = ((EvEvent *)event)->seq;
+    } else {
+        PyObject *attr = PyObject_GetAttr(event, s_time);
+        if (attr == NULL)
+            return NULL;
+        t = PyFloat_AsDouble(attr);
+        Py_DECREF(attr);
+        if (t == -1.0 && PyErr_Occurred())
+            return NULL;
+        attr = PyObject_GetAttr(event, s_seq);
+        if (attr == NULL)
+            return NULL;
+        q = PyLong_AsLongLong(attr);
+        Py_DECREF(attr);
+        if (q == -1 && PyErr_Occurred())
+            return NULL;
+    }
+
+    if (self->nfree > 0) {
+        slot = self->freel[--self->nfree];
+        self->gen[slot] += 1;
+    } else {
+        if (self->ns >= self->scap && grow_slots(self) < 0)
+            return NULL;
+        slot = self->ns++;
+        self->gen[slot] = 0;
+    }
+    self->tm[slot] = t;
+    self->sq[slot] = q;
+    Py_INCREF(event);
+    self->ev[slot] = event;
+
+    handle = (self->gen[slot] << 32) | (long long)slot;
+    if (fast) {
+        EvEvent *e = (EvEvent *)event;
+        Py_INCREF(self);
+        Py_XSETREF(e->heap, (PyObject *)self);
+        e->handle = handle;
+    } else {
+        PyObject *ho = PyLong_FromLongLong(handle);
+        int rc;
+        if (ho == NULL)
+            goto fail;
+        rc = PyObject_SetAttr(event, s_heap_attr, (PyObject *)self);
+        if (rc == 0)
+            rc = PyObject_SetAttr(event, s_handle, ho);
+        Py_DECREF(ho);
+        if (rc < 0)
+            goto fail;
+    }
+
+    if (self->hn >= self->hcap && grow_heap_index(self) < 0)
+        goto fail;
+    self->hp[self->hn] = slot;
+    self->hn += 1;
+    sift_up(self, self->hn - 1);
+    self->live += 1;
+    Py_RETURN_NONE;
+
+fail:
+    /* roll the slot back so the store stays consistent */
+    Py_CLEAR(self->ev[slot]);
+    self->gen[slot] += 1;
+    self->freel[self->nfree++] = slot;
+    return NULL;
+}
+
+static PyObject *
+evheap_pop(EvHeap *self, PyObject *Py_UNUSED(ignored))
+{
+    while (self->hn > 0) {
+        Py_ssize_t slot = self->hp[0];
+        PyObject *e;
+        int c;
+        pop_root(self);
+        e = release_slot(self, slot);
+        if (e == NULL)
+            continue;
+        c = ev_cancelled(e);
+        if (c < 0) {
+            Py_DECREF(e);
+            return NULL;
+        }
+        if (c) {
+            Py_DECREF(e);
+            continue;
+        }
+        self->live -= 1;
+        if (Py_TYPE(e) == &EvEventType) {
+            Py_INCREF(Py_None);
+            Py_XSETREF(((EvEvent *)e)->heap, Py_None);
+        } else if (PyObject_SetAttr(e, s_heap_attr, Py_None) < 0) {
+            Py_DECREF(e);
+            return NULL;
+        }
+        return e;
+    }
+    Py_RETURN_NONE;
+}
+
+/* Prune cancelled entries off the top; afterwards hp[0] is live (or
+ * the heap is empty).  Returns -1 on error, 0 otherwise. */
+static int
+prune_top(EvHeap *self)
+{
+    while (self->hn > 0) {
+        Py_ssize_t slot = self->hp[0];
+        PyObject *e = self->ev[slot];
+        int c = 0;
+        if (e != NULL) {
+            c = ev_cancelled(e);
+            if (c < 0)
+                return -1;
+        }
+        if (e == NULL || c) {
+            pop_root(self);
+            Py_XDECREF(release_slot(self, slot));
+            continue;
+        }
+        return 0;
+    }
+    return 0;
+}
+
+static PyObject *
+evheap_peek_time(EvHeap *self, PyObject *Py_UNUSED(ignored))
+{
+    if (prune_top(self) < 0)
+        return NULL;
+    if (self->hn == 0)
+        Py_RETURN_NONE;
+    return PyFloat_FromDouble(self->tm[self->hp[0]]);
+}
+
+static PyObject *
+evheap_peek(EvHeap *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *e;
+    if (prune_top(self) < 0)
+        return NULL;
+    if (self->hn == 0)
+        Py_RETURN_NONE;
+    e = self->ev[self->hp[0]];
+    Py_INCREF(e);
+    return e;
+}
+
+static PyObject *
+evheap_cancel_handle(EvHeap *self, PyObject *arg)
+{
+    long long h = PyLong_AsLongLong(arg);
+    if (h == -1 && PyErr_Occurred())
+        return NULL;
+    if (heap_cancel_handle(self, h) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+evheap_clear(EvHeap *self, PyObject *Py_UNUSED(ignored))
+{
+    Py_ssize_t i;
+    for (i = 0; i < self->ns; i++) {
+        PyObject *e = self->ev[i];
+        if (e != NULL) {
+            self->ev[i] = NULL;
+            if (Py_TYPE(e) == &EvEventType) {
+                Py_INCREF(Py_None);
+                Py_XSETREF(((EvEvent *)e)->heap, Py_None);
+            } else if (PyObject_SetAttr(e, s_heap_attr, Py_None) < 0) {
+                PyErr_Clear();
+            }
+            Py_DECREF(e);
+        }
+    }
+    self->hn = 0;
+    self->ns = 0;
+    self->nfree = 0;
+    self->live = 0;
+    Py_RETURN_NONE;
+}
+
+static Py_ssize_t
+evheap_len(EvHeap *self)
+{
+    return self->hn;
+}
+
+static PyObject *
+evheap_get_live(EvHeap *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(self->live);
+}
+
+static PyObject *
+evheap_get_slots(EvHeap *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(self->ns);
+}
+
+/* ------------------------------------------------------------------ */
+/* EventHeap type plumbing                                             */
+/* ------------------------------------------------------------------ */
+
+static int
+evheap_traverse(EvHeap *self, visitproc visit, void *arg)
+{
+    Py_ssize_t i;
+    for (i = 0; i < self->ns; i++)
+        Py_VISIT(self->ev[i]);
+    return 0;
+}
+
+static int
+evheap_tp_clear(EvHeap *self)
+{
+    Py_ssize_t i;
+    for (i = 0; i < self->ns; i++)
+        Py_CLEAR(self->ev[i]);
+    self->hn = 0;
+    self->ns = 0;
+    self->nfree = 0;
+    self->live = 0;
+    return 0;
+}
+
+static void
+evheap_dealloc(EvHeap *self)
+{
+    PyObject_GC_UnTrack(self);
+    evheap_tp_clear(self);
+    PyMem_Free(self->hp);
+    PyMem_Free(self->tm);
+    PyMem_Free(self->sq);
+    PyMem_Free(self->gen);
+    PyMem_Free(self->ev);
+    PyMem_Free(self->freel);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+evheap_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    EvHeap *self;
+    if ((args != NULL && PyTuple_GET_SIZE(args) != 0) ||
+        (kwds != NULL && PyDict_GET_SIZE(kwds) != 0)) {
+        PyErr_SetString(PyExc_TypeError, "EventHeap() takes no arguments");
+        return NULL;
+    }
+    self = (EvHeap *)type->tp_alloc(type, 0);
+    /* tp_alloc zeroes the struct: all pointers NULL, all counters 0 */
+    return (PyObject *)self;
+}
+
+static PyMethodDef evheap_methods[] = {
+    {"push", (PyCFunction)evheap_push, METH_O,
+     "Insert an event; its (time, seq) must be unique."},
+    {"pop", (PyCFunction)evheap_pop, METH_NOARGS,
+     "Remove and return the earliest live event (None if empty)."},
+    {"peek_time", (PyCFunction)evheap_peek_time, METH_NOARGS,
+     "Earliest live event time without removing it (prunes cancelled)."},
+    {"peek", (PyCFunction)evheap_peek, METH_NOARGS,
+     "Earliest live event without removing it (prunes cancelled)."},
+    {"cancel_handle", (PyCFunction)evheap_cancel_handle, METH_O,
+     "Drop the payload of a still-stored event (stale handles no-op)."},
+    {"clear", (PyCFunction)evheap_clear, METH_NOARGS,
+     "Drop every stored event and reset the slot store."},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyGetSetDef evheap_getset[] = {
+    {"live", (getter)evheap_get_live, NULL,
+     "live (non-cancelled, not-yet-popped) events", NULL},
+    {"slots", (getter)evheap_get_slots, NULL,
+     "allocated slot count (high-water mark of concurrent events)", NULL},
+    {NULL, NULL, NULL, NULL, NULL}
+};
+
+static PySequenceMethods evheap_as_sequence = {
+    .sq_length = (lenfunc)evheap_len,
+};
+
+static PyTypeObject EvHeapType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._evcore.EventHeap",
+    .tp_basicsize = sizeof(EvHeap),
+    .tp_dealloc = (destructor)evheap_dealloc,
+    .tp_as_sequence = &evheap_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Array-backed event store (compiled backend).",
+    .tp_traverse = (traverseproc)evheap_traverse,
+    .tp_clear = (inquiry)evheap_tp_clear,
+    .tp_methods = evheap_methods,
+    .tp_getset = evheap_getset,
+    .tp_new = evheap_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+
+static struct PyModuleDef evcore_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "_evcore",
+    .m_doc = "Compiled event core for the repro simulator.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__evcore(void)
+{
+    PyObject *m;
+
+    s_time = PyUnicode_InternFromString("time");
+    s_seq = PyUnicode_InternFromString("seq");
+    s_cancelled = PyUnicode_InternFromString("cancelled");
+    s_heap_attr = PyUnicode_InternFromString("_heap");
+    s_handle = PyUnicode_InternFromString("_handle");
+    s_empty = PyUnicode_InternFromString("");
+    if (s_time == NULL || s_seq == NULL || s_cancelled == NULL ||
+        s_heap_attr == NULL || s_handle == NULL || s_empty == NULL)
+        return NULL;
+
+    if (PyType_Ready(&EvEventType) < 0)
+        return NULL;
+    if (PyType_Ready(&EvHeapType) < 0)
+        return NULL;
+    m = PyModule_Create(&evcore_module);
+    if (m == NULL)
+        return NULL;
+    Py_INCREF(&EvEventType);
+    if (PyModule_AddObject(m, "Event", (PyObject *)&EvEventType) < 0) {
+        Py_DECREF(&EvEventType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    Py_INCREF(&EvHeapType);
+    if (PyModule_AddObject(m, "EventHeap", (PyObject *)&EvHeapType) < 0) {
+        Py_DECREF(&EvHeapType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    if (PyModule_AddIntConstant(m, "COMPILED", 1) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -1,0 +1,103 @@
+"""Event-core backend selection (``REPRO_SIM_BACKEND=pure|compiled|auto``).
+
+The simulator's inner loop — push/pop on the event heap — has two
+implementations:
+
+``pure``
+    :class:`repro.sim.engine.EventHeap`, the reference implementation.
+    Always available; the golden-trace suite treats it as ground truth.
+
+``compiled``
+    A hand-written CPython extension (``sim/_evcore.c``) holding the
+    heap in raw ``double``/``int64`` arrays, built on demand with the
+    system C compiler (see :mod:`repro.sim.evcore_build`).  Selecting it
+    when no compiler/headers are available raises at startup — silent
+    fallback would make "I benchmarked the compiled backend" lies easy.
+
+``auto``
+    ``compiled`` when it builds/loads, else ``pure``.
+
+The default is ``pure``: determinism bugs in an optional C path must
+never be able to reach users who did not opt in.  Both backends are
+pinned byte-identical by ``tests/sim/test_trace_golden.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+_VALID = ("pure", "compiled", "auto")
+
+#: resolved backend name ("pure" or "compiled"); None until first use
+_resolved: Optional[str] = None
+_factory: Optional[Callable[[], object]] = None
+_event_cls: Optional[type] = None
+
+
+def requested_backend() -> str:
+    """The raw ``REPRO_SIM_BACKEND`` request (default ``pure``)."""
+    name = os.environ.get("REPRO_SIM_BACKEND", "pure").strip().lower() or "pure"
+    if name not in _VALID:
+        raise ValueError(
+            f"REPRO_SIM_BACKEND={name!r} is not one of {'/'.join(_VALID)}"
+        )
+    return name
+
+
+def _load_compiled() -> "tuple[Callable[[], object], type]":
+    from repro.sim.evcore_build import load_evcore
+
+    mod = load_evcore()
+    return mod.EventHeap, mod.Event
+
+
+def _load_pure() -> "tuple[Callable[[], object], type]":
+    from repro.sim.engine import Event, EventHeap
+
+    return EventHeap, Event
+
+
+def resolve() -> str:
+    """Resolve (and cache) the backend for this process."""
+    global _resolved, _factory, _event_cls
+    if _resolved is not None:
+        return _resolved
+    name = requested_backend()
+    if name == "pure":
+        _resolved, (_factory, _event_cls) = "pure", _load_pure()
+    elif name == "compiled":
+        _resolved, (_factory, _event_cls) = "compiled", _load_compiled()
+    else:  # auto
+        try:
+            _resolved, (_factory, _event_cls) = "compiled", _load_compiled()
+        except Exception:
+            _resolved, (_factory, _event_cls) = "pure", _load_pure()
+    return _resolved
+
+
+def heap_factory() -> Callable[[], object]:
+    """Constructor for the selected backend's event heap."""
+    resolve()
+    assert _factory is not None
+    return _factory
+
+
+def event_factory() -> type:
+    """Constructor for the selected backend's event objects.
+
+    The compiled backend pairs its heap with a C ``Event`` type so the
+    push fast path reads struct fields instead of attributes; both types
+    expose the identical attribute/compare/cancel protocol.
+    """
+    resolve()
+    assert _event_cls is not None
+    return _event_cls
+
+
+def _reset_for_tests() -> None:
+    """Forget the cached resolution (tests flip REPRO_SIM_BACKEND)."""
+    global _resolved, _factory, _event_cls
+    _resolved = None
+    _factory = None
+    _event_cls = None

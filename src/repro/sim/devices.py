@@ -33,11 +33,29 @@ class DeviceKind(Enum):
     def parse(cls, name: "str | DeviceKind") -> "DeviceKind":
         if isinstance(name, DeviceKind):
             return name
+        kind = _PARSE_CACHE.get(name)
+        if kind is not None:
+            return kind
         try:
-            return cls(name.lower())
-        except ValueError:
+            kind = cls(name.lower())
+        except (ValueError, AttributeError):
             valid = ", ".join(k.value for k in cls)
             raise ValueError(f"unknown device kind {name!r}; expected one of: {valid}") from None
+        _PARSE_CACHE[name] = kind
+        return kind
+
+
+#: parse() memo for string spellings ("smp", "SMP", "cuda", ...); parse
+#: sits on the version-matching hot path (once per version × worker ×
+#: dispatch) and ``str.lower`` + enum construction dominated it
+_PARSE_CACHE: dict = {k.value: k for k in DeviceKind}
+
+# per-member identity bit: kind-set intersections on the capability hot
+# path reduce to an integer AND (Enum.__hash__ is a Python-level call,
+# so frozenset operations over DeviceKind members show up in profiles)
+for _i, _k in enumerate(DeviceKind):
+    _k.mask = 1 << _i
+del _i, _k
 
 
 class Device:

@@ -10,16 +10,33 @@ Two runs with the same inputs must produce *identical* traces, so ties in
 timestamps are broken by a monotonically increasing sequence number — the
 insertion order — never by object identity or hash order.  No wall-clock
 time is ever consulted.
+
+Performance architecture (DESIGN.md §17)
+----------------------------------------
+The event store is an :class:`EventHeap`: a binary heap over an index of
+``(time, seq, slot)`` keys — compared at C speed, no Python ``__lt__``
+round-trips — next to free-listed parallel slot arrays holding the event
+payloads.  Cancelled events are skipped lazily at pop time and their
+slots recycled.  :meth:`SimEngine.run` and :meth:`SimEngine.run_while`
+drain events in a single flattened loop (one Python frame for the whole
+run instead of one :meth:`step` frame per event); the cooperative
+wall-clock deadline is sampled at exactly the same event ordinals as the
+one-event-per-call :meth:`step` path, so both modes raise
+:class:`WallDeadlineExceededError` at identical points.
+
+An optional compiled event core (``REPRO_SIM_BACKEND=compiled``, see
+:mod:`repro.sim.backend`) replaces the heap with a C extension using raw
+``double``/``int64`` arrays — no tuple boxing at all.  The pure-Python
+heap remains the reference; the golden-trace suite pins both to
+byte-identical traces.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
 import time as _time
-from dataclasses import dataclass, field
 from enum import Enum
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
 
@@ -68,27 +85,176 @@ class EventKind(Enum):
     RETRANSMIT = "retransmit"
 
 
-@dataclass(order=False)
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, seq)`` where ``seq`` is the insertion
-    order; this makes the event queue fully deterministic.
+    order; this makes the event queue fully deterministic.  The heap
+    never compares events directly (its index keys carry the ordering),
+    but ``__lt__`` is kept for callers that sort events themselves.
     """
 
-    time: float
-    seq: int
-    kind: EventKind
-    callback: Callable[[], None]
-    label: str = ""
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "kind", "callback", "label", "cancelled",
+                 "_heap", "_handle")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        kind: EventKind,
+        callback: Callable[[], None],
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+        self._heap: Optional[EventHeap] = None
+        self._handle: int = -1
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
         self.cancelled = True
+        heap = self._heap
+        if heap is not None:
+            heap.cancel_handle(self._handle)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {self.kind.value}{state})"
+
+
+class EventHeap:
+    """Array-backed event store: heap index + free-listed slot arrays.
+
+    The ordering index is a binary heap of ``(time, seq, slot)`` tuples
+    (tuple comparison runs in C and never reaches ``slot`` because
+    ``(time, seq)`` is unique).  Event payloads live in a parallel slot
+    array recycled through a free list, so a long run reuses a small,
+    stable set of slots instead of growing the store monotonically.
+
+    Cancellation is lazy: a cancelled event keeps its heap entry and is
+    skipped (and its slot freed) when it reaches the top.  A slot freed
+    by a pop may be reused immediately; stale handles held by already
+    popped or cancelled events are ignored via a per-slot generation
+    counter, so free-list reuse can never resurrect or re-cancel a
+    later occupant (property-tested in ``tests/sim/test_event_heap.py``).
+    """
+
+    __slots__ = ("_index", "_events", "_gen", "_free", "_live")
+
+    def __init__(self) -> None:
+        self._index: list[tuple[float, int, int]] = []
+        self._events: list[Optional[Event]] = []
+        self._gen: list[int] = []
+        self._free: list[int] = []
+        #: live (non-cancelled, not-yet-popped) events
+        self._live = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def live(self) -> int:
+        return self._live
+
+    @property
+    def slots(self) -> int:
+        """Allocated slot count (high-water mark of concurrent events)."""
+        return len(self._events)
+
+    def push(self, event: Event) -> None:
+        """Insert ``event``; its ``(time, seq)`` must be unique."""
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._gen[slot] += 1
+        else:
+            slot = len(self._events)
+            self._events.append(None)
+            self._gen.append(0)
+        self._events[slot] = event
+        event._heap = self
+        event._handle = (self._gen[slot] << 32) | slot
+        heappush(self._index, (event.time, event.seq, slot))
+        self._live += 1
+
+    def cancel_handle(self, handle: int) -> None:
+        """Drop the payload of a still-stored event (stale handles no-op)."""
+        slot = handle & 0xFFFFFFFF
+        if 0 <= slot < len(self._events) and (self._gen[slot] << 32) | slot == handle:
+            ev = self._events[slot]
+            if ev is not None and ev.cancelled:
+                # invalidate the handle so a double-cancel cannot count
+                # twice (generations only ever need to increase)
+                self._gen[slot] += 1
+                self._live -= 1
+
+    def _release(self, slot: int) -> None:
+        self._events[slot] = None
+        self._gen[slot] += 1
+        self._free.append(slot)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event (``None`` if empty).
+
+        Cancelled events encountered on the way are discarded and their
+        slots recycled.
+        """
+        index = self._index
+        events = self._events
+        while index:
+            _, _, slot = heappop(index)
+            ev = events[slot]
+            self._release(slot)
+            if ev is None or ev.cancelled:
+                continue
+            self._live -= 1
+            ev._heap = None
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest live event time without removing it (prunes cancelled)."""
+        index = self._index
+        events = self._events
+        while index:
+            entry = index[0]
+            ev = events[entry[2]]
+            if ev is None or ev.cancelled:
+                heappop(index)
+                self._release(entry[2])
+                continue
+            return entry[0]
+        return None
+
+    def peek(self) -> Optional[Event]:
+        """Earliest live event without removing it (prunes cancelled)."""
+        if self.peek_time() is None:
+            return None
+        return self._events[self._index[0][2]]
+
+    def clear(self) -> None:
+        for ev in self._events:
+            if ev is not None:
+                ev._heap = None
+        self._index.clear()
+        self._events.clear()
+        self._gen.clear()
+        self._free.clear()
+        self._live = 0
+
+
+def _backend_classes() -> "tuple[Callable[[], EventHeap], type]":
+    from repro.sim.backend import event_factory, heap_factory
+
+    return heap_factory(), event_factory()
 
 
 class SimEngine:
@@ -101,13 +267,15 @@ class SimEngine:
         eng.run()
         assert eng.now == 1.5
 
-    The engine may be driven either to completion (:meth:`run`) or event
-    by event (:meth:`step`), and supports bounded runs (``until=``).
+    The engine may be driven either to completion (:meth:`run`), event
+    by event (:meth:`step`), or while a condition holds
+    (:meth:`run_while`), and supports bounded runs (``until=``).
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        heap_cls, self._event_cls = _backend_classes()
+        self._heap: EventHeap = heap_cls()
+        self._seq = 0
         self._now: float = 0.0
         self._events_processed: int = 0
         self._running = False
@@ -131,7 +299,7 @@ class SimEngine:
     @property
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        return len(self._heap)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -155,8 +323,10 @@ class SimEngine:
             raise ValueError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        ev = Event(time=time, seq=next(self._seq), kind=kind, callback=callback, label=label)
-        heapq.heappush(self._queue, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = self._event_cls(time, seq, kind, callback, label)
+        self._heap.push(ev)
         return ev
 
     def schedule_after(
@@ -199,6 +369,13 @@ class SimEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _check_wall_deadline(self) -> None:
+        now = _time.perf_counter()
+        if now > self.wall_deadline:  # type: ignore[operator]
+            raise WallDeadlineExceededError(
+                self.wall_deadline, now, self._events_processed  # type: ignore[arg-type]
+            )
+
     def step(self) -> bool:
         """Execute the next non-cancelled event.
 
@@ -209,22 +386,16 @@ class SimEngine:
             self.wall_deadline is not None
             and self._events_processed % WALL_DEADLINE_CHECK_EVERY == 0
         ):
-            now = _time.perf_counter()
-            if now > self.wall_deadline:
-                raise WallDeadlineExceededError(
-                    self.wall_deadline, now, self._events_processed
-                )
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            if ev.time < self._now:  # pragma: no cover - defensive
-                raise RuntimeError("event queue yielded an event in the past")
-            self._now = ev.time
-            self._events_processed += 1
-            ev.callback()
-            return True
-        return False
+            self._check_wall_deadline()
+        ev = self._heap.pop()
+        if ev is None:
+            return False
+        if ev.time < self._now:  # pragma: no cover - defensive
+            raise RuntimeError("event queue yielded an event in the past")
+        self._now = ev.time
+        self._events_processed += 1
+        ev.callback()
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events in order until the queue drains.
@@ -242,25 +413,42 @@ class SimEngine:
             accidental infinite loops).
 
         Returns the number of events executed by this call.
+
+        The drain is batched: one Python loop processes every event
+        without a :meth:`step` call per event.  The wall-clock deadline
+        is still sampled once per drained event at the exact ordinals
+        the stepped path uses (every
+        :data:`WALL_DEADLINE_CHECK_EVERY`-th processed event), never
+        once per batch.
         """
         if self._running:
             raise RuntimeError("SimEngine.run() is not reentrant")
         self._running = True
+        heap = self._heap
         executed = 0
         try:
-            while self._queue:
-                nxt = self._peek()
-                if nxt is None:
+            while True:
+                tnext = heap.peek_time()
+                if tnext is None:
                     break
-                if until is not None and nxt.time > until:
+                if until is not None and tnext > until:
                     break
                 if max_events is not None and executed >= max_events:
                     raise RuntimeError(
                         f"SimEngine exceeded max_events={max_events}; "
                         "likely an event loop that never terminates"
                     )
-                if not self.step():
+                if (
+                    self.wall_deadline is not None
+                    and self._events_processed % WALL_DEADLINE_CHECK_EVERY == 0
+                ):
+                    self._check_wall_deadline()
+                ev = heap.pop()
+                if ev is None:  # pragma: no cover - peek_time guarantees one
                     break
+                self._now = ev.time
+                self._events_processed += 1
+                ev.callback()
                 executed += 1
             if until is not None and until > self._now:
                 self._now = until
@@ -268,25 +456,61 @@ class SimEngine:
             self._running = False
         return executed
 
+    def run_while(
+        self,
+        cond: Callable[[], object],
+        *,
+        guard: Optional[int] = None,
+    ) -> bool:
+        """Drain events in one batched loop while ``cond()`` is truthy.
+
+        The runtime's ``taskwait`` loops use this instead of calling
+        :meth:`step` once per event: ``cond`` is re-evaluated between
+        events (so a callback that satisfies the wait stops the drain
+        immediately), and the wall-clock deadline is sampled per drained
+        event at the same ordinals as :meth:`step`.
+
+        Returns ``True`` when ``cond()`` went falsy, ``False`` when the
+        queue drained first (the caller's deadlock case).  ``guard``
+        reproduces the runtime's ``max_events`` safety valve: once the
+        total processed-event count exceeds it, :class:`RuntimeError` is
+        raised exactly as the stepped loop did.
+        """
+        heap = self._heap
+        deadline_every = WALL_DEADLINE_CHECK_EVERY
+        while cond():
+            if (
+                self.wall_deadline is not None
+                and self._events_processed % deadline_every == 0
+            ):
+                self._check_wall_deadline()
+            ev = heap.pop()
+            if ev is None:
+                return False
+            self._now = ev.time
+            self._events_processed += 1
+            ev.callback()
+            if guard is not None and self._events_processed > guard:
+                raise RuntimeError(f"exceeded max_events={guard}")
+        return True
+
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without executing it."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        return self._heap.peek()
 
     # ------------------------------------------------------------------
     # Introspection / reset
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
-        self._queue.clear()
-        self._seq = itertools.count()
+        self._heap.clear()
+        self._seq = 0
         self._now = 0.0
         self._events_processed = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"SimEngine(now={self._now:.6f}, pending={len(self._queue)}, "
+            f"SimEngine(now={self._now:.6f}, pending={len(self._heap)}, "
             f"processed={self._events_processed})"
         )
 

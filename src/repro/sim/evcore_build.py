@@ -1,0 +1,131 @@
+"""On-demand build of the compiled event core (``sim/_evcore.c``).
+
+The repository ships no prebuilt binaries and must not depend on build
+backends that may be absent (Cython, mypyc, setuptools plugins).  The
+compiled backend is therefore a single hand-written C file compiled
+straight with the system C compiler the first time it is requested:
+
+* artifacts land in a per-user cache directory keyed by a hash of the
+  C source and the CPython version tag, so editing ``_evcore.c`` or
+  switching interpreters rebuilds automatically and CI can cache the
+  directory between runs;
+* the build is atomic (compile to a unique temp name, ``os.replace``)
+  so concurrent test workers never load a half-written extension;
+* failure raises :class:`EvcoreBuildError` carrying the compiler's
+  stderr — the backend selector turns that into a hard startup error
+  for ``REPRO_SIM_BACKEND=compiled`` and a silent fallback for ``auto``.
+
+``python -m repro.sim --build`` is the human/CI entry point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import subprocess
+import sys
+import sysconfig
+from importlib.machinery import ExtensionFileLoader
+from types import ModuleType
+
+__all__ = ["EvcoreBuildError", "build_evcore", "load_evcore", "cache_dir"]
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_evcore.c")
+
+
+class EvcoreBuildError(RuntimeError):
+    """The compiled event core could not be built or loaded."""
+
+
+def cache_dir() -> str:
+    """Directory holding built extension artifacts.
+
+    Overridable with ``REPRO_EVCORE_CACHE`` (CI points this at its
+    cross-run cache); defaults to ``$XDG_CACHE_HOME/repro-evcore``.
+    """
+    override = os.environ.get("REPRO_EVCORE_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-evcore")
+
+
+def _artifact_path() -> str:
+    with open(_SOURCE, "rb") as fh:
+        src_hash = hashlib.sha256(fh.read()).hexdigest()[:16]
+    tag = f"cp{sys.version_info[0]}{sys.version_info[1]}"
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return os.path.join(cache_dir(), f"_evcore-{src_hash}-{tag}{suffix}")
+
+
+def _compiler() -> list[str]:
+    cc = os.environ.get("CC") or sysconfig.get_config_var("CC") or "cc"
+    # sysconfig's CC may carry flags ("gcc -pthread"); keep them
+    return cc.split()
+
+
+def build_evcore(verbose: bool = False) -> str:
+    """Build (if needed) and return the path to the extension binary."""
+    if not os.path.exists(_SOURCE):
+        raise EvcoreBuildError(f"missing C source: {_SOURCE}")
+    out = _artifact_path()
+    if os.path.exists(out):
+        return out
+    os.makedirs(cache_dir(), exist_ok=True)
+    include = sysconfig.get_paths()["include"]
+    if not os.path.exists(os.path.join(include, "Python.h")):
+        raise EvcoreBuildError(
+            f"Python.h not found under {include}; install the CPython "
+            "headers or use REPRO_SIM_BACKEND=pure"
+        )
+    tmp = f"{out}.tmp.{os.getpid()}"
+    cmd = _compiler() + [
+        "-O2",
+        "-fPIC",
+        "-shared",
+        f"-I{include}",
+        _SOURCE,
+        "-o",
+        tmp,
+    ]
+    if verbose:
+        print("+", " ".join(cmd), file=sys.stderr)
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120, check=False
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise EvcoreBuildError(f"compiler invocation failed: {exc}") from exc
+    if proc.returncode != 0:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise EvcoreBuildError(
+            f"C compiler exited with {proc.returncode}:\n{proc.stderr.strip()}"
+        )
+    os.replace(tmp, out)
+    return out
+
+
+def load_evcore() -> ModuleType:
+    """Build if needed, then import and return the ``_evcore`` module."""
+    path = build_evcore()
+    name = "repro.sim._evcore"
+    cached = sys.modules.get(name)
+    if cached is not None and getattr(cached, "__file__", None) == path:
+        return cached
+    loader = ExtensionFileLoader(name, path)
+    spec = importlib.util.spec_from_file_location(name, path, loader=loader)
+    if spec is None:  # pragma: no cover - spec construction is static
+        raise EvcoreBuildError(f"could not create import spec for {path}")
+    mod = importlib.util.module_from_spec(spec)
+    try:
+        loader.exec_module(mod)
+    except ImportError as exc:  # pragma: no cover - ABI mismatch etc.
+        raise EvcoreBuildError(f"built extension failed to load: {exc}") from exc
+    sys.modules[name] = mod
+    return mod

@@ -8,24 +8,61 @@ as ASCII Gantt charts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from sys import intern as _intern
 from typing import Iterator, Optional
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One closed interval of activity on one worker or DMA channel."""
+    """One closed interval of activity on one worker or DMA channel.
 
-    start: float
-    end: float
-    worker: str
-    category: str  # "task" | "transfer" | "idle" ...
-    label: str
-    meta: tuple = ()
+    A ``__slots__`` value class (traces at cluster scale hold tens of
+    thousands of records, appended on the hot path): worker/category/
+    label strings are interned so the per-worker and per-category
+    filters compare by pointer and duplicated names share storage.
+    Equality and ordering match the frozen-dataclass semantics this
+    class replaced — field-by-field tuples.
+    """
 
-    def __post_init__(self) -> None:
-        if self.end < self.start:
-            raise ValueError(f"trace record ends before it starts: {self}")
+    __slots__ = ("start", "end", "worker", "category", "label", "meta")
+
+    def __init__(
+        self,
+        start: float,
+        end: float,
+        worker: str,
+        category: str,  # "task" | "transfer" | "idle" ...
+        label: str,
+        meta: tuple = (),
+    ) -> None:
+        if end < start:
+            raise ValueError(
+                f"trace record ends before it starts: "
+                f"({start}, {end}, {worker!r}, {category!r}, {label!r})"
+            )
+        self.start = start
+        self.end = end
+        self.worker = _intern(worker)
+        self.category = _intern(category)
+        self.label = _intern(label)
+        self.meta = meta
+
+    def _astuple(self) -> tuple:
+        return (self.start, self.end, self.worker, self.category, self.label, self.meta)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(start={self.start!r}, end={self.end!r}, "
+            f"worker={self.worker!r}, category={self.category!r}, "
+            f"label={self.label!r}, meta={self.meta!r})"
+        )
 
     @property
     def duration(self) -> float:

@@ -291,3 +291,87 @@ class TestWallDeadline:
         assert eng.wall_deadline is None
         eng.schedule(1.0, lambda: None)
         assert eng.run() == 1
+
+
+class _FakeClock:
+    """Deterministic perf_counter stand-in: advances a fixed step per call.
+
+    Because the engine samples the wall clock only at deadline-check
+    ordinals, a fixed per-call step turns "which event ordinal trips the
+    deadline" into a pure function of the sampling schedule — exactly
+    the thing the batched/stepped equivalence must pin.
+    """
+
+    def __init__(self, step=1.0):
+        self.step = step
+        self.t = 0.0
+
+    def perf_counter(self):
+        self.t += self.step
+        return self.t
+
+
+class TestWallDeadlineModeEquivalence:
+    """Regression: the batched drains must sample the deadline at the
+    exact event ordinals the one-event-per-call step() path uses, so
+    deadline-exceeded fires at the identical processed-event count in
+    all three modes (step / run / run_while)."""
+
+    N_EVENTS = WALL_DEADLINE_CHECK_EVERY * 3 + 10
+    #: trips on the third sample: checks happen at processed-event
+    #: ordinals 0, 256, 512, ... and the fake clock ticks once per check
+    DEADLINE = 2.5
+
+    def _engine(self, monkeypatch):
+        from repro.sim import engine as engine_mod
+
+        eng = SimEngine()
+        monkeypatch.setattr(engine_mod, "_time", _FakeClock())
+        eng.wall_deadline = self.DEADLINE
+        for i in range(self.N_EVENTS):
+            eng.schedule(float(i), lambda: None)
+        return eng
+
+    def _trip_ordinal(self, eng, drive):
+        with pytest.raises(WallDeadlineExceededError):
+            drive(eng)
+        return eng.events_processed
+
+    def test_all_modes_trip_at_same_event_ordinal(self, monkeypatch):
+        def drive_step(eng):
+            while eng.step():
+                pass
+
+        def drive_run(eng):
+            eng.run()
+
+        def drive_run_while(eng):
+            eng.run_while(lambda: True)
+
+        ordinals = {
+            name: self._trip_ordinal(self._engine(monkeypatch), drive)
+            for name, drive in [
+                ("step", drive_step),
+                ("run", drive_run),
+                ("run_while", drive_run_while),
+            ]
+        }
+        assert len(set(ordinals.values())) == 1, ordinals
+        # the trip lands on a sampling ordinal, after at least one window
+        tripped = next(iter(ordinals.values()))
+        assert tripped % WALL_DEADLINE_CHECK_EVERY == 0
+        assert 0 < tripped < self.N_EVENTS
+
+    def test_mixed_mode_agrees_with_pure_modes(self, monkeypatch):
+        """Stepping partway then batch-draining must not shift the ordinal."""
+        eng = self._engine(monkeypatch)
+        for _ in range(WALL_DEADLINE_CHECK_EVERY // 2):
+            eng.step()
+        with pytest.raises(WallDeadlineExceededError):
+            eng.run()
+        mixed = eng.events_processed
+
+        ref = self._engine(monkeypatch)
+        with pytest.raises(WallDeadlineExceededError):
+            ref.run()
+        assert mixed == ref.events_processed
